@@ -1,0 +1,138 @@
+// HLS loop-unrolling ablation: estimated loop cycles and core resources
+// vs unroll factor on two contrasting kernels — a compute-bound
+// accumulation (unrolling helps until the scalar recurrence saturates)
+// and the stream-bound grayScale kernel (the single AXI-Stream port
+// bounds throughput regardless of factor). The classic area/throughput
+// trade the UNROLL directive exposes.
+
+#include "socgen/apps/otsu.hpp"
+#include "socgen/hls/engine.hpp"
+#include "socgen/hls/unroll.hpp"
+#include "socgen/socgen.hpp"
+
+#include <cstdio>
+
+using namespace socgen;
+
+namespace {
+
+/// Recurrence-free per-element work: unrolling exposes ILP directly.
+hls::Kernel polyKernel(std::int64_t n) {
+    using namespace hls;
+    KernelBuilder kb("poly");
+    const PortId r = kb.scalarOut("r", 32);
+    const VarId i = kb.var("i", 32);
+    kb.forLoop(i, kb.c(n));
+    kb.setResult(r, kb.bin(BinOp::Xor, kb.add(kb.mul(kb.v(i), kb.c(3)), kb.c(7)),
+                           kb.shr(kb.v(i), kb.c(2))));
+    kb.endLoop();
+    return kb.build();
+}
+
+/// Scalar reduction: the loop-carried accumulator defeats unrolling.
+hls::Kernel reduceKernel(std::int64_t n) {
+    using namespace hls;
+    KernelBuilder kb("reduce");
+    const PortId r = kb.scalarOut("r", 32);
+    const VarId i = kb.var("i", 32);
+    const VarId acc = kb.var("acc", 32);
+    kb.forLoop(i, kb.c(n));
+    kb.assign(acc, kb.add(kb.v(acc), kb.bin(BinOp::Xor, kb.v(i), kb.c(0xA5))));
+    kb.endLoop();
+    kb.setResult(r, kb.v(acc));
+    return kb.build();
+}
+
+std::int64_t loopCycles(const hls::HlsResult& r) {
+    std::int64_t total = 0;
+    for (const auto& loop : r.schedule.loops) {
+        total += loop.totalCycles;
+    }
+    return total;
+}
+
+} // namespace
+
+int main() {
+    Logger::global().setLevel(LogLevel::Error);
+    constexpr std::int64_t kN = 4096;
+
+    std::printf("Loop-unrolling ablation (n = %lld)\n\n", static_cast<long long>(kN));
+    std::printf("%-12s %7s %12s %10s %8s %8s\n", "kernel", "factor", "loop-cycles",
+                "vs x1", "LUT", "FF");
+
+    bool shapeOk = true;
+    std::int64_t polyBase = 0;
+    std::int64_t reduceBase = 0;
+    std::int64_t grayBase = 0;
+    for (const int factor : {1, 2, 4, 8}) {
+        hls::Directives d;
+        d.enableOptimizer = false;
+        d.maxMulUnits = 8;  // a DSP-rich configuration so ILP can be used
+        if (factor > 1) {
+            d.unrollFactors["i"] = factor;
+        }
+        const hls::HlsResult r = hls::HlsEngine{}.synthesize(polyKernel(kN), d);
+        const std::int64_t cycles = loopCycles(r);
+        if (factor == 1) {
+            polyBase = cycles;
+        }
+        std::printf("%-12s %7d %12lld %9.2fx %8lld %8lld\n", "poly", factor,
+                    static_cast<long long>(cycles),
+                    static_cast<double>(polyBase) / static_cast<double>(cycles),
+                    static_cast<long long>(r.resources.lut),
+                    static_cast<long long>(r.resources.ff));
+        if (factor == 8) {
+            shapeOk = shapeOk && cycles * 2 < polyBase;
+        }
+    }
+    std::printf("\n");
+    for (const int factor : {1, 2, 4, 8}) {
+        hls::Directives d;
+        d.enableOptimizer = false;
+        if (factor > 1) {
+            d.unrollFactors["i"] = factor;
+        }
+        const hls::HlsResult r = hls::HlsEngine{}.synthesize(reduceKernel(kN), d);
+        const std::int64_t cycles = loopCycles(r);
+        if (factor == 1) {
+            reduceBase = cycles;
+        }
+        std::printf("%-12s %7d %12lld %9.2fx %8lld %8lld\n", "reduce", factor,
+                    static_cast<long long>(cycles),
+                    static_cast<double>(reduceBase) / static_cast<double>(cycles),
+                    static_cast<long long>(r.resources.lut),
+                    static_cast<long long>(r.resources.ff));
+        if (factor == 8) {
+            // Recurrence-bound: throughput flat within 30%.
+            shapeOk = shapeOk && cycles * 10 > reduceBase * 7;
+        }
+    }
+    std::printf("\n");
+    for (const int factor : {1, 2, 4}) {
+        hls::Directives d = apps::grayScaleDirectives();
+        if (factor > 1) {
+            d.unrollFactors["i"] = factor;
+        }
+        const hls::HlsResult r =
+            hls::HlsEngine{}.synthesize(apps::makeGrayScaleKernel(kN), d);
+        const std::int64_t cycles = loopCycles(r);
+        if (factor == 1) {
+            grayBase = cycles;
+        }
+        std::printf("%-12s %7d %12lld %9.2fx %8lld %8lld\n", "grayScale", factor,
+                    static_cast<long long>(cycles),
+                    static_cast<double>(grayBase) / static_cast<double>(cycles),
+                    static_cast<long long>(r.resources.lut),
+                    static_cast<long long>(r.resources.ff));
+        // Stream-bound: at most marginal gains, growing area.
+        if (factor == 4) {
+            shapeOk = shapeOk && cycles > grayBase / 2;
+        }
+    }
+
+    std::printf("\nshape: recurrence-free poly gains >2x at factor 8; scalar reduce "
+                "and stream-bound grayScale stay flat (area grows): %s\n",
+                shapeOk ? "HOLDS" : "VIOLATED");
+    return shapeOk ? 0 : 1;
+}

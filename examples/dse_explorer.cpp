@@ -1,0 +1,70 @@
+// Design-space exploration over the Otsu pipeline — the integration the
+// paper leaves as future work (Section II-C). Exhaustively evaluates all
+// 16 HW/SW partitions of the four pipeline stages: PL resources from the
+// synthesis model and end-to-end cycles from system simulation, then
+// reports the Pareto front.
+
+#include "socgen/apps/otsu_project.hpp"
+#include "socgen/dse/explorer.hpp"
+#include "socgen/socgen.hpp"
+
+#include <cstdio>
+
+using namespace socgen;
+
+int main() {
+    Logger::global().setLevel(LogLevel::Warn);
+    constexpr unsigned kWidth = 64;
+    constexpr unsigned kHeight = 64;
+    constexpr std::int64_t kPixels = static_cast<std::int64_t>(kWidth) * kHeight;
+
+    const apps::RgbImage scene = apps::makeSyntheticScene(kWidth, kHeight);
+    const apps::GrayImage reference = apps::otsuFilterRef(scene);
+    const core::Htg htg = apps::makeOtsuHtg();
+    const hls::KernelLibrary kernels = apps::makeOtsuKernelLibrary(kPixels);
+    auto cache = std::make_shared<core::HlsCache>();
+
+    const auto evaluate = [&](unsigned mask) {
+        dse::DsePoint point;
+        point.partition = apps::otsuMaskPartition(mask);
+        std::string label = "HW{";
+        for (std::size_t i = 0; i < apps::kOtsuStages.size(); ++i) {
+            if ((mask & (1u << i)) != 0) {
+                if (label.size() > 3) {
+                    label += ",";
+                }
+                label += apps::kOtsuStages[i];
+            }
+        }
+        point.label = label + "}";
+
+        core::FlowOptions options = apps::otsuFlowOptions();
+        // Per-link DMA keeps every partition feasible with small FIFOs
+        // (see the DMA-sharing ablation bench for the comparison).
+        options.dmaPolicy = soc::DmaPolicy::DmaPerLink;
+        core::Flow flow(options, kernels, cache);
+        const core::TaskGraph graph = core::lowerToTaskGraph(htg, point.partition);
+        const core::FlowResult result = flow.run(format("dse_%u", mask), graph);
+        point.resources = result.synthesis.total;
+
+        apps::OtsuSystemRunner runner(result, point.partition);
+        const auto run = runner.run(scene);
+        if (!(run.output == reference)) {
+            throw Error("output mismatch vs software reference");
+        }
+        point.cycles = run.cycles;
+        return point;
+    };
+
+    const auto points =
+        dse::exploreExhaustive(static_cast<unsigned>(apps::kOtsuStages.size()), evaluate);
+    std::printf("%s\n", dse::renderTable(points).c_str());
+
+    std::printf("Pareto front (resources vs cycles):\n");
+    for (const auto& p : dse::paretoFront(points)) {
+        std::printf("  mask %2u %-34s LUT=%lld cycles=%llu\n", p.mask, p.label.c_str(),
+                    static_cast<long long>(p.resources.lut),
+                    static_cast<unsigned long long>(p.cycles));
+    }
+    return 0;
+}

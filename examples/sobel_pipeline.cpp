@@ -1,0 +1,67 @@
+// A domain-specific example beyond the paper's case study: a 2D Sobel
+// edge detector with BRAM line buffers — the classic HLS streaming-
+// filter structure. One DSL node, one stream in, one stream out; the
+// generated system is run on the simulated board and checked against
+// the software reference.
+
+#include "socgen/apps/kernels.hpp"
+#include "socgen/socgen.hpp"
+
+#include <cstdio>
+
+using namespace socgen;
+
+int main() {
+    Logger::global().setLevel(LogLevel::Warn);
+    constexpr unsigned kW = 96;
+    constexpr unsigned kH = 96;
+    constexpr std::uint32_t kPixels = kW * kH;
+
+    hls::KernelLibrary kernels;
+    kernels.add(apps::makeSobelKernel(kW, kH));
+
+    core::FlowOptions options;
+    options.outputDir = "out_sobel";
+    core::SocProject project("sobel", kernels, options);
+    project.tg_nodes();
+    project.tg_node("SOBEL").is("in").is("out").end();
+    project.tg_end_nodes();
+    project.tg_edges();
+    project.tg_link(core::SocProject::soc()).to(core::SocProject::port("SOBEL", "in")).end();
+    project.tg_link(core::SocProject::port("SOBEL", "out"))
+        .to(core::SocProject::soc())
+        .end();
+    project.tg_end_edges();
+    const core::FlowResult& result = project.result();
+    std::printf("%s\n", result.hlsResults.at("SOBEL").reportText.c_str());
+    std::printf("%s\n", result.synthesis.utilisationReport().c_str());
+
+    // Stream a synthetic scene through the generated system.
+    const apps::GrayImage scene = apps::makeSyntheticGrayScene(kW, kH);
+    const apps::GrayImage expected = apps::sobelRef(scene);
+    soc::SystemSimulator sim(result.design, result.programs);
+    std::vector<std::uint32_t> pixels(scene.pixels().begin(), scene.pixels().end());
+    sim.ps().task("stage", 2 * kPixels, [pixels](soc::Memory& mem) {
+        mem.writeBlock(0x1000, pixels);
+    });
+    sim.psArmReadDma("axi_dma_0", 0, 0x40000, kPixels);
+    sim.psWriteDma("axi_dma_0", 0, 0x1000, kPixels);
+    sim.psWaitReadDma("axi_dma_0");
+    const std::uint64_t cycles = sim.run();
+
+    apps::GrayImage actual(kW, kH);
+    const auto words = sim.memory().readBlock(0x40000, kPixels);
+    for (std::uint32_t i = 0; i < kPixels; ++i) {
+        actual.pixels()[i] = static_cast<std::uint8_t>(words[i]);
+    }
+    const bool match = actual == expected;
+    std::printf("SOBEL %ux%u: %llu cycles (%.2f cycles/pixel), output %s software "
+                "reference\n",
+                kW, kH, static_cast<unsigned long long>(cycles),
+                static_cast<double>(cycles) / kPixels,
+                match ? "MATCHES" : "DIFFERS FROM");
+    apps::writePgm("sobel_input.pgm", scene);
+    apps::writePgm("sobel_edges.pgm", actual);
+    std::printf("wrote sobel_input.pgm, sobel_edges.pgm, out_sobel/sobel/\n");
+    return match ? 0 : 1;
+}

@@ -1,0 +1,216 @@
+#include "socgen/apps/image.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+#include "socgen/common/textfile.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace socgen::apps {
+
+GrayImage::GrayImage(unsigned width, unsigned height, std::uint8_t fill)
+    : width_(width), height_(height), pixels_(pixelCount(), fill) {}
+
+std::uint8_t GrayImage::at(unsigned x, unsigned y) const {
+    require(x < width_ && y < height_, "pixel out of range");
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+void GrayImage::set(unsigned x, unsigned y, std::uint8_t value) {
+    require(x < width_ && y < height_, "pixel out of range");
+    pixels_[static_cast<std::size_t>(y) * width_ + x] = value;
+}
+
+RgbImage::RgbImage(unsigned width, unsigned height)
+    : width_(width), height_(height), pixels_(pixelCount(), 0) {}
+
+std::uint32_t RgbImage::packedAt(unsigned x, unsigned y) const {
+    require(x < width_ && y < height_, "pixel out of range");
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+void RgbImage::set(unsigned x, unsigned y, std::uint8_t r, std::uint8_t g, std::uint8_t b) {
+    require(x < width_ && y < height_, "pixel out of range");
+    pixels_[static_cast<std::size_t>(y) * width_ + x] =
+        (static_cast<std::uint32_t>(r) << 16) | (static_cast<std::uint32_t>(g) << 8) | b;
+}
+
+std::vector<std::uint32_t> RgbImage::packedPixels() const {
+    return pixels_;
+}
+
+// ---------------------------------------------------------------------------
+// PGM / PPM
+
+std::string encodePgm(const GrayImage& image) {
+    std::ostringstream out;
+    out << "P5\n" << image.width() << ' ' << image.height() << "\n255\n";
+    out.write(reinterpret_cast<const char*>(image.pixels().data()),
+              static_cast<std::streamsize>(image.pixels().size()));
+    return out.str();
+}
+
+namespace {
+
+/// Reads the next whitespace/comment-delimited token of a PNM header.
+std::string nextHeaderToken(std::string_view data, std::size_t& pos) {
+    while (pos < data.size()) {
+        const char c = data[pos];
+        if (c == '#') {
+            while (pos < data.size() && data[pos] != '\n') {
+                ++pos;
+            }
+        } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+            ++pos;
+        } else {
+            break;
+        }
+    }
+    const std::size_t start = pos;
+    while (pos < data.size() &&
+           std::isspace(static_cast<unsigned char>(data[pos])) == 0) {
+        ++pos;
+    }
+    if (start == pos) {
+        throw Error("pgm: truncated header");
+    }
+    return std::string(data.substr(start, pos - start));
+}
+
+} // namespace
+
+GrayImage decodePgm(std::string_view data) {
+    std::size_t pos = 0;
+    const std::string magic = nextHeaderToken(data, pos);
+    if (magic != "P5" && magic != "P2") {
+        throw Error("pgm: unsupported magic '" + magic + "'");
+    }
+    const unsigned width = static_cast<unsigned>(std::stoul(nextHeaderToken(data, pos)));
+    const unsigned height = static_cast<unsigned>(std::stoul(nextHeaderToken(data, pos)));
+    const unsigned maxval = static_cast<unsigned>(std::stoul(nextHeaderToken(data, pos)));
+    if (maxval == 0 || maxval > 255) {
+        throw Error("pgm: unsupported maxval");
+    }
+    GrayImage image(width, height);
+    if (magic == "P5") {
+        ++pos;  // single whitespace after maxval
+        if (data.size() - pos < image.pixelCount()) {
+            throw Error("pgm: truncated pixel data");
+        }
+        for (std::size_t i = 0; i < image.pixelCount(); ++i) {
+            image.pixels()[i] = static_cast<std::uint8_t>(data[pos + i]);
+        }
+    } else {
+        for (std::size_t i = 0; i < image.pixelCount(); ++i) {
+            image.pixels()[i] =
+                static_cast<std::uint8_t>(std::stoul(nextHeaderToken(data, pos)));
+        }
+    }
+    return image;
+}
+
+GrayImage readPgm(const std::string& path) {
+    return decodePgm(readTextFile(path));
+}
+
+void writePgm(const std::string& path, const GrayImage& image) {
+    writeBinaryFile(path, encodePgm(image));
+}
+
+void writePpm(const std::string& path, const RgbImage& image) {
+    std::ostringstream out;
+    out << "P6\n" << image.width() << ' ' << image.height() << "\n255\n";
+    for (unsigned y = 0; y < image.height(); ++y) {
+        for (unsigned x = 0; x < image.width(); ++x) {
+            const std::uint32_t px = image.packedAt(x, y);
+            out.put(static_cast<char>((px >> 16) & 0xFF));
+            out.put(static_cast<char>((px >> 8) & 0xFF));
+            out.put(static_cast<char>(px & 0xFF));
+        }
+    }
+    writeBinaryFile(path, out.str());
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic scenes
+
+namespace {
+
+/// xorshift64* deterministic PRNG.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : state_(seed == 0 ? 0x9E3779B97F4A7C15ULL : seed) {}
+
+    std::uint64_t next() {
+        state_ ^= state_ >> 12;
+        state_ ^= state_ << 25;
+        state_ ^= state_ >> 27;
+        return state_ * 0x2545F4914F6CDD1DULL;
+    }
+
+    /// Uniform in [lo, hi].
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+        return lo + next() % (hi - lo + 1);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+} // namespace
+
+RgbImage makeSyntheticScene(unsigned width, unsigned height, std::uint64_t seed) {
+    Rng rng(seed);
+    RgbImage image(width, height);
+    // Dark textured background.
+    for (unsigned y = 0; y < height; ++y) {
+        for (unsigned x = 0; x < width; ++x) {
+            const auto base = static_cast<std::uint8_t>(28 + rng.range(0, 24));
+            image.set(x, y, base, static_cast<std::uint8_t>(base + rng.range(0, 6)),
+                      static_cast<std::uint8_t>(base / 2));
+        }
+    }
+    // Bright elliptical blobs (the "foreground" objects).
+    const unsigned blobs = 3 + static_cast<unsigned>(rng.range(0, 2));
+    for (unsigned b = 0; b < blobs; ++b) {
+        const auto cx = static_cast<long>(rng.range(width / 6, width - width / 6));
+        const auto cy = static_cast<long>(rng.range(height / 6, height - height / 6));
+        const auto rx = static_cast<long>(rng.range(width / 12, width / 5));
+        const auto ry = static_cast<long>(rng.range(height / 12, height / 5));
+        for (long y = cy - ry; y <= cy + ry; ++y) {
+            for (long x = cx - rx; x <= cx + rx; ++x) {
+                if (x < 0 || y < 0 || x >= static_cast<long>(width) ||
+                    y >= static_cast<long>(height)) {
+                    continue;
+                }
+                const double dx = static_cast<double>(x - cx) / static_cast<double>(rx);
+                const double dy = static_cast<double>(y - cy) / static_cast<double>(ry);
+                if (dx * dx + dy * dy <= 1.0) {
+                    const auto lum = static_cast<std::uint8_t>(185 + rng.range(0, 60));
+                    image.set(static_cast<unsigned>(x), static_cast<unsigned>(y), lum,
+                              static_cast<std::uint8_t>(lum - rng.range(0, 20)),
+                              static_cast<std::uint8_t>(lum - rng.range(0, 40)));
+                }
+            }
+        }
+    }
+    return image;
+}
+
+GrayImage makeSyntheticGrayScene(unsigned width, unsigned height, std::uint64_t seed) {
+    const RgbImage rgb = makeSyntheticScene(width, height, seed);
+    GrayImage gray(width, height);
+    for (unsigned y = 0; y < height; ++y) {
+        for (unsigned x = 0; x < width; ++x) {
+            const std::uint32_t px = rgb.packedAt(x, y);
+            const std::uint32_t r = (px >> 16) & 0xFF;
+            const std::uint32_t g = (px >> 8) & 0xFF;
+            const std::uint32_t b = px & 0xFF;
+            gray.set(x, y, static_cast<std::uint8_t>((r * 77 + g * 150 + b * 29) >> 8));
+        }
+    }
+    return gray;
+}
+
+} // namespace socgen::apps

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace socgen::apps {
+
+/// 8-bit grayscale image.
+class GrayImage {
+public:
+    GrayImage() = default;
+    GrayImage(unsigned width, unsigned height, std::uint8_t fill = 0);
+
+    [[nodiscard]] unsigned width() const { return width_; }
+    [[nodiscard]] unsigned height() const { return height_; }
+    [[nodiscard]] std::size_t pixelCount() const {
+        return static_cast<std::size_t>(width_) * height_;
+    }
+
+    [[nodiscard]] std::uint8_t at(unsigned x, unsigned y) const;
+    void set(unsigned x, unsigned y, std::uint8_t value);
+
+    [[nodiscard]] const std::vector<std::uint8_t>& pixels() const { return pixels_; }
+    [[nodiscard]] std::vector<std::uint8_t>& pixels() { return pixels_; }
+
+    friend bool operator==(const GrayImage&, const GrayImage&) = default;
+
+private:
+    unsigned width_ = 0;
+    unsigned height_ = 0;
+    std::vector<std::uint8_t> pixels_;
+};
+
+/// 24-bit RGB image; pixels pack to 0x00RRGGBB words for the stream path.
+class RgbImage {
+public:
+    RgbImage() = default;
+    RgbImage(unsigned width, unsigned height);
+
+    [[nodiscard]] unsigned width() const { return width_; }
+    [[nodiscard]] unsigned height() const { return height_; }
+    [[nodiscard]] std::size_t pixelCount() const {
+        return static_cast<std::size_t>(width_) * height_;
+    }
+
+    [[nodiscard]] std::uint32_t packedAt(unsigned x, unsigned y) const;
+    void set(unsigned x, unsigned y, std::uint8_t r, std::uint8_t g, std::uint8_t b);
+
+    /// 0x00RRGGBB words in row-major order (the DMA buffer layout).
+    [[nodiscard]] std::vector<std::uint32_t> packedPixels() const;
+
+private:
+    unsigned width_ = 0;
+    unsigned height_ = 0;
+    std::vector<std::uint32_t> pixels_;
+};
+
+/// PGM (P5 binary / P2 ascii) reader and P5 writer.
+[[nodiscard]] GrayImage readPgm(const std::string& path);
+void writePgm(const std::string& path, const GrayImage& image);
+[[nodiscard]] std::string encodePgm(const GrayImage& image);
+[[nodiscard]] GrayImage decodePgm(std::string_view data);
+
+/// PPM (P6) writer for RGB images.
+void writePpm(const std::string& path, const RgbImage& image);
+
+/// Deterministic synthetic test scene approximating the paper's Figure 7
+/// input: dark textured background with brighter elliptical blobs — a
+/// clearly bimodal intensity distribution so the Otsu threshold separates
+/// foreground from background.
+[[nodiscard]] RgbImage makeSyntheticScene(unsigned width, unsigned height,
+                                          std::uint64_t seed = 42);
+
+/// Grayscale rendering of the same scene (for direct gray pipelines).
+[[nodiscard]] GrayImage makeSyntheticGrayScene(unsigned width, unsigned height,
+                                               std::uint64_t seed = 42);
+
+} // namespace socgen::apps

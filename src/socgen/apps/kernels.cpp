@@ -1,0 +1,213 @@
+#include "socgen/apps/kernels.hpp"
+
+namespace socgen::apps {
+
+hls::Kernel makeAddKernel() {
+    using namespace hls;
+    KernelBuilder kb("ADD");
+    const PortId a = kb.scalarIn("A", 32);
+    const PortId b = kb.scalarIn("B", 32);
+    const PortId ret = kb.scalarOut("return", 32);
+    kb.setResult(ret, kb.add(kb.arg(a), kb.arg(b)));
+    return kb.build();
+}
+
+hls::Kernel makeMulKernel() {
+    using namespace hls;
+    KernelBuilder kb("MUL");
+    const PortId a = kb.scalarIn("A", 32);
+    const PortId b = kb.scalarIn("B", 32);
+    const PortId ret = kb.scalarOut("return", 32);
+    kb.setResult(ret, kb.mul(kb.arg(a), kb.arg(b)));
+    return kb.build();
+}
+
+hls::Kernel makeGaussKernel(std::int64_t sampleCount) {
+    using namespace hls;
+    KernelBuilder kb("GAUSS");
+    const PortId in = kb.streamIn("in", 8);
+    const PortId out = kb.streamOut("out", 8);
+    const VarId i = kb.var("i", 32);
+    const VarId cur = kb.var("cur", 8);
+    const VarId p1 = kb.var("p1", 8);
+    const VarId p2 = kb.var("p2", 8);
+
+    kb.assign(p1, kb.c(0));
+    kb.assign(p2, kb.c(0));
+    kb.forLoop(i, kb.c(sampleCount));
+    kb.assign(cur, kb.read(in));
+    kb.write(out, kb.shr(kb.add(kb.add(kb.v(p2), kb.shl(kb.v(p1), kb.c(1))), kb.v(cur)),
+                         kb.c(2)));
+    kb.assign(p2, kb.v(p1));
+    kb.assign(p1, kb.v(cur));
+    kb.endLoop();
+    return kb.build();
+}
+
+hls::Kernel makeEdgeKernel(std::int64_t sampleCount) {
+    using namespace hls;
+    KernelBuilder kb("EDGE");
+    const PortId in = kb.streamIn("in", 8);
+    const PortId out = kb.streamOut("out", 8);
+    const VarId i = kb.var("i", 32);
+    const VarId cur = kb.var("cur", 8);
+    const VarId prev = kb.var("prev", 8);
+
+    kb.assign(prev, kb.c(0));
+    kb.forLoop(i, kb.c(sampleCount));
+    kb.assign(cur, kb.read(in));
+    kb.write(out, kb.select(kb.gt(kb.v(cur), kb.v(prev)),
+                            kb.sub(kb.v(cur), kb.v(prev)),
+                            kb.sub(kb.v(prev), kb.v(cur))));
+    kb.assign(prev, kb.v(cur));
+    kb.endLoop();
+    return kb.build();
+}
+
+std::vector<std::uint8_t> gaussRef(const std::vector<std::uint8_t>& input) {
+    std::vector<std::uint8_t> out(input.size());
+    std::uint32_t p1 = 0;
+    std::uint32_t p2 = 0;
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        const std::uint32_t cur = input[i];
+        out[i] = static_cast<std::uint8_t>(((p2 + 2 * p1 + cur) >> 2) & 0xFF);
+        p2 = p1;
+        p1 = cur;
+    }
+    return out;
+}
+
+std::vector<std::uint8_t> edgeRef(const std::vector<std::uint8_t>& input) {
+    std::vector<std::uint8_t> out(input.size());
+    std::uint32_t prev = 0;
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        const std::uint32_t cur = input[i];
+        out[i] = static_cast<std::uint8_t>(cur > prev ? cur - prev : prev - cur);
+        prev = cur;
+    }
+    return out;
+}
+
+namespace {
+
+/// Shared windowing semantics of the SOBEL kernel and its reference:
+/// at linear index k (column c, row r), the 3x3 window holds the pixels
+/// of columns c-2..c and rows r-2..r (taps shift across row boundaries,
+/// exactly as the hardware line buffers behave); the output is
+/// min(|gx| + |gy|, 255) when r >= 2 and c >= 2, else 0.
+struct SobelWindowModel {
+    std::uint32_t p00 = 0, p01 = 0, p02 = 0;
+    std::uint32_t p10 = 0, p11 = 0, p12 = 0;
+    std::uint32_t p20 = 0, p21 = 0, p22 = 0;
+    std::vector<std::uint32_t> line0;
+    std::vector<std::uint32_t> line1;
+
+    explicit SobelWindowModel(std::size_t width) : line0(width, 0), line1(width, 0) {}
+
+    std::uint8_t push(std::uint32_t cur, std::size_t col, std::size_t row) {
+        const std::uint32_t top = line0[col];
+        const std::uint32_t mid = line1[col];
+        line0[col] = mid;
+        line1[col] = cur;
+        p00 = p01; p01 = p02; p02 = top;
+        p10 = p11; p11 = p12; p12 = mid;
+        p20 = p21; p21 = p22; p22 = cur;
+        const std::uint32_t gxPos = p02 + 2 * p12 + p22;
+        const std::uint32_t gxNeg = p00 + 2 * p10 + p20;
+        const std::uint32_t gyPos = p20 + 2 * p21 + p22;
+        const std::uint32_t gyNeg = p00 + 2 * p01 + p02;
+        const std::uint32_t gx = gxPos > gxNeg ? gxPos - gxNeg : gxNeg - gxPos;
+        const std::uint32_t gy = gyPos > gyNeg ? gyPos - gyNeg : gyNeg - gyPos;
+        const std::uint32_t mag = std::min<std::uint32_t>(gx + gy, 255);
+        return static_cast<std::uint8_t>((row >= 2 && col >= 2) ? mag : 0);
+    }
+};
+
+} // namespace
+
+hls::Kernel makeSobelKernel(std::int64_t width, std::int64_t height) {
+    using namespace hls;
+    KernelBuilder kb("SOBEL");
+    const PortId in = kb.streamIn("in", 8);
+    const PortId out = kb.streamOut("out", 8);
+    const ArrayId line0 = kb.array("line0", static_cast<std::size_t>(width), 8);
+    const ArrayId line1 = kb.array("line1", static_cast<std::size_t>(width), 8);
+    const VarId idx = kb.var("idx", 32);
+    const VarId col = kb.var("col", 32);
+    const VarId row = kb.var("row", 32);
+    const VarId cur = kb.var("cur", 8);
+    const VarId top = kb.var("top", 8);
+    const VarId mid = kb.var("mid", 8);
+    const VarId p00 = kb.var("p00", 8);
+    const VarId p01 = kb.var("p01", 8);
+    const VarId p02 = kb.var("p02", 8);
+    const VarId p10 = kb.var("p10", 8);
+    const VarId p11 = kb.var("p11", 8);
+    const VarId p12 = kb.var("p12", 8);
+    const VarId p20 = kb.var("p20", 8);
+    const VarId p21 = kb.var("p21", 8);
+    const VarId p22 = kb.var("p22", 8);
+    const VarId gx = kb.var("gx", 16);
+    const VarId gy = kb.var("gy", 16);
+    const VarId mag = kb.var("mag", 16);
+    const VarId atEol = kb.var("atEol", 1);
+
+    kb.assign(col, kb.c(0));
+    kb.assign(row, kb.c(0));
+    kb.forLoop(idx, kb.c(width * height));
+    kb.assign(cur, kb.read(in));
+    // Line buffers: top <- two rows up, mid <- one row up, then rotate.
+    kb.assign(top, kb.load(line0, kb.v(col)));
+    kb.assign(mid, kb.load(line1, kb.v(col)));
+    kb.arrayStore(line0, kb.v(col), kb.v(mid));
+    kb.arrayStore(line1, kb.v(col), kb.v(cur));
+    // Shift the 3x3 window left.
+    kb.assign(p00, kb.v(p01));
+    kb.assign(p01, kb.v(p02));
+    kb.assign(p02, kb.v(top));
+    kb.assign(p10, kb.v(p11));
+    kb.assign(p11, kb.v(p12));
+    kb.assign(p12, kb.v(mid));
+    kb.assign(p20, kb.v(p21));
+    kb.assign(p21, kb.v(p22));
+    kb.assign(p22, kb.v(cur));
+    // |Gx| and |Gy| via positive/negative tap sums.
+    const auto absDiff = [&](ExprId a, ExprId b) {
+        return kb.select(kb.gt(a, b), kb.sub(a, b), kb.sub(b, a));
+    };
+    const ExprId gxPos =
+        kb.add(kb.add(kb.v(p02), kb.shl(kb.v(p12), kb.c(1))), kb.v(p22));
+    const ExprId gxNeg =
+        kb.add(kb.add(kb.v(p00), kb.shl(kb.v(p10), kb.c(1))), kb.v(p20));
+    kb.assign(gx, absDiff(gxPos, gxNeg));
+    const ExprId gyPos =
+        kb.add(kb.add(kb.v(p20), kb.shl(kb.v(p21), kb.c(1))), kb.v(p22));
+    const ExprId gyNeg =
+        kb.add(kb.add(kb.v(p00), kb.shl(kb.v(p01), kb.c(1))), kb.v(p02));
+    kb.assign(gy, absDiff(gyPos, gyNeg));
+    kb.assign(mag, kb.bin(hls::BinOp::Min, kb.add(kb.v(gx), kb.v(gy)), kb.c(255)));
+    // Border handling: emit 0 until the window is fully inside the image.
+    const ExprId valid =
+        kb.bin(hls::BinOp::And, kb.ge(kb.v(row), kb.c(2)), kb.ge(kb.v(col), kb.c(2)));
+    kb.write(out, kb.select(valid, kb.v(mag), kb.c(0)));
+    // Column/row bookkeeping.
+    kb.assign(atEol, kb.eq(kb.v(col), kb.c(width - 1)));
+    kb.assign(row, kb.add(kb.v(row), kb.v(atEol)));
+    kb.assign(col, kb.select(kb.v(atEol), kb.c(0), kb.add(kb.v(col), kb.c(1))));
+    kb.endLoop();
+    return kb.build();
+}
+
+GrayImage sobelRef(const GrayImage& input) {
+    GrayImage out(input.width(), input.height());
+    SobelWindowModel window(input.width());
+    std::size_t k = 0;
+    for (unsigned r = 0; r < input.height(); ++r) {
+        for (unsigned c = 0; c < input.width(); ++c) {
+            out.pixels()[k++] = window.push(input.at(c, r), c, r);
+        }
+    }
+    return out;
+}
+
+} // namespace socgen::apps

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "socgen/apps/image.hpp"
+#include "socgen/hls/ir.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace socgen::apps {
+
+/// Kernels of the paper's running example (Figure 4): ADD and MUL are
+/// memory-mapped AXI-Lite cores configured by the GPP; GAUSS and EDGE
+/// form an AXI-Stream image-processing pipeline.
+
+/// ADD: i "A", i "B", i "return" — return = A + B.
+[[nodiscard]] hls::Kernel makeAddKernel();
+
+/// MUL: i "A", i "B", i "return" — return = A * B.
+[[nodiscard]] hls::Kernel makeMulKernel();
+
+/// GAUSS: is "in", is "out" — causal 3-tap binomial smoothing
+/// y[i] = (x[i-2] + 2 x[i-1] + x[i]) >> 2 over `sampleCount` samples.
+[[nodiscard]] hls::Kernel makeGaussKernel(std::int64_t sampleCount);
+
+/// EDGE: is "in", is "out" — first-difference edge detector
+/// y[i] = |x[i] - x[i-1]|.
+[[nodiscard]] hls::Kernel makeEdgeKernel(std::int64_t sampleCount);
+
+/// SOBEL: is "in", is "out" — 2D 3x3 Sobel gradient magnitude over a
+/// width x height gray image streamed row-major. Uses two BRAM line
+/// buffers and a 3x3 register window (the classic HLS streaming-filter
+/// structure); the window trails the input by one row and one column, so
+/// output pixel k is the gradient of the window ending at input pixel k
+/// (border pixels emit 0).
+[[nodiscard]] hls::Kernel makeSobelKernel(std::int64_t width, std::int64_t height);
+
+/// Software references for verification.
+[[nodiscard]] std::vector<std::uint8_t> gaussRef(const std::vector<std::uint8_t>& input);
+[[nodiscard]] std::vector<std::uint8_t> edgeRef(const std::vector<std::uint8_t>& input);
+
+/// Reference with exactly the kernel's windowing semantics.
+[[nodiscard]] GrayImage sobelRef(const GrayImage& input);
+
+} // namespace socgen::apps

@@ -1,0 +1,263 @@
+#include "socgen/apps/otsu.hpp"
+
+#include "socgen/common/error.hpp"
+
+namespace socgen::apps {
+
+// ---------------------------------------------------------------------------
+// Software references
+
+std::uint8_t grayFromPacked(std::uint32_t packed) {
+    const std::uint32_t r = (packed >> 16) & 0xFF;
+    const std::uint32_t g = (packed >> 8) & 0xFF;
+    const std::uint32_t b = packed & 0xFF;
+    return static_cast<std::uint8_t>((r * 77 + g * 150 + b * 29) >> 8);
+}
+
+GrayImage grayScaleRef(const RgbImage& image) {
+    GrayImage gray(image.width(), image.height());
+    for (unsigned y = 0; y < image.height(); ++y) {
+        for (unsigned x = 0; x < image.width(); ++x) {
+            gray.set(x, y, grayFromPacked(image.packedAt(x, y)));
+        }
+    }
+    return gray;
+}
+
+std::array<std::uint32_t, 256> histogramRef(const GrayImage& image) {
+    std::array<std::uint32_t, 256> hist{};
+    for (std::uint8_t px : image.pixels()) {
+        ++hist[px];
+    }
+    return hist;
+}
+
+std::uint32_t otsuThresholdRef(const std::array<std::uint32_t, 256>& hist,
+                               std::uint64_t totalPixels) {
+    // Integer Otsu, expressed exactly as the hardware kernel computes it
+    // (guarded divisions, predicated updates) so SW and HW agree bit for
+    // bit. Valid for totalPixels < 2^24.
+    std::uint64_t sumAll = 0;
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        sumAll += i * hist[i];
+    }
+    std::uint64_t wB = 0;
+    std::uint64_t sumB = 0;
+    std::uint64_t best = 0;
+    std::uint32_t threshold = 0;
+    for (std::uint64_t t = 0; t < 256; ++t) {
+        const std::uint64_t h = hist[t];
+        wB += h;
+        sumB += t * h;
+        const std::uint64_t wF = totalPixels - wB;
+        const bool valid = wB != 0 && wF != 0;
+        const std::uint64_t mB = sumB / (wB == 0 ? 1 : wB);
+        const std::uint64_t mF = (sumAll - sumB) / (wF == 0 ? 1 : wF);
+        const std::uint64_t d = mB > mF ? mB - mF : mF - mB;
+        const std::uint64_t between = wB * wF * d * d;
+        if (valid && between > best) {
+            best = between;
+            threshold = static_cast<std::uint32_t>(t);
+        }
+    }
+    return threshold;
+}
+
+GrayImage binarizeRef(const GrayImage& image, std::uint32_t threshold) {
+    GrayImage out(image.width(), image.height());
+    for (std::size_t i = 0; i < image.pixels().size(); ++i) {
+        out.pixels()[i] = image.pixels()[i] > threshold ? 255 : 0;
+    }
+    return out;
+}
+
+GrayImage otsuFilterRef(const RgbImage& image) {
+    const GrayImage gray = grayScaleRef(image);
+    const auto hist = histogramRef(gray);
+    const std::uint32_t threshold = otsuThresholdRef(hist, gray.pixelCount());
+    return binarizeRef(gray, threshold);
+}
+
+// ---------------------------------------------------------------------------
+// HLS kernels
+
+hls::Kernel makeGrayScaleKernel(std::int64_t pixelCount) {
+    using namespace hls;
+    KernelBuilder kb("grayScale");
+    const PortId in = kb.streamIn("imageIn", 32);
+    const PortId outCh = kb.streamOut("imageOutCH", 8);
+    const PortId outSeg = kb.streamOut("imageOutSEG", 8);
+    const VarId i = kb.var("i", 32);
+    const VarId px = kb.var("px", 32);
+    const VarId r = kb.var("r", 8);
+    const VarId g = kb.var("g", 8);
+    const VarId b = kb.var("b", 8);
+    const VarId gray = kb.var("gray", 8);
+
+    kb.forLoop(i, kb.c(pixelCount));
+    kb.assign(px, kb.read(in));
+    kb.assign(r, kb.bin(BinOp::And, kb.shr(kb.v(px), kb.c(16)), kb.c(255)));
+    kb.assign(g, kb.bin(BinOp::And, kb.shr(kb.v(px), kb.c(8)), kb.c(255)));
+    kb.assign(b, kb.bin(BinOp::And, kb.v(px), kb.c(255)));
+    kb.assign(gray, kb.shr(kb.add(kb.add(kb.mul(kb.v(r), kb.c(77)),
+                                         kb.mul(kb.v(g), kb.c(150))),
+                                  kb.mul(kb.v(b), kb.c(29))),
+                           kb.c(8)));
+    kb.write(outCh, kb.v(gray));
+    kb.write(outSeg, kb.v(gray));
+    kb.endLoop();
+    return kb.build();
+}
+
+hls::Kernel makeHistogramKernel(std::int64_t pixelCount) {
+    using namespace hls;
+    KernelBuilder kb("computeHistogram");
+    const PortId in = kb.streamIn("grayScaleImage", 8);
+    const PortId out = kb.streamOut("histogram", 32);
+    const ArrayId hist = kb.array("hist", 256, 32);
+    const VarId i = kb.var("i", 32);
+    const VarId px = kb.var("px", 8);
+
+    // Clear the table (BRAM contents persist across invocations).
+    kb.forLoop(i, kb.c(256));
+    kb.arrayStore(hist, kb.v(i), kb.c(0));
+    kb.endLoop();
+
+    kb.forLoop(i, kb.c(pixelCount));
+    kb.assign(px, kb.read(in));
+    kb.arrayStore(hist, kb.v(px), kb.add(kb.load(hist, kb.v(px)), kb.c(1)));
+    kb.endLoop();
+
+    kb.forLoop(i, kb.c(256));
+    kb.write(out, kb.load(hist, kb.v(i)));
+    kb.endLoop();
+    return kb.build();
+}
+
+hls::Kernel makeOtsuKernel(std::int64_t pixelCount) {
+    using namespace hls;
+    KernelBuilder kb("halfProbability");
+    const PortId in = kb.streamIn("histogram", 32);
+    const PortId out = kb.streamOut("probability", 32);
+    const ArrayId hist = kb.array("hist", 256, 32);
+    const VarId i = kb.var("i", 32);
+    const VarId h = kb.var("h", 32);
+    const VarId sumAll = kb.var("sumAll", 64);
+    const VarId wB = kb.var("wB", 32);
+    const VarId wF = kb.var("wF", 32);
+    const VarId sumB = kb.var("sumB", 64);
+    const VarId mB = kb.var("mB", 64);
+    const VarId mF = kb.var("mF", 64);
+    const VarId d = kb.var("d", 32);
+    const VarId between = kb.var("between", 64);
+    const VarId best = kb.var("best", 64);
+    const VarId thr = kb.var("thr", 32);
+    const VarId valid = kb.var("valid", 1);
+    const VarId better = kb.var("better", 1);
+
+    // Pass 1: capture the histogram and the total intensity sum.
+    kb.assign(sumAll, kb.c(0));
+    kb.forLoop(i, kb.c(256));
+    kb.assign(h, kb.read(in));
+    kb.arrayStore(hist, kb.v(i), kb.v(h));
+    kb.assign(sumAll, kb.add(kb.v(sumAll), kb.mul(kb.v(i), kb.v(h))));
+    kb.endLoop();
+
+    // Pass 2: maximise the between-class variance.
+    kb.assign(wB, kb.c(0));
+    kb.assign(sumB, kb.c(0));
+    kb.assign(best, kb.c(0));
+    kb.assign(thr, kb.c(0));
+    kb.forLoop(i, kb.c(256));
+    kb.assign(h, kb.load(hist, kb.v(i)));
+    kb.assign(wB, kb.add(kb.v(wB), kb.v(h)));
+    kb.assign(sumB, kb.add(kb.v(sumB), kb.mul(kb.v(i), kb.v(h))));
+    kb.assign(wF, kb.sub(kb.c(pixelCount), kb.v(wB)));
+    kb.assign(valid, kb.bin(BinOp::And, kb.ne(kb.v(wB), kb.c(0)),
+                            kb.ne(kb.v(wF), kb.c(0))));
+    kb.assign(mB, kb.div(kb.v(sumB), kb.bin(BinOp::Max, kb.v(wB), kb.c(1))));
+    kb.assign(mF, kb.div(kb.sub(kb.v(sumAll), kb.v(sumB)),
+                         kb.bin(BinOp::Max, kb.v(wF), kb.c(1))));
+    kb.assign(d, kb.select(kb.gt(kb.v(mB), kb.v(mF)), kb.sub(kb.v(mB), kb.v(mF)),
+                           kb.sub(kb.v(mF), kb.v(mB))));
+    kb.assign(between,
+              kb.mul(kb.mul(kb.mul(kb.v(wB), kb.v(wF)), kb.v(d)), kb.v(d)));
+    kb.assign(better, kb.bin(BinOp::And, kb.v(valid),
+                             kb.gt(kb.v(between), kb.v(best))));
+    kb.assign(best, kb.select(kb.v(better), kb.v(between), kb.v(best)));
+    kb.assign(thr, kb.select(kb.v(better), kb.v(i), kb.v(thr)));
+    kb.endLoop();
+
+    kb.write(out, kb.v(thr));
+    return kb.build();
+}
+
+hls::Kernel makeBinarizationKernel(std::int64_t pixelCount) {
+    using namespace hls;
+    KernelBuilder kb("segment");
+    const PortId gray = kb.streamIn("grayScaleImage", 8);
+    const PortId thresh = kb.streamIn("otsuThreshold", 32);
+    const PortId out = kb.streamOut("segmentedGrayImage", 8);
+    const VarId t = kb.var("t", 32);
+    const VarId i = kb.var("i", 32);
+    const VarId g = kb.var("g", 8);
+
+    kb.assign(t, kb.read(thresh));
+    kb.forLoop(i, kb.c(pixelCount));
+    kb.assign(g, kb.read(gray));
+    kb.write(out, kb.select(kb.gt(kb.v(g), kb.v(t)), kb.c(255), kb.c(0)));
+    kb.endLoop();
+    return kb.build();
+}
+
+// ---------------------------------------------------------------------------
+// Directives
+
+hls::Directives grayScaleDirectives() {
+    hls::Directives d;
+    d.maxMulUnits = 1;  // three small constant multiplies share one DSP
+    return d;
+}
+
+hls::Directives histogramDirectives() {
+    hls::Directives d;
+    return d;
+}
+
+hls::Directives otsuDirectives() {
+    hls::Directives d;
+    d.maxMulUnits = 1;  // the variance products share one 32-bit multiplier
+    d.maxDivUnits = 1;  // one iterative divider for both mean divisions
+    return d;
+}
+
+hls::Directives binarizationDirectives() {
+    hls::Directives d;
+    return d;
+}
+
+// ---------------------------------------------------------------------------
+// Software cycle models (ARM Cortex-A9 expressed in PL-clock cycles)
+
+std::uint64_t grayScaleSwCycles(std::uint64_t pixels) {
+    return 18 * pixels + 400;  // load, unpack, 3 MACs, shift, store
+}
+
+std::uint64_t histogramSwCycles(std::uint64_t pixels) {
+    return 10 * pixels + 300 + 256;  // load, increment (cache-unfriendly)
+}
+
+std::uint64_t otsuSwCycles(std::uint64_t pixels) {
+    (void)pixels;  // operates on the 256-bin histogram only
+    return 256 * 58 + 600;  // two divisions + products per bin
+}
+
+std::uint64_t binarizationSwCycles(std::uint64_t pixels) {
+    return 9 * pixels + 300;
+}
+
+std::uint64_t imageIoSwCycles(std::uint64_t pixels) {
+    return 2 * pixels + 1000;  // file/SD transfer amortised
+}
+
+} // namespace socgen::apps

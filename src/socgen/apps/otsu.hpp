@@ -1,0 +1,74 @@
+#pragma once
+
+#include "socgen/apps/image.hpp"
+#include "socgen/hls/directives.hpp"
+#include "socgen/hls/ir.hpp"
+
+#include <array>
+#include <cstdint>
+
+namespace socgen::apps {
+
+/// -- Software reference implementations of the case-study tasks -----------
+///
+/// These are the "original source code" the GPP runs (paper Section VI-A)
+/// and the ground truth the hardware pipelines are verified against. All
+/// arithmetic is integer/unsigned and matches the kernel IR bit for bit,
+/// so a generated system's output image is expected to be identical.
+
+/// grayScale: packed 0x00RRGGBB -> 8-bit luma: (77 r + 150 g + 29 b) >> 8.
+[[nodiscard]] std::uint8_t grayFromPacked(std::uint32_t packed);
+[[nodiscard]] GrayImage grayScaleRef(const RgbImage& image);
+
+/// histogram: 256-bin intensity histogram.
+[[nodiscard]] std::array<std::uint32_t, 256> histogramRef(const GrayImage& image);
+
+/// otsuMethod: exhaustive between-class-variance maximisation (integer
+/// form; ties resolved toward the lower threshold).
+[[nodiscard]] std::uint32_t otsuThresholdRef(const std::array<std::uint32_t, 256>& hist,
+                                             std::uint64_t totalPixels);
+
+/// binarization: g > threshold ? 255 : 0.
+[[nodiscard]] GrayImage binarizeRef(const GrayImage& image, std::uint32_t threshold);
+
+/// Full software pipeline (Figure 7: original -> filtered).
+[[nodiscard]] GrayImage otsuFilterRef(const RgbImage& image);
+
+/// -- HLS kernels of the four hardware tasks (paper Table I columns) --------
+///
+/// Each kernel is the IR equivalent of the Vivado-HLS-synthesizable C the
+/// paper supplies per node. Image dimensions are compile-time constants
+/// of the kernel (exact trip counts), as in the case study.
+
+/// Port names follow the Arch4 listing of the paper (Listing 4):
+/// grayScale: is imageIn, is imageOutCH, is imageOutSEG.
+[[nodiscard]] hls::Kernel makeGrayScaleKernel(std::int64_t pixelCount);
+
+/// computeHistogram: is grayScaleImage, is histogram.
+[[nodiscard]] hls::Kernel makeHistogramKernel(std::int64_t pixelCount);
+
+/// halfProbability (the otsuMethod core): is histogram, is probability.
+[[nodiscard]] hls::Kernel makeOtsuKernel(std::int64_t pixelCount);
+
+/// segment (the binarization core): is grayScaleImage, is otsuThreshold,
+/// is segmentedGrayImage.
+[[nodiscard]] hls::Kernel makeBinarizationKernel(std::int64_t pixelCount);
+
+/// Per-kernel HLS directives calibrated for the case study (DSP unit
+/// limits matching Table II's DSP column, trip-count hints).
+[[nodiscard]] hls::Directives grayScaleDirectives();
+[[nodiscard]] hls::Directives histogramDirectives();
+[[nodiscard]] hls::Directives otsuDirectives();
+[[nodiscard]] hls::Directives binarizationDirectives();
+
+/// -- Software task cycle models (ARM Cortex-A9 @ PL clock) -----------------
+///
+/// Used by the PS model when a task stays in software and by the DSE cost
+/// function. Derived from per-pixel operation counts.
+[[nodiscard]] std::uint64_t grayScaleSwCycles(std::uint64_t pixels);
+[[nodiscard]] std::uint64_t histogramSwCycles(std::uint64_t pixels);
+[[nodiscard]] std::uint64_t otsuSwCycles(std::uint64_t pixels);
+[[nodiscard]] std::uint64_t binarizationSwCycles(std::uint64_t pixels);
+[[nodiscard]] std::uint64_t imageIoSwCycles(std::uint64_t pixels);
+
+} // namespace socgen::apps

@@ -1,0 +1,284 @@
+#include "socgen/apps/otsu_project.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+#include <memory>
+
+namespace socgen::apps {
+
+namespace {
+
+/// Word-address memory layout of the case study buffers.
+constexpr std::uint64_t kImgBase = 0x1000;
+constexpr std::uint64_t kGrayBase = 0x100000;
+constexpr std::uint64_t kGrayChBase = 0x180000;  ///< dummy drain of imageOutCH
+constexpr std::uint64_t kHistBase = 0x200000;
+constexpr std::uint64_t kThreshBase = 0x200200;
+constexpr std::uint64_t kOutBase = 0x280000;
+
+} // namespace
+
+core::Htg makeOtsuHtg() {
+    core::Htg htg;
+    htg.addTask("readImage");
+    core::HtgPhase phase;
+    phase.name = "otsuPhase";
+    phase.actors.push_back(core::HtgActor{
+        "grayScale",
+        {{"imageIn", 32}},
+        {{"imageOutCH", 8}, {"imageOutSEG", 8}}});
+    phase.actors.push_back(core::HtgActor{
+        "computeHistogram", {{"grayScaleImage", 8}}, {{"histogram", 32}}});
+    phase.actors.push_back(core::HtgActor{
+        "halfProbability", {{"histogram", 32}}, {{"probability", 32}}});
+    phase.actors.push_back(core::HtgActor{
+        "segment",
+        {{"grayScaleImage", 8}, {"otsuThreshold", 32}},
+        {{"segmentedGrayImage", 8}}});
+    phase.edges.push_back(
+        core::HtgDataflowEdge{"grayScale", "imageOutCH", "computeHistogram",
+                              "grayScaleImage"});
+    phase.edges.push_back(
+        core::HtgDataflowEdge{"computeHistogram", "histogram", "halfProbability",
+                              "histogram"});
+    phase.edges.push_back(
+        core::HtgDataflowEdge{"halfProbability", "probability", "segment",
+                              "otsuThreshold"});
+    // grayScale.imageOutSEG and segment.grayScaleImage intentionally have
+    // no intra-phase edge: the gray image round-trips through DDR (see
+    // header comment).
+    htg.addPhase(std::move(phase));
+    htg.addTask("writeImage");
+    htg.addEdge("readImage", "otsuPhase");
+    htg.addEdge("otsuPhase", "writeImage");
+    htg.validate();
+    return htg;
+}
+
+core::HtgPartition otsuArchPartition(int arch) {
+    // Table I: Arch1 = histogram; Arch2 = otsuMethod; Arch3 = histogram +
+    // otsuMethod; Arch4 = all four.
+    switch (arch) {
+    case 1: return otsuMaskPartition(0b0010);
+    case 2: return otsuMaskPartition(0b0100);
+    case 3: return otsuMaskPartition(0b0110);
+    case 4: return otsuMaskPartition(0b1111);
+    default:
+        throw Error(format("otsu case study has architectures 1..4, not %d", arch));
+    }
+}
+
+core::HtgPartition otsuMaskPartition(unsigned mask) {
+    core::HtgPartition partition;
+    for (std::size_t i = 0; i < kOtsuStages.size(); ++i) {
+        partition.mapping[kOtsuStages[i]] = (mask & (1u << i)) != 0
+                                                ? core::Mapping::Hardware
+                                                : core::Mapping::Software;
+    }
+    return partition;
+}
+
+hls::KernelLibrary makeOtsuKernelLibrary(std::int64_t pixelCount) {
+    hls::KernelLibrary lib;
+    lib.add(makeGrayScaleKernel(pixelCount));
+    lib.add(makeHistogramKernel(pixelCount));
+    lib.add(makeOtsuKernel(pixelCount));
+    lib.add(makeBinarizationKernel(pixelCount));
+    return lib;
+}
+
+std::map<std::string, hls::Directives> otsuKernelDirectives() {
+    return {
+        {"grayScale", grayScaleDirectives()},
+        {"computeHistogram", histogramDirectives()},
+        {"halfProbability", otsuDirectives()},
+        {"segment", binarizationDirectives()},
+    };
+}
+
+core::FlowOptions otsuFlowOptions() {
+    core::FlowOptions options;
+    options.kernelDirectives = otsuKernelDirectives();
+    return options;
+}
+
+// ---------------------------------------------------------------------------
+// OtsuSystemRunner
+
+OtsuSystemRunner::OtsuSystemRunner(const core::FlowResult& flow,
+                                   core::HtgPartition partition,
+                                   soc::SystemOptions options)
+    : flow_(flow), partition_(std::move(partition)), options_(options) {}
+
+bool OtsuSystemRunner::isHw(const std::string& stage) const {
+    return partition_.of(stage) == core::Mapping::Hardware;
+}
+
+OtsuSystemRunner::SocLink OtsuSystemRunner::socLinkFor(const std::string& node,
+                                                       const std::string& port,
+                                                       bool nodeIsSource) const {
+    for (const auto& s : flow_.design.streams()) {
+        if (nodeIsSource && !s.from.isSoc() && s.from.instance == node &&
+            s.from.port == port && s.to.isSoc()) {
+            return SocLink{s.dmaInstance, s.dmaRoute};
+        }
+        if (!nodeIsSource && !s.to.isSoc() && s.to.instance == node &&
+            s.to.port == port && s.from.isSoc()) {
+            return SocLink{s.dmaInstance, s.dmaRoute};
+        }
+    }
+    throw SimulationError(format("no 'soc link for %s/%s in design %s", node.c_str(),
+                                 port.c_str(), flow_.design.name().c_str()));
+}
+
+OtsuSystemRunner::Result OtsuSystemRunner::run(const RgbImage& image) {
+    const std::uint64_t npix = image.pixelCount();
+    const bool gHw = isHw("grayScale");
+    const bool hHw = isHw("computeHistogram");
+    const bool oHw = isHw("halfProbability");
+    const bool bHw = isHw("segment");
+
+    const bool sharedDma = flow_.design.dmaPolicy() == soc::DmaPolicy::SharedDma;
+    if (gHw && !hHw && sharedDma && options_.channelCapacity < npix) {
+        throw SimulationError(
+            "partition (grayScale HW, histogram SW) needs two concurrent S2MM "
+            "streams; with the shared DMA the CH stream must be fully buffered — "
+            "raise channelCapacity to >= the pixel count or use DmaPolicy::DmaPerLink");
+    }
+
+    soc::SystemSimulator sim(flow_.design, flow_.programs, options_);
+    soc::ZynqPs& ps = sim.ps();
+
+    // readImage: stage the RGB buffer in DDR.
+    const std::vector<std::uint32_t> packed = image.packedPixels();
+    ps.task("readImage", imageIoSwCycles(npix), [packed](soc::Memory& mem) {
+        mem.writeBlock(kImgBase, packed);
+    });
+
+    // -- grayScale -------------------------------------------------------------
+    if (!gHw) {
+        ps.task("grayScale(sw)", grayScaleSwCycles(npix), [npix](soc::Memory& mem) {
+            for (std::uint64_t i = 0; i < npix; ++i) {
+                mem.writeWord(kGrayBase + i,
+                              grayFromPacked(mem.readWord(kImgBase + i)));
+            }
+        });
+    } else {
+        const SocLink seg = socLinkFor("grayScale", "imageOutSEG", true);
+        sim.psArmReadDma(seg.dma, seg.route, kGrayBase, static_cast<std::uint32_t>(npix));
+        SocLink chDrain;
+        bool chSeparateEngine = false;
+        if (!hHw) {
+            chDrain = socLinkFor("grayScale", "imageOutCH", true);
+            chSeparateEngine = chDrain.dma != seg.dma;
+            if (chSeparateEngine) {
+                sim.psArmReadDma(chDrain.dma, chDrain.route, kGrayChBase,
+                                 static_cast<std::uint32_t>(npix));
+            }
+        }
+        const SocLink in = socLinkFor("grayScale", "imageIn", false);
+        sim.psWriteDma(in.dma, in.route, kImgBase, static_cast<std::uint32_t>(npix));
+        sim.psWaitReadDma(seg.dma);
+        if (!hHw) {
+            if (chSeparateEngine) {
+                sim.psWaitReadDma(chDrain.dma);
+            } else {
+                // Shared engine: the CH stream buffered fully in its FIFO;
+                // drain it now.
+                sim.psArmReadDma(chDrain.dma, chDrain.route, kGrayChBase,
+                                 static_cast<std::uint32_t>(npix));
+                sim.psWaitReadDma(chDrain.dma);
+            }
+        }
+    }
+
+    // -- computeHistogram --------------------------------------------------------
+    if (!hHw) {
+        ps.task("histogram(sw)", histogramSwCycles(npix), [npix](soc::Memory& mem) {
+            std::array<std::uint32_t, 256> hist{};
+            for (std::uint64_t i = 0; i < npix; ++i) {
+                ++hist[mem.readWord(kGrayBase + i) & 0xFF];
+            }
+            for (std::uint64_t i = 0; i < 256; ++i) {
+                mem.writeWord(kHistBase + i, hist[i]);
+            }
+        });
+    } else {
+        SocLink out;
+        if (!oHw) {
+            out = socLinkFor("computeHistogram", "histogram", true);
+            sim.psArmReadDma(out.dma, out.route, kHistBase, 256);
+        }
+        if (!gHw) {
+            const SocLink in = socLinkFor("computeHistogram", "grayScaleImage", false);
+            sim.psWriteDma(in.dma, in.route, kGrayBase, static_cast<std::uint32_t>(npix));
+        }
+        if (!oHw) {
+            sim.psWaitReadDma(out.dma);
+        }
+    }
+
+    // -- halfProbability (otsuMethod) --------------------------------------------
+    if (!oHw) {
+        ps.task("otsuMethod(sw)", otsuSwCycles(npix), [npix](soc::Memory& mem) {
+            std::array<std::uint32_t, 256> hist{};
+            for (std::uint64_t i = 0; i < 256; ++i) {
+                hist[i] = mem.readWord(kHistBase + i);
+            }
+            mem.writeWord(kThreshBase, otsuThresholdRef(hist, npix));
+        });
+    } else {
+        SocLink out;
+        if (!bHw) {
+            out = socLinkFor("halfProbability", "probability", true);
+            sim.psArmReadDma(out.dma, out.route, kThreshBase, 1);
+        }
+        if (!hHw) {
+            const SocLink in = socLinkFor("halfProbability", "histogram", false);
+            sim.psWriteDma(in.dma, in.route, kHistBase, 256);
+        }
+        if (!bHw) {
+            sim.psWaitReadDma(out.dma);
+        }
+    }
+
+    // -- segment (binarization) ----------------------------------------------------
+    if (!bHw) {
+        ps.task("binarization(sw)", binarizationSwCycles(npix), [npix](soc::Memory& mem) {
+            const std::uint32_t threshold = mem.readWord(kThreshBase);
+            for (std::uint64_t i = 0; i < npix; ++i) {
+                const std::uint32_t g = mem.readWord(kGrayBase + i) & 0xFF;
+                mem.writeWord(kOutBase + i, g > threshold ? 255 : 0);
+            }
+        });
+    } else {
+        const SocLink out = socLinkFor("segment", "segmentedGrayImage", true);
+        sim.psArmReadDma(out.dma, out.route, kOutBase, static_cast<std::uint32_t>(npix));
+        if (!oHw) {
+            // The threshold must arrive before the pixel stream: the
+            // segment kernel reads it first.
+            const SocLink thr = socLinkFor("segment", "otsuThreshold", false);
+            sim.psWriteDma(thr.dma, thr.route, kThreshBase, 1);
+        }
+        const SocLink gray = socLinkFor("segment", "grayScaleImage", false);
+        sim.psWriteDma(gray.dma, gray.route, kGrayBase, static_cast<std::uint32_t>(npix));
+        sim.psWaitReadDma(out.dma);
+    }
+
+    // writeImage: capture the output buffer.
+    auto output = std::make_shared<GrayImage>(image.width(), image.height());
+    ps.task("writeImage", imageIoSwCycles(npix), [output, npix](soc::Memory& mem) {
+        for (std::uint64_t i = 0; i < npix; ++i) {
+            output->pixels()[i] = static_cast<std::uint8_t>(mem.readWord(kOutBase + i));
+        }
+    });
+
+    Result result;
+    result.cycles = sim.run();
+    result.report = sim.report();
+    result.output = *output;
+    return result;
+}
+
+} // namespace socgen::apps

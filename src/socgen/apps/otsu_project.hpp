@@ -1,0 +1,85 @@
+#pragma once
+
+#include "socgen/apps/image.hpp"
+#include "socgen/apps/otsu.hpp"
+#include "socgen/core/flow.hpp"
+#include "socgen/core/htg.hpp"
+#include "socgen/soc/system_sim.hpp"
+
+#include <array>
+#include <string>
+
+namespace socgen::apps {
+
+/// Names of the four hardware-capable pipeline stages, in dataflow order
+/// (the row labels of the paper's Table I map onto the Arch4 node names:
+/// grayScale, histogram -> computeHistogram, otsuMethod ->
+/// halfProbability, binarization -> segment).
+inline constexpr std::array<const char*, 4> kOtsuStages = {
+    "grayScale", "computeHistogram", "halfProbability", "segment"};
+
+/// Builds the case study's two-level HTG (Figure 8): readImage ->
+/// [grayScale -> computeHistogram -> halfProbability -> segment] ->
+/// writeImage, where the middle four tasks form a dataflow phase.
+///
+/// Note on the gray image path: the Arch4 listing in the paper links
+/// grayScale's imageOutSEG directly to segment's grayScaleImage. A
+/// bounded-FIFO pipeline deadlocks on that link because segment cannot
+/// consume pixels until the threshold (which needs the whole image) is
+/// ready; our HTG therefore stores the gray image to DDR through 'soc
+/// and re-streams it for segmentation — same tasks, same interfaces, but
+/// executable with realistic FIFO depths. DESIGN.md documents this; a
+/// test demonstrates the deadlock on the literal paper topology.
+[[nodiscard]] core::Htg makeOtsuHtg();
+
+/// Table I's four partitions (arch = 1..4).
+[[nodiscard]] core::HtgPartition otsuArchPartition(int arch);
+
+/// A partition from a 4-bit mask over kOtsuStages (bit i = stage i in
+/// hardware) — used by the DSE explorer.
+[[nodiscard]] core::HtgPartition otsuMaskPartition(unsigned mask);
+
+/// Kernel library for all four stages at a given image size.
+[[nodiscard]] hls::KernelLibrary makeOtsuKernelLibrary(std::int64_t pixelCount);
+
+/// Per-kernel directive map for FlowOptions::kernelDirectives.
+[[nodiscard]] std::map<std::string, hls::Directives> otsuKernelDirectives();
+
+/// Convenience: flow options preconfigured for the case study.
+[[nodiscard]] core::FlowOptions otsuFlowOptions();
+
+/// Runs the generated architecture end to end on the simulated board:
+/// loads the RGB image into DDR, enqueues the PS program implied by the
+/// partition (software tasks with modelled cost, DMA transfers for
+/// hardware stages), simulates until idle, and returns the output image.
+class OtsuSystemRunner {
+public:
+    struct Result {
+        GrayImage output;
+        std::uint64_t cycles = 0;
+        std::string report;
+    };
+
+    /// `flow` must outlive the runner; the partition is copied.
+    OtsuSystemRunner(const core::FlowResult& flow, core::HtgPartition partition,
+                     soc::SystemOptions options = {});
+
+    [[nodiscard]] Result run(const RgbImage& image);
+
+private:
+    struct SocLink {
+        std::string dma;
+        int route = -1;
+    };
+
+    /// Finds the DMA channel serving a 'soc link touching (node, port).
+    [[nodiscard]] SocLink socLinkFor(const std::string& node, const std::string& port,
+                                     bool nodeIsSource) const;
+    [[nodiscard]] bool isHw(const std::string& stage) const;
+
+    const core::FlowResult& flow_;
+    core::HtgPartition partition_;
+    soc::SystemOptions options_;
+};
+
+} // namespace socgen::apps

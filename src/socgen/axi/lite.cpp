@@ -1,0 +1,54 @@
+#include "socgen/axi/lite.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+namespace socgen::axi {
+
+void LiteBus::mapSlave(const std::string& name, AddressRange range, LiteSlave& slave) {
+    if (range.size == 0) {
+        throw Error("axi-lite: empty address range for " + name);
+    }
+    for (const auto& m : mappings_) {
+        if (m.range.overlaps(range)) {
+            throw Error(format("axi-lite: address range of %s overlaps %s", name.c_str(),
+                               m.name.c_str()));
+        }
+    }
+    mappings_.push_back(Mapping{name, range, &slave});
+}
+
+LiteBus::Mapping& LiteBus::resolve(std::uint64_t address) {
+    for (auto& m : mappings_) {
+        if (m.range.contains(address)) {
+            return m;
+        }
+    }
+    throw Error(format("axi-lite: access to unmapped address 0x%llx",
+                       static_cast<unsigned long long>(address)));
+}
+
+std::uint32_t LiteBus::read(std::uint64_t address) {
+    Mapping& m = resolve(address);
+    busCycles_ += kAccessLatency;
+    ++transactions_;
+    return m.slave->readRegister(address - m.range.base);
+}
+
+void LiteBus::write(std::uint64_t address, std::uint32_t value) {
+    Mapping& m = resolve(address);
+    busCycles_ += kAccessLatency;
+    ++transactions_;
+    m.slave->writeRegister(address - m.range.base, value);
+}
+
+std::string LiteBus::slaveAt(std::uint64_t address) const {
+    for (const auto& m : mappings_) {
+        if (m.range.contains(address)) {
+            return m.name;
+        }
+    }
+    return "<unmapped>";
+}
+
+} // namespace socgen::axi

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace socgen::axi {
+
+/// Address range on the AXI-Lite bus.
+struct AddressRange {
+    std::uint64_t base = 0;
+    std::uint64_t size = 0;
+
+    [[nodiscard]] bool contains(std::uint64_t addr) const {
+        return addr >= base && addr < base + size;
+    }
+    [[nodiscard]] bool overlaps(const AddressRange& other) const {
+        return base < other.base + other.size && other.base < base + size;
+    }
+};
+
+/// A memory-mapped slave: register file semantics with per-access
+/// callbacks (used by accelerator control registers).
+class LiteSlave {
+public:
+    virtual ~LiteSlave() = default;
+    [[nodiscard]] virtual std::uint32_t readRegister(std::uint64_t offset) = 0;
+    virtual void writeRegister(std::uint64_t offset, std::uint32_t value) = 0;
+};
+
+/// Transaction-level AXI-Lite bus: single outstanding transaction,
+/// fixed per-access latency (address + data phases). The GPP uses it to
+/// program accelerators and the DMA engine (paper Section II-B: "well
+/// suited for small chunks of data ... like sending commands or
+/// parameter values to an accelerator").
+class LiteBus {
+public:
+    /// Cycles charged per single-beat read/write (ARVALID..RVALID path
+    /// through one interconnect level).
+    static constexpr std::uint64_t kAccessLatency = 6;
+
+    /// Maps a slave at [base, base+size); throws on overlap.
+    void mapSlave(const std::string& name, AddressRange range, LiteSlave& slave);
+
+    [[nodiscard]] std::uint32_t read(std::uint64_t address);
+    void write(std::uint64_t address, std::uint32_t value);
+
+    /// Total bus cycles consumed by transactions so far.
+    [[nodiscard]] std::uint64_t busCycles() const { return busCycles_; }
+    [[nodiscard]] std::uint64_t transactionCount() const { return transactions_; }
+
+    /// Name of the slave mapped at `address` (diagnostics).
+    [[nodiscard]] std::string slaveAt(std::uint64_t address) const;
+
+private:
+    struct Mapping {
+        std::string name;
+        AddressRange range;
+        LiteSlave* slave;
+    };
+
+    [[nodiscard]] Mapping& resolve(std::uint64_t address);
+
+    std::vector<Mapping> mappings_;
+    std::uint64_t busCycles_ = 0;
+    std::uint64_t transactions_ = 0;
+};
+
+} // namespace socgen::axi

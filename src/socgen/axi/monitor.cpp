@@ -1,0 +1,37 @@
+#include "socgen/axi/monitor.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+namespace socgen::axi {
+
+void StreamMonitor::sample() {
+    ++samples_;
+    occupancySum_ += channel_->size();
+}
+
+void StreamMonitor::check() const {
+    const auto& c = *channel_;
+    if (c.beatsPopped() + c.size() != c.beatsPushed()) {
+        throw SimulationError(format(
+            "stream %s lost beats: pushed=%llu popped=%llu in-flight=%zu",
+            c.name().c_str(), static_cast<unsigned long long>(c.beatsPushed()),
+            static_cast<unsigned long long>(c.beatsPopped()), c.size()));
+    }
+    if (c.size() > c.capacity()) {
+        throw SimulationError(format("stream %s exceeded capacity: %zu > %zu",
+                                     c.name().c_str(), c.size(), c.capacity()));
+    }
+    if (c.highWater() > c.capacity()) {
+        throw SimulationError(format("stream %s high-water above capacity",
+                                     c.name().c_str()));
+    }
+}
+
+double StreamMonitor::averageOccupancy() const {
+    return samples_ == 0 ? 0.0
+                         : static_cast<double>(occupancySum_) /
+                               static_cast<double>(samples_);
+}
+
+} // namespace socgen::axi

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "socgen/axi/stream.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace socgen::axi {
+
+/// Protocol monitor for a StreamChannel: records per-cycle occupancy and
+/// checks conservation invariants (pushed == popped + in-flight, no beat
+/// loss/duplication). Tests attach one to every channel of a simulated
+/// system; SystemSimulator samples it each cycle.
+class StreamMonitor {
+public:
+    explicit StreamMonitor(const StreamChannel& channel) : channel_(&channel) {}
+
+    /// Samples the channel (call once per simulated cycle).
+    void sample();
+
+    /// Throws SimulationError if an invariant is violated.
+    void check() const;
+
+    [[nodiscard]] double averageOccupancy() const;
+    [[nodiscard]] std::uint64_t samples() const { return samples_; }
+    [[nodiscard]] const StreamChannel& channel() const { return *channel_; }
+
+private:
+    const StreamChannel* channel_;
+    std::uint64_t samples_ = 0;
+    std::uint64_t occupancySum_ = 0;
+};
+
+} // namespace socgen::axi

@@ -1,0 +1,54 @@
+#include "socgen/axi/stream.hpp"
+
+#include "socgen/common/error.hpp"
+
+#include <algorithm>
+
+namespace socgen::axi {
+
+StreamChannel::StreamChannel(std::string name, std::size_t capacity, unsigned width)
+    : name_(std::move(name)), capacity_(capacity), width_(width) {
+    if (capacity_ == 0) {
+        throw Error("stream channel capacity must be positive: " + name_);
+    }
+}
+
+bool StreamChannel::tryPush(StreamBeat beat) {
+    if (full()) {
+        ++pushStalls_;
+        return false;
+    }
+    if (width_ < 64) {
+        beat.data &= (1ULL << width_) - 1ULL;
+    }
+    fifo_.push_back(beat);
+    ++pushed_;
+    highWater_ = std::max(highWater_, fifo_.size());
+    return true;
+}
+
+bool StreamChannel::tryPop(StreamBeat& beat) {
+    if (fifo_.empty()) {
+        ++popStalls_;
+        return false;
+    }
+    beat = fifo_.front();
+    fifo_.pop_front();
+    ++popped_;
+    return true;
+}
+
+const StreamBeat& StreamChannel::front() const {
+    if (fifo_.empty()) {
+        throw Error("front() on empty stream channel " + name_);
+    }
+    return fifo_.front();
+}
+
+void StreamChannel::reset() {
+    fifo_.clear();
+    pushed_ = popped_ = pushStalls_ = popStalls_ = 0;
+    highWater_ = 0;
+}
+
+} // namespace socgen::axi

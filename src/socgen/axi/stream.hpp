@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+namespace socgen::axi {
+
+/// One AXI-Stream beat: TDATA plus TLAST framing.
+struct StreamBeat {
+    std::uint64_t data = 0;
+    bool last = false;
+};
+
+/// Transaction-level model of an AXI4-Stream channel with a bounded FIFO
+/// standing in for the skid/FIFO stages of a real interconnect. Producers
+/// call tryPush (TVALID && TREADY), consumers tryPop. Capacity models the
+/// ready/valid back-pressure that lets stream-connected cores overlap
+/// computation and communication (paper Section II-B).
+class StreamChannel {
+public:
+    explicit StreamChannel(std::string name, std::size_t capacity = 16,
+                           unsigned width = 32);
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] unsigned width() const { return width_; }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] std::size_t size() const { return fifo_.size(); }
+    [[nodiscard]] bool empty() const { return fifo_.empty(); }
+    [[nodiscard]] bool full() const { return fifo_.size() >= capacity_; }
+
+    /// TVALID asserted by producer: accepted only when not full.
+    bool tryPush(StreamBeat beat);
+    bool tryPush(std::uint64_t data, bool last = false) {
+        return tryPush(StreamBeat{data, last});
+    }
+
+    /// TREADY asserted by consumer: succeeds only when data is waiting.
+    bool tryPop(StreamBeat& beat);
+
+    /// Front beat without consuming (TDATA visible while TVALID high).
+    [[nodiscard]] const StreamBeat& front() const;
+
+    // -- statistics ----------------------------------------------------------
+    [[nodiscard]] std::uint64_t beatsPushed() const { return pushed_; }
+    [[nodiscard]] std::uint64_t beatsPopped() const { return popped_; }
+    [[nodiscard]] std::uint64_t pushStalls() const { return pushStalls_; }
+    [[nodiscard]] std::uint64_t popStalls() const { return popStalls_; }
+    [[nodiscard]] std::size_t highWater() const { return highWater_; }
+
+    void reset();
+
+private:
+    std::string name_;
+    std::size_t capacity_;
+    unsigned width_;
+    std::deque<StreamBeat> fifo_;
+    std::uint64_t pushed_ = 0;
+    std::uint64_t popped_ = 0;
+    std::uint64_t pushStalls_ = 0;
+    std::uint64_t popStalls_ = 0;
+    std::size_t highWater_ = 0;
+};
+
+} // namespace socgen::axi

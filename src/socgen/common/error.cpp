@@ -1,0 +1,11 @@
+#include "socgen/common/error.hpp"
+
+namespace socgen {
+
+void require(bool condition, std::string_view what) {
+    if (!condition) {
+        throw Error("internal invariant violated: " + std::string(what));
+    }
+}
+
+} // namespace socgen

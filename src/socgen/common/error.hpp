@@ -1,0 +1,47 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace socgen {
+
+/// Base class for all tool-flow failures (bad DSL input, HLS errors,
+/// over-capacity synthesis, malformed files, ...). Carries a plain
+/// human-readable message; sub-phases prefix their own context.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Raised by the DSL front ends (embedded builder and textual parser) on
+/// malformed task-graph descriptions.
+class DslError : public Error {
+public:
+    explicit DslError(const std::string& message) : Error("dsl: " + message) {}
+};
+
+/// Raised by the HLS engine (unschedulable kernel, unknown port, ...).
+class HlsError : public Error {
+public:
+    explicit HlsError(const std::string& message) : Error("hls: " + message) {}
+};
+
+/// Raised by system integration / synthesis (unroutable link, device
+/// over capacity, ...).
+class SynthesisError : public Error {
+public:
+    explicit SynthesisError(const std::string& message) : Error("synth: " + message) {}
+};
+
+/// Raised by the cycle simulator (deadlock, protocol violation, ...).
+class SimulationError : public Error {
+public:
+    explicit SimulationError(const std::string& message) : Error("sim: " + message) {}
+};
+
+/// Internal invariant check that throws instead of aborting so tests can
+/// assert on failures. Use for conditions that indicate a socgen bug.
+void require(bool condition, std::string_view what);
+
+} // namespace socgen

@@ -1,0 +1,68 @@
+#include "socgen/common/log.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace socgen {
+
+namespace {
+
+const char* levelName(LogLevel level) {
+    switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Silent: return "silent";
+    }
+    return "?";
+}
+
+} // namespace
+
+Logger& Logger::global() {
+    static Logger instance;
+    return instance;
+}
+
+Logger::Sink Logger::exchangeSink(Sink sink) {
+    std::swap(sink_, sink);
+    return sink;
+}
+
+void Logger::log(LogLevel level, std::string_view message) const {
+    if (static_cast<int>(level) < static_cast<int>(level_)) {
+        return;
+    }
+    if (sink_) {
+        sink_(level, message);
+        return;
+    }
+    std::fprintf(stderr, "[socgen %s] %.*s\n", levelName(level),
+                 static_cast<int>(message.size()), message.data());
+}
+
+LogCapture::LogCapture(LogLevel level) {
+    auto& logger = Logger::global();
+    previousLevel_ = logger.level();
+    logger.setLevel(level);
+    previous_ = logger.exchangeSink(
+        [this](LogLevel, std::string_view message) { lines_.emplace_back(message); });
+}
+
+LogCapture::~LogCapture() {
+    auto& logger = Logger::global();
+    logger.exchangeSink(std::move(previous_));
+    logger.setLevel(previousLevel_);
+}
+
+bool LogCapture::contains(std::string_view needle) const {
+    for (const auto& line : lines_) {
+        if (line.find(needle) != std::string::npos) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace socgen

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace socgen {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+/// Minimal logging facade. The flow narrates its steps (mirroring the
+/// paper's tool, which prints the Vivado/Vivado-HLS steps it coordinates);
+/// tests install a capturing sink to assert on the step sequence.
+class Logger {
+public:
+    using Sink = std::function<void(LogLevel, std::string_view)>;
+
+    /// Process-wide logger used by the tool flow.
+    static Logger& global();
+
+    void setLevel(LogLevel level) { level_ = level; }
+    [[nodiscard]] LogLevel level() const { return level_; }
+
+    /// Replaces the output sink (default: stderr). Returns the old sink so
+    /// tests can restore it.
+    Sink exchangeSink(Sink sink);
+
+    void log(LogLevel level, std::string_view message) const;
+
+    void debug(std::string_view m) const { log(LogLevel::Debug, m); }
+    void info(std::string_view m) const { log(LogLevel::Info, m); }
+    void warn(std::string_view m) const { log(LogLevel::Warn, m); }
+    void error(std::string_view m) const { log(LogLevel::Error, m); }
+
+private:
+    LogLevel level_ = LogLevel::Warn;
+    Sink sink_;
+};
+
+/// RAII helper: capture all log lines at >= level into a vector for the
+/// lifetime of the object, restoring the previous sink on destruction.
+class LogCapture {
+public:
+    explicit LogCapture(LogLevel level = LogLevel::Debug);
+    ~LogCapture();
+
+    LogCapture(const LogCapture&) = delete;
+    LogCapture& operator=(const LogCapture&) = delete;
+
+    [[nodiscard]] const std::vector<std::string>& lines() const { return lines_; }
+    [[nodiscard]] bool contains(std::string_view needle) const;
+
+private:
+    std::vector<std::string> lines_;
+    Logger::Sink previous_;
+    LogLevel previousLevel_;
+};
+
+} // namespace socgen

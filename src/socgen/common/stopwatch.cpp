@@ -1,0 +1,41 @@
+#include "socgen/common/stopwatch.hpp"
+
+#include "socgen/common/strings.hpp"
+
+namespace socgen {
+
+void PhaseTimeline::add(std::string name, double hostMs, double toolSeconds) {
+    phases_.push_back(PhaseTiming{std::move(name), hostMs, toolSeconds});
+}
+
+double PhaseTimeline::totalHostMs() const {
+    double total = 0.0;
+    for (const auto& p : phases_) {
+        total += p.hostMs;
+    }
+    return total;
+}
+
+double PhaseTimeline::totalToolSeconds() const {
+    double total = 0.0;
+    for (const auto& p : phases_) {
+        total += p.toolSeconds;
+    }
+    return total;
+}
+
+double PhaseTimeline::toolSecondsFor(const std::string& prefix) const {
+    double total = 0.0;
+    for (const auto& p : phases_) {
+        if (startsWith(p.name, prefix)) {
+            total += p.toolSeconds;
+        }
+    }
+    return total;
+}
+
+void PhaseTimeline::append(const PhaseTimeline& other) {
+    phases_.insert(phases_.end(), other.phases().begin(), other.phases().end());
+}
+
+} // namespace socgen

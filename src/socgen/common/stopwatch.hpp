@@ -1,0 +1,56 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace socgen {
+
+/// Wall-clock stopwatch for host-side measurements.
+class Stopwatch {
+public:
+    Stopwatch() : start_(clock::now()) {}
+
+    void reset() { start_ = clock::now(); }
+
+    [[nodiscard]] double elapsedMs() const {
+        return std::chrono::duration<double, std::milli>(clock::now() - start_).count();
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/// One timed phase of the flow (Figure 9 of the paper reports a per-phase
+/// breakdown: Scala compilation, per-core HLS, architecture generation).
+/// We record both real host milliseconds and deterministic simulated
+/// tool-seconds charged by the substituted tool models, so the Fig. 9
+/// series is reproducible run to run.
+struct PhaseTiming {
+    std::string name;          ///< e.g. "SCALA", "HLS histogram", "ARCH Arch1"
+    double hostMs = 0.0;       ///< measured wall time of our implementation
+    double toolSeconds = 0.0;  ///< deterministic simulated vendor-tool time
+};
+
+/// Accumulates phase timings during a flow run.
+class PhaseTimeline {
+public:
+    void add(std::string name, double hostMs, double toolSeconds);
+
+    [[nodiscard]] const std::vector<PhaseTiming>& phases() const { return phases_; }
+    [[nodiscard]] double totalHostMs() const;
+    [[nodiscard]] double totalToolSeconds() const;
+
+    /// Sums toolSeconds over phases whose name starts with `prefix`.
+    [[nodiscard]] double toolSecondsFor(const std::string& prefix) const;
+
+    void append(const PhaseTimeline& other);
+    void clear() { phases_.clear(); }
+
+private:
+    std::vector<PhaseTiming> phases_;
+};
+
+} // namespace socgen

@@ -1,0 +1,53 @@
+#include "socgen/common/textfile.hpp"
+
+#include "socgen/common/error.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace socgen {
+
+std::string readTextFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw Error("cannot open file for reading: " + path);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+namespace {
+
+void writeFileImpl(const std::string& path, std::string_view content, std::ios::openmode mode) {
+    const std::filesystem::path fsPath(path);
+    if (fsPath.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(fsPath.parent_path(), ec);
+        if (ec) {
+            throw Error("cannot create directory " + fsPath.parent_path().string() + ": " +
+                        ec.message());
+        }
+    }
+    std::ofstream out(path, mode);
+    if (!out) {
+        throw Error("cannot open file for writing: " + path);
+    }
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    if (!out) {
+        throw Error("write failed: " + path);
+    }
+}
+
+} // namespace
+
+void writeTextFile(const std::string& path, std::string_view content) {
+    writeFileImpl(path, content, std::ios::out | std::ios::trunc);
+}
+
+void writeBinaryFile(const std::string& path, std::string_view content) {
+    writeFileImpl(path, content, std::ios::out | std::ios::trunc | std::ios::binary);
+}
+
+} // namespace socgen

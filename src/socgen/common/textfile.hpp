@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace socgen {
+
+/// Reads a whole text file; throws socgen::Error on failure.
+std::string readTextFile(const std::string& path);
+
+/// Writes a whole text file (creating parent directories); throws on failure.
+void writeTextFile(const std::string& path, std::string_view content);
+
+/// Writes binary content; throws on failure.
+void writeBinaryFile(const std::string& path, std::string_view content);
+
+} // namespace socgen

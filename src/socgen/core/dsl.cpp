@@ -1,0 +1,162 @@
+#include "socgen/core/dsl.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/log.hpp"
+#include "socgen/common/strings.hpp"
+
+namespace socgen::core {
+
+SocProject::SocProject(std::string name, const hls::KernelLibrary& kernels,
+                       FlowOptions options, std::shared_ptr<HlsCache> cache)
+    : name_(std::move(name)), options_(options),
+      cache_(cache != nullptr ? std::move(cache) : std::make_shared<HlsCache>()),
+      flow_(std::move(options), kernels, cache_) {}
+
+void SocProject::requireSection(Section expected, const char* keyword) const {
+    if (section_ != expected) {
+        throw DslError(format("project %s: keyword '%s' used out of order", name_.c_str(),
+                              keyword));
+    }
+}
+
+SocProject& SocProject::tg_nodes() {
+    requireSection(Section::Start, "tg nodes");
+    section_ = Section::Nodes;
+    Logger::global().info("dsl step 1: nodes — creating new project " + name_);
+    return *this;
+}
+
+SocProject::NodeScope SocProject::tg_node(std::string name) {
+    requireSection(Section::Nodes, "tg node");
+    Logger::global().info(format(
+        "dsl step 2: node %s — new Node instance, creating Vivado HLS project",
+        name.c_str()));
+    return NodeScope(*this, std::move(name));
+}
+
+SocProject& SocProject::tg_end_nodes() {
+    requireSection(Section::Nodes, "tg end_nodes");
+    if (graph_.nodes().empty()) {
+        throw DslError("tg end_nodes: the nodes list is empty");
+    }
+    section_ = Section::BetweenSections;
+    return *this;
+}
+
+SocProject& SocProject::tg_edges() {
+    requireSection(Section::BetweenSections, "tg edges");
+    section_ = Section::Edges;
+    return *this;
+}
+
+SocProject& SocProject::tg_connect(const std::string& nodeName) {
+    requireSection(Section::Edges, "tg connect");
+    Logger::global().info(format(
+        "dsl step 5: connect %s — AXI-Lite attachment to the system bus",
+        nodeName.c_str()));
+    graph_.addConnect(TgConnect{nodeName});
+    return *this;
+}
+
+SocProject::LinkScope SocProject::tg_link(TgEndpoint from) {
+    requireSection(Section::Edges, "tg link");
+    Logger::global().info("dsl step 6: link — new Link instance from " + from.str());
+    return LinkScope(*this, std::move(from));
+}
+
+SocProject& SocProject::tg_end_edges() {
+    requireSection(Section::Edges, "tg end_edges");
+    Logger::global().info(
+        "dsl step 8: end_edges — executing integration tcl, synthesis up to bitstream, "
+        "then API generation");
+    section_ = Section::Done;
+    result_ = flow_.run(name_, graph_);
+    return *this;
+}
+
+const FlowResult& SocProject::result() const {
+    if (!result_) {
+        throw DslError(format("project %s: result() before tg_end_edges", name_.c_str()));
+    }
+    return *result_;
+}
+
+void SocProject::finishNode(TgNode node) {
+    Logger::global().info(format("dsl step 4: end — invoking HLS synthesis of %s",
+                                 node.name.c_str()));
+    // Executable-keyword semantics: run HLS now; the result lands in the
+    // shared cache so tg_end_edges' flow run reuses it.
+    (void)flow_.synthesizeNode(node);
+    ++hlsRuns_;
+    graph_.addNode(std::move(node));
+}
+
+void SocProject::finishLink(TgLink link) {
+    graph_.addLink(std::move(link));
+}
+
+// ---------------------------------------------------------------------------
+// NodeScope
+
+SocProject::NodeScope::NodeScope(SocProject& project, std::string name)
+    : project_(project) {
+    node_.name = std::move(name);
+}
+
+SocProject::NodeScope& SocProject::NodeScope::i(std::string portName) {
+    Logger::global().info(format(
+        "dsl step 3: interface i %s — AXI-Lite directive added for %s", portName.c_str(),
+        node_.name.c_str()));
+    node_.ports.push_back(TgPort{std::move(portName), hls::InterfaceProtocol::AxiLite});
+    return *this;
+}
+
+SocProject::NodeScope& SocProject::NodeScope::is(std::string portName) {
+    Logger::global().info(format(
+        "dsl step 3: interface is %s — AXI-Stream directive added for %s",
+        portName.c_str(), node_.name.c_str()));
+    node_.ports.push_back(TgPort{std::move(portName), hls::InterfaceProtocol::AxiStream});
+    return *this;
+}
+
+SocProject& SocProject::NodeScope::end() {
+    if (ended_) {
+        throw DslError("tg node ... end: end called twice");
+    }
+    if (node_.ports.empty()) {
+        throw DslError(format("tg node %s: at least one interface (i/is) is required",
+                              node_.name.c_str()));
+    }
+    ended_ = true;
+    project_.finishNode(std::move(node_));
+    return project_;
+}
+
+// ---------------------------------------------------------------------------
+// LinkScope
+
+SocProject::LinkScope::LinkScope(SocProject& project, TgEndpoint from) : project_(project) {
+    link_.from = std::move(from);
+}
+
+SocProject::LinkScope& SocProject::LinkScope::to(TgEndpoint destination) {
+    Logger::global().info(format(
+        "dsl step 7: to %s — tcl for the AXI-Stream connection (or DMA core)",
+        destination.str().c_str()));
+    if (hasTo_) {
+        throw DslError("tg link: to() called twice");
+    }
+    link_.to = std::move(destination);
+    hasTo_ = true;
+    return *this;
+}
+
+SocProject& SocProject::LinkScope::end() {
+    if (!hasTo_) {
+        throw DslError("tg link ... end: missing to()");
+    }
+    project_.finishLink(std::move(link_));
+    return project_;
+}
+
+} // namespace socgen::core

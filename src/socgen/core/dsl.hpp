@@ -1,0 +1,108 @@
+#pragma once
+
+#include "socgen/core/flow.hpp"
+#include "socgen/core/htg.hpp"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace socgen::core {
+
+/// The embedded DSL: a C++ mirror of the paper's Scala API where *each
+/// keyword is an executable function* (Section IV-B). The call sequence
+/// follows the grammar of Listing 1:
+///
+///   SocProject p("otsu", kernels, options);
+///   p.tg_nodes();
+///     p.tg_node("grayScale").is("imageIn").is("imageOut").end();
+///   p.tg_end_nodes();
+///   p.tg_edges();
+///     p.tg_link(SocProject::soc()).to(SocProject::port("grayScale","imageIn")).end();
+///   p.tg_end_edges();          // integration -> synthesis -> bitstream -> APIs
+///   const FlowResult& r = p.result();
+///
+/// Keyword side effects match the paper's step list: `tg_nodes` opens the
+/// project, `tg_node` opens a per-node HLS project, `i`/`is` add
+/// interface directives, `end` runs HLS for the node, `tg_connect` /
+/// `tg_link ... to` record the integration commands, and `tg_end_edges`
+/// executes the whole backend.
+class SocProject {
+public:
+    class NodeScope;
+    class LinkScope;
+
+    SocProject(std::string name, const hls::KernelLibrary& kernels,
+               FlowOptions options = {}, std::shared_ptr<HlsCache> cache = nullptr);
+
+    // -- keyword functions -----------------------------------------------------
+    SocProject& tg_nodes();
+    [[nodiscard]] NodeScope tg_node(std::string name);
+    SocProject& tg_end_nodes();
+    SocProject& tg_edges();
+    SocProject& tg_connect(const std::string& nodeName);
+    [[nodiscard]] LinkScope tg_link(TgEndpoint from);
+    SocProject& tg_end_edges();
+
+    /// Endpoint helpers mirroring the DSL's 'soc and ("node","port").
+    [[nodiscard]] static TgEndpoint soc() { return TgEndpoint::socEnd(); }
+    [[nodiscard]] static TgEndpoint port(std::string node, std::string portName) {
+        return TgEndpoint::of(std::move(node), std::move(portName));
+    }
+
+    // -- results ---------------------------------------------------------------
+    [[nodiscard]] const TaskGraph& graph() const { return graph_; }
+    [[nodiscard]] const FlowResult& result() const;
+    [[nodiscard]] bool executed() const { return result_.has_value(); }
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+    /// The per-node HLS runs already performed by `end` keywords.
+    [[nodiscard]] std::size_t hlsRunsCompleted() const { return hlsRuns_; }
+
+    /// Builder scope for one `tg node` element.
+    class NodeScope {
+    public:
+        NodeScope& i(std::string portName);    ///< AXI-Lite interface keyword
+        NodeScope& is(std::string portName);   ///< AXI-Stream interface keyword
+        SocProject& end();                     ///< runs HLS for this node
+
+    private:
+        friend class SocProject;
+        NodeScope(SocProject& project, std::string name);
+        SocProject& project_;
+        TgNode node_;
+        bool ended_ = false;
+    };
+
+    /// Builder scope for one `tg link A to B end` element.
+    class LinkScope {
+    public:
+        LinkScope& to(TgEndpoint destination);  ///< step 7: stream connection
+        SocProject& end();
+
+    private:
+        friend class SocProject;
+        LinkScope(SocProject& project, TgEndpoint from);
+        SocProject& project_;
+        TgLink link_;
+        bool hasTo_ = false;
+    };
+
+private:
+    enum class Section { Start, Nodes, BetweenSections, Edges, Done };
+
+    void requireSection(Section expected, const char* keyword) const;
+    void finishNode(TgNode node);
+    void finishLink(TgLink link);
+
+    std::string name_;
+    FlowOptions options_;
+    std::shared_ptr<HlsCache> cache_;
+    Flow flow_;
+    TaskGraph graph_;
+    Section section_ = Section::Start;
+    std::size_t hlsRuns_ = 0;
+    std::optional<FlowResult> result_;
+};
+
+} // namespace socgen::core

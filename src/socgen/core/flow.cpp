@@ -1,0 +1,290 @@
+#include "socgen/core/flow.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/log.hpp"
+#include "socgen/common/strings.hpp"
+#include "socgen/common/textfile.hpp"
+#include "socgen/core/report.hpp"
+#include "socgen/soc/tcl.hpp"
+#include "socgen/sw/devicetree.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace socgen::core {
+
+const hls::HlsResult* HlsCache::find(const std::string& kernelName) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = results_.find(kernelName);
+    return it == results_.end() ? nullptr : &it->second;
+}
+
+void HlsCache::store(const std::string& kernelName, hls::HlsResult result) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    results_.emplace(kernelName, std::move(result));
+}
+
+std::size_t HlsCache::size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return results_.size();
+}
+
+Flow::Flow(FlowOptions options, const hls::KernelLibrary& kernels,
+           std::shared_ptr<HlsCache> cache)
+    : options_(std::move(options)), kernels_(kernels), cache_(std::move(cache)) {}
+
+hls::Directives Flow::directivesFor(const TgNode& node) const {
+    hls::Directives d = options_.defaultDirectives;
+    const auto it = options_.kernelDirectives.find(node.name);
+    if (it != options_.kernelDirectives.end()) {
+        d = it->second;
+    }
+    // The DSL `i`/`is` keywords inject interface directives (paper
+    // Section IV-B step 3).
+    for (const auto& port : node.ports) {
+        d.interfaces[port.name] = port.protocol;
+    }
+    return d;
+}
+
+std::pair<hls::HlsResult, double> Flow::synthesizeNode(const TgNode& node) {
+    if (cache_ != nullptr) {
+        if (const hls::HlsResult* hit = cache_->find(node.name)) {
+            Logger::global().info("hls: cache hit for " + node.name);
+            return {*hit, 0.0};
+        }
+    }
+    if (!kernels_.has(node.name)) {
+        throw DslError(format("no kernel source registered for node \"%s\" (the flow "
+                              "needs a synthesizable description per hardware task)",
+                              node.name.c_str()));
+    }
+    const hls::Kernel& kernel = kernels_.get(node.name);
+    // Interface consistency: every DSL port must exist on the kernel with
+    // a compatible kind.
+    for (const auto& port : node.ports) {
+        if (!kernel.hasPort(port.name)) {
+            throw DslError(format("node \"%s\": kernel has no port '%s'",
+                                  node.name.c_str(), port.name.c_str()));
+        }
+        const auto kind = kernel.port(kernel.portId(port.name)).kind;
+        const bool stream = hls::isStreamPort(kind);
+        const bool wantStream = port.protocol == hls::InterfaceProtocol::AxiStream;
+        if (stream != wantStream) {
+            throw DslError(format("node \"%s\": port '%s' is declared %s in the DSL but "
+                                  "the kernel exposes a %s interface",
+                                  node.name.c_str(), port.name.c_str(),
+                                  wantStream ? "is (AXI-Stream)" : "i (AXI-Lite)",
+                                  std::string(hls::portKindName(kind)).c_str()));
+        }
+    }
+    hls::HlsResult result = engine_.synthesize(kernel, directivesFor(node));
+    const double toolSeconds = result.toolSeconds;
+    if (cache_ != nullptr) {
+        cache_->store(node.name, result);
+    }
+    return {std::move(result), toolSeconds};
+}
+
+void Flow::runAllHls(const TaskGraph& graph, FlowResult& result) {
+    const auto& nodes = graph.nodes();
+    std::vector<std::pair<hls::HlsResult, double>> results(nodes.size());
+    std::vector<std::string> errors(nodes.size());
+
+    const unsigned jobs = std::max(1u, options_.jobs);
+    if (jobs == 1 || nodes.size() <= 1) {
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            Stopwatch watch;
+            results[i] = synthesizeNode(nodes[i]);
+            result.timeline.add("HLS " + nodes[i].name, watch.elapsedMs(),
+                                results[i].second);
+        }
+    } else {
+        // Independent per-node HLS runs on a worker pool; results land in
+        // per-node slots so the merge is deterministic regardless of
+        // scheduling.
+        std::atomic<std::size_t> next{0};
+        std::vector<double> hostMs(nodes.size(), 0.0);
+        const auto worker = [&] {
+            while (true) {
+                const std::size_t i = next.fetch_add(1);
+                if (i >= nodes.size()) {
+                    return;
+                }
+                Stopwatch watch;
+                try {
+                    results[i] = synthesizeNode(nodes[i]);
+                } catch (const std::exception& e) {
+                    errors[i] = e.what();
+                }
+                hostMs[i] = watch.elapsedMs();
+            }
+        };
+        std::vector<std::thread> pool;
+        const unsigned threadCount =
+            std::min<unsigned>(jobs, static_cast<unsigned>(nodes.size()));
+        pool.reserve(threadCount);
+        for (unsigned t = 0; t < threadCount; ++t) {
+            pool.emplace_back(worker);
+        }
+        for (auto& t : pool) {
+            t.join();
+        }
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (!errors[i].empty()) {
+                throw Error(errors[i]);
+            }
+            result.timeline.add("HLS " + nodes[i].name, hostMs[i], results[i].second);
+        }
+    }
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        result.programs.emplace(nodes[i].name, results[i].first.program);
+        result.hlsResults.emplace(nodes[i].name, std::move(results[i].first));
+    }
+}
+
+void Flow::integrate(const std::string& projectName, const TaskGraph& graph,
+                     FlowResult& result) const {
+    soc::BlockDesign design(projectName, options_.device, options_.dmaPolicy);
+    for (const auto& node : graph.nodes()) {
+        const hls::HlsResult& hlsResult = result.hlsResults.at(node.name);
+        std::vector<soc::CorePort> streamPorts;
+        for (const auto& kp : hlsResult.program.ports) {
+            if (hls::isStreamPort(kp.kind)) {
+                streamPorts.push_back(soc::CorePort{
+                    kp.name, hls::InterfaceProtocol::AxiStream,
+                    kp.kind == hls::PortKind::StreamIn, kp.width});
+            }
+        }
+        design.addHlsCore(node.name, hlsResult.resources, std::move(streamPorts),
+                          node.hasAxiLitePort());
+    }
+    for (const auto& link : graph.links()) {
+        // Stream width comes from the hardware end(s); direction checks
+        // happen inside BlockDesign::finalise().
+        unsigned width = 32;
+        const auto widthOf = [&](const TgEndpoint& ep, bool wantInput) -> unsigned {
+            const hls::Program& p = result.programs.at(ep.node);
+            for (const auto& kp : p.ports) {
+                if (kp.name == ep.port) {
+                    const bool isInput = kp.kind == hls::PortKind::StreamIn;
+                    if (isInput != wantInput) {
+                        throw DslError(format(
+                            "link endpoint (\"%s\",\"%s\") has the wrong direction",
+                            ep.node.c_str(), ep.port.c_str()));
+                    }
+                    return kp.width;
+                }
+            }
+            throw DslError(format("link endpoint (\"%s\",\"%s\") not found on kernel",
+                                  ep.node.c_str(), ep.port.c_str()));
+        };
+        if (!link.from.soc) {
+            width = widthOf(link.from, false);
+        }
+        if (!link.to.soc) {
+            width = std::max(width, widthOf(link.to, true));
+        }
+        const auto toEndpoint = [](const TgEndpoint& ep) {
+            return ep.soc ? soc::StreamEndpoint{soc::StreamEndpoint::kSoc, ""}
+                          : soc::StreamEndpoint{ep.node, ep.port};
+        };
+        design.connectStream(toEndpoint(link.from), toEndpoint(link.to), width);
+    }
+    for (const auto& connect : graph.connects()) {
+        design.connectLite(connect.node);
+    }
+    design.finalise();
+    result.tclText = soc::TclEmitter{}.emitProject(design);
+    result.design = std::move(design);
+}
+
+FlowResult Flow::run(const std::string& projectName, const TaskGraph& graph) {
+    Logger::global().info("flow: starting project " + projectName);
+    FlowResult result;
+    result.projectName = projectName;
+    result.graph = graph;
+
+    // Phase 1 — "compile the Scala task graph" (paper: ~6 s).
+    {
+        Stopwatch watch;
+        graph.validate();
+        result.dslText = graph.renderDsl(projectName);
+        result.timeline.add("SCALA", watch.elapsedMs(),
+                            5.4 + 0.15 * static_cast<double>(graph.nodes().size()));
+    }
+
+    // Phase 2 — per-node HLS (cached across architectures).
+    runAllHls(graph, result);
+
+    // Phase 3 — system integration / Vivado project generation (~50 s).
+    {
+        Stopwatch watch;
+        integrate(projectName, graph, result);
+        result.timeline.add(
+            "PROJECT " + projectName, watch.elapsedMs(),
+            31.0 + 2.4 * static_cast<double>(result.design.instances().size()));
+    }
+
+    // Phase 4 — synthesis, implementation, bitstream.
+    if (options_.runSynthesis) {
+        Stopwatch watch;
+        result.synthesis = soc::SynthesisModel{}.run(result.design);
+        result.bitstream = soc::generateBitstream(result.design, result.synthesis);
+        result.timeline.add("SYNTH " + projectName, watch.elapsedMs(),
+                            result.synthesis.totalSeconds());
+    }
+
+    // Phase 5 — software generation (device tree, drivers, boot files).
+    if (options_.generateSoftware) {
+        Stopwatch watch;
+        result.deviceTree = sw::DeviceTreeGenerator{}.generate(result.design);
+        result.driverFiles = sw::DriverGenerator{}.generate(result.design, result.programs);
+        if (options_.runSynthesis) {
+            result.bootImage = sw::makeBootImage(result.design, result.bitstream,
+                                                 result.deviceTree);
+        }
+        result.timeline.add(
+            "SW " + projectName, watch.elapsedMs(),
+            6.0 + 0.8 * static_cast<double>(result.design.lites().size()));
+    }
+
+    if (!options_.outputDir.empty()) {
+        writeArtifacts(result);
+    }
+    Logger::global().info(format("flow: project %s complete (%.1f simulated tool-seconds)",
+                                 projectName.c_str(),
+                                 result.timeline.totalToolSeconds()));
+    return result;
+}
+
+void Flow::writeArtifacts(const FlowResult& result) const {
+    const std::string dir = options_.outputDir + "/" + result.projectName;
+    writeTextFile(dir + "/" + result.projectName + ".tg", result.dslText);
+    writeTextFile(dir + "/" + result.projectName + ".tcl", result.tclText);
+    for (const auto& [name, hlsResult] : result.hlsResults) {
+        writeTextFile(dir + "/hls/" + name + ".vhd", hlsResult.vhdl);
+        writeTextFile(dir + "/hls/" + name + ".v", hlsResult.verilog);
+        writeTextFile(dir + "/hls/" + name + "_directives.tcl", hlsResult.directiveText);
+        writeTextFile(dir + "/hls/" + name + "_report.txt", hlsResult.reportText);
+    }
+    if (options_.runSynthesis) {
+        writeBinaryFile(dir + "/" + result.projectName + ".bit",
+                        result.bitstream.serialize());
+        writeTextFile(dir + "/utilisation.txt", result.synthesis.utilisationReport());
+    }
+    if (options_.generateSoftware) {
+        writeTextFile(dir + "/devicetree.dts", result.deviceTree);
+        for (const auto& file : result.driverFiles) {
+            writeTextFile(dir + "/sw/" + file.path, file.content);
+        }
+        if (options_.runSynthesis) {
+            writeBinaryFile(dir + "/boot.bin", result.bootImage.serialize());
+        }
+    }
+    writeTextFile(dir + "/design.dot", result.design.toDot());
+    writeTextFile(dir + "/REPORT.md", renderFlowReport(result));
+}
+
+} // namespace socgen::core

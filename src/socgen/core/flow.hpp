@@ -1,0 +1,96 @@
+#pragma once
+
+#include "socgen/common/stopwatch.hpp"
+#include "socgen/core/htg.hpp"
+#include "socgen/hls/engine.hpp"
+#include "socgen/soc/bitstream.hpp"
+#include "socgen/soc/block_design.hpp"
+#include "socgen/soc/synthesis.hpp"
+#include "socgen/sw/boot.hpp"
+#include "socgen/sw/drivers.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace socgen::core {
+
+/// Shared HLS result cache: the paper generates each hardware core only
+/// once across the four case-study architectures ("for efficiency, we
+/// first generated Arch4 that has all the functions implemented in
+/// hardware"). Keyed by kernel name; thread-safe.
+class HlsCache {
+public:
+    [[nodiscard]] const hls::HlsResult* find(const std::string& kernelName) const;
+    void store(const std::string& kernelName, hls::HlsResult result);
+    [[nodiscard]] std::size_t size() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, hls::HlsResult> results_;
+};
+
+struct FlowOptions {
+    soc::FpgaDevice device = soc::zedboard();
+    soc::DmaPolicy dmaPolicy = soc::DmaPolicy::SharedDma;
+    unsigned jobs = 1;            ///< parallel per-node HLS runs
+    bool runSynthesis = true;     ///< stop after integration when false
+    bool generateSoftware = true;
+    std::string outputDir;        ///< write artifacts when non-empty
+
+    hls::Directives defaultDirectives;
+    /// Per-kernel directive overrides (trip counts, unit limits, ...).
+    std::map<std::string, hls::Directives> kernelDirectives;
+};
+
+/// Everything one flow run produces — the contents of the generated
+/// project directory.
+struct FlowResult {
+    std::string projectName;
+    TaskGraph graph;
+    std::string dslText;   ///< canonical DSL rendering (the §VI-C numerator)
+    std::map<std::string, hls::HlsResult> hlsResults;
+    std::map<std::string, hls::Program> programs;
+    soc::BlockDesign design{"uninitialised"};
+    std::string tclText;   ///< generated Vivado script (the §VI-C denominator)
+    soc::SynthesisResult synthesis;
+    soc::Bitstream bitstream;
+    std::string deviceTree;
+    std::vector<sw::GeneratedFile> driverFiles;
+    sw::BootImage bootImage;
+    PhaseTimeline timeline;
+};
+
+/// The flow orchestrator behind the DSL: HLS per node, system
+/// integration, synthesis/bitstream, and software generation — the
+/// right-hand side of the paper's Figure 3.
+class Flow {
+public:
+    Flow(FlowOptions options, const hls::KernelLibrary& kernels,
+         std::shared_ptr<HlsCache> cache = nullptr);
+
+    /// Runs the complete flow on a validated task graph.
+    [[nodiscard]] FlowResult run(const std::string& projectName, const TaskGraph& graph);
+
+    /// Runs HLS for a single node (used by the step-by-step DSL execution;
+    /// consults/updates the cache). Returns the result and the tool time
+    /// charged (0 on cache hit).
+    [[nodiscard]] std::pair<hls::HlsResult, double> synthesizeNode(const TgNode& node);
+
+    [[nodiscard]] const FlowOptions& options() const { return options_; }
+
+private:
+    [[nodiscard]] hls::Directives directivesFor(const TgNode& node) const;
+    void runAllHls(const TaskGraph& graph, FlowResult& result);
+    void integrate(const std::string& projectName, const TaskGraph& graph,
+                   FlowResult& result) const;
+    void writeArtifacts(const FlowResult& result) const;
+
+    FlowOptions options_;
+    const hls::KernelLibrary& kernels_;
+    std::shared_ptr<HlsCache> cache_;
+    hls::HlsEngine engine_;
+};
+
+} // namespace socgen::core

@@ -1,0 +1,377 @@
+#include "socgen/core/htg.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace socgen::core {
+
+bool operator==(const TgPort& a, const TgPort& b) {
+    return a.name == b.name && a.protocol == b.protocol;
+}
+bool operator==(const TgNode& a, const TgNode& b) {
+    return a.name == b.name && a.ports == b.ports;
+}
+bool operator==(const TgLink& a, const TgLink& b) {
+    return a.from == b.from && a.to == b.to;
+}
+bool operator==(const TgConnect& a, const TgConnect& b) {
+    return a.node == b.node;
+}
+bool operator==(const TaskGraph& a, const TaskGraph& b) {
+    return a.nodes_ == b.nodes_ && a.links_ == b.links_ && a.connects_ == b.connects_;
+}
+
+bool TgNode::hasPort(std::string_view portName) const {
+    return std::any_of(ports.begin(), ports.end(),
+                       [&](const TgPort& p) { return p.name == portName; });
+}
+
+const TgPort& TgNode::port(std::string_view portName) const {
+    for (const auto& p : ports) {
+        if (p.name == portName) {
+            return p;
+        }
+    }
+    throw DslError(format("node %s has no port '%s'", name.c_str(),
+                          std::string(portName).c_str()));
+}
+
+bool TgNode::hasAxiLitePort() const {
+    return std::any_of(ports.begin(), ports.end(), [](const TgPort& p) {
+        return p.protocol == hls::InterfaceProtocol::AxiLite;
+    });
+}
+
+std::string TgEndpoint::str() const {
+    return soc ? "'soc" : "(\"" + node + "\",\"" + port + "\")";
+}
+
+void TaskGraph::addNode(TgNode node) {
+    if (hasNode(node.name)) {
+        throw DslError("duplicate node: " + node.name);
+    }
+    nodes_.push_back(std::move(node));
+}
+
+void TaskGraph::addLink(TgLink link) {
+    links_.push_back(std::move(link));
+}
+
+void TaskGraph::addConnect(TgConnect connect) {
+    connects_.push_back(std::move(connect));
+}
+
+bool TaskGraph::hasNode(std::string_view name) const {
+    return std::any_of(nodes_.begin(), nodes_.end(),
+                       [&](const TgNode& n) { return n.name == name; });
+}
+
+const TgNode& TaskGraph::node(std::string_view name) const {
+    for (const auto& n : nodes_) {
+        if (n.name == name) {
+            return n;
+        }
+    }
+    throw DslError("no node named '" + std::string(name) + "'");
+}
+
+void TaskGraph::validate() const {
+    std::set<std::string> streamUse;
+    for (const auto& link : links_) {
+        if (link.from.soc && link.to.soc) {
+            throw DslError("link cannot connect 'soc to 'soc");
+        }
+        for (const TgEndpoint* ep : {&link.from, &link.to}) {
+            if (ep->soc) {
+                continue;
+            }
+            const TgNode& n = node(ep->node);  // throws if missing
+            const TgPort& p = n.port(ep->port);
+            if (p.protocol != hls::InterfaceProtocol::AxiStream) {
+                throw DslError(format("link endpoint %s is not an AXI-Stream (is) port",
+                                      ep->str().c_str()));
+            }
+            if (!streamUse.insert(ep->node + "/" + ep->port).second) {
+                throw DslError(format("stream port %s used by more than one link",
+                                      ep->str().c_str()));
+            }
+        }
+    }
+    for (const auto& c : connects_) {
+        const TgNode& n = node(c.node);
+        if (!n.hasAxiLitePort()) {
+            throw DslError(format("tg connect %s: node has no AXI-Lite (i) port",
+                                  c.node.c_str()));
+        }
+    }
+    // Every stream port must appear in exactly one link (dangling stream
+    // interfaces would leave unconnected AXI-Stream pins in the design).
+    for (const auto& n : nodes_) {
+        for (const auto& p : n.ports) {
+            if (p.protocol == hls::InterfaceProtocol::AxiStream &&
+                streamUse.find(n.name + "/" + p.name) == streamUse.end()) {
+                throw DslError(format("stream port (\"%s\",\"%s\") is not linked",
+                                      n.name.c_str(), p.name.c_str()));
+            }
+        }
+    }
+}
+
+std::string TaskGraph::renderDsl(const std::string& projectName) const {
+    std::ostringstream out;
+    out << "object " << projectName << " extends App {\n";
+    out << "  tg nodes;\n";
+    for (const auto& n : nodes_) {
+        out << "    tg node \"" << n.name << "\"";
+        for (const auto& p : n.ports) {
+            out << (p.protocol == hls::InterfaceProtocol::AxiStream ? " is \"" : " i \"")
+                << p.name << "\"";
+        }
+        out << " end;\n";
+    }
+    out << "  tg end_nodes;\n";
+    out << "  tg edges;\n";
+    for (const auto& link : links_) {
+        out << "    tg link " << link.from.str() << " to " << link.to.str() << " end;\n";
+    }
+    for (const auto& c : connects_) {
+        out << "    tg connect \"" << c.node << "\";\n";
+    }
+    out << "  tg end_edges;\n";
+    out << "}\n";
+    return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Htg
+
+const HtgActor& HtgPhase::actor(std::string_view actorName) const {
+    for (const auto& a : actors) {
+        if (a.name == actorName) {
+            return a;
+        }
+    }
+    throw DslError(format("phase %s has no actor '%s'", name.c_str(),
+                          std::string(actorName).c_str()));
+}
+
+bool HtgPhase::hasActor(std::string_view actorName) const {
+    return std::any_of(actors.begin(), actors.end(),
+                       [&](const HtgActor& a) { return a.name == actorName; });
+}
+
+void Htg::addTask(std::string name, bool hardwareCapable, std::vector<TgPort> hardwarePorts) {
+    HtgNode node;
+    node.name = std::move(name);
+    node.kind = HtgNodeKind::Task;
+    node.hardwareCapable = hardwareCapable;
+    node.hardwarePorts = std::move(hardwarePorts);
+    topNodes_.push_back(std::move(node));
+}
+
+int Htg::addPhase(HtgPhase phase) {
+    HtgNode node;
+    node.name = phase.name;
+    node.kind = HtgNodeKind::Phase;
+    node.phaseIndex = static_cast<int>(phases_.size());
+    phases_.push_back(std::move(phase));
+    topNodes_.push_back(std::move(node));
+    return static_cast<int>(phases_.size() - 1);
+}
+
+void Htg::addEdge(std::string from, std::string to) {
+    topEdges_.push_back(HtgEdge{std::move(from), std::move(to)});
+}
+
+const HtgNode& Htg::topNode(std::string_view name) const {
+    for (const auto& n : topNodes_) {
+        if (n.name == name) {
+            return n;
+        }
+    }
+    throw DslError("no top-level HTG node named '" + std::string(name) + "'");
+}
+
+std::vector<std::string> Htg::partitionableUnits() const {
+    std::vector<std::string> units;
+    for (const auto& n : topNodes_) {
+        if (n.kind == HtgNodeKind::Task && n.hardwareCapable) {
+            units.push_back(n.name);
+        }
+    }
+    for (const auto& phase : phases_) {
+        for (const auto& actor : phase.actors) {
+            units.push_back(actor.name);
+        }
+    }
+    return units;
+}
+
+void Htg::validate() const {
+    std::set<std::string> names;
+    for (const auto& n : topNodes_) {
+        if (!names.insert(n.name).second) {
+            throw DslError("duplicate HTG node: " + n.name);
+        }
+    }
+    for (const auto& e : topEdges_) {
+        (void)topNode(e.from);
+        (void)topNode(e.to);
+    }
+    for (const auto& phase : phases_) {
+        std::set<std::string> actorNames;
+        for (const auto& a : phase.actors) {
+            if (!actorNames.insert(a.name).second) {
+                throw DslError(format("phase %s: duplicate actor %s", phase.name.c_str(),
+                                      a.name.c_str()));
+            }
+        }
+        for (const auto& e : phase.edges) {
+            const HtgActor& from = phase.actor(e.fromActor);
+            const HtgActor& to = phase.actor(e.toActor);
+            const auto hasOut = std::any_of(
+                from.outputs.begin(), from.outputs.end(),
+                [&](const HtgActorPort& p) { return p.name == e.fromPort; });
+            const auto hasIn = std::any_of(
+                to.inputs.begin(), to.inputs.end(),
+                [&](const HtgActorPort& p) { return p.name == e.toPort; });
+            if (!hasOut || !hasIn) {
+                throw DslError(format("phase %s: dataflow edge %s.%s -> %s.%s references "
+                                      "unknown ports",
+                                      phase.name.c_str(), e.fromActor.c_str(),
+                                      e.fromPort.c_str(), e.toActor.c_str(),
+                                      e.toPort.c_str()));
+            }
+        }
+    }
+}
+
+std::string Htg::toDot() const {
+    std::ostringstream out;
+    out << "digraph HTG {\n  rankdir=TB;\n  node [shape=ellipse];\n";
+    for (const auto& n : topNodes_) {
+        if (n.kind == HtgNodeKind::Task) {
+            out << "  \"" << n.name << "\";\n";
+        } else {
+            const HtgPhase& phase = phases_[static_cast<std::size_t>(n.phaseIndex)];
+            out << "  subgraph \"cluster_" << n.name << "\" {\n    label=\"" << n.name
+                << " (phase)\";\n";
+            for (const auto& a : phase.actors) {
+                out << "    \"" << a.name << "\" [shape=box];\n";
+            }
+            for (const auto& e : phase.edges) {
+                out << "    \"" << e.fromActor << "\" -> \"" << e.toActor
+                    << "\" [label=\"" << e.fromPort << "\"];\n";
+            }
+            out << "  }\n";
+        }
+    }
+    for (const auto& e : topEdges_) {
+        out << "  \"" << e.from << "\" -> \"" << e.to << "\" [style=bold];\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Partition + lowering
+
+Mapping HtgPartition::of(const std::string& unit) const {
+    const auto it = mapping.find(unit);
+    return it == mapping.end() ? Mapping::Software : it->second;
+}
+
+std::vector<std::string> HtgPartition::hardwareUnits() const {
+    std::vector<std::string> units;
+    for (const auto& [name, m] : mapping) {
+        if (m == Mapping::Hardware) {
+            units.push_back(name);
+        }
+    }
+    return units;
+}
+
+TaskGraph lowerToTaskGraph(const Htg& htg, const HtgPartition& partition) {
+    htg.validate();
+    TaskGraph tg;
+
+    // Hardware-capable simple tasks: AXI-Lite nodes + connect.
+    for (const auto& n : htg.topNodes()) {
+        if (n.kind == HtgNodeKind::Task && n.hardwareCapable &&
+            partition.of(n.name) == Mapping::Hardware) {
+            tg.addNode(TgNode{n.name, n.hardwarePorts});
+            tg.addConnect(TgConnect{n.name});
+        }
+    }
+
+    for (const auto& phase : htg.phases()) {
+        // Which actor input/output ports have an intra-phase edge.
+        std::set<std::string> wiredInputs;   // "actor/port"
+        std::set<std::string> wiredOutputs;
+        for (const auto& e : phase.edges) {
+            wiredOutputs.insert(e.fromActor + "/" + e.fromPort);
+            wiredInputs.insert(e.toActor + "/" + e.toPort);
+        }
+
+        // Hardware actors become stream nodes.
+        for (const auto& a : phase.actors) {
+            if (partition.of(a.name) != Mapping::Hardware) {
+                continue;
+            }
+            TgNode node;
+            node.name = a.name;
+            for (const auto& p : a.inputs) {
+                node.ports.push_back(TgPort{p.name, hls::InterfaceProtocol::AxiStream});
+            }
+            for (const auto& p : a.outputs) {
+                node.ports.push_back(TgPort{p.name, hls::InterfaceProtocol::AxiStream});
+            }
+            tg.addNode(std::move(node));
+        }
+
+        // Intra-phase edges: HW->HW stays direct; boundary crossings go
+        // through 'soc (DMA).
+        for (const auto& e : phase.edges) {
+            const bool fromHw = partition.of(e.fromActor) == Mapping::Hardware;
+            const bool toHw = partition.of(e.toActor) == Mapping::Hardware;
+            if (fromHw && toHw) {
+                tg.addLink(TgLink{TgEndpoint::of(e.fromActor, e.fromPort),
+                                  TgEndpoint::of(e.toActor, e.toPort)});
+            } else if (fromHw) {
+                tg.addLink(
+                    TgLink{TgEndpoint::of(e.fromActor, e.fromPort), TgEndpoint::socEnd()});
+            } else if (toHw) {
+                tg.addLink(
+                    TgLink{TgEndpoint::socEnd(), TgEndpoint::of(e.toActor, e.toPort)});
+            }
+        }
+
+        // Phase-boundary ports of hardware actors (no intra-phase edge):
+        // the initial input / final output of the dataflow graph, fed and
+        // drained by the PS (paper Section II-A).
+        for (const auto& a : phase.actors) {
+            if (partition.of(a.name) != Mapping::Hardware) {
+                continue;
+            }
+            for (const auto& p : a.inputs) {
+                if (wiredInputs.find(a.name + "/" + p.name) == wiredInputs.end()) {
+                    tg.addLink(TgLink{TgEndpoint::socEnd(), TgEndpoint::of(a.name, p.name)});
+                }
+            }
+            for (const auto& p : a.outputs) {
+                if (wiredOutputs.find(a.name + "/" + p.name) == wiredOutputs.end()) {
+                    tg.addLink(TgLink{TgEndpoint::of(a.name, p.name), TgEndpoint::socEnd()});
+                }
+            }
+        }
+    }
+
+    tg.validate();
+    return tg;
+}
+
+} // namespace socgen::core

@@ -1,0 +1,192 @@
+#pragma once
+
+#include "socgen/hls/directives.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace socgen::core {
+
+/// -- The DSL-level task graph G = {N, E} (paper Section III) --------------
+///
+/// Nodes are the hardware cores to generate; edges are either AXI-Lite
+/// attachments (`tg connect`) or AXI-Stream links (`tg link ... to ...`),
+/// where one side of a link may be 'soc (the processing system through
+/// the DMA core).
+
+struct TgPort {
+    std::string name;
+    hls::InterfaceProtocol protocol = hls::InterfaceProtocol::AxiStream;  ///< i / is
+};
+
+struct TgNode {
+    std::string name;
+    std::vector<TgPort> ports;
+
+    [[nodiscard]] bool hasPort(std::string_view port) const;
+    [[nodiscard]] const TgPort& port(std::string_view port) const;
+    [[nodiscard]] bool hasAxiLitePort() const;
+};
+
+struct TgEndpoint {
+    bool soc = false;
+    std::string node;
+    std::string port;
+
+    [[nodiscard]] static TgEndpoint socEnd() { return TgEndpoint{true, {}, {}}; }
+    [[nodiscard]] static TgEndpoint of(std::string node, std::string port) {
+        return TgEndpoint{false, std::move(node), std::move(port)};
+    }
+    [[nodiscard]] std::string str() const;
+    friend bool operator==(const TgEndpoint&, const TgEndpoint&) = default;
+};
+
+struct TgLink {
+    TgEndpoint from;
+    TgEndpoint to;
+};
+
+struct TgConnect {
+    std::string node;
+};
+
+/// The lowered task graph the DSL front ends produce and the flow
+/// consumes.
+class TaskGraph {
+public:
+    void addNode(TgNode node);
+    void addLink(TgLink link);
+    void addConnect(TgConnect connect);
+
+    [[nodiscard]] const std::vector<TgNode>& nodes() const { return nodes_; }
+    [[nodiscard]] const std::vector<TgLink>& links() const { return links_; }
+    [[nodiscard]] const std::vector<TgConnect>& connects() const { return connects_; }
+
+    [[nodiscard]] bool hasNode(std::string_view name) const;
+    [[nodiscard]] const TgNode& node(std::string_view name) const;
+
+    /// Structural validation: endpoints exist, protocols match edge kinds
+    /// (links touch `is` ports, connects touch nodes with `i` ports),
+    /// stream ports used exactly once. Throws DslError.
+    void validate() const;
+
+    /// Renders the graph in the paper's concrete DSL syntax (Listing 2-4
+    /// style). parseDsl(renderDsl(g)) == g (round-trip tested).
+    [[nodiscard]] std::string renderDsl(const std::string& projectName) const;
+
+    friend bool operator==(const TaskGraph&, const TaskGraph&);
+
+private:
+    std::vector<TgNode> nodes_;
+    std::vector<TgLink> links_;
+    std::vector<TgConnect> connects_;
+};
+
+bool operator==(const TgPort&, const TgPort&);
+bool operator==(const TgNode&, const TgNode&);
+bool operator==(const TgLink&, const TgLink&);
+bool operator==(const TgConnect&, const TgConnect&);
+
+/// -- The two-level Hierarchical Task Graph (paper Section II-A) -----------
+///
+/// Top-level nodes are either simple tasks or phases; a phase contains a
+/// dataflow graph of actors exchanging data over streams. HW/SW
+/// partitioning happens at this level; lowering produces the DSL task
+/// graph for the hardware side.
+
+enum class Mapping { Software, Hardware };
+
+struct HtgActorPort {
+    std::string name;
+    unsigned width = 32;
+};
+
+/// A dataflow actor inside a phase (stream interfaces only).
+struct HtgActor {
+    std::string name;
+    std::vector<HtgActorPort> inputs;
+    std::vector<HtgActorPort> outputs;
+};
+
+/// Stream edge between two actors of the same phase.
+struct HtgDataflowEdge {
+    std::string fromActor;
+    std::string fromPort;
+    std::string toActor;
+    std::string toPort;
+};
+
+struct HtgPhase {
+    std::string name;
+    std::vector<HtgActor> actors;
+    std::vector<HtgDataflowEdge> edges;
+
+    [[nodiscard]] const HtgActor& actor(std::string_view name) const;
+    [[nodiscard]] bool hasActor(std::string_view name) const;
+};
+
+enum class HtgNodeKind { Task, Phase };
+
+struct HtgNode {
+    std::string name;
+    HtgNodeKind kind = HtgNodeKind::Task;
+    int phaseIndex = -1;                 ///< into Htg::phases() when kind==Phase
+    bool hardwareCapable = false;        ///< simple tasks only
+    std::vector<TgPort> hardwarePorts;   ///< interface if mapped to hardware
+};
+
+/// Top-level precedence edge (data through shared memory).
+struct HtgEdge {
+    std::string from;
+    std::string to;
+};
+
+class Htg {
+public:
+    void addTask(std::string name, bool hardwareCapable = false,
+                 std::vector<TgPort> hardwarePorts = {});
+    int addPhase(HtgPhase phase);  ///< also adds a top node; returns phase index
+    void addEdge(std::string from, std::string to);
+
+    [[nodiscard]] const std::vector<HtgNode>& topNodes() const { return topNodes_; }
+    [[nodiscard]] const std::vector<HtgEdge>& topEdges() const { return topEdges_; }
+    [[nodiscard]] const std::vector<HtgPhase>& phases() const { return phases_; }
+
+    [[nodiscard]] const HtgNode& topNode(std::string_view name) const;
+
+    /// All partitionable unit names: hardware-capable tasks plus every
+    /// phase actor.
+    [[nodiscard]] std::vector<std::string> partitionableUnits() const;
+
+    /// Validation: unique names, edges reference nodes, phase edges
+    /// reference actor ports. Throws DslError.
+    void validate() const;
+
+    /// Graphviz rendering of the two-level structure (Figure 1 / 8).
+    [[nodiscard]] std::string toDot() const;
+
+private:
+    std::vector<HtgNode> topNodes_;
+    std::vector<HtgEdge> topEdges_;
+    std::vector<HtgPhase> phases_;
+};
+
+/// HW/SW assignment of partitionable units (missing entries = Software).
+struct HtgPartition {
+    std::map<std::string, Mapping> mapping;
+
+    [[nodiscard]] Mapping of(const std::string& unit) const;
+    [[nodiscard]] std::vector<std::string> hardwareUnits() const;
+};
+
+/// Lowers a partitioned HTG to the DSL task graph (paper Section III:
+/// "the actual DSL will reflect more the expected output than the HTG"):
+///  - hardware phase actors become nodes with `is` ports;
+///  - dataflow edges between two hardware actors become direct links;
+///  - edges crossing the HW/SW boundary become links to/from 'soc;
+///  - hardware-capable simple tasks become nodes with `i` ports plus a
+///    `tg connect`.
+[[nodiscard]] TaskGraph lowerToTaskGraph(const Htg& htg, const HtgPartition& partition);
+
+} // namespace socgen::core

@@ -1,0 +1,178 @@
+#include "socgen/core/lexer.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+#include <cctype>
+
+namespace socgen::core {
+
+std::string_view tokenKindName(TokenKind kind) {
+    switch (kind) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::String: return "string";
+    case TokenKind::SocQuote: return "'soc";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::EndOfFile: return "end of input";
+    }
+    return "?";
+}
+
+namespace {
+
+class Lexer {
+public:
+    explicit Lexer(std::string_view source) : src_(source) {}
+
+    std::vector<Token> run() {
+        std::vector<Token> tokens;
+        while (true) {
+            skipTrivia();
+            Token token;
+            token.line = line_;
+            token.column = column_;
+            if (atEnd()) {
+                token.kind = TokenKind::EndOfFile;
+                tokens.push_back(std::move(token));
+                return tokens;
+            }
+            const char c = peek();
+            if (c == '{') {
+                token.kind = TokenKind::LBrace;
+                advance();
+            } else if (c == '}') {
+                token.kind = TokenKind::RBrace;
+                advance();
+            } else if (c == '(') {
+                token.kind = TokenKind::LParen;
+                advance();
+            } else if (c == ')') {
+                token.kind = TokenKind::RParen;
+                advance();
+            } else if (c == ',') {
+                token.kind = TokenKind::Comma;
+                advance();
+            } else if (c == ';') {
+                token.kind = TokenKind::Semicolon;
+                advance();
+            } else if (c == '"') {
+                token.kind = TokenKind::String;
+                token.text = lexString();
+            } else if (c == '\'') {
+                token.kind = TokenKind::SocQuote;
+                lexSocQuote();
+            } else if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+                token.kind = TokenKind::Identifier;
+                token.text = lexIdentifier();
+            } else {
+                fail(format("unexpected character '%c'", c));
+            }
+            tokens.push_back(std::move(token));
+        }
+    }
+
+private:
+    [[nodiscard]] bool atEnd() const { return pos_ >= src_.size(); }
+    [[nodiscard]] char peek() const { return src_[pos_]; }
+    [[nodiscard]] char peekNext() const {
+        return pos_ + 1 < src_.size() ? src_[pos_ + 1] : '\0';
+    }
+
+    void advance() {
+        if (src_[pos_] == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        ++pos_;
+    }
+
+    [[noreturn]] void fail(const std::string& what) const {
+        throw DslError(format("%d:%d: %s", line_, column_, what.c_str()));
+    }
+
+    void skipTrivia() {
+        while (!atEnd()) {
+            const char c = peek();
+            if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+                advance();
+            } else if (c == '/' && peekNext() == '/') {
+                while (!atEnd() && peek() != '\n') {
+                    advance();
+                }
+            } else if (c == '/' && peekNext() == '*') {
+                advance();
+                advance();
+                while (!atEnd() && !(peek() == '*' && peekNext() == '/')) {
+                    advance();
+                }
+                if (atEnd()) {
+                    fail("unterminated block comment");
+                }
+                advance();
+                advance();
+            } else {
+                return;
+            }
+        }
+    }
+
+    std::string lexString() {
+        advance();  // opening quote
+        std::string text;
+        while (!atEnd() && peek() != '"') {
+            if (peek() == '\n') {
+                fail("unterminated string literal");
+            }
+            text.push_back(peek());
+            advance();
+        }
+        if (atEnd()) {
+            fail("unterminated string literal");
+        }
+        advance();  // closing quote
+        return text;
+    }
+
+    void lexSocQuote() {
+        advance();  // '
+        std::string word;
+        while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) != 0 ||
+                            peek() == '_')) {
+            word.push_back(peek());
+            advance();
+        }
+        if (word != "soc") {
+            fail("expected 'soc after quote, got '" + word + "'");
+        }
+    }
+
+    std::string lexIdentifier() {
+        std::string text;
+        while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) != 0 ||
+                            peek() == '_')) {
+            text.push_back(peek());
+            advance();
+        }
+        return text;
+    }
+
+    std::string_view src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+};
+
+} // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+    return Lexer(source).run();
+}
+
+} // namespace socgen::core

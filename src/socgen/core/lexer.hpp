@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace socgen::core {
+
+/// Tokens of the textual DSL (the concrete syntax of paper Listing 1).
+enum class TokenKind {
+    Identifier,  ///< object, extends, App, tg, nodes, node, i, is, ...
+    String,      ///< "MUL"
+    SocQuote,    ///< 'soc
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+    EndOfFile,
+};
+
+struct Token {
+    TokenKind kind = TokenKind::EndOfFile;
+    std::string text;   ///< identifier name or string contents
+    int line = 1;
+    int column = 1;
+};
+
+/// Tokenises DSL source. `//` and Scala-style `/* */` comments are
+/// skipped. Throws DslError with line/column on bad input.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+[[nodiscard]] std::string_view tokenKindName(TokenKind kind);
+
+} // namespace socgen::core

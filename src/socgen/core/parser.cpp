@@ -1,0 +1,169 @@
+#include "socgen/core/parser.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+namespace socgen::core {
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+    ParsedDsl run() {
+        ParsedDsl out;
+        expectIdentifier("object");
+        out.projectName = expect(TokenKind::Identifier).text;
+        expectIdentifier("extends");
+        expectIdentifier("App");
+        expect(TokenKind::LBrace);
+        parseNodes(out.graph);
+        parseEdges(out.graph);
+        expect(TokenKind::RBrace);
+        expect(TokenKind::EndOfFile);
+        out.graph.validate();
+        return out;
+    }
+
+private:
+    [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+
+    const Token& advance() { return tokens_[pos_++]; }
+
+    [[noreturn]] void fail(const std::string& what) const {
+        const Token& t = peek();
+        throw DslError(format("%d:%d: %s (found %s%s%s)", t.line, t.column, what.c_str(),
+                              std::string(tokenKindName(t.kind)).c_str(),
+                              t.text.empty() ? "" : " ", t.text.c_str()));
+    }
+
+    const Token& expect(TokenKind kind) {
+        if (peek().kind != kind) {
+            fail("expected " + std::string(tokenKindName(kind)));
+        }
+        return advance();
+    }
+
+    void expectIdentifier(std::string_view word) {
+        if (peek().kind != TokenKind::Identifier || peek().text != word) {
+            fail("expected keyword '" + std::string(word) + "'");
+        }
+        advance();
+    }
+
+    [[nodiscard]] bool atIdentifier(std::string_view word) const {
+        return peek().kind == TokenKind::Identifier && peek().text == word;
+    }
+
+    /// True if the next two tokens are `tg <word>`.
+    [[nodiscard]] bool atTg(std::string_view word) const {
+        return atIdentifier("tg") && pos_ + 1 < tokens_.size() &&
+               tokens_[pos_ + 1].kind == TokenKind::Identifier &&
+               tokens_[pos_ + 1].text == word;
+    }
+
+    void expectTg(std::string_view word) {
+        expectIdentifier("tg");
+        expectIdentifier(word);
+    }
+
+    void parseNodes(TaskGraph& graph) {
+        expectTg("nodes");
+        expect(TokenKind::Semicolon);
+        bool any = false;
+        while (atTg("node")) {
+            parseNode(graph);
+            any = true;
+        }
+        if (!any) {
+            fail("expected at least one 'tg node'");
+        }
+        expectTg("end_nodes");
+        expect(TokenKind::Semicolon);
+    }
+
+    void parseNode(TaskGraph& graph) {
+        expectTg("node");
+        TgNode node;
+        node.name = expect(TokenKind::String).text;
+        bool any = false;
+        while (atIdentifier("i") || atIdentifier("is")) {
+            const bool stream = peek().text == "is";
+            advance();
+            const std::string portName = expect(TokenKind::String).text;
+            node.ports.push_back(TgPort{portName, stream
+                                                      ? hls::InterfaceProtocol::AxiStream
+                                                      : hls::InterfaceProtocol::AxiLite});
+            any = true;
+        }
+        if (!any) {
+            fail("node needs at least one interface (i/is)");
+        }
+        expectIdentifier("end");
+        expect(TokenKind::Semicolon);
+        graph.addNode(std::move(node));
+    }
+
+    void parseEdges(TaskGraph& graph) {
+        expectTg("edges");
+        expect(TokenKind::Semicolon);
+        while (atTg("link") || atTg("connect")) {
+            if (atTg("link")) {
+                parseLink(graph);
+            } else {
+                parseConnect(graph);
+            }
+        }
+        expectTg("end_edges");
+        expect(TokenKind::Semicolon);
+    }
+
+    TgEndpoint parsePort() {
+        if (peek().kind == TokenKind::SocQuote) {
+            advance();
+            return TgEndpoint::socEnd();
+        }
+        expect(TokenKind::LParen);
+        std::string node = expect(TokenKind::String).text;
+        expect(TokenKind::Comma);
+        std::string port = expect(TokenKind::String).text;
+        expect(TokenKind::RParen);
+        return TgEndpoint::of(std::move(node), std::move(port));
+    }
+
+    void parseLink(TaskGraph& graph) {
+        expectTg("link");
+        TgLink link;
+        link.from = parsePort();
+        expectIdentifier("to");
+        link.to = parsePort();
+        expectIdentifier("end");
+        expect(TokenKind::Semicolon);
+        graph.addLink(std::move(link));
+    }
+
+    void parseConnect(TaskGraph& graph) {
+        expectTg("connect");
+        TgConnect connect;
+        connect.node = expect(TokenKind::String).text;
+        // The grammar in Listing 1 shows no trailing `end` for connect;
+        // accept an optional one for robustness with hand-written files.
+        if (atIdentifier("end")) {
+            advance();
+        }
+        expect(TokenKind::Semicolon);
+        graph.addConnect(std::move(connect));
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+ParsedDsl parseDsl(std::string_view source) {
+    return Parser(tokenize(source)).run();
+}
+
+} // namespace socgen::core

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "socgen/core/htg.hpp"
+#include "socgen/core/lexer.hpp"
+
+#include <string>
+
+namespace socgen::core {
+
+/// Result of parsing a DSL source file.
+struct ParsedDsl {
+    std::string projectName;
+    TaskGraph graph;
+};
+
+/// Recursive-descent parser for the grammar of paper Listing 1:
+///
+///   DSL        ::= object Project extends App { Nodes Edges }
+///   Nodes      ::= tg nodes; Node+ tg end_nodes;
+///   Edges      ::= tg edges; Edge+ tg end_edges;
+///   Node       ::= tg node "Name" Interface+ end;
+///   Interface  ::= i "Port" | is "Port"
+///   Edge       ::= AXI-Lite | AXI-Stream
+///   AXI-Lite   ::= tg connect "Name";
+///   AXI-Stream ::= tg link Port to Port end;
+///   Port       ::= 'soc | ( "Node", "Port" )
+///
+/// The parsed graph is validated before returning. Throws DslError with
+/// source positions on syntax errors.
+[[nodiscard]] ParsedDsl parseDsl(std::string_view source);
+
+} // namespace socgen::core

@@ -1,0 +1,29 @@
+#include "socgen/core/project.hpp"
+
+#include "socgen/common/strings.hpp"
+#include "socgen/common/textfile.hpp"
+
+namespace socgen::core {
+
+FlowResult runDslText(std::string_view source, const hls::KernelLibrary& kernels,
+                      FlowOptions options, std::shared_ptr<HlsCache> cache) {
+    ParsedDsl parsed = parseDsl(source);
+    Flow flow(std::move(options), kernels, std::move(cache));
+    return flow.run(parsed.projectName, parsed.graph);
+}
+
+FlowResult runDslFile(const std::string& path, const hls::KernelLibrary& kernels,
+                      FlowOptions options, std::shared_ptr<HlsCache> cache) {
+    return runDslText(readTextFile(path), kernels, std::move(options), std::move(cache));
+}
+
+DslTclComparison compareDslToTcl(const FlowResult& result) {
+    DslTclComparison cmp;
+    cmp.dslLines = countLines(result.dslText);
+    cmp.dslChars = countNonSpaceChars(result.dslText);
+    cmp.tclLines = countLines(result.tclText);
+    cmp.tclChars = countNonSpaceChars(result.tclText);
+    return cmp;
+}
+
+} // namespace socgen::core

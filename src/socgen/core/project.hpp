@@ -1,0 +1,48 @@
+#pragma once
+
+#include "socgen/core/flow.hpp"
+#include "socgen/core/parser.hpp"
+
+#include <memory>
+#include <string>
+
+namespace socgen::core {
+
+/// Runs the complete flow on a textual DSL description (paper Section
+/// IV-A: "we provide as input a file compliant with the DSL ... and a
+/// synthesizable C/C++ file ... for each node, then we execute the Scala
+/// program"). Returns the full flow result.
+[[nodiscard]] FlowResult runDslText(std::string_view source,
+                                    const hls::KernelLibrary& kernels,
+                                    FlowOptions options = {},
+                                    std::shared_ptr<HlsCache> cache = nullptr);
+
+/// Same, reading the DSL from a file.
+[[nodiscard]] FlowResult runDslFile(const std::string& path,
+                                    const hls::KernelLibrary& kernels,
+                                    FlowOptions options = {},
+                                    std::shared_ptr<HlsCache> cache = nullptr);
+
+/// Size metrics of the §VI-C comparison: the generated Tcl against the
+/// DSL description that produced it.
+struct DslTclComparison {
+    std::size_t dslLines = 0;
+    std::size_t dslChars = 0;   ///< non-whitespace characters
+    std::size_t tclLines = 0;
+    std::size_t tclChars = 0;
+
+    [[nodiscard]] double lineRatio() const {
+        return dslLines == 0 ? 0.0
+                             : static_cast<double>(tclLines) /
+                                   static_cast<double>(dslLines);
+    }
+    [[nodiscard]] double charRatio() const {
+        return dslChars == 0 ? 0.0
+                             : static_cast<double>(tclChars) /
+                                   static_cast<double>(dslChars);
+    }
+};
+
+[[nodiscard]] DslTclComparison compareDslToTcl(const FlowResult& result);
+
+} // namespace socgen::core

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "socgen/core/flow.hpp"
+
+#include <string>
+
+namespace socgen::core {
+
+/// Renders a human-readable Markdown report of one flow run: the task
+/// graph, per-core HLS results (latency, II, resources), the synthesis
+/// utilisation table, the phase timeline (Figure 9 data), and the list
+/// of generated artifacts. Written as REPORT.md next to the other
+/// project outputs.
+[[nodiscard]] std::string renderFlowReport(const FlowResult& result);
+
+} // namespace socgen::core

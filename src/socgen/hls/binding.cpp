@@ -1,0 +1,70 @@
+#include "socgen/hls/binding.hpp"
+
+#include <algorithm>
+
+namespace socgen::hls {
+
+namespace {
+
+/// Left-edge packing of the ops in `cls` onto units; returns units used.
+int packClass(const BlockSchedule& block, const LatencyModel& latency, FuClass cls,
+              std::vector<int>& unitOf) {
+    struct Item {
+        OpId op;
+        std::int64_t start;
+        std::int64_t busyUntil;
+    };
+    std::vector<Item> items;
+    for (OpId i = 0; i < block.dfg.size(); ++i) {
+        const DfgOp& op = block.dfg.ops[i];
+        if (fuClassOf(op) != cls) {
+            continue;
+        }
+        const std::int64_t busy = cls == FuClass::Div ? latency.of(op) : 1;
+        items.push_back(Item{i, block.startCycle[i], block.startCycle[i] + busy});
+    }
+    std::sort(items.begin(), items.end(),
+              [](const Item& a, const Item& b) { return a.start < b.start; });
+    std::vector<std::int64_t> unitFreeAt;
+    for (const Item& item : items) {
+        int unit = -1;
+        for (std::size_t u = 0; u < unitFreeAt.size(); ++u) {
+            if (unitFreeAt[u] <= item.start) {
+                unit = static_cast<int>(u);
+                break;
+            }
+        }
+        if (unit < 0) {
+            unit = static_cast<int>(unitFreeAt.size());
+            unitFreeAt.push_back(0);
+        }
+        unitFreeAt[static_cast<std::size_t>(unit)] = item.busyUntil;
+        unitOf[item.op] = unit;
+    }
+    return static_cast<int>(unitFreeAt.size());
+}
+
+} // namespace
+
+BlockBinding bindBlock(const BlockSchedule& block, const LatencyModel& latency) {
+    BlockBinding binding;
+    binding.unitOf.assign(block.dfg.size(), -1);
+    binding.mulUnits = packClass(block, latency, FuClass::Mul, binding.unitOf);
+    binding.divUnits = packClass(block, latency, FuClass::Div, binding.unitOf);
+    return binding;
+}
+
+KernelBinding bindKernel(const KernelSchedule& schedule, const LatencyModel& latency) {
+    KernelBinding out;
+    for (const auto& loop : schedule.loops) {
+        out.loopBindings.push_back(bindBlock(loop.body, latency));
+        out.mulUnits = std::max(out.mulUnits, out.loopBindings.back().mulUnits);
+        out.divUnits = std::max(out.divUnits, out.loopBindings.back().divUnits);
+    }
+    out.topBinding = bindBlock(schedule.top, latency);
+    out.mulUnits = std::max(out.mulUnits, out.topBinding.mulUnits);
+    out.divUnits = std::max(out.divUnits, out.topBinding.divUnits);
+    return out;
+}
+
+} // namespace socgen::hls

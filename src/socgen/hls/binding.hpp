@@ -1,0 +1,36 @@
+#pragma once
+
+#include "socgen/hls/schedule.hpp"
+
+#include <map>
+#include <vector>
+
+namespace socgen::hls {
+
+/// Unit assignment for one scheduled block: ops of the shared classes
+/// (Mul, Div) are packed onto the fewest units compatible with the
+/// schedule (left-edge algorithm); Alu ops stay spatial (one LUT cluster
+/// each); Mem/Stream ops use their array/port.
+struct BlockBinding {
+    /// Per-op unit index within its class (-1 for classes without shared
+    /// units: Alu/Loop).
+    std::vector<int> unitOf;
+    int mulUnits = 0;
+    int divUnits = 0;
+};
+
+BlockBinding bindBlock(const BlockSchedule& block, const LatencyModel& latency);
+
+/// Whole-kernel functional-unit allocation: shared units are reused
+/// across loops (a kernel runs one loop at a time), so the kernel needs
+/// max-per-block units of each shared class.
+struct KernelBinding {
+    std::vector<BlockBinding> loopBindings;  ///< parallel to KernelSchedule::loops
+    BlockBinding topBinding;
+    int mulUnits = 0;
+    int divUnits = 0;
+};
+
+KernelBinding bindKernel(const KernelSchedule& schedule, const LatencyModel& latency = {});
+
+} // namespace socgen::hls

@@ -1,0 +1,297 @@
+#include "socgen/hls/bytecode.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace socgen::hls {
+
+namespace {
+
+class Compiler {
+public:
+    Compiler(const Kernel& kernel, const KernelSchedule& schedule)
+        : k_(kernel), sched_(schedule) {}
+
+    Program run() {
+        Program p;
+        p.kernelName = k_.name();
+        p.varWidth.reserve(k_.vars().size());
+        for (const auto& v : k_.vars()) {
+            p.varWidth.push_back(v.width);
+        }
+        for (const auto& a : k_.arrays()) {
+            p.arrays.push_back(ArraySpec{a.depth, a.width});
+        }
+        p.ports = k_.ports();
+
+        program_ = &p;
+        nextTemp_ = static_cast<std::uint32_t>(k_.vars().size());
+        highWater_ = nextTemp_;
+        compileBlock(k_.body(), /*insideLoop=*/false);
+        emit(Instr{.op = Opcode::Halt});
+        p.registerCount = highWater_;
+        return p;
+    }
+
+private:
+    std::uint32_t emit(Instr instr) {
+        program_->instrs.push_back(instr);
+        return static_cast<std::uint32_t>(program_->instrs.size() - 1);
+    }
+
+    void patchTarget(std::uint32_t at, std::uint32_t target) {
+        program_->instrs[at].target = target;
+    }
+
+    [[nodiscard]] std::uint32_t here() const {
+        return static_cast<std::uint32_t>(program_->instrs.size());
+    }
+
+    std::uint32_t allocTemp() {
+        const std::uint32_t r = nextTemp_++;
+        highWater_ = std::max(highWater_, nextTemp_);
+        return r;
+    }
+
+    /// Evaluates an expression into a register (variables map directly to
+    /// their slot; everything else goes through temporaries).
+    std::uint32_t compileExpr(ExprId id) {
+        const Expr& e = k_.expr(id);
+        switch (e.kind) {
+        case ExprKind::Const: {
+            const std::uint32_t r = allocTemp();
+            emit(Instr{.op = Opcode::LoadConst, .dst = r, .imm = e.value});
+            return r;
+        }
+        case ExprKind::Var:
+            return e.var;  // variable slots are the low register indices
+        case ExprKind::Arg: {
+            const std::uint32_t r = allocTemp();
+            emit(Instr{.op = Opcode::LoadArg, .dst = r, .port = e.port});
+            return r;
+        }
+        case ExprKind::ArrayLoad: {
+            const std::uint32_t idx = compileExpr(e.a);
+            const std::uint32_t r = allocTemp();
+            emit(Instr{.op = Opcode::ArrayLoad, .dst = r, .a = idx, .array = e.array});
+            return r;
+        }
+        case ExprKind::StreamRead: {
+            const std::uint32_t r = allocTemp();
+            emit(Instr{.op = Opcode::StreamRead, .dst = r, .port = e.port});
+            return r;
+        }
+        case ExprKind::Unary: {
+            const std::uint32_t a = compileExpr(e.a);
+            const std::uint32_t r = allocTemp();
+            emit(Instr{.op = Opcode::Un, .uop = e.uop, .dst = r, .a = a});
+            return r;
+        }
+        case ExprKind::Binary: {
+            const std::uint32_t a = compileExpr(e.a);
+            const std::uint32_t b = compileExpr(e.b);
+            const std::uint32_t r = allocTemp();
+            emit(Instr{.op = Opcode::Bin, .bop = e.bop, .dst = r, .a = a, .b = b});
+            return r;
+        }
+        case ExprKind::Select: {
+            const std::uint32_t cond = compileExpr(e.a);
+            const std::uint32_t t = compileExpr(e.b);
+            const std::uint32_t f = compileExpr(e.c);
+            const std::uint32_t r = allocTemp();
+            emit(Instr{.op = Opcode::Select, .dst = r, .a = cond, .b = t, .c = f});
+            return r;
+        }
+        }
+        throw HlsError("unreachable expression kind in bytecode compiler");
+    }
+
+    void compileBlock(const std::vector<StmtId>& block, bool insideLoop) {
+        for (StmtId id : block) {
+            compileStmt(id, insideLoop);
+        }
+    }
+
+    void compileStmt(StmtId id, bool insideLoop) {
+        const std::uint32_t tempMark = nextTemp_;
+        const Stmt& s = k_.stmt(id);
+        switch (s.kind) {
+        case StmtKind::Assign: {
+            const std::uint32_t value = compileExpr(s.value);
+            emit(Instr{.op = Opcode::Move, .dst = s.var, .a = value});
+            break;
+        }
+        case StmtKind::ArrayStore: {
+            const std::uint32_t idx = compileExpr(s.index);
+            const std::uint32_t value = compileExpr(s.value);
+            emit(Instr{.op = Opcode::ArrayStore, .a = idx, .b = value, .array = s.array});
+            break;
+        }
+        case StmtKind::StreamWrite: {
+            const std::uint32_t value = compileExpr(s.value);
+            emit(Instr{.op = Opcode::StreamWrite, .a = value, .port = s.port});
+            break;
+        }
+        case StmtKind::SetResult: {
+            const std::uint32_t value = compileExpr(s.value);
+            emit(Instr{.op = Opcode::SetResult, .a = value, .port = s.port});
+            break;
+        }
+        case StmtKind::For: {
+            compileFor(id, s);
+            break;
+        }
+        case StmtKind::If: {
+            const std::uint32_t cond = compileExpr(s.value);
+            const std::uint32_t skipThen =
+                emit(Instr{.op = Opcode::JumpIfZero, .a = cond});
+            compileBlock(s.body, insideLoop);
+            if (s.elseBody.empty()) {
+                patchTarget(skipThen, here());
+            } else {
+                const std::uint32_t skipElse = emit(Instr{.op = Opcode::Jump});
+                patchTarget(skipThen, here());
+                compileBlock(s.elseBody, insideLoop);
+                patchTarget(skipElse, here());
+            }
+            break;
+        }
+        }
+        // Straight-line top-level statements cost one control step each;
+        // loop bodies are paced by the II cost at the back-edge instead.
+        if (!insideLoop && s.kind != StmtKind::For && s.kind != StmtKind::If) {
+            emit(Instr{.op = Opcode::Cost, .imm = 1});
+        }
+        nextTemp_ = tempMark;  // temporaries are statement-scoped
+    }
+
+    void compileFor(StmtId id, const Stmt& s) {
+        const LoopSchedule* loop = sched_.loopFor(id);
+        std::int64_t entryCost = 0;
+        std::int64_t iterationCost = 1;
+        if (loop != nullptr) {
+            if (loop->pipelined) {
+                entryCost = std::max<std::int64_t>(loop->body.length - loop->ii, 0);
+                iterationCost = loop->ii;
+            } else {
+                iterationCost = std::max<std::int64_t>(loop->body.length, 1) + 1;
+            }
+        }
+
+        // var <- 0; bound <- eval
+        emit(Instr{.op = Opcode::LoadConst, .dst = s.var, .imm = 0});
+        const std::uint32_t bound = compileExpr(s.value);
+        if (entryCost > 0) {
+            emit(Instr{.op = Opcode::Cost, .imm = entryCost});
+        }
+        const std::uint32_t loopTop = here();
+        const std::uint32_t cmp = allocTemp();
+        emit(Instr{.op = Opcode::Bin, .bop = BinOp::Lt, .dst = cmp, .a = s.var, .b = bound});
+        const std::uint32_t exitJump = emit(Instr{.op = Opcode::JumpIfZero, .a = cmp});
+        compileBlock(s.body, /*insideLoop=*/true);
+        if (iterationCost > 0) {
+            emit(Instr{.op = Opcode::Cost, .imm = iterationCost});
+        }
+        const std::uint32_t one = allocTemp();
+        emit(Instr{.op = Opcode::LoadConst, .dst = one, .imm = 1});
+        emit(Instr{.op = Opcode::Bin, .bop = BinOp::Add, .dst = s.var, .a = s.var, .b = one});
+        emit(Instr{.op = Opcode::Jump, .target = loopTop});
+        patchTarget(exitJump, here());
+    }
+
+    const Kernel& k_;
+    const KernelSchedule& sched_;
+    Program* program_ = nullptr;
+    std::uint32_t nextTemp_ = 0;
+    std::uint32_t highWater_ = 0;
+};
+
+const char* opcodeName(Opcode op) {
+    switch (op) {
+    case Opcode::LoadConst: return "ldc";
+    case Opcode::Move: return "mov";
+    case Opcode::LoadArg: return "ldarg";
+    case Opcode::Bin: return "bin";
+    case Opcode::Un: return "un";
+    case Opcode::Select: return "sel";
+    case Opcode::ArrayLoad: return "ald";
+    case Opcode::ArrayStore: return "ast";
+    case Opcode::StreamRead: return "srd";
+    case Opcode::StreamWrite: return "swr";
+    case Opcode::SetResult: return "sres";
+    case Opcode::Jump: return "jmp";
+    case Opcode::JumpIfZero: return "jz";
+    case Opcode::Cost: return "cost";
+    case Opcode::Halt: return "halt";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string Program::disassemble() const {
+    std::ostringstream out;
+    out << "; program " << kernelName << ", " << registerCount << " registers\n";
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+        const Instr& instr = instrs[i];
+        out << format("%4zu: %-5s", i, opcodeName(instr.op));
+        switch (instr.op) {
+        case Opcode::LoadConst:
+            out << format(" r%u <- %lld", instr.dst, static_cast<long long>(instr.imm));
+            break;
+        case Opcode::Move:
+            out << format(" r%u <- r%u", instr.dst, instr.a);
+            break;
+        case Opcode::LoadArg:
+            out << format(" r%u <- arg[%s]", instr.dst, ports[instr.port].name.c_str());
+            break;
+        case Opcode::Bin:
+            out << format(" r%u <- r%u %s r%u", instr.dst, instr.a,
+                          std::string(binOpName(instr.bop)).c_str(), instr.b);
+            break;
+        case Opcode::Un:
+            out << format(" r%u <- op r%u", instr.dst, instr.a);
+            break;
+        case Opcode::Select:
+            out << format(" r%u <- r%u ? r%u : r%u", instr.dst, instr.a, instr.b, instr.c);
+            break;
+        case Opcode::ArrayLoad:
+            out << format(" r%u <- arr%u[r%u]", instr.dst, instr.array, instr.a);
+            break;
+        case Opcode::ArrayStore:
+            out << format(" arr%u[r%u] <- r%u", instr.array, instr.a, instr.b);
+            break;
+        case Opcode::StreamRead:
+            out << format(" r%u <- stream[%s]", instr.dst, ports[instr.port].name.c_str());
+            break;
+        case Opcode::StreamWrite:
+            out << format(" stream[%s] <- r%u", ports[instr.port].name.c_str(), instr.a);
+            break;
+        case Opcode::SetResult:
+            out << format(" result[%s] <- r%u", ports[instr.port].name.c_str(), instr.a);
+            break;
+        case Opcode::Jump:
+            out << format(" -> %u", instr.target);
+            break;
+        case Opcode::JumpIfZero:
+            out << format(" r%u == 0 -> %u", instr.a, instr.target);
+            break;
+        case Opcode::Cost:
+            out << format(" %lld cycles", static_cast<long long>(instr.imm));
+            break;
+        case Opcode::Halt:
+            break;
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+Program compileKernel(const Kernel& kernel, const KernelSchedule& schedule) {
+    return Compiler(kernel, schedule).run();
+}
+
+} // namespace socgen::hls

@@ -1,0 +1,73 @@
+#pragma once
+
+#include "socgen/hls/ir.hpp"
+#include "socgen/hls/schedule.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace socgen::hls {
+
+/// Flat bytecode compiled from a kernel's structured IR. The SoC
+/// simulator executes this program cycle by cycle: `Cost` instructions
+/// charge the cycles derived from the HLS schedule (pipeline depth at
+/// loop entry, II per iteration), and stream reads/writes block on the
+/// attached AXI-Stream channels, so timing emerges from both the static
+/// schedule and dynamic back-pressure — like the generated hardware.
+enum class Opcode {
+    LoadConst,   ///< dst <- imm
+    Move,        ///< dst <- a
+    LoadArg,     ///< dst <- scalar argument register `port`
+    Bin,         ///< dst <- a (bop) b
+    Un,          ///< dst <- (uop) a
+    Select,      ///< dst <- a != 0 ? b : c
+    ArrayLoad,   ///< dst <- array[a]
+    ArrayStore,  ///< array[a] <- b
+    StreamRead,  ///< dst <- blocking read from stream `port`
+    StreamWrite, ///< blocking write of a to stream `port`
+    SetResult,   ///< scalar result register `port` <- a
+    Jump,        ///< pc <- target
+    JumpIfZero,  ///< if a == 0: pc <- target
+    Cost,        ///< consume `imm` cycles
+    Halt,
+};
+
+struct Instr {
+    Opcode op = Opcode::Halt;
+    BinOp bop = BinOp::Add;
+    UnOp uop = UnOp::Not;
+    std::uint32_t dst = 0;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    std::uint32_t c = 0;
+    std::int64_t imm = 0;
+    PortId port = kNoId;
+    ArrayId array = kNoId;
+    std::uint32_t target = 0;  ///< jump destination
+};
+
+struct ArraySpec {
+    std::size_t depth = 0;
+    unsigned width = 32;
+};
+
+/// Compiled program plus the metadata the VM needs.
+struct Program {
+    std::string kernelName;
+    std::vector<Instr> instrs;
+    std::uint32_t registerCount = 0;          ///< total register slots
+    std::vector<unsigned> varWidth;           ///< per kernel variable (slot i)
+    std::vector<ArraySpec> arrays;
+    std::vector<KernelPort> ports;            ///< copy of the kernel signature
+
+    [[nodiscard]] std::string disassemble() const;
+};
+
+/// Compiles `kernel` using `schedule` for cycle costs. Loops charge
+/// `body.length - ii` once at entry (pipeline fill) and `ii` per
+/// iteration when pipelined, `body.length + 1` per iteration otherwise;
+/// top-level statements outside loops charge one cycle each.
+Program compileKernel(const Kernel& kernel, const KernelSchedule& schedule);
+
+} // namespace socgen::hls

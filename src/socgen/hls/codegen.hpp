@@ -1,0 +1,29 @@
+#pragma once
+
+#include "socgen/hls/binding.hpp"
+#include "socgen/hls/ir.hpp"
+#include "socgen/hls/schedule.hpp"
+#include "socgen/rtl/netlist.hpp"
+
+namespace socgen::hls {
+
+/// Lowers a scheduled, bound kernel to a structural FSM + datapath
+/// netlist:
+///  - one FSM cell whose states are the dense control steps of all blocks;
+///  - spatial LUT-fabric cells for Alu ops;
+///  - shared Mul/Div units with state-selected input mux cascades
+///    (the binding decides how many units exist);
+///  - one BRAM per kernel array with address/data/write-enable cascades;
+///  - registers for op results, kernel variables, and scalar outputs;
+///  - AXI-style port sets: scalar in/out, and tdata/tvalid/tready triples
+///    for each stream port, plus ap_start/ap_done control.
+///
+/// The generated netlist is structurally valid (Netlist::check passes)
+/// and, for straight-line scalar kernels, functionally equivalent to the
+/// IR interpreter (verified by tests). Stream/loop kernels are executed
+/// by the bytecode interpreter in system simulation; their netlists are
+/// used for VHDL emission and resource pricing.
+rtl::Netlist generateRtl(const Kernel& kernel, const KernelSchedule& schedule,
+                         const KernelBinding& binding);
+
+} // namespace socgen::hls

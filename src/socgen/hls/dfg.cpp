@@ -1,0 +1,305 @@
+#include "socgen/hls/dfg.hpp"
+
+#include "socgen/common/error.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+namespace socgen::hls {
+
+namespace {
+
+unsigned bitsFor(std::int64_t value) {
+    if (value < 0) {
+        return 32;
+    }
+    unsigned bits = 1;
+    while ((value >> bits) != 0 && bits < 63) {
+        ++bits;
+    }
+    return bits;
+}
+
+/// Builds ops for one block, tracking intra-block def-use through
+/// variables, value widths, and memory/stream ordering hazards.
+class DfgBuilder {
+public:
+    DfgBuilder(const Kernel& kernel, LoopLatencyFn loopLatency, void* ctx)
+        : k_(kernel), loopLatency_(loopLatency), ctx_(ctx) {}
+
+    Dfg run(std::span<const StmtId> block) {
+        for (StmtId id : block) {
+            visitStmt(id);
+        }
+        return std::move(dfg_);
+    }
+
+private:
+    struct ValueRef {
+        std::optional<OpId> op;          ///< producing op, if any
+        std::vector<VarId> externalVars; ///< block-external var reads involved
+        unsigned width = 32;
+    };
+
+    OpId addOp(DfgOp op) {
+        dfg_.ops.push_back(std::move(op));
+        return static_cast<OpId>(dfg_.ops.size() - 1);
+    }
+
+    static void addDep(DfgOp& op, const ValueRef& value) {
+        if (value.op) {
+            if (std::find(op.deps.begin(), op.deps.end(), *value.op) == op.deps.end()) {
+                op.deps.push_back(*value.op);
+            }
+        }
+        for (VarId v : value.externalVars) {
+            if (std::find(op.varReads.begin(), op.varReads.end(), v) == op.varReads.end()) {
+                op.varReads.push_back(v);
+            }
+        }
+    }
+
+    void addOrderDep(DfgOp& op, std::optional<OpId> previous) {
+        if (previous &&
+            std::find(op.deps.begin(), op.deps.end(), *previous) == op.deps.end()) {
+            op.deps.push_back(*previous);
+        }
+    }
+
+    ValueRef visitExpr(ExprId id) {
+        const Expr& e = k_.expr(id);
+        switch (e.kind) {
+        case ExprKind::Const: {
+            ValueRef ref;
+            ref.width = bitsFor(e.value);
+            return ref;
+        }
+        case ExprKind::Arg: {
+            ValueRef ref;
+            ref.width = k_.port(e.port).width;
+            return ref;  // scalar args are stable register outputs
+        }
+        case ExprKind::Var: {
+            const auto it = varDef_.find(e.var);
+            if (it != varDef_.end()) {
+                return it->second;
+            }
+            ValueRef ref;
+            ref.externalVars.push_back(e.var);
+            ref.width = k_.vars()[e.var].width;
+            return ref;
+        }
+        case ExprKind::ArrayLoad: {
+            const ValueRef index = visitExpr(e.a);
+            DfgOp op;
+            op.kind = OpKind::ArrayLoad;
+            op.array = e.array;
+            op.width = k_.arrays()[e.array].width;
+            op.expr = id;
+            op.indexExpr = e.a;
+            addDep(op, index);
+            addOrderDep(op, lastStore_[e.array]);  // store -> load hazard
+            const unsigned width = op.width;
+            const OpId opId = addOp(std::move(op));
+            lastLoad_[e.array] = opId;
+            return ValueRef{opId, {}, width};
+        }
+        case ExprKind::StreamRead: {
+            DfgOp op;
+            op.kind = OpKind::StreamRead;
+            op.port = e.port;
+            op.width = k_.port(e.port).width;
+            op.expr = id;
+            addOrderDep(op, lastStreamOp_[e.port]);  // reads stay in order
+            const unsigned width = op.width;
+            const OpId opId = addOp(std::move(op));
+            lastStreamOp_[e.port] = opId;
+            return ValueRef{opId, {}, width};
+        }
+        case ExprKind::Unary: {
+            const ValueRef a = visitExpr(e.a);
+            DfgOp op;
+            op.kind = OpKind::Unary;
+            op.uop = e.uop;
+            op.width = a.width;
+            op.expr = id;
+            addDep(op, a);
+            const unsigned width = op.width;
+            return ValueRef{addOp(std::move(op)), {}, width};
+        }
+        case ExprKind::Binary: {
+            const ValueRef a = visitExpr(e.a);
+            const ValueRef b = visitExpr(e.b);
+            DfgOp op;
+            op.kind = OpKind::Binary;
+            op.bop = e.bop;
+            op.width = std::max(a.width, b.width);
+            op.expr = id;
+            addDep(op, a);
+            addDep(op, b);
+            const unsigned width = op.width;
+            return ValueRef{addOp(std::move(op)), {}, width};
+        }
+        case ExprKind::Select: {
+            const ValueRef cond = visitExpr(e.a);
+            const ValueRef t = visitExpr(e.b);
+            const ValueRef f = visitExpr(e.c);
+            DfgOp op;
+            op.kind = OpKind::Select;
+            op.width = std::max(t.width, f.width);
+            op.expr = id;
+            addDep(op, cond);
+            addDep(op, t);
+            addDep(op, f);
+            const unsigned width = op.width;
+            return ValueRef{addOp(std::move(op)), {}, width};
+        }
+        }
+        throw HlsError("unreachable expression kind");
+    }
+
+    void visitStmt(StmtId id) {
+        const Stmt& s = k_.stmt(id);
+        switch (s.kind) {
+        case StmtKind::Assign: {
+            ValueRef value = visitExpr(s.value);
+            if (value.op) {
+                dfg_.ops[*value.op].assignsVar = s.var;
+            } else {
+                // Bare register transfer (var = const/var/arg): still an op
+                // so binding/codegen see the write and recurrences resolve.
+                DfgOp op;
+                op.kind = OpKind::Move;
+                op.width = k_.vars()[s.var].width;
+                op.assignsVar = s.var;
+                op.valueExpr = s.value;
+                addDep(op, value);
+                value.op = addOp(std::move(op));
+                value.externalVars.clear();
+            }
+            value.width = k_.vars()[s.var].width;
+            varDef_[s.var] = std::move(value);
+            break;
+        }
+        case StmtKind::ArrayStore: {
+            const ValueRef index = visitExpr(s.index);
+            const ValueRef value = visitExpr(s.value);
+            DfgOp op;
+            op.kind = OpKind::ArrayStore;
+            op.array = s.array;
+            op.width = k_.arrays()[s.array].width;
+            op.indexExpr = s.index;
+            op.valueExpr = s.value;
+            addDep(op, index);
+            addDep(op, value);
+            addOrderDep(op, lastStore_[s.array]);  // stores stay ordered
+            addOrderDep(op, lastLoad_[s.array]);   // load -> store antidep
+            lastStore_[s.array] = addOp(std::move(op));
+            break;
+        }
+        case StmtKind::StreamWrite: {
+            const ValueRef value = visitExpr(s.value);
+            DfgOp op;
+            op.kind = OpKind::StreamWrite;
+            op.port = s.port;
+            op.width = k_.port(s.port).width;
+            op.valueExpr = s.value;
+            addDep(op, value);
+            addOrderDep(op, lastStreamOp_[s.port]);
+            lastStreamOp_[s.port] = addOp(std::move(op));
+            break;
+        }
+        case StmtKind::SetResult: {
+            const ValueRef value = visitExpr(s.value);
+            DfgOp op;
+            op.kind = OpKind::SetResult;
+            op.port = s.port;
+            op.width = k_.port(s.port).width;
+            op.valueExpr = s.value;
+            addDep(op, value);
+            addOp(std::move(op));
+            break;
+        }
+        case StmtKind::For: {
+            DfgOp op;
+            op.kind = OpKind::LoopNest;
+            op.loop = id;
+            op.loopLatency = loopLatency_ != nullptr ? loopLatency_(ctx_, id) : 1;
+            addDep(op, visitExpr(s.value));  // bound expression
+            // A loop nest acts as a full barrier against memory and
+            // stream reordering.
+            const OpId opId = addOp(std::move(op));
+            for (auto& [array, last] : lastStore_) {
+                (void)array;
+                addOrderDep(dfg_.ops[opId], last);
+                last = opId;
+            }
+            for (auto& [array, last] : lastLoad_) {
+                (void)array;
+                addOrderDep(dfg_.ops[opId], last);
+                last = opId;
+            }
+            for (auto& [port, last] : lastStreamOp_) {
+                (void)port;
+                addOrderDep(dfg_.ops[opId], last);
+                last = opId;
+            }
+            // Loop bodies may redefine variables; conservatively forget
+            // intra-block definitions the loop could overwrite.
+            varDef_.clear();
+            break;
+        }
+        case StmtKind::If: {
+            const ValueRef cond = visitExpr(s.value);
+            // If-conversion: both branches contribute ops; their sinks
+            // additionally depend on the condition.
+            const auto visitBranch = [&](const std::vector<StmtId>& branch) {
+                for (StmtId inner : branch) {
+                    const std::size_t firstNew = dfg_.ops.size();
+                    visitStmt(inner);
+                    for (std::size_t i = firstNew; i < dfg_.ops.size(); ++i) {
+                        addDep(dfg_.ops[i], cond);
+                    }
+                }
+            };
+            visitBranch(s.body);
+            visitBranch(s.elseBody);
+            break;
+        }
+        }
+    }
+
+    const Kernel& k_;
+    LoopLatencyFn loopLatency_;
+    void* ctx_;
+    Dfg dfg_;
+    std::map<VarId, ValueRef> varDef_;
+    std::map<ArrayId, std::optional<OpId>> lastLoad_;
+    std::map<ArrayId, std::optional<OpId>> lastStore_;
+    std::map<PortId, std::optional<OpId>> lastStreamOp_;
+};
+
+} // namespace
+
+std::int64_t Dfg::criticalPath(const std::vector<std::int64_t>& latencyOf) const {
+    require(latencyOf.size() == ops.size(), "latency table size mismatch");
+    std::vector<std::int64_t> finish(ops.size(), 0);
+    std::int64_t longest = 0;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        std::int64_t start = 0;
+        for (OpId dep : ops[i].deps) {
+            start = std::max(start, finish[dep]);
+        }
+        finish[i] = start + latencyOf[i];
+        longest = std::max(longest, finish[i]);
+    }
+    return longest;
+}
+
+Dfg buildDfg(const Kernel& kernel, std::span<const StmtId> block,
+             LoopLatencyFn loopLatency, void* ctx) {
+    return DfgBuilder(kernel, loopLatency, ctx).run(block);
+}
+
+} // namespace socgen::hls

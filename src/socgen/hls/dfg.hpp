@@ -1,0 +1,70 @@
+#pragma once
+
+#include "socgen/hls/ir.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace socgen::hls {
+
+/// One schedulable operation extracted from a statement block.
+enum class OpKind {
+    Binary,
+    Unary,
+    Select,
+    Move,       ///< register transfer for `var = <const|var|arg>` assigns
+    ArrayLoad,
+    ArrayStore,
+    StreamRead,
+    StreamWrite,
+    SetResult,
+    LoopNest,  ///< an inner For treated as a macro-op with fixed latency
+};
+
+using OpId = std::uint32_t;
+
+struct DfgOp {
+    OpKind kind = OpKind::Binary;
+    BinOp bop = BinOp::Add;
+    UnOp uop = UnOp::Not;
+    unsigned width = 32;
+    ArrayId array = kNoId;  ///< ArrayLoad/ArrayStore
+    PortId port = kNoId;    ///< stream ops / SetResult
+    StmtId loop = kNoId;    ///< LoopNest: the inner For statement
+    std::int64_t loopLatency = 0;  ///< LoopNest total cycles
+
+    std::vector<OpId> deps;        ///< must complete before this op starts
+    std::vector<VarId> varReads;   ///< block-external vars feeding this op
+    VarId assignsVar = kNoId;      ///< variable this op's result defines
+    ExprId expr = kNoId;           ///< originating expression (codegen link)
+    ExprId indexExpr = kNoId;      ///< ArrayLoad/ArrayStore address expression
+    ExprId valueExpr = kNoId;      ///< store/write/result/move value expression
+};
+
+/// The data-flow graph of one straight-line block (loop body or a
+/// top-level segment). If statements are if-converted: both branches'
+/// operations appear, joined by Select semantics for timing purposes.
+struct Dfg {
+    std::vector<DfgOp> ops;
+
+    [[nodiscard]] std::size_t size() const { return ops.size(); }
+
+    /// Longest dependency path length in cycles under `latencyOf`.
+    [[nodiscard]] std::int64_t criticalPath(
+        const std::vector<std::int64_t>& latencyOf) const;
+};
+
+/// Callback giving the total latency of an inner loop (already scheduled
+/// bottom-up by the caller).
+using LoopLatencyFn = std::int64_t (*)(void* ctx, StmtId loop);
+
+/// Builds the DFG for `block`. Inner For statements become LoopNest
+/// macro-ops whose latency is obtained via `loopLatency(ctx, stmt)`.
+/// Ordering edges are added between: stream reads on the same port,
+/// stream writes on the same port, stores to the same array, and
+/// store→load / load→store pairs on the same array (memory hazards).
+Dfg buildDfg(const Kernel& kernel, std::span<const StmtId> block,
+             LoopLatencyFn loopLatency, void* ctx);
+
+} // namespace socgen::hls

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace socgen::hls {
+
+/// Interface protocol assigned to a kernel port by the DSL: in the paper,
+/// keyword `i` maps a port to AXI-Lite, `is` to AXI-Stream, and the tool
+/// "adds the proper specifications for the interface under analysis to
+/// the directives file" (Section IV-B step 3).
+enum class InterfaceProtocol { AxiLite, AxiStream };
+
+enum class SchedulerKind {
+    Asap,  ///< unconstrained as-soon-as-possible (no resource limits)
+    List,  ///< resource-constrained list scheduling (default)
+};
+
+/// Per-kernel synthesis directives. Mirrors the directive file our tool
+/// writes for Vivado HLS in the paper's flow.
+struct Directives {
+    double clockNs = 10.0;  ///< target clock period (Zynq PL default 100 MHz)
+
+    SchedulerKind scheduler = SchedulerKind::List;
+    bool pipelineLoops = true;  ///< pipeline innermost loops (II minimisation)
+    bool enableOptimizer = true;  ///< IR constant folding / DCE front end
+
+    // Resource constraints for the list scheduler / binder.
+    int maxMulUnits = 2;   ///< DSP-mapped multipliers available to one kernel
+    int maxDivUnits = 1;   ///< iterative dividers
+    int memPortsPerArray = 1;  ///< BRAM ports usable per cycle per array
+
+    /// Expected trip count per loop, keyed by induction-variable name
+    /// (equivalent of Vivado HLS's LOOP_TRIPCOUNT directive). Loops with a
+    /// constant bound do not need a hint.
+    std::map<std::string, std::int64_t> tripCountHints;
+    std::int64_t defaultTripCount = 256;
+
+    /// Loop unroll factors, keyed by induction-variable name (the HLS
+    /// UNROLL directive). Applied to constant-bound loops only.
+    std::map<std::string, int> unrollFactors;
+
+    /// Interface protocol per port name, injected by the DSL `i`/`is`
+    /// keywords. Ports not listed default to the protocol implied by
+    /// their IR kind (scalar -> AXI-Lite, stream -> AXI-Stream).
+    std::map<std::string, InterfaceProtocol> interfaces;
+
+    /// Renders the directive file text (Tcl-like, as written for Vivado
+    /// HLS by the paper's tool).
+    [[nodiscard]] std::string render(const std::string& kernelName) const;
+};
+
+} // namespace socgen::hls

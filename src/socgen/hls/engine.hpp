@@ -1,0 +1,50 @@
+#pragma once
+
+#include "socgen/hls/binding.hpp"
+#include "socgen/hls/bytecode.hpp"
+#include "socgen/hls/directives.hpp"
+#include "socgen/hls/ir.hpp"
+#include "socgen/hls/resources.hpp"
+#include "socgen/hls/schedule.hpp"
+#include "socgen/rtl/netlist.hpp"
+
+#include <string>
+
+namespace socgen::hls {
+
+/// Everything one HLS run produces for a kernel — the equivalent of a
+/// Vivado HLS solution directory.
+struct HlsResult {
+    std::string kernelName;
+    KernelSchedule schedule;
+    KernelBinding binding;
+    rtl::Netlist netlist;
+    std::string vhdl;            ///< emitted RTL text (VHDL)
+    std::string verilog;         ///< emitted RTL text (Verilog)
+    std::string directiveText;   ///< the directives file the DSL assembled
+    std::string reportText;      ///< schedule/resource report
+    ResourceEstimate resources;  ///< core resources incl. interface logic
+    Program program;             ///< executable model for system simulation
+    double toolSeconds = 0.0;    ///< deterministic simulated Vivado HLS time
+
+    HlsResult() : netlist("uninitialised") {}
+};
+
+/// The HLS engine facade: verify -> schedule -> bind -> codegen -> price.
+/// This is the component the DSL's `end` keyword invokes per node (paper
+/// Section IV-B step 4: "the tool invokes the synthesis of the hardware
+/// core through Vivado HLS").
+class HlsEngine {
+public:
+    explicit HlsEngine(CostModel costModel = {}, LatencyModel latencyModel = {})
+        : cost_(costModel), latency_(latencyModel) {}
+
+    [[nodiscard]] HlsResult synthesize(const Kernel& kernel,
+                                       const Directives& directives) const;
+
+private:
+    CostModel cost_;
+    LatencyModel latency_;
+};
+
+} // namespace socgen::hls

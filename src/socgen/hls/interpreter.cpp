@@ -1,0 +1,183 @@
+#include "socgen/hls/interpreter.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+#include <algorithm>
+
+namespace socgen::hls {
+
+namespace {
+
+std::uint64_t maskTo(unsigned width, std::uint64_t value) {
+    if (width >= 64) {
+        return value;
+    }
+    return value & ((1ULL << width) - 1ULL);
+}
+
+} // namespace
+
+KernelVm::KernelVm(const Program& program, KernelIo& io)
+    : program_(program), io_(io), regs_(program.registerCount, 0) {
+    arrays_.reserve(program.arrays.size());
+    for (const auto& spec : program.arrays) {
+        arrays_.emplace_back(spec.depth, 0);
+    }
+}
+
+void KernelVm::start() {
+    std::fill(regs_.begin(), regs_.end(), 0);
+    // Arrays keep their contents across invocations (BRAM is persistent),
+    // matching hardware behaviour.
+    pc_ = 0;
+    waitCycles_ = 0;
+    running_ = true;
+    started_ = true;
+}
+
+const std::vector<std::uint64_t>& KernelVm::array(ArrayId id) const {
+    require(id < arrays_.size(), "array id out of range");
+    return arrays_[id];
+}
+
+std::uint64_t KernelVm::applyBin(BinOp op, std::uint64_t a, std::uint64_t b) {
+    switch (op) {
+    case BinOp::Add: return a + b;
+    case BinOp::Sub: return a - b;
+    case BinOp::Mul: return a * b;
+    case BinOp::Div: return b == 0 ? ~0ULL : a / b;
+    case BinOp::Mod: return b == 0 ? a : a % b;
+    case BinOp::And: return a & b;
+    case BinOp::Or: return a | b;
+    case BinOp::Xor: return a ^ b;
+    case BinOp::Shl: return b >= 64 ? 0 : a << b;
+    case BinOp::Shr: return b >= 64 ? 0 : a >> b;
+    case BinOp::Eq: return a == b ? 1 : 0;
+    case BinOp::Ne: return a != b ? 1 : 0;
+    case BinOp::Lt: return a < b ? 1 : 0;
+    case BinOp::Le: return a <= b ? 1 : 0;
+    case BinOp::Gt: return a > b ? 1 : 0;
+    case BinOp::Ge: return a >= b ? 1 : 0;
+    case BinOp::Min: return std::min(a, b);
+    case BinOp::Max: return std::max(a, b);
+    }
+    return 0;
+}
+
+std::uint64_t KernelVm::maskVar(std::uint32_t reg, std::uint64_t value) const {
+    if (reg < program_.varWidth.size()) {
+        return maskTo(program_.varWidth[reg], value);
+    }
+    return value;
+}
+
+bool KernelVm::tick() {
+    if (!running_) {
+        return false;
+    }
+    ++cycles_;
+    if (waitCycles_ > 0) {
+        --waitCycles_;
+        return true;
+    }
+    // Execute zero-cost instructions until this cycle is accounted for.
+    // The cap catches compiler bugs (a loop without a Cost back-edge).
+    constexpr std::uint64_t kMaxInstrPerCycle = 1u << 20;
+    for (std::uint64_t steps = 0; steps < kMaxInstrPerCycle; ++steps) {
+        const Instr& instr = program_.instrs[pc_];
+        switch (instr.op) {
+        case Opcode::LoadConst:
+            regs_[instr.dst] = maskVar(instr.dst, static_cast<std::uint64_t>(instr.imm));
+            break;
+        case Opcode::Move:
+            regs_[instr.dst] = maskVar(instr.dst, regs_[instr.a]);
+            break;
+        case Opcode::LoadArg:
+            regs_[instr.dst] = maskVar(instr.dst, io_.argValue(instr.port));
+            break;
+        case Opcode::Bin:
+            regs_[instr.dst] =
+                maskVar(instr.dst, applyBin(instr.bop, regs_[instr.a], regs_[instr.b]));
+            break;
+        case Opcode::Un:
+            regs_[instr.dst] = maskVar(
+                instr.dst, instr.uop == UnOp::Not ? ~regs_[instr.a] : 0 - regs_[instr.a]);
+            break;
+        case Opcode::Select:
+            regs_[instr.dst] =
+                maskVar(instr.dst, regs_[instr.a] != 0 ? regs_[instr.b] : regs_[instr.c]);
+            break;
+        case Opcode::ArrayLoad: {
+            const auto& mem = arrays_[instr.array];
+            const auto idx = static_cast<std::size_t>(regs_[instr.a]);
+            if (idx >= mem.size()) {
+                throw SimulationError(format("kernel %s: array %u read out of bounds "
+                                             "(%zu >= %zu)",
+                                             program_.kernelName.c_str(), instr.array, idx,
+                                             mem.size()));
+            }
+            regs_[instr.dst] = mem[idx];
+            break;
+        }
+        case Opcode::ArrayStore: {
+            auto& mem = arrays_[instr.array];
+            const auto idx = static_cast<std::size_t>(regs_[instr.a]);
+            if (idx >= mem.size()) {
+                throw SimulationError(format("kernel %s: array %u write out of bounds "
+                                             "(%zu >= %zu)",
+                                             program_.kernelName.c_str(), instr.array, idx,
+                                             mem.size()));
+            }
+            mem[idx] = maskTo(program_.arrays[instr.array].width, regs_[instr.b]);
+            break;
+        }
+        case Opcode::StreamRead: {
+            std::uint64_t value = 0;
+            if (!io_.streamRead(instr.port, value)) {
+                ++stalls_;
+                return false;  // stall this cycle; retry same pc next tick
+            }
+            regs_[instr.dst] = value;
+            break;
+        }
+        case Opcode::StreamWrite: {
+            const std::uint64_t value =
+                maskTo(program_.ports[instr.port].width, regs_[instr.a]);
+            if (!io_.streamWrite(instr.port, value)) {
+                ++stalls_;
+                return false;
+            }
+            break;
+        }
+        case Opcode::SetResult:
+            io_.setResult(instr.port,
+                          maskTo(program_.ports[instr.port].width, regs_[instr.a]));
+            break;
+        case Opcode::Jump:
+            pc_ = instr.target;
+            ++executed_;
+            continue;
+        case Opcode::JumpIfZero:
+            pc_ = regs_[instr.a] == 0 ? instr.target : pc_ + 1;
+            ++executed_;
+            continue;
+        case Opcode::Cost:
+            waitCycles_ = instr.imm - 1;  // this tick counts as the first cycle
+            ++pc_;
+            ++executed_;
+            return true;
+        case Opcode::Halt:
+            running_ = false;
+            return true;
+        }
+        ++executed_;
+        ++pc_;
+    }
+    throw SimulationError(format("kernel %s: executed %llu instructions without "
+                                 "consuming a cycle (missing Cost?)",
+                                 program_.kernelName.c_str(),
+                                 static_cast<unsigned long long>(kMaxInstrPerCycle)));
+}
+
+} // namespace socgen::hls

@@ -1,0 +1,74 @@
+#pragma once
+
+#include "socgen/hls/bytecode.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace socgen::hls {
+
+/// Bridge between the kernel VM and the surrounding system: the SoC
+/// accelerator wrapper implements this against real AXI channels; tests
+/// implement it against vectors.
+class KernelIo {
+public:
+    virtual ~KernelIo() = default;
+
+    /// Value of a scalar-in argument register (set by the GPP via AXI-Lite).
+    [[nodiscard]] virtual std::uint64_t argValue(PortId port) = 0;
+
+    /// Publishes a scalar-out result register.
+    virtual void setResult(PortId port, std::uint64_t value) = 0;
+
+    /// Non-blocking stream read; returns false when no data is available
+    /// this cycle (the VM stalls).
+    virtual bool streamRead(PortId port, std::uint64_t& value) = 0;
+
+    /// Non-blocking stream write; returns false when the channel is full.
+    virtual bool streamWrite(PortId port, std::uint64_t value) = 0;
+};
+
+/// Cycle-stepped virtual machine executing a compiled kernel Program.
+/// One tick() is one clock cycle of the accelerator: zero-latency
+/// instructions execute back-to-back until a Cost instruction charges
+/// schedule-derived cycles or a stream access has to stall.
+class KernelVm {
+public:
+    KernelVm(const Program& program, KernelIo& io);
+
+    /// Restarts execution from the beginning (ap_start).
+    void start();
+
+    [[nodiscard]] bool running() const { return running_; }
+    [[nodiscard]] bool finished() const { return !running_ && started_; }
+
+    /// Advances one clock cycle. Returns true if the kernel made forward
+    /// progress (it did not spend the whole cycle stalled on a stream).
+    bool tick();
+
+    // -- statistics ----------------------------------------------------------
+    [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+    [[nodiscard]] std::uint64_t stallCycles() const { return stalls_; }
+    [[nodiscard]] std::uint64_t instructionsExecuted() const { return executed_; }
+
+    /// Direct array access for tests / result extraction.
+    [[nodiscard]] const std::vector<std::uint64_t>& array(ArrayId id) const;
+
+private:
+    [[nodiscard]] static std::uint64_t applyBin(BinOp op, std::uint64_t a, std::uint64_t b);
+    [[nodiscard]] std::uint64_t maskVar(std::uint32_t reg, std::uint64_t value) const;
+
+    const Program& program_;
+    KernelIo& io_;
+    std::vector<std::uint64_t> regs_;
+    std::vector<std::vector<std::uint64_t>> arrays_;
+    std::uint32_t pc_ = 0;
+    std::int64_t waitCycles_ = 0;
+    bool running_ = false;
+    bool started_ = false;
+    std::uint64_t cycles_ = 0;
+    std::uint64_t stalls_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace socgen::hls

@@ -1,0 +1,325 @@
+#include "socgen/hls/ir.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+#include <algorithm>
+
+namespace socgen::hls {
+
+std::string_view portKindName(PortKind kind) {
+    switch (kind) {
+    case PortKind::ScalarIn: return "scalar-in";
+    case PortKind::ScalarOut: return "scalar-out";
+    case PortKind::StreamIn: return "stream-in";
+    case PortKind::StreamOut: return "stream-out";
+    }
+    return "?";
+}
+
+bool isStreamPort(PortKind kind) {
+    return kind == PortKind::StreamIn || kind == PortKind::StreamOut;
+}
+
+std::string_view binOpName(BinOp op) {
+    switch (op) {
+    case BinOp::Add: return "add";
+    case BinOp::Sub: return "sub";
+    case BinOp::Mul: return "mul";
+    case BinOp::Div: return "div";
+    case BinOp::Mod: return "mod";
+    case BinOp::And: return "and";
+    case BinOp::Or: return "or";
+    case BinOp::Xor: return "xor";
+    case BinOp::Shl: return "shl";
+    case BinOp::Shr: return "shr";
+    case BinOp::Eq: return "eq";
+    case BinOp::Ne: return "ne";
+    case BinOp::Lt: return "lt";
+    case BinOp::Le: return "le";
+    case BinOp::Gt: return "gt";
+    case BinOp::Ge: return "ge";
+    case BinOp::Min: return "min";
+    case BinOp::Max: return "max";
+    }
+    return "?";
+}
+
+const KernelPort& Kernel::port(PortId id) const {
+    require(id < ports_.size(), "port id out of range");
+    return ports_[id];
+}
+
+const Expr& Kernel::expr(ExprId id) const {
+    require(id < exprs_.size(), "expr id out of range");
+    return exprs_[id];
+}
+
+const Stmt& Kernel::stmt(StmtId id) const {
+    require(id < stmts_.size(), "stmt id out of range");
+    return stmts_[id];
+}
+
+PortId Kernel::portId(std::string_view name) const {
+    for (PortId i = 0; i < ports_.size(); ++i) {
+        if (ports_[i].name == name) {
+            return i;
+        }
+    }
+    throw HlsError(format("kernel %s has no port '%s'", name_.c_str(),
+                          std::string(name).c_str()));
+}
+
+bool Kernel::hasPort(std::string_view name) const {
+    return std::any_of(ports_.begin(), ports_.end(),
+                       [&](const KernelPort& p) { return p.name == name; });
+}
+
+std::size_t Kernel::statementCount() const {
+    return stmts_.size();
+}
+
+// ---------------------------------------------------------------------------
+// KernelBuilder
+
+ExprId KernelBuilder::addExpr(Expr expr) {
+    kernel_.exprs_.push_back(expr);
+    return static_cast<ExprId>(kernel_.exprs_.size() - 1);
+}
+
+StmtId KernelBuilder::addStmt(Stmt stmt) {
+    kernel_.stmts_.push_back(std::move(stmt));
+    const auto id = static_cast<StmtId>(kernel_.stmts_.size() - 1);
+    currentBlock().push_back(id);
+    return id;
+}
+
+std::vector<StmtId>& KernelBuilder::currentBlock() {
+    if (scopes_.empty()) {
+        return kernel_.body_;
+    }
+    const Scope& top = scopes_.back();
+    Stmt& s = kernel_.stmts_[top.stmt];
+    return top.inElse ? s.elseBody : s.body;
+}
+
+PortId KernelBuilder::scalarIn(std::string name, unsigned width) {
+    kernel_.ports_.push_back(KernelPort{std::move(name), PortKind::ScalarIn, width});
+    return static_cast<PortId>(kernel_.ports_.size() - 1);
+}
+
+PortId KernelBuilder::scalarOut(std::string name, unsigned width) {
+    kernel_.ports_.push_back(KernelPort{std::move(name), PortKind::ScalarOut, width});
+    return static_cast<PortId>(kernel_.ports_.size() - 1);
+}
+
+PortId KernelBuilder::streamIn(std::string name, unsigned width) {
+    kernel_.ports_.push_back(KernelPort{std::move(name), PortKind::StreamIn, width});
+    return static_cast<PortId>(kernel_.ports_.size() - 1);
+}
+
+PortId KernelBuilder::streamOut(std::string name, unsigned width) {
+    kernel_.ports_.push_back(KernelPort{std::move(name), PortKind::StreamOut, width});
+    return static_cast<PortId>(kernel_.ports_.size() - 1);
+}
+
+VarId KernelBuilder::var(std::string name, unsigned width) {
+    kernel_.vars_.push_back(KernelVar{std::move(name), width});
+    return static_cast<VarId>(kernel_.vars_.size() - 1);
+}
+
+ArrayId KernelBuilder::array(std::string name, std::size_t depth, unsigned width) {
+    if (depth == 0) {
+        throw HlsError("array depth must be positive");
+    }
+    kernel_.arrays_.push_back(KernelArray{std::move(name), depth, width});
+    return static_cast<ArrayId>(kernel_.arrays_.size() - 1);
+}
+
+ExprId KernelBuilder::c(std::int64_t value) {
+    Expr e;
+    e.kind = ExprKind::Const;
+    e.value = value;
+    return addExpr(e);
+}
+
+ExprId KernelBuilder::v(VarId var) {
+    require(var < kernel_.vars_.size(), "var id out of range");
+    Expr e;
+    e.kind = ExprKind::Var;
+    e.var = var;
+    return addExpr(e);
+}
+
+ExprId KernelBuilder::arg(PortId port) {
+    require(port < kernel_.ports_.size(), "port id out of range");
+    if (kernel_.ports_[port].kind != PortKind::ScalarIn) {
+        throw HlsError("arg() requires a scalar-in port");
+    }
+    Expr e;
+    e.kind = ExprKind::Arg;
+    e.port = port;
+    return addExpr(e);
+}
+
+ExprId KernelBuilder::load(ArrayId array, ExprId index) {
+    require(array < kernel_.arrays_.size(), "array id out of range");
+    Expr e;
+    e.kind = ExprKind::ArrayLoad;
+    e.array = array;
+    e.a = index;
+    return addExpr(e);
+}
+
+ExprId KernelBuilder::read(PortId streamInPort) {
+    require(streamInPort < kernel_.ports_.size(), "port id out of range");
+    if (kernel_.ports_[streamInPort].kind != PortKind::StreamIn) {
+        throw HlsError("read() requires a stream-in port");
+    }
+    Expr e;
+    e.kind = ExprKind::StreamRead;
+    e.port = streamInPort;
+    return addExpr(e);
+}
+
+ExprId KernelBuilder::un(UnOp op, ExprId a) {
+    Expr e;
+    e.kind = ExprKind::Unary;
+    e.uop = op;
+    e.a = a;
+    return addExpr(e);
+}
+
+ExprId KernelBuilder::bin(BinOp op, ExprId a, ExprId b) {
+    Expr e;
+    e.kind = ExprKind::Binary;
+    e.bop = op;
+    e.a = a;
+    e.b = b;
+    return addExpr(e);
+}
+
+ExprId KernelBuilder::select(ExprId cond, ExprId whenNonZero, ExprId whenZero) {
+    Expr e;
+    e.kind = ExprKind::Select;
+    e.a = cond;
+    e.b = whenNonZero;
+    e.c = whenZero;
+    return addExpr(e);
+}
+
+void KernelBuilder::assign(VarId var, ExprId value) {
+    Stmt s;
+    s.kind = StmtKind::Assign;
+    s.var = var;
+    s.value = value;
+    addStmt(std::move(s));
+}
+
+void KernelBuilder::arrayStore(ArrayId array, ExprId index, ExprId value) {
+    Stmt s;
+    s.kind = StmtKind::ArrayStore;
+    s.array = array;
+    s.index = index;
+    s.value = value;
+    addStmt(std::move(s));
+}
+
+void KernelBuilder::write(PortId streamOutPort, ExprId value) {
+    if (kernel_.ports_[streamOutPort].kind != PortKind::StreamOut) {
+        throw HlsError("write() requires a stream-out port");
+    }
+    Stmt s;
+    s.kind = StmtKind::StreamWrite;
+    s.port = streamOutPort;
+    s.value = value;
+    addStmt(std::move(s));
+}
+
+void KernelBuilder::setResult(PortId scalarOutPort, ExprId value) {
+    if (kernel_.ports_[scalarOutPort].kind != PortKind::ScalarOut) {
+        throw HlsError("setResult() requires a scalar-out port");
+    }
+    Stmt s;
+    s.kind = StmtKind::SetResult;
+    s.port = scalarOutPort;
+    s.value = value;
+    addStmt(std::move(s));
+}
+
+void KernelBuilder::forLoop(VarId inductionVar, ExprId bound) {
+    Stmt s;
+    s.kind = StmtKind::For;
+    s.var = inductionVar;
+    s.value = bound;
+    const StmtId id = addStmt(std::move(s));
+    scopes_.push_back(Scope{id, false});
+}
+
+void KernelBuilder::endLoop() {
+    if (scopes_.empty() || kernel_.stmts_[scopes_.back().stmt].kind != StmtKind::For) {
+        throw HlsError("endLoop() without matching forLoop()");
+    }
+    scopes_.pop_back();
+}
+
+void KernelBuilder::ifBegin(ExprId cond) {
+    Stmt s;
+    s.kind = StmtKind::If;
+    s.value = cond;
+    const StmtId id = addStmt(std::move(s));
+    scopes_.push_back(Scope{id, false});
+}
+
+void KernelBuilder::elseBegin() {
+    if (scopes_.empty() || kernel_.stmts_[scopes_.back().stmt].kind != StmtKind::If ||
+        scopes_.back().inElse) {
+        throw HlsError("elseBegin() without matching ifBegin()");
+    }
+    scopes_.back().inElse = true;
+}
+
+void KernelBuilder::endIf() {
+    if (scopes_.empty() || kernel_.stmts_[scopes_.back().stmt].kind != StmtKind::If) {
+        throw HlsError("endIf() without matching ifBegin()");
+    }
+    scopes_.pop_back();
+}
+
+Kernel KernelBuilder::build() {
+    if (built_) {
+        throw HlsError("KernelBuilder::build() called twice");
+    }
+    if (!scopes_.empty()) {
+        throw HlsError(format("kernel %s: %zu unclosed scope(s) at build()",
+                              kernel_.name().c_str(), scopes_.size()));
+    }
+    built_ = true;
+    return std::move(kernel_);
+}
+
+// ---------------------------------------------------------------------------
+// KernelLibrary
+
+void KernelLibrary::add(Kernel kernel) {
+    if (has(kernel.name())) {
+        throw HlsError("duplicate kernel: " + kernel.name());
+    }
+    kernels_.push_back(std::move(kernel));
+}
+
+bool KernelLibrary::has(std::string_view name) const {
+    return std::any_of(kernels_.begin(), kernels_.end(),
+                       [&](const Kernel& k) { return k.name() == name; });
+}
+
+const Kernel& KernelLibrary::get(std::string_view name) const {
+    for (const auto& k : kernels_) {
+        if (k.name() == name) {
+            return k;
+        }
+    }
+    throw HlsError("no kernel named '" + std::string(name) + "' in library");
+}
+
+} // namespace socgen::hls

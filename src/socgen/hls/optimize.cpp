@@ -1,0 +1,372 @@
+#include "socgen/hls/optimize.hpp"
+
+#include "socgen/common/error.hpp"
+
+#include <optional>
+#include <set>
+
+namespace socgen::hls {
+
+namespace {
+
+class Optimizer {
+public:
+    Optimizer(const Kernel& kernel, OptStats* stats) : in_(kernel), stats_(stats) {}
+
+    Kernel run() {
+        collectReadVars();
+        KernelBuilder kb(in_.name());
+        // Recreate the signature/locals in order so ids stay stable.
+        for (const auto& p : in_.ports()) {
+            switch (p.kind) {
+            case PortKind::ScalarIn: (void)kb.scalarIn(p.name, p.width); break;
+            case PortKind::ScalarOut: (void)kb.scalarOut(p.name, p.width); break;
+            case PortKind::StreamIn: (void)kb.streamIn(p.name, p.width); break;
+            case PortKind::StreamOut: (void)kb.streamOut(p.name, p.width); break;
+            }
+        }
+        for (const auto& v : in_.vars()) {
+            (void)kb.var(v.name, v.width);
+        }
+        for (const auto& a : in_.arrays()) {
+            (void)kb.array(a.name, a.depth, a.width);
+        }
+        kb_ = &kb;
+        emitBlock(in_.body());
+        return kb.build();
+    }
+
+private:
+    void bump(std::size_t OptStats::* field) {
+        if (stats_ != nullptr) {
+            ++(stats_->*field);
+        }
+    }
+
+    void collectReadsIn(ExprId id) {
+        const Expr& e = in_.expr(id);
+        switch (e.kind) {
+        case ExprKind::Var: readVars_.insert(e.var); break;
+        case ExprKind::ArrayLoad: collectReadsIn(e.a); break;
+        case ExprKind::Unary: collectReadsIn(e.a); break;
+        case ExprKind::Binary:
+            collectReadsIn(e.a);
+            collectReadsIn(e.b);
+            break;
+        case ExprKind::Select:
+            collectReadsIn(e.a);
+            collectReadsIn(e.b);
+            collectReadsIn(e.c);
+            break;
+        default: break;
+        }
+    }
+
+    void collectReadsInBlock(const std::vector<StmtId>& block) {
+        for (StmtId id : block) {
+            const Stmt& s = in_.stmt(id);
+            switch (s.kind) {
+            case StmtKind::Assign:
+            case StmtKind::StreamWrite:
+            case StmtKind::SetResult:
+                collectReadsIn(s.value);
+                break;
+            case StmtKind::ArrayStore:
+                collectReadsIn(s.index);
+                collectReadsIn(s.value);
+                break;
+            case StmtKind::For:
+                collectReadsIn(s.value);
+                // The induction variable is not counted as "read" here:
+                // loop control is implicit, and body reads of it surface
+                // as Var expressions anyway.
+                collectReadsInBlock(s.body);
+                break;
+            case StmtKind::If:
+                collectReadsIn(s.value);
+                collectReadsInBlock(s.body);
+                collectReadsInBlock(s.elseBody);
+                break;
+            }
+        }
+    }
+
+    void collectReadVars() { collectReadsInBlock(in_.body()); }
+
+    [[nodiscard]] bool hasStreamRead(ExprId id) const {
+        const Expr& e = in_.expr(id);
+        switch (e.kind) {
+        case ExprKind::StreamRead: return true;
+        case ExprKind::ArrayLoad: return hasStreamRead(e.a);
+        case ExprKind::Unary: return hasStreamRead(e.a);
+        case ExprKind::Binary: return hasStreamRead(e.a) || hasStreamRead(e.b);
+        case ExprKind::Select:
+            return hasStreamRead(e.a) || hasStreamRead(e.b) || hasStreamRead(e.c);
+        default: return false;
+        }
+    }
+
+    /// Rewritten expression: either a known constant or a new ExprId.
+    struct Value {
+        std::optional<std::int64_t> constant;
+        ExprId expr = kNoId;
+
+        [[nodiscard]] bool isConst(std::int64_t v) const {
+            return constant.has_value() && *constant == v;
+        }
+    };
+
+    Value makeConst(std::int64_t v) { return Value{v, kNoId}; }
+
+    ExprId materialize(const Value& v) {
+        return v.constant.has_value() ? kb_->c(*v.constant) : v.expr;
+    }
+
+    static std::optional<std::int64_t> foldBinary(BinOp op, std::int64_t a,
+                                                  std::int64_t b) {
+        const auto ua = static_cast<std::uint64_t>(a);
+        const auto ub = static_cast<std::uint64_t>(b);
+        switch (op) {
+        case BinOp::Add: return static_cast<std::int64_t>(ua + ub);
+        case BinOp::Sub: return static_cast<std::int64_t>(ua - ub);
+        case BinOp::Mul: return static_cast<std::int64_t>(ua * ub);
+        case BinOp::Div: return ub == 0 ? std::nullopt
+                                        : std::optional<std::int64_t>(
+                                              static_cast<std::int64_t>(ua / ub));
+        case BinOp::Mod: return ub == 0 ? std::nullopt
+                                        : std::optional<std::int64_t>(
+                                              static_cast<std::int64_t>(ua % ub));
+        case BinOp::And: return static_cast<std::int64_t>(ua & ub);
+        case BinOp::Or: return static_cast<std::int64_t>(ua | ub);
+        case BinOp::Xor: return static_cast<std::int64_t>(ua ^ ub);
+        case BinOp::Shl: return ub >= 64 ? 0 : static_cast<std::int64_t>(ua << ub);
+        case BinOp::Shr: return ub >= 64 ? 0 : static_cast<std::int64_t>(ua >> ub);
+        case BinOp::Eq: return ua == ub ? 1 : 0;
+        case BinOp::Ne: return ua != ub ? 1 : 0;
+        case BinOp::Lt: return ua < ub ? 1 : 0;
+        case BinOp::Le: return ua <= ub ? 1 : 0;
+        case BinOp::Gt: return ua > ub ? 1 : 0;
+        case BinOp::Ge: return ua >= ub ? 1 : 0;
+        case BinOp::Min: return static_cast<std::int64_t>(std::min(ua, ub));
+        case BinOp::Max: return static_cast<std::int64_t>(std::max(ua, ub));
+        }
+        return std::nullopt;
+    }
+
+    Value rewriteExpr(ExprId id) {
+        const Expr& e = in_.expr(id);
+        switch (e.kind) {
+        case ExprKind::Const:
+            return makeConst(e.value);
+        case ExprKind::Var:
+            return Value{std::nullopt, kb_->v(e.var)};
+        case ExprKind::Arg:
+            return Value{std::nullopt, kb_->arg(e.port)};
+        case ExprKind::StreamRead:
+            return Value{std::nullopt, kb_->read(e.port)};
+        case ExprKind::ArrayLoad: {
+            const Value index = rewriteExpr(e.a);
+            return Value{std::nullopt, kb_->load(e.array, materialize(index))};
+        }
+        case ExprKind::Unary: {
+            const Value a = rewriteExpr(e.a);
+            if (a.constant) {
+                bump(&OptStats::foldedConstants);
+                return makeConst(e.uop == UnOp::Not
+                                     ? static_cast<std::int64_t>(
+                                           ~static_cast<std::uint64_t>(*a.constant))
+                                     : -*a.constant);
+            }
+            return Value{std::nullopt, kb_->un(e.uop, a.expr)};
+        }
+        case ExprKind::Binary: {
+            const Value a = rewriteExpr(e.a);
+            const Value b = rewriteExpr(e.b);
+            if (a.constant && b.constant) {
+                if (const auto folded = foldBinary(e.bop, *a.constant, *b.constant)) {
+                    bump(&OptStats::foldedConstants);
+                    return makeConst(*folded);
+                }
+            }
+            // Algebraic identities (side-effect-free by construction:
+            // the surviving operand is returned unchanged).
+            const auto identity = [&](const Value& kept) {
+                bump(&OptStats::simplifiedAlgebra);
+                return kept;
+            };
+            const auto powerOfTwo = [](std::int64_t v) {
+                return v > 1 && (v & (v - 1)) == 0;
+            };
+            const auto log2Of = [](std::int64_t v) {
+                int bits = 0;
+                while ((std::int64_t{1} << bits) < v) {
+                    ++bits;
+                }
+                return std::int64_t{bits};
+            };
+            switch (e.bop) {
+            case BinOp::Add:
+                if (a.isConst(0)) return identity(b);
+                if (b.isConst(0)) return identity(a);
+                break;
+            case BinOp::Sub:
+            case BinOp::Shl:
+            case BinOp::Shr:
+            case BinOp::Xor:
+            case BinOp::Or:
+                if (b.isConst(0)) return identity(a);
+                break;
+            case BinOp::Mul:
+                if (a.isConst(1)) return identity(b);
+                if (b.isConst(1)) return identity(a);
+                if ((a.isConst(0) && !hasStreamRead(e.b)) ||
+                    (b.isConst(0) && !hasStreamRead(e.a))) {
+                    bump(&OptStats::simplifiedAlgebra);
+                    return makeConst(0);
+                }
+                // x * 2^k -> x << k (frees a DSP slice).
+                if (b.constant && powerOfTwo(*b.constant)) {
+                    bump(&OptStats::strengthReduced);
+                    return Value{std::nullopt,
+                                 kb_->shl(materialize(a), kb_->c(log2Of(*b.constant)))};
+                }
+                if (a.constant && powerOfTwo(*a.constant)) {
+                    bump(&OptStats::strengthReduced);
+                    return Value{std::nullopt,
+                                 kb_->shl(materialize(b), kb_->c(log2Of(*a.constant)))};
+                }
+                break;
+            case BinOp::And:
+                if ((a.isConst(0) && !hasStreamRead(e.b)) ||
+                    (b.isConst(0) && !hasStreamRead(e.a))) {
+                    bump(&OptStats::simplifiedAlgebra);
+                    return makeConst(0);
+                }
+                break;
+            case BinOp::Div:
+                if (b.isConst(1)) return identity(a);
+                // x / 2^k -> x >> k (kills the iterative divider).
+                if (b.constant && powerOfTwo(*b.constant)) {
+                    bump(&OptStats::strengthReduced);
+                    return Value{std::nullopt,
+                                 kb_->shr(materialize(a), kb_->c(log2Of(*b.constant)))};
+                }
+                break;
+            case BinOp::Mod:
+                if (b.isConst(1)) {
+                    bump(&OptStats::simplifiedAlgebra);
+                    return makeConst(0);
+                }
+                // x % 2^k -> x & (2^k - 1).
+                if (b.constant && powerOfTwo(*b.constant)) {
+                    bump(&OptStats::strengthReduced);
+                    return Value{std::nullopt,
+                                 kb_->bin(BinOp::And, materialize(a),
+                                          kb_->c(*b.constant - 1))};
+                }
+                break;
+            default:
+                break;
+            }
+            return Value{std::nullopt, kb_->bin(e.bop, materialize(a), materialize(b))};
+        }
+        case ExprKind::Select: {
+            const Value cond = rewriteExpr(e.a);
+            if (cond.constant && !hasStreamRead(e.b) && !hasStreamRead(e.c)) {
+                bump(&OptStats::simplifiedAlgebra);
+                return rewriteExpr(*cond.constant != 0 ? e.b : e.c);
+            }
+            const Value t = rewriteExpr(e.b);
+            const Value f = rewriteExpr(e.c);
+            return Value{std::nullopt,
+                         kb_->select(materialize(cond), materialize(t), materialize(f))};
+        }
+        }
+        throw HlsError("unreachable expression kind in optimizer");
+    }
+
+    /// Returns true when the statement was emitted (false = eliminated).
+    bool emitStmt(StmtId id) {
+        const Stmt& s = in_.stmt(id);
+        switch (s.kind) {
+        case StmtKind::Assign: {
+            if (readVars_.find(s.var) == readVars_.end() && !hasStreamRead(s.value)) {
+                bump(&OptStats::removedStatements);
+                return false;  // value never observed, no side effects
+            }
+            const Value value = rewriteExpr(s.value);
+            kb_->assign(s.var, materialize(value));
+            return true;
+        }
+        case StmtKind::ArrayStore: {
+            const Value index = rewriteExpr(s.index);
+            const Value value = rewriteExpr(s.value);
+            kb_->arrayStore(s.array, materialize(index), materialize(value));
+            return true;
+        }
+        case StmtKind::StreamWrite: {
+            kb_->write(s.port, materialize(rewriteExpr(s.value)));
+            return true;
+        }
+        case StmtKind::SetResult: {
+            kb_->setResult(s.port, materialize(rewriteExpr(s.value)));
+            return true;
+        }
+        case StmtKind::For: {
+            // Empty, side-effect-free loops disappear entirely.
+            if (s.body.empty() && !hasStreamRead(s.value) &&
+                readVars_.find(s.var) == readVars_.end()) {
+                bump(&OptStats::removedStatements);
+                return false;
+            }
+            const Value bound = rewriteExpr(s.value);
+            kb_->forLoop(s.var, materialize(bound));
+            const bool any = emitBlock(s.body);
+            kb_->endLoop();
+            (void)any;
+            return true;
+        }
+        case StmtKind::If: {
+            const Value cond = rewriteExpr(s.value);
+            if (cond.constant) {
+                bump(&OptStats::simplifiedAlgebra);
+                return emitBlock(*cond.constant != 0 ? s.body : s.elseBody);
+            }
+            if (s.body.empty() && s.elseBody.empty() && !hasStreamRead(s.value)) {
+                bump(&OptStats::removedStatements);
+                return false;
+            }
+            kb_->ifBegin(materialize(cond));
+            emitBlock(s.body);
+            if (!s.elseBody.empty()) {
+                kb_->elseBegin();
+                emitBlock(s.elseBody);
+            }
+            kb_->endIf();
+            return true;
+        }
+        }
+        throw HlsError("unreachable statement kind in optimizer");
+    }
+
+    bool emitBlock(const std::vector<StmtId>& block) {
+        bool any = false;
+        for (StmtId id : block) {
+            any = emitStmt(id) || any;
+        }
+        return any;
+    }
+
+    const Kernel& in_;
+    OptStats* stats_;
+    KernelBuilder* kb_ = nullptr;
+    std::set<VarId> readVars_;
+};
+
+} // namespace
+
+Kernel optimize(const Kernel& kernel, OptStats* stats) {
+    return Optimizer(kernel, stats).run();
+}
+
+} // namespace socgen::hls

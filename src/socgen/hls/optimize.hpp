@@ -1,0 +1,28 @@
+#pragma once
+
+#include "socgen/hls/ir.hpp"
+
+namespace socgen::hls {
+
+/// Statistics of one optimizer run.
+struct OptStats {
+    std::size_t foldedConstants = 0;    ///< expressions replaced by constants
+    std::size_t simplifiedAlgebra = 0;  ///< x+0, x*1, x*0, x<<0, ... rewrites
+    std::size_t strengthReduced = 0;    ///< mul/div/mod by 2^k -> shl/shr/and
+    std::size_t removedStatements = 0;  ///< dead assigns / empty ifs & loops
+};
+
+/// High-level-synthesis front-end optimizer: rebuilds the kernel with
+///  - constant folding over expression trees,
+///  - algebraic identities (x+0, x-0, x*1, x*0, x&0, x|0, x<<0, x>>0,
+///    select on a constant condition),
+///  - strength reduction: multiply/divide/modulo by a power of two become
+///    shifts and masks (saving DSP slices and divider latency),
+///  - dead-code elimination: assignments to variables never read anywhere
+///    in the kernel (when the value has no stream side effects), empty
+///    ifs, and empty side-effect-free loops.
+/// Semantics are preserved exactly (verified by tests that compare VM
+/// outputs before/after on random inputs).
+[[nodiscard]] Kernel optimize(const Kernel& kernel, OptStats* stats = nullptr);
+
+} // namespace socgen::hls

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "socgen/rtl/netlist.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace socgen::hls {
+
+/// Zynq-7020-style resource vector (the columns of the paper's Table II).
+struct ResourceEstimate {
+    std::int64_t lut = 0;
+    std::int64_t ff = 0;
+    std::int64_t bram18 = 0;  ///< RAMB18 blocks
+    std::int64_t dsp = 0;     ///< DSP48 slices
+
+    ResourceEstimate& operator+=(const ResourceEstimate& other);
+    friend ResourceEstimate operator+(ResourceEstimate a, const ResourceEstimate& b) {
+        a += b;
+        return a;
+    }
+    friend bool operator==(const ResourceEstimate&, const ResourceEstimate&) = default;
+
+    [[nodiscard]] std::string str() const;
+};
+
+/// Per-cell-kind pricing calibrated so the Otsu case study lands in the
+/// neighbourhood of the paper's Table II (shape, not exact numbers).
+struct CostModel {
+    /// Resources of one primitive cell.
+    [[nodiscard]] ResourceEstimate priceCell(const rtl::Cell& cell) const;
+
+    /// Sum over all cells of a netlist.
+    [[nodiscard]] ResourceEstimate priceNetlist(const rtl::Netlist& netlist) const;
+
+    /// Wrapper overhead of the HLS interface logic for one port.
+    [[nodiscard]] ResourceEstimate axiLitePortCost(unsigned width) const;
+    [[nodiscard]] ResourceEstimate axiStreamPortCost(unsigned width) const;
+
+    /// Fixed per-accelerator control overhead (start/done, reset tree).
+    [[nodiscard]] ResourceEstimate coreOverhead() const;
+};
+
+/// DSP48 slices needed for a w x w multiplier.
+[[nodiscard]] std::int64_t dspForMul(unsigned width);
+
+/// RAMB18 blocks for a depth x width memory (0 if it fits in LUTRAM).
+[[nodiscard]] std::int64_t bram18For(std::int64_t depth, unsigned width);
+
+} // namespace socgen::hls

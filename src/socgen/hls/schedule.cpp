@@ -1,0 +1,403 @@
+#include "socgen/hls/schedule.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <sstream>
+
+namespace socgen::hls {
+
+FuClass fuClassOf(const DfgOp& op) {
+    switch (op.kind) {
+    case OpKind::Binary:
+        switch (op.bop) {
+        case BinOp::Mul: return FuClass::Mul;
+        case BinOp::Div:
+        case BinOp::Mod: return FuClass::Div;
+        default: return FuClass::Alu;
+        }
+    case OpKind::Unary:
+    case OpKind::Select:
+    case OpKind::Move:
+    case OpKind::SetResult:
+        return FuClass::Alu;
+    case OpKind::ArrayLoad:
+    case OpKind::ArrayStore:
+        return FuClass::Mem;
+    case OpKind::StreamRead:
+    case OpKind::StreamWrite:
+        return FuClass::Stream;
+    case OpKind::LoopNest:
+        return FuClass::Loop;
+    }
+    return FuClass::Alu;
+}
+
+std::int64_t LatencyModel::of(const DfgOp& op) const {
+    switch (op.kind) {
+    case OpKind::Binary:
+        switch (op.bop) {
+        case BinOp::Mul: return mulLatency;
+        case BinOp::Div:
+        case BinOp::Mod: return divLatency;
+        default: return aluLatency;
+        }
+    case OpKind::Unary:
+    case OpKind::Select:
+    case OpKind::Move:
+    case OpKind::SetResult:
+        return aluLatency;
+    case OpKind::ArrayLoad: return loadLatency;
+    case OpKind::ArrayStore: return storeLatency;
+    case OpKind::StreamRead:
+    case OpKind::StreamWrite:
+        return streamLatency;
+    case OpKind::LoopNest:
+        return std::max<std::int64_t>(op.loopLatency, 1);
+    }
+    return aluLatency;
+}
+
+namespace {
+
+/// Key identifying a concrete shared resource pool within a block.
+struct ResourcePool {
+    FuClass cls;
+    std::uint32_t instance;  ///< array id for Mem, port id for Stream, else 0
+
+    bool operator<(const ResourcePool& other) const {
+        return std::tie(cls, instance) < std::tie(other.cls, other.instance);
+    }
+};
+
+int poolCapacity(const ResourcePool& pool, const Directives& d) {
+    switch (pool.cls) {
+    case FuClass::Mul: return d.maxMulUnits;
+    case FuClass::Div: return d.maxDivUnits;
+    case FuClass::Mem: return d.memPortsPerArray;
+    case FuClass::Stream: return 1;
+    default: return -1;  // unlimited
+    }
+}
+
+std::optional<ResourcePool> poolOf(const DfgOp& op) {
+    const FuClass cls = fuClassOf(op);
+    switch (cls) {
+    case FuClass::Mul: return ResourcePool{cls, 0};
+    case FuClass::Div: return ResourcePool{cls, 0};
+    case FuClass::Mem: return ResourcePool{cls, op.array};
+    case FuClass::Stream: return ResourcePool{cls, op.port};
+    default: return std::nullopt;
+    }
+}
+
+/// Cycles a unit in this pool stays busy per started op. Pipelined DSP
+/// multipliers accept one op per cycle; the iterative divider blocks for
+/// its full latency; memory/stream ports are busy one cycle per access.
+std::int64_t poolBusyCycles(const ResourcePool& pool, const LatencyModel& lat) {
+    return pool.cls == FuClass::Div ? lat.divLatency : 1;
+}
+
+class BlockScheduler {
+public:
+    BlockScheduler(const Directives& d, const LatencyModel& lat) : d_(d), lat_(lat) {}
+
+    BlockSchedule run(Dfg dfg) const {
+        BlockSchedule out;
+        out.startCycle.assign(dfg.size(), 0);
+
+        // Priority: longest path from op to any sink (critical-path first).
+        std::vector<std::int64_t> priority(dfg.size(), 0);
+        for (std::size_t i = dfg.size(); i-- > 0;) {
+            priority[i] = lat_.of(dfg.ops[i]);
+        }
+        for (std::size_t i = dfg.size(); i-- > 0;) {
+            for (OpId dep : dfg.ops[i].deps) {
+                priority[dep] =
+                    std::max(priority[dep], priority[i] + lat_.of(dfg.ops[dep]));
+            }
+        }
+
+        const bool constrained = d_.scheduler == SchedulerKind::List;
+        std::map<ResourcePool, std::vector<std::int64_t>> unitFreeAt;
+
+        // Ops are stored in topological order (deps have smaller ids), so a
+        // single forward pass with per-op earliest-start works for both
+        // ASAP and resource-constrained modes. For the constrained mode we
+        // greedily place ops in priority order among those whose deps are
+        // already placed — here simply in index order with unit lookahead,
+        // which matches list scheduling on a topologically sorted graph.
+        std::vector<std::size_t> order(dfg.size());
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            order[i] = i;
+        }
+        std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+            // Respect topology first (an op can never precede its deps in
+            // placement because deps have smaller indices and earliest
+            // start accounts for them), then prefer critical ops.
+            return priority[a] > priority[b];
+        });
+
+        // Earliest start from dependencies; recompute as ops get placed.
+        std::vector<bool> placed(dfg.size(), false);
+        std::vector<std::size_t> pending = order;
+        std::int64_t length = 0;
+        while (!pending.empty()) {
+            bool progressed = false;
+            for (auto it = pending.begin(); it != pending.end();) {
+                const std::size_t i = *it;
+                const DfgOp& op = dfg.ops[i];
+                bool ready = true;
+                std::int64_t earliest = 0;
+                for (OpId dep : op.deps) {
+                    if (!placed[dep]) {
+                        ready = false;
+                        break;
+                    }
+                    earliest = std::max(earliest,
+                                        out.startCycle[dep] + lat_.of(dfg.ops[dep]));
+                }
+                if (!ready) {
+                    ++it;
+                    continue;
+                }
+                std::int64_t start = earliest;
+                if (constrained) {
+                    if (const auto pool = poolOf(op)) {
+                        auto& units = unitFreeAt[*pool];
+                        if (units.empty()) {
+                            const int capacity = poolCapacity(*pool, d_);
+                            require(capacity > 0, "resource pool with zero capacity");
+                            units.assign(static_cast<std::size_t>(capacity), 0);
+                        }
+                        // Pick the unit that allows the earliest start.
+                        auto best = std::min_element(units.begin(), units.end());
+                        start = std::max(start, *best);
+                        *best = start + poolBusyCycles(*pool, lat_);
+                    }
+                }
+                out.startCycle[i] = start;
+                placed[i] = true;
+                length = std::max(length, start + lat_.of(op));
+                it = pending.erase(it);
+                progressed = true;
+            }
+            if (!progressed) {
+                throw HlsError("scheduler made no progress (dependency cycle?)");
+            }
+        }
+        out.length = length;
+        out.dfg = std::move(dfg);
+        return out;
+    }
+
+private:
+    const Directives& d_;
+    const LatencyModel& lat_;
+};
+
+/// Resource-constrained component of the initiation interval.
+std::int64_t resourceIi(const Dfg& dfg, const Directives& d) {
+    std::map<ResourcePool, std::int64_t> uses;
+    for (const auto& op : dfg.ops) {
+        if (const auto pool = poolOf(op)) {
+            ++uses[*pool];
+        }
+    }
+    std::int64_t ii = 1;
+    for (const auto& [pool, count] : uses) {
+        const int capacity = poolCapacity(pool, d);
+        if (capacity > 0) {
+            const std::int64_t perUnit = pool.cls == FuClass::Div ? 1 : 1;
+            (void)perUnit;
+            ii = std::max(ii, (count + capacity - 1) / capacity);
+        }
+    }
+    return ii;
+}
+
+/// Recurrence-constrained component of the initiation interval:
+/// (a) intra-loop array store feeding a next-iteration load of the same
+///     array (e.g. the histogram update), and
+/// (b) scalar accumulation (op reads a block-external var that some op in
+///     the block assigns).
+std::int64_t recurrenceIi(const Dfg& dfg, const LatencyModel& lat) {
+    // finishFrom[i][?]: longest path metric computed per source set; we
+    // just need, for each "source" op, the longest latency path to each
+    // "sink" op. Sizes are small (tens of ops), so O(n^2) relaxations are
+    // fine.
+    const std::size_t n = dfg.size();
+    std::int64_t ii = 1;
+
+    const auto longestPath = [&](OpId from, OpId to) -> std::int64_t {
+        // Longest latency path from `from` (inclusive) to `to` (inclusive);
+        // -1 if unreachable. Ids are topologically ordered.
+        if (from > to) {
+            return -1;
+        }
+        std::vector<std::int64_t> dist(n, -1);
+        dist[from] = lat.of(dfg.ops[from]);
+        for (std::size_t i = from + 1; i <= to; ++i) {
+            for (OpId dep : dfg.ops[i].deps) {
+                if (dist[dep] >= 0) {
+                    dist[i] = std::max(dist[i], dist[dep] + lat.of(dfg.ops[i]));
+                }
+            }
+        }
+        return dist[to];
+    };
+
+    for (OpId store = 0; store < n; ++store) {
+        if (dfg.ops[store].kind != OpKind::ArrayStore) {
+            continue;
+        }
+        for (OpId loadOp = 0; loadOp < n; ++loadOp) {
+            const auto& l = dfg.ops[loadOp];
+            if (l.kind == OpKind::ArrayLoad && l.array == dfg.ops[store].array) {
+                const std::int64_t path = longestPath(loadOp, store);
+                if (path > 0) {
+                    ii = std::max(ii, path);
+                }
+            }
+        }
+    }
+
+    for (OpId def = 0; def < n; ++def) {
+        const VarId v = dfg.ops[def].assignsVar;
+        if (v == kNoId) {
+            continue;
+        }
+        for (OpId use = 0; use < n; ++use) {
+            const auto& reads = dfg.ops[use].varReads;
+            if (std::find(reads.begin(), reads.end(), v) != reads.end()) {
+                const std::int64_t path = longestPath(use, def);
+                if (path > 0) {
+                    ii = std::max(ii, path);
+                }
+            }
+        }
+    }
+    return ii;
+}
+
+struct LoopWalker {
+    const Kernel& kernel;
+    const Directives& directives;
+    const LatencyModel& latency;
+    std::vector<LoopSchedule> loops;
+
+    static std::int64_t loopLatencyCb(void* ctx, StmtId stmt) {
+        auto* self = static_cast<LoopWalker*>(ctx);
+        for (const auto& l : self->loops) {
+            if (l.stmt == stmt) {
+                return l.totalCycles;
+            }
+        }
+        throw HlsError("inner loop scheduled out of order");
+    }
+
+    std::int64_t tripCountOf(const Stmt& s) const {
+        const Expr& bound = kernel.expr(s.value);
+        if (bound.kind == ExprKind::Const) {
+            return std::max<std::int64_t>(bound.value, 0);
+        }
+        const std::string& var = kernel.vars()[s.var].name;
+        const auto it = directives.tripCountHints.find(var);
+        return it != directives.tripCountHints.end() ? it->second
+                                                     : directives.defaultTripCount;
+    }
+
+    void walkBlock(const std::vector<StmtId>& block) {
+        for (StmtId id : block) {
+            const Stmt& s = kernel.stmt(id);
+            if (s.kind == StmtKind::For) {
+                walkBlock(s.body);  // innermost first
+                scheduleLoop(id, s);
+            } else if (s.kind == StmtKind::If) {
+                walkBlock(s.body);
+                walkBlock(s.elseBody);
+            }
+        }
+    }
+
+    void scheduleLoop(StmtId id, const Stmt& s) {
+        LoopSchedule ls;
+        ls.stmt = id;
+        ls.inductionVar = kernel.vars()[s.var].name;
+        const Expr& bound = kernel.expr(s.value);
+        ls.tripExact = bound.kind == ExprKind::Const;
+        ls.tripCount = tripCountOf(s);
+
+        Dfg dfg = buildDfg(kernel, s.body, &LoopWalker::loopLatencyCb, this);
+        const bool hasInnerLoop =
+            std::any_of(dfg.ops.begin(), dfg.ops.end(),
+                        [](const DfgOp& op) { return op.kind == OpKind::LoopNest; });
+
+        ls.body = BlockScheduler(directives, latency).run(std::move(dfg));
+
+        // The loop induction increment/compare adds a cycle of control
+        // unless the body already spans multiple cycles.
+        const std::int64_t bodyLatency = std::max<std::int64_t>(ls.body.length, 1);
+
+        if (directives.pipelineLoops && !hasInnerLoop) {
+            ls.pipelined = true;
+            ls.ii = std::max(resourceIi(ls.body.dfg, directives),
+                             recurrenceIi(ls.body.dfg, latency));
+            ls.totalCycles =
+                ls.tripCount > 0 ? bodyLatency + (ls.tripCount - 1) * ls.ii : 0;
+        } else {
+            ls.pipelined = false;
+            ls.ii = bodyLatency;
+            ls.totalCycles = ls.tripCount * (bodyLatency + 1);
+        }
+        loops.push_back(std::move(ls));
+    }
+};
+
+} // namespace
+
+const LoopSchedule* KernelSchedule::loopFor(StmtId stmt) const {
+    for (const auto& l : loops) {
+        if (l.stmt == stmt) {
+            return &l;
+        }
+    }
+    return nullptr;
+}
+
+std::string KernelSchedule::report(const Kernel& kernel) const {
+    std::ostringstream out;
+    out << "== HLS schedule report: " << kernel.name() << " ==\n";
+    out << format("total estimated latency: %lld cycles\n",
+                  static_cast<long long>(totalLatencyCycles));
+    for (const auto& l : loops) {
+        out << format(
+            "loop %-12s trip=%lld%s depth=%lld %s II=%lld total=%lld cycles\n",
+            l.inductionVar.c_str(), static_cast<long long>(l.tripCount),
+            l.tripExact ? "" : " (est)", static_cast<long long>(l.body.length),
+            l.pipelined ? "pipelined" : "sequential", static_cast<long long>(l.ii),
+            static_cast<long long>(l.totalCycles));
+    }
+    out << format("top-level block: %zu ops, %lld cycles\n", top.dfg.size(),
+                  static_cast<long long>(top.length));
+    return out.str();
+}
+
+KernelSchedule scheduleKernel(const Kernel& kernel, const Directives& directives,
+                              const LatencyModel& latency) {
+    KernelSchedule out;
+    LoopWalker walker{kernel, directives, latency, {}};
+    walker.walkBlock(kernel.body());
+
+    Dfg topDfg = buildDfg(kernel, kernel.body(), &LoopWalker::loopLatencyCb, &walker);
+    out.top = BlockScheduler(directives, latency).run(std::move(topDfg));
+    out.loops = std::move(walker.loops);
+    out.totalLatencyCycles = std::max<std::int64_t>(out.top.length, 1);
+    return out;
+}
+
+} // namespace socgen::hls

@@ -1,0 +1,79 @@
+#pragma once
+
+#include "socgen/hls/dfg.hpp"
+#include "socgen/hls/directives.hpp"
+#include "socgen/hls/ir.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace socgen::hls {
+
+/// Functional-unit class used for resource-constrained scheduling and
+/// binding. Alu ops are considered abundant (LUT fabric); Mul maps to
+/// DSP slices, Div to an iterative divider, Mem to a BRAM port, Stream
+/// to the port's single handshake interface.
+enum class FuClass { Alu, Mul, Div, Mem, Stream, Loop };
+
+[[nodiscard]] FuClass fuClassOf(const DfgOp& op);
+
+/// Default operation latencies in cycles at the 100 MHz Zynq PL clock.
+struct LatencyModel {
+    std::int64_t aluLatency = 1;
+    std::int64_t mulLatency = 3;     ///< pipelined DSP48 multiplier
+    std::int64_t divLatency = 18;    ///< iterative divider (width/2 + control)
+    std::int64_t loadLatency = 2;    ///< synchronous BRAM read
+    std::int64_t storeLatency = 1;
+    std::int64_t streamLatency = 1;  ///< one handshake beat
+
+    [[nodiscard]] std::int64_t of(const DfgOp& op) const;
+};
+
+/// Schedule of one straight-line block (loop body or top-level segment).
+struct BlockSchedule {
+    Dfg dfg;
+    std::vector<std::int64_t> startCycle;  ///< per op
+    std::int64_t length = 0;               ///< cycles until all ops finish
+
+    [[nodiscard]] std::int64_t finishOf(OpId op, const LatencyModel& lat) const {
+        return startCycle[op] + lat.of(dfg.ops[op]);
+    }
+};
+
+/// Schedule and pipelining result of one For loop.
+struct LoopSchedule {
+    StmtId stmt = kNoId;
+    std::string inductionVar;
+    std::int64_t tripCount = 0;   ///< exact or estimated
+    bool tripExact = false;
+    BlockSchedule body;
+    bool pipelined = false;
+    std::int64_t ii = 1;          ///< initiation interval when pipelined
+    std::int64_t totalCycles = 0; ///< estimated cycles for the whole loop
+};
+
+/// Complete schedule of a kernel: all loops (post-order, innermost first)
+/// plus the top-level block where inner loops appear as macro-ops.
+struct KernelSchedule {
+    std::vector<LoopSchedule> loops;
+    BlockSchedule top;
+    std::int64_t totalLatencyCycles = 0;
+
+    [[nodiscard]] const LoopSchedule* loopFor(StmtId stmt) const;
+
+    /// Human-readable schedule report (per-loop II/depth/trip/latency),
+    /// the analogue of a Vivado HLS synthesis report.
+    [[nodiscard]] std::string report(const Kernel& kernel) const;
+};
+
+/// Schedules `kernel` under `directives`:
+///  - SchedulerKind::Asap ignores resource limits;
+///  - SchedulerKind::List enforces maxMulUnits / maxDivUnits /
+///    memPortsPerArray / one access per stream port per cycle.
+/// Pipelined loops get II = max(resource II, recurrence II).
+/// Throws HlsError on kernels it cannot schedule.
+KernelSchedule scheduleKernel(const Kernel& kernel, const Directives& directives,
+                              const LatencyModel& latency = {});
+
+} // namespace socgen::hls

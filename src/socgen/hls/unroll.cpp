@@ -1,0 +1,199 @@
+#include "socgen/hls/unroll.hpp"
+
+#include "socgen/common/error.hpp"
+
+#include <optional>
+
+namespace socgen::hls {
+
+namespace {
+
+class Unroller {
+public:
+    Unroller(const Kernel& kernel, const std::map<std::string, int>& factors,
+             UnrollStats* stats)
+        : in_(kernel), factors_(factors), stats_(stats) {}
+
+    Kernel run() {
+        KernelBuilder kb(in_.name());
+        for (const auto& p : in_.ports()) {
+            switch (p.kind) {
+            case PortKind::ScalarIn: (void)kb.scalarIn(p.name, p.width); break;
+            case PortKind::ScalarOut: (void)kb.scalarOut(p.name, p.width); break;
+            case PortKind::StreamIn: (void)kb.streamIn(p.name, p.width); break;
+            case PortKind::StreamOut: (void)kb.streamOut(p.name, p.width); break;
+            }
+        }
+        for (const auto& v : in_.vars()) {
+            (void)kb.var(v.name, v.width);
+        }
+        for (const auto& a : in_.arrays()) {
+            (void)kb.array(a.name, a.depth, a.width);
+        }
+        kb_ = &kb;
+        emitBlock(in_.body());
+        return kb.build();
+    }
+
+private:
+    void bump(std::size_t UnrollStats::* field, std::size_t by = 1) {
+        if (stats_ != nullptr) {
+            (stats_->*field) += by;
+        }
+    }
+
+    /// Copies an expression, replacing reads of `substVar_` (when set)
+    /// with `substExpr_` (an expression already built in the new kernel).
+    ExprId copyExpr(ExprId id) {
+        const Expr& e = in_.expr(id);
+        switch (e.kind) {
+        case ExprKind::Const: return kb_->c(e.value);
+        case ExprKind::Var:
+            if (substVar_ && *substVar_ == e.var) {
+                return substExpr_;
+            }
+            return kb_->v(e.var);
+        case ExprKind::Arg: return kb_->arg(e.port);
+        case ExprKind::StreamRead: return kb_->read(e.port);
+        case ExprKind::ArrayLoad: return kb_->load(e.array, copyExpr(e.a));
+        case ExprKind::Unary: return kb_->un(e.uop, copyExpr(e.a));
+        case ExprKind::Binary: return kb_->bin(e.bop, copyExpr(e.a), copyExpr(e.b));
+        case ExprKind::Select:
+            return kb_->select(copyExpr(e.a), copyExpr(e.b), copyExpr(e.c));
+        }
+        throw HlsError("unreachable expression kind in unroller");
+    }
+
+    void copyStmt(StmtId id) {
+        const Stmt& s = in_.stmt(id);
+        switch (s.kind) {
+        case StmtKind::Assign:
+            kb_->assign(s.var, copyExpr(s.value));
+            break;
+        case StmtKind::ArrayStore:
+            kb_->arrayStore(s.array, copyExpr(s.index), copyExpr(s.value));
+            break;
+        case StmtKind::StreamWrite:
+            kb_->write(s.port, copyExpr(s.value));
+            break;
+        case StmtKind::SetResult:
+            kb_->setResult(s.port, copyExpr(s.value));
+            break;
+        case StmtKind::For:
+            emitFor(s);
+            break;
+        case StmtKind::If: {
+            kb_->ifBegin(copyExpr(s.value));
+            for (StmtId inner : s.body) {
+                copyStmt(inner);
+            }
+            if (!s.elseBody.empty()) {
+                kb_->elseBegin();
+                for (StmtId inner : s.elseBody) {
+                    copyStmt(inner);
+                }
+            }
+            kb_->endIf();
+            break;
+        }
+        }
+    }
+
+    void emitFor(const Stmt& s) {
+        const std::string& varName = in_.vars()[s.var].name;
+        const auto it = factors_.find(varName);
+        const Expr& bound = in_.expr(s.value);
+        const int factor = it != factors_.end() ? it->second : 1;
+
+        if (factor <= 1 || bound.kind != ExprKind::Const || bound.value <= 0) {
+            // Plain copy (substitution must not leak into an inner loop
+            // that redefines a different induction variable; substVar_
+            // remains whatever the enclosing context set).
+            kb_->forLoop(s.var, copyExpr(s.value));
+            for (StmtId inner : s.body) {
+                copyStmt(inner);
+            }
+            kb_->endLoop();
+            return;
+        }
+
+        bump(&UnrollStats::loopsUnrolled);
+        const std::int64_t trip = bound.value;
+        const std::int64_t mainTrips = trip / factor;
+        const std::int64_t remainder = trip % factor;
+
+        const auto savedVar = substVar_;
+        const ExprId savedExpr = savedVarExpr();
+
+        // The replicated index lives in a dedicated temporary so every
+        // reference inside a body copy reads one register instead of
+        // recomputing v*k+j (which would multiply DSP pressure).
+        const VarId indexTemp =
+            kb_->var(varName + "_u", in_.vars()[s.var].width);
+        const bool powerOfTwo = (factor & (factor - 1)) == 0;
+        int log2Factor = 0;
+        while ((1 << log2Factor) < factor) {
+            ++log2Factor;
+        }
+
+        if (mainTrips > 0) {
+            // for (v = 0; v < trip/k; ++v) { body[v*k+0]; ...; body[v*k+k-1]; }
+            kb_->forLoop(s.var, kb_->c(mainTrips));
+            for (int j = 0; j < factor; ++j) {
+                const ExprId scaled =
+                    powerOfTwo ? kb_->shl(kb_->v(s.var), kb_->c(log2Factor))
+                               : kb_->mul(kb_->v(s.var), kb_->c(factor));
+                kb_->assign(indexTemp, kb_->add(scaled, kb_->c(j)));
+                substVar_ = s.var;
+                substExpr_ = kb_->v(indexTemp);
+                for (StmtId inner : s.body) {
+                    copyStmt(inner);
+                }
+                bump(&UnrollStats::copiesEmitted);
+            }
+            substVar_ = savedVar;
+            substExpr_ = savedExpr;
+            kb_->endLoop();
+        }
+        // Epilogue: the remaining trip % k iterations with constant indices.
+        for (std::int64_t j = 0; j < remainder; ++j) {
+            kb_->assign(indexTemp, kb_->c(mainTrips * factor + j));
+            substVar_ = s.var;
+            substExpr_ = kb_->v(indexTemp);
+            for (StmtId inner : s.body) {
+                copyStmt(inner);
+            }
+            bump(&UnrollStats::epilogueIterations);
+        }
+        substVar_ = savedVar;
+        substExpr_ = savedExpr;
+        // The rolled loop leaves the induction variable equal to the trip
+        // count; restore that observable final value (code after the loop
+        // may read it).
+        kb_->assign(s.var, kb_->c(trip));
+    }
+
+    [[nodiscard]] ExprId savedVarExpr() const { return substExpr_; }
+
+    void emitBlock(const std::vector<StmtId>& block) {
+        for (StmtId id : block) {
+            copyStmt(id);
+        }
+    }
+
+    const Kernel& in_;
+    const std::map<std::string, int>& factors_;
+    UnrollStats* stats_;
+    KernelBuilder* kb_ = nullptr;
+    std::optional<VarId> substVar_;
+    ExprId substExpr_ = kNoId;
+};
+
+} // namespace
+
+Kernel unrollLoops(const Kernel& kernel, const std::map<std::string, int>& factors,
+                   UnrollStats* stats) {
+    return Unroller(kernel, factors, stats).run();
+}
+
+} // namespace socgen::hls

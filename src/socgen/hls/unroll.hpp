@@ -1,0 +1,28 @@
+#pragma once
+
+#include "socgen/hls/ir.hpp"
+
+#include <map>
+#include <string>
+
+namespace socgen::hls {
+
+struct UnrollStats {
+    std::size_t loopsUnrolled = 0;
+    std::size_t copiesEmitted = 0;   ///< total replicated bodies
+    std::size_t epilogueIterations = 0;
+};
+
+/// Loop unrolling (the HLS UNROLL directive): for each loop whose
+/// induction variable name appears in `factors` with factor k > 1 and
+/// whose bound is a compile-time constant, the body is replicated k
+/// times per iteration with the induction variable substituted by
+/// `base + j`; a scalar epilogue covers trip % k. Loops with dynamic
+/// bounds are left untouched. Unrolling exposes instruction-level
+/// parallelism to the scheduler at the cost of datapath area — the
+/// classic HLS throughput/area trade (see bench_ablation_unrolling).
+[[nodiscard]] Kernel unrollLoops(const Kernel& kernel,
+                                 const std::map<std::string, int>& factors,
+                                 UnrollStats* stats = nullptr);
+
+} // namespace socgen::hls

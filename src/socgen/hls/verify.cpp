@@ -1,0 +1,163 @@
+#include "socgen/hls/verify.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+#include <set>
+
+namespace socgen::hls {
+
+namespace {
+
+class Verifier {
+public:
+    explicit Verifier(const Kernel& k) : k_(k) {}
+
+    void run() {
+        checkPorts();
+        for (StmtId id : k_.body()) {
+            checkStmt(id);
+        }
+    }
+
+private:
+    void fail(const std::string& what) const {
+        throw HlsError(format("kernel %s: %s", k_.name().c_str(), what.c_str()));
+    }
+
+    void checkPorts() const {
+        std::set<std::string> names;
+        for (const auto& p : k_.ports()) {
+            if (p.name.empty()) {
+                fail("empty port name");
+            }
+            if (!names.insert(p.name).second) {
+                fail("duplicate port name '" + p.name + "'");
+            }
+            if (p.width == 0 || p.width > 64) {
+                fail(format("port '%s' has unsupported width %u", p.name.c_str(), p.width));
+            }
+        }
+    }
+
+    void checkExpr(ExprId id) {
+        if (id >= k_.exprs().size()) {
+            fail("expression id out of range");
+        }
+        // Construction order guarantees operands have smaller ids; this
+        // also rules out cycles.
+        const Expr& e = k_.expr(id);
+        const auto checkOperand = [&](ExprId op) {
+            if (op == kNoId) {
+                fail("missing expression operand");
+            }
+            if (op >= id) {
+                fail("expression operand does not precede its use");
+            }
+            checkExpr(op);
+        };
+        switch (e.kind) {
+        case ExprKind::Const:
+            break;
+        case ExprKind::Var:
+            if (e.var >= k_.vars().size()) {
+                fail("variable id out of range");
+            }
+            break;
+        case ExprKind::Arg:
+            if (e.port >= k_.ports().size() ||
+                k_.port(e.port).kind != PortKind::ScalarIn) {
+                fail("arg expression must reference a scalar-in port");
+            }
+            break;
+        case ExprKind::ArrayLoad:
+            if (e.array >= k_.arrays().size()) {
+                fail("array id out of range");
+            }
+            checkOperand(e.a);
+            break;
+        case ExprKind::StreamRead:
+            if (e.port >= k_.ports().size() ||
+                k_.port(e.port).kind != PortKind::StreamIn) {
+                fail("stream read must reference a stream-in port");
+            }
+            break;
+        case ExprKind::Unary:
+            checkOperand(e.a);
+            break;
+        case ExprKind::Binary:
+            checkOperand(e.a);
+            checkOperand(e.b);
+            break;
+        case ExprKind::Select:
+            checkOperand(e.a);
+            checkOperand(e.b);
+            checkOperand(e.c);
+            break;
+        }
+    }
+
+    void checkStmt(StmtId id) {
+        if (id >= k_.stmts().size()) {
+            fail("statement id out of range");
+        }
+        const Stmt& s = k_.stmt(id);
+        switch (s.kind) {
+        case StmtKind::Assign:
+            if (s.var >= k_.vars().size()) {
+                fail("assign to unknown variable");
+            }
+            checkExpr(s.value);
+            break;
+        case StmtKind::ArrayStore:
+            if (s.array >= k_.arrays().size()) {
+                fail("store to unknown array");
+            }
+            checkExpr(s.index);
+            checkExpr(s.value);
+            break;
+        case StmtKind::StreamWrite:
+            if (s.port >= k_.ports().size() ||
+                k_.port(s.port).kind != PortKind::StreamOut) {
+                fail("stream write must reference a stream-out port");
+            }
+            checkExpr(s.value);
+            break;
+        case StmtKind::SetResult:
+            if (s.port >= k_.ports().size() ||
+                k_.port(s.port).kind != PortKind::ScalarOut) {
+                fail("setResult must reference a scalar-out port");
+            }
+            checkExpr(s.value);
+            break;
+        case StmtKind::For:
+            if (s.var >= k_.vars().size()) {
+                fail("loop induction variable out of range");
+            }
+            checkExpr(s.value);
+            for (StmtId inner : s.body) {
+                checkStmt(inner);
+            }
+            break;
+        case StmtKind::If:
+            checkExpr(s.value);
+            for (StmtId inner : s.body) {
+                checkStmt(inner);
+            }
+            for (StmtId inner : s.elseBody) {
+                checkStmt(inner);
+            }
+            break;
+        }
+    }
+
+    const Kernel& k_;
+};
+
+} // namespace
+
+void verify(const Kernel& kernel) {
+    Verifier(kernel).run();
+}
+
+} // namespace socgen::hls

@@ -1,0 +1,14 @@
+#pragma once
+
+#include "socgen/hls/ir.hpp"
+
+namespace socgen::hls {
+
+/// Structural validation of a kernel: all ids in range, unique port
+/// names, every scalar-out assigned at most once per path is NOT required,
+/// but each referenced expression must exist and expression trees must be
+/// acyclic (guaranteed by construction order, verified defensively).
+/// Throws HlsError on the first violation.
+void verify(const Kernel& kernel);
+
+} // namespace socgen::hls

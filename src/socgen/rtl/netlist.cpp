@@ -1,0 +1,238 @@
+#include "socgen/rtl/netlist.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+#include <algorithm>
+
+namespace socgen::rtl {
+
+std::string_view cellKindName(CellKind kind) {
+    switch (kind) {
+    case CellKind::Const: return "CONST";
+    case CellKind::Not: return "NOT";
+    case CellKind::And: return "AND";
+    case CellKind::Or: return "OR";
+    case CellKind::Xor: return "XOR";
+    case CellKind::Add: return "ADD";
+    case CellKind::Sub: return "SUB";
+    case CellKind::Mul: return "MUL";
+    case CellKind::Div: return "DIV";
+    case CellKind::Mod: return "MOD";
+    case CellKind::Shl: return "SHL";
+    case CellKind::Shr: return "SHR";
+    case CellKind::Eq: return "EQ";
+    case CellKind::Ne: return "NE";
+    case CellKind::Lt: return "LT";
+    case CellKind::Le: return "LE";
+    case CellKind::Gt: return "GT";
+    case CellKind::Ge: return "GE";
+    case CellKind::Mux: return "MUX";
+    case CellKind::Reg: return "REG";
+    case CellKind::Bram: return "BRAM";
+    case CellKind::Fsm: return "FSM";
+    }
+    return "?";
+}
+
+bool isCombinational(CellKind kind) {
+    switch (kind) {
+    case CellKind::Reg:
+    case CellKind::Bram:
+    case CellKind::Fsm:
+        return false;
+    default:
+        return true;
+    }
+}
+
+PinSpec pinSpec(CellKind kind) {
+    switch (kind) {
+    case CellKind::Const: return {0, 1};
+    case CellKind::Not: return {1, 1};
+    case CellKind::And:
+    case CellKind::Or:
+    case CellKind::Xor:
+    case CellKind::Add:
+    case CellKind::Sub:
+    case CellKind::Mul:
+    case CellKind::Div:
+    case CellKind::Mod:
+    case CellKind::Shl:
+    case CellKind::Shr:
+    case CellKind::Eq:
+    case CellKind::Ne:
+    case CellKind::Lt:
+    case CellKind::Le:
+    case CellKind::Gt:
+    case CellKind::Ge: return {2, 1};
+    case CellKind::Mux: return {3, 1};
+    case CellKind::Reg: return {-1, 1};  // d [, en]
+    case CellKind::Bram: return {3, 1};  // addr, wdata, we
+    case CellKind::Fsm: return {-1, 1};
+    }
+    return {0, 0};
+}
+
+NetId Netlist::addNet(std::string name, unsigned width) {
+    nets_.push_back(Net{std::move(name), width, kInvalid});
+    return static_cast<NetId>(nets_.size() - 1);
+}
+
+CellId Netlist::addCell(std::string name, CellKind kind, unsigned width,
+                        std::vector<NetId> inputs, std::vector<NetId> outputs,
+                        std::int64_t param) {
+    const auto id = static_cast<CellId>(cells_.size());
+    for (NetId out : outputs) {
+        require(out < nets_.size(), "cell output net out of range");
+        if (nets_[out].driver != kInvalid) {
+            throw Error(format("netlist %s: net '%s' has multiple drivers", name_.c_str(),
+                               nets_[out].name.c_str()));
+        }
+        nets_[out].driver = id;
+    }
+    cells_.push_back(
+        Cell{std::move(name), kind, width, std::move(inputs), std::move(outputs), param});
+    return id;
+}
+
+void Netlist::addPort(std::string name, PortDir dir, unsigned width, NetId net) {
+    require(net < nets_.size(), "port net out of range");
+    ports_.push_back(Port{std::move(name), dir, width, net});
+}
+
+const Net& Netlist::net(NetId id) const {
+    require(id < nets_.size(), "net id out of range");
+    return nets_[id];
+}
+
+const Cell& Netlist::cell(CellId id) const {
+    require(id < cells_.size(), "cell id out of range");
+    return cells_[id];
+}
+
+const Port& Netlist::port(std::string_view name) const {
+    for (const auto& p : ports_) {
+        if (p.name == name) {
+            return p;
+        }
+    }
+    throw Error(format("netlist %s: no port named '%s'", name_.c_str(),
+                       std::string(name).c_str()));
+}
+
+bool Netlist::hasPort(std::string_view name) const {
+    return std::any_of(ports_.begin(), ports_.end(),
+                       [&](const Port& p) { return p.name == name; });
+}
+
+std::size_t Netlist::countKind(CellKind kind) const {
+    return static_cast<std::size_t>(
+        std::count_if(cells_.begin(), cells_.end(),
+                      [&](const Cell& c) { return c.kind == kind; }));
+}
+
+void Netlist::check() const {
+    // Input-port nets are externally driven.
+    std::vector<bool> externallyDriven(nets_.size(), false);
+    for (const auto& p : ports_) {
+        if (p.net >= nets_.size()) {
+            throw Error(format("netlist %s: port '%s' references missing net", name_.c_str(),
+                               p.name.c_str()));
+        }
+        if (p.dir == PortDir::In) {
+            externallyDriven[p.net] = true;
+        }
+    }
+    for (std::size_t i = 0; i < nets_.size(); ++i) {
+        const auto& n = nets_[i];
+        if (n.driver == kInvalid && !externallyDriven[i]) {
+            throw Error(
+                format("netlist %s: net '%s' is undriven", name_.c_str(), n.name.c_str()));
+        }
+        if (n.driver != kInvalid && externallyDriven[i]) {
+            throw Error(format("netlist %s: input-port net '%s' also driven by cell",
+                               name_.c_str(), n.name.c_str()));
+        }
+        if (n.width == 0 || n.width > 64) {
+            throw Error(format("netlist %s: net '%s' has unsupported width %u", name_.c_str(),
+                               n.name.c_str(), n.width));
+        }
+    }
+    for (const auto& c : cells_) {
+        const PinSpec spec = pinSpec(c.kind);
+        if (spec.inputs >= 0 && static_cast<int>(c.inputs.size()) != spec.inputs) {
+            throw Error(format("netlist %s: cell '%s' (%s) expects %d inputs, has %zu",
+                               name_.c_str(), c.name.c_str(),
+                               std::string(cellKindName(c.kind)).c_str(), spec.inputs,
+                               c.inputs.size()));
+        }
+        if (spec.inputs < 0 && c.inputs.empty()) {
+            throw Error(format("netlist %s: cell '%s' needs at least one input", name_.c_str(),
+                               c.name.c_str()));
+        }
+        if (static_cast<int>(c.outputs.size()) != spec.outputs) {
+            throw Error(format("netlist %s: cell '%s' expects %d outputs, has %zu",
+                               name_.c_str(), c.name.c_str(), spec.outputs, c.outputs.size()));
+        }
+        for (NetId in : c.inputs) {
+            if (in >= nets_.size()) {
+                throw Error(format("netlist %s: cell '%s' input references missing net",
+                                   name_.c_str(), c.name.c_str()));
+            }
+        }
+    }
+    (void)topoOrder();  // throws on combinational cycles
+}
+
+std::vector<CellId> Netlist::topoOrder() const {
+    // Kahn's algorithm restricted to combinational cells; sequential cell
+    // outputs are treated as sources (they hold state across the cycle).
+    std::vector<int> pendingInputs(cells_.size(), 0);
+    std::vector<std::vector<CellId>> consumers(nets_.size());
+    for (CellId id = 0; id < cells_.size(); ++id) {
+        const auto& c = cells_[id];
+        if (!isCombinational(c.kind)) {
+            continue;
+        }
+        for (NetId in : c.inputs) {
+            const CellId driver = nets_[in].driver;
+            if (driver != kInvalid && isCombinational(cells_[driver].kind)) {
+                ++pendingInputs[id];
+                consumers[in].push_back(id);
+            }
+        }
+    }
+    std::vector<CellId> order;
+    order.reserve(cells_.size());
+    std::vector<CellId> ready;
+    for (CellId id = 0; id < cells_.size(); ++id) {
+        if (isCombinational(cells_[id].kind) && pendingInputs[id] == 0) {
+            ready.push_back(id);
+        }
+    }
+    std::size_t combinationalCount = 0;
+    for (const auto& c : cells_) {
+        if (isCombinational(c.kind)) {
+            ++combinationalCount;
+        }
+    }
+    while (!ready.empty()) {
+        const CellId id = ready.back();
+        ready.pop_back();
+        order.push_back(id);
+        for (NetId out : cells_[id].outputs) {
+            for (CellId consumer : consumers[out]) {
+                if (--pendingInputs[consumer] == 0) {
+                    ready.push_back(consumer);
+                }
+            }
+        }
+    }
+    if (order.size() != combinationalCount) {
+        throw Error(format("netlist %s: combinational cycle detected", name_.c_str()));
+    }
+    return order;
+}
+
+} // namespace socgen::rtl

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace socgen::rtl {
+
+/// Index types into a Netlist's internal tables. A value of `kInvalid`
+/// means "not connected".
+using NetId = std::uint32_t;
+using CellId = std::uint32_t;
+inline constexpr std::uint32_t kInvalid = 0xffffffffU;
+
+enum class PortDir { In, Out };
+
+/// Primitive cell kinds. These are the leaves the HLS code generator maps
+/// scheduled operations onto; the synthesis model prices each kind in
+/// LUT/FF/BRAM/DSP (see hls/resources.hpp).
+enum class CellKind {
+    Const,  ///< constant driver; `param` holds the value
+    Not,
+    And,
+    Or,
+    Xor,
+    Add,
+    Sub,
+    Mul,    ///< maps to DSP48 slices
+    Div,    ///< iterative divider (LUT-heavy)
+    Mod,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Mux,    ///< inputs: sel, a (sel==0), b (sel!=0)
+    Reg,    ///< inputs: d, en (optional); clocked
+    Bram,   ///< inputs: addr, wdata, we; output: rdata; `param` = depth
+    Fsm,    ///< control FSM placeholder; `param` = number of states
+};
+
+[[nodiscard]] std::string_view cellKindName(CellKind kind);
+
+/// True for cells whose output depends only on current-cycle inputs.
+[[nodiscard]] bool isCombinational(CellKind kind);
+
+struct Net {
+    std::string name;
+    unsigned width = 1;
+    CellId driver = kInvalid;       ///< driving cell (kInvalid for input ports)
+};
+
+struct Cell {
+    std::string name;
+    CellKind kind = CellKind::Const;
+    unsigned width = 1;             ///< datapath width of the operation
+    std::vector<NetId> inputs;
+    std::vector<NetId> outputs;
+    std::int64_t param = 0;         ///< Const value / Bram depth / Fsm states
+};
+
+struct Port {
+    std::string name;
+    PortDir dir = PortDir::In;
+    unsigned width = 1;
+    NetId net = kInvalid;
+};
+
+/// A flat structural netlist for one generated hardware module. The HLS
+/// code generator produces one Netlist per accelerator; the VHDL emitter
+/// and netlist simulator consume it.
+class Netlist {
+public:
+    explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+
+    NetId addNet(std::string name, unsigned width);
+    CellId addCell(std::string name, CellKind kind, unsigned width,
+                   std::vector<NetId> inputs, std::vector<NetId> outputs,
+                   std::int64_t param = 0);
+    void addPort(std::string name, PortDir dir, unsigned width, NetId net);
+
+    [[nodiscard]] const std::vector<Net>& nets() const { return nets_; }
+    [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
+    [[nodiscard]] const std::vector<Port>& ports() const { return ports_; }
+
+    [[nodiscard]] const Net& net(NetId id) const;
+    [[nodiscard]] const Cell& cell(CellId id) const;
+
+    /// Finds a port by name; throws socgen::Error if absent.
+    [[nodiscard]] const Port& port(std::string_view name) const;
+    [[nodiscard]] bool hasPort(std::string_view name) const;
+
+    /// Number of cells of a given kind.
+    [[nodiscard]] std::size_t countKind(CellKind kind) const;
+
+    /// Structural sanity: every net (except input-port nets) has exactly
+    /// one driver, cell pin counts match their kind, no dangling ids.
+    /// Throws socgen::Error with a description of the first violation.
+    void check() const;
+
+    /// Combinational cells in topological (evaluation) order. Throws on a
+    /// combinational cycle.
+    [[nodiscard]] std::vector<CellId> topoOrder() const;
+
+private:
+    std::string name_;
+    std::vector<Net> nets_;
+    std::vector<Cell> cells_;
+    std::vector<Port> ports_;
+};
+
+/// Expected input/output pin counts for a cell kind ({-1,…} = variadic).
+struct PinSpec {
+    int inputs;   ///< -1 means "one or more"
+    int outputs;
+};
+[[nodiscard]] PinSpec pinSpec(CellKind kind);
+
+} // namespace socgen::rtl

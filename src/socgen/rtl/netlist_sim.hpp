@@ -1,0 +1,51 @@
+#pragma once
+
+#include "socgen/rtl/netlist.hpp"
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace socgen::rtl {
+
+/// Two-phase (evaluate / clock) simulator for a structural Netlist.
+/// Values are unsigned, truncated to each net's width. Used to validate
+/// generated RTL against the HLS functional model on small kernels, and
+/// by unit tests on hand-built circuits.
+class NetlistSimulator {
+public:
+    explicit NetlistSimulator(const Netlist& netlist);
+
+    /// Drives an input port for subsequent evaluations.
+    void setInput(std::string_view port, std::uint64_t value);
+
+    /// Settles combinational logic with current inputs and state.
+    void evaluate();
+
+    /// evaluate() then advance registers/BRAMs/FSMs by one clock edge.
+    void step();
+
+    /// Value of an output (or any) port after the last evaluate()/step().
+    [[nodiscard]] std::uint64_t output(std::string_view port) const;
+
+    /// Raw net value (post-evaluation); mainly for tests.
+    [[nodiscard]] std::uint64_t netValue(NetId id) const;
+
+    /// Resets all sequential state to zero.
+    void reset();
+
+    [[nodiscard]] std::uint64_t cycleCount() const { return cycles_; }
+
+private:
+    [[nodiscard]] std::uint64_t truncate(std::uint64_t value, unsigned width) const;
+    [[nodiscard]] std::uint64_t evalCell(const Cell& cell) const;
+
+    const Netlist& netlist_;
+    std::vector<CellId> order_;                  ///< combinational evaluation order
+    std::vector<std::uint64_t> netValues_;
+    std::vector<std::uint64_t> state_;           ///< per-cell sequential state
+    std::vector<std::vector<std::uint64_t>> brams_;  ///< per-cell memory (empty if not Bram)
+    std::uint64_t cycles_ = 0;
+};
+
+} // namespace socgen::rtl

@@ -1,0 +1,121 @@
+#include "socgen/rtl/primitives.hpp"
+
+#include "socgen/common/strings.hpp"
+
+namespace socgen::rtl {
+
+NetId NetlistBuilder::freshNet(std::string_view base, unsigned width) {
+    return netlist_.addNet(format("%.*s_%u", static_cast<int>(base.size()), base.data(),
+                                  counter_++),
+                           width);
+}
+
+std::string NetlistBuilder::freshCellName(std::string_view base) {
+    return format("%.*s_c%u", static_cast<int>(base.size()), base.data(), counter_++);
+}
+
+NetId NetlistBuilder::inputPort(std::string name, unsigned width) {
+    const NetId net = netlist_.addNet(name, width);
+    netlist_.addPort(std::move(name), PortDir::In, width, net);
+    return net;
+}
+
+void NetlistBuilder::outputPort(std::string name, NetId net) {
+    netlist_.addPort(std::move(name), PortDir::Out, netlist_.net(net).width, net);
+}
+
+NetId NetlistBuilder::constant(std::int64_t value, unsigned width) {
+    const NetId out = freshNet("const", width);
+    netlist_.addCell(freshCellName("const"), CellKind::Const, width, {}, {out}, value);
+    return out;
+}
+
+NetId NetlistBuilder::unary(CellKind kind, NetId a, unsigned width) {
+    const NetId out = freshNet(cellKindName(kind), width);
+    netlist_.addCell(freshCellName(cellKindName(kind)), kind, width, {a}, {out});
+    return out;
+}
+
+NetId NetlistBuilder::binary(CellKind kind, NetId a, NetId b, unsigned width) {
+    const NetId out = freshNet(cellKindName(kind), width);
+    netlist_.addCell(freshCellName(cellKindName(kind)), kind, width, {a, b}, {out});
+    return out;
+}
+
+NetId NetlistBuilder::mux(NetId sel, NetId whenZero, NetId whenNonZero, unsigned width) {
+    const NetId out = freshNet("mux", width);
+    netlist_.addCell(freshCellName("mux"), CellKind::Mux, width, {sel, whenZero, whenNonZero},
+                     {out});
+    return out;
+}
+
+NetId NetlistBuilder::reg(NetId d, NetId en, unsigned width, std::string_view name) {
+    const NetId out = freshNet(name.empty() ? "reg" : name, width);
+    std::vector<NetId> inputs{d};
+    if (en != kInvalid) {
+        inputs.push_back(en);
+    }
+    netlist_.addCell(freshCellName(name.empty() ? "reg" : name), CellKind::Reg, width,
+                     std::move(inputs), {out});
+    return out;
+}
+
+NetId NetlistBuilder::bram(NetId addr, NetId wdata, NetId we, unsigned width,
+                           std::int64_t depth, std::string_view name) {
+    const NetId out = freshNet(name.empty() ? "bram" : name, width);
+    netlist_.addCell(freshCellName(name.empty() ? "bram" : name), CellKind::Bram, width,
+                     {addr, wdata, we}, {out}, depth);
+    return out;
+}
+
+NetId NetlistBuilder::fsm(std::vector<NetId> statusInputs, std::int64_t states,
+                          std::string_view name) {
+    const NetId out = freshNet(name.empty() ? "fsm" : name, 16);
+    netlist_.addCell(freshCellName(name.empty() ? "fsm" : name), CellKind::Fsm, 16,
+                     std::move(statusInputs), {out}, states);
+    return out;
+}
+
+Netlist makeCounter(std::string name, unsigned width) {
+    NetlistBuilder b(std::move(name));
+    const NetId en = b.inputPort("en", 1);
+    // count register feeds an adder that feeds it back.
+    const NetId one = b.constant(1, width);
+    // Build the feedback by creating the register net first via a two-step:
+    // reg output net is created by reg(); but its input is the adder that
+    // consumes the reg output. Create a placeholder net for the reg output
+    // is not possible with the builder, so wire it manually.
+    Netlist& n = b.netlist();
+    const NetId q = n.addNet("count_q", width);
+    const NetId sum = n.addNet("count_next", width);
+    n.addCell("count_add", CellKind::Add, width, {q, one}, {sum});
+    n.addCell("count_reg", CellKind::Reg, width, {sum, en}, {q});
+    n.addPort("count", PortDir::Out, width, q);
+    return std::move(b.netlist());
+}
+
+Netlist makeAdder(std::string name, unsigned width) {
+    NetlistBuilder b(std::move(name));
+    const NetId a = b.inputPort("a", width);
+    const NetId bb = b.inputPort("b", width);
+    const NetId sum = b.binary(CellKind::Add, a, bb, width);
+    b.outputPort("sum", sum);
+    return std::move(b.netlist());
+}
+
+Netlist makeMac(std::string name, unsigned width) {
+    NetlistBuilder b(std::move(name));
+    const NetId a = b.inputPort("a", width);
+    const NetId bb = b.inputPort("b", width);
+    const NetId en = b.inputPort("en", 1);
+    Netlist& n = b.netlist();
+    const NetId acc = n.addNet("acc_q", width);
+    const NetId prod = b.binary(CellKind::Mul, a, bb, width);
+    const NetId next = n.addNet("acc_next", width);
+    n.addCell("acc_add", CellKind::Add, width, {acc, prod}, {next});
+    n.addCell("acc_reg", CellKind::Reg, width, {next, en}, {acc});
+    n.addPort("acc", PortDir::Out, width, acc);
+    return std::move(b.netlist());
+}
+
+} // namespace socgen::rtl

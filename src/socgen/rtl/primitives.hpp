@@ -1,0 +1,58 @@
+#pragma once
+
+#include "socgen/rtl/netlist.hpp"
+
+namespace socgen::rtl {
+
+/// Convenience layer over Netlist for building datapaths: each call adds
+/// one cell plus its output net with a derived name. Used by the HLS code
+/// generator and by tests that hand-build reference circuits.
+class NetlistBuilder {
+public:
+    explicit NetlistBuilder(std::string name) : netlist_(std::move(name)) {}
+
+    Netlist& netlist() { return netlist_; }
+    [[nodiscard]] const Netlist& netlist() const { return netlist_; }
+
+    /// Adds a module input/output port backed by a fresh net.
+    NetId inputPort(std::string name, unsigned width);
+    void outputPort(std::string name, NetId net);
+
+    NetId constant(std::int64_t value, unsigned width);
+    NetId unary(CellKind kind, NetId a, unsigned width);
+    NetId binary(CellKind kind, NetId a, NetId b, unsigned width);
+    NetId mux(NetId sel, NetId whenZero, NetId whenNonZero, unsigned width);
+
+    /// Clocked register, optional enable (kInvalid = always enabled).
+    NetId reg(NetId d, NetId en, unsigned width, std::string_view name = "");
+
+    /// Synchronous single-port RAM; returns the read-data net.
+    NetId bram(NetId addr, NetId wdata, NetId we, unsigned width, std::int64_t depth,
+               std::string_view name = "");
+
+    /// Control FSM placeholder cell with `states` states; inputs are the
+    /// status signals it samples, output is the current-state net.
+    NetId fsm(std::vector<NetId> statusInputs, std::int64_t states,
+              std::string_view name = "");
+
+private:
+    NetId freshNet(std::string_view base, unsigned width);
+    std::string freshCellName(std::string_view base);
+
+    Netlist netlist_;
+    unsigned counter_ = 0;
+};
+
+/// Reference circuits used by tests and as integration glue.
+
+/// width-bit free-running counter with synchronous enable; returns the
+/// finished netlist. Demonstrates Reg feedback through combinational logic.
+Netlist makeCounter(std::string name, unsigned width);
+
+/// Combinational a+b adder module with ports a, b, sum.
+Netlist makeAdder(std::string name, unsigned width);
+
+/// Registered multiply-accumulate: acc <= acc + a*b when en.
+Netlist makeMac(std::string name, unsigned width);
+
+} // namespace socgen::rtl

@@ -1,0 +1,107 @@
+#include "socgen/rtl/vcd.hpp"
+
+#include "socgen/common/strings.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace socgen::rtl {
+
+namespace {
+
+/// VCD identifier alphabet: printable ASCII, shortest-first.
+std::string vcdId(std::size_t index) {
+    std::string id;
+    do {
+        id.push_back(static_cast<char>('!' + index % 94));
+        index /= 94;
+    } while (index != 0);
+    return id;
+}
+
+std::string binaryOf(std::uint64_t value, unsigned width) {
+    std::string bits;
+    bits.reserve(width);
+    for (unsigned b = width; b-- > 0;) {
+        bits.push_back((value >> b) & 1 ? '1' : '0');
+    }
+    return bits;
+}
+
+} // namespace
+
+VcdTrace::VcdTrace(const Netlist& netlist, const NetlistSimulator& simulator,
+                   std::vector<NetId> extraNets)
+    : netlist_(netlist), simulator_(simulator) {
+    std::size_t index = 0;
+    const auto addSignal = [&](NetId net, std::string name) {
+        const bool present = std::any_of(signals_.begin(), signals_.end(),
+                                         [&](const Signal& s) { return s.net == net; });
+        if (present) {
+            return;
+        }
+        Signal s;
+        s.net = net;
+        s.name = sanitizeIdentifier(name);
+        s.width = netlist_.net(net).width;
+        s.id = vcdId(index++);
+        signals_.push_back(std::move(s));
+    };
+    for (const auto& port : netlist_.ports()) {
+        addSignal(port.net, port.name);
+    }
+    for (NetId net : extraNets) {
+        addSignal(net, netlist_.net(net).name);
+    }
+}
+
+void VcdTrace::sample() {
+    for (Signal& s : signals_) {
+        const std::uint64_t value = simulator_.netValue(s.net);
+        if (samples_ == 0 || value != s.last) {
+            s.changes.emplace_back(samples_, value);
+            s.last = value;
+        }
+    }
+    ++samples_;
+}
+
+std::string VcdTrace::render() const {
+    std::ostringstream out;
+    out << "$date socgen $end\n";
+    out << "$version socgen netlist simulator $end\n";
+    out << "$timescale 10ns $end\n";  // one sample per 100 MHz cycle
+    out << "$scope module " << sanitizeIdentifier(netlist_.name()) << " $end\n";
+    for (const Signal& s : signals_) {
+        out << "$var wire " << s.width << ' ' << s.id << ' ' << s.name << " $end\n";
+    }
+    out << "$upscope $end\n$enddefinitions $end\n";
+
+    // Merge per-signal change lists by time.
+    std::size_t time = 0;
+    std::vector<std::size_t> cursor(signals_.size(), 0);
+    while (time < samples_) {
+        bool headerEmitted = false;
+        for (std::size_t i = 0; i < signals_.size(); ++i) {
+            const Signal& s = signals_[i];
+            if (cursor[i] < s.changes.size() && s.changes[cursor[i]].first == time) {
+                if (!headerEmitted) {
+                    out << '#' << time << '\n';
+                    headerEmitted = true;
+                }
+                const std::uint64_t value = s.changes[cursor[i]].second;
+                if (s.width == 1) {
+                    out << (value & 1 ? '1' : '0') << s.id << '\n';
+                } else {
+                    out << 'b' << binaryOf(value, s.width) << ' ' << s.id << '\n';
+                }
+                ++cursor[i];
+            }
+        }
+        ++time;
+    }
+    out << '#' << samples_ << '\n';
+    return out.str();
+}
+
+} // namespace socgen::rtl

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "socgen/rtl/netlist_sim.hpp"
+
+#include <string>
+#include <vector>
+
+namespace socgen::rtl {
+
+/// Value-change-dump (VCD) tracer for a NetlistSimulator: sample() once
+/// per clock cycle, then render() the standard VCD text loadable in
+/// GTKWave — the debugging artifact a hardware designer expects from a
+/// generated core.
+class VcdTrace {
+public:
+    /// Traces every module port, plus any extra nets given by id.
+    VcdTrace(const Netlist& netlist, const NetlistSimulator& simulator,
+             std::vector<NetId> extraNets = {});
+
+    /// Records the current values (call after evaluate()/step()).
+    void sample();
+
+    /// Complete VCD file contents.
+    [[nodiscard]] std::string render() const;
+
+    [[nodiscard]] std::size_t sampleCount() const { return samples_; }
+
+private:
+    struct Signal {
+        NetId net;
+        std::string name;
+        unsigned width;
+        std::string id;  ///< VCD short identifier
+        std::vector<std::uint64_t> values;
+        std::uint64_t last = ~0ull;  ///< last recorded value (for change detection)
+        std::vector<std::pair<std::size_t, std::uint64_t>> changes;
+    };
+
+    const Netlist& netlist_;
+    const NetlistSimulator& simulator_;
+    std::vector<Signal> signals_;
+    std::size_t samples_ = 0;
+};
+
+} // namespace socgen::rtl

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "socgen/rtl/netlist.hpp"
+
+#include <string>
+
+namespace socgen::rtl {
+
+/// Emits a synthesizable-style Verilog-2001 module for a structural
+/// netlist. Vivado HLS produces both VHDL and Verilog for each solution;
+/// socgen mirrors that: the flow ships `<core>.vhd` and `<core>.v` for
+/// every generated accelerator.
+class VerilogEmitter {
+public:
+    [[nodiscard]] std::string emit(const Netlist& netlist) const;
+};
+
+} // namespace socgen::rtl

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "socgen/rtl/netlist.hpp"
+
+#include <string>
+
+namespace socgen::rtl {
+
+/// Emits a synthesizable-style VHDL-93 entity/architecture pair for a
+/// structural netlist. This stands in for the VHDL output of Vivado HLS
+/// in the paper's flow (Section IV-A: "each of the application functions
+/// is translated by means of HLS into the corresponding VHDL
+/// representation").
+class VhdlEmitter {
+public:
+    /// Returns the complete VHDL source text for `netlist`.
+    [[nodiscard]] std::string emit(const Netlist& netlist) const;
+};
+
+} // namespace socgen::rtl

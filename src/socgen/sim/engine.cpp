@@ -1,0 +1,74 @@
+#include "socgen/sim/engine.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+namespace socgen::sim {
+
+void Engine::add(Component& component) {
+    components_.push_back(&component);
+}
+
+void Engine::addProbe(std::function<void()> probe) {
+    probes_.push_back(std::move(probe));
+}
+
+void Engine::stepOnce(bool& anyProgress, bool& allIdle) {
+    anyProgress = false;
+    allIdle = true;
+    for (Component* c : components_) {
+        if (c->tick()) {
+            anyProgress = true;
+        }
+    }
+    for (Component* c : components_) {
+        if (!c->idle()) {
+            allIdle = false;
+            break;
+        }
+    }
+    for (const auto& probe : probes_) {
+        probe();
+    }
+    ++now_;
+}
+
+std::uint64_t Engine::runUntilIdle(std::uint64_t maxCycles, std::uint64_t stallLimit) {
+    const std::uint64_t start = now_;
+    std::uint64_t stalledFor = 0;
+    while (now_ - start < maxCycles) {
+        bool anyProgress = false;
+        bool allIdle = true;
+        stepOnce(anyProgress, allIdle);
+        if (allIdle) {
+            return now_ - start;
+        }
+        stalledFor = anyProgress ? 0 : stalledFor + 1;
+        if (stalledFor >= stallLimit) {
+            std::string stuck;
+            for (Component* c : components_) {
+                if (!c->idle()) {
+                    if (!stuck.empty()) {
+                        stuck += ", ";
+                    }
+                    stuck += c->name();
+                }
+            }
+            throw SimulationError(format(
+                "deadlock: no progress for %llu cycles; busy components: %s",
+                static_cast<unsigned long long>(stallLimit), stuck.c_str()));
+        }
+    }
+    throw SimulationError(format("simulation exceeded %llu cycles without quiescing",
+                                 static_cast<unsigned long long>(maxCycles)));
+}
+
+void Engine::run(std::uint64_t cycles) {
+    for (std::uint64_t i = 0; i < cycles; ++i) {
+        bool anyProgress = false;
+        bool allIdle = true;
+        stepOnce(anyProgress, allIdle);
+    }
+}
+
+} // namespace socgen::sim

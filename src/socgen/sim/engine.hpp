@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace socgen::sim {
+
+/// A clocked component of the simulated SoC. Each cycle the engine calls
+/// tick() once on every component in registration order (components must
+/// therefore tolerate same-cycle ordering; channels decouple them).
+class Component {
+public:
+    virtual ~Component() = default;
+
+    [[nodiscard]] virtual const std::string& name() const = 0;
+
+    /// Advances one clock cycle. Returns true if the component did useful
+    /// work this cycle (used for deadlock/quiescence detection).
+    virtual bool tick() = 0;
+
+    /// True when the component has nothing left to do.
+    [[nodiscard]] virtual bool idle() const = 0;
+};
+
+/// Cycle-based simulation engine for a generated SoC: single clock
+/// domain (the Zynq PL fabric clock), deterministic ordering.
+class Engine {
+public:
+    /// Registers a component (not owned). Order defines tick order.
+    void add(Component& component);
+
+    /// Optional per-cycle probe (e.g. protocol monitors).
+    void addProbe(std::function<void()> probe);
+
+    /// Runs until every component is idle, or `maxCycles` elapse.
+    /// Throws SimulationError on deadlock: no component made progress for
+    /// `stallLimit` consecutive cycles while not all are idle.
+    /// Returns the number of cycles simulated.
+    std::uint64_t runUntilIdle(std::uint64_t maxCycles = 100'000'000,
+                               std::uint64_t stallLimit = 100'000);
+
+    /// Runs exactly `cycles` cycles (no idle/deadlock checks).
+    void run(std::uint64_t cycles);
+
+    [[nodiscard]] std::uint64_t now() const { return now_; }
+
+private:
+    void stepOnce(bool& anyProgress, bool& allIdle);
+
+    std::vector<Component*> components_;
+    std::vector<std::function<void()>> probes_;
+    std::uint64_t now_ = 0;
+};
+
+} // namespace socgen::sim

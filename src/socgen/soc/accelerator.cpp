@@ -1,0 +1,137 @@
+#include "socgen/soc/accelerator.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+namespace socgen::soc {
+
+AcceleratorCore::AcceleratorCore(std::string name, const hls::Program& program)
+    : name_(std::move(name)), program_(program), vm_(program_, *this) {}
+
+hls::PortId AcceleratorCore::portIdOf(const std::string& portName) const {
+    for (hls::PortId i = 0; i < program_.ports.size(); ++i) {
+        if (program_.ports[i].name == portName) {
+            return i;
+        }
+    }
+    throw SimulationError(format("%s: no kernel port named '%s'", name_.c_str(),
+                                 portName.c_str()));
+}
+
+void AcceleratorCore::bindStream(const std::string& portName, axi::StreamChannel& channel) {
+    const hls::PortId id = portIdOf(portName);
+    if (!hls::isStreamPort(program_.ports[id].kind)) {
+        throw SimulationError(format("%s: port '%s' is not a stream port", name_.c_str(),
+                                     portName.c_str()));
+    }
+    streams_[id] = &channel;
+}
+
+void AcceleratorCore::setArg(const std::string& portName, std::uint64_t value) {
+    scalars_[portIdOf(portName)] = value;
+}
+
+std::uint64_t AcceleratorCore::result(const std::string& portName) const {
+    const auto it = scalars_.find(portIdOf(portName));
+    return it == scalars_.end() ? 0 : it->second;
+}
+
+bool AcceleratorCore::tick() {
+    if (autoStart_ && !vm_.running() && !vm_.finished()) {
+        vm_.start();
+    }
+    if (!vm_.running()) {
+        return false;
+    }
+    const bool progressed = vm_.tick();
+    if (vm_.finished() && !doneLatched_) {
+        doneLatched_ = true;
+        if (doneIrq_ != nullptr) {
+            doneIrq_->raise();
+        }
+    }
+    return progressed;
+}
+
+bool AcceleratorCore::idle() const {
+    return !vm_.running();
+}
+
+std::uint32_t AcceleratorCore::readRegister(std::uint64_t offset) {
+    if (offset == accreg::kCtrl) {
+        std::uint32_t status = 0;
+        if (doneLatched_) {
+            status |= accreg::kStatusDone;
+        }
+        if (!vm_.running()) {
+            status |= accreg::kStatusIdle;
+        }
+        return status;
+    }
+    if (offset >= accreg::kArgBase && (offset - accreg::kArgBase) % 4 == 0) {
+        const auto index = static_cast<std::uint32_t>((offset - accreg::kArgBase) / 4);
+        if (index < program_.ports.size()) {
+            const auto it = scalars_.find(index);
+            return it == scalars_.end() ? 0 : static_cast<std::uint32_t>(it->second);
+        }
+    }
+    throw SimulationError(format("%s: read of unknown register 0x%llx", name_.c_str(),
+                                 static_cast<unsigned long long>(offset)));
+}
+
+void AcceleratorCore::writeRegister(std::uint64_t offset, std::uint32_t value) {
+    if (offset == accreg::kCtrl) {
+        if ((value & accreg::kCtrlStart) != 0) {
+            if (vm_.running()) {
+                throw SimulationError(name_ + ": ap_start while still running");
+            }
+            doneLatched_ = false;
+            vm_.start();
+        }
+        return;
+    }
+    if (offset >= accreg::kArgBase && (offset - accreg::kArgBase) % 4 == 0) {
+        const auto index = static_cast<std::uint32_t>((offset - accreg::kArgBase) / 4);
+        if (index < program_.ports.size() &&
+            program_.ports[index].kind == hls::PortKind::ScalarIn) {
+            scalars_[index] = value;
+            return;
+        }
+    }
+    throw SimulationError(format("%s: write of unknown register 0x%llx", name_.c_str(),
+                                 static_cast<unsigned long long>(offset)));
+}
+
+std::uint64_t AcceleratorCore::argValue(hls::PortId port) {
+    const auto it = scalars_.find(port);
+    return it == scalars_.end() ? 0 : it->second;
+}
+
+void AcceleratorCore::setResult(hls::PortId port, std::uint64_t value) {
+    scalars_[port] = value;
+}
+
+bool AcceleratorCore::streamRead(hls::PortId port, std::uint64_t& value) {
+    const auto it = streams_.find(port);
+    if (it == streams_.end()) {
+        throw SimulationError(format("%s: stream port '%s' not bound", name_.c_str(),
+                                     program_.ports[port].name.c_str()));
+    }
+    axi::StreamBeat beat;
+    if (!it->second->tryPop(beat)) {
+        return false;
+    }
+    value = beat.data;
+    return true;
+}
+
+bool AcceleratorCore::streamWrite(hls::PortId port, std::uint64_t value) {
+    const auto it = streams_.find(port);
+    if (it == streams_.end()) {
+        throw SimulationError(format("%s: stream port '%s' not bound", name_.c_str(),
+                                     program_.ports[port].name.c_str()));
+    }
+    return it->second->tryPush(value, false);
+}
+
+} // namespace socgen::soc

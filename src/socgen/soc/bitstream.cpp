@@ -1,0 +1,121 @@
+#include "socgen/soc/bitstream.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace socgen::soc {
+
+namespace {
+
+constexpr std::string_view kMagic = "SOCGENBIT1";
+
+std::array<std::uint32_t, 256> makeCrcTable() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t crc32(std::string_view data) {
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (char ch : data) {
+        crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+    }
+    return crc ^ 0xFFFFFFFFu;
+}
+
+std::string Bitstream::serialize() const {
+    std::ostringstream body;
+    body << designName << '\n' << part << '\n' << configRecords.size() << '\n';
+    for (const auto& record : configRecords) {
+        body << record.size() << ':' << record << '\n';
+    }
+    const std::string payload = body.str();
+    std::ostringstream out;
+    out << kMagic << '\n' << format("%08x", crc32(payload)) << '\n' << payload;
+    return out.str();
+}
+
+Bitstream Bitstream::parse(std::string_view image) {
+    std::istringstream in{std::string(image)};
+    std::string magic;
+    if (!std::getline(in, magic) || magic != kMagic) {
+        throw Error("bitstream: bad magic");
+    }
+    std::string crcLine;
+    if (!std::getline(in, crcLine)) {
+        throw Error("bitstream: truncated header");
+    }
+    std::string payload;
+    {
+        std::ostringstream rest;
+        rest << in.rdbuf();
+        payload = rest.str();
+    }
+    const auto expected = static_cast<std::uint32_t>(std::stoul(crcLine, nullptr, 16));
+    if (crc32(payload) != expected) {
+        throw Error("bitstream: CRC mismatch (image corrupted)");
+    }
+    std::istringstream body(payload);
+    Bitstream bit;
+    if (!std::getline(body, bit.designName) || !std::getline(body, bit.part)) {
+        throw Error("bitstream: truncated body");
+    }
+    std::string countLine;
+    if (!std::getline(body, countLine)) {
+        throw Error("bitstream: missing record count");
+    }
+    const std::size_t count = std::stoul(countLine);
+    for (std::size_t i = 0; i < count; ++i) {
+        std::string lenPrefix;
+        if (!std::getline(body, lenPrefix, ':')) {
+            throw Error("bitstream: truncated record length");
+        }
+        const std::size_t len = std::stoul(lenPrefix);
+        std::string record(len, '\0');
+        body.read(record.data(), static_cast<std::streamsize>(len));
+        if (static_cast<std::size_t>(body.gcount()) != len) {
+            throw Error("bitstream: truncated record");
+        }
+        body.get();  // trailing newline
+        bit.configRecords.push_back(std::move(record));
+    }
+    bit.crc = expected;
+    return bit;
+}
+
+Bitstream generateBitstream(const BlockDesign& design, const SynthesisResult& synthesis) {
+    if (!design.finalised()) {
+        throw SynthesisError("bitstream generation requires a finalised design");
+    }
+    Bitstream bit;
+    bit.designName = design.name();
+    bit.part = design.device().part;
+    for (const auto& inst : design.instances()) {
+        bit.configRecords.push_back(format(
+            "%s kind=%s lut=%lld ff=%lld bram=%lld dsp=%lld", inst.name.c_str(),
+            std::string(ipKindName(inst.kind)).c_str(),
+            static_cast<long long>(inst.resources.lut),
+            static_cast<long long>(inst.resources.ff),
+            static_cast<long long>(inst.resources.bram18),
+            static_cast<long long>(inst.resources.dsp)));
+    }
+    bit.configRecords.push_back(format("timing clk=%.2fMHz met=%d",
+                                       synthesis.achievedClockMhz,
+                                       synthesis.timingMet ? 1 : 0));
+    // The payload CRC is embedded by serialize(); parse() fills the field.
+    return bit;
+}
+
+} // namespace socgen::soc

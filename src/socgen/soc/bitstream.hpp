@@ -1,0 +1,38 @@
+#pragma once
+
+#include "socgen/soc/block_design.hpp"
+#include "socgen/soc/synthesis.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace socgen::soc {
+
+/// CRC-32 (IEEE 802.3, reflected) used to protect bitstream contents.
+[[nodiscard]] std::uint32_t crc32(std::string_view data);
+
+/// Serialized configuration image for a synthesized design — the final
+/// artifact of the paper's flow ("the final bitstream for the hardware
+/// platform"). The format is socgen-specific but behaves like a real
+/// bitstream: it encodes the full design, is integrity-protected, and
+/// round-trips through parse().
+struct Bitstream {
+    std::string designName;
+    std::string part;
+    std::vector<std::string> configRecords;  ///< one per IP instance
+    std::uint32_t crc = 0;
+
+    /// Serialises to the on-disk image (magic, header, records, CRC).
+    [[nodiscard]] std::string serialize() const;
+
+    /// Parses and verifies an image; throws socgen::Error on corruption,
+    /// bad magic, or CRC mismatch.
+    static Bitstream parse(std::string_view image);
+};
+
+/// Builds the bitstream for a synthesized design.
+[[nodiscard]] Bitstream generateBitstream(const BlockDesign& design,
+                                          const SynthesisResult& synthesis);
+
+} // namespace socgen::soc

@@ -1,0 +1,316 @@
+#include "socgen/soc/block_design.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/log.hpp"
+#include "socgen/common/strings.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace socgen::soc {
+
+std::string_view ipKindName(IpKind kind) {
+    switch (kind) {
+    case IpKind::ZynqPs: return "processing_system7";
+    case IpKind::AxiDma: return "axi_dma";
+    case IpKind::AxiInterconnect: return "axi_interconnect";
+    case IpKind::ProcSysReset: return "proc_sys_reset";
+    case IpKind::HlsCore: return "hls_core";
+    }
+    return "?";
+}
+
+std::string StreamEndpoint::str() const {
+    return isSoc() ? std::string(kSoc) : instance + "/" + port;
+}
+
+BlockDesign::BlockDesign(std::string name, FpgaDevice device, DmaPolicy dmaPolicy)
+    : name_(std::move(name)), device_(std::move(device)), dmaPolicy_(dmaPolicy) {}
+
+void BlockDesign::addHlsCore(const std::string& coreName, hls::ResourceEstimate resources,
+                             std::vector<CorePort> streamPorts, bool hasAxiLiteControl) {
+    if (finalised_) {
+        throw SynthesisError("block design already finalised: " + name_);
+    }
+    if (hasInstance(coreName)) {
+        throw SynthesisError("duplicate core instance: " + coreName);
+    }
+    IpInstance inst;
+    inst.name = coreName;
+    inst.kind = IpKind::HlsCore;
+    inst.coreName = coreName;
+    inst.resources = resources;
+    inst.streamPorts = std::move(streamPorts);
+    inst.hasAxiLiteControl = hasAxiLiteControl;
+    instances_.push_back(std::move(inst));
+}
+
+void BlockDesign::connectStream(StreamEndpoint from, StreamEndpoint to, unsigned width) {
+    if (finalised_) {
+        throw SynthesisError("block design already finalised: " + name_);
+    }
+    if (from.isSoc() && to.isSoc()) {
+        throw SynthesisError("stream connection cannot have 'soc on both ends");
+    }
+    streams_.push_back(StreamConnection{std::move(from), std::move(to), width, {}, -1});
+}
+
+void BlockDesign::connectLite(const std::string& instanceName) {
+    if (finalised_) {
+        throw SynthesisError("block design already finalised: " + name_);
+    }
+    lites_.push_back(LiteConnection{instanceName, 0, 0x10000});
+}
+
+const IpInstance& BlockDesign::instance(std::string_view name) const {
+    for (const auto& i : instances_) {
+        if (i.name == name) {
+            return i;
+        }
+    }
+    throw SynthesisError("no instance named '" + std::string(name) + "' in design " + name_);
+}
+
+bool BlockDesign::hasInstance(std::string_view name) const {
+    return std::any_of(instances_.begin(), instances_.end(),
+                       [&](const IpInstance& i) { return i.name == name; });
+}
+
+std::vector<const IpInstance*> BlockDesign::dmaInstances() const {
+    std::vector<const IpInstance*> out;
+    for (const auto& i : instances_) {
+        if (i.kind == IpKind::AxiDma) {
+            out.push_back(&i);
+        }
+    }
+    return out;
+}
+
+std::vector<const IpInstance*> BlockDesign::hlsCores() const {
+    std::vector<const IpInstance*> out;
+    for (const auto& i : instances_) {
+        if (i.kind == IpKind::HlsCore) {
+            out.push_back(&i);
+        }
+    }
+    return out;
+}
+
+void BlockDesign::validate() const {
+    // Every referenced endpoint must exist, every core stream port must be
+    // connected exactly once, and directions must be compatible.
+    std::map<std::string, int> portUse;  // "inst/port" -> uses
+    for (const auto& s : streams_) {
+        for (const StreamEndpoint* ep : {&s.from, &s.to}) {
+            if (ep->isSoc()) {
+                continue;
+            }
+            const IpInstance& inst = instance(ep->instance);  // throws if missing
+            const auto it = std::find_if(
+                inst.streamPorts.begin(), inst.streamPorts.end(),
+                [&](const CorePort& p) { return p.name == ep->port; });
+            if (it == inst.streamPorts.end()) {
+                throw SynthesisError(format("design %s: core %s has no stream port '%s'",
+                                            name_.c_str(), ep->instance.c_str(),
+                                            ep->port.c_str()));
+            }
+            const bool expectInput = ep == &s.to;
+            if (it->isInput != expectInput) {
+                throw SynthesisError(format(
+                    "design %s: stream port %s is %s but used as %s", name_.c_str(),
+                    ep->str().c_str(), it->isInput ? "an input" : "an output",
+                    expectInput ? "a destination" : "a source"));
+            }
+            ++portUse[ep->instance + "/" + ep->port];
+        }
+    }
+    for (const auto& [key, uses] : portUse) {
+        if (uses > 1) {
+            throw SynthesisError(format("design %s: stream port %s connected %d times",
+                                        name_.c_str(), key.c_str(), uses));
+        }
+    }
+    for (const auto& inst : instances_) {
+        if (inst.kind != IpKind::HlsCore) {
+            continue;
+        }
+        for (const auto& p : inst.streamPorts) {
+            if (portUse.find(inst.name + "/" + p.name) == portUse.end()) {
+                throw SynthesisError(format("design %s: stream port %s/%s is unconnected",
+                                            name_.c_str(), inst.name.c_str(),
+                                            p.name.c_str()));
+            }
+        }
+    }
+    for (const auto& l : lites_) {
+        const IpInstance& inst = instance(l.instance);
+        if (inst.kind == IpKind::HlsCore && !inst.hasAxiLiteControl) {
+            throw SynthesisError(format("design %s: core %s has no AXI-Lite interface",
+                                        name_.c_str(), l.instance.c_str()));
+        }
+    }
+}
+
+void BlockDesign::finalise() {
+    if (finalised_) {
+        throw SynthesisError("block design finalised twice: " + name_);
+    }
+    validate();
+
+    // Infrastructure, mirroring Section IV-A: Zynq PS with HP ports,
+    // reset, interconnects, and DMA core(s) for 'soc stream endpoints.
+    IpInstance ps;
+    ps.name = "processing_system7_0";
+    ps.kind = IpKind::ZynqPs;
+    ps.resources = catalog_.zynqPs();
+    instances_.push_back(ps);
+
+    IpInstance rst;
+    rst.name = "rst_ps7_100M";
+    rst.kind = IpKind::ProcSysReset;
+    rst.resources = catalog_.procSysReset();
+    instances_.push_back(rst);
+
+    // DMA cores. Shared policy: one axi_dma whose MM2S fans out to every
+    // 'soc-sourced link (route index selects the destination) and whose
+    // S2MM accepts every 'soc-bound link. Per-link policy (SDSoC-style):
+    // one axi_dma per 'soc endpoint.
+    int socLinks = 0;
+    for (auto& s : streams_) {
+        if (s.from.isSoc() || s.to.isSoc()) {
+            ++socLinks;
+        }
+    }
+    if (socLinks > 0) {
+        if (dmaPolicy_ == DmaPolicy::SharedDma) {
+            IpInstance dma;
+            dma.name = "axi_dma_0";
+            dma.kind = IpKind::AxiDma;
+            dma.resources = catalog_.axiDma();
+            dma.hasAxiLiteControl = true;
+            instances_.push_back(dma);
+            int mm2sRoute = 0;
+            int s2mmRoute = 0;
+            for (auto& s : streams_) {
+                if (s.from.isSoc()) {
+                    s.dmaInstance = "axi_dma_0";
+                    s.dmaRoute = mm2sRoute++;
+                } else if (s.to.isSoc()) {
+                    s.dmaInstance = "axi_dma_0";
+                    s.dmaRoute = s2mmRoute++;
+                }
+            }
+        } else {
+            int index = 0;
+            for (auto& s : streams_) {
+                if (!s.from.isSoc() && !s.to.isSoc()) {
+                    continue;
+                }
+                IpInstance dma;
+                dma.name = format("axi_dma_%d", index++);
+                dma.kind = IpKind::AxiDma;
+                dma.resources = catalog_.axiDma();
+                dma.hasAxiLiteControl = true;
+                instances_.push_back(dma);
+                s.dmaInstance = dma.name;
+                s.dmaRoute = 0;
+            }
+        }
+    }
+
+    // AXI-Lite interconnect: one GP-port interconnect serving every lite
+    // slave (user cores + DMA control).
+    std::size_t liteSlaves = lites_.size();
+    for (const auto& inst : instances_) {
+        if (inst.kind == IpKind::AxiDma) {
+            ++liteSlaves;
+        }
+    }
+    if (liteSlaves > 0) {
+        IpInstance ic;
+        ic.name = "ps7_0_axi_periph";
+        ic.kind = IpKind::AxiInterconnect;
+        ic.resources = catalog_.axiInterconnectBase();
+        for (std::size_t i = 0; i < liteSlaves; ++i) {
+            ic.resources += catalog_.axiInterconnectPerPort();
+        }
+        instances_.push_back(ic);
+    }
+    // HP-port interconnect for DMA memory masters.
+    if (socLinks > 0) {
+        IpInstance ic;
+        ic.name = "axi_mem_intercon";
+        ic.kind = IpKind::AxiInterconnect;
+        ic.resources = catalog_.axiInterconnectBase();
+        for (const auto& inst : instances_) {
+            if (inst.kind == IpKind::AxiDma) {
+                ic.resources += catalog_.axiInterconnectPerPort();
+                ic.resources += catalog_.axiInterconnectPerPort();  // MM2S + S2MM
+            }
+        }
+        instances_.push_back(ic);
+    }
+
+    // Address assignment: user cores from 0x43C0_0000, DMA from 0x4040_0000
+    // (the Vivado defaults for these IP families).
+    std::uint64_t coreBase = 0x43C00000;
+    for (auto& l : lites_) {
+        l.baseAddress = coreBase;
+        coreBase += l.size;
+    }
+    std::uint64_t dmaBase = 0x40400000;
+    for (const auto& inst : instances_) {
+        if (inst.kind == IpKind::AxiDma) {
+            lites_.push_back(LiteConnection{inst.name, dmaBase, 0x10000});
+            dmaBase += 0x10000;
+        }
+    }
+
+    finalised_ = true;
+    Logger::global().info(format("integration: design %s finalised (%zu instances, "
+                                 "%zu streams, %zu lite slaves)",
+                                 name_.c_str(), instances_.size(), streams_.size(),
+                                 lites_.size()));
+}
+
+hls::ResourceEstimate BlockDesign::totalResources() const {
+    hls::ResourceEstimate total;
+    for (const auto& inst : instances_) {
+        total += inst.resources;
+    }
+    return total;
+}
+
+std::string BlockDesign::toDot() const {
+    std::ostringstream out;
+    out << "digraph \"" << name_ << "\" {\n  rankdir=LR;\n  node [shape=box];\n";
+    out << "  \"PS\" [label=\"ARM Cortex-A9\\n(Zynq PS)\" style=filled fillcolor="
+           "lightblue];\n";
+    for (const auto& inst : instances_) {
+        if (inst.kind == IpKind::HlsCore) {
+            out << "  \"" << inst.name << "\" [label=\"" << inst.coreName
+                << "\" style=filled fillcolor=orange];\n";
+        } else if (inst.kind == IpKind::AxiDma) {
+            out << "  \"" << inst.name << "\" [label=\"" << inst.name
+                << "\" style=filled fillcolor=palegreen];\n";
+        }
+    }
+    for (const auto& s : streams_) {
+        const std::string from = s.from.isSoc() ? s.dmaInstance : s.from.instance;
+        const std::string to = s.to.isSoc() ? s.dmaInstance : s.to.instance;
+        out << "  \"" << from << "\" -> \"" << to << "\" [label=\"AXI-Stream\"];\n";
+    }
+    for (const auto& l : lites_) {
+        out << "  \"PS\" -> \"" << l.instance << "\" [style=dashed label=\"AXI-Lite\"];\n";
+    }
+    for (const auto& inst : instances_) {
+        if (inst.kind == IpKind::AxiDma) {
+            out << "  \"" << inst.name << "\" -> \"PS\" [style=dotted label=\"HP/DMA\"];\n";
+        }
+    }
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace socgen::soc

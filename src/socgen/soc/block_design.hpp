@@ -1,0 +1,139 @@
+#pragma once
+
+#include "socgen/hls/directives.hpp"
+#include "socgen/hls/resources.hpp"
+#include "socgen/soc/device.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace socgen::soc {
+
+/// IP kinds the integration step instantiates (mirrors the cells a
+/// Vivado IP-integrator design for the paper's flow contains).
+enum class IpKind {
+    ZynqPs,          ///< processing_system7
+    AxiDma,          ///< axi_dma (one MM2S + one S2MM channel)
+    AxiInterconnect, ///< axi_interconnect / axi_smartconnect
+    ProcSysReset,    ///< proc_sys_reset
+    HlsCore,         ///< a generated accelerator
+};
+
+[[nodiscard]] std::string_view ipKindName(IpKind kind);
+
+/// A stream-capable port of an instantiated HLS core.
+struct CorePort {
+    std::string name;
+    hls::InterfaceProtocol protocol = hls::InterfaceProtocol::AxiStream;
+    bool isInput = true;   ///< direction as seen by the core
+    unsigned width = 32;
+};
+
+struct IpInstance {
+    std::string name;
+    IpKind kind = IpKind::HlsCore;
+    std::string coreName;                 ///< HLS kernel for HlsCore instances
+    hls::ResourceEstimate resources;      ///< PL cost of this instance
+    std::vector<CorePort> streamPorts;    ///< HlsCore only
+    bool hasAxiLiteControl = false;       ///< HlsCore with `i` ports / DMA
+};
+
+/// One endpoint of a stream connection. `kSoc` ('soc in the DSL) denotes
+/// the processing system reached through a DMA channel.
+struct StreamEndpoint {
+    static constexpr const char* kSoc = "'soc";
+    std::string instance;  ///< IpInstance name or kSoc
+    std::string port;      ///< core port (empty for kSoc)
+
+    [[nodiscard]] bool isSoc() const { return instance == kSoc; }
+    [[nodiscard]] std::string str() const;
+};
+
+/// A point-to-point AXI-Stream connection (DSL `tg link ... to ...`).
+struct StreamConnection {
+    StreamEndpoint from;
+    StreamEndpoint to;
+    unsigned width = 32;
+    /// Filled by finalise(): which DMA instance and route index serves a
+    /// 'soc endpoint (meaningless when neither side is 'soc).
+    std::string dmaInstance;
+    int dmaRoute = -1;
+};
+
+/// An AXI-Lite attachment of a core's control interface to the GP master
+/// (DSL `tg connect <node>`).
+struct LiteConnection {
+    std::string instance;
+    std::uint64_t baseAddress = 0;  ///< assigned by finalise()
+    std::uint64_t size = 0x10000;
+};
+
+/// How 'soc stream endpoints map onto DMA cores. The paper's tool shares
+/// one AXI DMA across channels; Xilinx SDSoC "instantiates a DMA
+/// component for each of them" (Section VII) — the ablation bench
+/// compares both.
+enum class DmaPolicy { SharedDma, DmaPerLink };
+
+/// The system-integration model: the set of IP instances and their
+/// interconnections that the DSL's edges section assembles, equivalent
+/// to the Vivado block design of Figure 10.
+class BlockDesign {
+public:
+    explicit BlockDesign(std::string name, FpgaDevice device = zedboard(),
+                         DmaPolicy dmaPolicy = DmaPolicy::SharedDma);
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] const FpgaDevice& device() const { return device_; }
+    [[nodiscard]] DmaPolicy dmaPolicy() const { return dmaPolicy_; }
+
+    /// Adds an accelerator produced by HLS (paper flow: each node of the
+    /// DSL becomes one instance).
+    void addHlsCore(const std::string& coreName, hls::ResourceEstimate resources,
+                    std::vector<CorePort> streamPorts, bool hasAxiLiteControl);
+
+    /// Declares a stream connection; endpoints may be 'soc.
+    void connectStream(StreamEndpoint from, StreamEndpoint to, unsigned width);
+
+    /// Attaches a core's AXI-Lite control interface to the GP port.
+    void connectLite(const std::string& instanceName);
+
+    /// Instantiates infrastructure (PS, resets, interconnects, DMA cores
+    /// according to policy), assigns addresses and DMA routes, and
+    /// validates the design. Must be called exactly once, after all
+    /// cores/connections are added. Throws SynthesisError on invalid
+    /// topologies (dangling ports, double-driven ports, unknown cores).
+    void finalise();
+    [[nodiscard]] bool finalised() const { return finalised_; }
+
+    // -- inspection -----------------------------------------------------------
+    [[nodiscard]] const std::vector<IpInstance>& instances() const { return instances_; }
+    [[nodiscard]] const std::vector<StreamConnection>& streams() const { return streams_; }
+    [[nodiscard]] const std::vector<LiteConnection>& lites() const { return lites_; }
+
+    [[nodiscard]] const IpInstance& instance(std::string_view name) const;
+    [[nodiscard]] bool hasInstance(std::string_view name) const;
+    [[nodiscard]] std::vector<const IpInstance*> dmaInstances() const;
+    [[nodiscard]] std::vector<const IpInstance*> hlsCores() const;
+
+    /// Total PL resources of all instances plus interconnect scaling.
+    [[nodiscard]] hls::ResourceEstimate totalResources() const;
+
+    /// Graphviz dot rendering (the analogue of Figure 10).
+    [[nodiscard]] std::string toDot() const;
+
+private:
+    void validate() const;
+
+    std::string name_;
+    FpgaDevice device_;
+    DmaPolicy dmaPolicy_;
+    IpCatalog catalog_;
+    std::vector<IpInstance> instances_;
+    std::vector<StreamConnection> streams_;
+    std::vector<LiteConnection> lites_;
+    bool finalised_ = false;
+};
+
+} // namespace socgen::soc

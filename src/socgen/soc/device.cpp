@@ -1,0 +1,20 @@
+#include "socgen/soc/device.hpp"
+
+#include <algorithm>
+
+namespace socgen::soc {
+
+double FpgaDevice::worstUtilisation(const hls::ResourceEstimate& r) const {
+    double worst = 0.0;
+    worst = std::max(worst, static_cast<double>(r.lut) / static_cast<double>(lut));
+    worst = std::max(worst, static_cast<double>(r.ff) / static_cast<double>(ff));
+    worst = std::max(worst, static_cast<double>(r.bram18) / static_cast<double>(bram18));
+    worst = std::max(worst, static_cast<double>(r.dsp) / static_cast<double>(dsp));
+    return worst;
+}
+
+FpgaDevice zedboard() {
+    return FpgaDevice{};
+}
+
+} // namespace socgen::soc

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "socgen/hls/resources.hpp"
+
+#include <string>
+
+namespace socgen::soc {
+
+/// Capacity description of the reconfigurable fabric of a target device.
+/// The default is the Zynq XC7Z020 on the AVNET Zedboard — the board the
+/// paper targets throughout (Section II-B, Figure 2).
+struct FpgaDevice {
+    std::string part = "xc7z020clg484-1";
+    std::string board = "avnet.com:zedboard:part0:1.4";
+    std::int64_t lut = 53200;
+    std::int64_t ff = 106400;
+    std::int64_t bram18 = 280;
+    std::int64_t dsp = 220;
+    double fabricClockMhz = 100.0;
+
+    [[nodiscard]] bool fits(const hls::ResourceEstimate& r) const {
+        return r.lut <= lut && r.ff <= ff && r.bram18 <= bram18 && r.dsp <= dsp;
+    }
+
+    /// Utilisation of the scarcest resource, in [0, +inf).
+    [[nodiscard]] double worstUtilisation(const hls::ResourceEstimate& r) const;
+};
+
+/// The Zedboard device description used by default flows.
+[[nodiscard]] FpgaDevice zedboard();
+
+/// Fixed PL-side cost of the infrastructure IP the flow instantiates
+/// automatically (paper Section IV-A: Zynq PS configuration, HP ports,
+/// DMA core, interconnect, reset).
+struct IpCatalog {
+    [[nodiscard]] hls::ResourceEstimate zynqPs() const { return {}; }  // hardened
+    [[nodiscard]] hls::ResourceEstimate axiDma() const { return {1900, 2500, 4, 0}; }
+    [[nodiscard]] hls::ResourceEstimate axiInterconnectBase() const {
+        return {430, 590, 0, 0};
+    }
+    [[nodiscard]] hls::ResourceEstimate axiInterconnectPerPort() const {
+        return {120, 150, 0, 0};
+    }
+    [[nodiscard]] hls::ResourceEstimate procSysReset() const { return {18, 33, 0, 0}; }
+};
+
+} // namespace socgen::soc

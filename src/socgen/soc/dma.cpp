@@ -1,0 +1,157 @@
+#include "socgen/soc/dma.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+namespace socgen::soc {
+
+DmaEngine::DmaEngine(std::string name, Memory& memory, std::uint64_t wordsPerCycle)
+    : name_(std::move(name)), memory_(memory), wordsPerCycle_(wordsPerCycle) {
+    require(wordsPerCycle_ > 0, "dma words-per-cycle must be positive");
+}
+
+int DmaEngine::attachMm2s(axi::StreamChannel& channel) {
+    mm2sDests_.push_back(&channel);
+    return static_cast<int>(mm2sDests_.size() - 1);
+}
+
+int DmaEngine::attachS2mm(axi::StreamChannel& channel) {
+    s2mmSrcs_.push_back(&channel);
+    return static_cast<int>(s2mmSrcs_.size() - 1);
+}
+
+bool DmaEngine::tickMm2s() {
+    if (!mm2s_.active) {
+        return false;
+    }
+    auto& dest = *mm2sDests_.at(mm2s_.route);
+    bool moved = false;
+    for (std::uint64_t i = 0; i < wordsPerCycle_ && mm2s_.remaining > 0; ++i) {
+        const std::uint32_t word = memory_.readWord(mm2s_.address);
+        const bool last = mm2s_.remaining == 1;
+        if (!dest.tryPush(word, last)) {
+            break;  // back-pressure
+        }
+        ++mm2s_.address;
+        --mm2s_.remaining;
+        ++wordsMoved_;
+        moved = true;
+    }
+    if (mm2s_.remaining == 0) {
+        mm2s_.active = false;
+        ++transfers_;
+        if (mm2sIrq_ != nullptr) {
+            mm2sIrq_->raise();
+        }
+    }
+    return moved;
+}
+
+bool DmaEngine::tickS2mm() {
+    if (!s2mm_.active) {
+        return false;
+    }
+    auto& src = *s2mmSrcs_.at(s2mm_.route);
+    bool moved = false;
+    for (std::uint64_t i = 0; i < wordsPerCycle_ && s2mm_.remaining > 0; ++i) {
+        axi::StreamBeat beat;
+        if (!src.tryPop(beat)) {
+            break;
+        }
+        memory_.writeWord(s2mm_.address, static_cast<std::uint32_t>(beat.data));
+        ++s2mm_.address;
+        --s2mm_.remaining;
+        ++wordsMoved_;
+        moved = true;
+    }
+    if (s2mm_.remaining == 0) {
+        s2mm_.active = false;
+        ++transfers_;
+        if (s2mmIrq_ != nullptr) {
+            s2mmIrq_->raise();
+        }
+    }
+    return moved;
+}
+
+bool DmaEngine::tick() {
+    const bool a = tickMm2s();
+    const bool b = tickS2mm();
+    return a || b;
+}
+
+bool DmaEngine::idle() const {
+    return !mm2s_.active && !s2mm_.active;
+}
+
+std::uint32_t DmaEngine::readRegister(std::uint64_t offset) {
+    switch (offset) {
+    case dmareg::kMm2sCtrl: return 0;
+    case dmareg::kMm2sStatus: return mm2s_.active ? 0 : dmareg::kStatusIdle;
+    case dmareg::kMm2sAddr: return static_cast<std::uint32_t>(mm2s_.address);
+    case dmareg::kMm2sLength: return static_cast<std::uint32_t>(mm2s_.remaining);
+    case dmareg::kMm2sRoute: return mm2s_.route;
+    case dmareg::kS2mmCtrl: return 0;
+    case dmareg::kS2mmStatus: return s2mm_.active ? 0 : dmareg::kStatusIdle;
+    case dmareg::kS2mmAddr: return static_cast<std::uint32_t>(s2mm_.address);
+    case dmareg::kS2mmLength: return static_cast<std::uint32_t>(s2mm_.remaining);
+    case dmareg::kS2mmRoute: return s2mm_.route;
+    default:
+        throw SimulationError(format("%s: read of unknown register 0x%llx", name_.c_str(),
+                                     static_cast<unsigned long long>(offset)));
+    }
+}
+
+void DmaEngine::writeRegister(std::uint64_t offset, std::uint32_t value) {
+    switch (offset) {
+    case dmareg::kMm2sCtrl:
+        break;  // run/stop is implicit in this simple-mode model
+    case dmareg::kMm2sAddr:
+        mm2s_.address = value;
+        break;
+    case dmareg::kMm2sRoute:
+        if (value >= mm2sDests_.size()) {
+            throw SimulationError(format("%s: MM2S route %u out of range (%zu attached)",
+                                         name_.c_str(), value, mm2sDests_.size()));
+        }
+        mm2s_.route = value;
+        break;
+    case dmareg::kMm2sLength:
+        if (mm2s_.active) {
+            throw SimulationError(name_ + ": MM2S transfer started while busy");
+        }
+        if (mm2sDests_.empty()) {
+            throw SimulationError(name_ + ": MM2S started with no attached stream");
+        }
+        mm2s_.remaining = value;
+        mm2s_.active = value > 0;
+        break;
+    case dmareg::kS2mmCtrl:
+        break;
+    case dmareg::kS2mmAddr:
+        s2mm_.address = value;
+        break;
+    case dmareg::kS2mmRoute:
+        if (value >= s2mmSrcs_.size()) {
+            throw SimulationError(format("%s: S2MM route %u out of range (%zu attached)",
+                                         name_.c_str(), value, s2mmSrcs_.size()));
+        }
+        s2mm_.route = value;
+        break;
+    case dmareg::kS2mmLength:
+        if (s2mm_.active) {
+            throw SimulationError(name_ + ": S2MM transfer started while busy");
+        }
+        if (s2mmSrcs_.empty()) {
+            throw SimulationError(name_ + ": S2MM started with no attached stream");
+        }
+        s2mm_.remaining = value;
+        s2mm_.active = value > 0;
+        break;
+    default:
+        throw SimulationError(format("%s: write of unknown register 0x%llx", name_.c_str(),
+                                     static_cast<unsigned long long>(offset)));
+    }
+}
+
+} // namespace socgen::soc

@@ -1,0 +1,21 @@
+#include "socgen/soc/interconnect.hpp"
+
+namespace socgen::soc {
+
+std::uint32_t GpInterconnect::read(std::uint64_t address) {
+    pendingCycles_ += axi::LiteBus::kAccessLatency + kHopLatency;
+    return bus_.read(address);
+}
+
+void GpInterconnect::write(std::uint64_t address, std::uint32_t value) {
+    pendingCycles_ += axi::LiteBus::kAccessLatency + kHopLatency;
+    bus_.write(address, value);
+}
+
+std::uint64_t GpInterconnect::consumeAccessCycles() {
+    const std::uint64_t cycles = pendingCycles_;
+    pendingCycles_ = 0;
+    return cycles;
+}
+
+} // namespace socgen::soc

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "socgen/axi/lite.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace socgen::soc {
+
+/// Runtime model of the GP-port AXI interconnect: wraps the LiteBus with
+/// an extra hop of latency per traversal and a transaction census per
+/// slave — the observable behaviour of the `ps7_0_axi_periph`
+/// interconnect the flow instantiates.
+class GpInterconnect {
+public:
+    /// Additional cycles charged by the interconnect hop on each access.
+    static constexpr std::uint64_t kHopLatency = 3;
+
+    explicit GpInterconnect(axi::LiteBus& bus) : bus_(bus) {}
+
+    [[nodiscard]] std::uint32_t read(std::uint64_t address);
+    void write(std::uint64_t address, std::uint32_t value);
+
+    /// Cycles the caller should charge for the accesses issued so far
+    /// (bus latency + hop latency).
+    [[nodiscard]] std::uint64_t consumeAccessCycles();
+
+    [[nodiscard]] axi::LiteBus& bus() { return bus_; }
+
+private:
+    axi::LiteBus& bus_;
+    std::uint64_t pendingCycles_ = 0;
+};
+
+} // namespace socgen::soc

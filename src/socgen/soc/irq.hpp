@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace socgen::soc {
+
+/// A PL-to-PS interrupt line (one of the Zynq's F2P IRQs). Completion
+/// sources (DMA channels, accelerator done signals) raise it; the PS
+/// model's waitIrq() consumes it. Level-latched: stays pending until
+/// acknowledged.
+class IrqLine {
+public:
+    explicit IrqLine(std::string name) : name_(std::move(name)) {}
+
+    void raise() {
+        pending_ = true;
+        ++raiseCount_;
+    }
+
+    /// Consumes a pending interrupt; returns false if none.
+    bool acknowledge() {
+        const bool was = pending_;
+        pending_ = false;
+        return was;
+    }
+
+    [[nodiscard]] bool pending() const { return pending_; }
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] std::uint64_t raiseCount() const { return raiseCount_; }
+
+private:
+    std::string name_;
+    bool pending_ = false;
+    std::uint64_t raiseCount_ = 0;
+};
+
+} // namespace socgen::soc

@@ -1,0 +1,39 @@
+#include "socgen/soc/memory.hpp"
+
+namespace socgen::soc {
+
+std::vector<std::uint32_t>& Memory::page(std::uint64_t wordAddress) const {
+    const std::uint64_t pageIndex = wordAddress / kPageWords;
+    auto it = pages_.find(pageIndex);
+    if (it == pages_.end()) {
+        it = pages_.emplace(pageIndex, std::vector<std::uint32_t>(kPageWords, 0)).first;
+    }
+    return it->second;
+}
+
+std::uint32_t Memory::readWord(std::uint64_t wordAddress) const {
+    ++reads_;
+    return page(wordAddress)[wordAddress % kPageWords];
+}
+
+void Memory::writeWord(std::uint64_t wordAddress, std::uint32_t value) {
+    ++writes_;
+    page(wordAddress)[wordAddress % kPageWords] = value;
+}
+
+void Memory::writeBlock(std::uint64_t wordAddress, std::span<const std::uint32_t> data) {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        writeWord(wordAddress + i, data[i]);
+    }
+}
+
+std::vector<std::uint32_t> Memory::readBlock(std::uint64_t wordAddress,
+                                             std::size_t count) const {
+    std::vector<std::uint32_t> out(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        out[i] = readWord(wordAddress + i);
+    }
+    return out;
+}
+
+} // namespace socgen::soc

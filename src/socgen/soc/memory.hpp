@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace socgen::soc {
+
+/// Word-addressed DDR model (the Zedboard's 512 MB DDR3, shared between
+/// the ARM PS and the PL masters through the HP ports). Storage is
+/// allocated page-wise on first touch so large address spaces stay cheap.
+/// All PL-side transfers operate on 32-bit words, which matches the DMA
+/// data width configured by the flow.
+class Memory {
+public:
+    static constexpr std::size_t kPageWords = 1024;
+
+    [[nodiscard]] std::uint32_t readWord(std::uint64_t wordAddress) const;
+    void writeWord(std::uint64_t wordAddress, std::uint32_t value);
+
+    /// Bulk helpers used by the PS model and tests.
+    void writeBlock(std::uint64_t wordAddress, std::span<const std::uint32_t> data);
+    [[nodiscard]] std::vector<std::uint32_t> readBlock(std::uint64_t wordAddress,
+                                                       std::size_t count) const;
+
+    [[nodiscard]] std::size_t pagesAllocated() const { return pages_.size(); }
+
+    // -- statistics ----------------------------------------------------------
+    [[nodiscard]] std::uint64_t readCount() const { return reads_; }
+    [[nodiscard]] std::uint64_t writeCount() const { return writes_; }
+
+private:
+    mutable std::map<std::uint64_t, std::vector<std::uint32_t>> pages_;
+    mutable std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+
+    [[nodiscard]] std::vector<std::uint32_t>& page(std::uint64_t wordAddress) const;
+};
+
+} // namespace socgen::soc

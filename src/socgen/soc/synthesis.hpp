@@ -1,0 +1,47 @@
+#pragma once
+
+#include "socgen/soc/block_design.hpp"
+
+#include <string>
+#include <vector>
+
+namespace socgen::soc {
+
+/// Per-instance utilisation row of a synthesis report.
+struct UtilisationRow {
+    std::string instance;
+    hls::ResourceEstimate resources;
+};
+
+/// Result of the simulated synthesis / map / place-and-route / timing
+/// run for one block design — the stand-in for the Vivado Design Suite
+/// backend the paper invokes ("launch_runs impl_1 -to_step
+/// write_bitstream").
+struct SynthesisResult {
+    std::string designName;
+    std::vector<UtilisationRow> perInstance;
+    hls::ResourceEstimate total;
+    double utilisationPercent = 0.0;  ///< of the scarcest resource
+    double achievedClockMhz = 0.0;
+    bool timingMet = false;
+
+    double synthSeconds = 0.0;    ///< deterministic tool time per stage
+    double implSeconds = 0.0;
+    double bitgenSeconds = 0.0;
+    [[nodiscard]] double totalSeconds() const {
+        return synthSeconds + implSeconds + bitgenSeconds;
+    }
+
+    [[nodiscard]] std::string utilisationReport() const;
+};
+
+/// The synthesis model: aggregates resources, checks device capacity,
+/// estimates achievable clock from congestion, and charges deterministic
+/// tool time proportional to design size (so Figure 9's breakdown is
+/// reproducible). Throws SynthesisError when the design does not fit.
+class SynthesisModel {
+public:
+    [[nodiscard]] SynthesisResult run(const BlockDesign& design) const;
+};
+
+} // namespace socgen::soc

@@ -1,0 +1,242 @@
+#include "socgen/soc/system_sim.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+#include <sstream>
+
+namespace socgen::soc {
+
+SystemSimulator::SystemSimulator(const BlockDesign& design,
+                                 const std::map<std::string, hls::Program>& programs,
+                                 SystemOptions options)
+    : design_(design), options_(options), gp_(bus_) {
+    if (!design.finalised()) {
+        throw SimulationError("system simulation requires a finalised design");
+    }
+    ps_ = std::make_unique<ZynqPs>("arm_ps", memory_, gp_);
+
+    // DMA engines (with F2P completion interrupts when requested).
+    for (const IpInstance* inst : design.dmaInstances()) {
+        auto dma = std::make_unique<DmaEngine>(inst->name, memory_,
+                                               options_.dmaWordsPerCycle);
+        if (options_.useInterrupts) {
+            mm2sIrqs_[inst->name] =
+                std::make_unique<IrqLine>(inst->name + "_mm2s_introut");
+            s2mmIrqs_[inst->name] =
+                std::make_unique<IrqLine>(inst->name + "_s2mm_introut");
+            dma->setMm2sIrq(mm2sIrqs_[inst->name].get());
+            dma->setS2mmIrq(s2mmIrqs_[inst->name].get());
+        }
+        dmas_[inst->name] = std::move(dma);
+    }
+
+    // Accelerator cores.
+    for (const IpInstance* inst : design.hlsCores()) {
+        const auto it = programs.find(inst->coreName);
+        if (it == programs.end()) {
+            throw SimulationError("no compiled program for core " + inst->coreName);
+        }
+        programs_[inst->coreName] = &it->second;
+        auto core = std::make_unique<AcceleratorCore>(inst->name, it->second);
+        // Pure-stream cores (no AXI-Lite control attached) fire as soon as
+        // data arrives — the dataflow-phase semantics of Section II-A.
+        bool hasLite = false;
+        for (const auto& l : design.lites()) {
+            if (l.instance == inst->name) {
+                hasLite = true;
+            }
+        }
+        core->setAutoStart(!hasLite);
+        if (options_.useInterrupts && hasLite) {
+            coreIrqs_[inst->name] = std::make_unique<IrqLine>(inst->name + "_interrupt");
+            core->setDoneIrq(coreIrqs_[inst->name].get());
+        }
+        cores_[inst->name] = std::move(core);
+    }
+
+    // Stream channels; attach to DMA routes / core ports. Iterate in the
+    // design's order so route indices assigned by finalise() line up.
+    for (const auto& s : design.streams()) {
+        auto chan = std::make_unique<axi::StreamChannel>(
+            s.from.str() + " -> " + s.to.str(), options_.channelCapacity, s.width);
+        if (s.from.isSoc()) {
+            const int route = dmas_.at(s.dmaInstance)->attachMm2s(*chan);
+            require(route == s.dmaRoute, "MM2S route mismatch with finalise()");
+        } else {
+            cores_.at(s.from.instance)->bindStream(s.from.port, *chan);
+        }
+        if (s.to.isSoc()) {
+            const int route = dmas_.at(s.dmaInstance)->attachS2mm(*chan);
+            require(route == s.dmaRoute, "S2MM route mismatch with finalise()");
+        } else {
+            cores_.at(s.to.instance)->bindStream(s.to.port, *chan);
+        }
+        if (options_.attachMonitors) {
+            monitors_.push_back(std::make_unique<axi::StreamMonitor>(*chan));
+        }
+        channels_.push_back(std::move(chan));
+    }
+
+    // Memory-mapped slaves.
+    for (const auto& l : design.lites()) {
+        axi::LiteSlave* slave = nullptr;
+        if (const auto dit = dmas_.find(l.instance); dit != dmas_.end()) {
+            slave = dit->second.get();
+        } else if (const auto cit = cores_.find(l.instance); cit != cores_.end()) {
+            slave = cit->second.get();
+        } else {
+            throw SimulationError("lite connection to unknown instance " + l.instance);
+        }
+        bus_.mapSlave(l.instance, axi::AddressRange{l.baseAddress, l.size}, *slave);
+    }
+
+    // Registration order: PS first (issues work), then DMAs, then cores.
+    engine_.add(*ps_);
+    for (auto& [name, dma] : dmas_) {
+        engine_.add(*dma);
+    }
+    for (auto& [name, core] : cores_) {
+        engine_.add(*core);
+    }
+    for (auto& monitor : monitors_) {
+        engine_.addProbe([m = monitor.get()] { m->sample(); });
+    }
+}
+
+AcceleratorCore& SystemSimulator::core(const std::string& name) {
+    const auto it = cores_.find(name);
+    if (it == cores_.end()) {
+        throw SimulationError("no accelerator core named " + name);
+    }
+    return *it->second;
+}
+
+DmaEngine& SystemSimulator::dma(const std::string& name) {
+    const auto it = dmas_.find(name);
+    if (it == dmas_.end()) {
+        throw SimulationError("no DMA engine named " + name);
+    }
+    return *it->second;
+}
+
+axi::StreamChannel& SystemSimulator::channel(std::size_t index) {
+    require(index < channels_.size(), "channel index out of range");
+    return *channels_[index];
+}
+
+std::uint64_t SystemSimulator::baseAddressOf(const std::string& instance) const {
+    for (const auto& l : design_.lites()) {
+        if (l.instance == instance) {
+            return l.baseAddress;
+        }
+    }
+    throw SimulationError("instance has no AXI-Lite mapping: " + instance);
+}
+
+void SystemSimulator::psWriteDma(const std::string& dmaName, int route,
+                                 std::uint64_t wordAddr, std::uint32_t words) {
+    const std::uint64_t base = baseAddressOf(dmaName);
+    ps_->writeReg(base + dmareg::kMm2sAddr, static_cast<std::uint32_t>(wordAddr));
+    ps_->writeReg(base + dmareg::kMm2sRoute, static_cast<std::uint32_t>(route));
+    ps_->writeReg(base + dmareg::kMm2sLength, words);
+    if (options_.useInterrupts) {
+        ps_->waitIrq(*mm2sIrqs_.at(dmaName));
+    } else {
+        ps_->pollEq(base + dmareg::kMm2sStatus, dmareg::kStatusIdle,
+                    dmareg::kStatusIdle);
+    }
+}
+
+void SystemSimulator::psArmReadDma(const std::string& dmaName, int route,
+                                   std::uint64_t wordAddr, std::uint32_t words) {
+    const std::uint64_t base = baseAddressOf(dmaName);
+    ps_->writeReg(base + dmareg::kS2mmAddr, static_cast<std::uint32_t>(wordAddr));
+    ps_->writeReg(base + dmareg::kS2mmRoute, static_cast<std::uint32_t>(route));
+    ps_->writeReg(base + dmareg::kS2mmLength, words);
+}
+
+void SystemSimulator::psWaitReadDma(const std::string& dmaName) {
+    if (options_.useInterrupts) {
+        ps_->waitIrq(*s2mmIrqs_.at(dmaName));
+        return;
+    }
+    const std::uint64_t base = baseAddressOf(dmaName);
+    ps_->pollEq(base + dmareg::kS2mmStatus, dmareg::kStatusIdle, dmareg::kStatusIdle);
+}
+
+void SystemSimulator::psStartCore(const std::string& coreName) {
+    ps_->writeReg(baseAddressOf(coreName) + accreg::kCtrl, accreg::kCtrlStart);
+}
+
+void SystemSimulator::psWaitCore(const std::string& coreName) {
+    if (options_.useInterrupts) {
+        const auto it = coreIrqs_.find(coreName);
+        if (it != coreIrqs_.end()) {
+            ps_->waitIrq(*it->second);
+            return;
+        }
+    }
+    ps_->pollEq(baseAddressOf(coreName) + accreg::kCtrl, accreg::kStatusDone,
+                accreg::kStatusDone);
+}
+
+std::uint32_t SystemSimulator::argIndexOf(const std::string& coreName,
+                                          const std::string& portName) const {
+    const hls::Program& program = *programs_.at(coreName);
+    for (std::uint32_t i = 0; i < program.ports.size(); ++i) {
+        if (program.ports[i].name == portName) {
+            return i;
+        }
+    }
+    throw SimulationError(format("core %s has no port '%s'", coreName.c_str(),
+                                 portName.c_str()));
+}
+
+void SystemSimulator::psSetCoreArg(const std::string& coreName, const std::string& portName,
+                                   std::uint32_t value) {
+    const std::uint32_t index = argIndexOf(coreName, portName);
+    ps_->writeReg(baseAddressOf(coreName) + accreg::argOffset(index), value);
+}
+
+std::uint64_t SystemSimulator::run(std::uint64_t maxCycles) {
+    lastRunCycles_ = engine_.runUntilIdle(maxCycles);
+    for (const auto& monitor : monitors_) {
+        monitor->check();
+    }
+    return lastRunCycles_;
+}
+
+std::string SystemSimulator::report() const {
+    std::ostringstream out;
+    out << "== Execution report: " << design_.name() << " ==\n";
+    out << format("cycles: %llu (%.3f ms at %.0f MHz)\n",
+                  static_cast<unsigned long long>(lastRunCycles_),
+                  static_cast<double>(lastRunCycles_) /
+                      (design_.device().fabricClockMhz * 1000.0),
+                  design_.device().fabricClockMhz);
+    out << format("PS: %llu busy cycles (%llu task, %llu driver, %llu irq wakeups)\n",
+                  static_cast<unsigned long long>(ps_->cyclesBusy()),
+                  static_cast<unsigned long long>(ps_->taskCycles()),
+                  static_cast<unsigned long long>(ps_->driverCycles()),
+                  static_cast<unsigned long long>(ps_->irqWakeups()));
+    for (const auto& [name, dma] : dmas_) {
+        out << format("%s: %llu words moved, %llu transfers\n", name.c_str(),
+                      static_cast<unsigned long long>(dma->wordsMoved()),
+                      static_cast<unsigned long long>(dma->transfersCompleted()));
+    }
+    for (const auto& [name, core] : cores_) {
+        out << format("%s: %llu cycles, %llu stalled, %llu instructions\n", name.c_str(),
+                      static_cast<unsigned long long>(core->vm().cycles()),
+                      static_cast<unsigned long long>(core->vm().stallCycles()),
+                      static_cast<unsigned long long>(core->vm().instructionsExecuted()));
+    }
+    for (const auto& chan : channels_) {
+        out << format("stream %-40s %llu beats, high-water %zu\n", chan->name().c_str(),
+                      static_cast<unsigned long long>(chan->beatsPushed()),
+                      chan->highWater());
+    }
+    return out.str();
+}
+
+} // namespace socgen::soc

@@ -1,0 +1,126 @@
+#include "socgen/soc/zynq_ps.hpp"
+
+namespace socgen::soc {
+
+ZynqPs::ZynqPs(std::string name, Memory& memory, GpInterconnect& gp)
+    : name_(std::move(name)), memory_(memory), gp_(gp) {}
+
+void ZynqPs::task(std::string label, std::uint64_t cycles, TaskFn fn) {
+    Op op;
+    op.kind = OpKind::Task;
+    op.label = std::move(label);
+    op.cycles = cycles;
+    op.fn = std::move(fn);
+    program_.push_back(std::move(op));
+}
+
+void ZynqPs::writeReg(std::uint64_t address, std::uint32_t value) {
+    Op op;
+    op.kind = OpKind::WriteReg;
+    op.address = address;
+    op.value = value;
+    program_.push_back(std::move(op));
+}
+
+void ZynqPs::pollEq(std::uint64_t address, std::uint32_t mask, std::uint32_t expect,
+                    std::uint64_t pollInterval) {
+    Op op;
+    op.kind = OpKind::Poll;
+    op.address = address;
+    op.mask = mask;
+    op.expect = expect;
+    op.pollInterval = pollInterval == 0 ? 1 : pollInterval;
+    program_.push_back(std::move(op));
+}
+
+void ZynqPs::delay(std::uint64_t cycles) {
+    Op op;
+    op.kind = OpKind::Delay;
+    op.cycles = cycles;
+    program_.push_back(std::move(op));
+}
+
+void ZynqPs::waitIrq(IrqLine& line, std::uint64_t wakeLatency) {
+    Op op;
+    op.kind = OpKind::WaitIrq;
+    op.irq = &line;
+    op.cycles = wakeLatency;
+    program_.push_back(std::move(op));
+}
+
+void ZynqPs::startNextOp() {
+    Op op = std::move(program_.front());
+    program_.pop_front();
+    ++opsExecuted_;
+    switch (op.kind) {
+    case OpKind::Task:
+        if (op.fn) {
+            op.fn(memory_);
+        }
+        taskCycles_ += op.cycles;
+        busyFor_ = op.cycles;
+        break;
+    case OpKind::WriteReg: {
+        gp_.write(op.address, op.value);
+        busyFor_ = gp_.consumeAccessCycles();
+        driverCycles_ += busyFor_;
+        break;
+    }
+    case OpKind::Poll:
+        pollingActive_ = true;
+        pollingOp_ = std::move(op);
+        busyFor_ = 0;
+        break;
+    case OpKind::Delay:
+        busyFor_ = op.cycles;
+        break;
+    case OpKind::WaitIrq:
+        irqWaitActive_ = true;
+        pollingOp_ = std::move(op);
+        busyFor_ = 0;
+        break;
+    }
+}
+
+bool ZynqPs::tick() {
+    if (busyFor_ > 0) {
+        --busyFor_;
+        ++cyclesBusy_;
+        return true;
+    }
+    if (irqWaitActive_) {
+        if (pollingOp_.irq->acknowledge()) {
+            irqWaitActive_ = false;
+            busyFor_ = pollingOp_.cycles;  // ISR entry / context switch
+            ++irqWakeups_;
+            ++cyclesBusy_;
+            return true;
+        }
+        return false;  // sleeping: no bus traffic, no progress
+    }
+    if (pollingActive_) {
+        const std::uint32_t value = gp_.read(pollingOp_.address);
+        const std::uint64_t accessCycles = gp_.consumeAccessCycles();
+        driverCycles_ += accessCycles;
+        ++cyclesBusy_;
+        if ((value & pollingOp_.mask) == pollingOp_.expect) {
+            pollingActive_ = false;
+            busyFor_ = accessCycles;
+        } else {
+            busyFor_ = accessCycles + pollingOp_.pollInterval;
+        }
+        return true;
+    }
+    if (program_.empty()) {
+        return false;
+    }
+    startNextOp();
+    ++cyclesBusy_;
+    return true;
+}
+
+bool ZynqPs::idle() const {
+    return program_.empty() && busyFor_ == 0 && !pollingActive_ && !irqWaitActive_;
+}
+
+} // namespace socgen::soc

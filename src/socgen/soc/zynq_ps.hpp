@@ -1,0 +1,95 @@
+#pragma once
+
+#include "socgen/sim/engine.hpp"
+#include "socgen/soc/interconnect.hpp"
+#include "socgen/soc/irq.hpp"
+#include "socgen/soc/memory.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+namespace socgen::soc {
+
+/// Model of the dual-core ARM Cortex-A9 processing system: it executes a
+/// queued software program consisting of software tasks (host callables
+/// with a modelled cycle cost), memory-mapped register accesses through
+/// the GP interconnect, and status polling — exactly the operations the
+/// generated driver API performs (writeDMA/readDMA and AXI-Lite
+/// configuration, paper Section V).
+class ZynqPs final : public sim::Component {
+public:
+    using TaskFn = std::function<void(Memory&)>;
+
+    ZynqPs(std::string name, Memory& memory, GpInterconnect& gp);
+
+    // -- program construction (executed in FIFO order) ------------------------
+
+    /// Pure software task: runs `fn` against memory and occupies the CPU
+    /// for `cycles` PL-clock cycles.
+    void task(std::string label, std::uint64_t cycles, TaskFn fn);
+
+    /// Single AXI-Lite register write.
+    void writeReg(std::uint64_t address, std::uint32_t value);
+
+    /// Polls `address` until (value & mask) == expect, retrying every
+    /// `pollInterval` cycles (driver-style busy-wait).
+    void pollEq(std::uint64_t address, std::uint32_t mask, std::uint32_t expect,
+                std::uint64_t pollInterval = 16);
+
+    /// Fixed stall (e.g. cache maintenance in the generated driver).
+    void delay(std::uint64_t cycles);
+
+    /// Blocks until `line` is raised, then acknowledges it and charges
+    /// `wakeLatency` cycles (context switch / ISR entry). Unlike pollEq
+    /// this generates no bus traffic while waiting — the interrupt-driven
+    /// driver alternative to busy-wait polling.
+    void waitIrq(IrqLine& line, std::uint64_t wakeLatency = 24);
+
+    // sim::Component
+    [[nodiscard]] const std::string& name() const override { return name_; }
+    bool tick() override;
+    [[nodiscard]] bool idle() const override;
+
+    // -- statistics ----------------------------------------------------------
+    [[nodiscard]] std::uint64_t cyclesBusy() const { return cyclesBusy_; }
+    [[nodiscard]] std::uint64_t taskCycles() const { return taskCycles_; }
+    [[nodiscard]] std::uint64_t driverCycles() const { return driverCycles_; }
+    [[nodiscard]] std::uint64_t irqWakeups() const { return irqWakeups_; }
+    [[nodiscard]] std::size_t opsExecuted() const { return opsExecuted_; }
+
+private:
+    enum class OpKind { Task, WriteReg, Poll, Delay, WaitIrq };
+
+    struct Op {
+        OpKind kind = OpKind::Delay;
+        std::string label;
+        std::uint64_t cycles = 0;
+        TaskFn fn;
+        std::uint64_t address = 0;
+        std::uint32_t value = 0;
+        std::uint32_t mask = 0;
+        std::uint32_t expect = 0;
+        std::uint64_t pollInterval = 16;
+        IrqLine* irq = nullptr;
+    };
+
+    void startNextOp();
+
+    std::string name_;
+    Memory& memory_;
+    GpInterconnect& gp_;
+    std::deque<Op> program_;
+    std::uint64_t busyFor_ = 0;
+    bool pollingActive_ = false;
+    bool irqWaitActive_ = false;
+    Op pollingOp_;
+    std::uint64_t cyclesBusy_ = 0;
+    std::uint64_t taskCycles_ = 0;
+    std::uint64_t driverCycles_ = 0;
+    std::uint64_t irqWakeups_ = 0;
+    std::size_t opsExecuted_ = 0;
+};
+
+} // namespace socgen::soc

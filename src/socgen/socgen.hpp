@@ -1,0 +1,37 @@
+#pragma once
+
+/// socgen — umbrella header for the public API.
+///
+/// socgen is a C++ reproduction of "Scala-Based Domain-Specific Language
+/// for Creating Accelerator-Based SoCs" (Durelli et al., 2016): a DSL for
+/// describing accelerator-based SoC task graphs whose execution drives a
+/// complete (simulated) tool flow — HLS per node, system integration,
+/// synthesis/bitstream, software generation — plus a cycle-based system
+/// simulator standing in for the Zedboard.
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/log.hpp"
+#include "socgen/common/stopwatch.hpp"
+#include "socgen/common/strings.hpp"
+#include "socgen/common/textfile.hpp"
+
+#include "socgen/hls/directives.hpp"
+#include "socgen/hls/engine.hpp"
+#include "socgen/hls/interpreter.hpp"
+#include "socgen/hls/ir.hpp"
+
+#include "socgen/core/dsl.hpp"
+#include "socgen/core/flow.hpp"
+#include "socgen/core/htg.hpp"
+#include "socgen/core/parser.hpp"
+#include "socgen/core/project.hpp"
+
+#include "socgen/soc/bitstream.hpp"
+#include "socgen/soc/block_design.hpp"
+#include "socgen/soc/synthesis.hpp"
+#include "socgen/soc/system_sim.hpp"
+#include "socgen/soc/tcl.hpp"
+
+#include "socgen/sw/boot.hpp"
+#include "socgen/sw/devicetree.hpp"
+#include "socgen/sw/drivers.hpp"

@@ -1,0 +1,79 @@
+#include "socgen/sw/boot.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+#include <sstream>
+
+namespace socgen::sw {
+
+namespace {
+constexpr std::string_view kMagic = "SOCGENBOOT1";
+}
+
+std::string BootImage::serialize() const {
+    std::ostringstream out;
+    out << kMagic << '\n' << partitions.size() << '\n';
+    for (const auto& p : partitions) {
+        out << p.name << '\n' << p.content.size() << '\n' << p.content;
+    }
+    return out.str();
+}
+
+BootImage BootImage::parse(std::string_view image) {
+    std::istringstream in{std::string(image)};
+    std::string magic;
+    if (!std::getline(in, magic) || magic != kMagic) {
+        throw Error("boot image: bad magic");
+    }
+    std::string countLine;
+    if (!std::getline(in, countLine)) {
+        throw Error("boot image: missing partition count");
+    }
+    BootImage boot;
+    const std::size_t count = std::stoul(countLine);
+    for (std::size_t i = 0; i < count; ++i) {
+        BootPartition p;
+        std::string sizeLine;
+        if (!std::getline(in, p.name) || !std::getline(in, sizeLine)) {
+            throw Error("boot image: truncated partition header");
+        }
+        const std::size_t size = std::stoul(sizeLine);
+        p.content.resize(size);
+        in.read(p.content.data(), static_cast<std::streamsize>(size));
+        if (static_cast<std::size_t>(in.gcount()) != size) {
+            throw Error("boot image: truncated partition " + p.name);
+        }
+        boot.partitions.push_back(std::move(p));
+    }
+    return boot;
+}
+
+const BootPartition* BootImage::find(std::string_view name) const {
+    for (const auto& p : partitions) {
+        if (p.name == name) {
+            return &p;
+        }
+    }
+    return nullptr;
+}
+
+BootImage makeBootImage(const soc::BlockDesign& design, const soc::Bitstream& bitstream,
+                        const std::string& deviceTree) {
+    if (!design.finalised()) {
+        throw Error("boot image requires a finalised design");
+    }
+    BootImage boot;
+    boot.partitions.push_back(BootPartition{
+        "fsbl.elf", format("FSBL for %s on %s (placeholder first-stage bootloader)\n",
+                           design.name().c_str(), design.device().part.c_str())});
+    boot.partitions.push_back(BootPartition{design.name() + ".bit", bitstream.serialize()});
+    boot.partitions.push_back(BootPartition{"devicetree.dtb", deviceTree});
+    boot.partitions.push_back(BootPartition{
+        "uImage", "PetaLinux kernel payload marker (pre-compiled image)\n"});
+    boot.partitions.push_back(BootPartition{
+        "uramdisk.image.gz", "root filesystem marker with pre-installed DMA driver\n"});
+    return boot;
+}
+
+} // namespace socgen::sw

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "socgen/soc/bitstream.hpp"
+#include "socgen/soc/block_design.hpp"
+
+#include <string>
+#include <vector>
+
+namespace socgen::sw {
+
+/// One entry of a boot image (BOOT.BIN-like container).
+struct BootPartition {
+    std::string name;      ///< e.g. "fsbl.elf", "design.bit", "devicetree.dtb"
+    std::string content;
+};
+
+/// Packaged boot image for the target board: first-stage bootloader
+/// placeholder, bitstream, device tree, and the kernel payload marker —
+/// the "files needed to boot the board using a pre-compiled version of
+/// the PetaLinux Operating System" (paper Section V).
+struct BootImage {
+    std::vector<BootPartition> partitions;
+
+    [[nodiscard]] std::string serialize() const;
+    static BootImage parse(std::string_view image);
+
+    [[nodiscard]] const BootPartition* find(std::string_view name) const;
+};
+
+/// Assembles the boot image from the flow's artifacts.
+[[nodiscard]] BootImage makeBootImage(const soc::BlockDesign& design,
+                                      const soc::Bitstream& bitstream,
+                                      const std::string& deviceTree);
+
+} // namespace socgen::sw

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "socgen/soc/block_design.hpp"
+
+#include <string>
+
+namespace socgen::sw {
+
+/// Generates the device-tree source overlay describing the generated
+/// hardware, "so the Linux kernel automatically recognizes the new
+/// hardware accelerators and the corresponding DMA cores; the resulting
+/// device file is thus placed into the /dev directory" (paper Section V).
+class DeviceTreeGenerator {
+public:
+    [[nodiscard]] std::string generate(const soc::BlockDesign& design) const;
+
+    /// The /dev node name a core's driver will create.
+    [[nodiscard]] static std::string devNodeFor(const std::string& instanceName);
+};
+
+} // namespace socgen::sw

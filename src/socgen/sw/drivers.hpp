@@ -1,0 +1,30 @@
+#pragma once
+
+#include "socgen/hls/bytecode.hpp"
+#include "socgen/soc/block_design.hpp"
+
+#include <map>
+#include <string>
+
+namespace socgen::sw {
+
+/// One generated source artifact (path relative to the output dir).
+struct GeneratedFile {
+    std::string path;
+    std::string content;
+};
+
+/// Generates the C driver/API source for a design: a header and
+/// implementation exposing, per AXI-Lite core, setArg/start/waitDone
+/// wrappers, and per DMA core the readDMA/writeDMA pair the paper
+/// provides for AXI-Stream connections ("we provide two simple APIs
+/// (readDMA and writeDMA) to move data after opening the corresponding
+/// device in the /dev directory", Section V).
+class DriverGenerator {
+public:
+    [[nodiscard]] std::vector<GeneratedFile> generate(
+        const soc::BlockDesign& design,
+        const std::map<std::string, hls::Program>& programs) const;
+};
+
+} // namespace socgen::sw

@@ -1,0 +1,126 @@
+#include "socgen/apps/image.hpp"
+#include "socgen/common/error.hpp"
+#include "socgen/common/textfile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace socgen::apps {
+namespace {
+
+TEST(GrayImage, PixelAccess) {
+    GrayImage img(4, 3, 7);
+    EXPECT_EQ(img.width(), 4u);
+    EXPECT_EQ(img.height(), 3u);
+    EXPECT_EQ(img.pixelCount(), 12u);
+    EXPECT_EQ(img.at(0, 0), 7);
+    img.set(3, 2, 200);
+    EXPECT_EQ(img.at(3, 2), 200);
+    EXPECT_THROW((void)img.at(4, 0), Error);
+    EXPECT_THROW(img.set(0, 3, 1), Error);
+}
+
+TEST(RgbImage, PackedLayout) {
+    RgbImage img(2, 2);
+    img.set(1, 0, 0x12, 0x34, 0x56);
+    EXPECT_EQ(img.packedAt(1, 0), 0x123456u);
+    const auto packed = img.packedPixels();
+    ASSERT_EQ(packed.size(), 4u);
+    EXPECT_EQ(packed[1], 0x123456u);
+    EXPECT_THROW((void)img.packedAt(2, 0), Error);
+}
+
+TEST(Pgm, EncodeDecodeRoundTrip) {
+    GrayImage img(5, 4);
+    for (unsigned y = 0; y < 4; ++y) {
+        for (unsigned x = 0; x < 5; ++x) {
+            img.set(x, y, static_cast<std::uint8_t>(x * 50 + y));
+        }
+    }
+    const GrayImage decoded = decodePgm(encodePgm(img));
+    EXPECT_EQ(decoded, img);
+}
+
+TEST(Pgm, DecodesAsciiP2) {
+    const GrayImage img = decodePgm("P2\n# a comment\n2 2\n255\n0 64\n128 255\n");
+    EXPECT_EQ(img.width(), 2u);
+    EXPECT_EQ(img.at(0, 0), 0);
+    EXPECT_EQ(img.at(1, 0), 64);
+    EXPECT_EQ(img.at(0, 1), 128);
+    EXPECT_EQ(img.at(1, 1), 255);
+}
+
+TEST(Pgm, RejectsBadInput) {
+    EXPECT_THROW((void)decodePgm("P7\n1 1\n255\nx"), Error);
+    EXPECT_THROW((void)decodePgm("P5\n4 4\n255\nxx"), Error);  // truncated
+    EXPECT_THROW((void)decodePgm("P5\n1 1\n70000\n"), Error);  // bad maxval
+    EXPECT_THROW((void)decodePgm(""), Error);
+}
+
+TEST(Pgm, FileRoundTrip) {
+    const std::string path = testing::TempDir() + "/socgen_img.pgm";
+    const GrayImage img = makeSyntheticGrayScene(16, 16);
+    writePgm(path, img);
+    EXPECT_EQ(readPgm(path), img);
+    std::filesystem::remove(path);
+}
+
+TEST(Ppm, WritesValidHeader) {
+    const std::string path = testing::TempDir() + "/socgen_img.ppm";
+    writePpm(path, makeSyntheticScene(8, 8));
+    const std::string data = readTextFile(path);
+    EXPECT_EQ(data.substr(0, 2), "P6");
+    EXPECT_EQ(data.size(), std::string("P6\n8 8\n255\n").size() + 8 * 8 * 3);
+    std::filesystem::remove(path);
+}
+
+TEST(Synthetic, DeterministicPerSeed) {
+    const RgbImage a = makeSyntheticScene(32, 32, 5);
+    const RgbImage b = makeSyntheticScene(32, 32, 5);
+    const RgbImage c = makeSyntheticScene(32, 32, 6);
+    EXPECT_EQ(a.packedPixels(), b.packedPixels());
+    EXPECT_NE(a.packedPixels(), c.packedPixels());
+}
+
+TEST(Synthetic, SceneIsBimodal) {
+    // The scene must have clear foreground and background populations so
+    // the Otsu threshold separates them (the Figure 7 premise).
+    const GrayImage gray = makeSyntheticGrayScene(64, 64);
+    std::size_t dark = 0;
+    std::size_t bright = 0;
+    for (std::uint8_t px : gray.pixels()) {
+        if (px < 80) {
+            ++dark;
+        }
+        if (px > 140) {
+            ++bright;
+        }
+    }
+    EXPECT_GT(dark, gray.pixelCount() / 4);
+    EXPECT_GT(bright, gray.pixelCount() / 20);
+    // Few pixels in the dead zone between the modes.
+    EXPECT_LT(gray.pixelCount() - dark - bright, gray.pixelCount() / 5);
+}
+
+class SyntheticSizes : public testing::TestWithParam<unsigned> {};
+
+TEST_P(SyntheticSizes, GrayMatchesRgbConversion) {
+    const unsigned n = GetParam();
+    const RgbImage rgb = makeSyntheticScene(n, n, 11);
+    const GrayImage gray = makeSyntheticGrayScene(n, n, 11);
+    EXPECT_EQ(gray.width(), n);
+    // Spot-check the luma formula agreement.
+    for (unsigned i = 0; i < n; i += 3) {
+        const std::uint32_t px = rgb.packedAt(i, i / 2);
+        const std::uint32_t r = (px >> 16) & 0xFF;
+        const std::uint32_t g = (px >> 8) & 0xFF;
+        const std::uint32_t b = px & 0xFF;
+        EXPECT_EQ(gray.at(i, i / 2), (r * 77 + g * 150 + b * 29) >> 8);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SyntheticSizes, testing::Values(8u, 16u, 33u, 64u));
+
+} // namespace
+} // namespace socgen::apps

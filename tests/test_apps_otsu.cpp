@@ -1,0 +1,185 @@
+#include "socgen/apps/otsu.hpp"
+#include "socgen/apps/otsu_project.hpp"
+#include "socgen/common/error.hpp"
+#include "socgen/hls/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace socgen::apps {
+namespace {
+
+TEST(GrayRef, LumaFormula) {
+    EXPECT_EQ(grayFromPacked(0x000000), 0);
+    EXPECT_EQ(grayFromPacked(0xFFFFFF), 255);
+    EXPECT_EQ(grayFromPacked(0xFF0000), (255 * 77) >> 8);
+    EXPECT_EQ(grayFromPacked(0x00FF00), (255 * 150) >> 8);
+    EXPECT_EQ(grayFromPacked(0x0000FF), (255 * 29) >> 8);
+}
+
+TEST(HistogramRef, SumsToPixelCount) {
+    const GrayImage img = makeSyntheticGrayScene(48, 48);
+    const auto hist = histogramRef(img);
+    const std::uint64_t total = std::accumulate(hist.begin(), hist.end(), 0ull);
+    EXPECT_EQ(total, img.pixelCount());
+}
+
+TEST(OtsuRef, SeparatesBimodalDistribution) {
+    // Two well-separated spikes: the threshold must land between them.
+    std::array<std::uint32_t, 256> hist{};
+    hist[40] = 600;
+    hist[200] = 400;
+    const std::uint32_t t = otsuThresholdRef(hist, 1000);
+    EXPECT_GE(t, 40u);
+    EXPECT_LT(t, 200u);
+}
+
+TEST(OtsuRef, UniformImageYieldsStableThreshold) {
+    std::array<std::uint32_t, 256> hist{};
+    hist[128] = 500;
+    const std::uint32_t t = otsuThresholdRef(hist, 500);
+    EXPECT_EQ(t, 0u);  // no between-class variance anywhere
+}
+
+TEST(OtsuRef, ThresholdActuallySeparatesTheSyntheticScene) {
+    const GrayImage gray = makeSyntheticGrayScene(64, 64);
+    const auto hist = histogramRef(gray);
+    const std::uint32_t t = otsuThresholdRef(hist, gray.pixelCount());
+    EXPECT_GE(t, 52u);   // at or above the background band
+    EXPECT_LT(t, 185u);  // below the blob band
+}
+
+TEST(BinarizeRef, ProducesOnlyBlackAndWhite) {
+    const GrayImage gray = makeSyntheticGrayScene(32, 32);
+    const GrayImage bin = binarizeRef(gray, 100);
+    for (std::uint8_t px : bin.pixels()) {
+        EXPECT_TRUE(px == 0 || px == 255);
+    }
+}
+
+TEST(OtsuFilterRef, EndToEndMatchesComposition) {
+    const RgbImage scene = makeSyntheticScene(32, 32);
+    const GrayImage gray = grayScaleRef(scene);
+    const auto hist = histogramRef(gray);
+    const std::uint32_t t = otsuThresholdRef(hist, gray.pixelCount());
+    EXPECT_EQ(otsuFilterRef(scene), binarizeRef(gray, t));
+}
+
+TEST(Kernels, AllVerifyStructurally) {
+    EXPECT_NO_THROW(hls::verify(makeGrayScaleKernel(64)));
+    EXPECT_NO_THROW(hls::verify(makeHistogramKernel(64)));
+    EXPECT_NO_THROW(hls::verify(makeOtsuKernel(64)));
+    EXPECT_NO_THROW(hls::verify(makeBinarizationKernel(64)));
+}
+
+TEST(Kernels, PortNamesMatchThePaperListing) {
+    const hls::Kernel gray = makeGrayScaleKernel(64);
+    EXPECT_TRUE(gray.hasPort("imageIn"));
+    EXPECT_TRUE(gray.hasPort("imageOutCH"));
+    EXPECT_TRUE(gray.hasPort("imageOutSEG"));
+    const hls::Kernel seg = makeBinarizationKernel(64);
+    EXPECT_TRUE(seg.hasPort("grayScaleImage"));
+    EXPECT_TRUE(seg.hasPort("otsuThreshold"));
+    EXPECT_TRUE(seg.hasPort("segmentedGrayImage"));
+    EXPECT_TRUE(makeHistogramKernel(64).hasPort("histogram"));
+    EXPECT_TRUE(makeOtsuKernel(64).hasPort("probability"));
+}
+
+TEST(SwCycleModels, MonotoneInPixels) {
+    EXPECT_GT(grayScaleSwCycles(2000), grayScaleSwCycles(1000));
+    EXPECT_GT(histogramSwCycles(2000), histogramSwCycles(1000));
+    EXPECT_GT(binarizationSwCycles(2000), binarizationSwCycles(1000));
+    EXPECT_GT(imageIoSwCycles(2000), imageIoSwCycles(1000));
+    // otsuMethod works on the histogram only: pixel-count independent.
+    EXPECT_EQ(otsuSwCycles(2000), otsuSwCycles(1000));
+}
+
+TEST(Partitions, TableOneRows) {
+    // Table I: which stage is in hardware per architecture.
+    using core::Mapping;
+    const auto p1 = otsuArchPartition(1);
+    EXPECT_EQ(p1.of("computeHistogram"), Mapping::Hardware);
+    EXPECT_EQ(p1.of("grayScale"), Mapping::Software);
+    EXPECT_EQ(p1.of("halfProbability"), Mapping::Software);
+    EXPECT_EQ(p1.of("segment"), Mapping::Software);
+
+    const auto p2 = otsuArchPartition(2);
+    EXPECT_EQ(p2.of("halfProbability"), Mapping::Hardware);
+    EXPECT_EQ(p2.hardwareUnits().size(), 1u);
+
+    const auto p3 = otsuArchPartition(3);
+    EXPECT_EQ(p3.of("computeHistogram"), Mapping::Hardware);
+    EXPECT_EQ(p3.of("halfProbability"), Mapping::Hardware);
+    EXPECT_EQ(p3.hardwareUnits().size(), 2u);
+
+    const auto p4 = otsuArchPartition(4);
+    EXPECT_EQ(p4.hardwareUnits().size(), 4u);
+    EXPECT_THROW((void)otsuArchPartition(0), Error);
+    EXPECT_THROW((void)otsuArchPartition(5), Error);
+}
+
+TEST(Partitions, MaskRoundTrip) {
+    for (unsigned mask = 0; mask < 16; ++mask) {
+        const auto p = otsuMaskPartition(mask);
+        unsigned rebuilt = 0;
+        for (std::size_t i = 0; i < kOtsuStages.size(); ++i) {
+            if (p.of(kOtsuStages[i]) == core::Mapping::Hardware) {
+                rebuilt |= 1u << i;
+            }
+        }
+        EXPECT_EQ(rebuilt, mask);
+    }
+}
+
+TEST(KernelLibrary, ContainsAllStages) {
+    const hls::KernelLibrary lib = makeOtsuKernelLibrary(256);
+    for (const char* stage : kOtsuStages) {
+        EXPECT_TRUE(lib.has(stage)) << stage;
+    }
+    EXPECT_EQ(lib.size(), 4u);
+    const auto directives = otsuKernelDirectives();
+    EXPECT_EQ(directives.size(), 4u);
+    EXPECT_EQ(directives.at("halfProbability").maxDivUnits, 1);
+}
+
+class OtsuRefProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OtsuRefProperty, ThresholdMaximisesBetweenClassVariance) {
+    // Property: no other threshold achieves a strictly larger integer
+    // between-class variance than the one otsuThresholdRef returns.
+    const GrayImage gray = makeSyntheticGrayScene(24, 24, GetParam());
+    const auto hist = histogramRef(gray);
+    const std::uint64_t total = gray.pixelCount();
+    const std::uint32_t chosen = otsuThresholdRef(hist, total);
+
+    std::uint64_t sumAll = 0;
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        sumAll += i * hist[i];
+    }
+    const auto varianceAt = [&](std::uint32_t t) -> std::uint64_t {
+        std::uint64_t wB = 0;
+        std::uint64_t sumB = 0;
+        for (std::uint32_t i = 0; i <= t; ++i) {
+            wB += hist[i];
+            sumB += i * static_cast<std::uint64_t>(hist[i]);
+        }
+        const std::uint64_t wF = total - wB;
+        if (wB == 0 || wF == 0) {
+            return 0;
+        }
+        const std::uint64_t mB = sumB / wB;
+        const std::uint64_t mF = (sumAll - sumB) / wF;
+        const std::uint64_t d = mB > mF ? mB - mF : mF - mB;
+        return wB * wF * d * d;
+    };
+    const std::uint64_t best = varianceAt(chosen);
+    for (std::uint32_t t = 0; t < 256; ++t) {
+        EXPECT_LE(varianceAt(t), best) << "threshold " << t << " beats " << chosen;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OtsuRefProperty, testing::Values(1u, 3u, 17u, 55u, 202u));
+
+} // namespace
+} // namespace socgen::apps

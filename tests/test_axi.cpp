@@ -1,0 +1,152 @@
+#include "socgen/axi/lite.hpp"
+#include "socgen/axi/monitor.hpp"
+#include "socgen/axi/stream.hpp"
+#include "socgen/common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socgen::axi {
+namespace {
+
+TEST(Stream, PushPopFifoOrder) {
+    StreamChannel chan("c", 4, 32);
+    EXPECT_TRUE(chan.empty());
+    EXPECT_TRUE(chan.tryPush(1));
+    EXPECT_TRUE(chan.tryPush(2, true));
+    EXPECT_EQ(chan.size(), 2u);
+    StreamBeat beat;
+    ASSERT_TRUE(chan.tryPop(beat));
+    EXPECT_EQ(beat.data, 1u);
+    EXPECT_FALSE(beat.last);
+    ASSERT_TRUE(chan.tryPop(beat));
+    EXPECT_EQ(beat.data, 2u);
+    EXPECT_TRUE(beat.last);
+    EXPECT_FALSE(chan.tryPop(beat));
+}
+
+TEST(Stream, BackpressureWhenFull) {
+    StreamChannel chan("c", 2, 32);
+    EXPECT_TRUE(chan.tryPush(1));
+    EXPECT_TRUE(chan.tryPush(2));
+    EXPECT_TRUE(chan.full());
+    EXPECT_FALSE(chan.tryPush(3));
+    EXPECT_EQ(chan.pushStalls(), 1u);
+    StreamBeat beat;
+    ASSERT_TRUE(chan.tryPop(beat));
+    EXPECT_TRUE(chan.tryPush(3));
+}
+
+TEST(Stream, MasksDataToWidth) {
+    StreamChannel chan("c", 4, 8);
+    EXPECT_TRUE(chan.tryPush(0x1FF));
+    StreamBeat beat;
+    ASSERT_TRUE(chan.tryPop(beat));
+    EXPECT_EQ(beat.data, 0xFFu);
+}
+
+TEST(Stream, StatsAndHighWater) {
+    StreamChannel chan("c", 8, 32);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_TRUE(chan.tryPush(static_cast<std::uint64_t>(i)));
+    }
+    StreamBeat beat;
+    (void)chan.tryPop(beat);
+    (void)chan.tryPop(beat);
+    EXPECT_EQ(chan.beatsPushed(), 5u);
+    EXPECT_EQ(chan.beatsPopped(), 2u);
+    EXPECT_EQ(chan.highWater(), 5u);
+    StreamBeat dummy;
+    StreamChannel empty("e", 2, 32);
+    EXPECT_FALSE(empty.tryPop(dummy));
+    EXPECT_EQ(empty.popStalls(), 1u);
+}
+
+TEST(Stream, ResetClearsEverything) {
+    StreamChannel chan("c", 4, 32);
+    (void)chan.tryPush(9);
+    chan.reset();
+    EXPECT_TRUE(chan.empty());
+    EXPECT_EQ(chan.beatsPushed(), 0u);
+    EXPECT_EQ(chan.highWater(), 0u);
+}
+
+TEST(Stream, FrontThrowsWhenEmpty) {
+    StreamChannel chan("c", 4, 32);
+    EXPECT_THROW((void)chan.front(), Error);
+    (void)chan.tryPush(5);
+    EXPECT_EQ(chan.front().data, 5u);
+}
+
+TEST(Stream, ZeroCapacityRejected) {
+    EXPECT_THROW(StreamChannel("bad", 0, 32), Error);
+}
+
+TEST(Monitor, ConservationHolds) {
+    StreamChannel chan("c", 4, 32);
+    StreamMonitor monitor(chan);
+    (void)chan.tryPush(1);
+    monitor.sample();
+    StreamBeat beat;
+    (void)chan.tryPop(beat);
+    monitor.sample();
+    EXPECT_NO_THROW(monitor.check());
+    EXPECT_EQ(monitor.samples(), 2u);
+    EXPECT_DOUBLE_EQ(monitor.averageOccupancy(), 0.5);
+}
+
+class LiteRegisterFile : public LiteSlave {
+public:
+    std::uint32_t regs[16] = {};
+    std::uint32_t readRegister(std::uint64_t offset) override {
+        return regs[offset / 4];
+    }
+    void writeRegister(std::uint64_t offset, std::uint32_t value) override {
+        regs[offset / 4] = value;
+    }
+};
+
+TEST(Lite, MapReadWrite) {
+    LiteBus bus;
+    LiteRegisterFile slave;
+    bus.mapSlave("dev0", AddressRange{0x40000000, 0x100}, slave);
+    bus.write(0x40000008, 77);
+    EXPECT_EQ(slave.regs[2], 77u);
+    EXPECT_EQ(bus.read(0x40000008), 77u);
+    EXPECT_EQ(bus.transactionCount(), 2u);
+    EXPECT_EQ(bus.busCycles(), 2 * LiteBus::kAccessLatency);
+    EXPECT_EQ(bus.slaveAt(0x40000008), "dev0");
+    EXPECT_EQ(bus.slaveAt(0x50000000), "<unmapped>");
+}
+
+TEST(Lite, UnmappedAccessThrows) {
+    LiteBus bus;
+    EXPECT_THROW((void)bus.read(0x1000), Error);
+    EXPECT_THROW(bus.write(0x1000, 1), Error);
+}
+
+TEST(Lite, OverlappingRangesRejected) {
+    LiteBus bus;
+    LiteRegisterFile a;
+    LiteRegisterFile b;
+    bus.mapSlave("a", AddressRange{0x1000, 0x100}, a);
+    EXPECT_THROW(bus.mapSlave("b", AddressRange{0x10F0, 0x100}, b), Error);
+    EXPECT_NO_THROW(bus.mapSlave("b", AddressRange{0x1100, 0x100}, b));
+}
+
+TEST(Lite, EmptyRangeRejected) {
+    LiteBus bus;
+    LiteRegisterFile a;
+    EXPECT_THROW(bus.mapSlave("a", AddressRange{0x1000, 0}, a), Error);
+}
+
+TEST(AddressRange, ContainsAndOverlaps) {
+    const AddressRange r{0x100, 0x10};
+    EXPECT_TRUE(r.contains(0x100));
+    EXPECT_TRUE(r.contains(0x10F));
+    EXPECT_FALSE(r.contains(0x110));
+    EXPECT_TRUE(r.overlaps(AddressRange{0x10F, 4}));
+    EXPECT_FALSE(r.overlaps(AddressRange{0x110, 4}));
+}
+
+} // namespace
+} // namespace socgen::axi

@@ -1,0 +1,210 @@
+#include "socgen/apps/kernels.hpp"
+#include "socgen/common/error.hpp"
+#include "socgen/common/log.hpp"
+#include "socgen/common/strings.hpp"
+#include "socgen/core/dsl.hpp"
+#include "socgen/core/parser.hpp"
+#include "socgen/core/project.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socgen::core {
+namespace {
+
+hls::KernelLibrary exampleKernels() {
+    hls::KernelLibrary lib;
+    lib.add(apps::makeAddKernel());
+    lib.add(apps::makeMulKernel());
+    lib.add(apps::makeGaussKernel(64));
+    lib.add(apps::makeEdgeKernel(64));
+    return lib;
+}
+
+SocProject& buildQuickstart(SocProject& p) {
+    p.tg_nodes();
+    p.tg_node("MUL").i("A").i("B").i("return").end();
+    p.tg_node("ADD").i("A").i("B").i("return").end();
+    p.tg_node("GAUSS").is("in").is("out").end();
+    p.tg_node("EDGE").is("in").is("out").end();
+    p.tg_end_nodes();
+    p.tg_edges();
+    p.tg_link(SocProject::soc()).to(SocProject::port("GAUSS", "in")).end();
+    p.tg_link(SocProject::port("GAUSS", "out")).to(SocProject::port("EDGE", "in")).end();
+    p.tg_link(SocProject::port("EDGE", "out")).to(SocProject::soc()).end();
+    p.tg_connect("MUL");
+    p.tg_connect("ADD");
+    p.tg_end_edges();
+    return p;
+}
+
+TEST(EmbeddedDsl, BuildsAndExecutesTheRunningExample) {
+    const hls::KernelLibrary kernels = exampleKernels();
+    SocProject project("quickstart", kernels);
+    buildQuickstart(project);
+    EXPECT_TRUE(project.executed());
+    EXPECT_EQ(project.hlsRunsCompleted(), 4u);
+    const FlowResult& result = project.result();
+    EXPECT_EQ(result.projectName, "quickstart");
+    EXPECT_EQ(result.hlsResults.size(), 4u);
+    EXPECT_EQ(result.design.hlsCores().size(), 4u);
+    EXPECT_FALSE(result.tclText.empty());
+    EXPECT_FALSE(result.bitstream.configRecords.empty());
+}
+
+TEST(EmbeddedDsl, KeywordsRunHlsImmediately) {
+    // The `end` keyword invokes HLS per node (paper Section IV-B step 4):
+    // after two tg_node..end calls, two HLS runs have completed even
+    // though edges were never declared.
+    const hls::KernelLibrary kernels = exampleKernels();
+    SocProject project("partial", kernels);
+    project.tg_nodes();
+    project.tg_node("ADD").i("A").i("B").i("return").end();
+    project.tg_node("MUL").i("A").i("B").i("return").end();
+    EXPECT_EQ(project.hlsRunsCompleted(), 2u);
+    EXPECT_FALSE(project.executed());
+}
+
+TEST(EmbeddedDsl, StepLogFollowsThePaper) {
+    const hls::KernelLibrary kernels = exampleKernels();
+    LogCapture capture(LogLevel::Info);
+    SocProject project("quickstart", kernels);
+    buildQuickstart(project);
+    // The eight execution steps of Section IV-B all appear.
+    for (int step = 1; step <= 8; ++step) {
+        EXPECT_TRUE(capture.contains(format("dsl step %d", step))) << "step " << step;
+    }
+    // Step order: 1 (nodes) before 4 (HLS) before 8 (end_edges).
+    std::size_t step1 = SIZE_MAX;
+    std::size_t step4 = SIZE_MAX;
+    std::size_t step8 = SIZE_MAX;
+    const auto& lines = capture.lines();
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (lines[i].find("dsl step 1") != std::string::npos && step1 == SIZE_MAX) {
+            step1 = i;
+        }
+        if (lines[i].find("dsl step 4") != std::string::npos && step4 == SIZE_MAX) {
+            step4 = i;
+        }
+        if (lines[i].find("dsl step 8") != std::string::npos && step8 == SIZE_MAX) {
+            step8 = i;
+        }
+    }
+    EXPECT_LT(step1, step4);
+    EXPECT_LT(step4, step8);
+}
+
+TEST(EmbeddedDsl, OutOfOrderKeywordsRejected) {
+    const hls::KernelLibrary kernels = exampleKernels();
+    {
+        SocProject p("bad", kernels);
+        EXPECT_THROW((void)p.tg_node("ADD"), DslError);  // before tg_nodes
+    }
+    {
+        SocProject p("bad", kernels);
+        EXPECT_THROW(p.tg_edges(), DslError);  // before nodes section closed
+    }
+    {
+        SocProject p("bad", kernels);
+        p.tg_nodes();
+        EXPECT_THROW(p.tg_connect("ADD"), DslError);  // connect inside nodes
+    }
+    {
+        SocProject p("bad", kernels);
+        p.tg_nodes();
+        EXPECT_THROW(p.tg_end_edges(), DslError);
+    }
+    {
+        SocProject p("bad", kernels);
+        p.tg_nodes();
+        EXPECT_THROW(p.tg_end_nodes(), DslError);  // empty nodes list
+    }
+}
+
+TEST(EmbeddedDsl, NodeScopeValidation) {
+    const hls::KernelLibrary kernels = exampleKernels();
+    SocProject p("bad", kernels);
+    p.tg_nodes();
+    {
+        auto scope = p.tg_node("ADD");
+        EXPECT_THROW(scope.end(), DslError);  // no interfaces declared
+    }
+    {
+        auto scope = p.tg_node("ADD");
+        scope.i("A").i("B").i("return");
+        scope.end();
+        EXPECT_THROW(scope.end(), DslError);  // double end
+    }
+}
+
+TEST(EmbeddedDsl, LinkScopeValidation) {
+    const hls::KernelLibrary kernels = exampleKernels();
+    SocProject p("bad", kernels);
+    p.tg_nodes();
+    p.tg_node("GAUSS").is("in").is("out").end();
+    p.tg_end_nodes();
+    p.tg_edges();
+    {
+        auto link = p.tg_link(SocProject::soc());
+        EXPECT_THROW(link.end(), DslError);  // missing to()
+    }
+    {
+        auto link = p.tg_link(SocProject::soc());
+        link.to(SocProject::port("GAUSS", "in"));
+        EXPECT_THROW(link.to(SocProject::port("GAUSS", "in")), DslError);  // double to
+    }
+}
+
+TEST(EmbeddedDsl, ResultBeforeExecutionThrows) {
+    const hls::KernelLibrary kernels = exampleKernels();
+    SocProject p("pending", kernels);
+    EXPECT_THROW((void)p.result(), DslError);
+}
+
+TEST(EmbeddedDsl, UnknownKernelRejectedAtEnd) {
+    const hls::KernelLibrary kernels = exampleKernels();
+    SocProject p("bad", kernels);
+    p.tg_nodes();
+    auto scope = p.tg_node("NO_SUCH_KERNEL");
+    scope.i("A");
+    EXPECT_THROW(scope.end(), DslError);
+}
+
+TEST(EmbeddedDsl, InterfaceKindMismatchRejected) {
+    const hls::KernelLibrary kernels = exampleKernels();
+    SocProject p("bad", kernels);
+    p.tg_nodes();
+    // ADD's ports are scalars; declaring one as a stream must fail.
+    auto scope = p.tg_node("ADD");
+    scope.is("A");
+    EXPECT_THROW(scope.end(), DslError);
+}
+
+TEST(EmbeddedDsl, EquivalentToParsedText) {
+    // The embedded DSL and the textual front end produce the same graph
+    // and the same generated Tcl.
+    const hls::KernelLibrary kernels = exampleKernels();
+    SocProject project("quickstart", kernels);
+    buildQuickstart(project);
+    const FlowResult& embedded = project.result();
+
+    const FlowResult parsed = runDslText(embedded.dslText, kernels);
+    EXPECT_TRUE(parsed.graph == embedded.graph);
+    EXPECT_EQ(parsed.tclText, embedded.tclText);
+    EXPECT_EQ(parsed.dslText, embedded.dslText);
+    EXPECT_EQ(parsed.synthesis.total, embedded.synthesis.total);
+}
+
+TEST(Comparison, TclRatiosInPaperBand) {
+    const hls::KernelLibrary kernels = exampleKernels();
+    SocProject project("quickstart", kernels);
+    buildQuickstart(project);
+    const DslTclComparison cmp = compareDslToTcl(project.result());
+    // Section VI-C: Tcl is ~4x the lines and 4-10x the characters.
+    EXPECT_GT(cmp.lineRatio(), 2.0);
+    EXPECT_LT(cmp.lineRatio(), 6.0);
+    EXPECT_GT(cmp.charRatio(), 4.0);
+    EXPECT_LT(cmp.charRatio(), 10.5);
+}
+
+} // namespace
+} // namespace socgen::core

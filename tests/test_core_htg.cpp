@@ -1,0 +1,232 @@
+#include "socgen/apps/otsu_project.hpp"
+#include "socgen/common/error.hpp"
+#include "socgen/core/htg.hpp"
+#include "socgen/core/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace socgen::core {
+namespace {
+
+TaskGraph pipelineGraph() {
+    TaskGraph tg;
+    tg.addNode(TgNode{"A",
+                      {TgPort{"in", hls::InterfaceProtocol::AxiStream},
+                       TgPort{"out", hls::InterfaceProtocol::AxiStream}}});
+    tg.addNode(TgNode{"B",
+                      {TgPort{"in", hls::InterfaceProtocol::AxiStream},
+                       TgPort{"out", hls::InterfaceProtocol::AxiStream}}});
+    tg.addNode(TgNode{"C", {TgPort{"x", hls::InterfaceProtocol::AxiLite}}});
+    tg.addLink(TgLink{TgEndpoint::socEnd(), TgEndpoint::of("A", "in")});
+    tg.addLink(TgLink{TgEndpoint::of("A", "out"), TgEndpoint::of("B", "in")});
+    tg.addLink(TgLink{TgEndpoint::of("B", "out"), TgEndpoint::socEnd()});
+    tg.addConnect(TgConnect{"C"});
+    return tg;
+}
+
+TEST(TaskGraph, ValidGraphPasses) {
+    EXPECT_NO_THROW(pipelineGraph().validate());
+}
+
+TEST(TaskGraph, DuplicateNodeRejected) {
+    TaskGraph tg;
+    tg.addNode(TgNode{"A", {}});
+    EXPECT_THROW(tg.addNode(TgNode{"A", {}}), DslError);
+}
+
+TEST(TaskGraph, LinkToUnknownNodeRejected) {
+    TaskGraph tg = pipelineGraph();
+    tg.addLink(TgLink{TgEndpoint::of("GHOST", "p"), TgEndpoint::socEnd()});
+    EXPECT_THROW(tg.validate(), DslError);
+}
+
+TEST(TaskGraph, LinkToLitePortRejected) {
+    TaskGraph tg = pipelineGraph();
+    tg.addLink(TgLink{TgEndpoint::of("C", "x"), TgEndpoint::socEnd()});
+    EXPECT_THROW(tg.validate(), DslError);
+}
+
+TEST(TaskGraph, ConnectWithoutLitePortRejected) {
+    TaskGraph tg = pipelineGraph();
+    tg.addConnect(TgConnect{"A"});  // A has only stream ports
+    EXPECT_THROW(tg.validate(), DslError);
+}
+
+TEST(TaskGraph, DoubleUsedStreamPortRejected) {
+    TaskGraph tg = pipelineGraph();
+    tg.addLink(TgLink{TgEndpoint::of("A", "out"), TgEndpoint::socEnd()});
+    EXPECT_THROW(tg.validate(), DslError);
+}
+
+TEST(TaskGraph, UnlinkedStreamPortRejected) {
+    TaskGraph tg;
+    tg.addNode(TgNode{"A",
+                      {TgPort{"in", hls::InterfaceProtocol::AxiStream},
+                       TgPort{"out", hls::InterfaceProtocol::AxiStream}}});
+    tg.addLink(TgLink{TgEndpoint::socEnd(), TgEndpoint::of("A", "in")});
+    EXPECT_THROW(tg.validate(), DslError);
+}
+
+TEST(TaskGraph, SocToSocLinkRejected) {
+    TaskGraph tg;
+    tg.addNode(TgNode{"A", {TgPort{"x", hls::InterfaceProtocol::AxiLite}}});
+    tg.addLink(TgLink{TgEndpoint::socEnd(), TgEndpoint::socEnd()});
+    EXPECT_THROW(tg.validate(), DslError);
+}
+
+TEST(TaskGraph, RenderParsesBackIdentically) {
+    const TaskGraph tg = pipelineGraph();
+    const std::string dsl = tg.renderDsl("roundtrip");
+    const ParsedDsl parsed = parseDsl(dsl);
+    EXPECT_EQ(parsed.projectName, "roundtrip");
+    EXPECT_TRUE(parsed.graph == tg);
+}
+
+TEST(TaskGraph, RenderUsesPaperSyntax) {
+    const std::string dsl = pipelineGraph().renderDsl("p");
+    EXPECT_NE(dsl.find("object p extends App {"), std::string::npos);
+    EXPECT_NE(dsl.find("tg nodes;"), std::string::npos);
+    EXPECT_NE(dsl.find("tg node \"A\" is \"in\" is \"out\" end;"), std::string::npos);
+    EXPECT_NE(dsl.find("tg node \"C\" i \"x\" end;"), std::string::npos);
+    EXPECT_NE(dsl.find("tg link 'soc to (\"A\",\"in\") end;"), std::string::npos);
+    EXPECT_NE(dsl.find("tg connect \"C\";"), std::string::npos);
+    EXPECT_NE(dsl.find("tg end_edges;"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// HTG
+
+TEST(Htg, OtsuHtgStructure) {
+    const Htg htg = apps::makeOtsuHtg();
+    EXPECT_EQ(htg.topNodes().size(), 3u);  // readImage, phase, writeImage
+    EXPECT_EQ(htg.phases().size(), 1u);
+    EXPECT_EQ(htg.phases()[0].actors.size(), 4u);
+    EXPECT_EQ(htg.topEdges().size(), 2u);
+    EXPECT_EQ(htg.topNode("otsuPhase").kind, HtgNodeKind::Phase);
+    EXPECT_EQ(htg.topNode("readImage").kind, HtgNodeKind::Task);
+    const auto units = htg.partitionableUnits();
+    EXPECT_EQ(units.size(), 4u);
+    EXPECT_NE(std::find(units.begin(), units.end(), "segment"), units.end());
+}
+
+TEST(Htg, ValidationCatchesBadEdges) {
+    Htg htg;
+    htg.addTask("a");
+    htg.addEdge("a", "ghost");
+    EXPECT_THROW(htg.validate(), DslError);
+}
+
+TEST(Htg, ValidationCatchesDuplicateNames) {
+    Htg htg;
+    htg.addTask("a");
+    htg.addTask("a");
+    EXPECT_THROW(htg.validate(), DslError);
+}
+
+TEST(Htg, ValidationCatchesBadPhasePorts) {
+    Htg htg;
+    HtgPhase phase;
+    phase.name = "p";
+    phase.actors.push_back(HtgActor{"x", {{"in", 8}}, {{"out", 8}}});
+    phase.actors.push_back(HtgActor{"y", {{"in", 8}}, {{"out", 8}}});
+    phase.edges.push_back(HtgDataflowEdge{"x", "WRONG", "y", "in"});
+    htg.addPhase(std::move(phase));
+    EXPECT_THROW(htg.validate(), DslError);
+}
+
+TEST(Htg, DotRenderingShowsPhases) {
+    const std::string dot = apps::makeOtsuHtg().toDot();
+    EXPECT_NE(dot.find("cluster_otsuPhase"), std::string::npos);
+    EXPECT_NE(dot.find("\"readImage\""), std::string::npos);
+    EXPECT_NE(dot.find("\"grayScale\" -> \"computeHistogram\""), std::string::npos);
+}
+
+TEST(Partition, DefaultsToSoftware) {
+    HtgPartition p;
+    p.mapping["x"] = Mapping::Hardware;
+    EXPECT_EQ(p.of("x"), Mapping::Hardware);
+    EXPECT_EQ(p.of("unknown"), Mapping::Software);
+    EXPECT_EQ(p.hardwareUnits(), std::vector<std::string>{"x"});
+}
+
+// ---------------------------------------------------------------------------
+// Lowering (the core of Section III)
+
+TEST(Lowering, Arch1HistogramOnly) {
+    const TaskGraph tg =
+        lowerToTaskGraph(apps::makeOtsuHtg(), apps::otsuArchPartition(1));
+    ASSERT_EQ(tg.nodes().size(), 1u);
+    EXPECT_EQ(tg.nodes()[0].name, "computeHistogram");
+    ASSERT_EQ(tg.links().size(), 2u);
+    EXPECT_TRUE(tg.links()[0].from.soc);   // 'soc -> hist.grayScaleImage
+    EXPECT_TRUE(tg.links()[1].to.soc);     // hist.histogram -> 'soc
+    EXPECT_TRUE(tg.connects().empty());
+}
+
+TEST(Lowering, Arch3DirectLinkBetweenHwActors) {
+    const TaskGraph tg =
+        lowerToTaskGraph(apps::makeOtsuHtg(), apps::otsuArchPartition(3));
+    EXPECT_EQ(tg.nodes().size(), 2u);
+    bool directFound = false;
+    for (const auto& link : tg.links()) {
+        if (!link.from.soc && !link.to.soc) {
+            directFound = true;
+            EXPECT_EQ(link.from.node, "computeHistogram");
+            EXPECT_EQ(link.to.node, "halfProbability");
+        }
+    }
+    EXPECT_TRUE(directFound);
+}
+
+TEST(Lowering, Arch4MatchesExecutableTopology) {
+    const TaskGraph tg =
+        lowerToTaskGraph(apps::makeOtsuHtg(), apps::otsuArchPartition(4));
+    EXPECT_EQ(tg.nodes().size(), 4u);
+    // 3 intra-phase HW->HW links + 4 'soc boundary links (imageIn,
+    // imageOutSEG, segment.grayScaleImage, segmentedGrayImage).
+    EXPECT_EQ(tg.links().size(), 7u);
+    int socLinks = 0;
+    for (const auto& link : tg.links()) {
+        socLinks += (link.from.soc || link.to.soc) ? 1 : 0;
+    }
+    EXPECT_EQ(socLinks, 4);
+    EXPECT_NO_THROW(tg.validate());
+}
+
+TEST(Lowering, HardwareTaskGetsConnect) {
+    Htg htg;
+    htg.addTask("ACC", true,
+                {TgPort{"A", hls::InterfaceProtocol::AxiLite},
+                 TgPort{"return", hls::InterfaceProtocol::AxiLite}});
+    HtgPartition p;
+    p.mapping["ACC"] = Mapping::Hardware;
+    const TaskGraph tg = lowerToTaskGraph(htg, p);
+    ASSERT_EQ(tg.nodes().size(), 1u);
+    ASSERT_EQ(tg.connects().size(), 1u);
+    EXPECT_EQ(tg.connects()[0].node, "ACC");
+    EXPECT_TRUE(tg.links().empty());
+}
+
+TEST(Lowering, AllSoftwareProducesEmptyGraph) {
+    const TaskGraph tg =
+        lowerToTaskGraph(apps::makeOtsuHtg(), apps::otsuMaskPartition(0));
+    EXPECT_TRUE(tg.nodes().empty());
+    EXPECT_TRUE(tg.links().empty());
+}
+
+class LoweringMaskSweep : public testing::TestWithParam<unsigned> {};
+
+TEST_P(LoweringMaskSweep, EveryPartitionLowersToValidGraph) {
+    const unsigned mask = GetParam();
+    const TaskGraph tg =
+        lowerToTaskGraph(apps::makeOtsuHtg(), apps::otsuMaskPartition(mask));
+    EXPECT_NO_THROW(tg.validate());
+    EXPECT_EQ(tg.nodes().size(), static_cast<std::size_t>(__builtin_popcount(mask)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMasks, LoweringMaskSweep, testing::Range(0u, 16u));
+
+} // namespace
+} // namespace socgen::core

@@ -1,0 +1,95 @@
+#include "socgen/common/error.hpp"
+#include "socgen/dse/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socgen::dse {
+namespace {
+
+/// Toy cost model: each of 3 units costs 100 LUT and saves cycles;
+/// mask 5 is infeasible.
+DsePoint toyEvaluate(unsigned mask) {
+    if (mask == 5) {
+        throw Error("does not fit");
+    }
+    DsePoint p;
+    p.label = "mask" + std::to_string(mask);
+    p.resources.lut = 100 * __builtin_popcount(mask);
+    p.cycles = 1000 - 120 * static_cast<std::uint64_t>(__builtin_popcount(mask));
+    return p;
+}
+
+TEST(Explorer, EnumeratesAllMasks) {
+    const auto points = exploreExhaustive(3, toyEvaluate);
+    ASSERT_EQ(points.size(), 8u);
+    for (unsigned mask = 0; mask < 8; ++mask) {
+        EXPECT_EQ(points[mask].mask, mask);
+    }
+}
+
+TEST(Explorer, ExceptionsBecomeInfeasiblePoints) {
+    const auto points = exploreExhaustive(3, toyEvaluate);
+    EXPECT_FALSE(points[5].feasible);
+    EXPECT_NE(points[5].infeasibleReason.find("does not fit"), std::string::npos);
+    EXPECT_TRUE(points[4].feasible);
+}
+
+TEST(Explorer, TooManyUnitsRejected) {
+    EXPECT_THROW((void)exploreExhaustive(24, toyEvaluate), Error);
+}
+
+TEST(Pareto, KeepsOnlyNonDominated) {
+    std::vector<DsePoint> points(4);
+    points[0].mask = 0;
+    points[0].resources.lut = 100;
+    points[0].cycles = 100;
+    points[1].mask = 1;  // dominated by 0
+    points[1].resources.lut = 200;
+    points[1].cycles = 200;
+    points[2].mask = 2;  // trade-off vs 0
+    points[2].resources.lut = 50;
+    points[2].cycles = 400;
+    points[3].mask = 3;  // infeasible
+    points[3].feasible = false;
+    const auto front = paretoFront(points);
+    ASSERT_EQ(front.size(), 2u);
+    EXPECT_EQ(front[0].mask, 2u);  // sorted by LUT
+    EXPECT_EQ(front[1].mask, 0u);
+}
+
+TEST(Pareto, MonotoneChainCollapsesToBest) {
+    // With a strictly better point for every added unit, only the full
+    // mask and the cheapest mask survive... here cost and cycles trade
+    // monotonically, so ALL masks of distinct popcount are Pareto.
+    const auto points = exploreExhaustive(3, toyEvaluate);
+    const auto front = paretoFront(points);
+    // All feasible points are mutually non-dominated here (equal-cost
+    // masks of the same popcount both survive): 1 + 3 + 2 + 1.
+    EXPECT_EQ(front.size(), 7u);
+    EXPECT_EQ(front.front().resources.lut, 0);
+    EXPECT_EQ(front.back().cycles, 1000u - 360u);
+}
+
+TEST(Pareto, EqualPointsBothSurvive) {
+    std::vector<DsePoint> points(2);
+    points[0].mask = 0;
+    points[0].resources.lut = 10;
+    points[0].cycles = 10;
+    points[1].mask = 1;
+    points[1].resources.lut = 10;
+    points[1].cycles = 10;
+    EXPECT_EQ(paretoFront(points).size(), 2u);
+}
+
+TEST(RenderTable, ShowsSpeedupAndParetoMarks) {
+    const auto points = exploreExhaustive(3, toyEvaluate);
+    const std::string table = renderTable(points);
+    EXPECT_NE(table.find("mask"), std::string::npos);
+    EXPECT_NE(table.find("speedup"), std::string::npos);
+    EXPECT_NE(table.find("infeasible: "), std::string::npos);
+    EXPECT_NE(table.find("1.00x"), std::string::npos);  // the all-SW row
+    EXPECT_NE(table.find("*"), std::string::npos);      // pareto marks
+}
+
+} // namespace
+} // namespace socgen::dse

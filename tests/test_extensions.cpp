@@ -1,0 +1,307 @@
+// Tests for the extension features beyond the paper's core flow: the 2D
+// Sobel streaming filter, the greedy DSE heuristic, and interrupt-driven
+// completion in the generated drivers.
+
+#include "socgen/apps/kernels.hpp"
+#include "socgen/apps/otsu_project.hpp"
+#include "socgen/common/error.hpp"
+#include "socgen/dse/explorer.hpp"
+#include "socgen/hls/verify.hpp"
+#include "socgen/socgen.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socgen {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SOBEL
+
+TEST(Sobel, KernelVerifiesAndSynthesizes) {
+    const hls::Kernel k = apps::makeSobelKernel(32, 24);
+    EXPECT_NO_THROW(hls::verify(k));
+    const hls::HlsResult r = hls::HlsEngine{}.synthesize(k, {});
+    // Two 32-entry 8-bit line buffers are tiny: LUTRAM, no BRAM18.
+    EXPECT_EQ(r.netlist.countKind(rtl::CellKind::Bram), 2u);
+    EXPECT_GT(r.resources.lut, 0);
+    EXPECT_EQ(r.resources.dsp, 0);  // shifts, adds, compares only
+}
+
+TEST(Sobel, WideLineBuffersUseBram) {
+    const hls::HlsResult r = hls::HlsEngine{}.synthesize(apps::makeSobelKernel(4096, 4), {});
+    EXPECT_GE(r.resources.bram18, 2);  // 4096x8 bits per line buffer
+}
+
+class SobelSizes : public testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(SobelSizes, VmMatchesReference) {
+    const auto [w, h] = GetParam();
+    const apps::GrayImage img = apps::makeSyntheticGrayScene(w, h, 7);
+    const apps::GrayImage expected = apps::sobelRef(img);
+
+    const hls::Kernel k = apps::makeSobelKernel(w, h);
+    const hls::Program p = hls::compileKernel(k, hls::scheduleKernel(k, {}));
+
+    class Io : public hls::KernelIo {
+    public:
+        std::vector<std::uint8_t> input;
+        std::vector<std::uint8_t> output;
+        std::size_t pos = 0;
+        std::uint64_t argValue(hls::PortId) override { return 0; }
+        void setResult(hls::PortId, std::uint64_t) override {}
+        bool streamRead(hls::PortId, std::uint64_t& v) override {
+            if (pos >= input.size()) {
+                return false;
+            }
+            v = input[pos++];
+            return true;
+        }
+        bool streamWrite(hls::PortId, std::uint64_t v) override {
+            output.push_back(static_cast<std::uint8_t>(v));
+            return true;
+        }
+    } io;
+    io.input = img.pixels();
+    hls::KernelVm vm(p, io);
+    vm.start();
+    std::uint64_t guard = 0;
+    while (vm.running() && ++guard < 50'000'000) {
+        vm.tick();
+    }
+    ASSERT_TRUE(vm.finished());
+    ASSERT_EQ(io.output.size(), expected.pixels().size());
+    for (std::size_t i = 0; i < io.output.size(); ++i) {
+        ASSERT_EQ(io.output[i], expected.pixels()[i]) << "pixel " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SobelSizes,
+                         testing::Values(std::make_pair(8u, 8u), std::make_pair(16u, 8u),
+                                         std::make_pair(33u, 17u),
+                                         std::make_pair(64u, 64u)));
+
+TEST(Sobel, BordersAreZero) {
+    const apps::GrayImage img = apps::makeSyntheticGrayScene(16, 16);
+    const apps::GrayImage out = apps::sobelRef(img);
+    for (unsigned x = 0; x < 16; ++x) {
+        EXPECT_EQ(out.at(x, 0), 0);
+        EXPECT_EQ(out.at(x, 1), 0);
+    }
+    for (unsigned y = 0; y < 16; ++y) {
+        EXPECT_EQ(out.at(0, y), 0);
+        EXPECT_EQ(out.at(1, y), 0);
+    }
+}
+
+TEST(Sobel, DetectsAStepEdge) {
+    apps::GrayImage img(16, 16, 10);
+    for (unsigned y = 0; y < 16; ++y) {
+        for (unsigned x = 8; x < 16; ++x) {
+            img.set(x, y, 200);
+        }
+    }
+    const apps::GrayImage out = apps::sobelRef(img);
+    // Strong response near the vertical edge, none in flat regions.
+    EXPECT_GT(out.at(8, 8), 100);
+    EXPECT_EQ(out.at(5, 8), 0);
+    EXPECT_EQ(out.at(13, 8), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Greedy DSE
+
+dse::DsePoint toyPoint(unsigned mask) {
+    // Additive model: each unit costs LUT and saves cycles; unit 2 is the
+    // big win. Mask 0b1010 made infeasible to exercise avoidance.
+    if (mask == 0b1010) {
+        throw Error("does not fit");
+    }
+    dse::DsePoint p;
+    p.label = "m" + std::to_string(mask);
+    static constexpr std::array<std::uint64_t, 4> kSave{50, 70, 400, 30};
+    p.resources.lut = 1000 * __builtin_popcount(mask);
+    std::uint64_t cycles = 1000;
+    for (unsigned u = 0; u < 4; ++u) {
+        if ((mask & (1u << u)) != 0) {
+            cycles -= kSave[u];
+        }
+    }
+    p.cycles = cycles;
+    return p;
+}
+
+TEST(GreedyDse, ClimbsToTheFullMask) {
+    const dse::GreedyResult r = dse::exploreGreedy(4, toyPoint);
+    EXPECT_EQ(r.best.mask, 0b1111u);
+    EXPECT_EQ(r.best.cycles, 1000u - 550u);
+    // First accepted flip is the biggest saver (unit 2).
+    ASSERT_GE(r.trajectory.size(), 2u);
+    EXPECT_EQ(r.trajectory[0], 0u);
+    EXPECT_EQ(r.trajectory[1], 0b0100u);
+    // Far fewer evaluations than exhaustive would need in general:
+    // 1 + 4 + 3 + 2 + 1 + final round of 0 improvements.
+    EXPECT_LE(r.evaluated.size(), 12u);
+}
+
+TEST(GreedyDse, StopsWhenNothingImproves) {
+    const auto flat = [](unsigned mask) {
+        dse::DsePoint p;
+        p.cycles = 100;  // hardware never helps
+        p.resources.lut = static_cast<std::int64_t>(mask);
+        return p;
+    };
+    const dse::GreedyResult r = dse::exploreGreedy(3, flat);
+    EXPECT_EQ(r.best.mask, 0u);
+    EXPECT_EQ(r.trajectory.size(), 1u);
+}
+
+TEST(GreedyDse, InfeasibleStartRejected) {
+    const auto broken = [](unsigned) -> dse::DsePoint { throw Error("nope"); };
+    EXPECT_THROW((void)dse::exploreGreedy(2, broken), Error);
+}
+
+TEST(GreedyDse, MatchesExhaustiveOnTheOtsuPipeline) {
+    // On the real case study the cycle savings are monotone in adding
+    // hardware, so greedy must find the global optimum with fewer
+    // evaluations.
+    constexpr std::int64_t kPixels = 48 * 48;
+    const apps::RgbImage scene = apps::makeSyntheticScene(48, 48);
+    const core::Htg htg = apps::makeOtsuHtg();
+    const hls::KernelLibrary kernels = apps::makeOtsuKernelLibrary(kPixels);
+    auto cache = std::make_shared<core::HlsCache>();
+
+    const auto evaluate = [&](unsigned mask) {
+        dse::DsePoint point;
+        point.partition = apps::otsuMaskPartition(mask);
+        core::FlowOptions options = apps::otsuFlowOptions();
+        options.dmaPolicy = soc::DmaPolicy::DmaPerLink;
+        core::Flow flow(options, kernels, cache);
+        const core::FlowResult result = flow.run(
+            format("greedy_%u", mask), core::lowerToTaskGraph(htg, point.partition));
+        point.resources = result.synthesis.total;
+        apps::OtsuSystemRunner runner(result, point.partition);
+        point.cycles = runner.run(scene).cycles;
+        return point;
+    };
+
+    const dse::GreedyResult greedy = dse::exploreGreedy(4, evaluate);
+    const auto exhaustive = dse::exploreExhaustive(4, evaluate);
+    std::uint64_t bestCycles = ~0ull;
+    for (const auto& p : exhaustive) {
+        bestCycles = std::min(bestCycles, p.cycles);
+    }
+    EXPECT_EQ(greedy.best.cycles, bestCycles);
+    EXPECT_LT(greedy.evaluated.size(), exhaustive.size());
+}
+
+// ---------------------------------------------------------------------------
+// Interrupt-driven completion
+
+TEST(Irq, LineLatchesUntilAcknowledged) {
+    soc::IrqLine line("test");
+    EXPECT_FALSE(line.pending());
+    EXPECT_FALSE(line.acknowledge());
+    line.raise();
+    line.raise();
+    EXPECT_TRUE(line.pending());
+    EXPECT_EQ(line.raiseCount(), 2u);
+    EXPECT_TRUE(line.acknowledge());
+    EXPECT_FALSE(line.pending());
+}
+
+struct IrqFixture {
+    core::FlowResult result;
+    std::vector<std::uint32_t> input;
+
+    IrqFixture() {
+        hls::KernelLibrary kernels;
+        kernels.add(apps::makeGaussKernel(512));
+        constexpr const char* dsl = R"(
+object irqdemo extends App {
+  tg nodes; tg node "GAUSS" is "in" is "out" end; tg end_nodes;
+  tg edges;
+    tg link 'soc to ("GAUSS","in") end;
+    tg link ("GAUSS","out") to 'soc end;
+  tg end_edges;
+}
+)";
+        result = core::runDslText(dsl, kernels);
+        input.resize(512);
+        for (std::size_t i = 0; i < input.size(); ++i) {
+            input[i] = static_cast<std::uint32_t>((i * 31) % 256);
+        }
+    }
+
+    std::pair<std::uint64_t, std::uint64_t> run(bool interrupts) {
+        soc::SystemOptions options;
+        options.useInterrupts = interrupts;
+        soc::SystemSimulator sim(result.design, result.programs, options);
+        const std::vector<std::uint32_t> data = input;
+        sim.ps().task("stage", 10, [data](soc::Memory& mem) {
+            mem.writeBlock(0x100, data);
+        });
+        sim.psArmReadDma("axi_dma_0", 0, 0x8000, 512);
+        sim.psWriteDma("axi_dma_0", 0, 0x100, 512);
+        sim.psWaitReadDma("axi_dma_0");
+        (void)sim.run();
+        return {sim.ps().driverCycles(), sim.ps().irqWakeups()};
+    }
+};
+
+TEST(Irq, InterruptDriverAvoidsBusPolling) {
+    IrqFixture fixture;
+    const auto [pollingBus, pollingWakeups] = fixture.run(false);
+    const auto [irqBus, irqWakeups] = fixture.run(true);
+    EXPECT_EQ(pollingWakeups, 0u);
+    EXPECT_EQ(irqWakeups, 2u);  // MM2S completion + S2MM completion
+    // Polling burns bus cycles proportional to the wait; interrupts only
+    // pay the initial register writes.
+    EXPECT_LT(irqBus, pollingBus / 2);
+}
+
+TEST(Irq, ResultsIdenticalUnderBothDrivers) {
+    IrqFixture fixture;
+    soc::SystemOptions polling;
+    soc::SystemOptions irq;
+    irq.useInterrupts = true;
+    std::array<std::vector<std::uint32_t>, 2> outputs;
+    int index = 0;
+    for (const auto& options : {polling, irq}) {
+        soc::SystemSimulator sim(fixture.result.design, fixture.result.programs, options);
+        const std::vector<std::uint32_t> data = fixture.input;
+        sim.ps().task("stage", 10, [data](soc::Memory& mem) {
+            mem.writeBlock(0x100, data);
+        });
+        sim.psArmReadDma("axi_dma_0", 0, 0x8000, 512);
+        sim.psWriteDma("axi_dma_0", 0, 0x100, 512);
+        sim.psWaitReadDma("axi_dma_0");
+        (void)sim.run();
+        outputs[static_cast<std::size_t>(index++)] = sim.memory().readBlock(0x8000, 512);
+    }
+    EXPECT_EQ(outputs[0], outputs[1]);
+}
+
+TEST(Irq, CoreDoneInterrupt) {
+    hls::KernelLibrary kernels;
+    kernels.add(apps::makeAddKernel());
+    constexpr const char* dsl = R"(
+object addirq extends App {
+  tg nodes; tg node "ADD" i "A" i "B" i "return" end; tg end_nodes;
+  tg edges; tg connect "ADD"; tg end_edges;
+}
+)";
+    const core::FlowResult result = core::runDslText(dsl, kernels);
+    soc::SystemOptions options;
+    options.useInterrupts = true;
+    soc::SystemSimulator sim(result.design, result.programs, options);
+    sim.psSetCoreArg("ADD", "A", 40);
+    sim.psSetCoreArg("ADD", "B", 2);
+    sim.psStartCore("ADD");
+    sim.psWaitCore("ADD");
+    (void)sim.run();
+    EXPECT_EQ(sim.core("ADD").result("return"), 42u);
+    EXPECT_EQ(sim.ps().irqWakeups(), 1u);
+}
+
+} // namespace
+} // namespace socgen

@@ -1,0 +1,173 @@
+#include "socgen/common/error.hpp"
+#include "socgen/hls/ir.hpp"
+#include "socgen/hls/verify.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socgen::hls {
+namespace {
+
+Kernel tinyStreamKernel() {
+    KernelBuilder kb("tiny");
+    const PortId in = kb.streamIn("in", 8);
+    const PortId out = kb.streamOut("out", 8);
+    const VarId i = kb.var("i", 32);
+    kb.forLoop(i, kb.c(16));
+    kb.write(out, kb.add(kb.read(in), kb.c(1)));
+    kb.endLoop();
+    return kb.build();
+}
+
+TEST(KernelBuilder, SignatureAndBody) {
+    const Kernel k = tinyStreamKernel();
+    EXPECT_EQ(k.name(), "tiny");
+    ASSERT_EQ(k.ports().size(), 2u);
+    EXPECT_EQ(k.ports()[0].kind, PortKind::StreamIn);
+    EXPECT_EQ(k.ports()[1].kind, PortKind::StreamOut);
+    EXPECT_EQ(k.vars().size(), 1u);
+    EXPECT_EQ(k.body().size(), 1u);  // the for loop
+    EXPECT_EQ(k.stmt(k.body()[0]).kind, StmtKind::For);
+    EXPECT_EQ(k.statementCount(), 2u);  // loop + write
+    EXPECT_NO_THROW(verify(k));
+}
+
+TEST(KernelBuilder, PortLookup) {
+    const Kernel k = tinyStreamKernel();
+    EXPECT_TRUE(k.hasPort("in"));
+    EXPECT_FALSE(k.hasPort("nope"));
+    EXPECT_EQ(k.port(k.portId("out")).name, "out");
+    EXPECT_THROW((void)k.portId("nope"), HlsError);
+}
+
+TEST(KernelBuilder, UnclosedScopeRejectedAtBuild) {
+    KernelBuilder kb("bad");
+    const VarId i = kb.var("i", 32);
+    kb.forLoop(i, kb.c(4));
+    EXPECT_THROW((void)kb.build(), HlsError);
+}
+
+TEST(KernelBuilder, EndLoopWithoutForThrows) {
+    KernelBuilder kb("bad");
+    EXPECT_THROW(kb.endLoop(), HlsError);
+}
+
+TEST(KernelBuilder, ElseWithoutIfThrows) {
+    KernelBuilder kb("bad");
+    EXPECT_THROW(kb.elseBegin(), HlsError);
+    const VarId i = kb.var("i", 32);
+    kb.forLoop(i, kb.c(4));
+    EXPECT_THROW(kb.elseBegin(), HlsError);  // top of stack is a For
+    kb.endLoop();
+}
+
+TEST(KernelBuilder, EndIfWithoutIfThrows) {
+    KernelBuilder kb("bad");
+    EXPECT_THROW(kb.endIf(), HlsError);
+}
+
+TEST(KernelBuilder, DoubleElseThrows) {
+    KernelBuilder kb("bad");
+    const VarId v = kb.var("v", 32);
+    kb.ifBegin(kb.c(1));
+    kb.elseBegin();
+    EXPECT_THROW(kb.elseBegin(), HlsError);
+    kb.assign(v, kb.c(0));
+    kb.endIf();
+}
+
+TEST(KernelBuilder, BuildTwiceThrows) {
+    KernelBuilder kb("k");
+    const VarId v = kb.var("v", 32);
+    kb.assign(v, kb.c(1));
+    (void)kb.build();
+    EXPECT_THROW((void)kb.build(), HlsError);
+}
+
+TEST(KernelBuilder, ArgRequiresScalarIn) {
+    KernelBuilder kb("k");
+    const PortId in = kb.streamIn("s", 8);
+    EXPECT_THROW((void)kb.arg(in), HlsError);
+}
+
+TEST(KernelBuilder, ReadRequiresStreamIn) {
+    KernelBuilder kb("k");
+    const PortId a = kb.scalarIn("a", 32);
+    EXPECT_THROW((void)kb.read(a), HlsError);
+}
+
+TEST(KernelBuilder, WriteRequiresStreamOut) {
+    KernelBuilder kb("k");
+    const PortId in = kb.streamIn("s", 8);
+    EXPECT_THROW(kb.write(in, kb.c(1)), HlsError);
+}
+
+TEST(KernelBuilder, SetResultRequiresScalarOut) {
+    KernelBuilder kb("k");
+    const PortId a = kb.scalarIn("a", 32);
+    EXPECT_THROW(kb.setResult(a, kb.c(1)), HlsError);
+}
+
+TEST(KernelBuilder, ZeroDepthArrayRejected) {
+    KernelBuilder kb("k");
+    EXPECT_THROW((void)kb.array("arr", 0, 32), HlsError);
+}
+
+TEST(KernelBuilder, IfElseStructure) {
+    KernelBuilder kb("cond");
+    const PortId a = kb.scalarIn("a", 32);
+    const PortId r = kb.scalarOut("r", 32);
+    const VarId v = kb.var("v", 32);
+    kb.ifBegin(kb.gt(kb.arg(a), kb.c(10)));
+    kb.assign(v, kb.c(1));
+    kb.elseBegin();
+    kb.assign(v, kb.c(2));
+    kb.endIf();
+    kb.setResult(r, kb.v(v));
+    const Kernel k = kb.build();
+    const Stmt& ifStmt = k.stmt(k.body()[0]);
+    EXPECT_EQ(ifStmt.kind, StmtKind::If);
+    EXPECT_EQ(ifStmt.body.size(), 1u);
+    EXPECT_EQ(ifStmt.elseBody.size(), 1u);
+    EXPECT_NO_THROW(verify(k));
+}
+
+TEST(Verify, DetectsDuplicatePortNames) {
+    KernelBuilder kb("dup");
+    (void)kb.streamIn("p", 8);
+    (void)kb.streamOut("p", 8);
+    const Kernel k = kb.build();
+    EXPECT_THROW(verify(k), HlsError);
+}
+
+TEST(Verify, DetectsBadPortWidth) {
+    KernelBuilder kb("w");
+    (void)kb.scalarIn("a", 0);
+    EXPECT_THROW(verify(kb.build()), HlsError);
+}
+
+TEST(PortKinds, Names) {
+    EXPECT_EQ(portKindName(PortKind::ScalarIn), "scalar-in");
+    EXPECT_EQ(portKindName(PortKind::StreamOut), "stream-out");
+    EXPECT_TRUE(isStreamPort(PortKind::StreamIn));
+    EXPECT_FALSE(isStreamPort(PortKind::ScalarOut));
+}
+
+TEST(KernelLibrary, AddLookupDuplicate) {
+    KernelLibrary lib;
+    lib.add(tinyStreamKernel());
+    EXPECT_TRUE(lib.has("tiny"));
+    EXPECT_FALSE(lib.has("other"));
+    EXPECT_EQ(lib.get("tiny").name(), "tiny");
+    EXPECT_EQ(lib.size(), 1u);
+    EXPECT_THROW(lib.add(tinyStreamKernel()), HlsError);
+    EXPECT_THROW((void)lib.get("other"), HlsError);
+}
+
+TEST(BinOps, Names) {
+    EXPECT_EQ(binOpName(BinOp::Add), "add");
+    EXPECT_EQ(binOpName(BinOp::Max), "max");
+    EXPECT_EQ(binOpName(BinOp::Shr), "shr");
+}
+
+} // namespace
+} // namespace socgen::hls

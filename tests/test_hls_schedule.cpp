@@ -1,0 +1,254 @@
+#include "socgen/apps/otsu.hpp"
+#include "socgen/common/error.hpp"
+#include "socgen/hls/binding.hpp"
+#include "socgen/hls/dfg.hpp"
+#include "socgen/hls/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socgen::hls {
+namespace {
+
+Kernel histogramLike() {
+    // loop: px = read(in); hist[px] = hist[px] + 1  — classic recurrence.
+    KernelBuilder kb("hist");
+    const PortId in = kb.streamIn("in", 8);
+    const PortId out = kb.streamOut("out", 32);
+    const ArrayId h = kb.array("h", 256, 32);
+    const VarId i = kb.var("i", 32);
+    const VarId px = kb.var("px", 8);
+    kb.forLoop(i, kb.c(1000));
+    kb.assign(px, kb.read(in));
+    kb.arrayStore(h, kb.v(px), kb.add(kb.load(h, kb.v(px)), kb.c(1)));
+    kb.endLoop();
+    kb.forLoop(i, kb.c(256));
+    kb.write(out, kb.load(h, kb.v(i)));
+    kb.endLoop();
+    return kb.build();
+}
+
+Kernel mulHeavy(int muls) {
+    KernelBuilder kb("mulheavy");
+    const PortId in = kb.streamIn("in", 32);
+    const PortId out = kb.streamOut("out", 32);
+    const VarId i = kb.var("i", 32);
+    const VarId x = kb.var("x", 32);
+    kb.forLoop(i, kb.c(64));
+    kb.assign(x, kb.read(in));
+    ExprId acc = kb.c(0);
+    for (int m = 0; m < muls; ++m) {
+        acc = kb.add(acc, kb.mul(kb.v(x), kb.c(m + 3)));
+    }
+    kb.write(out, acc);
+    kb.endLoop();
+    return kb.build();
+}
+
+TEST(LatencyModel, Defaults) {
+    const LatencyModel lat;
+    DfgOp add;
+    add.kind = OpKind::Binary;
+    add.bop = BinOp::Add;
+    EXPECT_EQ(lat.of(add), 1);
+    add.bop = BinOp::Mul;
+    EXPECT_EQ(lat.of(add), 3);
+    add.bop = BinOp::Div;
+    EXPECT_EQ(lat.of(add), 18);
+    DfgOp load;
+    load.kind = OpKind::ArrayLoad;
+    EXPECT_EQ(lat.of(load), 2);
+    DfgOp loop;
+    loop.kind = OpKind::LoopNest;
+    loop.loopLatency = 77;
+    EXPECT_EQ(lat.of(loop), 77);
+}
+
+TEST(FuClasses, Mapping) {
+    DfgOp op;
+    op.kind = OpKind::Binary;
+    op.bop = BinOp::Mul;
+    EXPECT_EQ(fuClassOf(op), FuClass::Mul);
+    op.bop = BinOp::Mod;
+    EXPECT_EQ(fuClassOf(op), FuClass::Div);
+    op.bop = BinOp::Xor;
+    EXPECT_EQ(fuClassOf(op), FuClass::Alu);
+    op.kind = OpKind::StreamRead;
+    EXPECT_EQ(fuClassOf(op), FuClass::Stream);
+    op.kind = OpKind::ArrayStore;
+    EXPECT_EQ(fuClassOf(op), FuClass::Mem);
+}
+
+TEST(Dfg, DependenciesAndHazards) {
+    const Kernel k = histogramLike();
+    const Stmt& loop = k.stmt(k.body()[0]);
+    const Dfg dfg = buildDfg(k, loop.body, nullptr, nullptr);
+    // read, load, add, store (Assign collapses into the read op).
+    ASSERT_GE(dfg.size(), 4u);
+    // The store must depend (directly or transitively) on the load.
+    bool storeSeen = false;
+    for (const auto& op : dfg.ops) {
+        if (op.kind == OpKind::ArrayStore) {
+            storeSeen = true;
+            EXPECT_FALSE(op.deps.empty());
+        }
+    }
+    EXPECT_TRUE(storeSeen);
+}
+
+TEST(Dfg, CriticalPathComputation) {
+    const Kernel k = histogramLike();
+    const Stmt& loop = k.stmt(k.body()[0]);
+    const Dfg dfg = buildDfg(k, loop.body, nullptr, nullptr);
+    std::vector<std::int64_t> unit(dfg.size(), 1);
+    EXPECT_GE(dfg.criticalPath(unit), 3);  // read -> {load -> store} chain
+}
+
+TEST(Schedule, HistogramRecurrenceBoundsIi) {
+    const Kernel k = histogramLike();
+    const KernelSchedule s = scheduleKernel(k, Directives{});
+    ASSERT_EQ(s.loops.size(), 2u);
+    const LoopSchedule& histLoop = s.loops[0];
+    EXPECT_TRUE(histLoop.pipelined);
+    // load(2) + add(1) + store(1) loop-carried chain => II >= 4.
+    EXPECT_GE(histLoop.ii, 4);
+    EXPECT_EQ(histLoop.tripCount, 1000);
+    EXPECT_TRUE(histLoop.tripExact);
+    // The emit loop has no recurrence: II should be small.
+    EXPECT_LE(s.loops[1].ii, 3);
+    EXPECT_GT(s.totalLatencyCycles, 0);
+}
+
+TEST(Schedule, ResourceIiScalesWithMulPressure) {
+    Directives d;
+    d.maxMulUnits = 1;
+    const Kernel k6 = mulHeavy(6);
+    const KernelSchedule s1 = scheduleKernel(k6, d);
+    ASSERT_EQ(s1.loops.size(), 1u);
+    EXPECT_GE(s1.loops[0].ii, 6);  // 6 muls / 1 unit
+
+    d.maxMulUnits = 3;
+    const KernelSchedule s3 = scheduleKernel(k6, d);
+    EXPECT_LE(s3.loops[0].ii, s1.loops[0].ii - 2);
+}
+
+TEST(Schedule, AsapIsNoLongerThanList) {
+    const Kernel k = mulHeavy(8);
+    Directives asap;
+    asap.scheduler = SchedulerKind::Asap;
+    Directives list;
+    list.scheduler = SchedulerKind::List;
+    list.maxMulUnits = 1;
+    const KernelSchedule sAsap = scheduleKernel(k, asap);
+    const KernelSchedule sList = scheduleKernel(k, list);
+    ASSERT_EQ(sAsap.loops.size(), 1u);
+    EXPECT_LE(sAsap.loops[0].body.length, sList.loops[0].body.length);
+}
+
+TEST(Schedule, TripCountHintsAndDefaults) {
+    KernelBuilder kb("dyn");
+    const PortId n = kb.scalarIn("n", 32);
+    const PortId out = kb.streamOut("out", 32);
+    const VarId i = kb.var("i", 32);
+    const VarId j = kb.var("j", 32);
+    kb.forLoop(i, kb.arg(n));
+    kb.write(out, kb.v(i));
+    kb.endLoop();
+    kb.forLoop(j, kb.arg(n));
+    kb.assign(j, kb.v(j));
+    kb.endLoop();
+    const Kernel k = kb.build();
+
+    Directives d;
+    d.tripCountHints["i"] = 5000;
+    d.defaultTripCount = 77;
+    const KernelSchedule s = scheduleKernel(k, d);
+    ASSERT_EQ(s.loops.size(), 2u);
+    EXPECT_EQ(s.loops[0].tripCount, 5000);
+    EXPECT_FALSE(s.loops[0].tripExact);
+    EXPECT_EQ(s.loops[1].tripCount, 77);
+}
+
+TEST(Schedule, NestedLoopBecomesMacroOp) {
+    KernelBuilder kb("nest");
+    const PortId out = kb.streamOut("out", 32);
+    const VarId i = kb.var("i", 32);
+    const VarId j = kb.var("j", 32);
+    kb.forLoop(i, kb.c(10));
+    kb.forLoop(j, kb.c(20));
+    kb.write(out, kb.add(kb.v(i), kb.v(j)));
+    kb.endLoop();
+    kb.endLoop();
+    const Kernel k = kb.build();
+    const KernelSchedule s = scheduleKernel(k, Directives{});
+    ASSERT_EQ(s.loops.size(), 2u);  // inner first
+    const LoopSchedule& inner = s.loops[0];
+    const LoopSchedule& outer = s.loops[1];
+    EXPECT_TRUE(inner.pipelined);
+    EXPECT_FALSE(outer.pipelined);  // contains a loop nest
+    EXPECT_GE(outer.totalCycles, 10 * inner.totalCycles);
+}
+
+TEST(Schedule, PipeliningOffLengthensLoops) {
+    Directives on;
+    Directives off;
+    off.pipelineLoops = false;
+    const Kernel k = histogramLike();
+    const auto sOn = scheduleKernel(k, on);
+    const auto sOff = scheduleKernel(k, off);
+    EXPECT_GT(sOff.loops[0].totalCycles, sOn.loops[0].totalCycles);
+}
+
+TEST(Schedule, ReportMentionsLoops) {
+    const Kernel k = histogramLike();
+    const KernelSchedule s = scheduleKernel(k, Directives{});
+    const std::string report = s.report(k);
+    EXPECT_NE(report.find("pipelined"), std::string::npos);
+    EXPECT_NE(report.find("II="), std::string::npos);
+    EXPECT_NE(report.find("hist"), std::string::npos);
+}
+
+TEST(Binding, SharedUnitsPackedByClass) {
+    Directives d;
+    d.maxMulUnits = 2;
+    const Kernel k = mulHeavy(6);
+    const KernelSchedule s = scheduleKernel(k, d);
+    const KernelBinding b = bindKernel(s);
+    EXPECT_GE(b.mulUnits, 1);
+    EXPECT_LE(b.mulUnits, 2);
+    EXPECT_EQ(b.divUnits, 0);
+    ASSERT_EQ(b.loopBindings.size(), s.loops.size());
+    // Every mul op got a unit assignment.
+    const auto& loopBinding = b.loopBindings[0];
+    for (OpId i = 0; i < s.loops[0].body.dfg.size(); ++i) {
+        if (fuClassOf(s.loops[0].body.dfg.ops[i]) == FuClass::Mul) {
+            EXPECT_GE(loopBinding.unitOf[i], 0);
+            EXPECT_LT(loopBinding.unitOf[i], b.mulUnits);
+        }
+    }
+}
+
+TEST(Binding, OtsuKernelUsesOneDividerUnit) {
+    const Kernel k = apps::makeOtsuKernel(4096);
+    const KernelSchedule s = scheduleKernel(k, apps::otsuDirectives());
+    const KernelBinding b = bindKernel(s);
+    EXPECT_EQ(b.divUnits, 1);
+    EXPECT_EQ(b.mulUnits, 1);
+}
+
+TEST(Directives, RenderContainsInterfaceAndAllocation) {
+    Directives d;
+    d.interfaces["inA"] = InterfaceProtocol::AxiStream;
+    d.interfaces["ctrl"] = InterfaceProtocol::AxiLite;
+    d.tripCountHints["i"] = 128;
+    const std::string text = d.render("myKernel");
+    EXPECT_NE(text.find("set_directive_interface -mode axis myKernel inA"),
+              std::string::npos);
+    EXPECT_NE(text.find("set_directive_interface -mode s_axilite myKernel ctrl"),
+              std::string::npos);
+    EXPECT_NE(text.find("set_directive_allocation"), std::string::npos);
+    EXPECT_NE(text.find("loop_tripcount -avg 128"), std::string::npos);
+    EXPECT_NE(text.find("create_clock"), std::string::npos);
+}
+
+} // namespace
+} // namespace socgen::hls

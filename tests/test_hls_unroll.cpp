@@ -1,0 +1,223 @@
+#include "socgen/apps/kernels.hpp"
+#include "socgen/apps/otsu.hpp"
+#include "socgen/common/error.hpp"
+#include "socgen/hls/engine.hpp"
+#include "socgen/hls/interpreter.hpp"
+#include "socgen/hls/unroll.hpp"
+#include "socgen/hls/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+namespace socgen::hls {
+namespace {
+
+class VecIo : public KernelIo {
+public:
+    std::map<PortId, std::uint64_t> args;
+    std::map<PortId, std::uint64_t> results;
+    std::map<PortId, std::deque<std::uint64_t>> inputs;
+    std::map<PortId, std::vector<std::uint64_t>> outputs;
+
+    std::uint64_t argValue(PortId port) override { return args[port]; }
+    void setResult(PortId port, std::uint64_t value) override { results[port] = value; }
+    bool streamRead(PortId port, std::uint64_t& value) override {
+        auto& q = inputs[port];
+        if (q.empty()) {
+            return false;
+        }
+        value = q.front();
+        q.pop_front();
+        return true;
+    }
+    bool streamWrite(PortId port, std::uint64_t value) override {
+        outputs[port].push_back(value);
+        return true;
+    }
+};
+
+void runKernel(const Kernel& kernel, VecIo& io) {
+    Directives d;
+    const Program p = compileKernel(kernel, scheduleKernel(kernel, d));
+    KernelVm vm(p, io);
+    vm.start();
+    std::uint64_t guard = 0;
+    while (vm.running() && ++guard < 10'000'000) {
+        vm.tick();
+    }
+    ASSERT_TRUE(vm.finished());
+}
+
+/// out[i] = i * 3 over `n` values.
+Kernel rampKernel(std::int64_t n) {
+    KernelBuilder kb("ramp");
+    const PortId out = kb.streamOut("out", 32);
+    const VarId i = kb.var("i", 32);
+    kb.forLoop(i, kb.c(n));
+    kb.write(out, kb.mul(kb.v(i), kb.c(3)));
+    kb.endLoop();
+    return kb.build();
+}
+
+class UnrollFactors : public testing::TestWithParam<std::pair<int, std::int64_t>> {};
+
+TEST_P(UnrollFactors, SemanticsPreserved) {
+    const auto [factor, trip] = GetParam();
+    const Kernel original = rampKernel(trip);
+    UnrollStats stats;
+    const Kernel unrolled = unrollLoops(original, {{"i", factor}}, &stats);
+    EXPECT_NO_THROW(verify(unrolled));
+    if (factor > 1) {
+        EXPECT_EQ(stats.loopsUnrolled, 1u);
+        EXPECT_EQ(stats.epilogueIterations,
+                  static_cast<std::size_t>(trip % factor));
+    }
+    VecIo a;
+    VecIo b;
+    runKernel(original, a);
+    runKernel(unrolled, b);
+    EXPECT_EQ(a.outputs[0], b.outputs[0]);
+    ASSERT_EQ(b.outputs[0].size(), static_cast<std::size_t>(trip));
+    EXPECT_EQ(b.outputs[0][trip - 1], static_cast<std::uint64_t>((trip - 1) * 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, UnrollFactors,
+                         testing::Values(std::make_pair(1, 16ll), std::make_pair(2, 16ll),
+                                         std::make_pair(4, 16ll), std::make_pair(4, 18ll),
+                                         std::make_pair(8, 5ll),   // full epilogue
+                                         std::make_pair(3, 17ll)));
+
+TEST(Unroll, DynamicBoundLoopLeftAlone) {
+    KernelBuilder kb("dyn");
+    const PortId n = kb.scalarIn("n", 32);
+    const PortId out = kb.streamOut("out", 32);
+    const VarId i = kb.var("i", 32);
+    kb.forLoop(i, kb.arg(n));
+    kb.write(out, kb.v(i));
+    kb.endLoop();
+    UnrollStats stats;
+    const Kernel u = unrollLoops(kb.build(), {{"i", 4}}, &stats);
+    EXPECT_EQ(stats.loopsUnrolled, 0u);
+    VecIo io;
+    io.args[0] = 5;
+    runKernel(u, io);
+    EXPECT_EQ(io.outputs[1].size(), 5u);
+}
+
+TEST(Unroll, StatefulLoopStaysCorrect) {
+    // Accumulator carried across replicated bodies: sum of 0..n-1.
+    constexpr std::int64_t n = 22;
+    KernelBuilder kb("acc");
+    const PortId r = kb.scalarOut("r", 32);
+    const VarId i = kb.var("i", 32);
+    const VarId acc = kb.var("acc", 32);
+    kb.assign(acc, kb.c(0));
+    kb.forLoop(i, kb.c(n));
+    kb.assign(acc, kb.add(kb.v(acc), kb.v(i)));
+    kb.endLoop();
+    kb.setResult(r, kb.v(acc));
+    const Kernel u = unrollLoops(kb.build(), {{"i", 4}});
+    VecIo io;
+    runKernel(u, io);
+    EXPECT_EQ(io.results[0], static_cast<std::uint64_t>(n * (n - 1) / 2));
+}
+
+TEST(Unroll, GaussUnrolledMatchesReference) {
+    // Cross-iteration register state (p1/p2) must survive unrolling.
+    std::vector<std::uint8_t> input;
+    for (int i = 0; i < 100; ++i) {
+        input.push_back(static_cast<std::uint8_t>((i * 41 + 3) % 256));
+    }
+    const Kernel gauss = apps::makeGaussKernel(static_cast<std::int64_t>(input.size()));
+    const Kernel u = unrollLoops(gauss, {{"i", 4}});
+    VecIo io;
+    for (auto v : input) {
+        io.inputs[0].push_back(v);
+    }
+    runKernel(u, io);
+    const auto expected = apps::gaussRef(input);
+    ASSERT_EQ(io.outputs[1].size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(io.outputs[1][i], expected[i]) << i;
+    }
+}
+
+TEST(Unroll, ReducesCyclesForRecurrenceFreeLoops) {
+    // Independent per-iteration work (no loop-carried value): unrolling
+    // exposes ILP and the scheduler keeps II at 1 across k elements.
+    constexpr std::int64_t n = 1024;
+    KernelBuilder kb("poly");
+    const PortId r = kb.scalarOut("r", 32);
+    const VarId i = kb.var("i", 32);
+    kb.forLoop(i, kb.c(n));
+    kb.setResult(r, kb.bin(BinOp::Xor, kb.add(kb.mul(kb.v(i), kb.c(3)), kb.c(7)),
+                           kb.shr(kb.v(i), kb.c(2))));
+    kb.endLoop();
+    const Kernel base = kb.build();
+
+    Directives d;
+    d.enableOptimizer = false;
+    d.maxMulUnits = 4;  // enough DSP multipliers for the replicated work
+    const KernelSchedule plain = scheduleKernel(base, d);
+    const KernelSchedule unrolled = scheduleKernel(unrollLoops(base, {{"i", 4}}), d);
+    ASSERT_EQ(plain.loops.size(), 1u);
+    ASSERT_EQ(unrolled.loops.size(), 1u);
+    EXPECT_LT(unrolled.loops[0].totalCycles * 2, plain.loops[0].totalCycles);
+}
+
+TEST(Unroll, ScalarReductionGainsNothing) {
+    // acc += f(i) carries a dependence through every replicated body: the
+    // recurrence II grows with the factor and throughput stays flat —
+    // exactly what real HLS reports without reassociation.
+    constexpr std::int64_t n = 1024;
+    KernelBuilder kb("acc");
+    const PortId r = kb.scalarOut("r", 32);
+    const VarId i = kb.var("i", 32);
+    const VarId acc = kb.var("acc", 32);
+    kb.forLoop(i, kb.c(n));
+    kb.assign(acc, kb.add(kb.v(acc), kb.bin(BinOp::Xor, kb.v(i), kb.c(0x55))));
+    kb.endLoop();
+    kb.setResult(r, kb.v(acc));
+    const Kernel base = kb.build();
+
+    Directives d;
+    d.enableOptimizer = false;
+    const KernelSchedule plain = scheduleKernel(base, d);
+    const KernelSchedule unrolled = scheduleKernel(unrollLoops(base, {{"i", 4}}), d);
+    const double gain = static_cast<double>(plain.loops[0].totalCycles) /
+                        static_cast<double>(unrolled.loops[0].totalCycles);
+    EXPECT_LT(gain, 1.3);
+}
+
+TEST(Unroll, EngineDirectiveIntegration) {
+    Directives d;
+    d.unrollFactors["i"] = 2;
+    const HlsResult r = HlsEngine{}.synthesize(rampKernel(64), d);
+    EXPECT_NE(r.reportText.find("unroll: 1 loops unrolled"), std::string::npos);
+    EXPECT_NE(r.directiveText.find("set_directive_unroll -factor 2"), std::string::npos);
+    // The unrolled datapath is larger than the rolled one.
+    const HlsResult rolled = HlsEngine{}.synthesize(rampKernel(64), Directives{});
+    EXPECT_GT(r.resources.lut, rolled.resources.lut);
+}
+
+TEST(Unroll, HistogramUnrollIsSafeButNotFaster) {
+    // The histogram update has a loop-carried memory recurrence: unroll
+    // replicates accesses to the same BRAM, so the scheduler must not
+    // promise a speedup — but semantics stay intact.
+    const Kernel hist = apps::makeHistogramKernel(64);
+    const Kernel u = unrollLoops(hist, {{"i", 2}});
+    VecIo a;
+    VecIo b;
+    for (int i = 0; i < 64; ++i) {
+        a.inputs[0].push_back(static_cast<std::uint64_t>(i % 7));
+        b.inputs[0].push_back(static_cast<std::uint64_t>(i % 7));
+    }
+    runKernel(hist, a);
+    runKernel(u, b);
+    EXPECT_EQ(a.outputs[1], b.outputs[1]);
+}
+
+} // namespace
+} // namespace socgen::hls

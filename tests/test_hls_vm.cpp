@@ -1,0 +1,305 @@
+#include "socgen/apps/kernels.hpp"
+#include "socgen/apps/otsu.hpp"
+#include "socgen/common/error.hpp"
+#include "socgen/hls/engine.hpp"
+#include "socgen/hls/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+namespace socgen::hls {
+namespace {
+
+/// Vector-backed test harness for running kernels without a SoC.
+class VectorIo : public KernelIo {
+public:
+    std::map<PortId, std::uint64_t> args;
+    std::map<PortId, std::uint64_t> results;
+    std::map<PortId, std::deque<std::uint64_t>> inputs;
+    std::map<PortId, std::vector<std::uint64_t>> outputs;
+    std::size_t outputCapacity = SIZE_MAX;
+
+    std::uint64_t argValue(PortId port) override { return args[port]; }
+    void setResult(PortId port, std::uint64_t value) override { results[port] = value; }
+    bool streamRead(PortId port, std::uint64_t& value) override {
+        auto& queue = inputs[port];
+        if (queue.empty()) {
+            return false;
+        }
+        value = queue.front();
+        queue.pop_front();
+        return true;
+    }
+    bool streamWrite(PortId port, std::uint64_t value) override {
+        auto& sink = outputs[port];
+        if (sink.size() >= outputCapacity) {
+            return false;
+        }
+        sink.push_back(value);
+        return true;
+    }
+};
+
+struct RunResult {
+    std::uint64_t cycles = 0;
+    std::uint64_t stalls = 0;
+};
+
+RunResult runToCompletion(const Program& program, VectorIo& io,
+                          std::uint64_t maxCycles = 10'000'000) {
+    KernelVm vm(program, io);
+    vm.start();
+    std::uint64_t guard = 0;
+    while (vm.running()) {
+        vm.tick();
+        if (++guard > maxCycles) {
+            throw SimulationError("kernel did not finish");
+        }
+    }
+    return RunResult{vm.cycles(), vm.stallCycles()};
+}
+
+Program compile(const Kernel& kernel, Directives d = {}) {
+    return compileKernel(kernel, scheduleKernel(kernel, d));
+}
+
+TEST(Vm, AddKernelComputesSum) {
+    const Kernel k = apps::makeAddKernel();
+    const Program p = compile(k);
+    VectorIo io;
+    io.args[k.portId("A")] = 19;
+    io.args[k.portId("B")] = 23;
+    runToCompletion(p, io);
+    EXPECT_EQ(io.results[k.portId("return")], 42u);
+}
+
+TEST(Vm, MulKernelMasksToWidth) {
+    const Kernel k = apps::makeMulKernel();
+    const Program p = compile(k);
+    VectorIo io;
+    io.args[k.portId("A")] = 0x80000000ull;
+    io.args[k.portId("B")] = 2;
+    runToCompletion(p, io);
+    EXPECT_EQ(io.results[k.portId("return")], 0u);  // 33rd bit truncated
+}
+
+TEST(Vm, GaussMatchesReference) {
+    std::vector<std::uint8_t> input;
+    for (int i = 0; i < 200; ++i) {
+        input.push_back(static_cast<std::uint8_t>((i * 37 + 11) % 256));
+    }
+    const Kernel k = apps::makeGaussKernel(static_cast<std::int64_t>(input.size()));
+    const Program p = compile(k);
+    VectorIo io;
+    for (auto v : input) {
+        io.inputs[k.portId("in")].push_back(v);
+    }
+    runToCompletion(p, io);
+    const auto expected = apps::gaussRef(input);
+    const auto& actual = io.outputs[k.portId("out")];
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(actual[i], expected[i]) << "at " << i;
+    }
+}
+
+TEST(Vm, EdgeMatchesReference) {
+    std::vector<std::uint8_t> input{0, 10, 250, 250, 3, 77, 76, 255, 0};
+    const Kernel k = apps::makeEdgeKernel(static_cast<std::int64_t>(input.size()));
+    const Program p = compile(k);
+    VectorIo io;
+    for (auto v : input) {
+        io.inputs[k.portId("in")].push_back(v);
+    }
+    runToCompletion(p, io);
+    const auto expected = apps::edgeRef(input);
+    const auto& actual = io.outputs[k.portId("out")];
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(actual[i], expected[i]) << "at " << i;
+    }
+}
+
+TEST(Vm, HistogramMatchesReference) {
+    apps::GrayImage img(16, 16);
+    for (unsigned i = 0; i < img.pixelCount(); ++i) {
+        img.pixels()[i] = static_cast<std::uint8_t>((i * i) % 251);
+    }
+    const auto expected = apps::histogramRef(img);
+    const Kernel k = apps::makeHistogramKernel(static_cast<std::int64_t>(img.pixelCount()));
+    const Program p = compile(k);
+    VectorIo io;
+    for (auto v : img.pixels()) {
+        io.inputs[k.portId("grayScaleImage")].push_back(v);
+    }
+    runToCompletion(p, io);
+    const auto& actual = io.outputs[k.portId("histogram")];
+    ASSERT_EQ(actual.size(), 256u);
+    for (std::size_t i = 0; i < 256; ++i) {
+        EXPECT_EQ(actual[i], expected[i]) << "bin " << i;
+    }
+}
+
+class OtsuVmVectors : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OtsuVmVectors, ThresholdMatchesReference) {
+    const apps::GrayImage img = apps::makeSyntheticGrayScene(32, 32, GetParam());
+    const auto hist = apps::histogramRef(img);
+    const std::uint32_t expected = apps::otsuThresholdRef(hist, img.pixelCount());
+
+    const Kernel k = apps::makeOtsuKernel(static_cast<std::int64_t>(img.pixelCount()));
+    const Program p = compile(k, apps::otsuDirectives());
+    VectorIo io;
+    for (auto v : hist) {
+        io.inputs[k.portId("histogram")].push_back(v);
+    }
+    runToCompletion(p, io);
+    const auto& actual = io.outputs[k.portId("probability")];
+    ASSERT_EQ(actual.size(), 1u);
+    EXPECT_EQ(actual[0], expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OtsuVmVectors, testing::Values(1u, 7u, 42u, 99u, 1234u));
+
+TEST(Vm, BinarizationReadsThresholdFirst) {
+    const Kernel k = apps::makeBinarizationKernel(6);
+    const Program p = compile(k);
+    VectorIo io;
+    io.inputs[k.portId("otsuThreshold")].push_back(100);
+    for (std::uint64_t v : {5ull, 100ull, 101ull, 255ull, 0ull, 200ull}) {
+        io.inputs[k.portId("grayScaleImage")].push_back(v);
+    }
+    runToCompletion(p, io);
+    const auto& out = io.outputs[k.portId("segmentedGrayImage")];
+    ASSERT_EQ(out.size(), 6u);
+    EXPECT_EQ(out, (std::vector<std::uint64_t>{0, 0, 255, 255, 0, 255}));
+}
+
+TEST(Vm, StallsWhenInputMissing) {
+    const Kernel k = apps::makeEdgeKernel(4);
+    const Program p = compile(k);
+    VectorIo io;  // no input data at all
+    KernelVm vm(p, io);
+    vm.start();
+    for (int i = 0; i < 50; ++i) {
+        vm.tick();
+    }
+    EXPECT_TRUE(vm.running());
+    EXPECT_GT(vm.stallCycles(), 0u);
+    // Provide the data; the kernel finishes.
+    for (std::uint64_t v : {1ull, 2ull, 3ull, 4ull}) {
+        io.inputs[k.portId("in")].push_back(v);
+    }
+    std::uint64_t guard = 0;
+    while (vm.running() && ++guard < 10000) {
+        vm.tick();
+    }
+    EXPECT_TRUE(vm.finished());
+    EXPECT_EQ(io.outputs[k.portId("out")].size(), 4u);
+}
+
+TEST(Vm, BackpressureOnFullOutput) {
+    const Kernel k = apps::makeEdgeKernel(8);
+    const Program p = compile(k);
+    VectorIo io;
+    io.outputCapacity = 2;
+    for (int i = 0; i < 8; ++i) {
+        io.inputs[k.portId("in")].push_back(static_cast<std::uint64_t>(i));
+    }
+    KernelVm vm(p, io);
+    vm.start();
+    for (int i = 0; i < 200; ++i) {
+        vm.tick();
+    }
+    EXPECT_TRUE(vm.running());  // blocked on the full output
+    EXPECT_EQ(io.outputs[k.portId("out")].size(), 2u);
+    io.outputCapacity = SIZE_MAX;
+    std::uint64_t guard = 0;
+    while (vm.running() && ++guard < 10000) {
+        vm.tick();
+    }
+    EXPECT_EQ(io.outputs[k.portId("out")].size(), 8u);
+}
+
+TEST(Vm, CycleCountTracksScheduleIi) {
+    // The gauss loop is paced by its scheduled II: total cycles must be at
+    // least trip * II and not wildly more (inputs are all available).
+    const std::int64_t n = 500;
+    const Kernel k = apps::makeGaussKernel(n);
+    const KernelSchedule s = scheduleKernel(k, Directives{});
+    const Program p = compileKernel(k, s);
+    VectorIo io;
+    for (std::int64_t i = 0; i < n; ++i) {
+        io.inputs[k.portId("in")].push_back(7);
+    }
+    const RunResult r = runToCompletion(p, io);
+    ASSERT_EQ(s.loops.size(), 1u);
+    const std::int64_t ii = s.loops[0].ii;
+    EXPECT_GE(r.cycles, static_cast<std::uint64_t>(n * ii));
+    EXPECT_LE(r.cycles, static_cast<std::uint64_t>(n * ii + s.loops[0].body.length + 16));
+}
+
+TEST(Vm, ArraysPersistAcrossInvocations) {
+    // BRAM contents survive ap_start (hardware behaviour): the histogram
+    // kernel clears its table explicitly, so two runs agree.
+    const Kernel k = apps::makeHistogramKernel(8);
+    const Program p = compile(k);
+    VectorIo io;
+    KernelVm vm(p, io);
+    for (int run = 0; run < 2; ++run) {
+        io.outputs.clear();
+        for (int i = 0; i < 8; ++i) {
+            io.inputs[k.portId("grayScaleImage")].push_back(3);
+        }
+        vm.start();
+        std::uint64_t guard = 0;
+        while (vm.running() && ++guard < 100000) {
+            vm.tick();
+        }
+        EXPECT_EQ(io.outputs[k.portId("histogram")][3], 8u) << "run " << run;
+    }
+}
+
+TEST(Vm, OutOfBoundsArrayAccessThrows) {
+    KernelBuilder kb("oob");
+    const PortId out = kb.streamOut("out", 32);
+    const ArrayId arr = kb.array("arr", 4, 32);
+    kb.write(out, kb.load(arr, kb.c(9)));
+    const Kernel k = kb.build();
+    const Program p = compile(k);
+    VectorIo io;
+    KernelVm vm(p, io);
+    vm.start();
+    EXPECT_THROW(
+        {
+            for (int i = 0; i < 10 && vm.running(); ++i) {
+                vm.tick();
+            }
+        },
+        SimulationError);
+}
+
+TEST(Bytecode, DisassembleMentionsStructure) {
+    const Kernel k = apps::makeGaussKernel(32);
+    const Program p = compile(k);
+    const std::string text = p.disassemble();
+    EXPECT_NE(text.find("srd"), std::string::npos);
+    EXPECT_NE(text.find("swr"), std::string::npos);
+    EXPECT_NE(text.find("cost"), std::string::npos);
+    EXPECT_NE(text.find("jmp"), std::string::npos);
+    EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+TEST(Bytecode, RegisterCountCoversVarsAndTemps) {
+    const Kernel k = apps::makeOtsuKernel(64);
+    const Program p = compile(k, apps::otsuDirectives());
+    EXPECT_GE(p.registerCount, static_cast<std::uint32_t>(k.vars().size()));
+    EXPECT_EQ(p.varWidth.size(), k.vars().size());
+    EXPECT_EQ(p.arrays.size(), k.arrays().size());
+    EXPECT_EQ(p.ports.size(), k.ports().size());
+}
+
+} // namespace
+} // namespace socgen::hls

@@ -1,0 +1,98 @@
+#include "socgen/common/error.hpp"
+#include "socgen/rtl/primitives.hpp"
+#include "socgen/rtl/vhdl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socgen::rtl {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+    return haystack.find(needle) != std::string::npos;
+}
+
+TEST(Vhdl, AdderEntityAndArchitecture) {
+    const std::string vhdl = VhdlEmitter{}.emit(makeAdder("my_adder", 16));
+    EXPECT_TRUE(contains(vhdl, "entity my_adder is"));
+    EXPECT_TRUE(contains(vhdl, "architecture rtl of my_adder"));
+    EXPECT_TRUE(contains(vhdl, "clk : in std_logic"));
+    EXPECT_TRUE(contains(vhdl, "rst : in std_logic"));
+    EXPECT_TRUE(contains(vhdl, "a : in std_logic_vector(15 downto 0)"));
+    EXPECT_TRUE(contains(vhdl, "sum : out std_logic_vector(15 downto 0)"));
+    EXPECT_TRUE(contains(vhdl, "use ieee.numeric_std.all"));
+    EXPECT_TRUE(contains(vhdl, "end architecture rtl;"));
+}
+
+TEST(Vhdl, CounterHasClockedProcess) {
+    const std::string vhdl = VhdlEmitter{}.emit(makeCounter("ctr", 8));
+    EXPECT_TRUE(contains(vhdl, "rising_edge(clk)"));
+    EXPECT_TRUE(contains(vhdl, "if rst = '1' then"));
+    EXPECT_TRUE(contains(vhdl, "process (clk)"));
+}
+
+TEST(Vhdl, MacEmitsMultiplyWithResize) {
+    const std::string vhdl = VhdlEmitter{}.emit(makeMac("mac", 32));
+    EXPECT_TRUE(contains(vhdl, "resize("));
+    EXPECT_TRUE(contains(vhdl, "*"));
+}
+
+TEST(Vhdl, BramEmitsArrayType) {
+    NetlistBuilder b("memmod");
+    const NetId addr = b.inputPort("addr", 8);
+    const NetId wdata = b.inputPort("wdata", 16);
+    const NetId we = b.inputPort("we", 1);
+    b.outputPort("rdata", b.bram(addr, wdata, we, 16, 256, "tbl"));
+    const std::string vhdl = VhdlEmitter{}.emit(b.netlist());
+    EXPECT_TRUE(contains(vhdl, "is array (0 to 255) of"));
+    EXPECT_TRUE(contains(vhdl, "_mem"));
+}
+
+TEST(Vhdl, SingleBitPortsUseStdLogic) {
+    NetlistBuilder b("bitmod");
+    const NetId x = b.inputPort("x", 1);
+    b.outputPort("y", b.unary(CellKind::Not, x, 1));
+    const std::string vhdl = VhdlEmitter{}.emit(b.netlist());
+    EXPECT_TRUE(contains(vhdl, "x : in std_logic;"));
+    EXPECT_TRUE(contains(vhdl, "y : out std_logic"));
+    EXPECT_FALSE(contains(vhdl, "x : in std_logic_vector"));
+}
+
+TEST(Vhdl, ComparatorsEmitConditionalAssign) {
+    NetlistBuilder b("cmp");
+    const NetId a = b.inputPort("a", 8);
+    const NetId c = b.inputPort("b", 8);
+    b.outputPort("lt", b.binary(CellKind::Lt, a, c, 1));
+    const std::string vhdl = VhdlEmitter{}.emit(b.netlist());
+    EXPECT_TRUE(contains(vhdl, "'1' when"));
+    EXPECT_TRUE(contains(vhdl, " < "));
+}
+
+TEST(Vhdl, MuxEmitsWhenElse) {
+    NetlistBuilder b("muxmod");
+    const NetId sel = b.inputPort("sel", 1);
+    const NetId a = b.inputPort("a", 8);
+    const NetId c = b.inputPort("b", 8);
+    b.outputPort("y", b.mux(sel, a, c, 8));
+    const std::string vhdl = VhdlEmitter{}.emit(b.netlist());
+    EXPECT_TRUE(contains(vhdl, " when "));
+    EXPECT_TRUE(contains(vhdl, " else "));
+}
+
+TEST(Vhdl, SanitizesNonIdentifierNames) {
+    const std::string vhdl = VhdlEmitter{}.emit(makeAdder("my adder!", 8));
+    EXPECT_TRUE(contains(vhdl, "entity my_adder_ is"));
+}
+
+TEST(Vhdl, DeterministicOutput) {
+    const Netlist n = makeMac("mac", 16);
+    EXPECT_EQ(VhdlEmitter{}.emit(n), VhdlEmitter{}.emit(n));
+}
+
+TEST(Vhdl, InvalidNetlistRejected) {
+    Netlist bad("bad");
+    (void)bad.addNet("floating", 4);
+    EXPECT_THROW((void)VhdlEmitter{}.emit(bad), Error);
+}
+
+} // namespace
+} // namespace socgen::rtl

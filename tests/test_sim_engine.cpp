@@ -1,0 +1,95 @@
+#include "socgen/common/error.hpp"
+#include "socgen/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socgen::sim {
+namespace {
+
+/// Component that works for `budget` cycles then goes idle.
+class Worker : public Component {
+public:
+    Worker(std::string name, int budget) : name_(std::move(name)), remaining_(budget) {}
+
+    const std::string& name() const override { return name_; }
+    bool tick() override {
+        if (remaining_ > 0) {
+            --remaining_;
+            return true;
+        }
+        return false;
+    }
+    bool idle() const override { return remaining_ == 0; }
+
+private:
+    std::string name_;
+    int remaining_;
+};
+
+/// Component that is never idle and never progresses (deadlock model).
+class Stuck : public Component {
+public:
+    const std::string& name() const override { return name_; }
+    bool tick() override { return false; }
+    bool idle() const override { return false; }
+
+private:
+    std::string name_ = "stuck";
+};
+
+TEST(Engine, RunsUntilAllIdle) {
+    Engine engine;
+    Worker a("a", 5);
+    Worker b("b", 9);
+    engine.add(a);
+    engine.add(b);
+    const std::uint64_t cycles = engine.runUntilIdle();
+    EXPECT_EQ(cycles, 9u);  // the longest worker's busy cycles
+    EXPECT_EQ(engine.now(), cycles);
+}
+
+TEST(Engine, DeadlockDetectedWithComponentNames) {
+    Engine engine;
+    Stuck stuck;
+    engine.add(stuck);
+    try {
+        engine.runUntilIdle(1000, 50);
+        FAIL() << "expected deadlock";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("stuck"), std::string::npos);
+    }
+}
+
+TEST(Engine, MaxCyclesExceededThrows) {
+    Engine engine;
+    Worker w("w", 1000);
+    engine.add(w);
+    EXPECT_THROW(engine.runUntilIdle(10), Error);
+}
+
+TEST(Engine, ProbesRunEveryCycle) {
+    Engine engine;
+    Worker w("w", 3);
+    engine.add(w);
+    int probes = 0;
+    engine.addProbe([&] { ++probes; });
+    const std::uint64_t cycles = engine.runUntilIdle();
+    EXPECT_EQ(static_cast<std::uint64_t>(probes), cycles);
+}
+
+TEST(Engine, FixedRunIgnoresIdle) {
+    Engine engine;
+    Worker w("w", 2);
+    engine.add(w);
+    engine.run(20);
+    EXPECT_EQ(engine.now(), 20u);
+}
+
+TEST(Engine, EmptyEngineQuiescesImmediately) {
+    Engine engine;
+    EXPECT_EQ(engine.runUntilIdle(), 1u);
+}
+
+} // namespace
+} // namespace socgen::sim

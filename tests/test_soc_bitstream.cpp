@@ -1,0 +1,89 @@
+#include "socgen/common/error.hpp"
+#include "socgen/soc/bitstream.hpp"
+#include "socgen/soc/synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socgen::soc {
+namespace {
+
+BlockDesign tinyDesign() {
+    BlockDesign design("bits", zedboard());
+    design.addHlsCore("core0", {100, 100, 1, 0},
+                      {CorePort{"in", hls::InterfaceProtocol::AxiStream, true, 32},
+                       CorePort{"out", hls::InterfaceProtocol::AxiStream, false, 32}},
+                      false);
+    design.connectStream(StreamEndpoint{StreamEndpoint::kSoc, ""},
+                         StreamEndpoint{"core0", "in"}, 32);
+    design.connectStream(StreamEndpoint{"core0", "out"},
+                         StreamEndpoint{StreamEndpoint::kSoc, ""}, 32);
+    design.finalise();
+    return design;
+}
+
+TEST(Crc32, KnownVectors) {
+    // Standard IEEE CRC-32 check values.
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc32(""), 0x00000000u);
+    EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+    EXPECT_NE(crc32("abc"), crc32("abd"));
+}
+
+TEST(Bitstream, RoundTrip) {
+    const BlockDesign design = tinyDesign();
+    const SynthesisResult synth = SynthesisModel{}.run(design);
+    const Bitstream bit = generateBitstream(design, synth);
+    const std::string image = bit.serialize();
+    const Bitstream parsed = Bitstream::parse(image);
+    EXPECT_EQ(parsed.designName, "bits");
+    EXPECT_EQ(parsed.part, design.device().part);
+    EXPECT_EQ(parsed.configRecords.size(), design.instances().size() + 1);  // + timing
+    EXPECT_EQ(parsed.serialize(), image);
+}
+
+TEST(Bitstream, RecordsDescribeInstances) {
+    const BlockDesign design = tinyDesign();
+    const SynthesisResult synth = SynthesisModel{}.run(design);
+    const Bitstream bit = generateBitstream(design, synth);
+    bool foundCore = false;
+    bool foundTiming = false;
+    for (const auto& record : bit.configRecords) {
+        if (record.find("core0") != std::string::npos) {
+            foundCore = true;
+        }
+        if (record.find("timing clk=") != std::string::npos) {
+            foundTiming = true;
+        }
+    }
+    EXPECT_TRUE(foundCore);
+    EXPECT_TRUE(foundTiming);
+}
+
+TEST(Bitstream, CorruptionDetected) {
+    const BlockDesign design = tinyDesign();
+    const SynthesisResult synth = SynthesisModel{}.run(design);
+    std::string image = generateBitstream(design, synth).serialize();
+    image[image.size() / 2] ^= 0x01;  // flip a payload bit
+    EXPECT_THROW((void)Bitstream::parse(image), Error);
+}
+
+TEST(Bitstream, BadMagicRejected) {
+    EXPECT_THROW((void)Bitstream::parse("NOTABITSTREAM\n0\n"), Error);
+    EXPECT_THROW((void)Bitstream::parse(""), Error);
+}
+
+TEST(Bitstream, TruncationDetected) {
+    const BlockDesign design = tinyDesign();
+    const SynthesisResult synth = SynthesisModel{}.run(design);
+    const std::string image = generateBitstream(design, synth).serialize();
+    EXPECT_THROW((void)Bitstream::parse(image.substr(0, image.size() / 2)), Error);
+}
+
+TEST(Bitstream, RequiresFinalisedDesign) {
+    BlockDesign design("raw", zedboard());
+    SynthesisResult synth;
+    EXPECT_THROW((void)generateBitstream(design, synth), SynthesisError);
+}
+
+} // namespace
+} // namespace socgen::soc

@@ -1,0 +1,216 @@
+#include "socgen/common/error.hpp"
+#include "socgen/soc/block_design.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socgen::soc {
+namespace {
+
+BlockDesign pipelineDesign(DmaPolicy policy = DmaPolicy::SharedDma) {
+    BlockDesign design("pipe", zedboard(), policy);
+    design.addHlsCore("A", {100, 200, 0, 0},
+                      {CorePort{"in", hls::InterfaceProtocol::AxiStream, true, 8},
+                       CorePort{"out", hls::InterfaceProtocol::AxiStream, false, 8}},
+                      false);
+    design.addHlsCore("B", {150, 250, 1, 1},
+                      {CorePort{"in", hls::InterfaceProtocol::AxiStream, true, 8},
+                       CorePort{"out", hls::InterfaceProtocol::AxiStream, false, 8}},
+                      false);
+    design.connectStream(StreamEndpoint{StreamEndpoint::kSoc, ""},
+                         StreamEndpoint{"A", "in"}, 8);
+    design.connectStream(StreamEndpoint{"A", "out"}, StreamEndpoint{"B", "in"}, 8);
+    design.connectStream(StreamEndpoint{"B", "out"},
+                         StreamEndpoint{StreamEndpoint::kSoc, ""}, 8);
+    return design;
+}
+
+TEST(BlockDesign, FinaliseAddsInfrastructure) {
+    BlockDesign design = pipelineDesign();
+    design.finalise();
+    EXPECT_TRUE(design.finalised());
+    EXPECT_TRUE(design.hasInstance("processing_system7_0"));
+    EXPECT_TRUE(design.hasInstance("rst_ps7_100M"));
+    EXPECT_TRUE(design.hasInstance("axi_dma_0"));
+    EXPECT_TRUE(design.hasInstance("ps7_0_axi_periph"));
+    EXPECT_TRUE(design.hasInstance("axi_mem_intercon"));
+    EXPECT_EQ(design.dmaInstances().size(), 1u);   // shared policy
+    EXPECT_EQ(design.hlsCores().size(), 2u);
+}
+
+TEST(BlockDesign, SharedDmaAssignsRoutes) {
+    BlockDesign design = pipelineDesign(DmaPolicy::SharedDma);
+    design.finalise();
+    int socLinks = 0;
+    for (const auto& s : design.streams()) {
+        if (s.from.isSoc() || s.to.isSoc()) {
+            EXPECT_EQ(s.dmaInstance, "axi_dma_0");
+            EXPECT_GE(s.dmaRoute, 0);
+            ++socLinks;
+        } else {
+            EXPECT_EQ(s.dmaRoute, -1);
+        }
+    }
+    EXPECT_EQ(socLinks, 2);
+}
+
+TEST(BlockDesign, PerLinkDmaInstantiatesOnePerSocLink) {
+    BlockDesign design = pipelineDesign(DmaPolicy::DmaPerLink);
+    design.finalise();
+    EXPECT_EQ(design.dmaInstances().size(), 2u);
+    for (const auto& s : design.streams()) {
+        if (s.from.isSoc() || s.to.isSoc()) {
+            EXPECT_EQ(s.dmaRoute, 0);
+        }
+    }
+}
+
+TEST(BlockDesign, PerLinkPolicyCostsMoreResources) {
+    BlockDesign shared = pipelineDesign(DmaPolicy::SharedDma);
+    shared.finalise();
+    BlockDesign perLink = pipelineDesign(DmaPolicy::DmaPerLink);
+    perLink.finalise();
+    EXPECT_GT(perLink.totalResources().lut, shared.totalResources().lut);
+    EXPECT_GT(perLink.totalResources().bram18, shared.totalResources().bram18);
+}
+
+TEST(BlockDesign, AddressAssignmentIsDisjoint) {
+    BlockDesign design("lite", zedboard());
+    design.addHlsCore("X", {10, 10, 0, 0}, {}, true);
+    design.addHlsCore("Y", {10, 10, 0, 0}, {}, true);
+    design.connectLite("X");
+    design.connectLite("Y");
+    design.finalise();
+    ASSERT_EQ(design.lites().size(), 2u);
+    EXPECT_NE(design.lites()[0].baseAddress, design.lites()[1].baseAddress);
+    EXPECT_GE(design.lites()[0].baseAddress, 0x43C00000u);
+}
+
+TEST(BlockDesign, DmaGetsControlAddress) {
+    BlockDesign design = pipelineDesign();
+    design.finalise();
+    bool dmaMapped = false;
+    for (const auto& l : design.lites()) {
+        if (l.instance == "axi_dma_0") {
+            dmaMapped = true;
+            EXPECT_EQ(l.baseAddress, 0x40400000u);
+        }
+    }
+    EXPECT_TRUE(dmaMapped);
+}
+
+TEST(BlockDesign, DuplicateCoreRejected) {
+    BlockDesign design("dup", zedboard());
+    design.addHlsCore("X", {}, {}, true);
+    EXPECT_THROW(design.addHlsCore("X", {}, {}, true), SynthesisError);
+}
+
+TEST(BlockDesign, SocToSocLinkRejected) {
+    BlockDesign design("bad", zedboard());
+    EXPECT_THROW(design.connectStream(StreamEndpoint{StreamEndpoint::kSoc, ""},
+                                      StreamEndpoint{StreamEndpoint::kSoc, ""}, 8),
+                 SynthesisError);
+}
+
+TEST(BlockDesign, UnknownEndpointFailsFinalise) {
+    BlockDesign design("bad", zedboard());
+    design.addHlsCore("A", {},
+                      {CorePort{"out", hls::InterfaceProtocol::AxiStream, false, 8}},
+                      false);
+    design.connectStream(StreamEndpoint{"A", "out"}, StreamEndpoint{"GHOST", "in"}, 8);
+    EXPECT_THROW(design.finalise(), SynthesisError);
+}
+
+TEST(BlockDesign, UnknownPortFailsFinalise) {
+    BlockDesign design("bad", zedboard());
+    design.addHlsCore("A", {},
+                      {CorePort{"out", hls::InterfaceProtocol::AxiStream, false, 8}},
+                      false);
+    design.connectStream(StreamEndpoint{"A", "wrongport"},
+                         StreamEndpoint{StreamEndpoint::kSoc, ""}, 8);
+    EXPECT_THROW(design.finalise(), SynthesisError);
+}
+
+TEST(BlockDesign, WrongDirectionFailsFinalise) {
+    BlockDesign design("bad", zedboard());
+    design.addHlsCore("A", {},
+                      {CorePort{"in", hls::InterfaceProtocol::AxiStream, true, 8}},
+                      false);
+    // Using an input port as a stream source.
+    design.connectStream(StreamEndpoint{"A", "in"},
+                         StreamEndpoint{StreamEndpoint::kSoc, ""}, 8);
+    EXPECT_THROW(design.finalise(), SynthesisError);
+}
+
+TEST(BlockDesign, DoubleConnectedPortFailsFinalise) {
+    BlockDesign design("bad", zedboard());
+    design.addHlsCore("A", {},
+                      {CorePort{"out", hls::InterfaceProtocol::AxiStream, false, 8}},
+                      false);
+    design.connectStream(StreamEndpoint{"A", "out"},
+                         StreamEndpoint{StreamEndpoint::kSoc, ""}, 8);
+    design.connectStream(StreamEndpoint{"A", "out"},
+                         StreamEndpoint{StreamEndpoint::kSoc, ""}, 8);
+    EXPECT_THROW(design.finalise(), SynthesisError);
+}
+
+TEST(BlockDesign, UnconnectedStreamPortFailsFinalise) {
+    BlockDesign design("bad", zedboard());
+    design.addHlsCore("A", {},
+                      {CorePort{"in", hls::InterfaceProtocol::AxiStream, true, 8},
+                       CorePort{"out", hls::InterfaceProtocol::AxiStream, false, 8}},
+                      false);
+    design.connectStream(StreamEndpoint{StreamEndpoint::kSoc, ""},
+                         StreamEndpoint{"A", "in"}, 8);
+    // A/out left dangling.
+    EXPECT_THROW(design.finalise(), SynthesisError);
+}
+
+TEST(BlockDesign, LiteOnStreamOnlyCoreFailsFinalise) {
+    BlockDesign design("bad", zedboard());
+    design.addHlsCore("A", {},
+                      {CorePort{"in", hls::InterfaceProtocol::AxiStream, true, 8},
+                       CorePort{"out", hls::InterfaceProtocol::AxiStream, false, 8}},
+                      /*hasAxiLiteControl=*/false);
+    design.connectStream(StreamEndpoint{StreamEndpoint::kSoc, ""},
+                         StreamEndpoint{"A", "in"}, 8);
+    design.connectStream(StreamEndpoint{"A", "out"},
+                         StreamEndpoint{StreamEndpoint::kSoc, ""}, 8);
+    design.connectLite("A");
+    EXPECT_THROW(design.finalise(), SynthesisError);
+}
+
+TEST(BlockDesign, MutationAfterFinaliseRejected) {
+    BlockDesign design = pipelineDesign();
+    design.finalise();
+    EXPECT_THROW(design.addHlsCore("Z", {}, {}, true), SynthesisError);
+    EXPECT_THROW(design.connectLite("A"), SynthesisError);
+    EXPECT_THROW(design.finalise(), SynthesisError);
+}
+
+TEST(BlockDesign, DotRenderingShowsTopology) {
+    BlockDesign design = pipelineDesign();
+    design.finalise();
+    const std::string dot = design.toDot();
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("\"A\" -> \"B\""), std::string::npos);
+    EXPECT_NE(dot.find("AXI-Stream"), std::string::npos);
+    EXPECT_NE(dot.find("axi_dma_0"), std::string::npos);
+}
+
+TEST(FpgaDevice, FitsAndUtilisation) {
+    const FpgaDevice dev = zedboard();
+    EXPECT_TRUE(dev.fits({1000, 1000, 10, 10}));
+    EXPECT_FALSE(dev.fits({100000, 0, 0, 0}));
+    EXPECT_FALSE(dev.fits({0, 0, 0, 500}));
+    EXPECT_NEAR(dev.worstUtilisation({53200 / 2, 0, 0, 0}), 0.5, 1e-9);
+}
+
+TEST(Endpoints, StringForms) {
+    EXPECT_EQ((StreamEndpoint{StreamEndpoint::kSoc, ""}.str()), "'soc");
+    EXPECT_EQ((StreamEndpoint{"core", "port"}.str()), "core/port");
+    EXPECT_EQ(ipKindName(IpKind::AxiDma), "axi_dma");
+    EXPECT_EQ(ipKindName(IpKind::ZynqPs), "processing_system7");
+}
+
+} // namespace
+} // namespace socgen::soc

@@ -1,0 +1,316 @@
+#include "socgen/apps/kernels.hpp"
+#include "socgen/common/error.hpp"
+#include "socgen/hls/engine.hpp"
+#include "socgen/soc/system_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socgen::soc {
+namespace {
+
+TEST(Memory, WordReadWrite) {
+    Memory mem;
+    EXPECT_EQ(mem.readWord(123), 0u);
+    mem.writeWord(123, 0xDEADBEEF);
+    EXPECT_EQ(mem.readWord(123), 0xDEADBEEFu);
+    EXPECT_EQ(mem.readCount(), 2u);
+    EXPECT_EQ(mem.writeCount(), 1u);
+}
+
+TEST(Memory, BlockHelpers) {
+    Memory mem;
+    const std::vector<std::uint32_t> data{1, 2, 3, 4, 5};
+    mem.writeBlock(1000, data);
+    EXPECT_EQ(mem.readBlock(1000, 5), data);
+    EXPECT_EQ(mem.readBlock(1002, 2), (std::vector<std::uint32_t>{3, 4}));
+}
+
+TEST(Memory, SparsePageAllocation) {
+    Memory mem;
+    mem.writeWord(0, 1);
+    mem.writeWord(10'000'000, 2);  // far away: only two pages
+    EXPECT_EQ(mem.pagesAllocated(), 2u);
+    EXPECT_EQ(mem.readWord(10'000'000), 2u);
+}
+
+TEST(Dma, Mm2sTransfersWithTlast) {
+    Memory mem;
+    mem.writeBlock(100, std::vector<std::uint32_t>{10, 20, 30});
+    DmaEngine dma("dma0", mem);
+    axi::StreamChannel chan("c", 16, 32);
+    const int route = dma.attachMm2s(chan);
+    dma.writeRegister(dmareg::kMm2sAddr, 100);
+    dma.writeRegister(dmareg::kMm2sRoute, static_cast<std::uint32_t>(route));
+    dma.writeRegister(dmareg::kMm2sLength, 3);
+    EXPECT_FALSE(dma.idle());
+    EXPECT_EQ(dma.readRegister(dmareg::kMm2sStatus), 0u);
+    while (!dma.idle()) {
+        dma.tick();
+    }
+    EXPECT_EQ(dma.readRegister(dmareg::kMm2sStatus), dmareg::kStatusIdle);
+    axi::StreamBeat beat;
+    ASSERT_TRUE(chan.tryPop(beat));
+    EXPECT_EQ(beat.data, 10u);
+    EXPECT_FALSE(beat.last);
+    ASSERT_TRUE(chan.tryPop(beat));
+    ASSERT_TRUE(chan.tryPop(beat));
+    EXPECT_EQ(beat.data, 30u);
+    EXPECT_TRUE(beat.last);
+    EXPECT_EQ(dma.wordsMoved(), 3u);
+    EXPECT_EQ(dma.transfersCompleted(), 1u);
+}
+
+TEST(Dma, Mm2sRespectsBackpressure) {
+    Memory mem;
+    DmaEngine dma("dma0", mem);
+    axi::StreamChannel chan("c", 2, 32);
+    (void)dma.attachMm2s(chan);
+    dma.writeRegister(dmareg::kMm2sAddr, 0);
+    dma.writeRegister(dmareg::kMm2sLength, 10);
+    for (int i = 0; i < 10; ++i) {
+        dma.tick();
+    }
+    EXPECT_FALSE(dma.idle());  // stalled on the full channel
+    EXPECT_EQ(chan.size(), 2u);
+    axi::StreamBeat beat;
+    while (!dma.idle()) {
+        (void)chan.tryPop(beat);
+        dma.tick();
+    }
+    EXPECT_EQ(dma.wordsMoved(), 10u);
+}
+
+TEST(Dma, S2mmDrainsToMemory) {
+    Memory mem;
+    DmaEngine dma("dma0", mem);
+    axi::StreamChannel chan("c", 16, 32);
+    (void)dma.attachS2mm(chan);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        ASSERT_TRUE(chan.tryPush(100 + i));
+    }
+    dma.writeRegister(dmareg::kS2mmAddr, 5000);
+    dma.writeRegister(dmareg::kS2mmRoute, 0);
+    dma.writeRegister(dmareg::kS2mmLength, 4);
+    while (!dma.idle()) {
+        dma.tick();
+    }
+    EXPECT_EQ(mem.readBlock(5000, 4),
+              (std::vector<std::uint32_t>{100, 101, 102, 103}));
+}
+
+TEST(Dma, HigherBandwidthMovesMorePerCycle) {
+    Memory mem;
+    mem.writeBlock(0, std::vector<std::uint32_t>(64, 7));
+    DmaEngine fast("fast", mem, 4);
+    axi::StreamChannel chan("c", 128, 32);
+    (void)fast.attachMm2s(chan);
+    fast.writeRegister(dmareg::kMm2sAddr, 0);
+    fast.writeRegister(dmareg::kMm2sLength, 64);
+    int cycles = 0;
+    while (!fast.idle()) {
+        fast.tick();
+        ++cycles;
+    }
+    EXPECT_EQ(cycles, 16);  // 64 words at 4/cycle
+}
+
+TEST(Dma, ErrorsOnMisuse) {
+    Memory mem;
+    DmaEngine dma("dma0", mem);
+    axi::StreamChannel chan("c", 4, 32);
+    (void)dma.attachMm2s(chan);
+    EXPECT_THROW(dma.writeRegister(dmareg::kMm2sRoute, 5), SimulationError);
+    EXPECT_THROW((void)dma.readRegister(0xFF), SimulationError);
+    EXPECT_THROW(dma.writeRegister(0xFF, 0), SimulationError);
+    EXPECT_THROW(dma.writeRegister(dmareg::kS2mmLength, 4), SimulationError);  // no s2mm
+    dma.writeRegister(dmareg::kMm2sLength, 2);
+    EXPECT_THROW(dma.writeRegister(dmareg::kMm2sLength, 2), SimulationError);  // busy
+}
+
+TEST(ZynqPsModel, TasksAndPolling) {
+    Memory mem;
+    axi::LiteBus bus;
+    GpInterconnect gp(bus);
+    ZynqPs ps("ps", mem, gp);
+
+    // A register file that reports "done" only after a few reads.
+    class CountingSlave : public axi::LiteSlave {
+    public:
+        int reads = 0;
+        std::uint32_t readRegister(std::uint64_t) override {
+            return ++reads >= 3 ? 1u : 0u;
+        }
+        void writeRegister(std::uint64_t, std::uint32_t value) override { last = value; }
+        std::uint32_t last = 0;
+    } slave;
+    bus.mapSlave("dev", axi::AddressRange{0x1000, 0x100}, slave);
+
+    bool taskRan = false;
+    ps.task("compute", 25, [&](Memory& m) {
+        taskRan = true;
+        m.writeWord(7, 99);
+    });
+    ps.writeReg(0x1004, 42);
+    ps.pollEq(0x1000, 0x1, 0x1, 4);
+    ps.delay(5);
+
+    sim::Engine engine;
+    engine.add(ps);
+    engine.runUntilIdle();
+    EXPECT_TRUE(taskRan);
+    EXPECT_EQ(mem.readWord(7), 99u);
+    EXPECT_EQ(slave.last, 42u);
+    EXPECT_EQ(slave.reads, 3);
+    EXPECT_GE(ps.taskCycles(), 25u);
+    EXPECT_GT(ps.driverCycles(), 0u);
+    EXPECT_EQ(ps.opsExecuted(), 4u);
+    EXPECT_TRUE(ps.idle());
+}
+
+hls::Program compileKernelFor(const hls::Kernel& kernel) {
+    return hls::compileKernel(kernel, hls::scheduleKernel(kernel, hls::Directives{}));
+}
+
+TEST(Accelerator, LiteControlLifecycle) {
+    const hls::Kernel k = apps::makeAddKernel();
+    const hls::Program p = compileKernelFor(k);
+    AcceleratorCore core("ADD", p);
+    EXPECT_TRUE(core.idle());
+    EXPECT_EQ(core.readRegister(accreg::kCtrl) & accreg::kStatusIdle, accreg::kStatusIdle);
+    core.writeRegister(accreg::argOffset(0), 30);  // A
+    core.writeRegister(accreg::argOffset(1), 12);  // B
+    core.writeRegister(accreg::kCtrl, accreg::kCtrlStart);
+    EXPECT_FALSE(core.idle());
+    int guard = 0;
+    while (!core.done() && ++guard < 100) {
+        core.tick();
+    }
+    EXPECT_TRUE(core.done());
+    EXPECT_EQ(core.readRegister(accreg::kCtrl) & accreg::kStatusDone, accreg::kStatusDone);
+    EXPECT_EQ(core.result("return"), 42u);
+    // Result readable through the register file too (port index 2).
+    EXPECT_EQ(core.readRegister(accreg::argOffset(2)), 42u);
+}
+
+TEST(Accelerator, StartWhileRunningThrows) {
+    const hls::Kernel k = apps::makeGaussKernel(64);
+    const hls::Program p = compileKernelFor(k);
+    AcceleratorCore core("G", p);
+    axi::StreamChannel in("in", 8, 8);
+    axi::StreamChannel out("out", 8, 8);
+    core.bindStream("in", in);
+    core.bindStream("out", out);
+    core.writeRegister(accreg::kCtrl, accreg::kCtrlStart);
+    core.tick();
+    EXPECT_THROW(core.writeRegister(accreg::kCtrl, accreg::kCtrlStart), SimulationError);
+}
+
+TEST(Accelerator, UnboundStreamThrows) {
+    const hls::Kernel k = apps::makeGaussKernel(4);
+    const hls::Program p = compileKernelFor(k);
+    AcceleratorCore core("G", p);
+    core.setAutoStart(true);
+    EXPECT_THROW(
+        {
+            for (int i = 0; i < 10; ++i) {
+                core.tick();
+            }
+        },
+        SimulationError);
+}
+
+TEST(Accelerator, BadRegisterAccessThrows) {
+    const hls::Kernel k = apps::makeAddKernel();
+    const hls::Program p = compileKernelFor(k);
+    AcceleratorCore core("ADD", p);
+    EXPECT_THROW((void)core.readRegister(0x3), SimulationError);
+    EXPECT_THROW(core.writeRegister(0x1000, 1), SimulationError);
+    // Writing a ScalarOut register is rejected.
+    EXPECT_THROW(core.writeRegister(accreg::argOffset(2), 1), SimulationError);
+}
+
+TEST(SystemSim, LoopbackPipelineEndToEnd) {
+    // 'soc -> GAUSS -> EDGE -> 'soc, driven through the generated-driver
+    // style API; validates the full DMA + accelerator + PS interplay.
+    constexpr std::int64_t n = 64;
+    hls::HlsEngine engine;
+    hls::Directives d;
+    const hls::HlsResult gauss = engine.synthesize(apps::makeGaussKernel(n), d);
+    const hls::HlsResult edge = engine.synthesize(apps::makeEdgeKernel(n), d);
+
+    BlockDesign design("loop", zedboard());
+    design.addHlsCore("GAUSS", gauss.resources,
+                      {CorePort{"in", hls::InterfaceProtocol::AxiStream, true, 8},
+                       CorePort{"out", hls::InterfaceProtocol::AxiStream, false, 8}},
+                      false);
+    design.addHlsCore("EDGE", edge.resources,
+                      {CorePort{"in", hls::InterfaceProtocol::AxiStream, true, 8},
+                       CorePort{"out", hls::InterfaceProtocol::AxiStream, false, 8}},
+                      false);
+    design.connectStream(StreamEndpoint{StreamEndpoint::kSoc, ""},
+                         StreamEndpoint{"GAUSS", "in"}, 8);
+    design.connectStream(StreamEndpoint{"GAUSS", "out"}, StreamEndpoint{"EDGE", "in"}, 8);
+    design.connectStream(StreamEndpoint{"EDGE", "out"},
+                         StreamEndpoint{StreamEndpoint::kSoc, ""}, 8);
+    design.finalise();
+
+    std::map<std::string, hls::Program> programs{{"GAUSS", gauss.program},
+                                                 {"EDGE", edge.program}};
+    SystemSimulator sim(design, programs);
+
+    std::vector<std::uint32_t> input(n);
+    std::vector<std::uint8_t> input8(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+        input[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>((i * 13) % 256);
+        input8[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>((i * 13) % 256);
+    }
+    sim.ps().task("stage", 10, [input](Memory& mem) { mem.writeBlock(0x100, input); });
+    sim.psArmReadDma("axi_dma_0", 0, 0x800, n);
+    sim.psWriteDma("axi_dma_0", 0, 0x100, n);
+    sim.psWaitReadDma("axi_dma_0");
+    const std::uint64_t cycles = sim.run();
+    EXPECT_GT(cycles, static_cast<std::uint64_t>(n));
+
+    const auto expected = apps::edgeRef(apps::gaussRef(input8));
+    const auto actual = sim.memory().readBlock(0x800, static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(actual[i], expected[i]) << "at " << i;
+    }
+    EXPECT_FALSE(sim.report().empty());
+    EXPECT_EQ(sim.channelCount(), 3u);
+    EXPECT_EQ(sim.channel(1).beatsPushed(), static_cast<std::uint64_t>(n));
+}
+
+TEST(SystemSim, MissingProgramRejected) {
+    BlockDesign design("nop", zedboard());
+    design.addHlsCore("X", {}, {}, true);
+    design.connectLite("X");
+    design.finalise();
+    std::map<std::string, hls::Program> programs;  // empty
+    EXPECT_THROW(SystemSimulator(design, programs), SimulationError);
+}
+
+TEST(SystemSim, RequiresFinalisedDesign) {
+    BlockDesign design("raw", zedboard());
+    std::map<std::string, hls::Program> programs;
+    EXPECT_THROW(SystemSimulator(design, programs), SimulationError);
+}
+
+TEST(Interconnect, ChargesHopLatency) {
+    axi::LiteBus bus;
+    GpInterconnect gp(bus);
+    class Dummy : public axi::LiteSlave {
+    public:
+        std::uint32_t readRegister(std::uint64_t) override { return 0; }
+        void writeRegister(std::uint64_t, std::uint32_t) override {}
+    } slave;
+    bus.mapSlave("d", axi::AddressRange{0, 0x10}, slave);
+    (void)gp.read(0);
+    gp.write(4, 1);
+    EXPECT_EQ(gp.consumeAccessCycles(),
+              2 * (axi::LiteBus::kAccessLatency + GpInterconnect::kHopLatency));
+    EXPECT_EQ(gp.consumeAccessCycles(), 0u);
+}
+
+} // namespace
+} // namespace socgen::soc

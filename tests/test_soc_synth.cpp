@@ -1,0 +1,128 @@
+#include "socgen/common/error.hpp"
+#include "socgen/soc/synthesis.hpp"
+#include "socgen/soc/tcl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socgen::soc {
+namespace {
+
+BlockDesign smallDesign(const std::string& name, hls::ResourceEstimate coreRes = {2000,
+                                                                                  3000, 2,
+                                                                                  1}) {
+    BlockDesign design(name, zedboard());
+    design.addHlsCore("core0", coreRes,
+                      {CorePort{"in", hls::InterfaceProtocol::AxiStream, true, 32},
+                       CorePort{"out", hls::InterfaceProtocol::AxiStream, false, 32}},
+                      false);
+    design.connectStream(StreamEndpoint{StreamEndpoint::kSoc, ""},
+                         StreamEndpoint{"core0", "in"}, 32);
+    design.connectStream(StreamEndpoint{"core0", "out"},
+                         StreamEndpoint{StreamEndpoint::kSoc, ""}, 32);
+    design.finalise();
+    return design;
+}
+
+TEST(Synthesis, AggregatesPerInstance) {
+    const BlockDesign design = smallDesign("agg");
+    const SynthesisResult result = SynthesisModel{}.run(design);
+    EXPECT_EQ(result.designName, "agg");
+    EXPECT_EQ(result.perInstance.size(), design.instances().size());
+    hls::ResourceEstimate manual;
+    for (const auto& row : result.perInstance) {
+        manual += row.resources;
+    }
+    EXPECT_EQ(manual, result.total);
+    EXPECT_GT(result.total.lut, 2000);  // core + infrastructure
+    EXPECT_GT(result.utilisationPercent, 0.0);
+    EXPECT_TRUE(result.timingMet);
+}
+
+TEST(Synthesis, RequiresFinalisedDesign) {
+    BlockDesign design("raw", zedboard());
+    EXPECT_THROW((void)SynthesisModel{}.run(design), SynthesisError);
+}
+
+TEST(Synthesis, OverCapacityThrows) {
+    const BlockDesign design = smallDesign("huge", {80000, 10000, 10, 10});
+    try {
+        (void)SynthesisModel{}.run(design);
+        FAIL() << "expected capacity failure";
+    } catch (const SynthesisError& e) {
+        EXPECT_NE(std::string(e.what()).find("does not fit"), std::string::npos);
+    }
+}
+
+TEST(Synthesis, DeterministicForSameDesign) {
+    const BlockDesign design = smallDesign("det");
+    const SynthesisResult a = SynthesisModel{}.run(design);
+    const SynthesisResult b = SynthesisModel{}.run(design);
+    EXPECT_DOUBLE_EQ(a.achievedClockMhz, b.achievedClockMhz);
+    EXPECT_DOUBLE_EQ(a.totalSeconds(), b.totalSeconds());
+}
+
+TEST(Synthesis, ClockDegradesWithUtilisation) {
+    const SynthesisResult small = SynthesisModel{}.run(smallDesign("s", {500, 500, 0, 0}));
+    const SynthesisResult big =
+        SynthesisModel{}.run(smallDesign("s", {40000, 40000, 100, 100}));
+    EXPECT_GT(small.achievedClockMhz, big.achievedClockMhz);
+    EXPECT_GT(big.implSeconds, small.implSeconds);
+}
+
+TEST(Synthesis, ToolTimeScalesWithSize) {
+    const SynthesisResult small = SynthesisModel{}.run(smallDesign("a", {500, 500, 0, 0}));
+    const SynthesisResult big = SynthesisModel{}.run(smallDesign("a", {30000, 30000, 0, 0}));
+    EXPECT_GT(big.totalSeconds(), small.totalSeconds());
+    EXPECT_GT(small.synthSeconds, 0.0);
+    EXPECT_GT(small.bitgenSeconds, 0.0);
+}
+
+TEST(Synthesis, ReportContainsTable) {
+    const SynthesisResult r = SynthesisModel{}.run(smallDesign("rep"));
+    const std::string report = r.utilisationReport();
+    EXPECT_NE(report.find("Instance"), std::string::npos);
+    EXPECT_NE(report.find("core0"), std::string::npos);
+    EXPECT_NE(report.find("TOTAL"), std::string::npos);
+    EXPECT_NE(report.find("MHz"), std::string::npos);
+}
+
+TEST(Tcl, ProjectScriptStructure) {
+    const BlockDesign design = smallDesign("tclproj");
+    const std::string tcl = TclEmitter{}.emitProject(design);
+    EXPECT_NE(tcl.find("create_project tclproj"), std::string::npos);
+    EXPECT_NE(tcl.find("-part xc7z020clg484-1"), std::string::npos);
+    EXPECT_NE(tcl.find("create_bd_design"), std::string::npos);
+    EXPECT_NE(tcl.find("launch_runs synth_1"), std::string::npos);
+    EXPECT_NE(tcl.find("write_bitstream"), std::string::npos);
+}
+
+TEST(Tcl, OneCellPerInstance) {
+    const BlockDesign design = smallDesign("cells");
+    const std::string tcl = TclEmitter{}.emitBlockDesign(design);
+    std::size_t count = 0;
+    std::size_t pos = 0;
+    while ((pos = tcl.find("create_bd_cell", pos)) != std::string::npos) {
+        ++count;
+        pos += 1;
+    }
+    EXPECT_EQ(count, design.instances().size());
+}
+
+TEST(Tcl, StreamAndLiteConnections) {
+    const BlockDesign design = smallDesign("conn");
+    const std::string tcl = TclEmitter{}.emitBlockDesign(design);
+    EXPECT_NE(tcl.find("connect_bd_intf_net"), std::string::npos);
+    EXPECT_NE(tcl.find("M_AXIS_MM2S"), std::string::npos);
+    EXPECT_NE(tcl.find("S_AXIS_S2MM"), std::string::npos);
+    EXPECT_NE(tcl.find("assign_bd_address"), std::string::npos);
+    EXPECT_NE(tcl.find("S_AXI_HP0"), std::string::npos);
+    EXPECT_NE(tcl.find("validate_bd_design"), std::string::npos);
+}
+
+TEST(Tcl, RequiresFinalisedDesign) {
+    BlockDesign design("raw", zedboard());
+    EXPECT_THROW((void)TclEmitter{}.emitBlockDesign(design), SynthesisError);
+}
+
+} // namespace
+} // namespace socgen::soc

@@ -1,0 +1,134 @@
+#include "socgen/apps/kernels.hpp"
+#include "socgen/common/error.hpp"
+#include "socgen/hls/engine.hpp"
+#include "socgen/soc/synthesis.hpp"
+#include "socgen/sw/boot.hpp"
+#include "socgen/sw/devicetree.hpp"
+#include "socgen/sw/drivers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace socgen::sw {
+namespace {
+
+struct Fixture {
+    soc::BlockDesign design{"fixture", soc::zedboard()};
+    std::map<std::string, hls::Program> programs;
+
+    Fixture() {
+        hls::HlsEngine engine;
+        const hls::HlsResult add = engine.synthesize(apps::makeAddKernel(), {});
+        const hls::HlsResult gauss = engine.synthesize(apps::makeGaussKernel(64), {});
+        programs["ADD"] = add.program;
+        programs["GAUSS"] = gauss.program;
+        design.addHlsCore("ADD", add.resources, {}, true);
+        design.addHlsCore(
+            "GAUSS", gauss.resources,
+            {soc::CorePort{"in", hls::InterfaceProtocol::AxiStream, true, 8},
+             soc::CorePort{"out", hls::InterfaceProtocol::AxiStream, false, 8}},
+            false);
+        design.connectLite("ADD");
+        design.connectStream(soc::StreamEndpoint{soc::StreamEndpoint::kSoc, ""},
+                             soc::StreamEndpoint{"GAUSS", "in"}, 8);
+        design.connectStream(soc::StreamEndpoint{"GAUSS", "out"},
+                             soc::StreamEndpoint{soc::StreamEndpoint::kSoc, ""}, 8);
+        design.finalise();
+    }
+};
+
+TEST(DeviceTree, DescribesAllLiteSlaves) {
+    Fixture f;
+    const std::string dts = DeviceTreeGenerator{}.generate(f.design);
+    EXPECT_NE(dts.find("/dts-v1/"), std::string::npos);
+    EXPECT_NE(dts.find("add: accelerator@43c00000"), std::string::npos);
+    EXPECT_NE(dts.find("axi_dma_0: dma@40400000"), std::string::npos);
+    EXPECT_NE(dts.find("socgen,hls-core-1.0"), std::string::npos);
+    EXPECT_NE(dts.find("xlnx,axi-dma-1.00.a"), std::string::npos);
+    EXPECT_NE(dts.find("#dma-cells"), std::string::npos);
+}
+
+TEST(DeviceTree, DevNodeNaming) {
+    EXPECT_EQ(DeviceTreeGenerator::devNodeFor("axi_dma_0"), "/dev/axi_dma_0");
+    EXPECT_EQ(DeviceTreeGenerator::devNodeFor("My Core"), "/dev/my_core");
+}
+
+TEST(DeviceTree, RequiresFinalisedDesign) {
+    soc::BlockDesign raw("raw", soc::zedboard());
+    EXPECT_THROW((void)DeviceTreeGenerator{}.generate(raw), Error);
+}
+
+TEST(Drivers, HeaderDeclaresApis) {
+    Fixture f;
+    const auto files = DriverGenerator{}.generate(f.design, f.programs);
+    ASSERT_EQ(files.size(), 2u);
+    const std::string& header = files[0].content;
+    EXPECT_EQ(files[0].path, "fixture_api.h");
+    // readDMA/writeDMA pair for the DMA core (paper Section V).
+    EXPECT_NE(header.find("int axi_dma_0_writeDMA(int route, const uint32_t* data, "
+                          "size_t words);"),
+              std::string::npos);
+    EXPECT_NE(header.find("int axi_dma_0_readDMA(int route, uint32_t* data, size_t "
+                          "words);"),
+              std::string::npos);
+    // AXI-Lite wrappers for the ADD core.
+    EXPECT_NE(header.find("void ADD_set_A(uint32_t value);"), std::string::npos);
+    EXPECT_NE(header.find("void ADD_set_B(uint32_t value);"), std::string::npos);
+    EXPECT_NE(header.find("uint32_t ADD_get_return(void);"), std::string::npos);
+    EXPECT_NE(header.find("void ADD_start(void);"), std::string::npos);
+    EXPECT_NE(header.find("void ADD_wait_done(void);"), std::string::npos);
+    // Include guard.
+    EXPECT_NE(header.find("#ifndef SOCGEN_fixture_API_H"), std::string::npos);
+}
+
+TEST(Drivers, SourceUsesDevNodesAndRegisterMap) {
+    Fixture f;
+    const auto files = DriverGenerator{}.generate(f.design, f.programs);
+    const std::string& source = files[1].content;
+    EXPECT_EQ(files[1].path, "fixture_api.c");
+    EXPECT_NE(source.find("open(\"/dev/axi_dma_0\""), std::string::npos);
+    EXPECT_NE(source.find("REG32(ADD_base, 0x10) = value"), std::string::npos);
+    EXPECT_NE(source.find("REG32(ADD_base, 0x00) = 0x1"), std::string::npos);
+    EXPECT_NE(source.find("while (!(REG32(ADD_base, 0x00) & 0x2))"), std::string::npos);
+}
+
+TEST(Drivers, RequireProgramsForCores) {
+    Fixture f;
+    std::map<std::string, hls::Program> empty;
+    EXPECT_THROW((void)DriverGenerator{}.generate(f.design, empty), Error);
+}
+
+TEST(Boot, ImageRoundTrip) {
+    Fixture f;
+    const soc::SynthesisResult synth = soc::SynthesisModel{}.run(f.design);
+    const soc::Bitstream bit = soc::generateBitstream(f.design, synth);
+    const std::string dts = DeviceTreeGenerator{}.generate(f.design);
+    const BootImage boot = makeBootImage(f.design, bit, dts);
+
+    ASSERT_GE(boot.partitions.size(), 5u);
+    EXPECT_NE(boot.find("fsbl.elf"), nullptr);
+    EXPECT_NE(boot.find("fixture.bit"), nullptr);
+    EXPECT_NE(boot.find("devicetree.dtb"), nullptr);
+    EXPECT_NE(boot.find("uImage"), nullptr);
+    EXPECT_EQ(boot.find("nonexistent"), nullptr);
+
+    const std::string image = boot.serialize();
+    const BootImage parsed = BootImage::parse(image);
+    ASSERT_EQ(parsed.partitions.size(), boot.partitions.size());
+    EXPECT_EQ(parsed.find("devicetree.dtb")->content, dts);
+    // The embedded bitstream survives and still parses.
+    EXPECT_NO_THROW(
+        (void)soc::Bitstream::parse(parsed.find("fixture.bit")->content));
+}
+
+TEST(Boot, CorruptImagesRejected) {
+    EXPECT_THROW((void)BootImage::parse("garbage"), Error);
+    Fixture f;
+    const soc::SynthesisResult synth = soc::SynthesisModel{}.run(f.design);
+    const soc::Bitstream bit = soc::generateBitstream(f.design, synth);
+    const std::string image =
+        makeBootImage(f.design, bit, "dts").serialize();
+    EXPECT_THROW((void)BootImage::parse(image.substr(0, image.size() - 20)), Error);
+}
+
+} // namespace
+} // namespace socgen::sw
