@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_irq_polling"
+  "../bench/bench_ablation_irq_polling.pdb"
+  "CMakeFiles/bench_ablation_irq_polling.dir/bench_ablation_irq_polling.cpp.o"
+  "CMakeFiles/bench_ablation_irq_polling.dir/bench_ablation_irq_polling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_irq_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_stream_vs_lite"
+  "../bench/bench_ablation_stream_vs_lite.pdb"
+  "CMakeFiles/bench_ablation_stream_vs_lite.dir/bench_ablation_stream_vs_lite.cpp.o"
+  "CMakeFiles/bench_ablation_stream_vs_lite.dir/bench_ablation_stream_vs_lite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stream_vs_lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

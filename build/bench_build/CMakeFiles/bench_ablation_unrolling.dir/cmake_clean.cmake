@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_unrolling"
+  "../bench/bench_ablation_unrolling.pdb"
+  "CMakeFiles/bench_ablation_unrolling.dir/bench_ablation_unrolling.cpp.o"
+  "CMakeFiles/bench_ablation_unrolling.dir/bench_ablation_unrolling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_unrolling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

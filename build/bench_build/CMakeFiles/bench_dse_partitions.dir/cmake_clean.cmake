@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dse_partitions"
+  "../bench/bench_dse_partitions.pdb"
+  "CMakeFiles/bench_dse_partitions.dir/bench_dse_partitions.cpp.o"
+  "CMakeFiles/bench_dse_partitions.dir/bench_dse_partitions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dse_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

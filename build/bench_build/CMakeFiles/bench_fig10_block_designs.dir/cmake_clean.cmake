@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_block_designs"
+  "../bench/bench_fig10_block_designs.pdb"
+  "CMakeFiles/bench_fig10_block_designs.dir/bench_fig10_block_designs.cpp.o"
+  "CMakeFiles/bench_fig10_block_designs.dir/bench_fig10_block_designs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_block_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

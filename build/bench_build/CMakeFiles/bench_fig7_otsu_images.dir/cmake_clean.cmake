@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_otsu_images"
+  "../bench/bench_fig7_otsu_images.pdb"
+  "CMakeFiles/bench_fig7_otsu_images.dir/bench_fig7_otsu_images.cpp.o"
+  "CMakeFiles/bench_fig7_otsu_images.dir/bench_fig7_otsu_images.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_otsu_images.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

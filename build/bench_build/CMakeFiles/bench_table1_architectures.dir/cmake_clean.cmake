@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_architectures"
+  "../bench/bench_table1_architectures.pdb"
+  "CMakeFiles/bench_table1_architectures.dir/bench_table1_architectures.cpp.o"
+  "CMakeFiles/bench_table1_architectures.dir/bench_table1_architectures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_vic_tcl_comparison"
+  "../bench/bench_vic_tcl_comparison.pdb"
+  "CMakeFiles/bench_vic_tcl_comparison.dir/bench_vic_tcl_comparison.cpp.o"
+  "CMakeFiles/bench_vic_tcl_comparison.dir/bench_vic_tcl_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vic_tcl_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_from_file.dir/dsl_from_file.cpp.o"
+  "CMakeFiles/dsl_from_file.dir/dsl_from_file.cpp.o.d"
+  "dsl_from_file"
+  "dsl_from_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_from_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

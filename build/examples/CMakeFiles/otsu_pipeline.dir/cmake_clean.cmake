@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otsu_pipeline.dir/otsu_pipeline.cpp.o"
+  "CMakeFiles/otsu_pipeline.dir/otsu_pipeline.cpp.o.d"
+  "otsu_pipeline"
+  "otsu_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otsu_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socgen_cli.dir/socgen_cli.cpp.o"
+  "CMakeFiles/socgen_cli.dir/socgen_cli.cpp.o.d"
+  "socgen_cli"
+  "socgen_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socgen_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

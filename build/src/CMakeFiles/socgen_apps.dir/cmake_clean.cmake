@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socgen_apps.dir/socgen/apps/image.cpp.o"
+  "CMakeFiles/socgen_apps.dir/socgen/apps/image.cpp.o.d"
+  "CMakeFiles/socgen_apps.dir/socgen/apps/kernels.cpp.o"
+  "CMakeFiles/socgen_apps.dir/socgen/apps/kernels.cpp.o.d"
+  "CMakeFiles/socgen_apps.dir/socgen/apps/otsu.cpp.o"
+  "CMakeFiles/socgen_apps.dir/socgen/apps/otsu.cpp.o.d"
+  "CMakeFiles/socgen_apps.dir/socgen/apps/otsu_project.cpp.o"
+  "CMakeFiles/socgen_apps.dir/socgen/apps/otsu_project.cpp.o.d"
+  "libsocgen_apps.a"
+  "libsocgen_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socgen_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/socgen/axi/lite.cpp" "src/CMakeFiles/socgen_axi.dir/socgen/axi/lite.cpp.o" "gcc" "src/CMakeFiles/socgen_axi.dir/socgen/axi/lite.cpp.o.d"
+  "/root/repo/src/socgen/axi/monitor.cpp" "src/CMakeFiles/socgen_axi.dir/socgen/axi/monitor.cpp.o" "gcc" "src/CMakeFiles/socgen_axi.dir/socgen/axi/monitor.cpp.o.d"
+  "/root/repo/src/socgen/axi/stream.cpp" "src/CMakeFiles/socgen_axi.dir/socgen/axi/stream.cpp.o" "gcc" "src/CMakeFiles/socgen_axi.dir/socgen/axi/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/socgen_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

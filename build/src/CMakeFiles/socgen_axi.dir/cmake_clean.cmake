@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socgen_axi.dir/socgen/axi/lite.cpp.o"
+  "CMakeFiles/socgen_axi.dir/socgen/axi/lite.cpp.o.d"
+  "CMakeFiles/socgen_axi.dir/socgen/axi/monitor.cpp.o"
+  "CMakeFiles/socgen_axi.dir/socgen/axi/monitor.cpp.o.d"
+  "CMakeFiles/socgen_axi.dir/socgen/axi/stream.cpp.o"
+  "CMakeFiles/socgen_axi.dir/socgen/axi/stream.cpp.o.d"
+  "libsocgen_axi.a"
+  "libsocgen_axi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socgen_axi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

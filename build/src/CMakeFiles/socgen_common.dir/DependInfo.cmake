@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/socgen/common/error.cpp" "src/CMakeFiles/socgen_common.dir/socgen/common/error.cpp.o" "gcc" "src/CMakeFiles/socgen_common.dir/socgen/common/error.cpp.o.d"
+  "/root/repo/src/socgen/common/log.cpp" "src/CMakeFiles/socgen_common.dir/socgen/common/log.cpp.o" "gcc" "src/CMakeFiles/socgen_common.dir/socgen/common/log.cpp.o.d"
+  "/root/repo/src/socgen/common/stopwatch.cpp" "src/CMakeFiles/socgen_common.dir/socgen/common/stopwatch.cpp.o" "gcc" "src/CMakeFiles/socgen_common.dir/socgen/common/stopwatch.cpp.o.d"
+  "/root/repo/src/socgen/common/strings.cpp" "src/CMakeFiles/socgen_common.dir/socgen/common/strings.cpp.o" "gcc" "src/CMakeFiles/socgen_common.dir/socgen/common/strings.cpp.o.d"
+  "/root/repo/src/socgen/common/textfile.cpp" "src/CMakeFiles/socgen_common.dir/socgen/common/textfile.cpp.o" "gcc" "src/CMakeFiles/socgen_common.dir/socgen/common/textfile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socgen_common.dir/socgen/common/error.cpp.o"
+  "CMakeFiles/socgen_common.dir/socgen/common/error.cpp.o.d"
+  "CMakeFiles/socgen_common.dir/socgen/common/log.cpp.o"
+  "CMakeFiles/socgen_common.dir/socgen/common/log.cpp.o.d"
+  "CMakeFiles/socgen_common.dir/socgen/common/stopwatch.cpp.o"
+  "CMakeFiles/socgen_common.dir/socgen/common/stopwatch.cpp.o.d"
+  "CMakeFiles/socgen_common.dir/socgen/common/strings.cpp.o"
+  "CMakeFiles/socgen_common.dir/socgen/common/strings.cpp.o.d"
+  "CMakeFiles/socgen_common.dir/socgen/common/textfile.cpp.o"
+  "CMakeFiles/socgen_common.dir/socgen/common/textfile.cpp.o.d"
+  "libsocgen_common.a"
+  "libsocgen_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socgen_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

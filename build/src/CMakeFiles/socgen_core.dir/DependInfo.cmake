@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/socgen/core/dsl.cpp" "src/CMakeFiles/socgen_core.dir/socgen/core/dsl.cpp.o" "gcc" "src/CMakeFiles/socgen_core.dir/socgen/core/dsl.cpp.o.d"
+  "/root/repo/src/socgen/core/flow.cpp" "src/CMakeFiles/socgen_core.dir/socgen/core/flow.cpp.o" "gcc" "src/CMakeFiles/socgen_core.dir/socgen/core/flow.cpp.o.d"
+  "/root/repo/src/socgen/core/htg.cpp" "src/CMakeFiles/socgen_core.dir/socgen/core/htg.cpp.o" "gcc" "src/CMakeFiles/socgen_core.dir/socgen/core/htg.cpp.o.d"
+  "/root/repo/src/socgen/core/lexer.cpp" "src/CMakeFiles/socgen_core.dir/socgen/core/lexer.cpp.o" "gcc" "src/CMakeFiles/socgen_core.dir/socgen/core/lexer.cpp.o.d"
+  "/root/repo/src/socgen/core/parser.cpp" "src/CMakeFiles/socgen_core.dir/socgen/core/parser.cpp.o" "gcc" "src/CMakeFiles/socgen_core.dir/socgen/core/parser.cpp.o.d"
+  "/root/repo/src/socgen/core/project.cpp" "src/CMakeFiles/socgen_core.dir/socgen/core/project.cpp.o" "gcc" "src/CMakeFiles/socgen_core.dir/socgen/core/project.cpp.o.d"
+  "/root/repo/src/socgen/core/report.cpp" "src/CMakeFiles/socgen_core.dir/socgen/core/report.cpp.o" "gcc" "src/CMakeFiles/socgen_core.dir/socgen/core/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/socgen_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_axi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

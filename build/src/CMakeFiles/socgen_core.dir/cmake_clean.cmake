@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socgen_core.dir/socgen/core/dsl.cpp.o"
+  "CMakeFiles/socgen_core.dir/socgen/core/dsl.cpp.o.d"
+  "CMakeFiles/socgen_core.dir/socgen/core/flow.cpp.o"
+  "CMakeFiles/socgen_core.dir/socgen/core/flow.cpp.o.d"
+  "CMakeFiles/socgen_core.dir/socgen/core/htg.cpp.o"
+  "CMakeFiles/socgen_core.dir/socgen/core/htg.cpp.o.d"
+  "CMakeFiles/socgen_core.dir/socgen/core/lexer.cpp.o"
+  "CMakeFiles/socgen_core.dir/socgen/core/lexer.cpp.o.d"
+  "CMakeFiles/socgen_core.dir/socgen/core/parser.cpp.o"
+  "CMakeFiles/socgen_core.dir/socgen/core/parser.cpp.o.d"
+  "CMakeFiles/socgen_core.dir/socgen/core/project.cpp.o"
+  "CMakeFiles/socgen_core.dir/socgen/core/project.cpp.o.d"
+  "CMakeFiles/socgen_core.dir/socgen/core/report.cpp.o"
+  "CMakeFiles/socgen_core.dir/socgen/core/report.cpp.o.d"
+  "libsocgen_core.a"
+  "libsocgen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socgen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socgen_dse.dir/socgen/dse/explorer.cpp.o"
+  "CMakeFiles/socgen_dse.dir/socgen/dse/explorer.cpp.o.d"
+  "libsocgen_dse.a"
+  "libsocgen_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socgen_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

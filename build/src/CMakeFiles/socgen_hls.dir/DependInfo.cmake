@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/socgen/hls/binding.cpp" "src/CMakeFiles/socgen_hls.dir/socgen/hls/binding.cpp.o" "gcc" "src/CMakeFiles/socgen_hls.dir/socgen/hls/binding.cpp.o.d"
+  "/root/repo/src/socgen/hls/bytecode.cpp" "src/CMakeFiles/socgen_hls.dir/socgen/hls/bytecode.cpp.o" "gcc" "src/CMakeFiles/socgen_hls.dir/socgen/hls/bytecode.cpp.o.d"
+  "/root/repo/src/socgen/hls/codegen.cpp" "src/CMakeFiles/socgen_hls.dir/socgen/hls/codegen.cpp.o" "gcc" "src/CMakeFiles/socgen_hls.dir/socgen/hls/codegen.cpp.o.d"
+  "/root/repo/src/socgen/hls/dfg.cpp" "src/CMakeFiles/socgen_hls.dir/socgen/hls/dfg.cpp.o" "gcc" "src/CMakeFiles/socgen_hls.dir/socgen/hls/dfg.cpp.o.d"
+  "/root/repo/src/socgen/hls/directives.cpp" "src/CMakeFiles/socgen_hls.dir/socgen/hls/directives.cpp.o" "gcc" "src/CMakeFiles/socgen_hls.dir/socgen/hls/directives.cpp.o.d"
+  "/root/repo/src/socgen/hls/engine.cpp" "src/CMakeFiles/socgen_hls.dir/socgen/hls/engine.cpp.o" "gcc" "src/CMakeFiles/socgen_hls.dir/socgen/hls/engine.cpp.o.d"
+  "/root/repo/src/socgen/hls/interpreter.cpp" "src/CMakeFiles/socgen_hls.dir/socgen/hls/interpreter.cpp.o" "gcc" "src/CMakeFiles/socgen_hls.dir/socgen/hls/interpreter.cpp.o.d"
+  "/root/repo/src/socgen/hls/ir.cpp" "src/CMakeFiles/socgen_hls.dir/socgen/hls/ir.cpp.o" "gcc" "src/CMakeFiles/socgen_hls.dir/socgen/hls/ir.cpp.o.d"
+  "/root/repo/src/socgen/hls/optimize.cpp" "src/CMakeFiles/socgen_hls.dir/socgen/hls/optimize.cpp.o" "gcc" "src/CMakeFiles/socgen_hls.dir/socgen/hls/optimize.cpp.o.d"
+  "/root/repo/src/socgen/hls/resources.cpp" "src/CMakeFiles/socgen_hls.dir/socgen/hls/resources.cpp.o" "gcc" "src/CMakeFiles/socgen_hls.dir/socgen/hls/resources.cpp.o.d"
+  "/root/repo/src/socgen/hls/schedule.cpp" "src/CMakeFiles/socgen_hls.dir/socgen/hls/schedule.cpp.o" "gcc" "src/CMakeFiles/socgen_hls.dir/socgen/hls/schedule.cpp.o.d"
+  "/root/repo/src/socgen/hls/unroll.cpp" "src/CMakeFiles/socgen_hls.dir/socgen/hls/unroll.cpp.o" "gcc" "src/CMakeFiles/socgen_hls.dir/socgen/hls/unroll.cpp.o.d"
+  "/root/repo/src/socgen/hls/verify.cpp" "src/CMakeFiles/socgen_hls.dir/socgen/hls/verify.cpp.o" "gcc" "src/CMakeFiles/socgen_hls.dir/socgen/hls/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/socgen_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socgen_hls.dir/socgen/hls/binding.cpp.o"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/binding.cpp.o.d"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/bytecode.cpp.o"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/bytecode.cpp.o.d"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/codegen.cpp.o"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/codegen.cpp.o.d"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/dfg.cpp.o"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/dfg.cpp.o.d"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/directives.cpp.o"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/directives.cpp.o.d"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/engine.cpp.o"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/engine.cpp.o.d"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/interpreter.cpp.o"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/interpreter.cpp.o.d"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/ir.cpp.o"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/ir.cpp.o.d"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/optimize.cpp.o"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/optimize.cpp.o.d"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/resources.cpp.o"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/resources.cpp.o.d"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/schedule.cpp.o"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/schedule.cpp.o.d"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/unroll.cpp.o"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/unroll.cpp.o.d"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/verify.cpp.o"
+  "CMakeFiles/socgen_hls.dir/socgen/hls/verify.cpp.o.d"
+  "libsocgen_hls.a"
+  "libsocgen_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socgen_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

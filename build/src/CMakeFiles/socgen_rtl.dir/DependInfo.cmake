@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/socgen/rtl/netlist.cpp" "src/CMakeFiles/socgen_rtl.dir/socgen/rtl/netlist.cpp.o" "gcc" "src/CMakeFiles/socgen_rtl.dir/socgen/rtl/netlist.cpp.o.d"
+  "/root/repo/src/socgen/rtl/netlist_sim.cpp" "src/CMakeFiles/socgen_rtl.dir/socgen/rtl/netlist_sim.cpp.o" "gcc" "src/CMakeFiles/socgen_rtl.dir/socgen/rtl/netlist_sim.cpp.o.d"
+  "/root/repo/src/socgen/rtl/primitives.cpp" "src/CMakeFiles/socgen_rtl.dir/socgen/rtl/primitives.cpp.o" "gcc" "src/CMakeFiles/socgen_rtl.dir/socgen/rtl/primitives.cpp.o.d"
+  "/root/repo/src/socgen/rtl/vcd.cpp" "src/CMakeFiles/socgen_rtl.dir/socgen/rtl/vcd.cpp.o" "gcc" "src/CMakeFiles/socgen_rtl.dir/socgen/rtl/vcd.cpp.o.d"
+  "/root/repo/src/socgen/rtl/verilog.cpp" "src/CMakeFiles/socgen_rtl.dir/socgen/rtl/verilog.cpp.o" "gcc" "src/CMakeFiles/socgen_rtl.dir/socgen/rtl/verilog.cpp.o.d"
+  "/root/repo/src/socgen/rtl/vhdl.cpp" "src/CMakeFiles/socgen_rtl.dir/socgen/rtl/vhdl.cpp.o" "gcc" "src/CMakeFiles/socgen_rtl.dir/socgen/rtl/vhdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/socgen_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socgen_rtl.dir/socgen/rtl/netlist.cpp.o"
+  "CMakeFiles/socgen_rtl.dir/socgen/rtl/netlist.cpp.o.d"
+  "CMakeFiles/socgen_rtl.dir/socgen/rtl/netlist_sim.cpp.o"
+  "CMakeFiles/socgen_rtl.dir/socgen/rtl/netlist_sim.cpp.o.d"
+  "CMakeFiles/socgen_rtl.dir/socgen/rtl/primitives.cpp.o"
+  "CMakeFiles/socgen_rtl.dir/socgen/rtl/primitives.cpp.o.d"
+  "CMakeFiles/socgen_rtl.dir/socgen/rtl/vcd.cpp.o"
+  "CMakeFiles/socgen_rtl.dir/socgen/rtl/vcd.cpp.o.d"
+  "CMakeFiles/socgen_rtl.dir/socgen/rtl/verilog.cpp.o"
+  "CMakeFiles/socgen_rtl.dir/socgen/rtl/verilog.cpp.o.d"
+  "CMakeFiles/socgen_rtl.dir/socgen/rtl/vhdl.cpp.o"
+  "CMakeFiles/socgen_rtl.dir/socgen/rtl/vhdl.cpp.o.d"
+  "libsocgen_rtl.a"
+  "libsocgen_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socgen_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

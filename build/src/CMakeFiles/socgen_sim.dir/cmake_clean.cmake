@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socgen_sim.dir/socgen/sim/engine.cpp.o"
+  "CMakeFiles/socgen_sim.dir/socgen/sim/engine.cpp.o.d"
+  "libsocgen_sim.a"
+  "libsocgen_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socgen_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

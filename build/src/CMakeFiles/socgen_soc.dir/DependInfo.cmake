@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/socgen/soc/accelerator.cpp" "src/CMakeFiles/socgen_soc.dir/socgen/soc/accelerator.cpp.o" "gcc" "src/CMakeFiles/socgen_soc.dir/socgen/soc/accelerator.cpp.o.d"
+  "/root/repo/src/socgen/soc/bitstream.cpp" "src/CMakeFiles/socgen_soc.dir/socgen/soc/bitstream.cpp.o" "gcc" "src/CMakeFiles/socgen_soc.dir/socgen/soc/bitstream.cpp.o.d"
+  "/root/repo/src/socgen/soc/block_design.cpp" "src/CMakeFiles/socgen_soc.dir/socgen/soc/block_design.cpp.o" "gcc" "src/CMakeFiles/socgen_soc.dir/socgen/soc/block_design.cpp.o.d"
+  "/root/repo/src/socgen/soc/device.cpp" "src/CMakeFiles/socgen_soc.dir/socgen/soc/device.cpp.o" "gcc" "src/CMakeFiles/socgen_soc.dir/socgen/soc/device.cpp.o.d"
+  "/root/repo/src/socgen/soc/dma.cpp" "src/CMakeFiles/socgen_soc.dir/socgen/soc/dma.cpp.o" "gcc" "src/CMakeFiles/socgen_soc.dir/socgen/soc/dma.cpp.o.d"
+  "/root/repo/src/socgen/soc/interconnect.cpp" "src/CMakeFiles/socgen_soc.dir/socgen/soc/interconnect.cpp.o" "gcc" "src/CMakeFiles/socgen_soc.dir/socgen/soc/interconnect.cpp.o.d"
+  "/root/repo/src/socgen/soc/memory.cpp" "src/CMakeFiles/socgen_soc.dir/socgen/soc/memory.cpp.o" "gcc" "src/CMakeFiles/socgen_soc.dir/socgen/soc/memory.cpp.o.d"
+  "/root/repo/src/socgen/soc/synthesis.cpp" "src/CMakeFiles/socgen_soc.dir/socgen/soc/synthesis.cpp.o" "gcc" "src/CMakeFiles/socgen_soc.dir/socgen/soc/synthesis.cpp.o.d"
+  "/root/repo/src/socgen/soc/system_sim.cpp" "src/CMakeFiles/socgen_soc.dir/socgen/soc/system_sim.cpp.o" "gcc" "src/CMakeFiles/socgen_soc.dir/socgen/soc/system_sim.cpp.o.d"
+  "/root/repo/src/socgen/soc/tcl.cpp" "src/CMakeFiles/socgen_soc.dir/socgen/soc/tcl.cpp.o" "gcc" "src/CMakeFiles/socgen_soc.dir/socgen/soc/tcl.cpp.o.d"
+  "/root/repo/src/socgen/soc/zynq_ps.cpp" "src/CMakeFiles/socgen_soc.dir/socgen/soc/zynq_ps.cpp.o" "gcc" "src/CMakeFiles/socgen_soc.dir/socgen/soc/zynq_ps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/socgen_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_axi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socgen_soc.dir/socgen/soc/accelerator.cpp.o"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/accelerator.cpp.o.d"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/bitstream.cpp.o"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/bitstream.cpp.o.d"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/block_design.cpp.o"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/block_design.cpp.o.d"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/device.cpp.o"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/device.cpp.o.d"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/dma.cpp.o"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/dma.cpp.o.d"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/interconnect.cpp.o"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/interconnect.cpp.o.d"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/memory.cpp.o"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/memory.cpp.o.d"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/synthesis.cpp.o"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/synthesis.cpp.o.d"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/system_sim.cpp.o"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/system_sim.cpp.o.d"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/tcl.cpp.o"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/tcl.cpp.o.d"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/zynq_ps.cpp.o"
+  "CMakeFiles/socgen_soc.dir/socgen/soc/zynq_ps.cpp.o.d"
+  "libsocgen_soc.a"
+  "libsocgen_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socgen_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socgen_sw.dir/socgen/sw/boot.cpp.o"
+  "CMakeFiles/socgen_sw.dir/socgen/sw/boot.cpp.o.d"
+  "CMakeFiles/socgen_sw.dir/socgen/sw/devicetree.cpp.o"
+  "CMakeFiles/socgen_sw.dir/socgen/sw/devicetree.cpp.o.d"
+  "CMakeFiles/socgen_sw.dir/socgen/sw/drivers.cpp.o"
+  "CMakeFiles/socgen_sw.dir/socgen/sw/drivers.cpp.o.d"
+  "libsocgen_sw.a"
+  "libsocgen_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socgen_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsocgen_sw.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_image.dir/test_apps_image.cpp.o"
+  "CMakeFiles/test_apps_image.dir/test_apps_image.cpp.o.d"
+  "test_apps_image"
+  "test_apps_image.pdb"
+  "test_apps_image[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_otsu.dir/test_apps_otsu.cpp.o"
+  "CMakeFiles/test_apps_otsu.dir/test_apps_otsu.cpp.o.d"
+  "test_apps_otsu"
+  "test_apps_otsu.pdb"
+  "test_apps_otsu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_otsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_dsl.dir/test_core_dsl.cpp.o"
+  "CMakeFiles/test_core_dsl.dir/test_core_dsl.cpp.o.d"
+  "test_core_dsl"
+  "test_core_dsl.pdb"
+  "test_core_dsl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_htg.dir/test_core_htg.cpp.o"
+  "CMakeFiles/test_core_htg.dir/test_core_htg.cpp.o.d"
+  "test_core_htg"
+  "test_core_htg.pdb"
+  "test_core_htg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_htg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

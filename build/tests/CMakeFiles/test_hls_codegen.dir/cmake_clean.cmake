@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hls_codegen.dir/test_hls_codegen.cpp.o"
+  "CMakeFiles/test_hls_codegen.dir/test_hls_codegen.cpp.o.d"
+  "test_hls_codegen"
+  "test_hls_codegen.pdb"
+  "test_hls_codegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hls_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hls_ir.dir/test_hls_ir.cpp.o"
+  "CMakeFiles/test_hls_ir.dir/test_hls_ir.cpp.o.d"
+  "test_hls_ir"
+  "test_hls_ir.pdb"
+  "test_hls_ir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hls_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

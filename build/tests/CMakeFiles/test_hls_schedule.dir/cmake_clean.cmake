@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hls_schedule.dir/test_hls_schedule.cpp.o"
+  "CMakeFiles/test_hls_schedule.dir/test_hls_schedule.cpp.o.d"
+  "test_hls_schedule"
+  "test_hls_schedule.pdb"
+  "test_hls_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hls_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

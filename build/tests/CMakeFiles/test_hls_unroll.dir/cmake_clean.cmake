@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hls_unroll.dir/test_hls_unroll.cpp.o"
+  "CMakeFiles/test_hls_unroll.dir/test_hls_unroll.cpp.o.d"
+  "test_hls_unroll"
+  "test_hls_unroll.pdb"
+  "test_hls_unroll[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hls_unroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

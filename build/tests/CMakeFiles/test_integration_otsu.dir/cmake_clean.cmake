@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_otsu.dir/test_integration_otsu.cpp.o"
+  "CMakeFiles/test_integration_otsu.dir/test_integration_otsu.cpp.o.d"
+  "test_integration_otsu"
+  "test_integration_otsu.pdb"
+  "test_integration_otsu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_otsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl_netlist.dir/test_rtl_netlist.cpp.o"
+  "CMakeFiles/test_rtl_netlist.dir/test_rtl_netlist.cpp.o.d"
+  "test_rtl_netlist"
+  "test_rtl_netlist.pdb"
+  "test_rtl_netlist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl_verilog.dir/test_rtl_verilog.cpp.o"
+  "CMakeFiles/test_rtl_verilog.dir/test_rtl_verilog.cpp.o.d"
+  "test_rtl_verilog"
+  "test_rtl_verilog.pdb"
+  "test_rtl_verilog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl_verilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl_vhdl.dir/test_rtl_vhdl.cpp.o"
+  "CMakeFiles/test_rtl_vhdl.dir/test_rtl_vhdl.cpp.o.d"
+  "test_rtl_vhdl"
+  "test_rtl_vhdl.pdb"
+  "test_rtl_vhdl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl_vhdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

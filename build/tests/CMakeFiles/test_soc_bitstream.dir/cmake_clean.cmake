@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soc_bitstream.dir/test_soc_bitstream.cpp.o"
+  "CMakeFiles/test_soc_bitstream.dir/test_soc_bitstream.cpp.o.d"
+  "test_soc_bitstream"
+  "test_soc_bitstream.pdb"
+  "test_soc_bitstream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soc_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

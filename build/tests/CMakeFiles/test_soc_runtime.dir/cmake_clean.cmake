@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soc_runtime.dir/test_soc_runtime.cpp.o"
+  "CMakeFiles/test_soc_runtime.dir/test_soc_runtime.cpp.o.d"
+  "test_soc_runtime"
+  "test_soc_runtime.pdb"
+  "test_soc_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

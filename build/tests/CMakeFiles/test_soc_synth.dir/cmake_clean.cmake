@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soc_synth.dir/test_soc_synth.cpp.o"
+  "CMakeFiles/test_soc_synth.dir/test_soc_synth.cpp.o.d"
+  "test_soc_synth"
+  "test_soc_synth.pdb"
+  "test_soc_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soc_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_extras.dir/test_system_extras.cpp.o"
+  "CMakeFiles/test_system_extras.dir/test_system_extras.cpp.o.d"
+  "test_system_extras"
+  "test_system_extras.pdb"
+  "test_system_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
