@@ -153,7 +153,8 @@ bench_build/CMakeFiles/bench_ablation_unrolling.dir/bench_ablation_unrolling.cpp
  /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/stdexcept \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/socgen/common/log.hpp \
  /root/repo/src/socgen/common/stopwatch.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
@@ -240,7 +241,9 @@ bench_build/CMakeFiles/bench_ablation_unrolling.dir/bench_ablation_unrolling.cpp
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/socgen/core/parser.hpp \
  /root/repo/src/socgen/core/lexer.hpp \
  /root/repo/src/socgen/core/project.hpp \
@@ -248,7 +251,7 @@ bench_build/CMakeFiles/bench_ablation_unrolling.dir/bench_ablation_unrolling.cpp
  /root/repo/src/socgen/axi/monitor.hpp \
  /root/repo/src/socgen/axi/stream.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/socgen/sim/engine.hpp \
+ /root/repo/src/socgen/sim/engine.hpp /root/repo/src/socgen/sim/fault.hpp \
  /root/repo/src/socgen/soc/accelerator.hpp \
  /root/repo/src/socgen/axi/lite.hpp /root/repo/src/socgen/soc/irq.hpp \
  /root/repo/src/socgen/soc/dma.hpp /root/repo/src/socgen/soc/memory.hpp \

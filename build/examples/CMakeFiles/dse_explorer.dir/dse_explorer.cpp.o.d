@@ -234,12 +234,17 @@ examples/CMakeFiles/dse_explorer.dir/dse_explorer.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/socgen/soc/system_sim.hpp \
  /root/repo/src/socgen/axi/monitor.hpp \
  /root/repo/src/socgen/axi/stream.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/socgen/sim/engine.hpp \
+ /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/socgen/sim/fault.hpp \
  /root/repo/src/socgen/soc/accelerator.hpp \
  /root/repo/src/socgen/axi/lite.hpp \
  /root/repo/src/socgen/hls/interpreter.hpp \
@@ -248,7 +253,6 @@ examples/CMakeFiles/dse_explorer.dir/dse_explorer.cpp.o: \
  /root/repo/src/socgen/soc/zynq_ps.hpp \
  /root/repo/src/socgen/soc/interconnect.hpp \
  /root/repo/src/socgen/dse/explorer.hpp /root/repo/src/socgen/socgen.hpp \
- /root/repo/src/socgen/common/error.hpp \
  /root/repo/src/socgen/common/log.hpp \
  /root/repo/src/socgen/common/strings.hpp \
  /root/repo/src/socgen/common/textfile.hpp \

@@ -140,10 +140,11 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/socgen/socgen.hpp /root/repo/src/socgen/common/error.hpp \
- /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/stdexcept \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/socgen/common/log.hpp \
  /root/repo/src/socgen/common/stopwatch.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
@@ -190,8 +191,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/socgen/hls/engine.hpp \
  /root/repo/src/socgen/hls/binding.hpp \
  /root/repo/src/socgen/hls/schedule.hpp /root/repo/src/socgen/hls/dfg.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/socgen/hls/bytecode.hpp \
+ /usr/include/c++/12/span /root/repo/src/socgen/hls/bytecode.hpp \
  /root/repo/src/socgen/hls/resources.hpp \
  /root/repo/src/socgen/rtl/netlist.hpp \
  /root/repo/src/socgen/hls/interpreter.hpp \
@@ -240,7 +240,9 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/socgen/core/parser.hpp \
  /root/repo/src/socgen/core/lexer.hpp \
  /root/repo/src/socgen/core/project.hpp \
@@ -248,7 +250,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/socgen/axi/monitor.hpp \
  /root/repo/src/socgen/axi/stream.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/socgen/sim/engine.hpp \
+ /root/repo/src/socgen/sim/engine.hpp /root/repo/src/socgen/sim/fault.hpp \
  /root/repo/src/socgen/soc/accelerator.hpp \
  /root/repo/src/socgen/axi/lite.hpp /root/repo/src/socgen/soc/irq.hpp \
  /root/repo/src/socgen/soc/dma.hpp /root/repo/src/socgen/soc/memory.hpp \

@@ -232,8 +232,11 @@ src/CMakeFiles/socgen_core.dir/socgen/core/flow.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/socgen/common/error.hpp \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
+ /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/socgen/common/log.hpp \
  /root/repo/src/socgen/common/strings.hpp \
  /root/repo/src/socgen/common/textfile.hpp \

@@ -233,7 +233,9 @@ src/CMakeFiles/socgen_core.dir/socgen/core/project.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/socgen/core/parser.hpp \
  /root/repo/src/socgen/core/lexer.hpp \
  /root/repo/src/socgen/common/strings.hpp \

@@ -139,7 +139,9 @@ src/CMakeFiles/socgen_hls.dir/socgen/hls/unroll.cpp.o: \
  /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/stdexcept \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/optional
+ /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/optional

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/socgen/sim/engine.cpp" "src/CMakeFiles/socgen_sim.dir/socgen/sim/engine.cpp.o" "gcc" "src/CMakeFiles/socgen_sim.dir/socgen/sim/engine.cpp.o.d"
+  "/root/repo/src/socgen/sim/fault.cpp" "src/CMakeFiles/socgen_sim.dir/socgen/sim/fault.cpp.o" "gcc" "src/CMakeFiles/socgen_sim.dir/socgen/sim/fault.cpp.o.d"
   )
 
 # Targets to which this target links.

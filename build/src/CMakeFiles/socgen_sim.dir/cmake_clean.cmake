@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/socgen_sim.dir/socgen/sim/engine.cpp.o"
   "CMakeFiles/socgen_sim.dir/socgen/sim/engine.cpp.o.d"
+  "CMakeFiles/socgen_sim.dir/socgen/sim/fault.cpp.o"
+  "CMakeFiles/socgen_sim.dir/socgen/sim/fault.cpp.o.d"
   "libsocgen_sim.a"
   "libsocgen_sim.pdb"
 )

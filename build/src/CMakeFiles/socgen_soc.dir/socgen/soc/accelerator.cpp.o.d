@@ -146,9 +146,10 @@ src/CMakeFiles/socgen_soc.dir/socgen/soc/accelerator.cpp.o: \
  /root/repo/src/socgen/hls/schedule.hpp /root/repo/src/socgen/hls/dfg.hpp \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/socgen/hls/directives.hpp \
- /root/repo/src/socgen/sim/engine.hpp /root/repo/src/socgen/soc/irq.hpp \
+ /root/repo/src/socgen/sim/engine.hpp \
  /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/stdexcept \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/socgen/soc/irq.hpp \
  /root/repo/src/socgen/common/strings.hpp

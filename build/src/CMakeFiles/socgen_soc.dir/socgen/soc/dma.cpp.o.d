@@ -141,11 +141,12 @@ src/CMakeFiles/socgen_soc.dir/socgen/soc/dma.cpp.o: \
  /usr/include/c++/12/bits/basic_string.tcc \
  /root/repo/src/socgen/axi/stream.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/socgen/sim/engine.hpp /root/repo/src/socgen/soc/irq.hpp \
- /root/repo/src/socgen/soc/memory.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/socgen/common/error.hpp \
+ /root/repo/src/socgen/sim/engine.hpp \
+ /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/cstddef \
  /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/socgen/soc/irq.hpp \
+ /root/repo/src/socgen/soc/memory.hpp /usr/include/c++/12/span \
  /root/repo/src/socgen/common/strings.hpp

@@ -149,6 +149,12 @@ src/CMakeFiles/socgen_soc.dir/socgen/soc/system_sim.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/socgen/sim/engine.hpp \
+ /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/stdexcept \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/socgen/sim/fault.hpp \
  /root/repo/src/socgen/soc/accelerator.hpp \
  /root/repo/src/socgen/axi/lite.hpp \
  /root/repo/src/socgen/hls/interpreter.hpp \
@@ -157,9 +163,6 @@ src/CMakeFiles/socgen_soc.dir/socgen/soc/system_sim.cpp.o: \
  /root/repo/src/socgen/hls/resources.hpp \
  /root/repo/src/socgen/rtl/netlist.hpp \
  /root/repo/src/socgen/soc/device.hpp /usr/include/c++/12/optional \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/socgen/soc/dma.hpp /root/repo/src/socgen/soc/memory.hpp \
  /root/repo/src/socgen/soc/zynq_ps.hpp \
  /root/repo/src/socgen/soc/interconnect.hpp /usr/include/c++/12/memory \
@@ -187,8 +190,7 @@ src/CMakeFiles/socgen_soc.dir/socgen/soc/system_sim.cpp.o: \
  /usr/include/c++/12/bits/locale_classes.tcc \
  /usr/include/c++/12/system_error \
  /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h \
- /usr/include/c++/12/stdexcept /usr/include/c++/12/streambuf \
- /usr/include/c++/12/bits/streambuf.tcc \
+ /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
  /usr/include/c++/12/bits/basic_ios.h \
  /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \
  /usr/include/wctype.h /usr/include/x86_64-linux-gnu/bits/wctype-wchar.h \
@@ -232,7 +234,6 @@ src/CMakeFiles/socgen_soc.dir/socgen/soc/system_sim.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/socgen/common/error.hpp \
  /root/repo/src/socgen/common/strings.hpp /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc

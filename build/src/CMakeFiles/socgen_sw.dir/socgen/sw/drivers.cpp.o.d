@@ -151,6 +151,7 @@ src/CMakeFiles/socgen_sw.dir/socgen/sw/drivers.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/stdexcept \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/socgen/common/strings.hpp \
  /root/repo/src/socgen/sw/devicetree.hpp /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/ios \

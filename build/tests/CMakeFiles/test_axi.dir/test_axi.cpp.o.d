@@ -141,12 +141,14 @@ tests/CMakeFiles/test_axi.dir/test_axi.cpp.o: \
  /root/repo/src/socgen/axi/monitor.hpp \
  /root/repo/src/socgen/axi/stream.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/stdexcept \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/limits /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -285,7 +287,6 @@ tests/CMakeFiles/test_axi.dir/test_axi.cpp.o: \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \

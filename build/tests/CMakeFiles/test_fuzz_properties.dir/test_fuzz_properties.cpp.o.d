@@ -139,16 +139,18 @@ tests/CMakeFiles/test_fuzz_properties.dir/test_fuzz_properties.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/stdexcept \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/socgen/hls/engine.hpp \
  /root/repo/src/socgen/hls/binding.hpp \
  /root/repo/src/socgen/hls/schedule.hpp /root/repo/src/socgen/hls/dfg.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/socgen/hls/directives.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/span /root/repo/src/socgen/hls/directives.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/socgen/hls/bytecode.hpp \
  /root/repo/src/socgen/hls/resources.hpp \
@@ -242,7 +244,9 @@ tests/CMakeFiles/test_fuzz_properties.dir/test_fuzz_properties.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/socgen/core/parser.hpp \
  /root/repo/src/socgen/core/lexer.hpp \
  /root/repo/src/socgen/core/project.hpp \
@@ -250,7 +254,7 @@ tests/CMakeFiles/test_fuzz_properties.dir/test_fuzz_properties.cpp.o: \
  /root/repo/src/socgen/axi/monitor.hpp \
  /root/repo/src/socgen/axi/stream.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/socgen/sim/engine.hpp \
+ /root/repo/src/socgen/sim/engine.hpp /root/repo/src/socgen/sim/fault.hpp \
  /root/repo/src/socgen/soc/accelerator.hpp \
  /root/repo/src/socgen/axi/lite.hpp /root/repo/src/socgen/soc/irq.hpp \
  /root/repo/src/socgen/soc/dma.hpp /root/repo/src/socgen/soc/memory.hpp \
@@ -312,8 +316,6 @@ tests/CMakeFiles/test_fuzz_properties.dir/test_fuzz_properties.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/idtype_t.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/float.h \
  /usr/include/c++/12/iomanip /usr/include/c++/12/bits/quoted_string.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
  /root/miniconda/include/gtest/gtest-message.h \
  /root/miniconda/include/gtest/internal/gtest-filepath.h \
  /root/miniconda/include/gtest/internal/gtest-string.h \
@@ -325,7 +327,6 @@ tests/CMakeFiles/test_fuzz_properties.dir/test_fuzz_properties.cpp.o: \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \

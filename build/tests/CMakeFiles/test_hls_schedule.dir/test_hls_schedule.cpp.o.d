@@ -142,15 +142,16 @@ tests/CMakeFiles/test_hls_schedule.dir/test_hls_schedule.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/stdexcept \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/socgen/hls/binding.hpp \
  /root/repo/src/socgen/hls/schedule.hpp /root/repo/src/socgen/hls/dfg.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/span /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/limits /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -289,7 +290,6 @@ tests/CMakeFiles/test_hls_schedule.dir/test_hls_schedule.cpp.o: \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \

@@ -143,15 +143,16 @@ tests/CMakeFiles/test_hls_vm.dir/test_hls_vm.cpp.o: \
  /root/repo/src/socgen/hls/directives.hpp /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/stdexcept \
- /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/socgen/hls/engine.hpp \
  /root/repo/src/socgen/hls/binding.hpp \
  /root/repo/src/socgen/hls/schedule.hpp /root/repo/src/socgen/hls/dfg.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/socgen/hls/bytecode.hpp \
+ /usr/include/c++/12/span /root/repo/src/socgen/hls/bytecode.hpp \
  /root/repo/src/socgen/hls/resources.hpp \
  /root/repo/src/socgen/rtl/netlist.hpp \
  /root/repo/src/socgen/hls/interpreter.hpp \
@@ -295,7 +296,6 @@ tests/CMakeFiles/test_hls_vm.dir/test_hls_vm.cpp.o: \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \

@@ -234,12 +234,17 @@ tests/CMakeFiles/test_integration_otsu.dir/test_integration_otsu.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/socgen/soc/system_sim.hpp \
  /root/repo/src/socgen/axi/monitor.hpp \
  /root/repo/src/socgen/axi/stream.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/socgen/sim/engine.hpp \
+ /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/socgen/sim/fault.hpp \
  /root/repo/src/socgen/soc/accelerator.hpp \
  /root/repo/src/socgen/axi/lite.hpp \
  /root/repo/src/socgen/hls/interpreter.hpp \
@@ -247,7 +252,6 @@ tests/CMakeFiles/test_integration_otsu.dir/test_integration_otsu.cpp.o: \
  /root/repo/src/socgen/soc/memory.hpp \
  /root/repo/src/socgen/soc/zynq_ps.hpp \
  /root/repo/src/socgen/soc/interconnect.hpp \
- /root/repo/src/socgen/common/error.hpp \
  /root/repo/src/socgen/core/project.hpp \
  /root/repo/src/socgen/core/parser.hpp \
  /root/repo/src/socgen/core/lexer.hpp /root/repo/src/socgen/socgen.hpp \
@@ -310,8 +314,6 @@ tests/CMakeFiles/test_integration_otsu.dir/test_integration_otsu.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/idtype_t.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/float.h \
  /usr/include/c++/12/iomanip /usr/include/c++/12/bits/quoted_string.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
  /root/miniconda/include/gtest/gtest-message.h \
  /root/miniconda/include/gtest/internal/gtest-filepath.h \
  /root/miniconda/include/gtest/internal/gtest-string.h \
@@ -323,7 +325,6 @@ tests/CMakeFiles/test_integration_otsu.dir/test_integration_otsu.cpp.o: \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_resilience.cpp" "tests/CMakeFiles/test_resilience.dir/test_resilience.cpp.o" "gcc" "tests/CMakeFiles/test_resilience.dir/test_resilience.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/socgen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_axi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/socgen_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

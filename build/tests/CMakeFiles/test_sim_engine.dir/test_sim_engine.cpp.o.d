@@ -1,7 +1,6 @@
 tests/CMakeFiles/test_sim_engine.dir/test_sim_engine.cpp.o: \
  /root/repo/tests/test_sim_engine.cpp /usr/include/stdc-predef.h \
- /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/stdexcept \
- /usr/include/c++/12/exception \
+ /root/repo/src/socgen/common/error.hpp /usr/include/c++/12/cstddef \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -13,11 +12,12 @@ tests/CMakeFiles/test_sim_engine.dir/test_sim_engine.cpp.o: \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
  /usr/include/c++/12/pstl/pstl_config.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
  /usr/include/c++/12/bits/exception.h \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/exception_defines.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/hash_bytes.h \
  /usr/include/c++/12/new /usr/include/c++/12/bits/move.h \
  /usr/include/c++/12/type_traits \
@@ -123,9 +123,14 @@ tests/CMakeFiles/test_sim_engine.dir/test_sim_engine.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/socgen/sim/engine.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/socgen/sim/engine.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -134,18 +139,14 @@ tests/CMakeFiles/test_sim_engine.dir/test_sim_engine.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/limits /usr/include/c++/12/memory \
+ /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -287,7 +288,6 @@ tests/CMakeFiles/test_sim_engine.dir/test_sim_engine.cpp.o: \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \

@@ -133,6 +133,12 @@ OtsuSystemRunner::SocLink OtsuSystemRunner::socLinkFor(const std::string& node,
 }
 
 OtsuSystemRunner::Result OtsuSystemRunner::run(const RgbImage& image) {
+    return run(image, {});
+}
+
+OtsuSystemRunner::Result OtsuSystemRunner::run(
+    const RgbImage& image,
+    const std::function<void(soc::SystemSimulator&)>& configure) {
     const std::uint64_t npix = image.pixelCount();
     const bool gHw = isHw("grayScale");
     const bool hHw = isHw("computeHistogram");
@@ -148,6 +154,9 @@ OtsuSystemRunner::Result OtsuSystemRunner::run(const RgbImage& image) {
     }
 
     soc::SystemSimulator sim(flow_.design, flow_.programs, options_);
+    if (configure) {
+        configure(sim);
+    }
     soc::ZynqPs& ps = sim.ps();
 
     // readImage: stage the RGB buffer in DDR.

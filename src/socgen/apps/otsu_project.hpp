@@ -7,6 +7,7 @@
 #include "socgen/soc/system_sim.hpp"
 
 #include <array>
+#include <functional>
 #include <string>
 
 namespace socgen::apps {
@@ -65,6 +66,12 @@ public:
                      soc::SystemOptions options = {});
 
     [[nodiscard]] Result run(const RgbImage& image);
+
+    /// As run(), but calls `configure` on the freshly built simulator
+    /// before any PS program is enqueued — the hook the resilience
+    /// harness uses to arm a FaultInjector against the system.
+    [[nodiscard]] Result run(const RgbImage& image,
+                             const std::function<void(soc::SystemSimulator&)>& configure);
 
 private:
     struct SocLink {

@@ -3,11 +3,15 @@
 #include "socgen/common/error.hpp"
 #include "socgen/common/strings.hpp"
 
+#include <algorithm>
+
 namespace socgen::axi {
 
 void StreamMonitor::sample() {
     ++samples_;
     occupancySum_ += channel_->size();
+    maxObservedFrameBeats_ =
+        std::max(maxObservedFrameBeats_, channel_->beatsSinceLastTlast());
 }
 
 void StreamMonitor::check() const {
@@ -25,6 +29,14 @@ void StreamMonitor::check() const {
     if (c.highWater() > c.capacity()) {
         throw SimulationError(format("stream %s high-water above capacity",
                                      c.name().c_str()));
+    }
+    const std::uint64_t openFrame =
+        std::max(maxObservedFrameBeats_, c.beatsSinceLastTlast());
+    if (maxFrameBeats_ != 0 && openFrame > maxFrameBeats_) {
+        throw SimulationError(format(
+            "stream %s TLAST violation: %llu beats without end-of-frame (limit %llu)",
+            c.name().c_str(), static_cast<unsigned long long>(openFrame),
+            static_cast<unsigned long long>(maxFrameBeats_)));
     }
 }
 

@@ -22,6 +22,11 @@ public:
     /// Throws SimulationError if an invariant is violated.
     void check() const;
 
+    /// Bounds frame length: check() fails if more than `beats` beats are
+    /// ever pushed without a TLAST (a master that never closes a frame
+    /// starves TLAST-gated consumers). 0 disables the check.
+    void setMaxFrameBeats(std::uint64_t beats) { maxFrameBeats_ = beats; }
+
     [[nodiscard]] double averageOccupancy() const;
     [[nodiscard]] std::uint64_t samples() const { return samples_; }
     [[nodiscard]] const StreamChannel& channel() const { return *channel_; }
@@ -30,6 +35,8 @@ private:
     const StreamChannel* channel_;
     std::uint64_t samples_ = 0;
     std::uint64_t occupancySum_ = 0;
+    std::uint64_t maxFrameBeats_ = 0;
+    std::uint64_t maxObservedFrameBeats_ = 0;
 };
 
 } // namespace socgen::axi

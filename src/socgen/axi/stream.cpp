@@ -14,7 +14,7 @@ StreamChannel::StreamChannel(std::string name, std::size_t capacity, unsigned wi
 }
 
 bool StreamChannel::tryPush(StreamBeat beat) {
-    if (full()) {
+    if (full() || pushBlocked_) {
         ++pushStalls_;
         return false;
     }
@@ -23,18 +23,47 @@ bool StreamChannel::tryPush(StreamBeat beat) {
     }
     fifo_.push_back(beat);
     ++pushed_;
+    if (beat.last) {
+        ++framesCompleted_;
+        beatsSinceTlast_ = 0;
+    } else {
+        ++beatsSinceTlast_;
+    }
     highWater_ = std::max(highWater_, fifo_.size());
     return true;
 }
 
 bool StreamChannel::tryPop(StreamBeat& beat) {
-    if (fifo_.empty()) {
+    if (fifo_.empty() || popBlocked_) {
         ++popStalls_;
         return false;
     }
     beat = fifo_.front();
     fifo_.pop_front();
     ++popped_;
+    return true;
+}
+
+void StreamChannel::forcePush(StreamBeat beat) {
+    if (width_ < 64) {
+        beat.data &= (1ULL << width_) - 1ULL;
+    }
+    fifo_.push_back(beat);
+    ++pushed_;
+    if (beat.last) {
+        ++framesCompleted_;
+        beatsSinceTlast_ = 0;
+    } else {
+        ++beatsSinceTlast_;
+    }
+    highWater_ = std::max(highWater_, fifo_.size());
+}
+
+bool StreamChannel::dropFront() {
+    if (fifo_.empty()) {
+        return false;
+    }
+    fifo_.pop_front();
     return true;
 }
 
@@ -49,6 +78,8 @@ void StreamChannel::reset() {
     fifo_.clear();
     pushed_ = popped_ = pushStalls_ = popStalls_ = 0;
     highWater_ = 0;
+    beatsSinceTlast_ = framesCompleted_ = 0;
+    pushBlocked_ = popBlocked_ = false;
 }
 
 } // namespace socgen::axi

@@ -41,12 +41,34 @@ public:
     /// Front beat without consuming (TDATA visible while TVALID high).
     [[nodiscard]] const StreamBeat& front() const;
 
+    // -- fault hooks ---------------------------------------------------------
+    // Fault injection forces the interconnect's ready low: a blocked
+    // direction refuses the handshake (and counts the stall) until
+    // unblocked, modeling a wedged skid buffer or clock-gated stage.
+    void setPushBlocked(bool blocked) { pushBlocked_ = blocked; }
+    void setPopBlocked(bool blocked) { popBlocked_ = blocked; }
+    [[nodiscard]] bool pushBlocked() const { return pushBlocked_; }
+    [[nodiscard]] bool popBlocked() const { return popBlocked_; }
+
+    /// Protocol-violating push that ignores capacity and blocking — used
+    /// by tests to provoke the monitor, never by well-behaved masters.
+    void forcePush(StreamBeat beat);
+
+    /// Drops the front beat without counting it as popped (beat loss).
+    /// Returns false on an empty channel.
+    bool dropFront();
+
     // -- statistics ----------------------------------------------------------
     [[nodiscard]] std::uint64_t beatsPushed() const { return pushed_; }
     [[nodiscard]] std::uint64_t beatsPopped() const { return popped_; }
     [[nodiscard]] std::uint64_t pushStalls() const { return pushStalls_; }
     [[nodiscard]] std::uint64_t popStalls() const { return popStalls_; }
     [[nodiscard]] std::size_t highWater() const { return highWater_; }
+
+    /// Beats pushed since the most recent TLAST (0 right after a frame
+    /// boundary); used by monitors to bound frame length.
+    [[nodiscard]] std::uint64_t beatsSinceLastTlast() const { return beatsSinceTlast_; }
+    [[nodiscard]] std::uint64_t framesCompleted() const { return framesCompleted_; }
 
     void reset();
 
@@ -60,6 +82,10 @@ private:
     std::uint64_t pushStalls_ = 0;
     std::uint64_t popStalls_ = 0;
     std::size_t highWater_ = 0;
+    std::uint64_t beatsSinceTlast_ = 0;
+    std::uint64_t framesCompleted_ = 0;
+    bool pushBlocked_ = false;
+    bool popBlocked_ = false;
 };
 
 } // namespace socgen::axi

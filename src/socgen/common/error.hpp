@@ -1,8 +1,11 @@
 #pragma once
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace socgen {
 
@@ -38,6 +41,31 @@ public:
 class SimulationError : public Error {
 public:
     explicit SimulationError(const std::string& message) : Error("sim: " + message) {}
+};
+
+/// Raised when a runtime watchdog expires (IRQ that never arrives,
+/// register poll that never satisfies its condition). Distinguishable
+/// from a generic SimulationError so harnesses can treat "hung but
+/// diagnosed" differently from protocol violations.
+class WatchdogError : public SimulationError {
+public:
+    explicit WatchdogError(const std::string& message)
+        : SimulationError("watchdog: " + message) {}
+};
+
+/// Raised when a bitstream fails verification on load; carries the
+/// indices of the sections whose CRCs failed.
+class BitstreamError : public Error {
+public:
+    BitstreamError(const std::string& message, std::vector<std::size_t> badSections)
+        : Error("bitstream: " + message), badSections_(std::move(badSections)) {}
+
+    [[nodiscard]] const std::vector<std::size_t>& badSections() const {
+        return badSections_;
+    }
+
+private:
+    std::vector<std::size_t> badSections_;
 };
 
 /// Internal invariant check that throws instead of aborting so tests can

@@ -10,6 +10,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <set>
 #include <thread>
 
 namespace socgen::core {
@@ -28,6 +30,38 @@ void HlsCache::store(const std::string& kernelName, hls::HlsResult result) {
 std::size_t HlsCache::size() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return results_.size();
+}
+
+bool FlowDiagnostics::anyDegraded() const {
+    for (const auto& n : nodes) {
+        if (n.degraded) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<std::string> FlowDiagnostics::degradedNodes() const {
+    std::vector<std::string> names;
+    for (const auto& n : nodes) {
+        if (n.degraded) {
+            names.push_back(n.node);
+        }
+    }
+    return names;
+}
+
+std::string FlowDiagnostics::render() const {
+    std::string out = "HLS diagnostics:";
+    for (const auto& n : nodes) {
+        if (n.degraded) {
+            out += format("\n  %s: DEGRADED to software fallback — %s", n.node.c_str(),
+                          n.error.c_str());
+        } else {
+            out += format("\n  %s: ok (%.1f tool-s)", n.node.c_str(), n.toolSeconds);
+        }
+    }
+    return out;
 }
 
 Flow::Flow(FlowOptions options, const hls::KernelLibrary& kernels,
@@ -49,6 +83,12 @@ hls::Directives Flow::directivesFor(const TgNode& node) const {
 }
 
 std::pair<hls::HlsResult, double> Flow::synthesizeNode(const TgNode& node) {
+    if (options_.injectHlsFailures.count(node.name) > 0) {
+        // Fires before the cache so the failure is deterministic even when
+        // a previous architecture already synthesized this kernel.
+        throw HlsError(format("injected HLS failure for kernel \"%s\"",
+                              node.name.c_str()));
+    }
     if (cache_ != nullptr) {
         if (const hls::HlsResult* hit = cache_->find(node.name)) {
             Logger::global().info("hls: cache hit for " + node.name);
@@ -90,15 +130,41 @@ std::pair<hls::HlsResult, double> Flow::synthesizeNode(const TgNode& node) {
 void Flow::runAllHls(const TaskGraph& graph, FlowResult& result) {
     const auto& nodes = graph.nodes();
     std::vector<std::pair<hls::HlsResult, double>> results(nodes.size());
-    std::vector<std::string> errors(nodes.size());
+    std::vector<std::exception_ptr> errors(nodes.size());
+
+    // An HlsError is an engine failure; under the Degrade policy the node
+    // is isolated instead of sinking the whole flow. Anything else
+    // (DslError, internal errors) always propagates.
+    const auto degradeOrRethrow = [&](std::size_t i, std::exception_ptr error) {
+        try {
+            std::rethrow_exception(error);
+        } catch (const HlsError& e) {
+            if (options_.hlsFailurePolicy != HlsFailurePolicy::Degrade) {
+                throw;
+            }
+            Logger::global().info(format("hls: node %s degraded to software: %s",
+                                         nodes[i].name.c_str(), e.what()));
+            FlowDiagnostics::NodeOutcome outcome;
+            outcome.node = nodes[i].name;
+            outcome.degraded = true;
+            outcome.error = e.what();
+            result.diagnostics.nodes.push_back(std::move(outcome));
+        }
+    };
 
     const unsigned jobs = std::max(1u, options_.jobs);
     if (jobs == 1 || nodes.size() <= 1) {
         for (std::size_t i = 0; i < nodes.size(); ++i) {
             Stopwatch watch;
-            results[i] = synthesizeNode(nodes[i]);
-            result.timeline.add("HLS " + nodes[i].name, watch.elapsedMs(),
-                                results[i].second);
+            try {
+                results[i] = synthesizeNode(nodes[i]);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+            if (!errors[i]) {
+                result.timeline.add("HLS " + nodes[i].name, watch.elapsedMs(),
+                                    results[i].second);
+            }
         }
     } else {
         // Independent per-node HLS runs on a worker pool; results land in
@@ -115,8 +181,8 @@ void Flow::runAllHls(const TaskGraph& graph, FlowResult& result) {
                 Stopwatch watch;
                 try {
                     results[i] = synthesizeNode(nodes[i]);
-                } catch (const std::exception& e) {
-                    errors[i] = e.what();
+                } catch (...) {
+                    errors[i] = std::current_exception();
                 }
                 hostMs[i] = watch.elapsedMs();
             }
@@ -132,13 +198,21 @@ void Flow::runAllHls(const TaskGraph& graph, FlowResult& result) {
             t.join();
         }
         for (std::size_t i = 0; i < nodes.size(); ++i) {
-            if (!errors[i].empty()) {
-                throw Error(errors[i]);
+            if (!errors[i]) {
+                result.timeline.add("HLS " + nodes[i].name, hostMs[i],
+                                    results[i].second);
             }
-            result.timeline.add("HLS " + nodes[i].name, hostMs[i], results[i].second);
         }
     }
     for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (errors[i]) {
+            degradeOrRethrow(i, errors[i]);
+            continue;
+        }
+        FlowDiagnostics::NodeOutcome outcome;
+        outcome.node = nodes[i].name;
+        outcome.toolSeconds = results[i].second;
+        result.diagnostics.nodes.push_back(std::move(outcome));
         result.programs.emplace(nodes[i].name, results[i].first.program);
         result.hlsResults.emplace(nodes[i].name, std::move(results[i].first));
     }
@@ -147,7 +221,17 @@ void Flow::runAllHls(const TaskGraph& graph, FlowResult& result) {
 void Flow::integrate(const std::string& projectName, const TaskGraph& graph,
                      FlowResult& result) const {
     soc::BlockDesign design(projectName, options_.device, options_.dmaPolicy);
+    // Degraded nodes get no hardware instance; their links are rewired to
+    // the PS ('soc endpoints) below so surviving cores stay fully
+    // connected and the PS feeds/drains them in software.
+    std::set<std::string> degraded;
+    for (const std::string& name : result.diagnostics.degradedNodes()) {
+        degraded.insert(name);
+    }
     for (const auto& node : graph.nodes()) {
+        if (degraded.count(node.name) > 0) {
+            continue;
+        }
         const hls::HlsResult& hlsResult = result.hlsResults.at(node.name);
         std::vector<soc::CorePort> streamPorts;
         for (const auto& kp : hlsResult.program.ports) {
@@ -161,6 +245,12 @@ void Flow::integrate(const std::string& projectName, const TaskGraph& graph,
                           node.hasAxiLitePort());
     }
     for (const auto& link : graph.links()) {
+        const bool fromDegraded = !link.from.soc && degraded.count(link.from.node) > 0;
+        const bool toDegraded = !link.to.soc && degraded.count(link.to.node) > 0;
+        // A link with no surviving hardware end disappears entirely.
+        if ((fromDegraded || link.from.soc) && (toDegraded || link.to.soc)) {
+            continue;
+        }
         // Stream width comes from the hardware end(s); direction checks
         // happen inside BlockDesign::finalise().
         unsigned width = 32;
@@ -180,19 +270,24 @@ void Flow::integrate(const std::string& projectName, const TaskGraph& graph,
             throw DslError(format("link endpoint (\"%s\",\"%s\") not found on kernel",
                                   ep.node.c_str(), ep.port.c_str()));
         };
-        if (!link.from.soc) {
+        if (!link.from.soc && !fromDegraded) {
             width = widthOf(link.from, false);
         }
-        if (!link.to.soc) {
+        if (!link.to.soc && !toDegraded) {
             width = std::max(width, widthOf(link.to, true));
         }
-        const auto toEndpoint = [](const TgEndpoint& ep) {
-            return ep.soc ? soc::StreamEndpoint{soc::StreamEndpoint::kSoc, ""}
-                          : soc::StreamEndpoint{ep.node, ep.port};
+        const auto toEndpoint = [](const TgEndpoint& ep, bool epDegraded) {
+            return (ep.soc || epDegraded)
+                       ? soc::StreamEndpoint{soc::StreamEndpoint::kSoc, ""}
+                       : soc::StreamEndpoint{ep.node, ep.port};
         };
-        design.connectStream(toEndpoint(link.from), toEndpoint(link.to), width);
+        design.connectStream(toEndpoint(link.from, fromDegraded),
+                             toEndpoint(link.to, toDegraded), width);
     }
     for (const auto& connect : graph.connects()) {
+        if (degraded.count(connect.node) > 0) {
+            continue;
+        }
         design.connectLite(connect.node);
     }
     design.finalise();
@@ -217,6 +312,9 @@ FlowResult Flow::run(const std::string& projectName, const TaskGraph& graph) {
 
     // Phase 2 — per-node HLS (cached across architectures).
     runAllHls(graph, result);
+    if (result.diagnostics.anyDegraded()) {
+        Logger::global().info(result.diagnostics.render());
+    }
 
     // Phase 3 — system integration / Vivado project generation (~50 s).
     {

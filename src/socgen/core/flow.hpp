@@ -12,7 +12,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <vector>
 
 namespace socgen::core {
 
@@ -31,6 +33,14 @@ private:
     std::map<std::string, hls::HlsResult> results_;
 };
 
+/// What the flow does when HLS fails for one node. Degrade isolates the
+/// failure: the node is dropped from the hardware design (its links are
+/// rewired to the PS so partner cores stay connected) and recorded in
+/// FlowDiagnostics as a software-fallback candidate; the flow completes.
+/// Configuration errors (DslError) always abort regardless of policy —
+/// they indicate a broken project, not a flaky tool.
+enum class HlsFailurePolicy { Abort, Degrade };
+
 struct FlowOptions {
     soc::FpgaDevice device = soc::zedboard();
     soc::DmaPolicy dmaPolicy = soc::DmaPolicy::SharedDma;
@@ -42,6 +52,28 @@ struct FlowOptions {
     hls::Directives defaultDirectives;
     /// Per-kernel directive overrides (trip counts, unit limits, ...).
     std::map<std::string, hls::Directives> kernelDirectives;
+
+    HlsFailurePolicy hlsFailurePolicy = HlsFailurePolicy::Degrade;
+    /// Fault hook: kernels listed here fail HLS with an injected HlsError
+    /// (bypassing the cache), exercising the degrade path in tests.
+    std::set<std::string> injectHlsFailures;
+};
+
+/// Per-node outcome record for one flow run, carried by FlowResult so
+/// callers can tell a clean all-hardware build from a degraded one.
+struct FlowDiagnostics {
+    struct NodeOutcome {
+        std::string node;
+        bool degraded = false;  ///< HLS failed; node needs software fallback
+        std::string error;      ///< failure text when degraded
+        double toolSeconds = 0.0;
+    };
+
+    std::vector<NodeOutcome> nodes;
+
+    [[nodiscard]] bool anyDegraded() const;
+    [[nodiscard]] std::vector<std::string> degradedNodes() const;
+    [[nodiscard]] std::string render() const;
 };
 
 /// Everything one flow run produces — the contents of the generated
@@ -60,6 +92,7 @@ struct FlowResult {
     std::vector<sw::GeneratedFile> driverFiles;
     sw::BootImage bootImage;
     PhaseTimeline timeline;
+    FlowDiagnostics diagnostics;
 };
 
 /// The flow orchestrator behind the DSL: HLS per node, system

@@ -97,6 +97,9 @@ private:
                                                       : hls::InterfaceProtocol::AxiLite});
             any = true;
         }
+        if (peek().kind == TokenKind::Identifier && peek().text != "end") {
+            fail("unknown port kind '" + peek().text + "' (expected 'i', 'is', or 'end')");
+        }
         if (!any) {
             fail("node needs at least one interface (i/is)");
         }

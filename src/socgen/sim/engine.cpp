@@ -1,24 +1,76 @@
 #include "socgen/sim/engine.hpp"
 
-#include "socgen/common/error.hpp"
-#include "socgen/common/strings.hpp"
+#include <sstream>
+#include <utility>
 
 namespace socgen::sim {
 
+std::vector<std::string> DeadlockReport::blockedComponents() const {
+    std::vector<std::string> names;
+    for (const auto& c : components) {
+        if (!c.idle) {
+            names.push_back(c.name);
+        }
+    }
+    return names;
+}
+
+std::string DeadlockReport::render() const {
+    std::ostringstream os;
+    os << "deadlock: no progress for " << stallCycles << " cycles at cycle " << cycle
+       << "; blocked components:";
+    bool any = false;
+    for (const auto& c : components) {
+        if (c.idle) {
+            continue;
+        }
+        any = true;
+        os << "\n  - " << c.name << " (last progress at cycle " << c.lastProgressCycle << ")";
+        if (!c.detail.empty()) {
+            os << ": " << c.detail;
+        }
+    }
+    if (!any) {
+        os << " none";
+    }
+    if (!channels.empty()) {
+        os << "\nchannel state:";
+        for (const auto& ch : channels) {
+            os << "\n  - " << ch.name << ": " << ch.occupancy << "/" << ch.capacity << " words";
+            if (ch.full) {
+                os << " [FULL]";
+            } else if (ch.empty) {
+                os << " [EMPTY]";
+            }
+            os << ", push stalls " << ch.pushStalls << ", pop stalls " << ch.popStalls;
+        }
+    }
+    return os.str();
+}
+
+DeadlockError::DeadlockError(DeadlockReport report)
+    : SimulationError(report.render()), report_(std::move(report)) {}
+
 void Engine::add(Component& component) {
     components_.push_back(&component);
+    lastProgress_.push_back(now_);
 }
 
 void Engine::addProbe(std::function<void()> probe) {
     probes_.push_back(std::move(probe));
 }
 
+void Engine::addChannelWatch(std::function<DeadlockReport::ChannelState()> watch) {
+    channelWatches_.push_back(std::move(watch));
+}
+
 void Engine::stepOnce(bool& anyProgress, bool& allIdle) {
     anyProgress = false;
     allIdle = true;
-    for (Component* c : components_) {
-        if (c->tick()) {
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        if (components_[i]->tick()) {
             anyProgress = true;
+            lastProgress_[i] = now_;
         }
     }
     for (Component* c : components_) {
@@ -33,6 +85,26 @@ void Engine::stepOnce(bool& anyProgress, bool& allIdle) {
     ++now_;
 }
 
+DeadlockReport Engine::snapshot(std::uint64_t stallCycles) const {
+    DeadlockReport report;
+    report.cycle = now_;
+    report.stallCycles = stallCycles;
+    report.components.reserve(components_.size());
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        DeadlockReport::ComponentState state;
+        state.name = components_[i]->name();
+        state.idle = components_[i]->idle();
+        state.lastProgressCycle = lastProgress_[i];
+        state.detail = components_[i]->debugState();
+        report.components.push_back(std::move(state));
+    }
+    report.channels.reserve(channelWatches_.size());
+    for (const auto& watch : channelWatches_) {
+        report.channels.push_back(watch());
+    }
+    return report;
+}
+
 std::uint64_t Engine::runUntilIdle(std::uint64_t maxCycles, std::uint64_t stallLimit) {
     const std::uint64_t start = now_;
     std::uint64_t stalledFor = 0;
@@ -45,22 +117,11 @@ std::uint64_t Engine::runUntilIdle(std::uint64_t maxCycles, std::uint64_t stallL
         }
         stalledFor = anyProgress ? 0 : stalledFor + 1;
         if (stalledFor >= stallLimit) {
-            std::string stuck;
-            for (Component* c : components_) {
-                if (!c->idle()) {
-                    if (!stuck.empty()) {
-                        stuck += ", ";
-                    }
-                    stuck += c->name();
-                }
-            }
-            throw SimulationError(format(
-                "deadlock: no progress for %llu cycles; busy components: %s",
-                static_cast<unsigned long long>(stallLimit), stuck.c_str()));
+            throw DeadlockError(snapshot(stalledFor));
         }
     }
-    throw SimulationError(format("simulation exceeded %llu cycles without quiescing",
-                                 static_cast<unsigned long long>(maxCycles)));
+    throw SimulationError("simulation exceeded " + std::to_string(maxCycles) +
+                          " cycles without quiescing");
 }
 
 void Engine::run(std::uint64_t cycles) {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include "socgen/common/error.hpp"
+
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -22,6 +24,54 @@ public:
 
     /// True when the component has nothing left to do.
     [[nodiscard]] virtual bool idle() const = 0;
+
+    /// One-line description of the component's internal state, used for
+    /// deadlock forensics ("polling 0x43c00004", "MM2S 512 words left").
+    [[nodiscard]] virtual std::string debugState() const { return {}; }
+};
+
+/// Snapshot of a wedged simulation: which components stopped making
+/// progress when, and what every watched channel looked like at the
+/// moment of the stall. Produced by Engine::runUntilIdle and carried by
+/// DeadlockError so callers (and humans) can diagnose instead of guess.
+struct DeadlockReport {
+    struct ComponentState {
+        std::string name;
+        bool idle = false;
+        std::uint64_t lastProgressCycle = 0;  ///< last cycle tick() returned true
+        std::string detail;                   ///< Component::debugState()
+    };
+    struct ChannelState {
+        std::string name;
+        std::size_t occupancy = 0;
+        std::size_t capacity = 0;
+        std::uint64_t pushStalls = 0;  ///< producer held off (TVALID && !TREADY)
+        std::uint64_t popStalls = 0;   ///< consumer starved (TREADY && !TVALID)
+        bool full = false;
+        bool empty = false;
+    };
+
+    std::uint64_t cycle = 0;       ///< cycle at which the stall was declared
+    std::uint64_t stallCycles = 0; ///< consecutive cycles without progress
+    std::vector<ComponentState> components;
+    std::vector<ChannelState> channels;
+
+    /// Names of the non-idle (blocked) components.
+    [[nodiscard]] std::vector<std::string> blockedComponents() const;
+
+    /// Multi-line human-readable rendering (also the DeadlockError text).
+    [[nodiscard]] std::string render() const;
+};
+
+/// SimulationError specialisation that carries the full structured
+/// report; what() is the rendered report text.
+class DeadlockError : public SimulationError {
+public:
+    explicit DeadlockError(DeadlockReport report);
+    [[nodiscard]] const DeadlockReport& report() const { return report_; }
+
+private:
+    DeadlockReport report_;
 };
 
 /// Cycle-based simulation engine for a generated SoC: single clock
@@ -31,12 +81,16 @@ public:
     /// Registers a component (not owned). Order defines tick order.
     void add(Component& component);
 
-    /// Optional per-cycle probe (e.g. protocol monitors).
+    /// Optional per-cycle probe (e.g. protocol monitors, fault injectors).
     void addProbe(std::function<void()> probe);
 
+    /// Registers a channel snapshot source included in deadlock reports.
+    void addChannelWatch(std::function<DeadlockReport::ChannelState()> watch);
+
     /// Runs until every component is idle, or `maxCycles` elapse.
-    /// Throws SimulationError on deadlock: no component made progress for
-    /// `stallLimit` consecutive cycles while not all are idle.
+    /// Throws DeadlockError (with a full DeadlockReport) when no component
+    /// makes progress for `stallLimit` consecutive cycles while not all
+    /// are idle; throws SimulationError on the cycle-budget overrun.
     /// Returns the number of cycles simulated.
     std::uint64_t runUntilIdle(std::uint64_t maxCycles = 100'000'000,
                                std::uint64_t stallLimit = 100'000);
@@ -46,11 +100,17 @@ public:
 
     [[nodiscard]] std::uint64_t now() const { return now_; }
 
+    /// Builds the forensic snapshot at the current cycle (also used by
+    /// runUntilIdle when declaring a deadlock).
+    [[nodiscard]] DeadlockReport snapshot(std::uint64_t stallCycles = 0) const;
+
 private:
     void stepOnce(bool& anyProgress, bool& allIdle);
 
     std::vector<Component*> components_;
+    std::vector<std::uint64_t> lastProgress_;
     std::vector<std::function<void()>> probes_;
+    std::vector<std::function<DeadlockReport::ChannelState()>> channelWatches_;
     std::uint64_t now_ = 0;
 };
 

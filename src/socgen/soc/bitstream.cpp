@@ -10,7 +10,8 @@ namespace socgen::soc {
 
 namespace {
 
-constexpr std::string_view kMagic = "SOCGENBIT1";
+// v2 adds a per-record CRC so corruption can be localised to a section.
+constexpr std::string_view kMagic = "SOCGENBIT2";
 
 std::array<std::uint32_t, 256> makeCrcTable() {
     std::array<std::uint32_t, 256> table{};
@@ -39,13 +40,86 @@ std::string Bitstream::serialize() const {
     std::ostringstream body;
     body << designName << '\n' << part << '\n' << configRecords.size() << '\n';
     for (const auto& record : configRecords) {
-        body << record.size() << ':' << record << '\n';
+        body << record.size() << ':' << format("%08x", crc32(record)) << ':' << record
+             << '\n';
     }
     const std::string payload = body.str();
     std::ostringstream out;
     out << kMagic << '\n' << format("%08x", crc32(payload)) << '\n' << payload;
     return out.str();
 }
+
+namespace {
+
+struct ScannedRecord {
+    std::string record;
+    std::uint32_t expectedCrc = 0;
+    bool structurallyValid = false;
+};
+
+/// Best-effort structural scan of the payload body: recovers as many
+/// `len:crc:record` sections as possible even when some are damaged, so
+/// a CRC failure can be pinned to specific section indices.
+std::vector<ScannedRecord> scanRecords(const std::string& payload,
+                                       Bitstream& bit) {
+    std::vector<ScannedRecord> scanned;
+    std::istringstream body(payload);
+    if (!std::getline(body, bit.designName) || !std::getline(body, bit.part)) {
+        return scanned;
+    }
+    std::string countLine;
+    if (!std::getline(body, countLine)) {
+        return scanned;
+    }
+    std::size_t count = 0;
+    try {
+        count = std::stoul(countLine);
+    } catch (const std::exception&) {
+        return scanned;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        ScannedRecord rec;
+        std::string lenPrefix;
+        std::string crcPrefix;
+        if (!std::getline(body, lenPrefix, ':') || !std::getline(body, crcPrefix, ':')) {
+            scanned.push_back(std::move(rec));
+            break;
+        }
+        std::size_t len = 0;
+        try {
+            len = std::stoul(lenPrefix);
+            rec.expectedCrc =
+                static_cast<std::uint32_t>(std::stoul(crcPrefix, nullptr, 16));
+        } catch (const std::exception&) {
+            scanned.push_back(std::move(rec));
+            break;
+        }
+        rec.record.assign(len, '\0');
+        body.read(rec.record.data(), static_cast<std::streamsize>(len));
+        if (static_cast<std::size_t>(body.gcount()) != len) {
+            rec.record.clear();
+            scanned.push_back(std::move(rec));
+            break;
+        }
+        body.get();  // trailing newline
+        rec.structurallyValid = true;
+        scanned.push_back(std::move(rec));
+    }
+    return scanned;
+}
+
+std::string renderSectionList(const std::vector<std::size_t>& sections) {
+    std::string list;
+    for (std::size_t idx : sections) {
+        if (!list.empty()) {
+            list += ", ";
+        }
+        list += std::to_string(idx);
+    }
+    return list;
+}
+
+} // namespace
 
 Bitstream Bitstream::parse(std::string_view image) {
     std::istringstream in{std::string(image)};
@@ -63,33 +137,33 @@ Bitstream Bitstream::parse(std::string_view image) {
         rest << in.rdbuf();
         payload = rest.str();
     }
-    const auto expected = static_cast<std::uint32_t>(std::stoul(crcLine, nullptr, 16));
-    if (crc32(payload) != expected) {
-        throw Error("bitstream: CRC mismatch (image corrupted)");
+    std::uint32_t expected = 0;
+    try {
+        expected = static_cast<std::uint32_t>(std::stoul(crcLine, nullptr, 16));
+    } catch (const std::exception&) {
+        throw Error("bitstream: malformed CRC header");
     }
-    std::istringstream body(payload);
+
     Bitstream bit;
-    if (!std::getline(body, bit.designName) || !std::getline(body, bit.part)) {
-        throw Error("bitstream: truncated body");
-    }
-    std::string countLine;
-    if (!std::getline(body, countLine)) {
-        throw Error("bitstream: missing record count");
-    }
-    const std::size_t count = std::stoul(countLine);
-    for (std::size_t i = 0; i < count; ++i) {
-        std::string lenPrefix;
-        if (!std::getline(body, lenPrefix, ':')) {
-            throw Error("bitstream: truncated record length");
+    const std::vector<ScannedRecord> scanned = scanRecords(payload, bit);
+    std::vector<std::size_t> badSections;
+    for (std::size_t i = 0; i < scanned.size(); ++i) {
+        if (!scanned[i].structurallyValid ||
+            crc32(scanned[i].record) != scanned[i].expectedCrc) {
+            badSections.push_back(i);
         }
-        const std::size_t len = std::stoul(lenPrefix);
-        std::string record(len, '\0');
-        body.read(record.data(), static_cast<std::streamsize>(len));
-        if (static_cast<std::size_t>(body.gcount()) != len) {
-            throw Error("bitstream: truncated record");
+    }
+    if (crc32(payload) != expected || !badSections.empty()) {
+        if (!badSections.empty()) {
+            throw BitstreamError(
+                format("CRC mismatch in %zu section(s): [%s]", badSections.size(),
+                       renderSectionList(badSections).c_str()),
+                badSections);
         }
-        body.get();  // trailing newline
-        bit.configRecords.push_back(std::move(record));
+        throw BitstreamError("CRC mismatch in header (all sections verify)", {});
+    }
+    for (const auto& rec : scanned) {
+        bit.configRecords.push_back(rec.record);
     }
     bit.crc = expected;
     return bit;

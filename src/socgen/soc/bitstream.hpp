@@ -23,11 +23,15 @@ struct Bitstream {
     std::vector<std::string> configRecords;  ///< one per IP instance
     std::uint32_t crc = 0;
 
-    /// Serialises to the on-disk image (magic, header, records, CRC).
+    /// Serialises to the on-disk image (magic, header, per-section CRCs,
+    /// records, whole-payload CRC).
     [[nodiscard]] std::string serialize() const;
 
-    /// Parses and verifies an image; throws socgen::Error on corruption,
-    /// bad magic, or CRC mismatch.
+    /// Parses and verifies an image. Throws socgen::Error on bad magic or
+    /// structural truncation; throws BitstreamError on CRC failure, with
+    /// the indices of the sections whose per-section CRCs fail (a precise
+    /// diff of where the corruption landed — empty if only the header is
+    /// damaged).
     static Bitstream parse(std::string_view image);
 };
 

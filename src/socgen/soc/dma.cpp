@@ -20,6 +20,84 @@ int DmaEngine::attachS2mm(axi::StreamChannel& channel) {
     return static_cast<int>(s2mmSrcs_.size() - 1);
 }
 
+std::uint32_t DmaEngine::corruptValue(Corruption& c, std::uint32_t value) {
+    // Derive a fresh, never-zero mask per application (golden-ratio mix)
+    // so two back-to-back verification reads of a persistently faulty
+    // port cannot be corrupted identically and slip past the compare.
+    std::uint64_t z = c.mask ^ (c.applied * 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    const auto effective =
+        static_cast<std::uint32_t>((z ^ (z >> 32)) | 1ULL);
+    ++c.applied;
+    --c.remaining;
+    return value ^ effective;
+}
+
+std::uint32_t DmaEngine::hpRead(std::uint64_t wordAddress) {
+    std::uint32_t value = memory_.readWord(wordAddress);
+    if (mm2sCorrupt_.remaining > 0) {
+        value = corruptValue(mm2sCorrupt_, value);
+    }
+    return value;
+}
+
+std::uint32_t DmaEngine::hpReadVerified(std::uint64_t wordAddress) {
+    std::uint32_t first = hpRead(wordAddress);
+    if (retryLimit_ == 0) {
+        return first;
+    }
+    std::uint32_t second = hpRead(wordAddress);
+    unsigned attempts = 0;
+    while (first != second) {
+        if (++attempts > retryLimit_) {
+            throw SimulationError(format(
+                "%s: MM2S read of word 0x%llx failed verification after %u retries",
+                name_.c_str(), static_cast<unsigned long long>(wordAddress),
+                retryLimit_));
+        }
+        ++verifyRetries_;
+        first = hpRead(wordAddress);
+        second = hpRead(wordAddress);
+    }
+    return first;
+}
+
+void DmaEngine::hpWriteVerified(std::uint64_t wordAddress, std::uint32_t value) {
+    std::uint32_t out = value;
+    if (s2mmCorrupt_.remaining > 0) {
+        out = corruptValue(s2mmCorrupt_, out);
+    }
+    memory_.writeWord(wordAddress, out);
+    if (retryLimit_ == 0) {
+        return;
+    }
+    unsigned attempts = 0;
+    while (memory_.readWord(wordAddress) != value) {
+        if (++attempts > retryLimit_) {
+            throw SimulationError(format(
+                "%s: S2MM write of word 0x%llx failed verification after %u retries",
+                name_.c_str(), static_cast<unsigned long long>(wordAddress),
+                retryLimit_));
+        }
+        ++verifyRetries_;
+        out = value;
+        if (s2mmCorrupt_.remaining > 0) {
+            out = corruptValue(s2mmCorrupt_, out);
+        }
+        memory_.writeWord(wordAddress, out);
+    }
+}
+
+void DmaEngine::injectMm2sCorruption(std::uint64_t xorMask, std::uint64_t words) {
+    mm2sCorrupt_.mask = xorMask;
+    mm2sCorrupt_.remaining += words;
+}
+
+void DmaEngine::injectS2mmCorruption(std::uint64_t xorMask, std::uint64_t words) {
+    s2mmCorrupt_.mask = xorMask;
+    s2mmCorrupt_.remaining += words;
+}
+
 bool DmaEngine::tickMm2s() {
     if (!mm2s_.active) {
         return false;
@@ -27,7 +105,10 @@ bool DmaEngine::tickMm2s() {
     auto& dest = *mm2sDests_.at(mm2s_.route);
     bool moved = false;
     for (std::uint64_t i = 0; i < wordsPerCycle_ && mm2s_.remaining > 0; ++i) {
-        const std::uint32_t word = memory_.readWord(mm2s_.address);
+        if (dest.full() || dest.pushBlocked()) {
+            break;  // back-pressure: don't consume a verified read
+        }
+        const std::uint32_t word = hpReadVerified(mm2s_.address);
         const bool last = mm2s_.remaining == 1;
         if (!dest.tryPush(word, last)) {
             break;  // back-pressure
@@ -58,7 +139,7 @@ bool DmaEngine::tickS2mm() {
         if (!src.tryPop(beat)) {
             break;
         }
-        memory_.writeWord(s2mm_.address, static_cast<std::uint32_t>(beat.data));
+        hpWriteVerified(s2mm_.address, static_cast<std::uint32_t>(beat.data));
         ++s2mm_.address;
         --s2mm_.remaining;
         ++wordsMoved_;
@@ -75,6 +156,10 @@ bool DmaEngine::tickS2mm() {
 }
 
 bool DmaEngine::tick() {
+    if (stallRemaining_ > 0) {
+        --stallRemaining_;
+        return false;  // descriptors frozen: no progress this cycle
+    }
     const bool a = tickMm2s();
     const bool b = tickS2mm();
     return a || b;
@@ -82,6 +167,31 @@ bool DmaEngine::tick() {
 
 bool DmaEngine::idle() const {
     return !mm2s_.active && !s2mm_.active;
+}
+
+std::string DmaEngine::debugState() const {
+    std::string state;
+    if (stallRemaining_ > 0) {
+        state += format("stalled for %llu more cycles",
+                        static_cast<unsigned long long>(stallRemaining_));
+    }
+    if (mm2s_.active) {
+        if (!state.empty()) {
+            state += "; ";
+        }
+        state += format("MM2S %llu words left at 0x%llx (route %u)",
+                        static_cast<unsigned long long>(mm2s_.remaining),
+                        static_cast<unsigned long long>(mm2s_.address), mm2s_.route);
+    }
+    if (s2mm_.active) {
+        if (!state.empty()) {
+            state += "; ";
+        }
+        state += format("S2MM %llu words left at 0x%llx (route %u)",
+                        static_cast<unsigned long long>(s2mm_.remaining),
+                        static_cast<unsigned long long>(s2mm_.address), s2mm_.route);
+    }
+    return state;
 }
 
 std::uint32_t DmaEngine::readRegister(std::uint64_t offset) {

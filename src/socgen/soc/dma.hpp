@@ -51,6 +51,7 @@ public:
     [[nodiscard]] const std::string& name() const override { return name_; }
     bool tick() override;
     [[nodiscard]] bool idle() const override;
+    [[nodiscard]] std::string debugState() const override;
 
     // axi::LiteSlave
     [[nodiscard]] std::uint32_t readRegister(std::uint64_t offset) override;
@@ -60,6 +61,29 @@ public:
     [[nodiscard]] std::uint64_t wordsMoved() const { return wordsMoved_; }
     [[nodiscard]] std::uint64_t transfersCompleted() const { return transfers_; }
 
+    // -- hardening -----------------------------------------------------------
+    // With a non-zero retry limit every HP-port access is verified (MM2S:
+    // two reads must agree; S2MM: read-back must match the intended word)
+    // and mismatches are retried up to the limit, after which the engine
+    // throws a SimulationError naming the DMA and the word address. A
+    // limit of 0 (the default) disables verification: injected corruption
+    // then flows through silently, exactly like un-hardened hardware.
+    void setRetryLimit(unsigned limit) { retryLimit_ = limit; }
+    [[nodiscard]] unsigned retryLimit() const { return retryLimit_; }
+    [[nodiscard]] std::uint64_t verifyRetries() const { return verifyRetries_; }
+
+    // -- fault hooks ---------------------------------------------------------
+    /// Corrupts the next `words` MM2S memory reads. The effective XOR
+    /// mask is re-derived per application from `xorMask` and a counter,
+    /// so even a "persistent" fault never corrupts two back-to-back
+    /// verification reads identically (which would defeat detection).
+    void injectMm2sCorruption(std::uint64_t xorMask, std::uint64_t words = 1);
+    /// Corrupts the next `words` S2MM memory writes (same mask scheme).
+    void injectS2mmCorruption(std::uint64_t xorMask, std::uint64_t words = 1);
+    /// Freezes both descriptors for `cycles` cycles (wedged interconnect).
+    void injectStall(std::uint64_t cycles) { stallRemaining_ += cycles; }
+    [[nodiscard]] bool stalled() const { return stallRemaining_ > 0; }
+
 private:
     struct Channel {
         bool active = false;
@@ -67,9 +91,18 @@ private:
         std::uint64_t remaining = 0;
         std::uint32_t route = 0;
     };
+    struct Corruption {
+        std::uint64_t mask = 0;
+        std::uint64_t remaining = 0;
+        std::uint64_t applied = 0;
+    };
 
     bool tickMm2s();
     bool tickS2mm();
+    [[nodiscard]] std::uint32_t corruptValue(Corruption& c, std::uint32_t value);
+    [[nodiscard]] std::uint32_t hpRead(std::uint64_t wordAddress);
+    [[nodiscard]] std::uint32_t hpReadVerified(std::uint64_t wordAddress);
+    void hpWriteVerified(std::uint64_t wordAddress, std::uint32_t value);
 
     std::string name_;
     Memory& memory_;
@@ -82,6 +115,11 @@ private:
     IrqLine* s2mmIrq_ = nullptr;
     std::uint64_t wordsMoved_ = 0;
     std::uint64_t transfers_ = 0;
+    unsigned retryLimit_ = 0;
+    std::uint64_t verifyRetries_ = 0;
+    Corruption mm2sCorrupt_;
+    Corruption s2mmCorrupt_;
+    std::uint64_t stallRemaining_ = 0;
 };
 
 } // namespace socgen::soc

@@ -9,11 +9,27 @@ namespace socgen::soc {
 /// sources (DMA channels, accelerator done signals) raise it; the PS
 /// model's waitIrq() consumes it. Level-latched: stays pending until
 /// acknowledged.
+///
+/// Fault hooks model a flaky IRQ path: armDrop() swallows the next N
+/// edges outright, armDelay() holds the next edge for N cycles (the
+/// holder must call tickDelay() once per cycle — SystemSimulator does
+/// this via an engine probe).
 class IrqLine {
 public:
     explicit IrqLine(std::string name) : name_(std::move(name)) {}
 
     void raise() {
+        if (dropArmed_ > 0) {
+            --dropArmed_;
+            ++dropped_;
+            return;
+        }
+        if (delayArm_ > 0) {
+            delayRemaining_ = delayArm_;
+            delayArm_ = 0;
+            delayHeld_ = true;
+            return;
+        }
         pending_ = true;
         ++raiseCount_;
     }
@@ -25,14 +41,35 @@ public:
         return was;
     }
 
+    // -- fault hooks ---------------------------------------------------------
+    void armDrop(std::uint64_t edges = 1) { dropArmed_ += edges; }
+    void armDelay(std::uint64_t cycles) { delayArm_ = cycles; }
+
+    /// Advances a held (delayed) edge by one cycle; delivers it when the
+    /// delay expires. No-op unless a delayed edge is in flight.
+    void tickDelay() {
+        if (delayHeld_ && --delayRemaining_ == 0) {
+            delayHeld_ = false;
+            pending_ = true;
+            ++raiseCount_;
+        }
+    }
+
     [[nodiscard]] bool pending() const { return pending_; }
     [[nodiscard]] const std::string& name() const { return name_; }
     [[nodiscard]] std::uint64_t raiseCount() const { return raiseCount_; }
+    [[nodiscard]] std::uint64_t droppedCount() const { return dropped_; }
+    [[nodiscard]] bool delayInFlight() const { return delayHeld_; }
 
 private:
     std::string name_;
     bool pending_ = false;
     std::uint64_t raiseCount_ = 0;
+    std::uint64_t dropArmed_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t delayArm_ = 0;
+    std::uint64_t delayRemaining_ = 0;
+    bool delayHeld_ = false;
 };
 
 } // namespace socgen::soc

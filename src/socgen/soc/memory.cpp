@@ -1,5 +1,10 @@
 #include "socgen/soc/memory.hpp"
 
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+#include <bit>
+
 namespace socgen::soc {
 
 std::vector<std::uint32_t>& Memory::page(std::uint64_t wordAddress) const {
@@ -11,14 +16,61 @@ std::vector<std::uint32_t>& Memory::page(std::uint64_t wordAddress) const {
     return it->second;
 }
 
+std::vector<std::uint32_t>& Memory::eccPage(std::uint64_t wordAddress) const {
+    const std::uint64_t pageIndex = wordAddress / kPageWords;
+    auto it = eccPages_.find(pageIndex);
+    if (it == eccPages_.end()) {
+        it = eccPages_.emplace(pageIndex, std::vector<std::uint32_t>(kPageWords, 0)).first;
+    }
+    return it->second;
+}
+
 std::uint32_t Memory::readWord(std::uint64_t wordAddress) const {
     ++reads_;
-    return page(wordAddress)[wordAddress % kPageWords];
+    std::uint32_t& stored = page(wordAddress)[wordAddress % kPageWords];
+    if (eccEnabled_) {
+        const std::uint32_t check = eccPage(wordAddress)[wordAddress % kPageWords];
+        const std::uint32_t diff = stored ^ check;
+        if (diff != 0) {
+            if (std::popcount(diff) == 1) {
+                // Single-bit upset: correct in place, as SECDED hardware
+                // scrubbing would.
+                stored = check;
+                ++eccCorrected_;
+            } else {
+                throw SimulationError(format(
+                    "DDR ECC: uncorrectable multi-bit error at word 0x%llx "
+                    "(read 0x%08x, expected 0x%08x)",
+                    static_cast<unsigned long long>(wordAddress), stored, check));
+            }
+        }
+    }
+    return stored;
 }
 
 void Memory::writeWord(std::uint64_t wordAddress, std::uint32_t value) {
     ++writes_;
     page(wordAddress)[wordAddress % kPageWords] = value;
+    if (eccEnabled_) {
+        eccPage(wordAddress)[wordAddress % kPageWords] = value;
+    }
+}
+
+void Memory::setEccEnabled(bool enabled) {
+    if (enabled && !eccEnabled_) {
+        // Snapshot the check words for everything already written.
+        for (const auto& [pageIndex, data] : pages_) {
+            eccPages_[pageIndex] = data;
+        }
+    }
+    eccEnabled_ = enabled;
+    if (!enabled) {
+        eccPages_.clear();
+    }
+}
+
+void Memory::injectBitFlip(std::uint64_t wordAddress, unsigned bit) {
+    page(wordAddress)[wordAddress % kPageWords] ^= (1U << (bit & 31U));
 }
 
 void Memory::writeBlock(std::uint64_t wordAddress, std::span<const std::uint32_t> data) {

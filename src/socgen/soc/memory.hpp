@@ -26,16 +26,34 @@ public:
 
     [[nodiscard]] std::size_t pagesAllocated() const { return pages_.size(); }
 
+    // -- ECC (behavioral SECDED model) ---------------------------------------
+    // When enabled, every word carries check information: reads correct a
+    // single flipped bit in place (counting it) and throw SimulationError
+    // on a multi-bit upset, naming the word address. Disabled by default —
+    // without ECC an injected flip is silent corruption, which is exactly
+    // what the resilience tests contrast against.
+    void setEccEnabled(bool enabled);
+    [[nodiscard]] bool eccEnabled() const { return eccEnabled_; }
+    [[nodiscard]] std::uint64_t eccCorrectedCount() const { return eccCorrected_; }
+
+    /// Fault hook: flips one storage bit *without* updating the ECC check
+    /// word, as a particle strike would.
+    void injectBitFlip(std::uint64_t wordAddress, unsigned bit);
+
     // -- statistics ----------------------------------------------------------
     [[nodiscard]] std::uint64_t readCount() const { return reads_; }
     [[nodiscard]] std::uint64_t writeCount() const { return writes_; }
 
 private:
     mutable std::map<std::uint64_t, std::vector<std::uint32_t>> pages_;
+    mutable std::map<std::uint64_t, std::vector<std::uint32_t>> eccPages_;
     mutable std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
+    bool eccEnabled_ = false;
+    mutable std::uint64_t eccCorrected_ = 0;
 
     [[nodiscard]] std::vector<std::uint32_t>& page(std::uint64_t wordAddress) const;
+    [[nodiscard]] std::vector<std::uint32_t>& eccPage(std::uint64_t wordAddress) const;
 };
 
 } // namespace socgen::soc

@@ -14,12 +14,16 @@ SystemSimulator::SystemSimulator(const BlockDesign& design,
     if (!design.finalised()) {
         throw SimulationError("system simulation requires a finalised design");
     }
+    memory_.setEccEnabled(options_.memoryEcc);
     ps_ = std::make_unique<ZynqPs>("arm_ps", memory_, gp_);
+    ps_->setPollWatchdog(options_.pollWatchdogCycles);
+    ps_->setIrqWatchdog(options_.irqWatchdogCycles, options_.irqWatchdogFallbackToPoll);
 
     // DMA engines (with F2P completion interrupts when requested).
     for (const IpInstance* inst : design.dmaInstances()) {
         auto dma = std::make_unique<DmaEngine>(inst->name, memory_,
                                                options_.dmaWordsPerCycle);
+        dma->setRetryLimit(options_.dmaRetryLimit);
         if (options_.useInterrupts) {
             mm2sIrqs_[inst->name] =
                 std::make_unique<IrqLine>(inst->name + "_mm2s_introut");
@@ -102,6 +106,27 @@ SystemSimulator::SystemSimulator(const BlockDesign& design,
     for (auto& monitor : monitors_) {
         engine_.addProbe([m = monitor.get()] { m->sample(); });
     }
+    for (auto& chan : channels_) {
+        engine_.addChannelWatch([c = chan.get()] {
+            sim::DeadlockReport::ChannelState state;
+            state.name = c->name();
+            state.occupancy = c->size();
+            state.capacity = c->capacity();
+            state.pushStalls = c->pushStalls();
+            state.popStalls = c->popStalls();
+            state.full = c->full();
+            state.empty = c->empty();
+            return state;
+        });
+    }
+    // Delayed IRQ edges (armDelay fault) need a per-cycle clock.
+    engine_.addProbe([this] {
+        for (auto* irqMap : {&mm2sIrqs_, &s2mmIrqs_, &coreIrqs_}) {
+            for (auto& [name, line] : *irqMap) {
+                line->tickDelay();
+            }
+        }
+    });
 }
 
 AcceleratorCore& SystemSimulator::core(const std::string& name) {
@@ -125,6 +150,98 @@ axi::StreamChannel& SystemSimulator::channel(std::size_t index) {
     return *channels_[index];
 }
 
+axi::StreamChannel* SystemSimulator::channelByName(const std::string& name) {
+    for (auto& chan : channels_) {
+        if (chan->name() == name) {
+            return chan.get();
+        }
+    }
+    return nullptr;
+}
+
+IrqLine* SystemSimulator::irqByName(const std::string& name) {
+    for (auto* irqMap : {&mm2sIrqs_, &s2mmIrqs_, &coreIrqs_}) {
+        for (auto& [instance, line] : *irqMap) {
+            if (line->name() == name) {
+                return line.get();
+            }
+        }
+    }
+    return nullptr;
+}
+
+std::vector<std::string> SystemSimulator::channelNames() const {
+    std::vector<std::string> names;
+    names.reserve(channels_.size());
+    for (const auto& chan : channels_) {
+        names.push_back(chan->name());
+    }
+    return names;
+}
+
+std::vector<std::string> SystemSimulator::irqNames() const {
+    std::vector<std::string> names;
+    for (const auto* irqMap : {&mm2sIrqs_, &s2mmIrqs_, &coreIrqs_}) {
+        for (const auto& [instance, line] : *irqMap) {
+            names.push_back(line->name());
+        }
+    }
+    return names;
+}
+
+std::vector<std::string> SystemSimulator::dmaNames() const {
+    std::vector<std::string> names;
+    names.reserve(dmas_.size());
+    for (const auto& [name, dma] : dmas_) {
+        names.push_back(name);
+    }
+    return names;
+}
+
+void SystemSimulator::armFaults(sim::FaultInjector& injector) {
+    using sim::FaultEvent;
+    using sim::FaultKind;
+    injector.onFault(FaultKind::StreamStall, [this, &injector](const FaultEvent& e) {
+        axi::StreamChannel* chan = channelByName(e.target);
+        if (chan == nullptr) {
+            throw SimulationError("fault targets unknown channel: " + e.target);
+        }
+        chan->setPushBlocked(true);
+        chan->setPopBlocked(true);
+        injector.schedule(
+            {FaultKind::StreamResume, engine_.now() + e.a, e.target, 0, 0});
+    });
+    injector.onFault(FaultKind::StreamResume, [this](const FaultEvent& e) {
+        if (axi::StreamChannel* chan = channelByName(e.target)) {
+            chan->setPushBlocked(false);
+            chan->setPopBlocked(false);
+        }
+    });
+    injector.onFault(FaultKind::IrqDrop, [this](const FaultEvent& e) {
+        if (IrqLine* line = irqByName(e.target)) {
+            line->armDrop(e.a == 0 ? 1 : e.a);
+        }
+    });
+    injector.onFault(FaultKind::IrqDelay, [this](const FaultEvent& e) {
+        if (IrqLine* line = irqByName(e.target)) {
+            line->armDelay(e.a);
+        }
+    });
+    injector.onFault(FaultKind::DdrBitFlip, [this](const FaultEvent& e) {
+        memory_.injectBitFlip(e.a, static_cast<unsigned>(e.b));
+    });
+    injector.onFault(FaultKind::DmaCorruptMm2s, [this](const FaultEvent& e) {
+        dma(e.target).injectMm2sCorruption(e.a, e.b == 0 ? 1 : e.b);
+    });
+    injector.onFault(FaultKind::DmaCorruptS2mm, [this](const FaultEvent& e) {
+        dma(e.target).injectS2mmCorruption(e.a, e.b == 0 ? 1 : e.b);
+    });
+    injector.onFault(FaultKind::DmaStall, [this](const FaultEvent& e) {
+        dma(e.target).injectStall(e.a);
+    });
+    injector.attach(engine_);
+}
+
 std::uint64_t SystemSimulator::baseAddressOf(const std::string& instance) const {
     for (const auto& l : design_.lites()) {
         if (l.instance == instance) {
@@ -141,7 +258,10 @@ void SystemSimulator::psWriteDma(const std::string& dmaName, int route,
     ps_->writeReg(base + dmareg::kMm2sRoute, static_cast<std::uint32_t>(route));
     ps_->writeReg(base + dmareg::kMm2sLength, words);
     if (options_.useInterrupts) {
-        ps_->waitIrq(*mm2sIrqs_.at(dmaName));
+        // Carry the status-poll spec so an IRQ watchdog can degrade the
+        // wait into polling instead of hanging on a lost edge.
+        ps_->waitIrqWithFallback(*mm2sIrqs_.at(dmaName), base + dmareg::kMm2sStatus,
+                                 dmareg::kStatusIdle, dmareg::kStatusIdle);
     } else {
         ps_->pollEq(base + dmareg::kMm2sStatus, dmareg::kStatusIdle,
                     dmareg::kStatusIdle);
@@ -157,11 +277,12 @@ void SystemSimulator::psArmReadDma(const std::string& dmaName, int route,
 }
 
 void SystemSimulator::psWaitReadDma(const std::string& dmaName) {
+    const std::uint64_t base = baseAddressOf(dmaName);
     if (options_.useInterrupts) {
-        ps_->waitIrq(*s2mmIrqs_.at(dmaName));
+        ps_->waitIrqWithFallback(*s2mmIrqs_.at(dmaName), base + dmareg::kS2mmStatus,
+                                 dmareg::kStatusIdle, dmareg::kStatusIdle);
         return;
     }
-    const std::uint64_t base = baseAddressOf(dmaName);
     ps_->pollEq(base + dmareg::kS2mmStatus, dmareg::kStatusIdle, dmareg::kStatusIdle);
 }
 
@@ -173,7 +294,9 @@ void SystemSimulator::psWaitCore(const std::string& coreName) {
     if (options_.useInterrupts) {
         const auto it = coreIrqs_.find(coreName);
         if (it != coreIrqs_.end()) {
-            ps_->waitIrq(*it->second);
+            ps_->waitIrqWithFallback(*it->second,
+                                     baseAddressOf(coreName) + accreg::kCtrl,
+                                     accreg::kStatusDone, accreg::kStatusDone);
             return;
         }
     }
@@ -200,7 +323,7 @@ void SystemSimulator::psSetCoreArg(const std::string& coreName, const std::strin
 }
 
 std::uint64_t SystemSimulator::run(std::uint64_t maxCycles) {
-    lastRunCycles_ = engine_.runUntilIdle(maxCycles);
+    lastRunCycles_ = engine_.runUntilIdle(maxCycles, options_.stallLimit);
     for (const auto& monitor : monitors_) {
         monitor->check();
     }
@@ -224,6 +347,19 @@ std::string SystemSimulator::report() const {
         out << format("%s: %llu words moved, %llu transfers\n", name.c_str(),
                       static_cast<unsigned long long>(dma->wordsMoved()),
                       static_cast<unsigned long long>(dma->transfersCompleted()));
+        if (dma->verifyRetries() > 0) {
+            out << format("%s: %llu verification retries\n", name.c_str(),
+                          static_cast<unsigned long long>(dma->verifyRetries()));
+        }
+    }
+    if (memory_.eccCorrectedCount() > 0) {
+        out << format("ddr: %llu ECC-corrected single-bit errors\n",
+                      static_cast<unsigned long long>(memory_.eccCorrectedCount()));
+    }
+    if (ps_->irqWatchdogFires() > 0) {
+        out << format("arm_ps: %llu IRQ watchdog fires (%llu fallbacks to polling)\n",
+                      static_cast<unsigned long long>(ps_->irqWatchdogFires()),
+                      static_cast<unsigned long long>(ps_->irqFallbacks()));
     }
     for (const auto& [name, core] : cores_) {
         out << format("%s: %llu cycles, %llu stalled, %llu instructions\n", name.c_str(),

@@ -3,6 +3,7 @@
 #include "socgen/axi/monitor.hpp"
 #include "socgen/hls/bytecode.hpp"
 #include "socgen/sim/engine.hpp"
+#include "socgen/sim/fault.hpp"
 #include "socgen/soc/accelerator.hpp"
 #include "socgen/soc/block_design.hpp"
 #include "socgen/soc/dma.hpp"
@@ -11,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace socgen::soc {
 
@@ -21,6 +23,14 @@ struct SystemOptions {
     /// Completion notification style of the generated driver: busy-wait
     /// register polling (the paper's readDMA/writeDMA) or F2P interrupts.
     bool useInterrupts = false;
+
+    // -- hardening (all disabled by default: the un-hardened paper system) --
+    std::uint64_t irqWatchdogCycles = 0;   ///< budget per waitIrq; 0 = off
+    bool irqWatchdogFallbackToPoll = true; ///< degrade to polling vs. throw
+    std::uint64_t pollWatchdogCycles = 0;  ///< budget per register poll; 0 = off
+    unsigned dmaRetryLimit = 0;            ///< HP-port verify retries; 0 = off
+    bool memoryEcc = false;                ///< DDR single-bit correction
+    std::uint64_t stallLimit = 100'000;    ///< deadlock declaration threshold
 };
 
 /// Instantiates the runtime counterpart of a finalised BlockDesign:
@@ -44,6 +54,23 @@ public:
     [[nodiscard]] axi::StreamChannel& channel(std::size_t index);
     [[nodiscard]] std::size_t channelCount() const { return channels_.size(); }
     [[nodiscard]] std::uint64_t baseAddressOf(const std::string& instance) const;
+    /// Channel lookup by its "from -> to" name (used for fault targeting);
+    /// returns nullptr when absent.
+    [[nodiscard]] axi::StreamChannel* channelByName(const std::string& name);
+    /// IRQ line lookup across DMA and core completion lines; nullptr when
+    /// absent (e.g. the system runs in polling mode).
+    [[nodiscard]] IrqLine* irqByName(const std::string& name);
+
+    /// Binds every cycle-level FaultKind handler to this system's
+    /// channels, IRQ lines, memory and DMAs, and attaches the injector to
+    /// the engine. Call before run(); flow-level kinds (bitstream/HLS)
+    /// are not consumed here.
+    void armFaults(sim::FaultInjector& injector);
+
+    /// The resource names a FaultPlan::Space can target on this system.
+    [[nodiscard]] std::vector<std::string> channelNames() const;
+    [[nodiscard]] std::vector<std::string> irqNames() const;
+    [[nodiscard]] std::vector<std::string> dmaNames() const;
 
     // -- generated-driver-equivalent operations (enqueued on the PS) ----------
     /// writeDMA(): programs an MM2S transfer and blocks until it drains.

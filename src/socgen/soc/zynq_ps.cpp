@@ -1,5 +1,8 @@
 #include "socgen/soc/zynq_ps.hpp"
 
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
 namespace socgen::soc {
 
 ZynqPs::ZynqPs(std::string name, Memory& memory, GpInterconnect& gp)
@@ -48,6 +51,22 @@ void ZynqPs::waitIrq(IrqLine& line, std::uint64_t wakeLatency) {
     program_.push_back(std::move(op));
 }
 
+void ZynqPs::waitIrqWithFallback(IrqLine& line, std::uint64_t address,
+                                 std::uint32_t mask, std::uint32_t expect,
+                                 std::uint64_t wakeLatency,
+                                 std::uint64_t pollInterval) {
+    Op op;
+    op.kind = OpKind::WaitIrq;
+    op.irq = &line;
+    op.cycles = wakeLatency;
+    op.address = address;
+    op.mask = mask;
+    op.expect = expect;
+    op.pollInterval = pollInterval == 0 ? 1 : pollInterval;
+    op.hasIrqFallback = true;
+    program_.push_back(std::move(op));
+}
+
 void ZynqPs::startNextOp() {
     Op op = std::move(program_.front());
     program_.pop_front();
@@ -70,6 +89,7 @@ void ZynqPs::startNextOp() {
         pollingActive_ = true;
         pollingOp_ = std::move(op);
         busyFor_ = 0;
+        waitStartTick_ = tickCount_;
         break;
     case OpKind::Delay:
         busyFor_ = op.cycles;
@@ -78,11 +98,13 @@ void ZynqPs::startNextOp() {
         irqWaitActive_ = true;
         pollingOp_ = std::move(op);
         busyFor_ = 0;
+        waitStartTick_ = tickCount_;
         break;
     }
 }
 
 bool ZynqPs::tick() {
+    ++tickCount_;
     if (busyFor_ > 0) {
         --busyFor_;
         ++cyclesBusy_;
@@ -96,6 +118,24 @@ bool ZynqPs::tick() {
             ++cyclesBusy_;
             return true;
         }
+        if (irqWatchdog_ > 0 && tickCount_ - waitStartTick_ >= irqWatchdog_) {
+            ++irqWatchdogFires_;
+            if (irqFallbackEnabled_ && pollingOp_.hasIrqFallback) {
+                // The interrupt edge is presumed lost; degrade to the
+                // busy-wait driver path against the completion register.
+                ++irqFallbacks_;
+                irqWaitActive_ = false;
+                pollingActive_ = true;
+                waitStartTick_ = tickCount_;
+                ++cyclesBusy_;
+                return true;
+            }
+            throw WatchdogError(format(
+                "%s: IRQ '%s' not raised within %llu cycles (raised %llu times total)",
+                name_.c_str(), pollingOp_.irq->name().c_str(),
+                static_cast<unsigned long long>(irqWatchdog_),
+                static_cast<unsigned long long>(pollingOp_.irq->raiseCount())));
+        }
         return false;  // sleeping: no bus traffic, no progress
     }
     if (pollingActive_) {
@@ -103,10 +143,20 @@ bool ZynqPs::tick() {
         const std::uint64_t accessCycles = gp_.consumeAccessCycles();
         driverCycles_ += accessCycles;
         ++cyclesBusy_;
+        lastPollValue_ = value;
         if ((value & pollingOp_.mask) == pollingOp_.expect) {
             pollingActive_ = false;
             busyFor_ = accessCycles;
         } else {
+            if (pollWatchdog_ > 0 && tickCount_ - waitStartTick_ >= pollWatchdog_) {
+                throw WatchdogError(format(
+                    "%s: poll of 0x%llx stuck for %llu cycles "
+                    "(mask 0x%x expect 0x%x, last value 0x%x)",
+                    name_.c_str(),
+                    static_cast<unsigned long long>(pollingOp_.address),
+                    static_cast<unsigned long long>(tickCount_ - waitStartTick_),
+                    pollingOp_.mask, pollingOp_.expect, value));
+            }
             busyFor_ = accessCycles + pollingOp_.pollInterval;
         }
         return true;
@@ -121,6 +171,25 @@ bool ZynqPs::tick() {
 
 bool ZynqPs::idle() const {
     return program_.empty() && busyFor_ == 0 && !pollingActive_ && !irqWaitActive_;
+}
+
+std::string ZynqPs::debugState() const {
+    if (irqWaitActive_) {
+        return format("waiting for IRQ '%s' since tick %llu",
+                      pollingOp_.irq->name().c_str(),
+                      static_cast<unsigned long long>(waitStartTick_));
+    }
+    if (pollingActive_) {
+        return format("polling 0x%llx (mask 0x%x expect 0x%x, last 0x%x) since tick %llu",
+                      static_cast<unsigned long long>(pollingOp_.address),
+                      pollingOp_.mask, pollingOp_.expect, lastPollValue_,
+                      static_cast<unsigned long long>(waitStartTick_));
+    }
+    if (!program_.empty() || busyFor_ > 0) {
+        return format("%zu op(s) queued, busy for %llu more cycles", program_.size(),
+                      static_cast<unsigned long long>(busyFor_));
+    }
+    return {};
 }
 
 } // namespace socgen::soc

@@ -47,10 +47,33 @@ public:
     /// driver alternative to busy-wait polling.
     void waitIrq(IrqLine& line, std::uint64_t wakeLatency = 24);
 
+    /// waitIrq with a registered escape hatch: if the IRQ watchdog
+    /// expires, the wait degrades into polling `address` for
+    /// (value & mask) == expect instead of throwing — the hardened driver
+    /// pattern for a completion source whose interrupt edge may be lost.
+    void waitIrqWithFallback(IrqLine& line, std::uint64_t address, std::uint32_t mask,
+                             std::uint32_t expect, std::uint64_t wakeLatency = 24,
+                             std::uint64_t pollInterval = 16);
+
+    // -- watchdogs -----------------------------------------------------------
+    // Budgets are in PL-clock cycles per operation; 0 (default) disables.
+    // A poll exceeding its budget throws WatchdogError naming the address,
+    // mask and last observed value. An IRQ wait exceeding its budget falls
+    // back to polling when the op carries a fallback spec (and fallback is
+    // enabled), else throws WatchdogError naming the line.
+    void setPollWatchdog(std::uint64_t cycles) { pollWatchdog_ = cycles; }
+    void setIrqWatchdog(std::uint64_t cycles, bool fallbackToPoll = true) {
+        irqWatchdog_ = cycles;
+        irqFallbackEnabled_ = fallbackToPoll;
+    }
+    [[nodiscard]] std::uint64_t irqWatchdogFires() const { return irqWatchdogFires_; }
+    [[nodiscard]] std::uint64_t irqFallbacks() const { return irqFallbacks_; }
+
     // sim::Component
     [[nodiscard]] const std::string& name() const override { return name_; }
     bool tick() override;
     [[nodiscard]] bool idle() const override;
+    [[nodiscard]] std::string debugState() const override;
 
     // -- statistics ----------------------------------------------------------
     [[nodiscard]] std::uint64_t cyclesBusy() const { return cyclesBusy_; }
@@ -73,6 +96,7 @@ private:
         std::uint32_t expect = 0;
         std::uint64_t pollInterval = 16;
         IrqLine* irq = nullptr;
+        bool hasIrqFallback = false;
     };
 
     void startNextOp();
@@ -90,6 +114,14 @@ private:
     std::uint64_t driverCycles_ = 0;
     std::uint64_t irqWakeups_ = 0;
     std::size_t opsExecuted_ = 0;
+    std::uint64_t tickCount_ = 0;
+    std::uint64_t waitStartTick_ = 0;  ///< tick at which the active poll/wait began
+    std::uint32_t lastPollValue_ = 0;
+    std::uint64_t pollWatchdog_ = 0;
+    std::uint64_t irqWatchdog_ = 0;
+    bool irqFallbackEnabled_ = true;
+    std::uint64_t irqWatchdogFires_ = 0;
+    std::uint64_t irqFallbacks_ = 0;
 };
 
 } // namespace socgen::soc

@@ -94,6 +94,86 @@ TEST(Monitor, ConservationHolds) {
     EXPECT_DOUBLE_EQ(monitor.averageOccupancy(), 0.5);
 }
 
+TEST(Monitor, BeatLossDetected) {
+    StreamChannel chan("c", 4, 32);
+    StreamMonitor monitor(chan);
+    (void)chan.tryPush(1);
+    (void)chan.tryPush(2);
+    monitor.sample();
+    // A dropped beat breaks pushed == popped + in-flight conservation.
+    ASSERT_TRUE(chan.dropFront());
+    try {
+        monitor.check();
+        FAIL() << "expected a conservation violation";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("lost beats"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("c"), std::string::npos);
+    }
+}
+
+TEST(Monitor, CapacityViolationDetected) {
+    StreamChannel chan("c", 2, 32);
+    StreamMonitor monitor(chan);
+    // forcePush ignores ready/valid: a broken master overruns the FIFO.
+    for (int i = 0; i < 4; ++i) {
+        chan.forcePush(StreamBeat{static_cast<std::uint64_t>(i), false});
+    }
+    monitor.sample();
+    try {
+        monitor.check();
+        FAIL() << "expected a capacity violation";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("exceeded capacity"), std::string::npos);
+    }
+}
+
+TEST(Monitor, TlastViolationDetected) {
+    StreamChannel chan("frames", 16, 32);
+    StreamMonitor monitor(chan);
+    monitor.setMaxFrameBeats(4);
+    // A well-framed burst passes.
+    for (int i = 0; i < 3; ++i) {
+        (void)chan.tryPush(static_cast<std::uint64_t>(i), i == 2);
+    }
+    monitor.sample();
+    EXPECT_NO_THROW(monitor.check());
+    EXPECT_EQ(chan.framesCompleted(), 1u);
+    // A master that never asserts TLAST starves frame-gated consumers.
+    for (int i = 0; i < 6; ++i) {
+        (void)chan.tryPush(static_cast<std::uint64_t>(i), false);
+        StreamBeat beat;
+        (void)chan.tryPop(beat);
+        monitor.sample();
+    }
+    try {
+        monitor.check();
+        FAIL() << "expected a TLAST violation";
+    } catch (const Error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("TLAST violation"), std::string::npos);
+        EXPECT_NE(what.find("without end-of-frame"), std::string::npos);
+        EXPECT_NE(what.find("frames"), std::string::npos);
+    }
+}
+
+TEST(Stream, BlockedDirectionsRefuseHandshake) {
+    StreamChannel chan("c", 4, 32);
+    (void)chan.tryPush(1);
+    chan.setPushBlocked(true);
+    chan.setPopBlocked(true);
+    EXPECT_FALSE(chan.tryPush(2));
+    StreamBeat beat;
+    EXPECT_FALSE(chan.tryPop(beat));
+    // Refused handshakes count as stalls (TVALID && !TREADY and vice versa).
+    EXPECT_GE(chan.pushStalls(), 1u);
+    EXPECT_GE(chan.popStalls(), 1u);
+    chan.setPushBlocked(false);
+    chan.setPopBlocked(false);
+    EXPECT_TRUE(chan.tryPush(2));
+    EXPECT_TRUE(chan.tryPop(beat));
+    EXPECT_EQ(beat.data, 1u);
+}
+
 class LiteRegisterFile : public LiteSlave {
 public:
     std::uint32_t regs[16] = {};

@@ -169,6 +169,49 @@ INSTANTIATE_TEST_SUITE_P(
                 "end_nodes; tg edges; tg end_edges; }"}),
     [](const testing::TestParamInfo<BadCase>& info) { return info.param.name; });
 
+TEST(Parser, TruncatedLinkReportsPositionAndFoundToken) {
+    const char* dsl =
+        "object p extends App {\n"
+        "  tg nodes; tg node \"X\" is \"a\" end; tg end_nodes;\n"
+        "  tg edges;\n"
+        "    tg link (\"X\",\"a\") to";
+    try {
+        (void)parseDsl(dsl);
+        FAIL() << "expected a parse error";
+    } catch (const DslError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("4:"), std::string::npos);  // the truncated line
+        EXPECT_NE(what.find("expected"), std::string::npos);
+        EXPECT_NE(what.find("end of input"), std::string::npos);
+    }
+}
+
+TEST(Parser, TruncatedSocLinkRejected) {
+    EXPECT_THROW((void)parseDsl("object p extends App {\n"
+                                "  tg nodes; tg node \"X\" is \"a\" end; tg end_nodes;\n"
+                                "  tg edges; tg link 'soc to"),
+                 DslError);
+}
+
+TEST(Parser, UnknownPortKindNamesTokenAndPosition) {
+    const char* dsl =
+        "object p extends App {\n"
+        "  tg nodes;\n"
+        "    tg node \"X\" os \"a\" end;\n"
+        "  tg end_nodes;\n"
+        "  tg edges; tg end_edges;\n"
+        "}";
+    try {
+        (void)parseDsl(dsl);
+        FAIL() << "expected a parse error";
+    } catch (const DslError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("3:17"), std::string::npos);
+        EXPECT_NE(what.find("unknown port kind 'os'"), std::string::npos);
+        EXPECT_NE(what.find("expected 'i', 'is', or 'end'"), std::string::npos);
+    }
+}
+
 TEST(Parser, ErrorMessageHasPositionAndExpectation) {
     try {
         (void)parseDsl("object p extends App { tg bogus; }");

@@ -1,0 +1,494 @@
+// Resilience harness (CTest label: resilience): runs the paper's Otsu
+// Arch4 case study under an injected-fault sweep and asserts the hardened
+// runtime either recovers bit-exactly or fails with a structured,
+// component-naming error — never a hang, never silent corruption.
+
+#include "socgen/apps/otsu_project.hpp"
+#include "socgen/axi/stream.hpp"
+#include "socgen/common/error.hpp"
+#include "socgen/sim/engine.hpp"
+#include "socgen/sim/fault.hpp"
+#include "socgen/soc/bitstream.hpp"
+#include "socgen/socgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace socgen {
+namespace {
+
+constexpr unsigned kW = 48;
+constexpr unsigned kH = 48;
+constexpr std::int64_t kPixels = static_cast<std::int64_t>(kW) * kH;
+
+/// Mirrors the word-address layout of otsu_project.cpp: the RGB input
+/// buffer staged by the readImage task.
+constexpr std::uint64_t kImgBase = 0x1000;
+
+/// Channel / IRQ / DMA names of the Arch4 shared-DMA system, as produced
+/// by SystemSimulator ("from -> to" endpoint strings).
+const char* const kInputChannel = "'soc -> grayScale/imageIn";
+const char* const kChChannel = "grayScale/imageOutCH -> computeHistogram/grayScaleImage";
+const char* const kSharedDma = "axi_dma_0";
+const char* const kMm2sIrq = "axi_dma_0_mm2s_introut";
+const char* const kS2mmIrq = "axi_dma_0_s2mm_introut";
+
+struct ResilienceCase {
+    apps::RgbImage scene = apps::makeSyntheticScene(kW, kH);
+    apps::GrayImage reference = apps::otsuFilterRef(scene);
+    core::Htg htg = apps::makeOtsuHtg();
+    hls::KernelLibrary kernels = apps::makeOtsuKernelLibrary(kPixels);
+    std::shared_ptr<core::HlsCache> cache = std::make_shared<core::HlsCache>();
+    core::FlowResult arch4 = buildArch4();
+
+    core::FlowResult buildArch4() {
+        core::Flow flow(apps::otsuFlowOptions(), kernels, cache);
+        return flow.run("Arch4", core::lowerToTaskGraph(htg, apps::otsuArchPartition(4)));
+    }
+};
+
+ResilienceCase& fixture() {
+    static ResilienceCase instance;
+    return instance;
+}
+
+struct FaultRun {
+    apps::OtsuSystemRunner::Result result;
+    std::string injectorLog;
+};
+
+/// Runs Arch4 with the plan armed against the freshly built simulator.
+FaultRun runWithPlan(const soc::SystemOptions& options, const sim::FaultPlan& plan) {
+    ResilienceCase& rc = fixture();
+    apps::OtsuSystemRunner runner(rc.arch4, apps::otsuArchPartition(4), options);
+    sim::FaultInjector injector(plan);
+    FaultRun out;
+    out.result = runner.run(
+        rc.scene, [&injector](soc::SystemSimulator& sim) { sim.armFaults(injector); });
+    out.injectorLog = injector.log();
+    return out;
+}
+
+/// All recovery mechanisms on at once — the hardened system the sweep
+/// exercises. Watchdog/retry budgets are generous enough that the
+/// bounded faults of FaultPlan::randomPlan always recover.
+soc::SystemOptions hardenedOptions() {
+    soc::SystemOptions options;
+    options.useInterrupts = true;
+    options.irqWatchdogCycles = 6'000;
+    options.irqWatchdogFallbackToPoll = true;
+    options.pollWatchdogCycles = 500'000;
+    options.dmaRetryLimit = 6;
+    options.memoryEcc = true;
+    return options;
+}
+
+sim::FaultPlan::Space arch4FaultSpace() {
+    sim::FaultPlan::Space space;
+    space.channels = {kInputChannel, kChChannel};
+    space.irqLines = {kMm2sIrq, kS2mmIrq};
+    space.dmas = {kSharedDma};
+    space.maxCycle = 20'000;
+    space.ddrWords = static_cast<std::uint64_t>(kPixels);
+    space.eventCount = 5;
+    return space;
+}
+
+// ---------------------------------------------------------------------------
+// Fault targeting: the names a plan uses must be addressable on the
+// simulated system (and a clean interrupt-mode run stays bit-exact).
+
+TEST(Resilience, FaultTargetsAreAddressable) {
+    ResilienceCase& rc = fixture();
+    soc::SystemOptions options;
+    options.useInterrupts = true;
+    apps::OtsuSystemRunner runner(rc.arch4, apps::otsuArchPartition(4), options);
+    std::vector<std::string> channels;
+    std::vector<std::string> irqs;
+    std::vector<std::string> dmas;
+    const auto run = runner.run(rc.scene, [&](soc::SystemSimulator& sim) {
+        channels = sim.channelNames();
+        irqs = sim.irqNames();
+        dmas = sim.dmaNames();
+        EXPECT_NE(sim.channelByName(kInputChannel), nullptr);
+        EXPECT_NE(sim.channelByName(kChChannel), nullptr);
+        EXPECT_NE(sim.irqByName(kMm2sIrq), nullptr);
+        EXPECT_EQ(sim.channelByName("no-such-channel"), nullptr);
+        EXPECT_EQ(sim.irqByName("no-such-line"), nullptr);
+    });
+    EXPECT_TRUE(run.output == rc.reference);
+    const auto has = [](const std::vector<std::string>& names, const char* name) {
+        return std::find(names.begin(), names.end(), name) != names.end();
+    };
+    EXPECT_TRUE(has(channels, kInputChannel));
+    EXPECT_TRUE(has(channels, kChChannel));
+    EXPECT_TRUE(has(irqs, kMm2sIrq));
+    EXPECT_TRUE(has(irqs, kS2mmIrq));
+    EXPECT_TRUE(has(dmas, kSharedDma));
+}
+
+// ---------------------------------------------------------------------------
+// Fault kind 1: stream stall.
+
+TEST(Resilience, TransientStreamStallRecoversBitExact) {
+    sim::FaultPlan plan;
+    plan.stallStream(300, kChChannel, 500);
+    const FaultRun run = runWithPlan({}, plan);
+    EXPECT_TRUE(run.result.output == fixture().reference);
+    EXPECT_NE(run.injectorLog.find("stream-stall"), std::string::npos);
+    EXPECT_NE(run.injectorLog.find("stream-resume"), std::string::npos);
+}
+
+TEST(Resilience, PersistentStreamStallHitsPollWatchdog) {
+    soc::SystemOptions options;
+    options.pollWatchdogCycles = 20'000;
+    sim::FaultPlan plan;
+    plan.stallStream(100, kInputChannel, 50'000'000);
+    try {
+        (void)runWithPlan(options, plan);
+        FAIL() << "expected a watchdog diagnosis";
+    } catch (const WatchdogError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("watchdog"), std::string::npos);
+        EXPECT_NE(what.find("poll of"), std::string::npos);
+        EXPECT_NE(what.find("stuck"), std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault kind 2: dropped / delayed interrupt edges.
+
+TEST(Resilience, IrqDropFallsBackToPolling) {
+    soc::SystemOptions options;
+    options.useInterrupts = true;
+    options.irqWatchdogCycles = 4'000;
+    options.irqWatchdogFallbackToPoll = true;
+    sim::FaultPlan plan;
+    plan.dropIrq(10, kMm2sIrq);
+    const FaultRun run = runWithPlan(options, plan);
+    EXPECT_TRUE(run.result.output == fixture().reference);
+    EXPECT_NE(run.result.report.find("IRQ watchdog fires"), std::string::npos);
+    EXPECT_NE(run.result.report.find("fallbacks to polling"), std::string::npos);
+}
+
+TEST(Resilience, IrqDropWithoutFallbackNamesTheLine) {
+    soc::SystemOptions options;
+    options.useInterrupts = true;
+    options.irqWatchdogCycles = 4'000;
+    options.irqWatchdogFallbackToPoll = false;
+    sim::FaultPlan plan;
+    plan.dropIrq(10, kMm2sIrq);
+    try {
+        (void)runWithPlan(options, plan);
+        FAIL() << "expected a watchdog diagnosis";
+    } catch (const WatchdogError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find(kMm2sIrq), std::string::npos);
+        EXPECT_NE(what.find("not raised within"), std::string::npos);
+    }
+}
+
+TEST(Resilience, DelayedIrqEdgeIsToleratedByTheWait) {
+    soc::SystemOptions options;
+    options.useInterrupts = true;
+    sim::FaultPlan plan;
+    plan.delayIrq(10, kS2mmIrq, 2'000);
+    const FaultRun run = runWithPlan(options, plan);
+    EXPECT_TRUE(run.result.output == fixture().reference);
+    EXPECT_NE(run.injectorLog.find("irq-delay"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Fault kind 3: DDR bit flips.
+
+TEST(Resilience, DdrBitFlipCorrectedByEcc) {
+    soc::SystemOptions options;
+    options.memoryEcc = true;
+    sim::FaultPlan plan;
+    plan.flipDdrBit(50, kImgBase + 123, 5);
+    const FaultRun run = runWithPlan(options, plan);
+    EXPECT_TRUE(run.result.output == fixture().reference);
+    EXPECT_NE(run.result.report.find("ECC-corrected"), std::string::npos);
+}
+
+TEST(Resilience, DdrMultiBitFlipIsUncorrectableButNamed) {
+    soc::SystemOptions options;
+    options.memoryEcc = true;
+    sim::FaultPlan plan;
+    plan.flipDdrBit(50, kImgBase + 77, 2);
+    plan.flipDdrBit(51, kImgBase + 77, 9);
+    try {
+        (void)runWithPlan(options, plan);
+        FAIL() << "expected an uncorrectable-ECC diagnosis";
+    } catch (const SimulationError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("uncorrectable"), std::string::npos);
+        EXPECT_NE(what.find("0x"), std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault kind 4: DMA data-path corruption and stalls.
+
+TEST(Resilience, Mm2sCorruptionRetriedToBitExact) {
+    soc::SystemOptions options;
+    options.dmaRetryLimit = 4;
+    sim::FaultPlan plan;
+    plan.corruptMm2s(100, kSharedDma, 0x00FF00FF, 3);
+    const FaultRun run = runWithPlan(options, plan);
+    EXPECT_TRUE(run.result.output == fixture().reference);
+    EXPECT_NE(run.result.report.find("verification retries"), std::string::npos);
+}
+
+TEST(Resilience, S2mmCorruptionRewrittenToBitExact) {
+    soc::SystemOptions options;
+    options.dmaRetryLimit = 4;
+    sim::FaultPlan plan;
+    plan.corruptS2mm(100, kSharedDma, 0xA5A5A5A5, 2);
+    const FaultRun run = runWithPlan(options, plan);
+    EXPECT_TRUE(run.result.output == fixture().reference);
+    EXPECT_NE(run.result.report.find("verification retries"), std::string::npos);
+}
+
+TEST(Resilience, PersistentDmaCorruptionExhaustsRetriesAndNamesTheDma) {
+    soc::SystemOptions options;
+    options.dmaRetryLimit = 2;
+    sim::FaultPlan plan;
+    plan.corruptMm2s(100, kSharedDma, 0xDEADBEEF, 5'000'000);
+    try {
+        (void)runWithPlan(options, plan);
+        FAIL() << "expected a verification diagnosis";
+    } catch (const SimulationError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find(kSharedDma), std::string::npos);
+        EXPECT_NE(what.find("failed verification"), std::string::npos);
+    }
+}
+
+TEST(Resilience, DmaStallDelaysButRecovers) {
+    sim::FaultPlan plan;
+    plan.stallDma(200, kSharedDma, 400);
+    const FaultRun run = runWithPlan({}, plan);
+    EXPECT_TRUE(run.result.output == fixture().reference);
+    EXPECT_NE(run.injectorLog.find("dma-stall"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Fault kind 5: bitstream corruption (flow-level, consumed pre-run).
+
+/// Flips a bit of section `section`'s record bytes inside a serialized
+/// image, mirroring the on-disk layout documented in bitstream.cpp:
+/// magic, payload CRC, design, part, count, then `len:crc:record` lines.
+std::string corruptBitstreamSection(std::string image, std::size_t section,
+                                    unsigned bit) {
+    std::size_t pos = 0;
+    for (int line = 0; line < 5; ++line) {
+        pos = image.find('\n', pos);
+        if (pos == std::string::npos) {
+            throw Error("test: bitstream image shorter than its header");
+        }
+        ++pos;
+    }
+    for (std::size_t i = 0;; ++i) {
+        const std::size_t lenEnd = image.find(':', pos);
+        if (lenEnd == std::string::npos) {
+            throw Error("test: bitstream image has fewer sections than expected");
+        }
+        const std::size_t len = std::stoul(image.substr(pos, lenEnd - pos));
+        const std::size_t recordStart = image.find(':', lenEnd + 1) + 1;
+        if (i == section) {
+            // Low bits keep the byte printable so only this record's CRC
+            // breaks (no structural damage to neighbouring sections).
+            image[recordStart] ^= static_cast<char>(1u << (bit % 3));
+            return image;
+        }
+        pos = recordStart + len + 1;  // record + trailing newline
+    }
+}
+
+TEST(Resilience, BitstreamCorruptionLocalizedToSection) {
+    ResilienceCase& rc = fixture();
+    ASSERT_GE(rc.arch4.bitstream.configRecords.size(), 4u);
+    sim::FaultPlan plan;
+    plan.corruptBitstream(2, 1);
+    const auto events = plan.eventsOfKind(sim::FaultKind::BitstreamCorrupt);
+    ASSERT_EQ(events.size(), 1u);
+    const std::string corrupted = corruptBitstreamSection(
+        rc.arch4.bitstream.serialize(), events[0].a,
+        static_cast<unsigned>(events[0].b));
+    try {
+        (void)soc::Bitstream::parse(corrupted);
+        FAIL() << "expected a CRC diagnosis";
+    } catch (const BitstreamError& e) {
+        ASSERT_EQ(e.badSections().size(), 1u);
+        EXPECT_EQ(e.badSections()[0], 2u);
+        EXPECT_NE(std::string(e.what()).find("[2]"), std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault kind 6: per-kernel HLS failure (flow-level, degrade to software).
+
+TEST(Resilience, HlsFailureDegradesKernelAndSoftwareFallbackIsBitExact) {
+    ResilienceCase& rc = fixture();
+    sim::FaultPlan plan;
+    plan.failHls("segment");
+    core::FlowOptions flowOptions = apps::otsuFlowOptions();
+    for (const auto& e : plan.eventsOfKind(sim::FaultKind::HlsFailure)) {
+        flowOptions.injectHlsFailures.insert(e.target);
+    }
+    core::Flow flow(flowOptions, rc.kernels, rc.cache);
+    const core::FlowResult degraded = flow.run(
+        "Arch4Degraded", core::lowerToTaskGraph(rc.htg, apps::otsuArchPartition(4)));
+
+    EXPECT_TRUE(degraded.diagnostics.anyDegraded());
+    EXPECT_EQ(degraded.diagnostics.degradedNodes(),
+              std::vector<std::string>{"segment"});
+    EXPECT_NE(degraded.diagnostics.render().find("segment"), std::string::npos);
+    EXPECT_EQ(degraded.design.hlsCores().size(), 3u);
+
+    // The flow completed: run the surviving three-core system with
+    // segment mapped back to software — output must still be bit-exact.
+    apps::OtsuSystemRunner runner(degraded, apps::otsuMaskPartition(0b0111));
+    EXPECT_TRUE(runner.run(rc.scene).output == rc.reference);
+}
+
+TEST(Resilience, HlsFailureWithAbortPolicyStopsTheFlow) {
+    ResilienceCase& rc = fixture();
+    core::FlowOptions flowOptions = apps::otsuFlowOptions();
+    flowOptions.hlsFailurePolicy = core::HlsFailurePolicy::Abort;
+    flowOptions.injectHlsFailures.insert("segment");
+    core::Flow flow(flowOptions, rc.kernels, rc.cache);
+    EXPECT_THROW(
+        (void)flow.run("Arch4Abort",
+                       core::lowerToTaskGraph(rc.htg, apps::otsuArchPartition(4))),
+        HlsError);
+}
+
+// ---------------------------------------------------------------------------
+// Seed determinism: a failing sweep iteration replays exactly.
+
+TEST(Resilience, RandomPlansAreSeedDeterministic) {
+    const sim::FaultPlan::Space space = arch4FaultSpace();
+    const sim::FaultPlan a = sim::FaultPlan::randomPlan(42, space);
+    const sim::FaultPlan b = sim::FaultPlan::randomPlan(42, space);
+    EXPECT_EQ(a.render(), b.render());
+    EXPECT_EQ(a.events().size(), space.eventCount);
+    EXPECT_NE(a.render(), sim::FaultPlan::randomPlan(43, space).render());
+}
+
+TEST(Resilience, SameSeedSameOutcome) {
+    const sim::FaultPlan plan =
+        sim::FaultPlan::randomPlan(42, arch4FaultSpace());
+    const FaultRun first = runWithPlan(hardenedOptions(), plan);
+    const FaultRun second = runWithPlan(hardenedOptions(), plan);
+    EXPECT_TRUE(first.result.output == second.result.output);
+    EXPECT_EQ(first.result.cycles, second.result.cycles);
+    EXPECT_EQ(first.injectorLog, second.injectorLog);
+}
+
+// ---------------------------------------------------------------------------
+// The sweep: random plans against the fully hardened system. Either the
+// run recovers bit-exactly, or it fails with a structured socgen error
+// that names the faulting component — it may never hang (watchdogs and
+// the stall limit bound every wait) and never complete with wrong data.
+
+TEST(Resilience, RandomFaultSweepRecoversOrDiagnoses) {
+    const sim::FaultPlan::Space space = arch4FaultSpace();
+    unsigned recovered = 0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const sim::FaultPlan plan = sim::FaultPlan::randomPlan(seed, space);
+        try {
+            const FaultRun run = runWithPlan(hardenedOptions(), plan);
+            // A completed run under the hardened system must be bit-exact:
+            // anything else would be silent corruption.
+            EXPECT_TRUE(run.result.output == fixture().reference)
+                << "silent corruption under " << plan.render();
+            ++recovered;
+        } catch (const Error& e) {
+            EXPECT_FALSE(std::string(e.what()).empty()) << plan.render();
+        }
+    }
+    // The bounded faults of randomPlan are all recoverable for this space.
+    EXPECT_GE(recovered, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock forensics: two cross-linked read-first stream nodes wedge, and
+// the DeadlockReport names both of them with channel occupancy state.
+
+class StreamRelay final : public sim::Component {
+public:
+    StreamRelay(std::string name, axi::StreamChannel& in, axi::StreamChannel& out)
+        : name_(std::move(name)), in_(in), out_(out) {}
+
+    [[nodiscard]] const std::string& name() const override { return name_; }
+    bool tick() override {
+        axi::StreamBeat beat;
+        if (!in_.tryPop(beat)) {
+            return false;  // read-first: cannot emit before consuming
+        }
+        (void)out_.tryPush(beat);
+        return true;
+    }
+    [[nodiscard]] bool idle() const override { return false; }
+    [[nodiscard]] std::string debugState() const override {
+        return "waiting for a beat on " + in_.name();
+    }
+
+private:
+    std::string name_;
+    axi::StreamChannel& in_;
+    axi::StreamChannel& out_;
+};
+
+TEST(Resilience, CrossLinkedStreamNodesProduceDeadlockReport) {
+    axi::StreamChannel aToB("nodeA/out -> nodeB/in", 4, 32);
+    axi::StreamChannel bToA("nodeB/out -> nodeA/in", 4, 32);
+    StreamRelay a("nodeA", bToA, aToB);
+    StreamRelay b("nodeB", aToB, bToA);
+    sim::Engine engine;
+    engine.add(a);
+    engine.add(b);
+    for (axi::StreamChannel* chan : {&aToB, &bToA}) {
+        engine.addChannelWatch([chan] {
+            sim::DeadlockReport::ChannelState state;
+            state.name = chan->name();
+            state.occupancy = chan->size();
+            state.capacity = chan->capacity();
+            state.popStalls = chan->popStalls();
+            state.empty = chan->empty();
+            return state;
+        });
+    }
+    try {
+        (void)engine.runUntilIdle(20'000, 64);
+        FAIL() << "expected a deadlock";
+    } catch (const sim::DeadlockError& e) {
+        const sim::DeadlockReport& report = e.report();
+        EXPECT_EQ(report.stallCycles, 64u);
+        EXPECT_GE(report.cycle, 64u);
+        const auto blocked = report.blockedComponents();
+        EXPECT_NE(std::find(blocked.begin(), blocked.end(), "nodeA"), blocked.end());
+        EXPECT_NE(std::find(blocked.begin(), blocked.end(), "nodeB"), blocked.end());
+        ASSERT_EQ(report.components.size(), 2u);
+        EXPECT_EQ(report.components[0].lastProgressCycle, 0u);
+        ASSERT_EQ(report.channels.size(), 2u);
+        EXPECT_TRUE(report.channels[0].empty);
+        EXPECT_TRUE(report.channels[1].empty);
+        EXPECT_GT(report.channels[0].popStalls, 0u);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("deadlock"), std::string::npos);
+        EXPECT_NE(what.find("nodeA"), std::string::npos);
+        EXPECT_NE(what.find("nodeB"), std::string::npos);
+        EXPECT_NE(what.find("waiting for a beat"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace socgen

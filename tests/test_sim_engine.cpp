@@ -32,6 +32,7 @@ public:
     const std::string& name() const override { return name_; }
     bool tick() override { return false; }
     bool idle() const override { return false; }
+    std::string debugState() const override { return "wedged waiting on nothing"; }
 
 private:
     std::string name_ = "stuck";
@@ -59,6 +60,62 @@ TEST(Engine, DeadlockDetectedWithComponentNames) {
         EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos);
         EXPECT_NE(std::string(e.what()).find("stuck"), std::string::npos);
     }
+}
+
+TEST(Engine, DeadlockErrorCarriesStructuredReport) {
+    Engine engine;
+    Worker done("worker", 3);  // makes progress, then goes idle
+    Stuck stuck;
+    engine.add(done);
+    engine.add(stuck);
+    engine.addChannelWatch([] {
+        DeadlockReport::ChannelState state;
+        state.name = "x -> y";
+        state.occupancy = 0;
+        state.capacity = 8;
+        state.empty = true;
+        return state;
+    });
+    try {
+        engine.runUntilIdle(10'000, 40);
+        FAIL() << "expected deadlock";
+    } catch (const DeadlockError& e) {
+        const DeadlockReport& report = e.report();
+        EXPECT_EQ(report.stallCycles, 40u);
+        EXPECT_GE(report.cycle, 40u);
+        // Only the stuck component counts as blocked; the idle worker does
+        // not, but its last-progress cycle is still recorded.
+        EXPECT_EQ(report.blockedComponents(), std::vector<std::string>{"stuck"});
+        ASSERT_EQ(report.components.size(), 2u);
+        EXPECT_EQ(report.components[0].name, "worker");
+        EXPECT_TRUE(report.components[0].idle);
+        EXPECT_EQ(report.components[0].lastProgressCycle, 2u);  // ticks at 0,1,2
+        EXPECT_FALSE(report.components[1].idle);
+        EXPECT_EQ(report.components[1].detail, "wedged waiting on nothing");
+        ASSERT_EQ(report.channels.size(), 1u);
+        EXPECT_EQ(report.channels[0].name, "x -> y");
+        // what() is the rendered report: names, progress cycles, channels.
+        const std::string what = e.what();
+        EXPECT_NE(what.find("deadlock"), std::string::npos);
+        EXPECT_NE(what.find("stuck"), std::string::npos);
+        EXPECT_NE(what.find("wedged waiting on nothing"), std::string::npos);
+        EXPECT_NE(what.find("x -> y"), std::string::npos);
+        EXPECT_NE(what.find("EMPTY"), std::string::npos);
+        // what() is the rendered report behind the subsystem prefix.
+        EXPECT_NE(what.find(report.render()), std::string::npos);
+    }
+}
+
+TEST(Engine, SnapshotCapturesCurrentState) {
+    Engine engine;
+    Worker w("w", 5);
+    engine.add(w);
+    engine.run(2);
+    const DeadlockReport report = engine.snapshot();
+    EXPECT_EQ(report.cycle, 2u);
+    ASSERT_EQ(report.components.size(), 1u);
+    EXPECT_EQ(report.components[0].name, "w");
+    EXPECT_EQ(report.components[0].lastProgressCycle, 1u);  // ticks at 0,1
 }
 
 TEST(Engine, MaxCyclesExceededThrows) {

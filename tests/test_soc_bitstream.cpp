@@ -67,6 +67,57 @@ TEST(Bitstream, CorruptionDetected) {
     EXPECT_THROW((void)Bitstream::parse(image), Error);
 }
 
+TEST(Bitstream, CorruptionLocalizedToSection) {
+    const BlockDesign design = tinyDesign();
+    const SynthesisResult synth = SynthesisModel{}.run(design);
+    const Bitstream bit = generateBitstream(design, synth);
+    std::size_t timingIndex = bit.configRecords.size();
+    for (std::size_t i = 0; i < bit.configRecords.size(); ++i) {
+        if (bit.configRecords[i].find("timing clk=") != std::string::npos) {
+            timingIndex = i;
+        }
+    }
+    ASSERT_LT(timingIndex, bit.configRecords.size());
+
+    std::string image = bit.serialize();
+    const std::size_t pos = image.find("timing clk=");
+    ASSERT_NE(pos, std::string::npos);
+    image[pos] ^= 0x02;  // damage one byte of that record's payload
+    try {
+        (void)Bitstream::parse(image);
+        FAIL() << "expected a CRC diagnosis";
+    } catch (const BitstreamError& e) {
+        ASSERT_EQ(e.badSections().size(), 1u);
+        EXPECT_EQ(e.badSections()[0], timingIndex);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("CRC mismatch in 1 section(s)"), std::string::npos);
+        EXPECT_NE(what.find(std::to_string(timingIndex)), std::string::npos);
+    }
+}
+
+TEST(Bitstream, HeaderOnlyCorruptionDistinguishedFromSectionDamage) {
+    const BlockDesign design = tinyDesign();
+    const SynthesisResult synth = SynthesisModel{}.run(design);
+    std::string image = generateBitstream(design, synth).serialize();
+    // Corrupt the design-name line: the payload CRC fails but every
+    // section still verifies, so the diagnosis must say so.
+    const std::size_t pos = image.find("\nbits\n");
+    ASSERT_NE(pos, std::string::npos);
+    image[pos + 1] ^= 0x02;
+    try {
+        (void)Bitstream::parse(image);
+        FAIL() << "expected a CRC diagnosis";
+    } catch (const BitstreamError& e) {
+        EXPECT_TRUE(e.badSections().empty());
+        EXPECT_NE(std::string(e.what()).find("all sections verify"),
+                  std::string::npos);
+    }
+}
+
+TEST(Bitstream, MalformedCrcHeaderRejected) {
+    EXPECT_THROW((void)Bitstream::parse("SOCGENBIT2\nnothexatall\npayload\n"), Error);
+}
+
 TEST(Bitstream, BadMagicRejected) {
     EXPECT_THROW((void)Bitstream::parse("NOTABITSTREAM\n0\n"), Error);
     EXPECT_THROW((void)Bitstream::parse(""), Error);
