@@ -68,6 +68,32 @@ private:
     std::vector<std::size_t> badSections_;
 };
 
+/// Raised by the persistent artifact store: unreadable object files,
+/// payload digest mismatches, truncated encodings. Treated as transient
+/// by the stage supervisor — a corrupt artifact is rebuilt, not fatal.
+class ArtifactError : public Error {
+public:
+    explicit ArtifactError(const std::string& message) : Error("artifact: " + message) {}
+};
+
+/// Raised when a supervised flow stage exceeds its deadline. Transient:
+/// the supervisor retries the stage (the hang may have been a stuck
+/// tool invocation).
+class StageTimeoutError : public Error {
+public:
+    explicit StageTimeoutError(const std::string& message)
+        : Error("stage-timeout: " + message) {}
+};
+
+/// Simulated process death, thrown by an injected FlowCrash fault at a
+/// journal record boundary. Never retried and never degraded: it models
+/// `kill -9`, so it must unwind the whole flow, leaving only the journal
+/// and the artifact store behind for the next run to resume from.
+class FlowCrashError : public Error {
+public:
+    explicit FlowCrashError(const std::string& message) : Error("crash: " + message) {}
+};
+
 /// Internal invariant check that throws instead of aborting so tests can
 /// assert on failures. Use for conditions that indicate a socgen bug.
 void require(bool condition, std::string_view what);

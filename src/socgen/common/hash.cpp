@@ -1,0 +1,57 @@
+#include "socgen/common/hash.hpp"
+
+#include "socgen/common/strings.hpp"
+
+#include <cstring>
+
+namespace socgen {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+} // namespace
+
+std::string Digest128::hex() const {
+    return format("%016llx%016llx", static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+}
+
+HashStream& HashStream::update(std::string_view data) {
+    for (const char c : data) {
+        const auto byte = static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        lo_ = (lo_ ^ byte) * kFnvPrime;
+        // The high lane sees the byte rotated so the lanes diverge even
+        // on identical input streams.
+        hi_ = (hi_ ^ ((byte << 1) | (byte >> 7))) * kFnvPrime;
+    }
+    return *this;
+}
+
+HashStream& HashStream::field(std::string_view data) {
+    field(static_cast<std::uint64_t>(data.size()));
+    return update(data);
+}
+
+HashStream& HashStream::field(std::uint64_t value) {
+    char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+        bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+    }
+    return update(std::string_view(bytes, sizeof bytes));
+}
+
+HashStream& HashStream::field(std::int64_t value) {
+    return field(static_cast<std::uint64_t>(value));
+}
+
+HashStream& HashStream::field(double value) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof value);
+    std::memcpy(&bits, &value, sizeof bits);
+    return field(bits);
+}
+
+Digest128 digest128(std::string_view data) {
+    return HashStream{}.update(data).digest();
+}
+
+} // namespace socgen

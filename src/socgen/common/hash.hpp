@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace socgen {
+
+/// 128-bit content digest used to key and validate persistent artifacts.
+/// Built from two independent FNV-1a 64-bit lanes; not cryptographic, but
+/// collision-resistant enough for content addressing in a single store
+/// (the store additionally verifies the full payload on load).
+struct Digest128 {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    friend bool operator==(const Digest128&, const Digest128&) = default;
+
+    /// 32 lower-case hex characters, hi lane first.
+    [[nodiscard]] std::string hex() const;
+};
+
+/// Streaming two-lane FNV-1a hasher. Feed any number of chunks; the
+/// digest depends only on the concatenated byte sequence.
+class HashStream {
+public:
+    HashStream& update(std::string_view data);
+
+    /// Length-prefixed update: hashes the size then the bytes, so
+    /// ("ab","c") and ("a","bc") produce different digests when fields
+    /// are hashed one after another.
+    HashStream& field(std::string_view data);
+    HashStream& field(std::uint64_t value);
+    HashStream& field(std::int64_t value);
+    HashStream& field(double value);
+
+    [[nodiscard]] Digest128 digest() const { return {hi_, lo_}; }
+
+private:
+    // Standard FNV-1a offset basis for the low lane; an arbitrary odd
+    // basis for the high lane so the lanes decorrelate.
+    std::uint64_t lo_ = 0xcbf29ce484222325ULL;
+    std::uint64_t hi_ = 0x9ae16a3b2f90404fULL;
+};
+
+/// One-shot digest of a byte string.
+[[nodiscard]] Digest128 digest128(std::string_view data);
+
+} // namespace socgen

@@ -50,4 +50,44 @@ void writeBinaryFile(const std::string& path, std::string_view content) {
     writeFileImpl(path, content, std::ios::out | std::ios::trunc | std::ios::binary);
 }
 
+void writeFileAtomic(const std::string& path, std::string_view content) {
+    // The temporary must live on the same filesystem as the target for
+    // rename() to be atomic, so it is a sibling, not a /tmp file.
+    const std::string temp = path + ".tmp";
+    writeFileImpl(temp, content, std::ios::out | std::ios::trunc | std::ios::binary);
+    std::error_code ec;
+    std::filesystem::rename(temp, path, ec);
+    if (ec) {
+        std::filesystem::remove(temp);
+        throw Error("atomic rename failed for " + path + ": " + ec.message());
+    }
+}
+
+void appendLineDurable(const std::string& path, std::string_view line) {
+    const std::filesystem::path fsPath(path);
+    if (fsPath.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(fsPath.parent_path(), ec);
+        if (ec) {
+            throw Error("cannot create directory " + fsPath.parent_path().string() + ": " +
+                        ec.message());
+        }
+    }
+    std::ofstream out(path, std::ios::out | std::ios::app | std::ios::binary);
+    if (!out) {
+        throw Error("cannot open file for append: " + path);
+    }
+    out.write(line.data(), static_cast<std::streamsize>(line.size()));
+    out.put('\n');
+    out.flush();
+    if (!out) {
+        throw Error("append failed: " + path);
+    }
+}
+
+bool fileExists(const std::string& path) {
+    std::error_code ec;
+    return std::filesystem::is_regular_file(path, ec);
+}
+
 } // namespace socgen

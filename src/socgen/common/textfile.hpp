@@ -14,4 +14,17 @@ void writeTextFile(const std::string& path, std::string_view content);
 /// Writes binary content; throws on failure.
 void writeBinaryFile(const std::string& path, std::string_view content);
 
+/// Crash-safe whole-file write: the content is written to a temporary
+/// sibling and renamed over `path`, so readers never observe a partial
+/// file — either the old content or the new content, atomically.
+void writeFileAtomic(const std::string& path, std::string_view content);
+
+/// Appends one line (content + '\n') to `path`, creating parent
+/// directories and the file as needed, and flushes before returning so
+/// the line survives a crash of the caller. Used for journal records.
+void appendLineDurable(const std::string& path, std::string_view line);
+
+/// True if a regular file exists at `path`.
+[[nodiscard]] bool fileExists(const std::string& path);
+
 } // namespace socgen

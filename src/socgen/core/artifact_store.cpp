@@ -1,0 +1,151 @@
+#include "socgen/core/artifact_store.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+#include "socgen/common/textfile.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace socgen::core {
+namespace {
+
+/// On-disk object framing: a text header (magic line, payload digest
+/// line, key line) followed by the binary payload. The digest protects
+/// the payload; the key line lets `fsck`-style tooling spot objects
+/// renamed to the wrong key.
+constexpr const char* kMagic = "SOCGENART1";
+
+} // namespace
+
+ArtifactStore::ArtifactStore(std::string rootDir) : root_(std::move(rootDir)) {}
+
+std::string ArtifactStore::deriveKey(const hls::Kernel& kernel,
+                                     const hls::Directives& directives,
+                                     const soc::FpgaDevice& device,
+                                     std::string_view toolVersion) {
+    HashStream h;
+    h.field(std::string_view("socgen-artifact-key-v1"));
+    const Digest128 kernelFp = hls::fingerprintKernel(kernel);
+    const Digest128 directivesFp = hls::fingerprintDirectives(directives);
+    h.field(kernelFp.hi);
+    h.field(kernelFp.lo);
+    h.field(directivesFp.hi);
+    h.field(directivesFp.lo);
+    h.field(device.part);
+    h.field(device.board);
+    h.field(toolVersion);
+    return h.digest().hex();
+}
+
+std::string ArtifactStore::objectPath(const std::string& key) const {
+    return root_ + "/objects/" + key + ".art";
+}
+
+std::optional<hls::HlsResult> ArtifactStore::load(const std::string& key,
+                                                  std::string* whyMiss) const {
+    if (whyMiss != nullptr) {
+        whyMiss->clear();
+    }
+    const std::string path = objectPath(key);
+    if (!fileExists(path)) {
+        return std::nullopt;
+    }
+    const auto miss = [&](const std::string& reason) -> std::optional<hls::HlsResult> {
+        if (whyMiss != nullptr) {
+            *whyMiss = reason;
+        }
+        return std::nullopt;
+    };
+    std::string image;
+    try {
+        image = readTextFile(path);
+    } catch (const Error& e) {
+        return miss(e.what());
+    }
+    // Header: magic '\n' digest-hex '\n' key '\n' payload.
+    const std::size_t magicEnd = image.find('\n');
+    if (magicEnd == std::string::npos || image.substr(0, magicEnd) != kMagic) {
+        return miss("bad magic (not a socgen artifact)");
+    }
+    const std::size_t digestEnd = image.find('\n', magicEnd + 1);
+    if (digestEnd == std::string::npos) {
+        return miss("truncated header (no digest line)");
+    }
+    const std::size_t keyEnd = image.find('\n', digestEnd + 1);
+    if (keyEnd == std::string::npos) {
+        return miss("truncated header (no key line)");
+    }
+    const std::string storedDigest = image.substr(magicEnd + 1, digestEnd - magicEnd - 1);
+    const std::string storedKey = image.substr(digestEnd + 1, keyEnd - digestEnd - 1);
+    if (storedKey != key) {
+        return miss(format("object key mismatch: header says %s", storedKey.c_str()));
+    }
+    const std::string_view payload = std::string_view(image).substr(keyEnd + 1);
+    const std::string actualDigest = digest128(payload).hex();
+    if (actualDigest != storedDigest) {
+        return miss(format("payload digest mismatch (stored %s, actual %s) — corrupt "
+                           "artifact, rebuilding",
+                           storedDigest.c_str(), actualDigest.c_str()));
+    }
+    try {
+        return hls::decodeHlsResult(payload);
+    } catch (const Error& e) {
+        return miss(e.what());
+    }
+}
+
+void ArtifactStore::store(const std::string& key, const hls::HlsResult& result) const {
+    const std::string payload = hls::encodeHlsResult(result);
+    std::string image;
+    image.reserve(payload.size() + 64);
+    image += kMagic;
+    image += '\n';
+    image += digest128(payload).hex();
+    image += '\n';
+    image += key;
+    image += '\n';
+    image += payload;
+    writeFileAtomic(objectPath(key), image);
+}
+
+bool ArtifactStore::contains(const std::string& key) const {
+    return fileExists(objectPath(key));
+}
+
+std::size_t ArtifactStore::objectCount() const {
+    return keys().size();
+}
+
+std::vector<std::string> ArtifactStore::keys() const {
+    std::vector<std::string> out;
+    const std::filesystem::path dir = std::filesystem::path(root_) / "objects";
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".art") {
+            out.push_back(entry.path().stem().string());
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void ArtifactStore::corruptObject(const std::string& key) const {
+    const std::string path = objectPath(key);
+    if (!fileExists(path)) {
+        throw ArtifactError("cannot corrupt missing object " + key);
+    }
+    std::string image = readTextFile(path);
+    // Flip a bit in the middle of the payload (past the header lines) so
+    // the framing survives but the digest check must fail.
+    const std::size_t pos = image.size() - 1 - image.size() / 4;
+    image[pos] = static_cast<char>(image[pos] ^ 0x40);
+    writeFileAtomic(path, image);
+}
+
+void ArtifactStore::removeObject(const std::string& key) const {
+    std::error_code ec;
+    std::filesystem::remove(objectPath(key), ec);
+}
+
+} // namespace socgen::core

@@ -1,0 +1,73 @@
+#pragma once
+
+#include "socgen/hls/serialize.hpp"
+#include "socgen/soc/device.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace socgen::core {
+
+/// Persistent, content-addressed store of HLS results, mirroring the
+/// paper's "generate each hardware core only once" caching across runs
+/// and across crashes. An object's key is a digest of everything that
+/// determines the synthesis output — kernel source, directives, target
+/// device, and tool version — so a stale hit is impossible by
+/// construction: change any input and the key changes.
+///
+/// Durability contract:
+///  - writes are atomic (temp file + rename), so a crash mid-store leaves
+///    either no object or a complete object, never a torn one;
+///  - every object embeds a digest of its payload, verified on load, so a
+///    corrupted object is detected and reported as a miss (the caller
+///    re-synthesizes and overwrites it) — never silently loaded.
+class ArtifactStore {
+public:
+    /// Opens (and lazily creates) a store rooted at `rootDir`.
+    explicit ArtifactStore(std::string rootDir);
+
+    /// Derives the content key for one (kernel, directives, device, tool)
+    /// combination: 32 hex characters.
+    [[nodiscard]] static std::string deriveKey(const hls::Kernel& kernel,
+                                               const hls::Directives& directives,
+                                               const soc::FpgaDevice& device,
+                                               std::string_view toolVersion);
+
+    /// Loads and validates the object under `key`. Returns nullopt on
+    /// miss or on any validation failure (bad magic, digest mismatch,
+    /// undecodable payload); when `whyMiss` is non-null it receives a
+    /// human-readable reason for a validation miss ("" for a plain miss).
+    [[nodiscard]] std::optional<hls::HlsResult> load(const std::string& key,
+                                                     std::string* whyMiss = nullptr) const;
+
+    /// Atomically stores `result` under `key`, overwriting any previous
+    /// object (including a corrupt one).
+    void store(const std::string& key, const hls::HlsResult& result) const;
+
+    [[nodiscard]] bool contains(const std::string& key) const;
+
+    /// Number of objects currently on disk.
+    [[nodiscard]] std::size_t objectCount() const;
+
+    /// Keys of all objects on disk, sorted.
+    [[nodiscard]] std::vector<std::string> keys() const;
+
+    /// Test/fault-injection hook: flips one payload byte of the stored
+    /// object so the next load fails digest validation. Throws
+    /// ArtifactError if the object does not exist.
+    void corruptObject(const std::string& key) const;
+
+    /// Removes the object under `key` if present.
+    void removeObject(const std::string& key) const;
+
+    [[nodiscard]] const std::string& root() const { return root_; }
+
+private:
+    [[nodiscard]] std::string objectPath(const std::string& key) const;
+
+    std::string root_;
+};
+
+} // namespace socgen::core

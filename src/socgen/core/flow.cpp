@@ -1,30 +1,46 @@
 #include "socgen/core/flow.hpp"
 
 #include "socgen/common/error.hpp"
+#include "socgen/common/hash.hpp"
 #include "socgen/common/log.hpp"
 #include "socgen/common/strings.hpp"
 #include "socgen/common/textfile.hpp"
 #include "socgen/core/report.hpp"
+#include "socgen/hls/serialize.hpp"
 #include "socgen/soc/tcl.hpp"
 #include "socgen/sw/devicetree.hpp"
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
-#include <set>
 #include <thread>
 
 namespace socgen::core {
+namespace {
 
-const hls::HlsResult* HlsCache::find(const std::string& kernelName) const {
+struct SynthOut {
+    soc::SynthesisResult synthesis;
+    soc::Bitstream bitstream;
+};
+
+struct SoftwareOut {
+    std::string deviceTree;
+    std::vector<sw::GeneratedFile> driverFiles;
+    sw::BootImage bootImage;
+};
+
+} // namespace
+
+const hls::HlsResult* HlsCache::find(const std::string& key) const {
     const std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = results_.find(kernelName);
+    const auto it = results_.find(key);
     return it == results_.end() ? nullptr : &it->second;
 }
 
-void HlsCache::store(const std::string& kernelName, hls::HlsResult result) {
+void HlsCache::store(const std::string& key, hls::HlsResult result) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    results_.emplace(kernelName, std::move(result));
+    results_.emplace(key, std::move(result));
 }
 
 std::size_t HlsCache::size() const {
@@ -51,22 +67,76 @@ std::vector<std::string> FlowDiagnostics::degradedNodes() const {
     return names;
 }
 
+std::size_t FlowDiagnostics::engineRuns() const {
+    std::size_t count = 0;
+    for (const auto& n : nodes) {
+        if (!n.degraded && n.attempts > 0) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+std::size_t FlowDiagnostics::cacheHits() const {
+    std::size_t count = 0;
+    for (const auto& n : nodes) {
+        if (n.cacheHit) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+std::size_t FlowDiagnostics::storeHits() const {
+    std::size_t count = 0;
+    for (const auto& n : nodes) {
+        if (n.storeHit) {
+            ++count;
+        }
+    }
+    return count;
+}
+
 std::string FlowDiagnostics::render() const {
     std::string out = "HLS diagnostics:";
     for (const auto& n : nodes) {
         if (n.degraded) {
-            out += format("\n  %s: DEGRADED to software fallback — %s", n.node.c_str(),
-                          n.error.c_str());
+            out += format("\n  %s: DEGRADED to software fallback after %u attempt(s) — %s",
+                          n.node.c_str(), n.attempts, n.error.c_str());
         } else {
-            out += format("\n  %s: ok (%.1f tool-s)", n.node.c_str(), n.toolSeconds);
+            const char* source = n.cacheHit    ? "cache hit"
+                                 : n.storeHit  ? (n.resumedFromJournal ? "store hit (journaled)"
+                                                                       : "store hit")
+                                               : "synthesized";
+            out += format("\n  %s: ok (%.1f tool-s, %s, %u attempt(s))", n.node.c_str(),
+                          n.toolSeconds, source, n.attempts);
         }
+    }
+    if (stageRetries > 0 || stageTimeouts > 0 || resumedStages > 0 ||
+        digestMismatches > 0 || corruptArtifacts > 0) {
+        out += format("\n  flow: %zu stage retr%s, %zu timeout(s), %zu resumed stage(s), "
+                      "%zu digest mismatch(es), %zu corrupt artifact(s)",
+                      stageRetries, stageRetries == 1 ? "y" : "ies", stageTimeouts,
+                      resumedStages, digestMismatches, corruptArtifacts);
     }
     return out;
 }
 
 Flow::Flow(FlowOptions options, const hls::KernelLibrary& kernels,
            std::shared_ptr<HlsCache> cache)
-    : options_(std::move(options)), kernels_(kernels), cache_(std::move(cache)) {}
+    : options_(std::move(options)), kernels_(kernels), cache_(std::move(cache)) {
+    if (!options_.outputDir.empty()) {
+        store_ = std::make_unique<ArtifactStore>(options_.outputDir + "/.socgen/store");
+    }
+    for (const auto& event : options_.flowFaults.events()) {
+        if (event.kind == sim::FaultKind::FlowCrash ||
+            event.kind == sim::FaultKind::ArtifactCorrupt ||
+            event.kind == sim::FaultKind::StageHang) {
+            pendingFlowFaults_.push_back(event);
+        }
+    }
+    transientRemaining_ = options_.transientHlsFailures;
+}
 
 hls::Directives Flow::directivesFor(const TgNode& node) const {
     hls::Directives d = options_.defaultDirectives;
@@ -82,19 +152,103 @@ hls::Directives Flow::directivesFor(const TgNode& node) const {
     return d;
 }
 
-std::pair<hls::HlsResult, double> Flow::synthesizeNode(const TgNode& node) {
-    if (options_.injectHlsFailures.count(node.name) > 0) {
-        // Fires before the cache so the failure is deterministic even when
-        // a previous architecture already synthesized this kernel.
-        throw HlsError(format("injected HLS failure for kernel \"%s\"",
-                              node.name.c_str()));
+std::string Flow::flowFingerprint(const std::string& projectName,
+                                  const TaskGraph& graph) const {
+    // Everything that determines the flow's outputs; fault-injection
+    // hooks, retry policy and `jobs` are deliberately excluded so a
+    // crashed run and its recovery run agree on the fingerprint.
+    HashStream h;
+    h.field("socgen-flow-v1");
+    h.field(projectName);
+    h.field(graph.renderDsl(projectName));
+    h.field(options_.device.part).field(options_.device.board);
+    h.field(options_.device.lut).field(options_.device.ff);
+    h.field(options_.device.bram18).field(options_.device.dsp);
+    h.field(options_.device.fabricClockMhz);
+    h.field(static_cast<std::uint64_t>(options_.dmaPolicy));
+    h.field(static_cast<std::uint64_t>(options_.runSynthesis ? 1 : 0));
+    h.field(static_cast<std::uint64_t>(options_.generateSoftware ? 1 : 0));
+    h.field(options_.toolVersion);
+    h.field(hls::fingerprintDirectives(options_.defaultDirectives).hex());
+    for (const auto& [name, directives] : options_.kernelDirectives) {
+        h.field(name).field(hls::fingerprintDirectives(directives).hex());
     }
-    if (cache_ != nullptr) {
-        if (const hls::HlsResult* hit = cache_->find(node.name)) {
-            Logger::global().info("hls: cache hit for " + node.name);
-            return {*hit, 0.0};
+    return h.digest().hex();
+}
+
+void Flow::maybeCrash(const std::string& stage, std::uint64_t phase) {
+    const std::lock_guard<std::mutex> lock(faultMutex_);
+    for (auto it = pendingFlowFaults_.begin(); it != pendingFlowFaults_.end(); ++it) {
+        if (it->kind == sim::FaultKind::FlowCrash && it->target == stage &&
+            it->a == phase) {
+            pendingFlowFaults_.erase(it);
+            throw FlowCrashError(format("injected crash at stage %s (%s)", stage.c_str(),
+                                        phase == 0 ? "at begin" : "pre-commit"));
         }
     }
+}
+
+void Flow::maybeHang(const std::string& stage) {
+    std::uint64_t milliseconds = 0;
+    bool armed = false;
+    {
+        const std::lock_guard<std::mutex> lock(faultMutex_);
+        for (auto it = pendingFlowFaults_.begin(); it != pendingFlowFaults_.end(); ++it) {
+            if (it->kind == sim::FaultKind::StageHang && it->target == stage) {
+                milliseconds = it->a;
+                pendingFlowFaults_.erase(it);
+                armed = true;
+                break;
+            }
+        }
+    }
+    if (armed) {
+        Logger::global().info(format("fault: stage %s hanging for %llu ms", stage.c_str(),
+                                     static_cast<unsigned long long>(milliseconds)));
+        std::this_thread::sleep_for(std::chrono::milliseconds(milliseconds));
+    }
+}
+
+void Flow::maybeCorruptArtifact(const std::string& kernel, const std::string& key) {
+    bool armed = false;
+    {
+        const std::lock_guard<std::mutex> lock(faultMutex_);
+        for (auto it = pendingFlowFaults_.begin(); it != pendingFlowFaults_.end(); ++it) {
+            if (it->kind == sim::FaultKind::ArtifactCorrupt && it->target == kernel) {
+                pendingFlowFaults_.erase(it);
+                armed = true;
+                break;
+            }
+        }
+    }
+    if (armed && store_ != nullptr && store_->contains(key)) {
+        Logger::global().info("fault: corrupting stored artifact of " + kernel);
+        store_->corruptObject(key);
+    }
+}
+
+bool Flow::consumeTransientFailure(const std::string& kernel) {
+    const std::lock_guard<std::mutex> lock(faultMutex_);
+    const auto it = transientRemaining_.find(kernel);
+    if (it == transientRemaining_.end() || it->second == 0) {
+        return false;
+    }
+    --it->second;
+    return true;
+}
+
+std::pair<hls::HlsResult, double> Flow::synthesizeNode(const TgNode& node) {
+    StageSupervisor supervisor(options_.stagePolicy);
+    FlowDiagnostics::NodeOutcome outcome;
+    return synthesizeNodeTracked(node, supervisor, outcome);
+}
+
+std::pair<hls::HlsResult, double> Flow::synthesizeNodeTracked(
+    const TgNode& node, StageSupervisor& supervisor,
+    FlowDiagnostics::NodeOutcome& outcome) {
+    const std::string stage = "hls:" + node.name;
+    outcome.node = node.name;
+    maybeCrash(stage, 0);
     if (!kernels_.has(node.name)) {
         throw DslError(format("no kernel source registered for node \"%s\" (the flow "
                               "needs a synthesizable description per hardware task)",
@@ -119,72 +273,128 @@ std::pair<hls::HlsResult, double> Flow::synthesizeNode(const TgNode& node) {
                                   std::string(hls::portKindName(kind)).c_str()));
         }
     }
-    hls::HlsResult result = engine_.synthesize(kernel, directivesFor(node));
-    const double toolSeconds = result.toolSeconds;
-    if (cache_ != nullptr) {
-        cache_->store(node.name, result);
+    const hls::Directives directives = directivesFor(node);
+    const std::string key =
+        ArtifactStore::deriveKey(kernel, directives, options_.device, options_.toolVersion);
+    outcome.artifactKey = key;
+
+    const bool injected = options_.injectHlsFailures.count(node.name) > 0;
+    if (!injected) {
+        // Reuse order: in-memory cache (same process), then the persistent
+        // store (earlier run / crashed run). A store object that fails
+        // validation is reported and rebuilt — never silently loaded.
+        if (cache_ != nullptr) {
+            if (const hls::HlsResult* hit = cache_->find(key)) {
+                Logger::global().info("hls: cache hit for " + node.name);
+                outcome.cacheHit = true;
+                return {*hit, 0.0};
+            }
+        }
+        if (store_ != nullptr) {
+            std::string whyMiss;
+            if (std::optional<hls::HlsResult> loaded = store_->load(key, &whyMiss)) {
+                Logger::global().info("hls: artifact store hit for " + node.name);
+                outcome.storeHit = true;
+                outcome.resumedFromJournal = committedAtOpen_.count(stage) > 0;
+                if (cache_ != nullptr) {
+                    cache_->store(key, *loaded);
+                }
+                return {std::move(*loaded), 0.0};
+            }
+            if (!whyMiss.empty()) {
+                corruptDetected_.fetch_add(1);
+                Logger::global().warn(format("hls: stored artifact of %s rejected (%s); "
+                                             "re-synthesizing",
+                                             node.name.c_str(), whyMiss.c_str()));
+            }
+        }
     }
-    return {std::move(result), toolSeconds};
+
+    StageRun meta;
+    std::pair<hls::HlsResult, double> out;
+    try {
+        hls::HlsResult synthesized = supervisor.run(
+            stage,
+            [this, &kernel, directives, stage, name = node.name] {
+                maybeHang(stage);
+                if (options_.injectHlsFailures.count(name) > 0) {
+                    // Fires on every attempt so the failure is
+                    // deterministic even when a previous architecture
+                    // already synthesized this kernel.
+                    throw HlsError(
+                        format("injected HLS failure for kernel \"%s\"", name.c_str()));
+                }
+                if (consumeTransientFailure(name)) {
+                    throw HlsError(format("injected transient HLS failure for kernel "
+                                          "\"%s\"",
+                                          name.c_str()));
+                }
+                return engine_.synthesize(kernel, directives);
+            },
+            &meta);
+        out.second = synthesized.toolSeconds;
+        if (cache_ != nullptr) {
+            cache_->store(key, synthesized);
+        }
+        if (store_ != nullptr) {
+            store_->store(key, synthesized);
+        }
+        out.first = std::move(synthesized);
+    } catch (...) {
+        outcome.attempts = static_cast<unsigned>(meta.attempts);
+        nodeTimeouts_.fetch_add(static_cast<std::size_t>(meta.timeouts));
+        throw;
+    }
+    outcome.attempts = static_cast<unsigned>(meta.attempts);
+    nodeTimeouts_.fetch_add(static_cast<std::size_t>(meta.timeouts));
+    return out;
 }
 
-void Flow::runAllHls(const TaskGraph& graph, FlowResult& result) {
+void Flow::runAllHls(const TaskGraph& graph, FlowResult& result,
+                     StageSupervisor& supervisor) {
     const auto& nodes = graph.nodes();
     std::vector<std::pair<hls::HlsResult, double>> results(nodes.size());
     std::vector<std::exception_ptr> errors(nodes.size());
+    std::vector<FlowDiagnostics::NodeOutcome> outcomes(nodes.size());
+    std::vector<double> hostMs(nodes.size(), 0.0);
 
-    // An HlsError is an engine failure; under the Degrade policy the node
-    // is isolated instead of sinking the whole flow. Anything else
-    // (DslError, internal errors) always propagates.
-    const auto degradeOrRethrow = [&](std::size_t i, std::exception_ptr error) {
-        try {
-            std::rethrow_exception(error);
-        } catch (const HlsError& e) {
-            if (options_.hlsFailurePolicy != HlsFailurePolicy::Degrade) {
-                throw;
-            }
-            Logger::global().info(format("hls: node %s degraded to software: %s",
-                                         nodes[i].name.c_str(), e.what()));
-            FlowDiagnostics::NodeOutcome outcome;
-            outcome.node = nodes[i].name;
-            outcome.degraded = true;
-            outcome.error = e.what();
-            result.diagnostics.nodes.push_back(std::move(outcome));
+    // Write-ahead discipline: every per-node begin record lands before
+    // any node starts work, in node order; commits land after the
+    // barrier, also in node order. The journal is therefore byte-
+    // identical for any `jobs` setting.
+    if (journal_ != nullptr) {
+        for (const auto& node : nodes) {
+            journal_->begin("hls:" + node.name);
         }
+    }
+
+    const auto runOne = [&](std::size_t i) {
+        Stopwatch watch;
+        try {
+            results[i] = synthesizeNodeTracked(nodes[i], supervisor, outcomes[i]);
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+        hostMs[i] = watch.elapsedMs();
     };
 
     const unsigned jobs = std::max(1u, options_.jobs);
     if (jobs == 1 || nodes.size() <= 1) {
         for (std::size_t i = 0; i < nodes.size(); ++i) {
-            Stopwatch watch;
-            try {
-                results[i] = synthesizeNode(nodes[i]);
-            } catch (...) {
-                errors[i] = std::current_exception();
-            }
-            if (!errors[i]) {
-                result.timeline.add("HLS " + nodes[i].name, watch.elapsedMs(),
-                                    results[i].second);
-            }
+            runOne(i);
         }
     } else {
         // Independent per-node HLS runs on a worker pool; results land in
         // per-node slots so the merge is deterministic regardless of
         // scheduling.
         std::atomic<std::size_t> next{0};
-        std::vector<double> hostMs(nodes.size(), 0.0);
         const auto worker = [&] {
             while (true) {
                 const std::size_t i = next.fetch_add(1);
                 if (i >= nodes.size()) {
                     return;
                 }
-                Stopwatch watch;
-                try {
-                    results[i] = synthesizeNode(nodes[i]);
-                } catch (...) {
-                    errors[i] = std::current_exception();
-                }
-                hostMs[i] = watch.elapsedMs();
+                runOne(i);
             }
         };
         std::vector<std::thread> pool;
@@ -197,29 +407,76 @@ void Flow::runAllHls(const TaskGraph& graph, FlowResult& result) {
         for (auto& t : pool) {
             t.join();
         }
-        for (std::size_t i = 0; i < nodes.size(); ++i) {
-            if (!errors[i]) {
-                result.timeline.add("HLS " + nodes[i].name, hostMs[i],
-                                    results[i].second);
-            }
+    }
+
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (!errors[i]) {
+            result.timeline.add("HLS " + nodes[i].name, hostMs[i], results[i].second);
         }
     }
+
+    // An HlsError is an engine failure and a StageTimeoutError an engine
+    // hang; under the Degrade policy the node is isolated instead of
+    // sinking the whole flow. Anything else (DslError, FlowCrashError,
+    // internal errors) always propagates.
+    const auto markDegraded = [&](std::size_t i, const char* what) {
+        Logger::global().info(format("hls: node %s degraded to software: %s",
+                                     nodes[i].name.c_str(), what));
+        outcomes[i].degraded = true;
+        outcomes[i].error = what;
+    };
+    const auto degradeOrRethrow = [&](std::size_t i, const std::exception_ptr& error) {
+        try {
+            std::rethrow_exception(error);
+        } catch (const HlsError& e) {
+            if (options_.hlsFailurePolicy != HlsFailurePolicy::Degrade) {
+                throw;
+            }
+            markDegraded(i, e.what());
+        } catch (const StageTimeoutError& e) {
+            if (options_.hlsFailurePolicy != HlsFailurePolicy::Degrade) {
+                throw;
+            }
+            markDegraded(i, e.what());
+        }
+    };
+
     for (std::size_t i = 0; i < nodes.size(); ++i) {
         if (errors[i]) {
             degradeOrRethrow(i, errors[i]);
+        } else {
+            outcomes[i].toolSeconds = results[i].second;
+            result.programs.emplace(nodes[i].name, results[i].first.program);
+            result.hlsResults.emplace(nodes[i].name, std::move(results[i].first));
+        }
+        result.diagnostics.nodes.push_back(std::move(outcomes[i]));
+    }
+
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const std::string stage = "hls:" + nodes[i].name;
+        const FlowDiagnostics::NodeOutcome& outcome = result.diagnostics.nodes[i];
+        if (outcome.degraded) {
+            if (journal_ != nullptr) {
+                journal_->noteEvent(stage, "degraded: " + outcome.error);
+            }
             continue;
         }
-        FlowDiagnostics::NodeOutcome outcome;
-        outcome.node = nodes[i].name;
-        outcome.toolSeconds = results[i].second;
-        result.diagnostics.nodes.push_back(std::move(outcome));
-        result.programs.emplace(nodes[i].name, results[i].first.program);
-        result.hlsResults.emplace(nodes[i].name, std::move(results[i].first));
+        maybeCrash(stage, 1);
+        if (journal_ != nullptr) {
+            const auto it = digestsAtOpen_.find(stage);
+            if (it != digestsAtOpen_.end() && it->second != outcome.artifactKey) {
+                ++result.diagnostics.digestMismatches;
+                Logger::global().warn("flow: stage " + stage +
+                                      " artifact key differs from the journal's commit");
+            }
+            journal_->commit(stage, outcome.artifactKey);
+        }
+        maybeCorruptArtifact(nodes[i].name, outcome.artifactKey);
     }
 }
 
-void Flow::integrate(const std::string& projectName, const TaskGraph& graph,
-                     FlowResult& result) const {
+Flow::Integration Flow::integrate(const std::string& projectName, const TaskGraph& graph,
+                                  const FlowResult& result) const {
     soc::BlockDesign design(projectName, options_.device, options_.dmaPolicy);
     // Degraded nodes get no hardware instance; their links are rewired to
     // the PS ('soc endpoints) below so surviving cores stay fully
@@ -291,8 +548,10 @@ void Flow::integrate(const std::string& projectName, const TaskGraph& graph,
         design.connectLite(connect.node);
     }
     design.finalise();
-    result.tclText = soc::TclEmitter{}.emitProject(design);
-    result.design = std::move(design);
+    Integration out;
+    out.tclText = soc::TclEmitter{}.emitProject(design);
+    out.design = std::move(design);
+    return out;
 }
 
 FlowResult Flow::run(const std::string& projectName, const TaskGraph& graph) {
@@ -300,57 +559,219 @@ FlowResult Flow::run(const std::string& projectName, const TaskGraph& graph) {
     FlowResult result;
     result.projectName = projectName;
     result.graph = graph;
+    corruptDetected_.store(0);
+    nodeTimeouts_.store(0);
+
+    // Journal bring-up (outputDir flows only). A matching header means a
+    // previous run — possibly one that crashed — left trustworthy commit
+    // records; a mismatch means the flow inputs changed and the journal
+    // is reset, which also invalidates any resume decisions (the store
+    // stays: its keys are content-addressed, so stale entries are inert).
+    std::optional<FlowJournal> journal;
+    committedAtOpen_.clear();
+    digestsAtOpen_.clear();
+    journal_ = nullptr;
+    if (!options_.outputDir.empty()) {
+        journal.emplace(FlowJournal::open(options_.outputDir + "/.socgen/journal/" +
+                                          projectName + ".jsonl"));
+        const std::string fingerprint = flowFingerprint(projectName, graph);
+        if (!journal->matchesHeader(fingerprint)) {
+            journal->reset(fingerprint, "project=" + projectName);
+        } else {
+            for (const std::string& stage : journal->committedStages()) {
+                committedAtOpen_.insert(stage);
+                if (const auto digest = journal->committedDigest(stage)) {
+                    digestsAtOpen_[stage] = *digest;
+                }
+            }
+            if (!committedAtOpen_.empty()) {
+                Logger::global().info(
+                    format("flow: journal shows %zu committed stage(s); resuming",
+                           committedAtOpen_.size()));
+            }
+        }
+        journal_ = &*journal;
+    }
+    struct JournalScope {
+        Flow& flow;
+        ~JournalScope() {
+            flow.journal_ = nullptr;
+            flow.committedAtOpen_.clear();
+            flow.digestsAtOpen_.clear();
+        }
+    } journalScope{*this};
+
+    // Declared after everything its stage closures reference so its
+    // destructor joins abandoned (timed-out) attempts first.
+    StageSupervisor supervisor(options_.stagePolicy);
+
+    FlowDiagnostics& diag = result.diagnostics;
+    const auto stageBegin = [&](const std::string& stage) {
+        if (journal_ != nullptr) {
+            journal_->begin(stage);
+        }
+        maybeCrash(stage, 0);
+    };
+    const auto stageCommit = [&](const std::string& stage, const std::string& digest) {
+        maybeCrash(stage, 1);
+        if (journal_ == nullptr) {
+            return;
+        }
+        const auto it = digestsAtOpen_.find(stage);
+        if (it != digestsAtOpen_.end()) {
+            // The stage was committed by a previous run; re-executing it
+            // must reproduce the same output (the flow is deterministic).
+            ++diag.resumedStages;
+            if (it->second != digest) {
+                ++diag.digestMismatches;
+                Logger::global().warn("flow: stage " + stage +
+                                      " recomputed output differs from the journal's "
+                                      "committed digest");
+            }
+        }
+        journal_->commit(stage, digest);
+    };
+    const auto absorb = [&](const StageRun& meta) {
+        if (meta.attempts > 1) {
+            diag.stageRetries += static_cast<std::size_t>(meta.attempts - 1);
+        }
+        diag.stageTimeouts += static_cast<std::size_t>(meta.timeouts);
+    };
 
     // Phase 1 — "compile the Scala task graph" (paper: ~6 s).
     {
+        stageBegin("scala");
+        StageRun meta;
         Stopwatch watch;
-        graph.validate();
-        result.dslText = graph.renderDsl(projectName);
+        std::string dsl = supervisor.run(
+            "scala",
+            [this, &graph, &projectName] {
+                maybeHang("scala");
+                graph.validate();
+                return graph.renderDsl(projectName);
+            },
+            &meta);
+        result.dslText = std::move(dsl);
         result.timeline.add("SCALA", watch.elapsedMs(),
                             5.4 + 0.15 * static_cast<double>(graph.nodes().size()));
+        absorb(meta);
+        stageCommit("scala", digest128(result.dslText).hex());
     }
 
-    // Phase 2 — per-node HLS (cached across architectures).
-    runAllHls(graph, result);
-    if (result.diagnostics.anyDegraded()) {
-        Logger::global().info(result.diagnostics.render());
+    // Phase 2 — per-node HLS (cached across architectures and, via the
+    // artifact store, across runs and crashes).
+    runAllHls(graph, result, supervisor);
+    for (const auto& n : diag.nodes) {
+        if (n.attempts > 1) {
+            diag.stageRetries += static_cast<std::size_t>(n.attempts - 1);
+        }
+    }
+    if (diag.anyDegraded()) {
+        Logger::global().info(diag.render());
     }
 
     // Phase 3 — system integration / Vivado project generation (~50 s).
     {
+        stageBegin("integrate");
+        StageRun meta;
         Stopwatch watch;
-        integrate(projectName, graph, result);
+        Integration integration = supervisor.run(
+            "integrate",
+            [this, &projectName, &graph, &result] {
+                maybeHang("integrate");
+                return integrate(projectName, graph, result);
+            },
+            &meta);
+        result.tclText = std::move(integration.tclText);
+        result.design = std::move(integration.design);
         result.timeline.add(
             "PROJECT " + projectName, watch.elapsedMs(),
             31.0 + 2.4 * static_cast<double>(result.design.instances().size()));
+        absorb(meta);
+        stageCommit("integrate", digest128(result.tclText).hex());
     }
 
     // Phase 4 — synthesis, implementation, bitstream.
     if (options_.runSynthesis) {
+        stageBegin("synth");
+        StageRun meta;
         Stopwatch watch;
-        result.synthesis = soc::SynthesisModel{}.run(result.design);
-        result.bitstream = soc::generateBitstream(result.design, result.synthesis);
+        SynthOut synthOut = supervisor.run(
+            "synth",
+            [this, &result] {
+                maybeHang("synth");
+                SynthOut out;
+                out.synthesis = soc::SynthesisModel{}.run(result.design);
+                out.bitstream = soc::generateBitstream(result.design, out.synthesis);
+                return out;
+            },
+            &meta);
+        result.synthesis = std::move(synthOut.synthesis);
+        result.bitstream = std::move(synthOut.bitstream);
         result.timeline.add("SYNTH " + projectName, watch.elapsedMs(),
                             result.synthesis.totalSeconds());
+        absorb(meta);
+        stageCommit("synth", digest128(result.bitstream.serialize()).hex());
     }
 
     // Phase 5 — software generation (device tree, drivers, boot files).
     if (options_.generateSoftware) {
+        stageBegin("software");
+        StageRun meta;
         Stopwatch watch;
-        result.deviceTree = sw::DeviceTreeGenerator{}.generate(result.design);
-        result.driverFiles = sw::DriverGenerator{}.generate(result.design, result.programs);
-        if (options_.runSynthesis) {
-            result.bootImage = sw::makeBootImage(result.design, result.bitstream,
-                                                 result.deviceTree);
+        const bool withBoot = options_.runSynthesis;
+        SoftwareOut swOut = supervisor.run(
+            "software",
+            [this, &result, withBoot] {
+                maybeHang("software");
+                SoftwareOut out;
+                out.deviceTree = sw::DeviceTreeGenerator{}.generate(result.design);
+                out.driverFiles =
+                    sw::DriverGenerator{}.generate(result.design, result.programs);
+                if (withBoot) {
+                    out.bootImage = sw::makeBootImage(result.design, result.bitstream,
+                                                      out.deviceTree);
+                }
+                return out;
+            },
+            &meta);
+        result.deviceTree = std::move(swOut.deviceTree);
+        result.driverFiles = std::move(swOut.driverFiles);
+        if (withBoot) {
+            result.bootImage = std::move(swOut.bootImage);
         }
         result.timeline.add(
             "SW " + projectName, watch.elapsedMs(),
             6.0 + 0.8 * static_cast<double>(result.design.lites().size()));
+        absorb(meta);
+        HashStream swHash;
+        swHash.field(result.deviceTree);
+        for (const auto& file : result.driverFiles) {
+            swHash.field(file.path).field(file.content);
+        }
+        if (withBoot) {
+            swHash.field(result.bootImage.serialize());
+        }
+        stageCommit("software", swHash.digest().hex());
     }
 
+    // Phase 6 — write the project directory (atomic per file).
     if (!options_.outputDir.empty()) {
-        writeArtifacts(result);
+        stageBegin("artifacts");
+        StageRun meta;
+        supervisor.run(
+            "artifacts",
+            [this, &result] {
+                maybeHang("artifacts");
+                writeArtifacts(result);
+            },
+            &meta);
+        absorb(meta);
+        stageCommit("artifacts", digest128(result.dslText + result.tclText).hex());
     }
+
+    diag.corruptArtifacts = corruptDetected_.load();
+    diag.stageTimeouts += nodeTimeouts_.load();
     Logger::global().info(format("flow: project %s complete (%.1f simulated tool-seconds)",
                                  projectName.c_str(),
                                  result.timeline.totalToolSeconds()));
@@ -358,31 +779,33 @@ FlowResult Flow::run(const std::string& projectName, const TaskGraph& graph) {
 }
 
 void Flow::writeArtifacts(const FlowResult& result) const {
+    // Atomic per-file writes: a crash mid-write leaves each artifact
+    // either whole (old or new) or absent, never torn.
     const std::string dir = options_.outputDir + "/" + result.projectName;
-    writeTextFile(dir + "/" + result.projectName + ".tg", result.dslText);
-    writeTextFile(dir + "/" + result.projectName + ".tcl", result.tclText);
+    writeFileAtomic(dir + "/" + result.projectName + ".tg", result.dslText);
+    writeFileAtomic(dir + "/" + result.projectName + ".tcl", result.tclText);
     for (const auto& [name, hlsResult] : result.hlsResults) {
-        writeTextFile(dir + "/hls/" + name + ".vhd", hlsResult.vhdl);
-        writeTextFile(dir + "/hls/" + name + ".v", hlsResult.verilog);
-        writeTextFile(dir + "/hls/" + name + "_directives.tcl", hlsResult.directiveText);
-        writeTextFile(dir + "/hls/" + name + "_report.txt", hlsResult.reportText);
+        writeFileAtomic(dir + "/hls/" + name + ".vhd", hlsResult.vhdl);
+        writeFileAtomic(dir + "/hls/" + name + ".v", hlsResult.verilog);
+        writeFileAtomic(dir + "/hls/" + name + "_directives.tcl", hlsResult.directiveText);
+        writeFileAtomic(dir + "/hls/" + name + "_report.txt", hlsResult.reportText);
     }
     if (options_.runSynthesis) {
-        writeBinaryFile(dir + "/" + result.projectName + ".bit",
+        writeFileAtomic(dir + "/" + result.projectName + ".bit",
                         result.bitstream.serialize());
-        writeTextFile(dir + "/utilisation.txt", result.synthesis.utilisationReport());
+        writeFileAtomic(dir + "/utilisation.txt", result.synthesis.utilisationReport());
     }
     if (options_.generateSoftware) {
-        writeTextFile(dir + "/devicetree.dts", result.deviceTree);
+        writeFileAtomic(dir + "/devicetree.dts", result.deviceTree);
         for (const auto& file : result.driverFiles) {
-            writeTextFile(dir + "/sw/" + file.path, file.content);
+            writeFileAtomic(dir + "/sw/" + file.path, file.content);
         }
         if (options_.runSynthesis) {
-            writeBinaryFile(dir + "/boot.bin", result.bootImage.serialize());
+            writeFileAtomic(dir + "/boot.bin", result.bootImage.serialize());
         }
     }
-    writeTextFile(dir + "/design.dot", result.design.toDot());
-    writeTextFile(dir + "/REPORT.md", renderFlowReport(result));
+    writeFileAtomic(dir + "/design.dot", result.design.toDot());
+    writeFileAtomic(dir + "/REPORT.md", renderFlowReport(result));
 }
 
 } // namespace socgen::core

@@ -1,31 +1,41 @@
 #pragma once
 
 #include "socgen/common/stopwatch.hpp"
+#include "socgen/core/artifact_store.hpp"
 #include "socgen/core/htg.hpp"
+#include "socgen/core/journal.hpp"
+#include "socgen/core/supervisor.hpp"
 #include "socgen/hls/engine.hpp"
+#include "socgen/sim/fault.hpp"
 #include "socgen/soc/bitstream.hpp"
 #include "socgen/soc/block_design.hpp"
 #include "socgen/soc/synthesis.hpp"
 #include "socgen/sw/boot.hpp"
 #include "socgen/sw/drivers.hpp"
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 namespace socgen::core {
 
-/// Shared HLS result cache: the paper generates each hardware core only
-/// once across the four case-study architectures ("for efficiency, we
-/// first generated Arch4 that has all the functions implemented in
-/// hardware"). Keyed by kernel name; thread-safe.
+/// Shared in-memory HLS result cache: the paper generates each hardware
+/// core only once across the four case-study architectures ("for
+/// efficiency, we first generated Arch4 that has all the functions
+/// implemented in hardware"). Keyed by the same content key as the
+/// persistent ArtifactStore — a digest of (kernel source, directives,
+/// device, tool version) — so a lookup can never return a result
+/// synthesized under different directives or for a different part.
+/// Thread-safe.
 class HlsCache {
 public:
-    [[nodiscard]] const hls::HlsResult* find(const std::string& kernelName) const;
-    void store(const std::string& kernelName, hls::HlsResult result);
+    [[nodiscard]] const hls::HlsResult* find(const std::string& key) const;
+    void store(const std::string& key, hls::HlsResult result);
     [[nodiscard]] std::size_t size() const;
 
 private:
@@ -55,24 +65,59 @@ struct FlowOptions {
 
     HlsFailurePolicy hlsFailurePolicy = HlsFailurePolicy::Degrade;
     /// Fault hook: kernels listed here fail HLS with an injected HlsError
-    /// (bypassing the cache), exercising the degrade path in tests.
+    /// on every attempt (bypassing the cache), exercising retry
+    /// exhaustion and the degrade path in tests.
     std::set<std::string> injectHlsFailures;
+    /// Fault hook: kernel -> number of initial HLS attempts that fail
+    /// before one succeeds, exercising the retry-recovers path.
+    std::map<std::string, unsigned> transientHlsFailures;
+
+    /// Tool identity folded into artifact keys: bumping it invalidates
+    /// every stored artifact, like moving to a new Vivado release.
+    std::string toolVersion = "socgen-hls-1";
+
+    /// Retry/deadline policy applied to every supervised flow stage.
+    StagePolicy stagePolicy;
+
+    /// Flow-level fault events (FlowCrash, ArtifactCorrupt, StageHang)
+    /// consumed by the flow itself; cycle-level kinds in this plan are
+    /// ignored here.
+    sim::FaultPlan flowFaults;
 };
 
 /// Per-node outcome record for one flow run, carried by FlowResult so
-/// callers can tell a clean all-hardware build from a degraded one.
+/// callers can tell a clean all-hardware build from a degraded one and a
+/// cold build from a resumed one.
 struct FlowDiagnostics {
     struct NodeOutcome {
         std::string node;
         bool degraded = false;  ///< HLS failed; node needs software fallback
         std::string error;      ///< failure text when degraded
         double toolSeconds = 0.0;
+        unsigned attempts = 0;     ///< HLS engine attempts this run (0 = reused)
+        bool cacheHit = false;     ///< served from the in-memory HlsCache
+        bool storeHit = false;     ///< served from the persistent ArtifactStore
+        bool resumedFromJournal = false;  ///< store hit confirmed by a prior
+                                          ///< run's journal commit record
+        std::string artifactKey;   ///< content key (empty if key not derived)
     };
 
     std::vector<NodeOutcome> nodes;
 
+    std::size_t stageRetries = 0;      ///< extra attempts across all stages
+    std::size_t stageTimeouts = 0;     ///< deadline expiries across all stages
+    std::size_t resumedStages = 0;     ///< non-HLS stages re-verified against a
+                                       ///< prior run's journal commit
+    std::size_t digestMismatches = 0;  ///< journal digest disagreements (should
+                                       ///< stay 0 for deterministic flows)
+    std::size_t corruptArtifacts = 0;  ///< store objects rejected by validation
+
     [[nodiscard]] bool anyDegraded() const;
     [[nodiscard]] std::vector<std::string> degradedNodes() const;
+    /// Number of nodes actually synthesized by the HLS engine this run.
+    [[nodiscard]] std::size_t engineRuns() const;
+    [[nodiscard]] std::size_t cacheHits() const;
+    [[nodiscard]] std::size_t storeHits() const;
     [[nodiscard]] std::string render() const;
 };
 
@@ -97,7 +142,16 @@ struct FlowResult {
 
 /// The flow orchestrator behind the DSL: HLS per node, system
 /// integration, synthesis/bitstream, and software generation — the
-/// right-hand side of the paper's Figure 3.
+/// right-hand side of the paper's Figure 3 — run as a sequence of
+/// journaled, supervised, individually committed stages.
+///
+/// Crash recovery: when `outputDir` is set, the flow keeps a journal
+/// (`outputDir/.socgen/journal/<project>.jsonl`) recording each stage's
+/// begin/commit, and a content-addressed artifact store
+/// (`outputDir/.socgen/store`) holding every synthesized HLS core. A
+/// re-run after a crash reloads committed cores from the store (zero
+/// re-synthesis), re-executes the cheap deterministic stages, and
+/// verifies their outputs against the journal's committed digests.
 class Flow {
 public:
     Flow(FlowOptions options, const hls::KernelLibrary& kernels,
@@ -107,23 +161,63 @@ public:
     [[nodiscard]] FlowResult run(const std::string& projectName, const TaskGraph& graph);
 
     /// Runs HLS for a single node (used by the step-by-step DSL execution;
-    /// consults/updates the cache). Returns the result and the tool time
-    /// charged (0 on cache hit).
+    /// consults/updates the cache and the artifact store). Returns the
+    /// result and the tool time charged (0 on cache or store hit).
     [[nodiscard]] std::pair<hls::HlsResult, double> synthesizeNode(const TgNode& node);
 
     [[nodiscard]] const FlowOptions& options() const { return options_; }
 
+    /// The persistent artifact store backing this flow (nullptr when
+    /// `outputDir` is empty).
+    [[nodiscard]] const ArtifactStore* artifactStore() const { return store_.get(); }
+
 private:
+    struct Integration {
+        soc::BlockDesign design{"uninitialised"};
+        std::string tclText;
+    };
+
     [[nodiscard]] hls::Directives directivesFor(const TgNode& node) const;
-    void runAllHls(const TaskGraph& graph, FlowResult& result);
-    void integrate(const std::string& projectName, const TaskGraph& graph,
-                   FlowResult& result) const;
+    [[nodiscard]] std::string flowFingerprint(const std::string& projectName,
+                                              const TaskGraph& graph) const;
+    [[nodiscard]] std::pair<hls::HlsResult, double> synthesizeNodeTracked(
+        const TgNode& node, StageSupervisor& supervisor,
+        FlowDiagnostics::NodeOutcome& outcome);
+    void runAllHls(const TaskGraph& graph, FlowResult& result,
+                   StageSupervisor& supervisor);
+    [[nodiscard]] Integration integrate(const std::string& projectName,
+                                        const TaskGraph& graph,
+                                        const FlowResult& result) const;
     void writeArtifacts(const FlowResult& result) const;
+
+    /// Throws FlowCrashError if a FlowCrash event is armed for this
+    /// (stage, phase) boundary. Thread-safe; events are one-shot.
+    void maybeCrash(const std::string& stage, std::uint64_t phase);
+    /// Sleeps if a StageHang event is armed for this stage (one-shot).
+    void maybeHang(const std::string& stage);
+    /// Corrupts the stored artifact of `kernel` if an ArtifactCorrupt
+    /// event is armed for it (one-shot).
+    void maybeCorruptArtifact(const std::string& kernel, const std::string& key);
+    /// True if an injected transient failure should fire for `kernel`
+    /// (decrements the per-kernel budget).
+    [[nodiscard]] bool consumeTransientFailure(const std::string& kernel);
 
     FlowOptions options_;
     const hls::KernelLibrary& kernels_;
     std::shared_ptr<HlsCache> cache_;
     hls::HlsEngine engine_;
+    std::unique_ptr<ArtifactStore> store_;
+
+    std::mutex faultMutex_;
+    std::vector<sim::FaultEvent> pendingFlowFaults_;
+    std::map<std::string, unsigned> transientRemaining_;
+    std::atomic<std::size_t> corruptDetected_{0};
+    std::atomic<std::size_t> nodeTimeouts_{0};
+
+    // Per-run journal state (valid only inside run()).
+    FlowJournal* journal_ = nullptr;
+    std::set<std::string> committedAtOpen_;
+    std::map<std::string, std::string> digestsAtOpen_;
 };
 
 } // namespace socgen::core

@@ -1,0 +1,273 @@
+#include "socgen/core/journal.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+#include "socgen/common/textfile.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+namespace socgen::core {
+namespace {
+
+void appendEscaped(std::string& out, std::string_view text) {
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                out += format("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+/// Extracts the string value of `"key":"..."` from a JSON line produced
+/// by renderJson(). Returns nullopt if the key is absent or the value is
+/// torn (no closing quote) — good enough for our fixed, self-produced
+/// schema; this is not a general JSON parser.
+std::optional<std::string> extractString(std::string_view line, std::string_view key) {
+    const std::string needle = "\"" + std::string(key) + "\":\"";
+    const std::size_t at = line.find(needle);
+    if (at == std::string_view::npos) {
+        return std::nullopt;
+    }
+    std::string out;
+    for (std::size_t i = at + needle.size(); i < line.size(); ++i) {
+        const char c = line[i];
+        if (c == '"') {
+            return out;
+        }
+        if (c == '\\') {
+            if (i + 1 >= line.size()) {
+                return std::nullopt;
+            }
+            const char esc = line[++i];
+            switch (esc) {
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (i + 4 >= line.size()) {
+                    return std::nullopt;
+                }
+                unsigned code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    const char h = line[i + 1 + static_cast<std::size_t>(k)];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') {
+                        code |= static_cast<unsigned>(h - '0');
+                    } else if (h >= 'a' && h <= 'f') {
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    } else {
+                        return std::nullopt;
+                    }
+                }
+                i += 4;
+                out += static_cast<char>(code);
+                break;
+            }
+            default: out += esc;
+            }
+        } else {
+            out += c;
+        }
+    }
+    return std::nullopt;  // no closing quote: torn line
+}
+
+std::optional<std::uint64_t> extractSeq(std::string_view line) {
+    const std::string_view needle = "\"seq\":";
+    const std::size_t at = line.find(needle);
+    if (at == std::string_view::npos) {
+        return std::nullopt;
+    }
+    std::uint64_t value = 0;
+    bool any = false;
+    for (std::size_t i = at + needle.size(); i < line.size(); ++i) {
+        const char c = line[i];
+        if (c < '0' || c > '9') {
+            break;
+        }
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+        any = true;
+    }
+    return any ? std::optional<std::uint64_t>(value) : std::nullopt;
+}
+
+} // namespace
+
+std::string JournalRecord::renderJson() const {
+    std::string out;
+    out += format("{\"seq\":%llu,\"event\":\"", static_cast<unsigned long long>(seq));
+    appendEscaped(out, event);
+    out += "\",\"stage\":\"";
+    appendEscaped(out, stage);
+    out += "\",\"digest\":\"";
+    appendEscaped(out, digest);
+    out += "\",\"note\":\"";
+    appendEscaped(out, note);
+    out += "\"}";
+    return out;
+}
+
+std::optional<JournalRecord> JournalRecord::parseJson(std::string_view line) {
+    if (line.empty() || line.front() != '{' || line.back() != '}') {
+        return std::nullopt;
+    }
+    const auto seq = extractSeq(line);
+    const auto event = extractString(line, "event");
+    const auto stage = extractString(line, "stage");
+    const auto digest = extractString(line, "digest");
+    const auto note = extractString(line, "note");
+    if (!seq || !event || !stage || !digest || !note) {
+        return std::nullopt;
+    }
+    JournalRecord record;
+    record.seq = *seq;
+    record.event = *event;
+    record.stage = *stage;
+    record.digest = *digest;
+    record.note = *note;
+    return record;
+}
+
+FlowJournal FlowJournal::open(std::string path) {
+    FlowJournal journal(std::move(path));
+    if (!fileExists(journal.path_)) {
+        return journal;
+    }
+    const std::string text = readTextFile(journal.path_);
+    std::size_t lineStart = 0;
+    bool torn = false;
+    while (lineStart < text.size()) {
+        const std::size_t lineEnd = text.find('\n', lineStart);
+        if (lineEnd == std::string::npos) {
+            // No trailing newline: the writer died mid-append. Drop the
+            // fragment.
+            torn = true;
+            break;
+        }
+        const std::string_view line =
+            std::string_view(text).substr(lineStart, lineEnd - lineStart);
+        const auto record = JournalRecord::parseJson(line);
+        if (!record) {
+            // A complete but unparseable line means corruption mid-file;
+            // everything after it is untrustworthy.
+            torn = true;
+            break;
+        }
+        if (record->event == "commit") {
+            if (journal.committed_.find(record->stage) == journal.committed_.end()) {
+                journal.commitOrder_.push_back(record->stage);
+            }
+            journal.committed_[record->stage] = record->digest;
+        }
+        journal.nextSeq_ = record->seq + 1;
+        journal.records_.push_back(*record);
+        lineStart = lineEnd + 1;
+    }
+    if (torn) {
+        // Compact to the valid prefix so future appends produce a clean
+        // file again.
+        journal.rewrite();
+    }
+    return journal;
+}
+
+void FlowJournal::rewrite() {
+    std::string text;
+    for (const auto& record : records_) {
+        text += record.renderJson();
+        text += '\n';
+    }
+    writeFileAtomic(path_, text);
+}
+
+bool FlowJournal::matchesHeader(const std::string& flowFingerprint) const {
+    for (const auto& record : records_) {
+        if (record.event == "header") {
+            return record.digest == flowFingerprint;
+        }
+    }
+    return false;
+}
+
+void FlowJournal::reset(const std::string& flowFingerprint, const std::string& note) {
+    records_.clear();
+    committed_.clear();
+    commitOrder_.clear();
+    nextSeq_ = 0;
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    JournalRecord header;
+    header.event = "header";
+    header.digest = flowFingerprint;
+    header.note = note;
+    append(std::move(header));
+}
+
+void FlowJournal::begin(const std::string& stage) {
+    JournalRecord record;
+    record.event = "begin";
+    record.stage = stage;
+    append(std::move(record));
+}
+
+void FlowJournal::commit(const std::string& stage, const std::string& digest,
+                         const std::string& note) {
+    JournalRecord record;
+    record.event = "commit";
+    record.stage = stage;
+    record.digest = digest;
+    record.note = note;
+    if (committed_.find(stage) == committed_.end()) {
+        commitOrder_.push_back(stage);
+    }
+    committed_[stage] = digest;
+    append(std::move(record));
+}
+
+void FlowJournal::noteEvent(const std::string& stage, const std::string& note) {
+    JournalRecord record;
+    record.event = "note";
+    record.stage = stage;
+    record.note = note;
+    append(std::move(record));
+}
+
+bool FlowJournal::isCommitted(const std::string& stage) const {
+    return committed_.find(stage) != committed_.end();
+}
+
+std::optional<std::string> FlowJournal::committedDigest(const std::string& stage) const {
+    const auto it = committed_.find(stage);
+    return it == committed_.end() ? std::nullopt : std::optional<std::string>(it->second);
+}
+
+std::vector<std::string> FlowJournal::committedStages() const {
+    return commitOrder_;
+}
+
+std::string FlowJournal::renderText() const {
+    std::string out;
+    for (const auto& record : records_) {
+        out += record.renderJson();
+        out += '\n';
+    }
+    return out;
+}
+
+void FlowJournal::append(JournalRecord record) {
+    record.seq = nextSeq_++;
+    appendLineDurable(path_, record.renderJson());
+    records_.push_back(std::move(record));
+}
+
+} // namespace socgen::core

@@ -1,0 +1,42 @@
+#include "socgen/core/supervisor.hpp"
+
+#include "socgen/common/hash.hpp"
+#include "socgen/common/log.hpp"
+#include "socgen/common/strings.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace socgen::core {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+void StageSupervisor::sleepBackoff(const std::string& stage, int attempt) {
+    double delayMs = policy_.backoffBaseMs;
+    for (int i = 1; i < attempt; ++i) {
+        delayMs *= policy_.backoffFactor;
+    }
+    if (policy_.jitterFraction > 0.0) {
+        // Deterministic jitter: the same (seed, stage, attempt) always
+        // sleeps the same amount, so retried runs stay reproducible.
+        const std::uint64_t r =
+            splitmix64(policy_.seed ^ fnv1a64(stage) ^ static_cast<std::uint64_t>(attempt));
+        const double unit = static_cast<double>(r % 10'000) / 10'000.0;  // [0, 1)
+        delayMs *= 1.0 + policy_.jitterFraction * (2.0 * unit - 1.0);
+    }
+    delayMs = std::max(0.0, delayMs);
+    Logger::global().info(format("supervisor: stage %s attempt %d failed; backing off "
+                                 "%.2f ms",
+                                 stage.c_str(), attempt, delayMs));
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delayMs));
+}
+
+} // namespace socgen::core

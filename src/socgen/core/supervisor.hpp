@@ -1,0 +1,178 @@
+#pragma once
+
+#include "socgen/common/error.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace socgen::core {
+
+/// Retry/deadline policy applied by StageSupervisor to every flow stage.
+/// Defaults are tuned for the simulated tool models (millisecond-scale
+/// backoff); real-tool deployments would scale these up.
+struct StagePolicy {
+    int maxAttempts = 3;           ///< total attempts per stage (>= 1)
+    double backoffBaseMs = 1.0;    ///< sleep before attempt 2
+    double backoffFactor = 2.0;    ///< exponential growth per retry
+    double jitterFraction = 0.25;  ///< +/- fraction applied to each backoff
+    double deadlineMs = 0.0;       ///< per-attempt deadline; 0 disables
+    std::uint64_t seed = 0x50c9e11;  ///< jitter PRNG seed (deterministic)
+};
+
+/// Outcome metadata of one supervised stage execution.
+struct StageRun {
+    int attempts = 0;      ///< attempts consumed (1 = first try succeeded)
+    int timeouts = 0;      ///< attempts that hit the deadline
+    std::vector<std::string> transientErrors;  ///< messages of absorbed failures
+};
+
+/// Wraps flow stages with bounded retry (exponential backoff + jitter,
+/// deterministic per seed/stage/attempt) and an optional per-attempt
+/// deadline. Transient failures — HlsError (a flaky tool run),
+/// ArtifactError (store corruption), StageTimeoutError (a hung attempt)
+/// — are retried up to the policy's attempt budget; everything else
+/// (DslError, FlowCrashError, internal errors) propagates immediately
+/// because retrying a broken input or a simulated kill is meaningless.
+///
+/// Deadline mechanics: the attempt runs on a worker thread; if it misses
+/// the deadline the supervisor abandons it (recording the thread for a
+/// join in the destructor), throws StageTimeoutError into the retry
+/// loop, and the retry starts fresh. Abandoned attempts write only to
+/// their own result slot, so a late finisher cannot corrupt the
+/// winning attempt's output.
+class StageSupervisor {
+public:
+    explicit StageSupervisor(StagePolicy policy = {}) : policy_(policy) {}
+
+    StageSupervisor(const StageSupervisor&) = delete;
+    StageSupervisor& operator=(const StageSupervisor&) = delete;
+
+    ~StageSupervisor() {
+        // Abandoned (timed-out) attempts must finish before the stage
+        // state they captured dies with the flow.
+        for (auto& thread : stranded_) {
+            if (thread.joinable()) {
+                thread.join();
+            }
+        }
+    }
+
+    /// True if `error` is worth retrying.
+    [[nodiscard]] static bool isTransient(const std::exception& error) {
+        return dynamic_cast<const HlsError*>(&error) != nullptr ||
+               dynamic_cast<const ArtifactError*>(&error) != nullptr ||
+               dynamic_cast<const StageTimeoutError*>(&error) != nullptr;
+    }
+
+    /// Runs `fn` under the policy and returns its result. `runOut`, when
+    /// non-null, receives attempt/timeout counts for diagnostics.
+    ///
+    /// Lifetime: `fn` is copied into shared ownership so an abandoned
+    /// (timed-out) attempt can never outlive the closure object it runs.
+    /// Anything `fn` captures BY REFERENCE must still outlive this
+    /// supervisor — declare the supervisor after such locals so its
+    /// destructor joins stranded attempts before they dangle.
+    template <typename Fn>
+    auto run(const std::string& stage, Fn&& fn, StageRun* runOut = nullptr)
+        -> std::invoke_result_t<Fn&> {
+        using T = std::invoke_result_t<Fn&>;
+        auto owned = std::make_shared<std::decay_t<Fn>>(std::forward<Fn>(fn));
+        StageRun local;
+        StageRun& meta = runOut != nullptr ? *runOut : local;
+        const int maxAttempts = policy_.maxAttempts < 1 ? 1 : policy_.maxAttempts;
+        for (int attempt = 1;; ++attempt) {
+            meta.attempts = attempt;
+            try {
+                if constexpr (std::is_void_v<T>) {
+                    attemptOnce<int>(stage, [owned] {
+                        (*owned)();
+                        return 0;
+                    });
+                    return;
+                } else {
+                    return attemptOnce<T>(stage, [owned] { return (*owned)(); });
+                }
+            } catch (const StageTimeoutError& e) {
+                ++meta.timeouts;
+                if (attempt >= maxAttempts) {
+                    throw;
+                }
+                meta.transientErrors.push_back(e.what());
+            } catch (const std::exception& e) {
+                if (attempt >= maxAttempts || !isTransient(e)) {
+                    throw;
+                }
+                meta.transientErrors.push_back(e.what());
+            }
+            sleepBackoff(stage, attempt);
+        }
+    }
+
+    [[nodiscard]] const StagePolicy& policy() const { return policy_; }
+
+private:
+    template <typename T, typename Call>
+    T attemptOnce(const std::string& stage, Call call) {
+        if (policy_.deadlineMs <= 0.0) {
+            return call();
+        }
+        struct Shared {
+            std::mutex mutex;
+            std::condition_variable cv;
+            bool done = false;
+            std::optional<T> value;
+            std::exception_ptr error;
+        };
+        auto shared = std::make_shared<Shared>();
+        std::thread worker([shared, call] {
+            std::optional<T> value;
+            std::exception_ptr error;
+            try {
+                value.emplace(call());
+            } catch (...) {
+                error = std::current_exception();
+            }
+            const std::lock_guard<std::mutex> lock(shared->mutex);
+            shared->value = std::move(value);
+            shared->error = error;
+            shared->done = true;
+            shared->cv.notify_all();
+        });
+        std::unique_lock<std::mutex> lock(shared->mutex);
+        const bool finished = shared->cv.wait_for(
+            lock, std::chrono::duration<double, std::milli>(policy_.deadlineMs),
+            [&] { return shared->done; });
+        if (!finished) {
+            lock.unlock();
+            {
+                const std::lock_guard<std::mutex> strandedLock(strandedMutex_);
+                stranded_.push_back(std::move(worker));
+            }
+            throw StageTimeoutError(
+                stage + " exceeded its deadline; abandoning the attempt");
+        }
+        lock.unlock();
+        worker.join();
+        if (shared->error) {
+            std::rethrow_exception(shared->error);
+        }
+        return std::move(*shared->value);
+    }
+
+    void sleepBackoff(const std::string& stage, int attempt);
+
+    StagePolicy policy_;
+    std::mutex strandedMutex_;
+    std::vector<std::thread> stranded_;
+};
+
+} // namespace socgen::core

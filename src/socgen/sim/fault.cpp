@@ -29,11 +29,20 @@ private:
     std::uint64_t state_;
 };
 
-bool isFlowLevel(FaultKind kind) {
-    return kind == FaultKind::BitstreamCorrupt || kind == FaultKind::HlsFailure;
-}
-
 } // namespace
+
+bool FaultPlan::isFlowLevel(FaultKind kind) {
+    switch (kind) {
+    case FaultKind::BitstreamCorrupt:
+    case FaultKind::HlsFailure:
+    case FaultKind::FlowCrash:
+    case FaultKind::ArtifactCorrupt:
+    case FaultKind::StageHang:
+        return true;
+    default:
+        return false;
+    }
+}
 
 const char* toString(FaultKind kind) {
     switch (kind) {
@@ -47,6 +56,9 @@ const char* toString(FaultKind kind) {
     case FaultKind::DmaStall: return "dma-stall";
     case FaultKind::BitstreamCorrupt: return "bitstream-corrupt";
     case FaultKind::HlsFailure: return "hls-failure";
+    case FaultKind::FlowCrash: return "flow-crash";
+    case FaultKind::ArtifactCorrupt: return "artifact-corrupt";
+    case FaultKind::StageHang: return "stage-hang";
     }
     return "unknown";
 }
@@ -158,6 +170,18 @@ FaultPlan& FaultPlan::failHls(std::string kernel) {
     return add({FaultKind::HlsFailure, 0, std::move(kernel), 0, 0});
 }
 
+FaultPlan& FaultPlan::crashFlow(std::string stage, std::uint64_t phase) {
+    return add({FaultKind::FlowCrash, 0, std::move(stage), phase, 0});
+}
+
+FaultPlan& FaultPlan::corruptArtifact(std::string kernel) {
+    return add({FaultKind::ArtifactCorrupt, 0, std::move(kernel), 0, 0});
+}
+
+FaultPlan& FaultPlan::hangStage(std::string stage, std::uint64_t milliseconds) {
+    return add({FaultKind::StageHang, 0, std::move(stage), milliseconds, 0});
+}
+
 FaultPlan& FaultPlan::add(FaultEvent event) {
     events_.push_back(std::move(event));
     return *this;
@@ -192,7 +216,7 @@ void FaultInjector::setPlan(FaultPlan plan) {
     // Cycle-level events fire in cycle order regardless of plan order.
     pending_.clear();
     for (const auto& e : plan_.events()) {
-        if (!isFlowLevel(e.kind)) {
+        if (!FaultPlan::isFlowLevel(e.kind)) {
             pending_.push_back(e);
         }
     }

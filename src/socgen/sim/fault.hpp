@@ -26,6 +26,13 @@ enum class FaultKind {
     DmaStall,         ///< freeze dma `target` descriptors for `a` cycles
     BitstreamCorrupt, ///< flip bit `b` of section `a` of the bitstream payload
     HlsFailure,       ///< fail HLS for kernel `target` (flow-level)
+    FlowCrash,        ///< kill the flow at stage `target`; `a`: 0 = at stage
+                      ///< begin (after the begin journal record), 1 = pre-commit
+                      ///< (work done, commit record not yet written)
+    ArtifactCorrupt,  ///< corrupt the stored artifact of kernel `target` after
+                      ///< it is written (flow-level; next load must detect it)
+    StageHang,        ///< stage `target` hangs for `a` host-milliseconds on its
+                      ///< first execution (one-shot; exercises the deadline)
 };
 
 [[nodiscard]] const char* toString(FaultKind kind);
@@ -77,6 +84,14 @@ public:
     FaultPlan& stallDma(std::uint64_t cycle, std::string dma, std::uint64_t cycles);
     FaultPlan& corruptBitstream(std::size_t section, unsigned bit);
     FaultPlan& failHls(std::string kernel);
+    /// `phase`: 0 = crash at stage begin, 1 = crash pre-commit.
+    FaultPlan& crashFlow(std::string stage, std::uint64_t phase = 0);
+    FaultPlan& corruptArtifact(std::string kernel);
+    FaultPlan& hangStage(std::string stage, std::uint64_t milliseconds);
+
+    /// True for kinds consumed by the tool flow rather than the cycle
+    /// simulator (they strike tool phases, not clocked hardware).
+    [[nodiscard]] static bool isFlowLevel(FaultKind kind);
 
     FaultPlan& add(FaultEvent event);
 
