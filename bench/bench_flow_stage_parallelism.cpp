@@ -1,0 +1,163 @@
+// Cross-stage parallelism benchmark for the stage-graph flow engine:
+// builds the Otsu Arch4 pipeline (grayScale → gaussianBlur → sobel →
+// segment, all four stages in hardware) serially (jobs=1) and with the
+// DAG-parallel worker pool (jobs=4), comparing end-to-end wall-clock.
+//
+// What the real flow waits on is the external vendor tools: a Vivado HLS
+// or synthesis run is minutes of *blocked* wall-clock (a subprocess), not
+// host CPU — so DAG scheduling wins by overlapping those waits, even on a
+// single host core. The bench models that with
+// FlowOptions::toolLatencyMsPerToolSecond: every stage attempt blocks in
+// proportion to its simulated tool-seconds. Both runs do identical work
+// (fresh HLS cache each) and sleep for identical totals; the delta is
+// pure scheduling.
+//
+// Two comparisons are reported: the full flow (where the single serial
+// synthesis stage bounds the gain — Amdahl in action; the parallel run
+// still wins by overlapping the four per-node HLS stages with each other
+// and device-tree/driver generation with synthesis) and the front-end
+// flow (synthesis off, the edit-compile loop of the paper's DSE story),
+// where the HLS fan-out dominates.
+//
+// The full-flow runs emit chrome://tracing / Perfetto JSON timelines
+// (one span per stage, worker id as tid) into bench_artifacts/.
+
+#include "socgen/socgen.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+using namespace socgen;
+
+namespace {
+
+/// One deepened pipeline stage: a stream-through kernel whose loop body
+/// is a long dependent arithmetic chain. `stmts` controls the simulated
+/// tool time (12 + 1.4 s per statement, mirroring real HLS runtimes that
+/// grow with kernel size).
+hls::Kernel deepKernel(const std::string& name, int stmts) {
+    using namespace hls;
+    KernelBuilder kb(name);
+    const PortId in = kb.streamIn("in", 8);
+    const PortId out = kb.streamOut("out", 8);
+    const VarId i = kb.var("i", 32);
+    const VarId acc = kb.var("acc", 32);
+    kb.forLoop(i, kb.c(4096));
+    kb.assign(acc, kb.read(in));
+    for (int s = 0; s < stmts; ++s) {
+        kb.assign(acc,
+                  kb.bin(BinOp::Xor, kb.add(kb.mul(kb.v(acc), kb.c(3 + s)), kb.c(7)),
+                         kb.shr(kb.v(acc), kb.c(1 + (s % 5)))));
+    }
+    kb.write(out, kb.v(acc));
+    kb.endLoop();
+    return kb.build();
+}
+
+/// The Arch4 task graph: every Otsu stage mapped to hardware, chained
+/// PS → grayScale → gaussianBlur → sobel → segment → PS.
+core::TaskGraph arch4Graph() {
+    constexpr const char* dsl = R"(
+object arch4 extends App {
+  tg nodes;
+    tg node "grayScale" is "in" is "out" end;
+    tg node "gaussianBlur" is "in" is "out" end;
+    tg node "sobel" is "in" is "out" end;
+    tg node "segment" is "in" is "out" end;
+  tg end_nodes;
+  tg edges;
+    tg link 'soc to ("grayScale","in") end;
+    tg link ("grayScale","out") to ("gaussianBlur","in") end;
+    tg link ("gaussianBlur","out") to ("sobel","in") end;
+    tg link ("sobel","out") to ("segment","in") end;
+    tg link ("segment","out") to 'soc end;
+  tg end_edges;
+}
+)";
+    return core::parseDsl(dsl).graph;
+}
+
+struct RunStats {
+    double hostMs = 0.0;
+    double toolSeconds = 0.0;
+    std::size_t stages = 0;
+};
+
+RunStats runOnce(const hls::KernelLibrary& kernels, unsigned jobs, bool synthesis,
+                 const std::string& trace) {
+    core::FlowOptions options;
+    options.jobs = jobs;
+    options.runSynthesis = synthesis;
+    options.traceOutPath = trace;
+    // Every simulated tool-second costs this much blocked wall-clock —
+    // the stand-in for waiting on the vendor-tool subprocess.
+    options.toolLatencyMsPerToolSecond = 0.25;
+    // The deepened bodies overflow the Zedboard's fabric; model a large
+    // part so synthesis accepts the design (resource pressure is not what
+    // this bench measures).
+    options.device.lut = 1'500'000;
+    options.device.ff = 3'000'000;
+    options.device.bram18 = 4'000;
+    options.device.dsp = 10'000;
+    // A fresh in-memory cache per run: every HLS core is synthesized, so
+    // both runs do identical work and the delta is pure scheduling.
+    core::Flow flow(options, kernels, std::make_shared<core::HlsCache>());
+    const auto start = std::chrono::steady_clock::now();
+    const core::FlowResult result = flow.run(format("Arch4_jobs%u", jobs), arch4Graph());
+    RunStats stats;
+    stats.hostMs = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    stats.toolSeconds = result.timeline.totalToolSeconds();
+    stats.stages = result.diagnostics.stages.size();
+    return stats;
+}
+
+void report(const char* title, const RunStats& serial, const RunStats& parallel) {
+    std::printf("%s (%zu stages)\n", title, serial.stages);
+    std::printf("  %-24s %12s %14s\n", "run", "host-ms", "tool-seconds");
+    std::printf("  %-24s %12.1f %14.1f\n", "serial (jobs=1)", serial.hostMs,
+                serial.toolSeconds);
+    std::printf("  %-24s %12.1f %14.1f\n", "DAG-parallel (jobs=4)", parallel.hostMs,
+                parallel.toolSeconds);
+    std::printf("  wall-clock speedup: %.2fx\n\n", serial.hostMs / parallel.hostMs);
+}
+
+} // namespace
+
+int main() {
+    Logger::global().setLevel(LogLevel::Error);
+    hls::KernelLibrary kernels;
+    kernels.add(deepKernel("grayScale", 80));
+    kernels.add(deepKernel("gaussianBlur", 100));
+    kernels.add(deepKernel("sobel", 90));
+    kernels.add(deepKernel("segment", 70));
+
+    // Warm-up pass so first-touch costs (allocator, lazy tables) don't
+    // land on the serial measurement.
+    (void)runOnce(kernels, 1, false, "");
+
+    std::printf("Cross-stage parallelism on the Otsu Arch4 flow graph\n");
+    std::printf("(identical work per run: fresh HLS cache, simulated tool latency "
+                "0.25 ms per tool-second)\n\n");
+
+    const RunStats fullSerial =
+        runOnce(kernels, 1, true, "bench_artifacts/flow_stage_trace_serial.json");
+    const RunStats fullParallel =
+        runOnce(kernels, 4, true, "bench_artifacts/flow_stage_trace_jobs4.json");
+    report("full flow (HLS + integrate + synth + software)", fullSerial, fullParallel);
+
+    const RunStats frontSerial = runOnce(kernels, 1, false, "");
+    const RunStats frontParallel = runOnce(kernels, 4, false, "");
+    report("front-end flow (synthesis off, the DSE inner loop)", frontSerial,
+           frontParallel);
+
+    std::printf("the serial synthesis stage bounds the full-flow gain (Amdahl); the\n"
+                "graph reorders work, it does not skip any: tool-seconds match per "
+                "pair\n");
+    std::printf("wrote bench_artifacts/flow_stage_trace_{serial,jobs4}.json "
+                "(open in chrome://tracing or ui.perfetto.dev)\n");
+    return 0;
+}

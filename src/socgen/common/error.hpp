@@ -76,6 +76,17 @@ public:
     explicit ArtifactError(const std::string& message) : Error("artifact: " + message) {}
 };
 
+/// Raised by the stage-graph engine on a malformed flow graph: duplicate
+/// stage names, dependencies on unknown stages, or dependency cycles.
+/// Always a socgen (or embedding) bug, never transient — the graph shape
+/// is fixed before execution starts, so it is neither retried nor
+/// degraded.
+class StageGraphError : public Error {
+public:
+    explicit StageGraphError(const std::string& message)
+        : Error("stage-graph: " + message) {}
+};
+
 /// Raised when a supervised flow stage exceeds its deadline. Transient:
 /// the supervisor retries the stage (the hang may have been a stuck
 /// tool invocation).

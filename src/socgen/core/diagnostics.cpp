@@ -1,0 +1,92 @@
+#include "socgen/core/diagnostics.hpp"
+
+#include "socgen/common/strings.hpp"
+
+namespace socgen::core {
+
+bool FlowDiagnostics::anyDegraded() const {
+    for (const auto& n : nodes) {
+        if (n.degraded) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<std::string> FlowDiagnostics::degradedNodes() const {
+    std::vector<std::string> names;
+    for (const auto& n : nodes) {
+        if (n.degraded) {
+            names.push_back(n.node);
+        }
+    }
+    return names;
+}
+
+std::size_t FlowDiagnostics::engineRuns() const {
+    std::size_t count = 0;
+    for (const auto& n : nodes) {
+        if (!n.degraded && n.attempts > 0) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+std::size_t FlowDiagnostics::cacheHits() const {
+    std::size_t count = 0;
+    for (const auto& n : nodes) {
+        if (n.cacheHit) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+std::size_t FlowDiagnostics::storeHits() const {
+    std::size_t count = 0;
+    for (const auto& n : nodes) {
+        if (n.storeHit) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+std::string FlowDiagnostics::render(bool withHostTimes) const {
+    std::string out = "HLS diagnostics:";
+    for (const auto& n : nodes) {
+        if (n.degraded) {
+            out += format("\n  %s: DEGRADED to software fallback after %u attempt(s) — %s",
+                          n.node.c_str(), n.attempts, n.error.c_str());
+        } else {
+            const char* source = n.cacheHit    ? "cache hit"
+                                 : n.storeHit  ? (n.resumedFromJournal ? "store hit (journaled)"
+                                                                       : "store hit")
+                                               : "synthesized";
+            out += format("\n  %s: ok (%.1f tool-s, %s, %u attempt(s))", n.node.c_str(),
+                          n.toolSeconds, source, n.attempts);
+        }
+    }
+    if (!stages.empty()) {
+        out += "\nstage timeline:";
+        out += format("\n  %-16s %8s %8s %10s %10s  %s", "stage", "attempts", "timeouts",
+                      "tool-s", "host-ms", "source");
+        for (const auto& s : stages) {
+            const std::string hostMs =
+                withHostTimes ? format("%10.3f", s.hostMs) : format("%10s", "-");
+            out += format("\n  %-16s %8u %8u %10.1f %s  %s", s.stage.c_str(), s.attempts,
+                          s.timeouts, s.toolSeconds, hostMs.c_str(), s.source.c_str());
+        }
+    }
+    if (stageRetries > 0 || stageTimeouts > 0 || resumedStages > 0 ||
+        digestMismatches > 0 || corruptArtifacts > 0) {
+        out += format("\n  flow: %zu stage retr%s, %zu timeout(s), %zu resumed stage(s), "
+                      "%zu digest mismatch(es), %zu corrupt artifact(s)",
+                      stageRetries, stageRetries == 1 ? "y" : "ies", stageTimeouts,
+                      resumedStages, digestMismatches, corruptArtifacts);
+    }
+    return out;
+}
+
+} // namespace socgen::core

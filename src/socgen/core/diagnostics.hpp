@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace socgen::core {
+
+/// Per-run outcome record of one flow execution, carried by FlowResult so
+/// callers can tell a clean all-hardware build from a degraded one and a
+/// cold build from a resumed one. Node outcomes describe the per-kernel
+/// HLS phase; stage outcomes describe every stage of the flow graph (one
+/// row per executed stage, in deterministic topological order), sourced
+/// from the FlowEventBus rather than scattered counters.
+struct FlowDiagnostics {
+    struct NodeOutcome {
+        std::string node;
+        bool degraded = false;  ///< HLS failed; node needs software fallback
+        std::string error;      ///< failure text when degraded
+        double toolSeconds = 0.0;
+        unsigned attempts = 0;     ///< HLS engine attempts this run (0 = reused)
+        bool cacheHit = false;     ///< served from the in-memory HlsCache
+        bool storeHit = false;     ///< served from the persistent ArtifactStore
+        bool resumedFromJournal = false;  ///< store hit confirmed by a prior
+                                          ///< run's journal commit record
+        std::string artifactKey;   ///< content key (empty if key not derived)
+    };
+
+    /// One row of the per-stage wall-clock table. Every field except
+    /// `hostMs` is deterministic: two runs of the same flow (at any
+    /// `jobs` setting) agree on everything but the measured wall time.
+    struct StageOutcome {
+        std::string stage;         ///< stage name ("scala", "hls:GAUSS", ...)
+        unsigned attempts = 0;     ///< supervised attempts (1 = clean first try)
+        unsigned timeouts = 0;     ///< attempts abandoned at the deadline
+        double toolSeconds = 0.0;  ///< simulated tool time charged
+        double hostMs = 0.0;       ///< measured wall time (non-deterministic)
+        std::string source;        ///< "ran", "cache hit", "store hit", "degraded"
+        bool committed = false;    ///< reached a journal commit record
+    };
+
+    std::vector<NodeOutcome> nodes;
+    std::vector<StageOutcome> stages;  ///< per-stage table, topological order
+
+    std::size_t stageRetries = 0;      ///< extra attempts across all stages
+    std::size_t stageTimeouts = 0;     ///< deadline expiries across all stages
+    std::size_t resumedStages = 0;     ///< non-HLS stages re-verified against a
+                                       ///< prior run's journal commit
+    std::size_t digestMismatches = 0;  ///< journal digest disagreements (should
+                                       ///< stay 0 for deterministic flows)
+    std::size_t corruptArtifacts = 0;  ///< store objects rejected by validation
+
+    [[nodiscard]] bool anyDegraded() const;
+    [[nodiscard]] std::vector<std::string> degradedNodes() const;
+    /// Number of nodes actually synthesized by the HLS engine this run.
+    [[nodiscard]] std::size_t engineRuns() const;
+    [[nodiscard]] std::size_t cacheHits() const;
+    [[nodiscard]] std::size_t storeHits() const;
+
+    /// Renders the per-node lines, the per-stage table and the flow
+    /// summary. With `withHostTimes` false (the default) the output is
+    /// byte-identical across runs and `jobs` settings — the wall-clock
+    /// column prints "-"; pass true for the measured milliseconds.
+    [[nodiscard]] std::string render(bool withHostTimes = false) const;
+};
+
+} // namespace socgen::core

@@ -6,14 +6,12 @@
 #include "socgen/common/strings.hpp"
 #include "socgen/common/textfile.hpp"
 #include "socgen/core/report.hpp"
-#include "socgen/hls/serialize.hpp"
 #include "socgen/soc/tcl.hpp"
 #include "socgen/sw/devicetree.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <exception>
+#include <cstdlib>
 #include <thread>
 
 namespace socgen::core {
@@ -24,18 +22,17 @@ struct SynthOut {
     soc::Bitstream bitstream;
 };
 
-struct SoftwareOut {
-    std::string deviceTree;
-    std::vector<sw::GeneratedFile> driverFiles;
-    sw::BootImage bootImage;
-};
-
 } // namespace
 
-const hls::HlsResult* HlsCache::find(const std::string& key) const {
+std::optional<hls::HlsResult> HlsCache::find(const std::string& key) const {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = results_.find(key);
-    return it == results_.end() ? nullptr : &it->second;
+    if (it == results_.end()) {
+        return std::nullopt;
+    }
+    // By value: a pointer into the map would dangle the moment another
+    // stage inserts concurrently.
+    return it->second;
 }
 
 void HlsCache::store(const std::string& key, hls::HlsResult result) {
@@ -48,92 +45,18 @@ std::size_t HlsCache::size() const {
     return results_.size();
 }
 
-bool FlowDiagnostics::anyDegraded() const {
-    for (const auto& n : nodes) {
-        if (n.degraded) {
-            return true;
-        }
-    }
-    return false;
-}
-
-std::vector<std::string> FlowDiagnostics::degradedNodes() const {
-    std::vector<std::string> names;
-    for (const auto& n : nodes) {
-        if (n.degraded) {
-            names.push_back(n.node);
-        }
-    }
-    return names;
-}
-
-std::size_t FlowDiagnostics::engineRuns() const {
-    std::size_t count = 0;
-    for (const auto& n : nodes) {
-        if (!n.degraded && n.attempts > 0) {
-            ++count;
-        }
-    }
-    return count;
-}
-
-std::size_t FlowDiagnostics::cacheHits() const {
-    std::size_t count = 0;
-    for (const auto& n : nodes) {
-        if (n.cacheHit) {
-            ++count;
-        }
-    }
-    return count;
-}
-
-std::size_t FlowDiagnostics::storeHits() const {
-    std::size_t count = 0;
-    for (const auto& n : nodes) {
-        if (n.storeHit) {
-            ++count;
-        }
-    }
-    return count;
-}
-
-std::string FlowDiagnostics::render() const {
-    std::string out = "HLS diagnostics:";
-    for (const auto& n : nodes) {
-        if (n.degraded) {
-            out += format("\n  %s: DEGRADED to software fallback after %u attempt(s) — %s",
-                          n.node.c_str(), n.attempts, n.error.c_str());
-        } else {
-            const char* source = n.cacheHit    ? "cache hit"
-                                 : n.storeHit  ? (n.resumedFromJournal ? "store hit (journaled)"
-                                                                       : "store hit")
-                                               : "synthesized";
-            out += format("\n  %s: ok (%.1f tool-s, %s, %u attempt(s))", n.node.c_str(),
-                          n.toolSeconds, source, n.attempts);
-        }
-    }
-    if (stageRetries > 0 || stageTimeouts > 0 || resumedStages > 0 ||
-        digestMismatches > 0 || corruptArtifacts > 0) {
-        out += format("\n  flow: %zu stage retr%s, %zu timeout(s), %zu resumed stage(s), "
-                      "%zu digest mismatch(es), %zu corrupt artifact(s)",
-                      stageRetries, stageRetries == 1 ? "y" : "ies", stageTimeouts,
-                      resumedStages, digestMismatches, corruptArtifacts);
-    }
-    return out;
-}
-
 Flow::Flow(FlowOptions options, const hls::KernelLibrary& kernels,
            std::shared_ptr<HlsCache> cache)
-    : options_(std::move(options)), kernels_(kernels), cache_(std::move(cache)) {
+    : options_(std::move(options)), kernels_(kernels), cache_(std::move(cache)),
+      faultHooks_(options_.flowFaults) {
+    if (const char* env = std::getenv("SOCGEN_FLOW_JOBS")) {
+        const int parsed = std::atoi(env);
+        if (parsed > 0) {
+            options_.jobs = static_cast<unsigned>(parsed);
+        }
+    }
     if (!options_.outputDir.empty()) {
         store_ = std::make_unique<ArtifactStore>(options_.outputDir + "/.socgen/store");
-    }
-    for (const auto& event : options_.flowFaults.events()) {
-        if (event.kind == sim::FaultKind::FlowCrash ||
-            event.kind == sim::FaultKind::ArtifactCorrupt ||
-            event.kind == sim::FaultKind::StageHang) {
-            pendingFlowFaults_.push_back(event);
-        }
     }
     transientRemaining_ = options_.transientHlsFailures;
 }
@@ -158,7 +81,7 @@ std::string Flow::flowFingerprint(const std::string& projectName,
     // hooks, retry policy and `jobs` are deliberately excluded so a
     // crashed run and its recovery run agree on the fingerprint.
     HashStream h;
-    h.field("socgen-flow-v1");
+    h.field("socgen-flow-v2");
     h.field(projectName);
     h.field(graph.renderDsl(projectName));
     h.field(options_.device.part).field(options_.device.board);
@@ -176,55 +99,12 @@ std::string Flow::flowFingerprint(const std::string& projectName,
     return h.digest().hex();
 }
 
-void Flow::maybeCrash(const std::string& stage, std::uint64_t phase) {
-    const std::lock_guard<std::mutex> lock(faultMutex_);
-    for (auto it = pendingFlowFaults_.begin(); it != pendingFlowFaults_.end(); ++it) {
-        if (it->kind == sim::FaultKind::FlowCrash && it->target == stage &&
-            it->a == phase) {
-            pendingFlowFaults_.erase(it);
-            throw FlowCrashError(format("injected crash at stage %s (%s)", stage.c_str(),
-                                        phase == 0 ? "at begin" : "pre-commit"));
-        }
+void Flow::simulateToolWait(double toolSeconds) const {
+    if (options_.toolLatencyMsPerToolSecond <= 0.0 || toolSeconds <= 0.0) {
+        return;
     }
-}
-
-void Flow::maybeHang(const std::string& stage) {
-    std::uint64_t milliseconds = 0;
-    bool armed = false;
-    {
-        const std::lock_guard<std::mutex> lock(faultMutex_);
-        for (auto it = pendingFlowFaults_.begin(); it != pendingFlowFaults_.end(); ++it) {
-            if (it->kind == sim::FaultKind::StageHang && it->target == stage) {
-                milliseconds = it->a;
-                pendingFlowFaults_.erase(it);
-                armed = true;
-                break;
-            }
-        }
-    }
-    if (armed) {
-        Logger::global().info(format("fault: stage %s hanging for %llu ms", stage.c_str(),
-                                     static_cast<unsigned long long>(milliseconds)));
-        std::this_thread::sleep_for(std::chrono::milliseconds(milliseconds));
-    }
-}
-
-void Flow::maybeCorruptArtifact(const std::string& kernel, const std::string& key) {
-    bool armed = false;
-    {
-        const std::lock_guard<std::mutex> lock(faultMutex_);
-        for (auto it = pendingFlowFaults_.begin(); it != pendingFlowFaults_.end(); ++it) {
-            if (it->kind == sim::FaultKind::ArtifactCorrupt && it->target == kernel) {
-                pendingFlowFaults_.erase(it);
-                armed = true;
-                break;
-            }
-        }
-    }
-    if (armed && store_ != nullptr && store_->contains(key)) {
-        Logger::global().info("fault: corrupting stored artifact of " + kernel);
-        store_->corruptObject(key);
-    }
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        toolSeconds * options_.toolLatencyMsPerToolSecond));
 }
 
 bool Flow::consumeTransientFailure(const std::string& kernel) {
@@ -237,18 +117,7 @@ bool Flow::consumeTransientFailure(const std::string& kernel) {
     return true;
 }
 
-std::pair<hls::HlsResult, double> Flow::synthesizeNode(const TgNode& node) {
-    StageSupervisor supervisor(options_.stagePolicy);
-    FlowDiagnostics::NodeOutcome outcome;
-    return synthesizeNodeTracked(node, supervisor, outcome);
-}
-
-std::pair<hls::HlsResult, double> Flow::synthesizeNodeTracked(
-    const TgNode& node, StageSupervisor& supervisor,
-    FlowDiagnostics::NodeOutcome& outcome) {
-    const std::string stage = "hls:" + node.name;
-    outcome.node = node.name;
-    maybeCrash(stage, 0);
+Flow::HlsAttemptOut Flow::hlsAttempt(const TgNode& node) {
     if (!kernels_.has(node.name)) {
         throw DslError(format("no kernel source registered for node \"%s\" (the flow "
                               "needs a synthesizable description per hardware task)",
@@ -274,9 +143,9 @@ std::pair<hls::HlsResult, double> Flow::synthesizeNodeTracked(
         }
     }
     const hls::Directives directives = directivesFor(node);
-    const std::string key =
+    HlsAttemptOut out;
+    out.key =
         ArtifactStore::deriveKey(kernel, directives, options_.device, options_.toolVersion);
-    outcome.artifactKey = key;
 
     const bool injected = options_.injectHlsFailures.count(node.name) > 0;
     if (!injected) {
@@ -284,207 +153,71 @@ std::pair<hls::HlsResult, double> Flow::synthesizeNodeTracked(
         // store (earlier run / crashed run). A store object that fails
         // validation is reported and rebuilt — never silently loaded.
         if (cache_ != nullptr) {
-            if (const hls::HlsResult* hit = cache_->find(key)) {
+            if (std::optional<hls::HlsResult> hit = cache_->find(out.key)) {
                 Logger::global().info("hls: cache hit for " + node.name);
-                outcome.cacheHit = true;
-                return {*hit, 0.0};
+                out.cacheHit = true;
+                out.result = std::move(*hit);
+                return out;
             }
         }
         if (store_ != nullptr) {
             std::string whyMiss;
-            if (std::optional<hls::HlsResult> loaded = store_->load(key, &whyMiss)) {
+            if (std::optional<hls::HlsResult> loaded = store_->load(out.key, &whyMiss)) {
                 Logger::global().info("hls: artifact store hit for " + node.name);
-                outcome.storeHit = true;
-                outcome.resumedFromJournal = committedAtOpen_.count(stage) > 0;
-                if (cache_ != nullptr) {
-                    cache_->store(key, *loaded);
-                }
-                return {std::move(*loaded), 0.0};
+                out.storeHit = true;
+                out.resumedFromJournal = committedAtOpen_.count("hls:" + node.name) > 0;
+                out.result = std::move(*loaded);
+                return out;
             }
             if (!whyMiss.empty()) {
-                corruptDetected_.fetch_add(1);
+                out.rejectedWhy = whyMiss;
                 Logger::global().warn(format("hls: stored artifact of %s rejected (%s); "
                                              "re-synthesizing",
                                              node.name.c_str(), whyMiss.c_str()));
             }
         }
     }
-
-    StageRun meta;
-    std::pair<hls::HlsResult, double> out;
-    try {
-        hls::HlsResult synthesized = supervisor.run(
-            stage,
-            [this, &kernel, directives, stage, name = node.name] {
-                maybeHang(stage);
-                if (options_.injectHlsFailures.count(name) > 0) {
-                    // Fires on every attempt so the failure is
-                    // deterministic even when a previous architecture
-                    // already synthesized this kernel.
-                    throw HlsError(
-                        format("injected HLS failure for kernel \"%s\"", name.c_str()));
-                }
-                if (consumeTransientFailure(name)) {
-                    throw HlsError(format("injected transient HLS failure for kernel "
-                                          "\"%s\"",
-                                          name.c_str()));
-                }
-                return engine_.synthesize(kernel, directives);
-            },
-            &meta);
-        out.second = synthesized.toolSeconds;
-        if (cache_ != nullptr) {
-            cache_->store(key, synthesized);
-        }
-        if (store_ != nullptr) {
-            store_->store(key, synthesized);
-        }
-        out.first = std::move(synthesized);
-    } catch (...) {
-        outcome.attempts = static_cast<unsigned>(meta.attempts);
-        nodeTimeouts_.fetch_add(static_cast<std::size_t>(meta.timeouts));
-        throw;
+    if (injected) {
+        // Fires on every attempt so the failure is deterministic even when
+        // a previous architecture already synthesized this kernel.
+        throw HlsError(
+            format("injected HLS failure for kernel \"%s\"", node.name.c_str()));
     }
-    outcome.attempts = static_cast<unsigned>(meta.attempts);
-    nodeTimeouts_.fetch_add(static_cast<std::size_t>(meta.timeouts));
+    if (consumeTransientFailure(node.name)) {
+        throw HlsError(
+            format("injected transient HLS failure for kernel \"%s\"", node.name.c_str()));
+    }
+    out.result = engine_.synthesize(kernel, directives);
+    out.toolSeconds = out.result.toolSeconds;
+    out.fromEngine = true;
+    simulateToolWait(out.toolSeconds);
     return out;
 }
 
-void Flow::runAllHls(const TaskGraph& graph, FlowResult& result,
-                     StageSupervisor& supervisor) {
-    const auto& nodes = graph.nodes();
-    std::vector<std::pair<hls::HlsResult, double>> results(nodes.size());
-    std::vector<std::exception_ptr> errors(nodes.size());
-    std::vector<FlowDiagnostics::NodeOutcome> outcomes(nodes.size());
-    std::vector<double> hostMs(nodes.size(), 0.0);
-
-    // Write-ahead discipline: every per-node begin record lands before
-    // any node starts work, in node order; commits land after the
-    // barrier, also in node order. The journal is therefore byte-
-    // identical for any `jobs` setting.
-    if (journal_ != nullptr) {
-        for (const auto& node : nodes) {
-            journal_->begin("hls:" + node.name);
-        }
+void Flow::hlsPersist(const HlsAttemptOut& out) {
+    if (cache_ != nullptr && (out.fromEngine || out.storeHit)) {
+        cache_->store(out.key, out.result);
     }
-
-    const auto runOne = [&](std::size_t i) {
-        Stopwatch watch;
-        try {
-            results[i] = synthesizeNodeTracked(nodes[i], supervisor, outcomes[i]);
-        } catch (...) {
-            errors[i] = std::current_exception();
-        }
-        hostMs[i] = watch.elapsedMs();
-    };
-
-    const unsigned jobs = std::max(1u, options_.jobs);
-    if (jobs == 1 || nodes.size() <= 1) {
-        for (std::size_t i = 0; i < nodes.size(); ++i) {
-            runOne(i);
-        }
-    } else {
-        // Independent per-node HLS runs on a worker pool; results land in
-        // per-node slots so the merge is deterministic regardless of
-        // scheduling.
-        std::atomic<std::size_t> next{0};
-        const auto worker = [&] {
-            while (true) {
-                const std::size_t i = next.fetch_add(1);
-                if (i >= nodes.size()) {
-                    return;
-                }
-                runOne(i);
-            }
-        };
-        std::vector<std::thread> pool;
-        const unsigned threadCount =
-            std::min<unsigned>(jobs, static_cast<unsigned>(nodes.size()));
-        pool.reserve(threadCount);
-        for (unsigned t = 0; t < threadCount; ++t) {
-            pool.emplace_back(worker);
-        }
-        for (auto& t : pool) {
-            t.join();
-        }
-    }
-
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-        if (!errors[i]) {
-            result.timeline.add("HLS " + nodes[i].name, hostMs[i], results[i].second);
-        }
-    }
-
-    // An HlsError is an engine failure and a StageTimeoutError an engine
-    // hang; under the Degrade policy the node is isolated instead of
-    // sinking the whole flow. Anything else (DslError, FlowCrashError,
-    // internal errors) always propagates.
-    const auto markDegraded = [&](std::size_t i, const char* what) {
-        Logger::global().info(format("hls: node %s degraded to software: %s",
-                                     nodes[i].name.c_str(), what));
-        outcomes[i].degraded = true;
-        outcomes[i].error = what;
-    };
-    const auto degradeOrRethrow = [&](std::size_t i, const std::exception_ptr& error) {
-        try {
-            std::rethrow_exception(error);
-        } catch (const HlsError& e) {
-            if (options_.hlsFailurePolicy != HlsFailurePolicy::Degrade) {
-                throw;
-            }
-            markDegraded(i, e.what());
-        } catch (const StageTimeoutError& e) {
-            if (options_.hlsFailurePolicy != HlsFailurePolicy::Degrade) {
-                throw;
-            }
-            markDegraded(i, e.what());
-        }
-    };
-
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-        if (errors[i]) {
-            degradeOrRethrow(i, errors[i]);
-        } else {
-            outcomes[i].toolSeconds = results[i].second;
-            result.programs.emplace(nodes[i].name, results[i].first.program);
-            result.hlsResults.emplace(nodes[i].name, std::move(results[i].first));
-        }
-        result.diagnostics.nodes.push_back(std::move(outcomes[i]));
-    }
-
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-        const std::string stage = "hls:" + nodes[i].name;
-        const FlowDiagnostics::NodeOutcome& outcome = result.diagnostics.nodes[i];
-        if (outcome.degraded) {
-            if (journal_ != nullptr) {
-                journal_->noteEvent(stage, "degraded: " + outcome.error);
-            }
-            continue;
-        }
-        maybeCrash(stage, 1);
-        if (journal_ != nullptr) {
-            const auto it = digestsAtOpen_.find(stage);
-            if (it != digestsAtOpen_.end() && it->second != outcome.artifactKey) {
-                ++result.diagnostics.digestMismatches;
-                Logger::global().warn("flow: stage " + stage +
-                                      " artifact key differs from the journal's commit");
-            }
-            journal_->commit(stage, outcome.artifactKey);
-        }
-        maybeCorruptArtifact(nodes[i].name, outcome.artifactKey);
+    if (store_ != nullptr && out.fromEngine) {
+        store_->store(out.key, out.result);
     }
 }
 
+std::pair<hls::HlsResult, double> Flow::synthesizeNode(const TgNode& node) {
+    StageSupervisor supervisor(options_.stagePolicy);
+    HlsAttemptOut out =
+        supervisor.run("hls:" + node.name, [this, &node] { return hlsAttempt(node); });
+    hlsPersist(out);
+    return {std::move(out.result), out.toolSeconds};
+}
+
 Flow::Integration Flow::integrate(const std::string& projectName, const TaskGraph& graph,
-                                  const FlowResult& result) const {
+                                  const FlowResult& result,
+                                  const std::set<std::string>& degraded) const {
     soc::BlockDesign design(projectName, options_.device, options_.dmaPolicy);
     // Degraded nodes get no hardware instance; their links are rewired to
     // the PS ('soc endpoints) below so surviving cores stay fully
     // connected and the PS feeds/drains them in software.
-    std::set<std::string> degraded;
-    for (const std::string& name : result.diagnostics.degradedNodes()) {
-        degraded.insert(name);
-    }
     for (const auto& node : graph.nodes()) {
         if (degraded.count(node.name) > 0) {
             continue;
@@ -559,8 +292,6 @@ FlowResult Flow::run(const std::string& projectName, const TaskGraph& graph) {
     FlowResult result;
     result.projectName = projectName;
     result.graph = graph;
-    corruptDetected_.store(0);
-    nodeTimeouts_.store(0);
 
     // Journal bring-up (outputDir flows only). A matching header means a
     // previous run — possibly one that crashed — left trustworthy commit
@@ -570,7 +301,6 @@ FlowResult Flow::run(const std::string& projectName, const TaskGraph& graph) {
     std::optional<FlowJournal> journal;
     committedAtOpen_.clear();
     digestsAtOpen_.clear();
-    journal_ = nullptr;
     if (!options_.outputDir.empty()) {
         journal.emplace(FlowJournal::open(options_.outputDir + "/.socgen/journal/" +
                                           projectName + ".jsonl"));
@@ -590,188 +320,364 @@ FlowResult Flow::run(const std::string& projectName, const TaskGraph& graph) {
                            committedAtOpen_.size()));
             }
         }
-        journal_ = &*journal;
     }
-    struct JournalScope {
+    struct OpenStateScope {
         Flow& flow;
-        ~JournalScope() {
-            flow.journal_ = nullptr;
+        ~OpenStateScope() {
             flow.committedAtOpen_.clear();
             flow.digestsAtOpen_.clear();
         }
-    } journalScope{*this};
+    } openScope{*this};
 
-    // Declared after everything its stage closures reference so its
-    // destructor joins abandoned (timed-out) attempts first.
-    StageSupervisor supervisor(options_.stagePolicy);
+    // Event bus: built-in subscribers first (log lines, the per-stage
+    // diagnostics table, the optional Chrome-trace timeline), then any
+    // caller-provided ones.
+    FlowEventBus bus;
+    auto table = std::make_shared<StageTableSubscriber>();
+    bus.subscribe(std::make_shared<LogSubscriber>());
+    bus.subscribe(table);
+    std::shared_ptr<ChromeTraceSubscriber> trace;
+    if (!options_.traceOutPath.empty()) {
+        trace = std::make_shared<ChromeTraceSubscriber>();
+        bus.subscribe(trace);
+    }
+    for (const auto& subscriber : options_.subscribers) {
+        bus.subscribe(subscriber);
+    }
 
-    FlowDiagnostics& diag = result.diagnostics;
-    const auto stageBegin = [&](const std::string& stage) {
-        if (journal_ != nullptr) {
-            journal_->begin(stage);
-        }
-        maybeCrash(stage, 0);
+    const auto& nodes = graph.nodes();
+    std::vector<FlowDiagnostics::NodeOutcome> outcomes(nodes.size());
+    std::mutex resultMutex;
+
+    // ----- The flow, declared as a stage graph. Each stage states its
+    // dependencies and splits into a pure supervised `attempt` and a
+    // winner-only `commit`; journaling, retry, fault hooks, events and
+    // scheduling all live in the executor.
+    StageGraph stages;
+
+    const double scalaToolSeconds = 5.4 + 0.15 * static_cast<double>(nodes.size());
+    stages.add(Stage{
+        .name = "scala",  // "compile the Scala task graph" (paper: ~6 s)
+        .deps = {},
+        .attempt =
+            [&](const StageContext&) -> std::any {
+                graph.validate();
+                std::string dsl = graph.renderDsl(projectName);
+                simulateToolWait(scalaToolSeconds);
+                return dsl;
+            },
+        .commit =
+            [&](std::any&& value, const StageRun&) {
+                result.dslText = std::any_cast<std::string>(std::move(value));
+                StageOutput out;
+                out.digest = digest128(result.dslText).hex();
+                out.toolSeconds = scalaToolSeconds;
+                out.timelineLabel = "SCALA";
+                return out;
+            },
+    });
+
+    // Per-node HLS: one graph stage per node, all depending only on
+    // "scala", so they fan out across the worker pool. Cached across
+    // architectures and, via the artifact store, across runs and crashes.
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const TgNode& node = nodes[i];
+        const std::string stageName = "hls:" + node.name;
+        stages.add(Stage{
+            .name = stageName,
+            .deps = {"scala"},
+            .attempt = [this, &node](const StageContext&) -> std::any {
+                return hlsAttempt(node);
+            },
+            .commit =
+                [this, &node, i, &outcomes, &result, &resultMutex, &bus, stageName](
+                    std::any&& value, const StageRun& meta) {
+                    HlsAttemptOut a = std::any_cast<HlsAttemptOut>(std::move(value));
+                    FlowDiagnostics::NodeOutcome& outcome = outcomes[i];
+                    outcome.node = node.name;
+                    outcome.artifactKey = a.key;
+                    outcome.cacheHit = a.cacheHit;
+                    outcome.storeHit = a.storeHit;
+                    outcome.resumedFromJournal = a.resumedFromJournal;
+                    outcome.toolSeconds = a.toolSeconds;
+                    outcome.attempts =
+                        a.fromEngine ? static_cast<unsigned>(meta.attempts) : 0u;
+                    FlowEvent event;
+                    event.stage = stageName;
+                    if (!a.rejectedWhy.empty()) {
+                        event.kind = FlowEventKind::ArtifactRejected;
+                        event.detail = a.rejectedWhy;
+                        bus.publish(event);
+                    }
+                    if (a.cacheHit || a.storeHit) {
+                        event.kind = a.cacheHit ? FlowEventKind::CacheHit
+                                                : FlowEventKind::StoreHit;
+                        event.detail = a.resumedFromJournal ? "journaled" : "";
+                        bus.publish(event);
+                    }
+                    hlsPersist(a);
+                    {
+                        const std::lock_guard<std::mutex> lock(resultMutex);
+                        result.programs.emplace(node.name, a.result.program);
+                        result.hlsResults.emplace(node.name, std::move(a.result));
+                    }
+                    StageOutput out;
+                    out.digest = a.key;
+                    out.toolSeconds = a.toolSeconds;
+                    out.timelineLabel = "HLS " + node.name;
+                    return out;
+                },
+            .absorbFailure =
+                [this, &node, i, &outcomes](const std::exception& e,
+                                            const StageRun& meta) -> std::string {
+                    // An HlsError is an engine failure and a
+                    // StageTimeoutError an engine hang; under the Degrade
+                    // policy the node is isolated instead of sinking the
+                    // whole flow. Anything else (DslError, FlowCrashError,
+                    // internal errors) always propagates.
+                    const bool engineKind =
+                        dynamic_cast<const HlsError*>(&e) != nullptr ||
+                        dynamic_cast<const StageTimeoutError*>(&e) != nullptr;
+                    if (!engineKind ||
+                        options_.hlsFailurePolicy != HlsFailurePolicy::Degrade) {
+                        return "";
+                    }
+                    Logger::global().info(format("hls: node %s degraded to software: %s",
+                                                 node.name.c_str(), e.what()));
+                    FlowDiagnostics::NodeOutcome& outcome = outcomes[i];
+                    outcome.node = node.name;
+                    outcome.degraded = true;
+                    outcome.error = e.what();
+                    outcome.attempts = static_cast<unsigned>(meta.attempts);
+                    return "degraded: " + outcome.error;
+                },
+            .postCommit =
+                [this, &node, i, &outcomes] {
+                    if (faultHooks_.consumeCorrupt(node.name)) {
+                        const std::string& key = outcomes[i].artifactKey;
+                        if (store_ != nullptr && !key.empty() && store_->contains(key)) {
+                            Logger::global().info("fault: corrupting stored artifact of " +
+                                                  node.name);
+                            store_->corruptObject(key);
+                        }
+                    }
+                },
+            .trackResume = false,  // HLS resume is tracked per node instead
+        });
+    }
+
+    std::vector<std::string> integrateDeps = {"scala"};
+    for (const auto& node : nodes) {
+        integrateDeps.push_back("hls:" + node.name);
+    }
+    const auto projectToolSeconds = [](const soc::BlockDesign& design) {
+        return 31.0 + 2.4 * static_cast<double>(design.instances().size());
     };
-    const auto stageCommit = [&](const std::string& stage, const std::string& digest) {
-        maybeCrash(stage, 1);
-        if (journal_ == nullptr) {
-            return;
+    stages.add(Stage{
+        .name = "integrate",  // Vivado project generation (~50 s)
+        .deps = std::move(integrateDeps),
+        .attempt =
+            [&](const StageContext&) -> std::any {
+                std::set<std::string> degraded;
+                for (const auto& outcome : outcomes) {
+                    if (outcome.degraded) {
+                        degraded.insert(outcome.node);
+                    }
+                }
+                Integration integration = integrate(projectName, graph, result, degraded);
+                simulateToolWait(projectToolSeconds(integration.design));
+                return integration;
+            },
+        .commit =
+            [&](std::any&& value, const StageRun&) {
+                Integration integration = std::any_cast<Integration>(std::move(value));
+                result.tclText = std::move(integration.tclText);
+                result.design = std::move(integration.design);
+                StageOutput out;
+                out.digest = digest128(result.tclText).hex();
+                out.toolSeconds = projectToolSeconds(result.design);
+                out.timelineLabel = "PROJECT " + projectName;
+                return out;
+            },
+    });
+
+    if (options_.runSynthesis) {
+        stages.add(Stage{
+            .name = "synth",  // synthesis, implementation, bitstream
+            .deps = {"integrate"},
+            .attempt =
+                [&](const StageContext&) -> std::any {
+                    SynthOut out;
+                    out.synthesis = soc::SynthesisModel{}.run(result.design);
+                    out.bitstream = soc::generateBitstream(result.design, out.synthesis);
+                    simulateToolWait(out.synthesis.totalSeconds());
+                    return out;
+                },
+            .commit =
+                [&](std::any&& value, const StageRun&) {
+                    SynthOut synthOut = std::any_cast<SynthOut>(std::move(value));
+                    result.synthesis = std::move(synthOut.synthesis);
+                    result.bitstream = std::move(synthOut.bitstream);
+                    StageOutput out;
+                    out.digest = digest128(result.bitstream.serialize()).hex();
+                    out.toolSeconds = result.synthesis.totalSeconds();
+                    out.timelineLabel = "SYNTH " + projectName;
+                    return out;
+                },
+        });
+    }
+
+    // Software generation rides alongside synthesis: the device tree and
+    // the drivers need only the integrated design, so they overlap the
+    // (long) synth stage; boot packaging waits for both inputs.
+    if (options_.generateSoftware) {
+        // `result.design` is written by integrate's commit, which
+        // happens-before every dependent attempt runs.
+        const auto deviceTreeToolSeconds = [&result] {
+            return 2.5 + 0.3 * static_cast<double>(result.design.lites().size());
+        };
+        const auto driversToolSeconds = [&result] {
+            return 2.0 + 0.5 * static_cast<double>(result.design.lites().size());
+        };
+        stages.add(Stage{
+            .name = "devicetree",
+            .deps = {"integrate"},
+            .attempt =
+                [&, deviceTreeToolSeconds](const StageContext&) -> std::any {
+                    std::string tree = sw::DeviceTreeGenerator{}.generate(result.design);
+                    simulateToolWait(deviceTreeToolSeconds());
+                    return tree;
+                },
+            .commit =
+                [&, deviceTreeToolSeconds](std::any&& value, const StageRun&) {
+                    result.deviceTree = std::any_cast<std::string>(std::move(value));
+                    StageOutput out;
+                    out.digest = digest128(result.deviceTree).hex();
+                    out.toolSeconds = deviceTreeToolSeconds();
+                    out.timelineLabel = "SW devicetree";
+                    return out;
+                },
+        });
+        stages.add(Stage{
+            .name = "drivers",
+            .deps = {"integrate"},
+            .attempt =
+                [&, driversToolSeconds](const StageContext&) -> std::any {
+                    auto files = sw::DriverGenerator{}.generate(result.design,
+                                                                result.programs);
+                    simulateToolWait(driversToolSeconds());
+                    return files;
+                },
+            .commit =
+                [&, driversToolSeconds](std::any&& value, const StageRun&) {
+                    result.driverFiles =
+                        std::any_cast<std::vector<sw::GeneratedFile>>(std::move(value));
+                    HashStream h;
+                    for (const auto& file : result.driverFiles) {
+                        h.field(file.path).field(file.content);
+                    }
+                    StageOutput out;
+                    out.digest = h.digest().hex();
+                    out.toolSeconds = driversToolSeconds();
+                    out.timelineLabel = "SW drivers";
+                    return out;
+                },
+        });
+        if (options_.runSynthesis) {
+            stages.add(Stage{
+                .name = "boot",
+                .deps = {"synth", "devicetree"},
+                .attempt = [&](const StageContext&) -> std::any {
+                    sw::BootImage image = sw::makeBootImage(result.design, result.bitstream,
+                                                            result.deviceTree);
+                    simulateToolWait(1.5);
+                    return image;
+                },
+                .commit =
+                    [&](std::any&& value, const StageRun&) {
+                        result.bootImage = std::any_cast<sw::BootImage>(std::move(value));
+                        StageOutput out;
+                        out.digest = digest128(result.bootImage.serialize()).hex();
+                        out.toolSeconds = 1.5;
+                        out.timelineLabel = "SW boot";
+                        return out;
+                    },
+            });
         }
-        const auto it = digestsAtOpen_.find(stage);
-        if (it != digestsAtOpen_.end()) {
-            // The stage was committed by a previous run; re-executing it
-            // must reproduce the same output (the flow is deterministic).
-            ++diag.resumedStages;
-            if (it->second != digest) {
-                ++diag.digestMismatches;
-                Logger::global().warn("flow: stage " + stage +
-                                      " recomputed output differs from the journal's "
-                                      "committed digest");
+    }
+
+    if (!options_.outputDir.empty()) {
+        std::vector<std::string> artifactDeps = {"integrate"};
+        if (options_.runSynthesis) {
+            artifactDeps.push_back("synth");
+        }
+        if (options_.generateSoftware) {
+            artifactDeps.push_back("devicetree");
+            artifactDeps.push_back("drivers");
+            if (options_.runSynthesis) {
+                artifactDeps.push_back("boot");
             }
         }
-        journal_->commit(stage, digest);
-    };
-    const auto absorb = [&](const StageRun& meta) {
-        if (meta.attempts > 1) {
-            diag.stageRetries += static_cast<std::size_t>(meta.attempts - 1);
-        }
-        diag.stageTimeouts += static_cast<std::size_t>(meta.timeouts);
-    };
-
-    // Phase 1 — "compile the Scala task graph" (paper: ~6 s).
-    {
-        stageBegin("scala");
-        StageRun meta;
-        Stopwatch watch;
-        std::string dsl = supervisor.run(
-            "scala",
-            [this, &graph, &projectName] {
-                maybeHang("scala");
-                graph.validate();
-                return graph.renderDsl(projectName);
-            },
-            &meta);
-        result.dslText = std::move(dsl);
-        result.timeline.add("SCALA", watch.elapsedMs(),
-                            5.4 + 0.15 * static_cast<double>(graph.nodes().size()));
-        absorb(meta);
-        stageCommit("scala", digest128(result.dslText).hex());
+        stages.add(Stage{
+            .name = "artifacts",  // write the project directory (atomic per file)
+            .deps = std::move(artifactDeps),
+            .attempt =
+                [&](const StageContext&) -> std::any {
+                    writeArtifacts(result);
+                    return std::any{};
+                },
+            .commit =
+                [&](std::any&&, const StageRun&) {
+                    StageOutput out;
+                    out.digest = digest128(result.dslText + result.tclText).hex();
+                    return out;
+                },
+        });
     }
 
-    // Phase 2 — per-node HLS (cached across architectures and, via the
-    // artifact store, across runs and crashes).
-    runAllHls(graph, result, supervisor);
-    for (const auto& n : diag.nodes) {
-        if (n.attempts > 1) {
-            diag.stageRetries += static_cast<std::size_t>(n.attempts - 1);
+    // ----- Execute.
+    ExecutorConfig config;
+    config.jobs = std::max(1u, options_.jobs);
+    config.stagePolicy = options_.stagePolicy;
+    config.journal = journal.has_value() ? &*journal : nullptr;
+    config.digestsAtOpen = digestsAtOpen_;
+    StageGraphExecutor executor(config, &bus, &faultHooks_);
+
+    std::vector<StageExecution> executions;
+    try {
+        executions = executor.execute(stages);
+    } catch (...) {
+        if (trace != nullptr) {
+            trace->write(options_.traceOutPath);
+        }
+        throw;
+    }
+
+    // ----- Assemble the timeline and the diagnostics, in deterministic
+    // topological order (never in completion order).
+    for (const std::size_t index : stages.topologicalOrder()) {
+        const StageExecution& exec = executions[index];
+        if (exec.ran && !exec.absorbed && !exec.output.timelineLabel.empty()) {
+            result.timeline.add(exec.output.timelineLabel, exec.hostMs,
+                                exec.output.toolSeconds);
         }
     }
+    FlowDiagnostics& diag = result.diagnostics;
+    for (auto& outcome : outcomes) {
+        diag.nodes.push_back(std::move(outcome));
+    }
+    diag.stages = table->orderedRows(stages.topologicalNames());
+    diag.stageRetries = executor.stats().stageRetries;
+    diag.stageTimeouts = executor.stats().stageTimeouts;
+    diag.resumedStages = executor.stats().resumedStages;
+    diag.digestMismatches = executor.stats().digestMismatches;
+    diag.corruptArtifacts = table->artifactRejections();
     if (diag.anyDegraded()) {
         Logger::global().info(diag.render());
     }
-
-    // Phase 3 — system integration / Vivado project generation (~50 s).
-    {
-        stageBegin("integrate");
-        StageRun meta;
-        Stopwatch watch;
-        Integration integration = supervisor.run(
-            "integrate",
-            [this, &projectName, &graph, &result] {
-                maybeHang("integrate");
-                return integrate(projectName, graph, result);
-            },
-            &meta);
-        result.tclText = std::move(integration.tclText);
-        result.design = std::move(integration.design);
-        result.timeline.add(
-            "PROJECT " + projectName, watch.elapsedMs(),
-            31.0 + 2.4 * static_cast<double>(result.design.instances().size()));
-        absorb(meta);
-        stageCommit("integrate", digest128(result.tclText).hex());
+    if (trace != nullptr) {
+        trace->write(options_.traceOutPath);
     }
-
-    // Phase 4 — synthesis, implementation, bitstream.
-    if (options_.runSynthesis) {
-        stageBegin("synth");
-        StageRun meta;
-        Stopwatch watch;
-        SynthOut synthOut = supervisor.run(
-            "synth",
-            [this, &result] {
-                maybeHang("synth");
-                SynthOut out;
-                out.synthesis = soc::SynthesisModel{}.run(result.design);
-                out.bitstream = soc::generateBitstream(result.design, out.synthesis);
-                return out;
-            },
-            &meta);
-        result.synthesis = std::move(synthOut.synthesis);
-        result.bitstream = std::move(synthOut.bitstream);
-        result.timeline.add("SYNTH " + projectName, watch.elapsedMs(),
-                            result.synthesis.totalSeconds());
-        absorb(meta);
-        stageCommit("synth", digest128(result.bitstream.serialize()).hex());
-    }
-
-    // Phase 5 — software generation (device tree, drivers, boot files).
-    if (options_.generateSoftware) {
-        stageBegin("software");
-        StageRun meta;
-        Stopwatch watch;
-        const bool withBoot = options_.runSynthesis;
-        SoftwareOut swOut = supervisor.run(
-            "software",
-            [this, &result, withBoot] {
-                maybeHang("software");
-                SoftwareOut out;
-                out.deviceTree = sw::DeviceTreeGenerator{}.generate(result.design);
-                out.driverFiles =
-                    sw::DriverGenerator{}.generate(result.design, result.programs);
-                if (withBoot) {
-                    out.bootImage = sw::makeBootImage(result.design, result.bitstream,
-                                                      out.deviceTree);
-                }
-                return out;
-            },
-            &meta);
-        result.deviceTree = std::move(swOut.deviceTree);
-        result.driverFiles = std::move(swOut.driverFiles);
-        if (withBoot) {
-            result.bootImage = std::move(swOut.bootImage);
-        }
-        result.timeline.add(
-            "SW " + projectName, watch.elapsedMs(),
-            6.0 + 0.8 * static_cast<double>(result.design.lites().size()));
-        absorb(meta);
-        HashStream swHash;
-        swHash.field(result.deviceTree);
-        for (const auto& file : result.driverFiles) {
-            swHash.field(file.path).field(file.content);
-        }
-        if (withBoot) {
-            swHash.field(result.bootImage.serialize());
-        }
-        stageCommit("software", swHash.digest().hex());
-    }
-
-    // Phase 6 — write the project directory (atomic per file).
-    if (!options_.outputDir.empty()) {
-        stageBegin("artifacts");
-        StageRun meta;
-        supervisor.run(
-            "artifacts",
-            [this, &result] {
-                maybeHang("artifacts");
-                writeArtifacts(result);
-            },
-            &meta);
-        absorb(meta);
-        stageCommit("artifacts", digest128(result.dslText + result.tclText).hex());
-    }
-
-    diag.corruptArtifacts = corruptDetected_.load();
-    diag.stageTimeouts += nodeTimeouts_.load();
     Logger::global().info(format("flow: project %s complete (%.1f simulated tool-seconds)",
                                  projectName.c_str(),
                                  result.timeline.totalToolSeconds()));

@@ -2,8 +2,11 @@
 
 #include "socgen/common/stopwatch.hpp"
 #include "socgen/core/artifact_store.hpp"
+#include "socgen/core/diagnostics.hpp"
+#include "socgen/core/event_bus.hpp"
 #include "socgen/core/htg.hpp"
 #include "socgen/core/journal.hpp"
+#include "socgen/core/stage_graph.hpp"
 #include "socgen/core/supervisor.hpp"
 #include "socgen/hls/engine.hpp"
 #include "socgen/sim/fault.hpp"
@@ -13,7 +16,6 @@
 #include "socgen/sw/boot.hpp"
 #include "socgen/sw/drivers.hpp"
 
-#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -31,10 +33,11 @@ namespace socgen::core {
 /// persistent ArtifactStore — a digest of (kernel source, directives,
 /// device, tool version) — so a lookup can never return a result
 /// synthesized under different directives or for a different part.
-/// Thread-safe.
+/// Thread-safe: find() returns a copy, never a pointer into the map, so
+/// a hit stays valid while concurrent stages insert.
 class HlsCache {
 public:
-    [[nodiscard]] const hls::HlsResult* find(const std::string& key) const;
+    [[nodiscard]] std::optional<hls::HlsResult> find(const std::string& key) const;
     void store(const std::string& key, hls::HlsResult result);
     [[nodiscard]] std::size_t size() const;
 
@@ -54,7 +57,11 @@ enum class HlsFailurePolicy { Abort, Degrade };
 struct FlowOptions {
     soc::FpgaDevice device = soc::zedboard();
     soc::DmaPolicy dmaPolicy = soc::DmaPolicy::SharedDma;
-    unsigned jobs = 1;            ///< parallel per-node HLS runs
+    /// Worker threads over the whole stage graph: per-node HLS runs AND
+    /// independent downstream stages (device tree / drivers alongside
+    /// synthesis) execute concurrently. Overridable via the
+    /// SOCGEN_FLOW_JOBS environment variable.
+    unsigned jobs = 1;
     bool runSynthesis = true;     ///< stop after integration when false
     bool generateSoftware = true;
     std::string outputDir;        ///< write artifacts when non-empty
@@ -83,42 +90,23 @@ struct FlowOptions {
     /// consumed by the flow itself; cycle-level kinds in this plan are
     /// ignored here.
     sim::FaultPlan flowFaults;
-};
 
-/// Per-node outcome record for one flow run, carried by FlowResult so
-/// callers can tell a clean all-hardware build from a degraded one and a
-/// cold build from a resumed one.
-struct FlowDiagnostics {
-    struct NodeOutcome {
-        std::string node;
-        bool degraded = false;  ///< HLS failed; node needs software fallback
-        std::string error;      ///< failure text when degraded
-        double toolSeconds = 0.0;
-        unsigned attempts = 0;     ///< HLS engine attempts this run (0 = reused)
-        bool cacheHit = false;     ///< served from the in-memory HlsCache
-        bool storeHit = false;     ///< served from the persistent ArtifactStore
-        bool resumedFromJournal = false;  ///< store hit confirmed by a prior
-                                          ///< run's journal commit record
-        std::string artifactKey;   ///< content key (empty if key not derived)
-    };
+    /// Write a chrome://tracing / Perfetto JSON timeline of the stage
+    /// graph here when non-empty (one span per stage, worker as tid).
+    std::string traceOutPath;
 
-    std::vector<NodeOutcome> nodes;
+    /// Model the external vendor tools' wall-clock cost: each stage
+    /// attempt blocks for its simulated tool-seconds times this many
+    /// milliseconds, standing in for the subprocess wait (a real Vivado
+    /// run is minutes of blocked wall-clock, not host CPU). Reused HLS
+    /// artifacts never wait — a cache or store hit means the tool never
+    /// ran. 0 disables the wait; like `jobs`, the knob is excluded from
+    /// the flow fingerprint because it cannot change any output.
+    double toolLatencyMsPerToolSecond = 0.0;
 
-    std::size_t stageRetries = 0;      ///< extra attempts across all stages
-    std::size_t stageTimeouts = 0;     ///< deadline expiries across all stages
-    std::size_t resumedStages = 0;     ///< non-HLS stages re-verified against a
-                                       ///< prior run's journal commit
-    std::size_t digestMismatches = 0;  ///< journal digest disagreements (should
-                                       ///< stay 0 for deterministic flows)
-    std::size_t corruptArtifacts = 0;  ///< store objects rejected by validation
-
-    [[nodiscard]] bool anyDegraded() const;
-    [[nodiscard]] std::vector<std::string> degradedNodes() const;
-    /// Number of nodes actually synthesized by the HLS engine this run.
-    [[nodiscard]] std::size_t engineRuns() const;
-    [[nodiscard]] std::size_t cacheHits() const;
-    [[nodiscard]] std::size_t storeHits() const;
-    [[nodiscard]] std::string render() const;
+    /// Extra event-bus subscribers attached for the run, after the
+    /// built-in log/table/trace subscribers.
+    std::vector<std::shared_ptr<FlowEventSubscriber>> subscribers;
 };
 
 /// Everything one flow run produces — the contents of the generated
@@ -142,8 +130,14 @@ struct FlowResult {
 
 /// The flow orchestrator behind the DSL: HLS per node, system
 /// integration, synthesis/bitstream, and software generation — the
-/// right-hand side of the paper's Figure 3 — run as a sequence of
-/// journaled, supervised, individually committed stages.
+/// right-hand side of the paper's Figure 3 — declared as a stage graph
+/// and executed by the generic StageGraphExecutor, which owns journaling,
+/// supervision, fault hooks, event publication and the worker pool.
+///
+/// The graph: scala → hls:<node> (one stage per node) → integrate →
+/// {synth, devicetree, drivers} in parallel → boot(synth, devicetree) →
+/// artifacts. `jobs` governs concurrency across the whole graph, not
+/// just the HLS fan-out.
 ///
 /// Crash recovery: when `outputDir` is set, the flow keeps a journal
 /// (`outputDir/.socgen/journal/<project>.jsonl`) recording each stage's
@@ -177,30 +171,42 @@ private:
         std::string tclText;
     };
 
+    /// Outcome of one HLS attempt body: the result plus where it came
+    /// from. Produced inside the supervised attempt (pure — no shared
+    /// writes); consumed by the commit phase, which persists the result
+    /// and publishes the reuse events exactly once.
+    struct HlsAttemptOut {
+        hls::HlsResult result;
+        std::string key;           ///< content-addressed artifact key
+        double toolSeconds = 0.0;  ///< tool time charged (0 on reuse)
+        bool cacheHit = false;
+        bool storeHit = false;
+        bool resumedFromJournal = false;
+        bool fromEngine = false;   ///< synthesized by the engine this attempt
+        std::string rejectedWhy;   ///< non-empty: a stored object failed validation
+    };
+
     [[nodiscard]] hls::Directives directivesFor(const TgNode& node) const;
     [[nodiscard]] std::string flowFingerprint(const std::string& projectName,
                                               const TaskGraph& graph) const;
-    [[nodiscard]] std::pair<hls::HlsResult, double> synthesizeNodeTracked(
-        const TgNode& node, StageSupervisor& supervisor,
-        FlowDiagnostics::NodeOutcome& outcome);
-    void runAllHls(const TaskGraph& graph, FlowResult& result,
-                   StageSupervisor& supervisor);
+    /// The supervised HLS attempt body: validate, consult cache/store,
+    /// synthesize on miss. Never writes shared state.
+    [[nodiscard]] HlsAttemptOut hlsAttempt(const TgNode& node);
+    /// The HLS commit half: persists an engine result to the cache and
+    /// the store (winning attempt only).
+    void hlsPersist(const HlsAttemptOut& out);
     [[nodiscard]] Integration integrate(const std::string& projectName,
-                                        const TaskGraph& graph,
-                                        const FlowResult& result) const;
+                                        const TaskGraph& graph, const FlowResult& result,
+                                        const std::set<std::string>& degraded) const;
     void writeArtifacts(const FlowResult& result) const;
 
-    /// Throws FlowCrashError if a FlowCrash event is armed for this
-    /// (stage, phase) boundary. Thread-safe; events are one-shot.
-    void maybeCrash(const std::string& stage, std::uint64_t phase);
-    /// Sleeps if a StageHang event is armed for this stage (one-shot).
-    void maybeHang(const std::string& stage);
-    /// Corrupts the stored artifact of `kernel` if an ArtifactCorrupt
-    /// event is armed for it (one-shot).
-    void maybeCorruptArtifact(const std::string& kernel, const std::string& key);
     /// True if an injected transient failure should fire for `kernel`
     /// (decrements the per-kernel budget).
     [[nodiscard]] bool consumeTransientFailure(const std::string& kernel);
+
+    /// Blocks for `toolSeconds` × options_.toolLatencyMsPerToolSecond
+    /// milliseconds — the simulated external-tool wait. No-op at 0.
+    void simulateToolWait(double toolSeconds) const;
 
     FlowOptions options_;
     const hls::KernelLibrary& kernels_;
@@ -208,14 +214,13 @@ private:
     hls::HlsEngine engine_;
     std::unique_ptr<ArtifactStore> store_;
 
+    /// Flow-level fault delivery (crash/hang/corrupt), consumed by the
+    /// stage-graph executor and stage postCommit hooks.
+    StageFaultHooks faultHooks_;
     std::mutex faultMutex_;
-    std::vector<sim::FaultEvent> pendingFlowFaults_;
     std::map<std::string, unsigned> transientRemaining_;
-    std::atomic<std::size_t> corruptDetected_{0};
-    std::atomic<std::size_t> nodeTimeouts_{0};
 
     // Per-run journal state (valid only inside run()).
-    FlowJournal* journal_ = nullptr;
     std::set<std::string> committedAtOpen_;
     std::map<std::string, std::string> digestsAtOpen_;
 };

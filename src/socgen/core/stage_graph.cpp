@@ -1,0 +1,474 @@
+#include "socgen/core/stage_graph.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/log.hpp"
+#include "socgen/common/stopwatch.hpp"
+#include "socgen/common/strings.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <thread>
+
+namespace socgen::core {
+
+// ---------------------------------------------------------------------------
+// StageGraph
+
+Stage& StageGraph::add(Stage stage) {
+    if (stage.name.empty()) {
+        throw StageGraphError("stage with an empty name");
+    }
+    if (index_.count(stage.name) > 0) {
+        throw StageGraphError("duplicate stage \"" + stage.name + "\"");
+    }
+    index_.emplace(stage.name, stages_.size());
+    stages_.push_back(std::move(stage));
+    return stages_.back();
+}
+
+bool StageGraph::has(const std::string& name) const {
+    return index_.count(name) > 0;
+}
+
+std::vector<std::size_t> StageGraph::topologicalOrder() const {
+    const std::size_t n = stages_.size();
+    std::vector<std::size_t> inDegree(n, 0);
+    std::vector<std::vector<std::size_t>> dependents(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const std::string& dep : stages_[i].deps) {
+            const auto it = index_.find(dep);
+            if (it == index_.end()) {
+                throw StageGraphError(format("stage \"%s\" depends on unknown stage "
+                                             "\"%s\"",
+                                             stages_[i].name.c_str(), dep.c_str()));
+            }
+            dependents[it->second].push_back(i);
+            ++inDegree[i];
+        }
+    }
+    // Kahn's algorithm with an insertion-ordered ready scan: the lowest
+    // insertion index among ready stages goes next, making the order a
+    // deterministic function of the graph alone.
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    std::vector<char> emitted(n, 0);
+    for (std::size_t produced = 0; produced < n; ++produced) {
+        std::size_t pick = n;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!emitted[i] && inDegree[i] == 0) {
+                pick = i;
+                break;
+            }
+        }
+        if (pick == n) {
+            std::string cycle;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (!emitted[i]) {
+                    cycle += cycle.empty() ? "" : ", ";
+                    cycle += stages_[i].name;
+                }
+            }
+            throw StageGraphError("dependency cycle among stages: " + cycle);
+        }
+        emitted[pick] = 1;
+        order.push_back(pick);
+        for (const std::size_t dependent : dependents[pick]) {
+            --inDegree[dependent];
+        }
+    }
+    return order;
+}
+
+std::vector<std::string> StageGraph::topologicalNames() const {
+    std::vector<std::string> names;
+    for (const std::size_t index : topologicalOrder()) {
+        names.push_back(stages_[index].name);
+    }
+    return names;
+}
+
+// ---------------------------------------------------------------------------
+// StageFaultHooks
+
+StageFaultHooks::StageFaultHooks(const sim::FaultPlan& plan) {
+    for (const auto& event : plan.events()) {
+        if (event.kind == sim::FaultKind::FlowCrash ||
+            event.kind == sim::FaultKind::ArtifactCorrupt ||
+            event.kind == sim::FaultKind::StageHang) {
+            pending_.push_back(event);
+        }
+    }
+}
+
+void StageFaultHooks::maybeCrash(const std::string& stage, std::uint64_t phase) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->kind == sim::FaultKind::FlowCrash && it->target == stage &&
+            it->a == phase) {
+            pending_.erase(it);
+            throw FlowCrashError(format("injected crash at stage %s (%s)", stage.c_str(),
+                                        phase == 0 ? "at begin" : "pre-commit"));
+        }
+    }
+}
+
+void StageFaultHooks::maybeHang(const std::string& stage) {
+    std::uint64_t milliseconds = 0;
+    bool armed = false;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+            if (it->kind == sim::FaultKind::StageHang && it->target == stage) {
+                milliseconds = it->a;
+                pending_.erase(it);
+                armed = true;
+                break;
+            }
+        }
+    }
+    if (armed) {
+        Logger::global().info(format("fault: stage %s hanging for %llu ms", stage.c_str(),
+                                     static_cast<unsigned long long>(milliseconds)));
+        std::this_thread::sleep_for(std::chrono::milliseconds(milliseconds));
+    }
+}
+
+bool StageFaultHooks::consumeCorrupt(const std::string& target) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->kind == sim::FaultKind::ArtifactCorrupt && it->target == target) {
+            pending_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool StageFaultHooks::empty() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return pending_.empty();
+}
+
+// ---------------------------------------------------------------------------
+// StageGraphExecutor
+
+struct StageGraphExecutor::RunState {
+    const StageGraph* graph = nullptr;
+    std::vector<std::size_t> topo;            ///< rank -> stage index
+    std::vector<std::size_t> rankOf;          ///< stage index -> rank
+    std::vector<std::size_t> remainingDeps;
+    std::vector<std::vector<std::size_t>> dependents;
+    std::vector<StageExecution> executions;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<char> completed;
+    std::vector<char> scheduled;
+    std::size_t completedCount = 0;
+    std::size_t flushedPrefix = 0;            ///< topo ranks journal-flushed
+    bool aborted = false;
+    std::exception_ptr firstError;
+    std::size_t firstErrorRank = 0;
+};
+
+StageGraphExecutor::StageGraphExecutor(ExecutorConfig config, FlowEventBus* bus,
+                                       StageFaultHooks* hooks)
+    : config_(std::move(config)), bus_(bus), hooks_(hooks) {}
+
+void StageGraphExecutor::runStage(RunState& state, std::size_t index, unsigned worker) {
+    const Stage& stage = state.graph->stages()[index];
+    StageExecution& exec = state.executions[index];
+    exec.ran = true;
+
+    if (bus_ != nullptr) {
+        FlowEvent event;
+        event.kind = FlowEventKind::StageBegin;
+        event.stage = stage.name;
+        event.worker = worker;
+        bus_->publish(std::move(event));
+    }
+
+    Stopwatch watch;
+    StageRun meta;
+    StageOutput output;
+    std::exception_ptr error;
+    try {
+        if (hooks_ != nullptr) {
+            hooks_->maybeCrash(stage.name, 0);
+        }
+        // One supervisor per stage: its destructor joins abandoned
+        // (timed-out) attempts before any stage-local state dies.
+        StageSupervisor supervisor(config_.stagePolicy);
+        std::atomic<int> attemptCounter{0};
+        std::any value = supervisor.run(
+            stage.name,
+            [this, &stage, &attemptCounter] {
+                const int attempt = attemptCounter.fetch_add(1) + 1;
+                if (attempt > 1 && bus_ != nullptr) {
+                    FlowEvent event;
+                    event.kind = FlowEventKind::StageRetry;
+                    event.stage = stage.name;
+                    event.attempt = static_cast<unsigned>(attempt);
+                    bus_->publish(std::move(event));
+                }
+                if (hooks_ != nullptr) {
+                    hooks_->maybeHang(stage.name);
+                }
+                return stage.attempt ? stage.attempt(StageContext{attempt}) : std::any{};
+            },
+            &meta);
+        output = stage.commit ? stage.commit(std::move(value), meta) : StageOutput{};
+        if (hooks_ != nullptr) {
+            hooks_->maybeCrash(stage.name, 1);
+        }
+    } catch (...) {
+        error = std::current_exception();
+    }
+    const double hostMs = watch.elapsedMs();
+
+    if (bus_ != nullptr) {
+        for (int t = 0; t < meta.timeouts; ++t) {
+            FlowEvent event;
+            event.kind = FlowEventKind::StageTimeout;
+            event.stage = stage.name;
+            bus_->publish(std::move(event));
+        }
+    }
+
+    std::string absorbedNote;
+    if (error != nullptr && stage.absorbFailure) {
+        try {
+            std::rethrow_exception(error);
+        } catch (const std::exception& e) {
+            absorbedNote = stage.absorbFailure(e, meta);
+        } catch (...) {
+            // Non-std exceptions are never absorbable.
+        }
+    }
+
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    exec.meta = meta;
+    exec.hostMs = hostMs;
+    stats_.stageTimeouts += static_cast<std::size_t>(meta.timeouts);
+    if (meta.attempts > 1) {
+        stats_.stageRetries += static_cast<std::size_t>(meta.attempts - 1);
+    }
+
+    if (error != nullptr && absorbedNote.empty()) {
+        if (bus_ != nullptr) {
+            FlowEvent event;
+            event.kind = FlowEventKind::StageFailed;
+            event.stage = stage.name;
+            event.attempt = static_cast<unsigned>(meta.attempts);
+            event.hostMs = hostMs;
+            try {
+                std::rethrow_exception(error);
+            } catch (const std::exception& e) {
+                event.detail = e.what();
+            } catch (...) {
+                event.detail = "non-standard exception";
+            }
+            bus_->publish(std::move(event));
+        }
+        // Keep the error of the lowest-ranked failing stage so the flow
+        // rethrows deterministically even when siblings fail in parallel.
+        if (state.firstError == nullptr || state.rankOf[index] < state.firstErrorRank) {
+            state.firstError = error;
+            state.firstErrorRank = state.rankOf[index];
+        }
+        state.aborted = true;
+        state.cv.notify_all();
+        return;
+    }
+
+    if (error != nullptr) {
+        exec.absorbed = true;
+        exec.absorbedNote = absorbedNote;
+        if (bus_ != nullptr) {
+            FlowEvent event;
+            event.kind = FlowEventKind::StageDegraded;
+            event.stage = stage.name;
+            event.detail = absorbedNote;
+            event.attempt = static_cast<unsigned>(meta.attempts);
+            event.hostMs = hostMs;
+            bus_->publish(std::move(event));
+        }
+    } else {
+        exec.output = std::move(output);
+        if (bus_ != nullptr) {
+            FlowEvent event;
+            event.kind = FlowEventKind::StageCommit;
+            event.stage = stage.name;
+            event.detail = exec.output.digest;
+            event.attempt = static_cast<unsigned>(meta.attempts);
+            event.toolSeconds = exec.output.toolSeconds;
+            event.hostMs = hostMs;
+            bus_->publish(std::move(event));
+        }
+    }
+
+    state.completed[index] = 1;
+    ++state.completedCount;
+    for (const std::size_t dependent : state.dependents[index]) {
+        --state.remainingDeps[dependent];
+    }
+    flushCommitted(state);
+    state.cv.notify_all();
+}
+
+void StageGraphExecutor::flushCommitted(RunState& state) {
+    // Journal discipline: commit (and degrade-note) records land in
+    // topological order over the longest fully-completed prefix, under the
+    // scheduler lock. The journal's bytes are therefore a function of the
+    // graph and its outcomes alone — never of worker scheduling. A crash
+    // can only lose trailing commits, which the next run re-derives from
+    // the content-addressed store.
+    while (state.flushedPrefix < state.topo.size()) {
+        const std::size_t index = state.topo[state.flushedPrefix];
+        if (!state.completed[index]) {
+            return;
+        }
+        const Stage& stage = state.graph->stages()[index];
+        const StageExecution& exec = state.executions[index];
+        if (exec.absorbed) {
+            if (config_.journal != nullptr) {
+                config_.journal->noteEvent(stage.name, exec.absorbedNote);
+            }
+        } else {
+            const auto it = config_.digestsAtOpen.find(stage.name);
+            if (it != config_.digestsAtOpen.end()) {
+                // The stage was committed by a previous run; re-executing
+                // it must reproduce the same output (the flow is
+                // deterministic).
+                if (stage.trackResume) {
+                    ++stats_.resumedStages;
+                }
+                if (it->second != exec.output.digest) {
+                    ++stats_.digestMismatches;
+                    if (bus_ != nullptr) {
+                        FlowEvent event;
+                        event.kind = FlowEventKind::DigestMismatch;
+                        event.stage = stage.name;
+                        event.detail = "recomputed output differs from the journal's "
+                                       "committed digest";
+                        bus_->publish(std::move(event));
+                    }
+                }
+            }
+            if (config_.journal != nullptr && !exec.output.digest.empty()) {
+                config_.journal->commit(stage.name, exec.output.digest);
+            }
+        }
+        if (stage.postCommit) {
+            stage.postCommit();
+        }
+        ++state.flushedPrefix;
+    }
+}
+
+std::vector<StageExecution> StageGraphExecutor::execute(const StageGraph& graph) {
+    RunState state;
+    state.graph = &graph;
+    state.topo = graph.topologicalOrder();
+    const std::size_t n = graph.stages().size();
+    state.rankOf.assign(n, 0);
+    for (std::size_t rank = 0; rank < state.topo.size(); ++rank) {
+        state.rankOf[state.topo[rank]] = rank;
+    }
+    state.remainingDeps.assign(n, 0);
+    state.dependents.assign(n, {});
+    std::map<std::string, std::size_t> byName;
+    for (std::size_t i = 0; i < n; ++i) {
+        byName.emplace(graph.stages()[i].name, i);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const std::string& dep : graph.stages()[i].deps) {
+            state.dependents[byName.at(dep)].push_back(i);
+            ++state.remainingDeps[i];
+        }
+    }
+    state.executions.assign(n, {});
+    state.completed.assign(n, 0);
+    state.scheduled.assign(n, 0);
+    stats_ = {};
+
+    if (bus_ != nullptr) {
+        FlowEvent event;
+        event.kind = FlowEventKind::FlowBegin;
+        event.detail = format("%zu stages, jobs=%u", n, config_.jobs);
+        bus_->publish(std::move(event));
+    }
+
+    // Write-ahead discipline: every begin record lands before any stage
+    // starts work, in topological order, so the journal prefix identifies
+    // the run's shape regardless of scheduling.
+    if (config_.journal != nullptr) {
+        for (const std::size_t index : state.topo) {
+            config_.journal->begin(graph.stages()[index].name);
+        }
+    }
+
+    const unsigned jobs = config_.jobs < 1 ? 1 : config_.jobs;
+    if (jobs == 1 || n <= 1) {
+        // Serial path: exact topological order, no worker threads — the
+        // crash-recovery semantics of the historical sequential flow.
+        for (std::size_t rank = 0; rank < state.topo.size(); ++rank) {
+            {
+                const std::lock_guard<std::mutex> lock(state.mutex);
+                if (state.aborted) {
+                    break;
+                }
+            }
+            runStage(state, state.topo[rank], 0);
+        }
+    } else {
+        const auto workerLoop = [this, &state, n](unsigned workerId) {
+            std::unique_lock<std::mutex> lock(state.mutex);
+            while (true) {
+                std::size_t pick = n;
+                if (!state.aborted) {
+                    for (std::size_t rank = 0; rank < state.topo.size(); ++rank) {
+                        const std::size_t index = state.topo[rank];
+                        if (!state.scheduled[index] && state.remainingDeps[index] == 0) {
+                            pick = index;
+                            break;
+                        }
+                    }
+                }
+                if (pick == n) {
+                    if (state.aborted || state.completedCount == n) {
+                        return;
+                    }
+                    state.cv.wait(lock);
+                    continue;
+                }
+                state.scheduled[pick] = 1;
+                lock.unlock();
+                runStage(state, pick, workerId);
+                lock.lock();
+            }
+        };
+        const unsigned threadCount = std::min<unsigned>(jobs, static_cast<unsigned>(n));
+        std::vector<std::thread> pool;
+        pool.reserve(threadCount);
+        for (unsigned t = 0; t < threadCount; ++t) {
+            pool.emplace_back(workerLoop, t);
+        }
+        for (auto& thread : pool) {
+            thread.join();
+        }
+    }
+
+    if (bus_ != nullptr) {
+        FlowEvent event;
+        event.kind = FlowEventKind::FlowEnd;
+        event.detail = state.firstError == nullptr ? "ok" : "failed";
+        bus_->publish(std::move(event));
+    }
+    if (state.firstError != nullptr) {
+        std::rethrow_exception(state.firstError);
+    }
+    return std::move(state.executions);
+}
+
+} // namespace socgen::core

@@ -9,6 +9,48 @@
 
 namespace socgen::dse {
 
+Explorer::Explorer(core::FlowOptions base, const hls::KernelLibrary& kernels,
+                   std::shared_ptr<core::HlsCache> cache)
+    : base_(std::move(base)), kernels_(kernels),
+      cache_(cache != nullptr ? std::move(cache)
+                              : std::make_shared<core::HlsCache>()) {}
+
+VariantOutcome Explorer::evaluate(const std::string& project,
+                                  const core::TaskGraph& graph,
+                                  const DirectiveVariant& variant) {
+    core::FlowOptions options = base_;
+    for (const auto& [kernel, directives] : variant.kernelDirectives) {
+        options.kernelDirectives[kernel] = directives;
+    }
+    core::Flow flow(std::move(options), kernels_, cache_);
+    VariantOutcome outcome;
+    outcome.name = variant.name;
+    outcome.result =
+        flow.run(variant.name.empty() ? project : project + "_" + variant.name, graph);
+    outcome.engineRuns = outcome.result.diagnostics.engineRuns();
+    outcome.cacheHits = outcome.result.diagnostics.cacheHits();
+    outcome.storeHits = outcome.result.diagnostics.storeHits();
+    outcome.toolSeconds = outcome.result.timeline.totalToolSeconds();
+    return outcome;
+}
+
+std::vector<VariantOutcome> Explorer::sweep(const std::string& project,
+                                            const core::TaskGraph& graph,
+                                            const std::vector<DirectiveVariant>& variants) {
+    std::vector<VariantOutcome> outcomes;
+    outcomes.reserve(variants.size());
+    for (const auto& variant : variants) {
+        outcomes.push_back(evaluate(project, graph, variant));
+        const VariantOutcome& last = outcomes.back();
+        Logger::global().info(
+            format("dse: variant %s: %zu synthesized, %zu cache hit(s), %zu store "
+                   "hit(s), %.1f tool-s",
+                   last.name.c_str(), last.engineRuns, last.cacheHits, last.storeHits,
+                   last.toolSeconds));
+    }
+    return outcomes;
+}
+
 std::vector<DsePoint> exploreExhaustive(unsigned unitCount, const DseEvaluator& evaluate) {
     if (unitCount > 20) {
         throw Error("exhaustive DSE limited to 20 units (2^20 points)");

@@ -1,4 +1,6 @@
+#include "socgen/apps/kernels.hpp"
 #include "socgen/common/error.hpp"
+#include "socgen/core/parser.hpp"
 #include "socgen/dse/explorer.hpp"
 
 #include <gtest/gtest.h>
@@ -79,6 +81,72 @@ TEST(Pareto, EqualPointsBothSurvive) {
     points[1].resources.lut = 10;
     points[1].cycles = 10;
     EXPECT_EQ(paretoFront(points).size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Directive-space exploration on the stage-graph flow engine: variants
+// share one HlsCache, so each sweep step re-synthesizes exactly the
+// kernels whose directives changed.
+
+core::TaskGraph dseGraph() {
+    constexpr const char* dsl = R"(
+object q extends App {
+  tg nodes;
+    tg node "MUL" i "A" i "B" i "return" end;
+    tg node "GAUSS" is "in" is "out" end;
+    tg node "EDGE" is "in" is "out" end;
+  tg end_nodes;
+  tg edges;
+    tg link 'soc to ("GAUSS","in") end;
+    tg link ("GAUSS","out") to ("EDGE","in") end;
+    tg link ("EDGE","out") to 'soc end;
+    tg connect "MUL";
+  tg end_edges;
+}
+)";
+    return core::parseDsl(dsl).graph;
+}
+
+TEST(Explorer, SweepResynthesizesOnlyInvalidatedKernels) {
+    hls::KernelLibrary kernels;
+    kernels.add(apps::makeMulKernel());
+    kernels.add(apps::makeGaussKernel(64));
+    kernels.add(apps::makeEdgeKernel(64));
+
+    DirectiveVariant base;
+    base.name = "base";
+    DirectiveVariant unrolled;
+    unrolled.name = "unroll4";
+    unrolled.kernelDirectives["GAUSS"].unrollFactors["i"] = 4;
+    DirectiveVariant repeat = base;
+    repeat.name = "repeat";
+
+    Explorer explorer(core::FlowOptions{}, kernels);
+    const auto outcomes = explorer.sweep("dse", dseGraph(), {base, unrolled, repeat});
+    ASSERT_EQ(outcomes.size(), 3u);
+
+    // Cold start: every kernel is synthesized by the engine.
+    EXPECT_EQ(outcomes[0].engineRuns, 3u);
+    EXPECT_EQ(outcomes[0].cacheHits, 0u);
+
+    // Only GAUSS's directives changed: exactly one re-synthesis, the
+    // other two kernels come from the shared cache.
+    EXPECT_EQ(outcomes[1].engineRuns, 1u);
+    EXPECT_EQ(outcomes[1].cacheHits, 2u);
+
+    // A repeated variant is free: zero engine runs, zero tool time for
+    // the HLS phase (both GAUSS entries coexist under their own keys).
+    EXPECT_EQ(outcomes[2].engineRuns, 0u);
+    EXPECT_EQ(outcomes[2].cacheHits, 3u);
+    EXPECT_EQ(explorer.cache()->size(), 4u);
+
+    // Reuse never crosses directive boundaries: the unrolled GAUSS is a
+    // different artifact than the base one.
+    EXPECT_NE(outcomes[1].result.hlsResults.at("GAUSS").directiveText,
+              outcomes[0].result.hlsResults.at("GAUSS").directiveText);
+    EXPECT_EQ(outcomes[2].result.hlsResults.at("GAUSS").vhdl,
+              outcomes[0].result.hlsResults.at("GAUSS").vhdl);
+    EXPECT_LT(outcomes[2].toolSeconds, outcomes[0].toolSeconds);
 }
 
 TEST(RenderTable, ShowsSpeedupAndParetoMarks) {

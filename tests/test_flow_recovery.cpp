@@ -18,6 +18,8 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -96,8 +98,8 @@ std::string journalPathOf(const std::string& dir) {
 TEST(FlowRecovery, CrashSweepResumesBitIdentical) {
     const hls::KernelLibrary kernels = exampleKernels();
     const std::string referenceBits = referenceResult().bitstream.serialize();
-    std::vector<std::string> stages = {"scala",     "integrate", "synth",
-                                       "software",  "artifacts"};
+    std::vector<std::string> stages = {"scala",   "integrate", "synth",    "devicetree",
+                                       "drivers", "boot",      "artifacts"};
     for (const std::string& node : graphNodes()) {
         stages.push_back("hls:" + node);
     }
@@ -330,6 +332,42 @@ TEST(FlowRecovery, ParallelJobsLeaveIdenticalJournalAndDiagnostics) {
     }
     EXPECT_EQ(serial.diagnostics.render(), parallel.diagnostics.render());
     EXPECT_EQ(serial.bitstream.serialize(), parallel.bitstream.serialize());
+
+    // The per-stage table agrees field by field (hostMs is the only
+    // non-deterministic column and is deliberately excluded).
+    ASSERT_EQ(serial.diagnostics.stages.size(), parallel.diagnostics.stages.size());
+    ASSERT_FALSE(serial.diagnostics.stages.empty());
+    for (std::size_t i = 0; i < serial.diagnostics.stages.size(); ++i) {
+        const auto& a = serial.diagnostics.stages[i];
+        const auto& b = parallel.diagnostics.stages[i];
+        EXPECT_EQ(a.stage, b.stage);
+        EXPECT_EQ(a.attempts, b.attempts);
+        EXPECT_EQ(a.timeouts, b.timeouts);
+        EXPECT_DOUBLE_EQ(a.toolSeconds, b.toolSeconds);
+        EXPECT_EQ(a.source, b.source);
+        EXPECT_EQ(a.committed, b.committed);
+    }
+
+    // Every written artifact is byte-identical across jobs settings.
+    // REPORT.md is excluded: it renders the measured host milliseconds.
+    const auto artifactBytes = [](const std::string& dir) {
+        std::map<std::string, std::string> files;
+        const std::filesystem::path root = std::filesystem::path(dir) / "proj";
+        for (const auto& entry : std::filesystem::recursive_directory_iterator(root)) {
+            if (!entry.is_regular_file() || entry.path().filename() == "REPORT.md") {
+                continue;
+            }
+            std::ifstream in(entry.path(), std::ios::binary);
+            std::string bytes((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+            files.emplace(std::filesystem::relative(entry.path(), root).string(),
+                          std::move(bytes));
+        }
+        return files;
+    };
+    const auto filesSerial = artifactBytes(dirSerial);
+    EXPECT_FALSE(filesSerial.empty());
+    EXPECT_EQ(filesSerial, artifactBytes(dirParallel));
     std::filesystem::remove_all(dirSerial);
     std::filesystem::remove_all(dirParallel);
 }

@@ -1,0 +1,314 @@
+// Unit tests of the declarative stage-graph engine (CTest label:
+// stage-graph): graph validation, deterministic topological ordering, the
+// executor's scheduling/retry/absorb semantics, journal byte-parity
+// across jobs settings, and real cross-stage parallelism.
+
+#include "socgen/common/error.hpp"
+#include "socgen/core/flow.hpp"
+#include "socgen/core/journal.hpp"
+#include "socgen/core/stage_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace socgen::core {
+namespace {
+
+Stage simpleStage(std::string name, std::vector<std::string> deps,
+                  std::string digest = "") {
+    Stage stage;
+    stage.name = std::move(name);
+    stage.deps = std::move(deps);
+    stage.attempt = [](const StageContext&) -> std::any { return std::any{}; };
+    stage.commit = [digest = std::move(digest)](std::any&&, const StageRun&) {
+        StageOutput out;
+        out.digest = digest;
+        return out;
+    };
+    return stage;
+}
+
+/// Collects every published event kind, in order (the bus serializes
+/// publication, so no locking is needed here).
+struct RecordingSubscriber : FlowEventSubscriber {
+    std::vector<FlowEvent> events;
+    void onEvent(const FlowEvent& event) override { events.push_back(event); }
+    [[nodiscard]] std::size_t count(FlowEventKind kind) const {
+        std::size_t n = 0;
+        for (const auto& e : events) {
+            if (e.kind == kind) {
+                ++n;
+            }
+        }
+        return n;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Graph validation
+
+TEST(StageGraph, RejectsDuplicateAndEmptyNames) {
+    StageGraph graph;
+    graph.add(simpleStage("a", {}));
+    EXPECT_THROW(graph.add(simpleStage("a", {})), StageGraphError);
+    EXPECT_THROW(graph.add(simpleStage("", {})), StageGraphError);
+    EXPECT_TRUE(graph.has("a"));
+    EXPECT_FALSE(graph.has("b"));
+}
+
+TEST(StageGraph, RejectsUnknownDependency) {
+    StageGraph graph;
+    graph.add(simpleStage("a", {"ghost"}));
+    try {
+        (void)graph.topologicalOrder();
+        FAIL() << "expected StageGraphError";
+    } catch (const StageGraphError& e) {
+        EXPECT_NE(std::string(e.what()).find("ghost"), std::string::npos);
+    }
+}
+
+TEST(StageGraph, RejectsDependencyCycle) {
+    StageGraph graph;
+    graph.add(simpleStage("a", {"c"}));
+    graph.add(simpleStage("b", {"a"}));
+    graph.add(simpleStage("c", {"b"}));
+    try {
+        (void)graph.topologicalOrder();
+        FAIL() << "expected StageGraphError";
+    } catch (const StageGraphError& e) {
+        EXPECT_NE(std::string(e.what()).find("cycle"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("a"), std::string::npos);
+    }
+}
+
+TEST(StageGraph, TopologicalOrderIsInsertionStable) {
+    // Diamond a -> {b, c} -> d, plus an independent e added last: the
+    // order is a deterministic function of the graph (lowest insertion
+    // index among ready stages), not of any scheduling.
+    StageGraph graph;
+    graph.add(simpleStage("a", {}));
+    graph.add(simpleStage("b", {"a"}));
+    graph.add(simpleStage("c", {"a"}));
+    graph.add(simpleStage("d", {"b", "c"}));
+    graph.add(simpleStage("e", {}));
+    const std::vector<std::string> expected = {"a", "b", "c", "d", "e"};
+    EXPECT_EQ(graph.topologicalNames(), expected);
+    EXPECT_EQ(graph.topologicalNames(), expected);  // stable across calls
+}
+
+// ---------------------------------------------------------------------------
+// Executor semantics
+
+TEST(StageGraphExecutorTest, RunsEveryStageAndReportsOutputs) {
+    StageGraph graph;
+    std::atomic<int> order{0};
+    int ranA = -1;
+    int ranB = -1;
+    Stage a = simpleStage("a", {}, "digest-a");
+    a.attempt = [&](const StageContext&) -> std::any {
+        ranA = order.fetch_add(1);
+        return std::string("value-a");
+    };
+    Stage b = simpleStage("b", {"a"}, "digest-b");
+    b.attempt = [&](const StageContext&) -> std::any {
+        ranB = order.fetch_add(1);
+        return std::any{};
+    };
+    graph.add(std::move(a));
+    graph.add(std::move(b));
+
+    StageGraphExecutor executor(ExecutorConfig{}, nullptr, nullptr);
+    const auto executions = executor.execute(graph);
+    ASSERT_EQ(executions.size(), 2u);
+    EXPECT_TRUE(executions[0].ran);
+    EXPECT_TRUE(executions[1].ran);
+    EXPECT_LT(ranA, ranB);  // dependency respected
+    EXPECT_EQ(executions[0].output.digest, "digest-a");
+    EXPECT_EQ(executions[1].output.digest, "digest-b");
+    EXPECT_EQ(executions[0].meta.attempts, 1);
+    EXPECT_EQ(executor.stats().stageRetries, 0u);
+    EXPECT_EQ(executor.stats().stageTimeouts, 0u);
+}
+
+TEST(StageGraphExecutorTest, FirstErrorPropagatesAndDependentsNeverRun) {
+    StageGraph graph;
+    graph.add(simpleStage("a", {}));
+    Stage b = simpleStage("b", {"a"});
+    b.attempt = [](const StageContext&) -> std::any {
+        throw Error("stage b exploded");
+    };
+    graph.add(std::move(b));
+    bool cRan = false;
+    Stage c = simpleStage("c", {"b"});
+    c.attempt = [&](const StageContext&) -> std::any {
+        cRan = true;
+        return std::any{};
+    };
+    graph.add(std::move(c));
+
+    auto bus = std::make_shared<RecordingSubscriber>();
+    FlowEventBus events;
+    events.subscribe(bus);
+    StageGraphExecutor executor(ExecutorConfig{}, &events, nullptr);
+    try {
+        (void)executor.execute(graph);
+        FAIL() << "expected the stage error to propagate";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("stage b exploded"), std::string::npos);
+    }
+    EXPECT_FALSE(cRan);
+    EXPECT_EQ(bus->count(FlowEventKind::StageFailed), 1u);
+    ASSERT_FALSE(bus->events.empty());
+    EXPECT_EQ(bus->events.back().kind, FlowEventKind::FlowEnd);
+    EXPECT_EQ(bus->events.back().detail, "failed");
+}
+
+TEST(StageGraphExecutorTest, AbsorbedFailureDegradesButDependentsStillRun) {
+    StageGraph graph;
+    Stage flaky = simpleStage("flaky", {});
+    flaky.attempt = [](const StageContext&) -> std::any {
+        throw Error("not transient, not retried");
+    };
+    flaky.absorbFailure = [](const std::exception& e, const StageRun&) {
+        return std::string("degraded: ") + e.what();
+    };
+    graph.add(std::move(flaky));
+    bool downstreamRan = false;
+    Stage downstream = simpleStage("downstream", {"flaky"});
+    downstream.attempt = [&](const StageContext&) -> std::any {
+        downstreamRan = true;
+        return std::any{};
+    };
+    graph.add(std::move(downstream));
+
+    auto bus = std::make_shared<RecordingSubscriber>();
+    FlowEventBus events;
+    events.subscribe(bus);
+    StageGraphExecutor executor(ExecutorConfig{}, &events, nullptr);
+    const auto executions = executor.execute(graph);
+    EXPECT_TRUE(executions[0].absorbed);
+    EXPECT_NE(executions[0].absorbedNote.find("degraded"), std::string::npos);
+    EXPECT_TRUE(downstreamRan);
+    EXPECT_EQ(bus->count(FlowEventKind::StageDegraded), 1u);
+    EXPECT_EQ(bus->count(FlowEventKind::StageFailed), 0u);
+}
+
+TEST(StageGraphExecutorTest, TransientFailureRetriesWithEvents) {
+    StageGraph graph;
+    Stage flaky = simpleStage("flaky", {}, "d");
+    flaky.attempt = [](const StageContext& context) -> std::any {
+        if (context.attempt == 1) {
+            throw HlsError("transient hiccup");
+        }
+        return std::any{};
+    };
+    graph.add(std::move(flaky));
+
+    auto bus = std::make_shared<RecordingSubscriber>();
+    FlowEventBus events;
+    events.subscribe(bus);
+    ExecutorConfig config;
+    config.stagePolicy.backoffBaseMs = 0.1;
+    StageGraphExecutor executor(config, &events, nullptr);
+    const auto executions = executor.execute(graph);
+    EXPECT_EQ(executions[0].meta.attempts, 2);
+    EXPECT_EQ(executor.stats().stageRetries, 1u);
+    EXPECT_EQ(bus->count(FlowEventKind::StageRetry), 1u);
+    EXPECT_EQ(bus->count(FlowEventKind::StageCommit), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Journal byte-parity and parallelism
+
+std::string journalTextFor(unsigned jobs, const std::string& dir) {
+    std::filesystem::remove_all(dir);
+    FlowJournal journal = FlowJournal::open(dir + "/journal.jsonl");
+    journal.reset("fingerprint", "test");
+    StageGraph graph;
+    graph.add(simpleStage("root", {}, "d-root"));
+    graph.add(simpleStage("left", {"root"}, "d-left"));
+    graph.add(simpleStage("right", {"root"}, "d-right"));
+    graph.add(simpleStage("leaf", {"left", "right"}, "d-leaf"));
+    // A sleep on one branch skews completion order away from topological
+    // order under jobs>1; the journal must not notice.
+    Stage slow = simpleStage("slow", {"root"}, "d-slow");
+    slow.attempt = [](const StageContext&) -> std::any {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        return std::any{};
+    };
+    graph.add(std::move(slow));
+
+    ExecutorConfig config;
+    config.jobs = jobs;
+    config.journal = &journal;
+    StageGraphExecutor executor(config, nullptr, nullptr);
+    (void)executor.execute(graph);
+    std::string text = FlowJournal::open(dir + "/journal.jsonl").renderText();
+    std::filesystem::remove_all(dir);
+    return text;
+}
+
+TEST(StageGraphExecutorTest, JournalIsByteIdenticalForAnyJobsSetting) {
+    const std::string base = testing::TempDir() + "/socgen_stage_graph_journal_";
+    const std::string serial = journalTextFor(1, base + "serial");
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, journalTextFor(4, base + "jobs4"));
+    EXPECT_EQ(serial, journalTextFor(2, base + "jobs2"));
+}
+
+TEST(StageGraphExecutorTest, IndependentStagesOverlapWithJobs) {
+    StageGraph graph;
+    std::atomic<int> inFlight{0};
+    std::atomic<int> peak{0};
+    const auto sleeper = [&](const StageContext&) -> std::any {
+        const int now = inFlight.fetch_add(1) + 1;
+        int expected = peak.load();
+        while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(60));
+        inFlight.fetch_sub(1);
+        return std::any{};
+    };
+    for (const char* name : {"a", "b", "c"}) {
+        Stage stage = simpleStage(name, {});
+        stage.attempt = sleeper;
+        graph.add(std::move(stage));
+    }
+
+    ExecutorConfig config;
+    config.jobs = 3;
+    StageGraphExecutor executor(config, nullptr, nullptr);
+    const auto start = std::chrono::steady_clock::now();
+    (void)executor.execute(graph);
+    const double elapsedMs = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+    EXPECT_GE(peak.load(), 2);        // genuinely concurrent
+    EXPECT_LT(elapsedMs, 3 * 60.0);   // faster than the serial sum
+}
+
+// ---------------------------------------------------------------------------
+// Environment override
+
+TEST(StageGraphExecutorTest, FlowJobsEnvironmentOverrideIsApplied) {
+    const hls::KernelLibrary kernels;
+    ASSERT_EQ(::setenv("SOCGEN_FLOW_JOBS", "4", 1), 0);
+    const Flow overridden(FlowOptions{}, kernels);
+    EXPECT_EQ(overridden.options().jobs, 4u);
+    ASSERT_EQ(::setenv("SOCGEN_FLOW_JOBS", "not-a-number", 1), 0);
+    const Flow ignored(FlowOptions{}, kernels);
+    EXPECT_EQ(ignored.options().jobs, 1u);
+    ASSERT_EQ(::unsetenv("SOCGEN_FLOW_JOBS"), 0);
+    const Flow plain(FlowOptions{}, kernels);
+    EXPECT_EQ(plain.options().jobs, 1u);
+}
+
+} // namespace
+} // namespace socgen::core
