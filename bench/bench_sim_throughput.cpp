@@ -4,10 +4,12 @@
 // system simulation. These numbers bound how large an experiment the
 // reproduction can sweep.
 
+#include "netlist_gen.hpp"
 #include "socgen/apps/kernels.hpp"
 #include "socgen/apps/otsu_project.hpp"
 #include "socgen/rtl/netlist_sim.hpp"
 #include "socgen/rtl/primitives.hpp"
+#include "socgen/rtl/sim_backend.hpp"
 #include "socgen/socgen.hpp"
 
 #include <benchmark/benchmark.h>
@@ -15,6 +17,25 @@
 using namespace socgen;
 
 namespace {
+
+/// Benchmarks taking a backend argument register with ->Arg(0) (event)
+/// and ->Arg(1) (compiled) so one binary reports the pair side by side.
+rtl::SimBackend benchBackend(std::int64_t arg) {
+    return arg == 0 ? rtl::SimBackend::EventDriven : rtl::SimBackend::Compiled;
+}
+
+/// The shared random design for the backend comparison: the same seed
+/// and shape the differential suite's LargeNetlistAgrees case locks to
+/// cycle-identical behaviour across backends.
+rtl::Netlist benchRandomNetlist() {
+    socgen::testing::NetlistGenOptions opt;
+    opt.combCells = 600;
+    opt.regs = 48;
+    opt.brams = 6;
+    opt.fsms = 3;
+    opt.inputPorts = 8;
+    return socgen::testing::randomNetlist(424242, opt);
+}
 
 void BM_StreamChannelPushPop(benchmark::State& state) {
     axi::StreamChannel chan("bench", 1024, 32);
@@ -37,6 +58,79 @@ void BM_NetlistSimCounterStep(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_NetlistSimCounterStep);
+
+void BM_SimBackendCounterStep(benchmark::State& state) {
+    const rtl::Netlist netlist = rtl::makeCounter("ctr", 32);
+    const auto sim = rtl::makeSimulator(netlist, benchBackend(state.range(0)));
+    sim->setInput("en", 1);
+    for (auto _ : state) {
+        sim->step();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+    state.SetLabel(std::string(sim->backendName()));
+}
+BENCHMARK(BM_SimBackendCounterStep)->Arg(0)->Arg(1);
+
+void BM_SimBackendRandomActive(benchmark::State& state) {
+    // Every input port changes every cycle: the worst case for dirty
+    // tracking, so the gap here is the levelized program versus the
+    // per-cell interpreter alone.
+    const rtl::Netlist netlist = benchRandomNetlist();
+    const auto sim = rtl::makeSimulator(netlist, benchBackend(state.range(0)));
+    socgen::testing::SplitMix64 rng(7);
+    for (auto _ : state) {
+        for (unsigned i = 0; i < 8; ++i) {
+            sim->setInput("in" + std::to_string(i), rng.next());
+        }
+        sim->step();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+    state.SetLabel(std::string(sim->backendName()));
+}
+BENCHMARK(BM_SimBackendRandomActive)->Arg(0)->Arg(1);
+
+void BM_SimBackendRandomQuiescent(benchmark::State& state) {
+    // Inputs held constant: only the sequential feedback region stays
+    // active, so the compiled backend's dirty-region skipping shows its
+    // full win over the re-evaluate-everything interpreter.
+    const rtl::Netlist netlist = benchRandomNetlist();
+    const auto sim = rtl::makeSimulator(netlist, benchBackend(state.range(0)));
+    socgen::testing::SplitMix64 rng(7);
+    for (unsigned i = 0; i < 8; ++i) {
+        sim->setInput("in" + std::to_string(i), rng.next());
+    }
+    for (auto _ : state) {
+        sim->step();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+    state.SetLabel(std::string(sim->backendName()));
+}
+BENCHMARK(BM_SimBackendRandomQuiescent)->Arg(0)->Arg(1);
+
+void BM_SimBackendHlsHistogramCore(benchmark::State& state) {
+    // A generated accelerator under steady streaming stimulus — the
+    // cosim shape the HLS VM equivalence tests and RtlCoreComponent run.
+    const hls::HlsResult r =
+        hls::HlsEngine{}.synthesize(apps::makeHistogramKernel(16384), {});
+    const auto sim = rtl::makeSimulator(r.netlist, benchBackend(state.range(0)));
+    sim->setInput("ap_start", 1);
+    for (const auto& port : r.netlist.ports()) {
+        if (port.dir != rtl::PortDir::In) {
+            continue;
+        }
+        if (port.name.ends_with("_tvalid") || port.name.ends_with("_tready")) {
+            sim->setInput(port.name, 1);
+        } else if (port.name.ends_with("_tdata")) {
+            sim->setInput(port.name, 0x5a);
+        }
+    }
+    for (auto _ : state) {
+        sim->step();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+    state.SetLabel(std::string(sim->backendName()));
+}
+BENCHMARK(BM_SimBackendHlsHistogramCore)->Arg(0)->Arg(1);
 
 void BM_KernelVmGaussCycle(benchmark::State& state) {
     const hls::Kernel kernel = apps::makeGaussKernel(1 << 20);

@@ -81,7 +81,12 @@ std::string Flow::flowFingerprint(const std::string& projectName,
     // hooks, retry policy and `jobs` are deliberately excluded so a
     // crashed run and its recovery run agree on the fingerprint.
     HashStream h;
-    h.field("socgen-flow-v2");
+    h.field("socgen-flow-v3");
+    // The resolved simulation backend is part of the identity of every
+    // sim-derived output: a journal written under one backend must never
+    // be resumed under the other (Auto resolves to the compiled engine,
+    // so unset and "compiled" agree).
+    h.field(rtl::simBackendName(rtl::resolveSimBackend(options_.simBackend)));
     h.field(projectName);
     h.field(graph.renderDsl(projectName));
     h.field(options_.device.part).field(options_.device.board);

@@ -9,6 +9,7 @@
 #include "socgen/core/stage_graph.hpp"
 #include "socgen/core/supervisor.hpp"
 #include "socgen/hls/engine.hpp"
+#include "socgen/rtl/sim_backend.hpp"
 #include "socgen/sim/fault.hpp"
 #include "socgen/soc/bitstream.hpp"
 #include "socgen/soc/block_design.hpp"
@@ -82,6 +83,16 @@ struct FlowOptions {
     /// Tool identity folded into artifact keys: bumping it invalidates
     /// every stored artifact, like moving to a new Vivado release.
     std::string toolVersion = "socgen-hls-1";
+
+    /// RTL simulation backend used for sim-derived flow outputs (core
+    /// hosting, traces, timing reports). Auto resolves through the
+    /// SOCGEN_SIM_BACKEND environment override, then to Compiled. The
+    /// resolved name is folded into the flow fingerprint — switching the
+    /// backend resets the journal instead of replaying artifacts that
+    /// were derived under the other engine. Excluded from the HLS
+    /// artifact key on purpose: generated netlists do not depend on how
+    /// they are later simulated.
+    rtl::SimBackend simBackend = rtl::SimBackend::Auto;
 
     /// Retry/deadline policy applied to every supervised flow stage.
     StagePolicy stagePolicy;

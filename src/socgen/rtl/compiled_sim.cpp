@@ -1,0 +1,389 @@
+#include "socgen/rtl/compiled_sim.hpp"
+
+#include "socgen/common/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <numeric>
+
+namespace socgen::rtl {
+
+namespace {
+
+std::uint64_t maskForWidth(unsigned width) {
+    return width >= 64 ? ~0ULL : (1ULL << width) - 1ULL;
+}
+
+/// Cell kinds denied via SOCGEN_COMPILED_SIM_DENY (test hook for the
+/// Auto-fallback rule). Comma-separated, case-insensitive kind names.
+bool kindDeniedByEnv(CellKind kind) {
+    const char* env = std::getenv("SOCGEN_COMPILED_SIM_DENY");
+    if (env == nullptr || *env == '\0') {
+        return false;
+    }
+    std::string upper;
+    for (const char* p = env; *p != '\0'; ++p) {
+        upper.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(*p))));
+    }
+    const std::string name(cellKindName(kind));
+    std::size_t pos = 0;
+    while (pos < upper.size()) {
+        const std::size_t comma = upper.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? upper.size() : comma;
+        std::size_t first = pos;
+        std::size_t last = end;
+        while (first < last && std::isspace(static_cast<unsigned char>(upper[first]))) {
+            ++first;
+        }
+        while (last > first && std::isspace(static_cast<unsigned char>(upper[last - 1]))) {
+            --last;
+        }
+        if (upper.compare(first, last - first, name) == 0) {
+            return true;
+        }
+        if (comma == std::string::npos) {
+            break;
+        }
+        pos = comma + 1;
+    }
+    return false;
+}
+
+} // namespace
+
+CompiledSim::CompiledSim(const Netlist& netlist) : netlist_(netlist) {
+    compile(netlist);
+    vals_.assign(netlist.nets().size(), 0);
+    state_.assign(seqOps_.size(), 0);
+    pending_.assign(ops_.size(), 0);
+    worklist_.assign(levels_.size(), {});
+    seqDirtyFlag_.assign(seqOps_.size(), 0);
+    for (auto& port : netlist.ports()) {
+        portsByName_.emplace(port.name, &port);
+    }
+    markAllOpsDirty();
+}
+
+void CompiledSim::compile(const Netlist& netlist) {
+    // Every current kind has a lowering; the deny hook (and future kinds
+    // without one) reports UnsupportedNetlistError so Auto falls back.
+    for (const Cell& c : netlist.cells()) {
+        if (kindDeniedByEnv(c.kind)) {
+            throw UnsupportedNetlistError(
+                format("netlist %s: cell kind %s has no compiled lowering",
+                       netlist.name().c_str(), std::string(cellKindName(c.kind)).c_str()));
+        }
+    }
+
+    // Levelize: longest combinational path from a source (input port,
+    // constant, or sequential output) to each combinational cell.
+    const std::vector<CellId> topo = netlist.topoOrder();
+    std::vector<std::uint32_t> cellLevel(netlist.cells().size(), 0);
+    std::uint32_t maxLevel = 0;
+    for (CellId id : topo) {
+        const Cell& c = netlist.cell(id);
+        std::uint32_t level = 0;
+        for (NetId in : c.inputs) {
+            const CellId driver = netlist.net(in).driver;
+            if (driver != kInvalid && isCombinational(netlist.cell(driver).kind)) {
+                level = std::max(level, cellLevel[driver] + 1);
+            }
+        }
+        cellLevel[id] = level;
+        maxLevel = std::max(maxLevel, level);
+    }
+
+    // Flatten combinational cells into ops sorted by (level, topo pos):
+    // a stable sort of a valid topological order by level is still a
+    // valid evaluation order, and groups each level contiguously.
+    std::vector<CellId> byLevel = topo;
+    std::stable_sort(byLevel.begin(), byLevel.end(), [&](CellId x, CellId y) {
+        return cellLevel[x] < cellLevel[y];
+    });
+    ops_.reserve(byLevel.size());
+    opLevel_.reserve(byLevel.size());
+    std::vector<std::uint32_t> opOfCell(netlist.cells().size(), kInvalid);
+    for (CellId id : byLevel) {
+        const Cell& c = netlist.cell(id);
+        Op op;
+        op.code = c.kind;
+        op.dst = c.outputs[0];
+        op.mask = maskForWidth(c.width);
+        if (!c.inputs.empty()) {
+            op.a = c.inputs[0];
+        }
+        if (c.inputs.size() > 1) {
+            op.b = c.inputs[1];
+        }
+        if (c.inputs.size() > 2) {
+            op.c = c.inputs[2];
+        }
+        if (c.kind == CellKind::Const) {
+            op.imm = static_cast<std::uint64_t>(c.param) & op.mask;
+        }
+        opOfCell[id] = static_cast<std::uint32_t>(ops_.size());
+        ops_.push_back(op);
+        opLevel_.push_back(cellLevel[id]);
+    }
+    levels_.assign(maxLevel + 1, {0, 0});
+    for (std::uint32_t idx = 0; idx < ops_.size(); ++idx) {
+        auto& [first, count] = levels_[opLevel_[idx]];
+        if (count == 0) {
+            first = idx;
+        }
+        ++count;
+    }
+
+    // Consumer CSR: for each net, the combinational ops reading it.
+    std::vector<std::uint32_t> counts(netlist.nets().size(), 0);
+    for (CellId id : byLevel) {
+        for (NetId in : netlist.cell(id).inputs) {
+            ++counts[in];
+        }
+    }
+    consumerFirst_.assign(netlist.nets().size() + 1, 0);
+    for (std::size_t net = 0; net < counts.size(); ++net) {
+        consumerFirst_[net + 1] = consumerFirst_[net] + counts[net];
+    }
+    consumers_.assign(consumerFirst_.back(), 0);
+    std::vector<std::uint32_t> cursor(consumerFirst_.begin(), consumerFirst_.end() - 1);
+    for (CellId id : byLevel) {
+        for (NetId in : netlist.cell(id).inputs) {
+            consumers_[cursor[in]++] = opOfCell[id];
+        }
+    }
+
+    // Sequential update program, in CellId order (matching the
+    // event-driven engine's clock-edge sweep).
+    for (CellId id = 0; id < netlist.cells().size(); ++id) {
+        const Cell& c = netlist.cell(id);
+        if (isCombinational(c.kind)) {
+            continue;
+        }
+        SeqOp op;
+        op.cell = id;
+        op.out = c.outputs[0];
+        op.mask = maskForWidth(c.width);
+        op.param = c.param;
+        switch (c.kind) {
+        case CellKind::Reg:
+            op.kind = c.inputs.size() < 2 ? SeqKind::RegAlways : SeqKind::RegEnable;
+            op.d = c.inputs[0];
+            if (c.inputs.size() > 1) {
+                op.en = c.inputs[1];
+            }
+            break;
+        case CellKind::Bram:
+            op.kind = SeqKind::Bram;
+            op.d = c.inputs[0];   // addr
+            op.en = c.inputs[1];  // wdata
+            op.we = c.inputs[2];
+            op.mem = static_cast<std::uint32_t>(mems_.size());
+            mems_.emplace_back(static_cast<std::size_t>(c.param), 0);
+            break;
+        case CellKind::Fsm:
+            op.kind = SeqKind::Fsm;
+            op.statusFirst = static_cast<std::uint32_t>(fsmStatus_.size());
+            op.statusCount = static_cast<std::uint32_t>(c.inputs.size());
+            for (NetId in : c.inputs) {
+                fsmStatus_.push_back(in);
+            }
+            break;
+        default:
+            throw UnsupportedNetlistError(
+                format("netlist %s: sequential cell kind %s has no compiled lowering",
+                       netlist.name().c_str(), std::string(cellKindName(c.kind)).c_str()));
+        }
+        seqOps_.push_back(op);
+    }
+}
+
+void CompiledSim::markAllOpsDirty() {
+    for (std::uint32_t idx = 0; idx < ops_.size(); ++idx) {
+        pending_[idx] = 1;
+        worklist_[opLevel_[idx]].push_back(idx);
+    }
+}
+
+void CompiledSim::markConsumers(std::uint32_t net) {
+    const std::uint32_t first = consumerFirst_[net];
+    const std::uint32_t last = consumerFirst_[net + 1];
+    for (std::uint32_t i = first; i < last; ++i) {
+        const std::uint32_t op = consumers_[i];
+        if (pending_[op] == 0) {
+            pending_[op] = 1;
+            worklist_[opLevel_[op]].push_back(op);
+        }
+    }
+}
+
+std::uint64_t CompiledSim::evalOp(const Op& op) const {
+    const std::uint64_t a = vals_[op.a];
+    const std::uint64_t b = vals_[op.b];
+    switch (op.code) {
+    case CellKind::Const: return op.imm;
+    case CellKind::Not: return ~a & op.mask;
+    case CellKind::And: return (a & b) & op.mask;
+    case CellKind::Or: return (a | b) & op.mask;
+    case CellKind::Xor: return (a ^ b) & op.mask;
+    case CellKind::Add: return (a + b) & op.mask;
+    case CellKind::Sub: return (a - b) & op.mask;
+    case CellKind::Mul: return (a * b) & op.mask;
+    case CellKind::Div: return (b == 0 ? ~0ULL : a / b) & op.mask;
+    case CellKind::Mod: return (b == 0 ? a : a % b) & op.mask;
+    case CellKind::Shl: return (b >= 64 ? 0 : a << b) & op.mask;
+    case CellKind::Shr: return (b >= 64 ? 0 : a >> b) & op.mask;
+    case CellKind::Eq: return (a == b ? 1ULL : 0ULL) & op.mask;
+    case CellKind::Ne: return (a != b ? 1ULL : 0ULL) & op.mask;
+    case CellKind::Lt: return (a < b ? 1ULL : 0ULL) & op.mask;
+    case CellKind::Le: return (a <= b ? 1ULL : 0ULL) & op.mask;
+    case CellKind::Gt: return (a > b ? 1ULL : 0ULL) & op.mask;
+    case CellKind::Ge: return (a >= b ? 1ULL : 0ULL) & op.mask;
+    case CellKind::Mux: return (a == 0 ? b : vals_[op.c]) & op.mask;
+    default:
+        throw SimulationError("compiled-sim: evalOp on sequential op");
+    }
+}
+
+void CompiledSim::publishSeqOutputs() {
+    if (seqDirty_.empty()) {
+        return;
+    }
+    for (const std::uint32_t idx : seqDirty_) {
+        seqDirtyFlag_[idx] = 0;
+        const SeqOp& op = seqOps_[idx];
+        const std::uint64_t v = state_[idx] & op.mask;
+        if (vals_[op.out] != v) {
+            vals_[op.out] = v;
+            markConsumers(op.out);
+        }
+    }
+    seqDirty_.clear();
+}
+
+void CompiledSim::evaluate() {
+    // Sequential outputs publish first (they are sources of the comb
+    // graph), then one sweep over the level worklists. Ops enqueued
+    // while settling always land on a strictly higher level, so a single
+    // forward pass reaches a fixed point.
+    publishSeqOutputs();
+    for (std::size_t level = 0; level < worklist_.size(); ++level) {
+        auto& bucket = worklist_[level];
+        for (std::size_t i = 0; i < bucket.size(); ++i) {
+            const std::uint32_t idx = bucket[i];
+            pending_[idx] = 0;
+            const Op& op = ops_[idx];
+            const std::uint64_t v = evalOp(op);
+            ++opsEvaluated_;
+            if (vals_[op.dst] != v) {
+                vals_[op.dst] = v;
+                markConsumers(op.dst);
+            }
+        }
+        bucket.clear();
+    }
+}
+
+void CompiledSim::step() {
+    evaluate();
+    for (std::uint32_t idx = 0; idx < seqOps_.size(); ++idx) {
+        const SeqOp& op = seqOps_[idx];
+        std::uint64_t next = state_[idx];
+        switch (op.kind) {
+        case SeqKind::RegAlways:
+            next = vals_[op.d] & op.mask;
+            break;
+        case SeqKind::RegEnable:
+            if (vals_[op.en] != 0) {
+                next = vals_[op.d] & op.mask;
+            }
+            break;
+        case SeqKind::Bram: {
+            const auto addr = static_cast<std::size_t>(vals_[op.d]);
+            auto& mem = mems_[op.mem];
+            if (addr >= mem.size()) {
+                throw SimulationError(format("bram '%s' address %zu out of range %zu",
+                                             netlist_.cell(op.cell).name.c_str(), addr,
+                                             mem.size()));
+            }
+            if (vals_[op.we] != 0) {
+                mem[addr] = vals_[op.en] & op.mask;
+            }
+            next = mem[addr];  // synchronous read (read-after-write)
+            break;
+        }
+        case SeqKind::Fsm: {
+            bool anyStatus = op.statusCount == 0;
+            for (std::uint32_t s = 0; s < op.statusCount && !anyStatus; ++s) {
+                anyStatus = vals_[fsmStatus_[op.statusFirst + s]] != 0;
+            }
+            if (anyStatus && state_[idx] + 1 < static_cast<std::uint64_t>(op.param)) {
+                next = state_[idx] + 1;
+            }
+            break;
+        }
+        }
+        if (next != state_[idx]) {
+            state_[idx] = next;
+            if (seqDirtyFlag_[idx] == 0) {
+                seqDirtyFlag_[idx] = 1;
+                seqDirty_.push_back(idx);
+            }
+        }
+    }
+    ++cycles_;
+}
+
+void CompiledSim::setInput(std::string_view port, std::uint64_t value) {
+    const auto it = portsByName_.find(std::string(port));
+    const Port& p = it != portsByName_.end() ? *it->second : netlist_.port(port);
+    if (p.dir != PortDir::In) {
+        throw SimulationError(format("cannot drive output port '%s'",
+                                     std::string(port).c_str()));
+    }
+    const std::uint64_t v = value & maskForWidth(p.width);
+    if (vals_[p.net] != v) {
+        vals_[p.net] = v;
+        markConsumers(p.net);
+    }
+}
+
+std::uint64_t CompiledSim::output(std::string_view port) const {
+    const auto it = portsByName_.find(std::string(port));
+    const Port& p = it != portsByName_.end() ? *it->second : netlist_.port(port);
+    return vals_[p.net];
+}
+
+std::uint64_t CompiledSim::netValue(NetId id) const {
+    require(id < vals_.size(), "net id out of range");
+    return vals_[id];
+}
+
+std::vector<std::uint64_t> CompiledSim::memoryContents(CellId id) const {
+    require(id < netlist_.cells().size(), "cell id out of range");
+    for (const SeqOp& op : seqOps_) {
+        if (op.cell == id && op.kind == SeqKind::Bram) {
+            return mems_[op.mem];
+        }
+    }
+    return {};
+}
+
+void CompiledSim::reset() {
+    std::fill(state_.begin(), state_.end(), 0);
+    for (auto& mem : mems_) {
+        std::fill(mem.begin(), mem.end(), 0);
+    }
+    cycles_ = 0;
+    // Publish the zeroed state at the next evaluate(), mirroring the
+    // event-driven engine (reset leaves net values stale until then).
+    for (std::uint32_t idx = 0; idx < seqOps_.size(); ++idx) {
+        if (seqDirtyFlag_[idx] == 0) {
+            seqDirtyFlag_[idx] = 1;
+            seqDirty_.push_back(idx);
+        }
+    }
+}
+
+} // namespace socgen::rtl

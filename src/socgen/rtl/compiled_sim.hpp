@@ -1,0 +1,129 @@
+#pragma once
+
+#include "socgen/common/error.hpp"
+#include "socgen/rtl/sim_backend.hpp"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace socgen::rtl {
+
+/// Raised by the CompiledSim compiler when the netlist contains a
+/// construct it cannot lower. makeSimulator(SimBackend::Auto) catches
+/// exactly this type and falls back to the event-driven engine.
+class UnsupportedNetlistError : public SimulationError {
+public:
+    explicit UnsupportedNetlistError(const std::string& message)
+        : SimulationError("compiled-sim: " + message) {}
+};
+
+/// Compiled levelized simulation backend.
+///
+/// Construction levelizes the combinational subgraph once (level =
+/// longest combinational path from a source) and flattens it into a
+/// linear evaluation program: one fixed-layout op per combinational
+/// cell, carrying resolved value-array slots and a precomputed width
+/// mask, sorted by level. Sequential cells (Reg/Bram/Fsm) become a
+/// separate update program applied at the clock edge.
+///
+/// Execution is two-state (0/1 per bit), word-packed: every net's value
+/// lives in one 64-bit word of a flat array indexed by NetId. Dirty
+/// tracking skips quiescent regions: an op re-evaluates only when one of
+/// its input nets changed value, and a changed output enqueues its
+/// consumers into per-level worklists, so a settled subgraph costs
+/// nothing per cycle. There is no per-event heap scheduling anywhere:
+/// a whole cycle is one sweep over the level worklists plus one sweep
+/// over the sequential update program.
+///
+/// Observable semantics are bit-identical to NetlistSimulator at every
+/// post-evaluate()/post-step() point (enforced by tests/test_rtl_diff_sim);
+/// values read between a step() and the next evaluate() follow the same
+/// staleness rule as the event-driven engine (sequential outputs publish
+/// at the start of the next evaluate()).
+///
+/// Test hook: the SOCGEN_COMPILED_SIM_DENY environment variable may hold
+/// a comma-separated list of cell-kind names (e.g. "FSM,BRAM"); netlists
+/// containing a denied kind are reported as unsupported, exercising the
+/// Auto-fallback path without inventing an unsupported construct.
+class CompiledSim final : public Simulator {
+public:
+    /// Compiles `netlist` (kept by reference; must outlive the sim).
+    /// Throws UnsupportedNetlistError when a cell kind cannot be lowered
+    /// and socgen::Error on structural problems (combinational cycles).
+    explicit CompiledSim(const Netlist& netlist);
+
+    [[nodiscard]] std::string_view backendName() const override { return "compiled"; }
+    void setInput(std::string_view port, std::uint64_t value) override;
+    void evaluate() override;
+    void step() override;
+    [[nodiscard]] std::uint64_t output(std::string_view port) const override;
+    [[nodiscard]] std::uint64_t netValue(NetId id) const override;
+    [[nodiscard]] std::vector<std::uint64_t> memoryContents(CellId id) const override;
+    void reset() override;
+    [[nodiscard]] std::uint64_t cycleCount() const override { return cycles_; }
+
+    // -- program introspection (tests, docs, benchmarks) ----------------------
+    /// Number of combinational ops in the evaluation program.
+    [[nodiscard]] std::size_t opCount() const { return ops_.size(); }
+    /// Number of levels after levelization (longest comb path + 1).
+    [[nodiscard]] std::size_t levelCount() const { return levels_.size(); }
+    /// Total op evaluations executed so far — with dirty skipping this is
+    /// typically far below opCount() × evaluate() calls.
+    [[nodiscard]] std::uint64_t opsEvaluated() const { return opsEvaluated_; }
+
+private:
+    struct Op {
+        CellKind code = CellKind::Const;
+        std::uint32_t dst = 0;          ///< output net slot
+        std::uint32_t a = 0, b = 0, c = 0;  ///< input net slots
+        std::uint64_t mask = 0;         ///< width mask of the driving cell
+        std::uint64_t imm = 0;          ///< pre-masked Const value
+    };
+    enum class SeqKind : std::uint8_t { RegAlways, RegEnable, Bram, Fsm };
+    struct SeqOp {
+        SeqKind kind = SeqKind::RegAlways;
+        std::uint32_t cell = 0;         ///< originating CellId
+        std::uint32_t out = 0;          ///< output net slot
+        std::uint32_t d = 0;            ///< Reg d / Bram addr
+        std::uint32_t en = 0;           ///< Reg en / Bram wdata
+        std::uint32_t we = 0;           ///< Bram we
+        std::uint64_t mask = 0;
+        std::int64_t param = 0;         ///< Fsm state count
+        std::uint32_t mem = 0;          ///< index into mems_ (Bram only)
+        std::uint32_t statusFirst = 0;  ///< Fsm status slots in fsmStatus_
+        std::uint32_t statusCount = 0;
+    };
+
+    void compile(const Netlist& netlist);
+    void markAllOpsDirty();
+    void markConsumers(std::uint32_t net);
+    void publishSeqOutputs();
+    [[nodiscard]] std::uint64_t evalOp(const Op& op) const;
+
+    const Netlist& netlist_;
+
+    // Evaluation program (immutable after compile).
+    std::vector<Op> ops_;                       ///< sorted by level
+    std::vector<std::uint32_t> opLevel_;        ///< level of each op
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> levels_;  ///< [first, count) into ops_
+    std::vector<std::uint32_t> consumers_;      ///< CSR payload: op indices
+    std::vector<std::uint32_t> consumerFirst_;  ///< per net, index into consumers_
+    std::vector<SeqOp> seqOps_;
+    std::vector<std::uint32_t> fsmStatus_;      ///< flattened Fsm status slots
+    std::unordered_map<std::string, const Port*> portsByName_;
+
+    // Runtime state.
+    std::vector<std::uint64_t> vals_;           ///< one word per net
+    std::vector<std::uint64_t> state_;          ///< per seq op
+    std::vector<std::vector<std::uint64_t>> mems_;
+    std::vector<std::uint8_t> pending_;         ///< per op: queued in worklist
+    std::vector<std::vector<std::uint32_t>> worklist_;  ///< per level
+    std::vector<std::uint32_t> seqDirty_;       ///< seq ops whose state changed
+    std::vector<std::uint8_t> seqDirtyFlag_;
+    std::uint64_t cycles_ = 0;
+    std::uint64_t opsEvaluated_ = 0;
+};
+
+} // namespace socgen::rtl

@@ -127,6 +127,11 @@ std::uint64_t NetlistSimulator::netValue(NetId id) const {
     return netValues_[id];
 }
 
+std::vector<std::uint64_t> NetlistSimulator::memoryContents(CellId id) const {
+    require(id < brams_.size(), "cell id out of range");
+    return brams_[id];
+}
+
 void NetlistSimulator::reset() {
     std::fill(state_.begin(), state_.end(), 0);
     for (auto& mem : brams_) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "socgen/rtl/netlist.hpp"
+#include "socgen/rtl/sim_backend.hpp"
 
 #include <cstdint>
 #include <string_view>
@@ -8,33 +9,41 @@
 
 namespace socgen::rtl {
 
-/// Two-phase (evaluate / clock) simulator for a structural Netlist.
-/// Values are unsigned, truncated to each net's width. Used to validate
-/// generated RTL against the HLS functional model on small kernels, and
-/// by unit tests on hand-built circuits.
-class NetlistSimulator {
+/// Two-phase (evaluate / clock) event-driven simulator for a structural
+/// Netlist: every cycle walks the cell tables and re-evaluates every
+/// cell. Values are unsigned, truncated to each net's width. This is the
+/// reference backend: it covers every construct, and the compiled
+/// backend (CompiledSim) is differentially tested against it. Used to
+/// validate generated RTL against the HLS functional model on small
+/// kernels, and by unit tests on hand-built circuits.
+class NetlistSimulator final : public Simulator {
 public:
     explicit NetlistSimulator(const Netlist& netlist);
 
+    [[nodiscard]] std::string_view backendName() const override { return "event"; }
+
     /// Drives an input port for subsequent evaluations.
-    void setInput(std::string_view port, std::uint64_t value);
+    void setInput(std::string_view port, std::uint64_t value) override;
 
     /// Settles combinational logic with current inputs and state.
-    void evaluate();
+    void evaluate() override;
 
     /// evaluate() then advance registers/BRAMs/FSMs by one clock edge.
-    void step();
+    void step() override;
 
     /// Value of an output (or any) port after the last evaluate()/step().
-    [[nodiscard]] std::uint64_t output(std::string_view port) const;
+    [[nodiscard]] std::uint64_t output(std::string_view port) const override;
 
     /// Raw net value (post-evaluation); mainly for tests.
-    [[nodiscard]] std::uint64_t netValue(NetId id) const;
+    [[nodiscard]] std::uint64_t netValue(NetId id) const override;
+
+    /// Contents of a Bram cell's memory (empty for non-Bram cells).
+    [[nodiscard]] std::vector<std::uint64_t> memoryContents(CellId id) const override;
 
     /// Resets all sequential state to zero.
-    void reset();
+    void reset() override;
 
-    [[nodiscard]] std::uint64_t cycleCount() const { return cycles_; }
+    [[nodiscard]] std::uint64_t cycleCount() const override { return cycles_; }
 
 private:
     [[nodiscard]] std::uint64_t truncate(std::uint64_t value, unsigned width) const;

@@ -1,0 +1,71 @@
+#include "socgen/rtl/sim_backend.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+#include "socgen/rtl/compiled_sim.hpp"
+#include "socgen/rtl/netlist_sim.hpp"
+
+#include <cstdlib>
+
+namespace socgen::rtl {
+
+std::string_view simBackendName(SimBackend backend) {
+    switch (backend) {
+    case SimBackend::Auto: return "auto";
+    case SimBackend::EventDriven: return "event";
+    case SimBackend::Compiled: return "compiled";
+    }
+    return "?";
+}
+
+SimBackend simBackendFromString(std::string_view text) {
+    if (text == "auto") {
+        return SimBackend::Auto;
+    }
+    if (text == "event" || text == "event-driven") {
+        return SimBackend::EventDriven;
+    }
+    if (text == "compiled") {
+        return SimBackend::Compiled;
+    }
+    throw Error(format("unknown sim backend '%s' (expected auto|event|compiled)",
+                       std::string(text).c_str()));
+}
+
+SimBackend simBackendFromEnv(SimBackend fallback) {
+    const char* env = std::getenv("SOCGEN_SIM_BACKEND");
+    if (env == nullptr || *env == '\0') {
+        return fallback;
+    }
+    return simBackendFromString(env);
+}
+
+SimBackend resolveSimBackend(SimBackend requested) {
+    if (requested == SimBackend::Auto) {
+        requested = simBackendFromEnv(SimBackend::Auto);
+    }
+    return requested == SimBackend::Auto ? SimBackend::Compiled : requested;
+}
+
+std::unique_ptr<Simulator> makeSimulator(const Netlist& netlist, SimBackend backend) {
+    if (backend == SimBackend::Auto) {
+        backend = simBackendFromEnv(SimBackend::Auto);
+    }
+    switch (backend) {
+    case SimBackend::EventDriven:
+        return std::make_unique<NetlistSimulator>(netlist);
+    case SimBackend::Compiled:
+        return std::make_unique<CompiledSim>(netlist);
+    case SimBackend::Auto:
+        break;
+    }
+    // Auto: compiled unless the compiler reports an unsupported
+    // construct, in which case the event-driven engine covers it.
+    try {
+        return std::make_unique<CompiledSim>(netlist);
+    } catch (const UnsupportedNetlistError&) {
+        return std::make_unique<NetlistSimulator>(netlist);
+    }
+}
+
+} // namespace socgen::rtl

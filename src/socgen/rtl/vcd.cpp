@@ -30,7 +30,7 @@ std::string binaryOf(std::uint64_t value, unsigned width) {
 
 } // namespace
 
-VcdTrace::VcdTrace(const Netlist& netlist, const NetlistSimulator& simulator,
+VcdTrace::VcdTrace(const Netlist& netlist, const Simulator& simulator,
                    std::vector<NetId> extraNets)
     : netlist_(netlist), simulator_(simulator) {
     std::size_t index = 0;

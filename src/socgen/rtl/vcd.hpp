@@ -1,20 +1,20 @@
 #pragma once
 
-#include "socgen/rtl/netlist_sim.hpp"
+#include "socgen/rtl/sim_backend.hpp"
 
 #include <string>
 #include <vector>
 
 namespace socgen::rtl {
 
-/// Value-change-dump (VCD) tracer for a NetlistSimulator: sample() once
-/// per clock cycle, then render() the standard VCD text loadable in
-/// GTKWave — the debugging artifact a hardware designer expects from a
-/// generated core.
+/// Value-change-dump (VCD) tracer for any RTL Simulator backend:
+/// sample() once per clock cycle, then render() the standard VCD text
+/// loadable in GTKWave — the debugging artifact a hardware designer
+/// expects from a generated core.
 class VcdTrace {
 public:
     /// Traces every module port, plus any extra nets given by id.
-    VcdTrace(const Netlist& netlist, const NetlistSimulator& simulator,
+    VcdTrace(const Netlist& netlist, const Simulator& simulator,
              std::vector<NetId> extraNets = {});
 
     /// Records the current values (call after evaluate()/step()).
@@ -37,7 +37,7 @@ private:
     };
 
     const Netlist& netlist_;
-    const NetlistSimulator& simulator_;
+    const Simulator& simulator_;
     std::vector<Signal> signals_;
     std::size_t samples_ = 0;
 };

@@ -419,6 +419,37 @@ TEST(FlowRecovery, ChangedInputsResetTheJournal) {
     std::filesystem::remove_all(dir);
 }
 
+TEST(FlowRecovery, SwitchedSimBackendResetsTheJournal) {
+    // The resolved simulation backend is folded into the flow
+    // fingerprint: a journal written under the compiled engine must not
+    // be resumed under the event-driven one (sim-derived outputs could
+    // otherwise replay across backends), while HLS cores — which do not
+    // depend on how they are later simulated — still come from the store.
+    const hls::KernelLibrary kernels = exampleKernels();
+    const std::string dir = freshDir("simbackend");
+    FlowOptions options;
+    options.outputDir = dir;
+    (void)Flow(options, kernels).run("proj", quickstartGraph());  // Auto -> compiled
+
+    FlowOptions switched = options;
+    switched.simBackend = rtl::SimBackend::EventDriven;
+    const FlowResult rebuilt = Flow(switched, kernels).run("proj", quickstartGraph());
+    EXPECT_EQ(rebuilt.diagnostics.storeHits(), 3u);
+    EXPECT_EQ(rebuilt.diagnostics.engineRuns(), 0u);
+    EXPECT_EQ(rebuilt.diagnostics.resumedStages, 0u);
+    for (const auto& n : rebuilt.diagnostics.nodes) {
+        EXPECT_FALSE(n.resumedFromJournal) << n.node;
+    }
+
+    // The SOCGEN_SIM_BACKEND override resolves to the same fingerprint
+    // as the explicit option, so this run resumes the event journal.
+    ::setenv("SOCGEN_SIM_BACKEND", "event", 1);
+    const FlowResult viaEnv = Flow(options, kernels).run("proj", quickstartGraph());
+    ::unsetenv("SOCGEN_SIM_BACKEND");
+    EXPECT_GT(viaEnv.diagnostics.resumedStages, 0u);
+    std::filesystem::remove_all(dir);
+}
+
 // ---------------------------------------------------------------------------
 // Codec: a decoded artifact is interchangeable with a fresh result, and
 // damage anywhere in the byte stream is detected.

@@ -1,7 +1,7 @@
 #include "socgen/apps/kernels.hpp"
 #include "socgen/apps/otsu.hpp"
 #include "socgen/hls/engine.hpp"
-#include "socgen/rtl/netlist_sim.hpp"
+#include "socgen/rtl/sim_backend.hpp"
 
 #include <gtest/gtest.h>
 
@@ -67,7 +67,8 @@ class ScalarNetlistEquivalence
 TEST_P(ScalarNetlistEquivalence, AddMatches) {
     const auto [a, b] = GetParam();
     const HlsResult r = synth(apps::makeAddKernel());
-    rtl::NetlistSimulator sim(r.netlist);
+    const auto simPtr = rtl::makeSimulator(r.netlist);
+    rtl::Simulator& sim = *simPtr;
     sim.setInput("ap_start", 1);
     sim.setInput("A", a);
     sim.setInput("B", b);
@@ -85,7 +86,8 @@ TEST_P(ScalarNetlistEquivalence, AddMatches) {
 TEST_P(ScalarNetlistEquivalence, MulMatches) {
     const auto [a, b] = GetParam();
     const HlsResult r = synth(apps::makeMulKernel());
-    rtl::NetlistSimulator sim(r.netlist);
+    const auto simPtr = rtl::makeSimulator(r.netlist);
+    rtl::Simulator& sim = *simPtr;
     sim.setInput("ap_start", 1);
     sim.setInput("A", a);
     sim.setInput("B", b);

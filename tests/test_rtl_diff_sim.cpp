@@ -1,0 +1,361 @@
+// Differential test between the two RTL simulation backends: the
+// event-driven reference engine (NetlistSimulator) and the compiled
+// levelized engine (CompiledSim) must produce cycle-identical signal
+// traces — every net, every cycle — and identical final memory state on
+// every design we can throw at them: seeded random netlists covering
+// the full cell vocabulary, and the HLS netlists of all four Otsu case
+// study architectures. ctest label: diff-sim.
+
+#include "netlist_gen.hpp"
+#include "socgen/apps/kernels.hpp"
+#include "socgen/apps/otsu_project.hpp"
+#include "socgen/common/error.hpp"
+#include "socgen/common/textfile.hpp"
+#include "socgen/hls/engine.hpp"
+#include "socgen/rtl/compiled_sim.hpp"
+#include "socgen/rtl/netlist_sim.hpp"
+#include "socgen/rtl/primitives.hpp"
+#include "socgen/rtl/sim_backend.hpp"
+#include "socgen/rtl/vcd.hpp"
+#include "socgen/sim/engine.hpp"
+#include "socgen/soc/rtl_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace socgen::rtl {
+namespace {
+
+/// Per-cycle stimulus: port name -> value to drive before the step.
+using Stimulus = std::map<std::string, std::uint64_t>;
+
+/// Steps both backends in lockstep for `cycles` cycles, asserting after
+/// every step that all net values agree, and at the end that every BRAM
+/// holds identical contents and both engines counted the same cycles.
+/// A SimulationError (e.g. BRAM address overflow from random stimulus)
+/// must be raised by both backends on the same cycle to count as
+/// agreement.
+void expectLockstep(const Netlist& netlist,
+                    const std::vector<Stimulus>& stimulus) {
+    NetlistSimulator event(netlist);
+    CompiledSim compiled(netlist);
+
+    const auto compareNets = [&](std::size_t cycle, const char* when) {
+        for (NetId id = 0; id < netlist.nets().size(); ++id) {
+            ASSERT_EQ(event.netValue(id), compiled.netValue(id))
+                << netlist.name() << ": net '" << netlist.net(id).name << "' (id " << id
+                << ") diverged " << when << " cycle " << cycle;
+        }
+    };
+
+    for (std::size_t cycle = 0; cycle < stimulus.size(); ++cycle) {
+        for (const auto& [port, value] : stimulus[cycle]) {
+            event.setInput(port, value);
+            compiled.setInput(port, value);
+        }
+        bool eventThrew = false;
+        bool compiledThrew = false;
+        try {
+            event.step();
+        } catch (const SimulationError&) {
+            eventThrew = true;
+        }
+        try {
+            compiled.step();
+        } catch (const SimulationError&) {
+            compiledThrew = true;
+        }
+        ASSERT_EQ(eventThrew, compiledThrew)
+            << netlist.name() << ": only one backend threw on cycle " << cycle;
+        if (eventThrew) {
+            return;  // parity on the error path is all we require
+        }
+        compareNets(cycle, "after step on");
+    }
+    event.evaluate();
+    compiled.evaluate();
+    compareNets(stimulus.size(), "after final evaluate at");
+
+    EXPECT_EQ(event.cycleCount(), compiled.cycleCount());
+    for (CellId id = 0; id < netlist.cells().size(); ++id) {
+        if (netlist.cell(id).kind == CellKind::Bram) {
+            EXPECT_EQ(event.memoryContents(id), compiled.memoryContents(id))
+                << netlist.name() << ": BRAM '" << netlist.cell(id).name
+                << "' final contents diverged";
+        }
+    }
+}
+
+/// Random per-cycle stimulus for every input port; ports change value
+/// with probability 1/4 so parts of the design stay quiescent (the
+/// compiled backend's dirty skipping must not change observable state).
+std::vector<Stimulus> randomStimulus(const Netlist& netlist, std::uint64_t seed,
+                                     unsigned cycles) {
+    testing::SplitMix64 rng(seed ^ 0xa0761d6478bd642fULL);
+    std::vector<Stimulus> out(cycles);
+    for (unsigned cycle = 0; cycle < cycles; ++cycle) {
+        for (const auto& port : netlist.ports()) {
+            if (port.dir != PortDir::In) {
+                continue;
+            }
+            if (cycle == 0 || rng.below(4) == 0) {
+                out[cycle][port.name] = rng.next();
+            }
+        }
+    }
+    return out;
+}
+
+class RandomNetlistDiff : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomNetlistDiff, BackendsAgreeCycleForCycle) {
+    const std::uint64_t seed = GetParam();
+    const Netlist netlist = testing::randomNetlist(seed);
+    expectLockstep(netlist, randomStimulus(netlist, seed, 200));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetlistDiff,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u, 11u,
+                                           12u, 13u, 14u, 15u, 16u, 17u, 18u, 19u, 20u,
+                                           0xdeadbeefu, 0xcafef00du, 0x5eed5eedu,
+                                           0x0123456789abcdefu));
+
+TEST(RandomNetlistDiff, LargeNetlistAgrees) {
+    testing::NetlistGenOptions opt;
+    opt.combCells = 600;
+    opt.regs = 48;
+    opt.brams = 6;
+    opt.fsms = 3;
+    opt.inputPorts = 8;
+    const Netlist netlist = testing::randomNetlist(424242, opt);
+    expectLockstep(netlist, randomStimulus(netlist, 424242, 120));
+}
+
+// ---------------------------------------------------------------------------
+// Reference primitives (hand-built circuits from rtl/primitives.hpp).
+
+TEST(PrimitiveDiff, CounterAdderMacAgree) {
+    for (const Netlist& netlist :
+         {makeCounter("ctr", 16), makeAdder("add", 32), makeMac("mac", 24)}) {
+        expectLockstep(netlist, randomStimulus(netlist, 99, 64));
+    }
+}
+
+TEST(PrimitiveDiff, BramOutOfRangeThrowsOnBothBackends) {
+    NetlistBuilder b("mem");
+    const NetId addr = b.inputPort("addr", 8);
+    const NetId wdata = b.inputPort("wdata", 16);
+    const NetId we = b.inputPort("we", 1);
+    b.outputPort("rdata", b.bram(addr, wdata, we, 16, 4));
+    expectLockstep(b.netlist(), {{{"addr", 9}, {"we", 1}, {"wdata", 1}}});
+}
+
+// ---------------------------------------------------------------------------
+// Otsu case study: every HLS netlist of Arch1..Arch4 (Table I).
+
+std::vector<Stimulus> hlsCoreStimulus(const Netlist& netlist, std::uint64_t seed,
+                                      unsigned cycles) {
+    testing::SplitMix64 rng(seed);
+    std::vector<Stimulus> out(cycles);
+    for (unsigned cycle = 0; cycle < cycles; ++cycle) {
+        for (const auto& port : netlist.ports()) {
+            if (port.dir != PortDir::In) {
+                continue;
+            }
+            const std::string& name = port.name;
+            if (name == "ap_start") {
+                out[cycle][name] = 1;
+            } else if (name.ends_with("_tdata")) {
+                out[cycle][name] = rng.below(256);  // pixel-sized payloads
+            } else if (name.ends_with("_tvalid") || name.ends_with("_tready")) {
+                out[cycle][name] = rng.below(4) != 0 ? 1 : 0;
+            } else if (cycle == 0) {
+                out[cycle][name] = rng.below(256);  // scalar argument
+            }
+        }
+    }
+    return out;
+}
+
+TEST(OtsuArchDiff, AllArchitecturesAgreeOnBothBackends) {
+    const core::Htg htg = apps::makeOtsuHtg();
+    const hls::KernelLibrary kernels = apps::makeOtsuKernelLibrary(4096);
+    core::FlowOptions options = apps::otsuFlowOptions();
+    options.runSynthesis = false;
+    options.generateSoftware = false;
+    const auto cache = std::make_shared<core::HlsCache>();
+    for (int arch = 1; arch <= 4; ++arch) {
+        core::Flow flow(options, kernels, cache);
+        const core::FlowResult result = flow.run(
+            "diffsim_arch" + std::to_string(arch),
+            core::lowerToTaskGraph(htg, apps::otsuArchPartition(arch)));
+        ASSERT_FALSE(result.hlsResults.empty()) << "arch " << arch;
+        for (const auto& [node, hlsResult] : result.hlsResults) {
+            SCOPED_TRACE("arch " + std::to_string(arch) + " core " + node);
+            expectLockstep(hlsResult.netlist,
+                           hlsCoreStimulus(hlsResult.netlist,
+                                           0x07500000u + static_cast<unsigned>(arch),
+                                           300));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VCD traces: byte-identical between backends (and committable as a
+// bench artifact via SOCGEN_DUMP_TRACE_DIR).
+
+TEST(TraceDiff, CounterVcdIsByteIdenticalAcrossBackends) {
+    const Netlist netlist = makeCounter("ctr", 8);
+    std::string rendered[2];
+    int slot = 0;
+    for (const SimBackend backend : {SimBackend::EventDriven, SimBackend::Compiled}) {
+        const auto sim = makeSimulator(netlist, backend);
+        VcdTrace trace(netlist, *sim);
+        sim->setInput("en", 1);
+        for (int cycle = 0; cycle < 24; ++cycle) {
+            if (cycle == 10) {
+                sim->setInput("en", 0);
+            }
+            if (cycle == 14) {
+                sim->setInput("en", 1);
+            }
+            sim->step();
+            sim->evaluate();
+            trace.sample();
+        }
+        rendered[slot++] = trace.render();
+    }
+    EXPECT_EQ(rendered[0], rendered[1]);
+    if (const char* dir = std::getenv("SOCGEN_DUMP_TRACE_DIR")) {
+        writeTextFile(std::string(dir) + "/diff_sim_counter.vcd", rendered[1]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend selection and the Auto-fallback rule.
+
+/// Saves an environment variable and restores it on scope exit, so the
+/// selection tests behave the same under the CI diff-sim job (which runs
+/// the whole label with SOCGEN_SIM_BACKEND exported).
+class EnvGuard {
+public:
+    explicit EnvGuard(const char* name) : name_(name) {
+        if (const char* value = std::getenv(name)) {
+            saved_ = value;
+        }
+        ::unsetenv(name);
+    }
+    ~EnvGuard() {
+        if (saved_.has_value()) {
+            ::setenv(name_, saved_->c_str(), 1);
+        } else {
+            ::unsetenv(name_);
+        }
+    }
+    EnvGuard(const EnvGuard&) = delete;
+    EnvGuard& operator=(const EnvGuard&) = delete;
+
+private:
+    const char* name_;
+    std::optional<std::string> saved_;
+};
+
+TEST(BackendSelect, NamesAndParsing) {
+    EXPECT_EQ(simBackendName(SimBackend::EventDriven), "event");
+    EXPECT_EQ(simBackendName(SimBackend::Compiled), "compiled");
+    EXPECT_EQ(simBackendFromString("event-driven"), SimBackend::EventDriven);
+    EXPECT_EQ(simBackendFromString("compiled"), SimBackend::Compiled);
+    EXPECT_EQ(simBackendFromString("auto"), SimBackend::Auto);
+    EXPECT_THROW((void)simBackendFromString("verilator"), Error);
+}
+
+TEST(BackendSelect, ExplicitBackendsReportThemselves) {
+    const Netlist netlist = makeCounter("ctr", 8);
+    EXPECT_EQ(makeSimulator(netlist, SimBackend::EventDriven)->backendName(), "event");
+    EXPECT_EQ(makeSimulator(netlist, SimBackend::Compiled)->backendName(), "compiled");
+}
+
+TEST(BackendSelect, EnvOverridesAuto) {
+    const EnvGuard guard("SOCGEN_SIM_BACKEND");
+    const Netlist netlist = makeCounter("ctr", 8);
+    EXPECT_EQ(makeSimulator(netlist)->backendName(), "compiled");  // Auto default
+    EXPECT_EQ(resolveSimBackend(), SimBackend::Compiled);
+    ::setenv("SOCGEN_SIM_BACKEND", "event", 1);
+    EXPECT_EQ(makeSimulator(netlist)->backendName(), "event");
+    EXPECT_EQ(resolveSimBackend(), SimBackend::EventDriven);
+    ::setenv("SOCGEN_SIM_BACKEND", "compiled", 1);
+    EXPECT_EQ(makeSimulator(netlist)->backendName(), "compiled");
+    // An explicit backend beats the env override.
+    EXPECT_EQ(resolveSimBackend(SimBackend::EventDriven), SimBackend::EventDriven);
+}
+
+TEST(BackendSelect, AutoFallsBackWhenCompilerDeclinesAConstruct) {
+    // The deny hook stands in for a future construct the compiler does
+    // not cover: Auto must fall back to the event-driven engine for
+    // affected netlists and keep compiling everything else.
+    const EnvGuard backendGuard("SOCGEN_SIM_BACKEND");
+    const EnvGuard denyGuard("SOCGEN_COMPILED_SIM_DENY");
+    const Netlist counter = makeCounter("ctr", 8);  // contains Reg cells
+    const Netlist adder = makeAdder("add", 8);      // purely combinational
+    ::setenv("SOCGEN_COMPILED_SIM_DENY", "REG", 1);
+    EXPECT_EQ(makeSimulator(counter)->backendName(), "event");
+    EXPECT_EQ(makeSimulator(adder)->backendName(), "compiled");
+    EXPECT_THROW((void)makeSimulator(counter, SimBackend::Compiled),
+                 UnsupportedNetlistError);
+    ::unsetenv("SOCGEN_COMPILED_SIM_DENY");
+    EXPECT_EQ(makeSimulator(counter)->backendName(), "compiled");
+}
+
+TEST(EngineHosting, RtlCoreRunsIdenticallyUnderBothBackends) {
+    // A generated accelerator hosted in the SoC cycle engine via
+    // RtlCoreComponent must reach ap_done on the same engine cycle with
+    // the same result whichever RTL backend clocks the netlist.
+    const hls::HlsResult r = hls::HlsEngine{}.synthesize(apps::makeAddKernel(), {});
+    std::uint64_t cycles[2] = {0, 0};
+    std::uint64_t sum[2] = {0, 0};
+    int slot = 0;
+    for (const SimBackend backend : {SimBackend::EventDriven, SimBackend::Compiled}) {
+        soc::RtlCoreComponent core("add_core", r.netlist, "ap_done", backend);
+        EXPECT_EQ(core.sim().backendName(), simBackendName(backend));
+        core.sim().setInput("ap_start", 1);
+        core.sim().setInput("A", 19);
+        core.sim().setInput("B", 23);
+        sim::Engine engine;
+        engine.add(core);
+        cycles[slot] = engine.runUntilIdle(1000);
+        sum[slot] = core.sim().output("return");
+        EXPECT_TRUE(core.idle());
+        EXPECT_NE(core.debugState().find(simBackendName(backend)), std::string::npos);
+        ++slot;
+    }
+    EXPECT_EQ(sum[0], 42u);
+    EXPECT_EQ(sum[0], sum[1]);
+    EXPECT_EQ(cycles[0], cycles[1]);
+}
+
+TEST(CompiledIntrospection, DirtySkippingGoesQuiescent) {
+    // A disabled counter settles: after the first few cycles the
+    // compiled backend should evaluate zero ops per step.
+    const Netlist netlist = makeCounter("ctr", 8);
+    CompiledSim sim(netlist);
+    sim.setInput("en", 0);
+    for (int i = 0; i < 4; ++i) {
+        sim.step();
+    }
+    const std::uint64_t settled = sim.opsEvaluated();
+    for (int i = 0; i < 100; ++i) {
+        sim.step();
+    }
+    EXPECT_EQ(sim.opsEvaluated(), settled);  // quiescent subgraph skipped
+    EXPECT_GT(sim.levelCount(), 1u);
+    EXPECT_EQ(sim.opCount(), netlist.topoOrder().size());
+}
+
+} // namespace
+} // namespace socgen::rtl

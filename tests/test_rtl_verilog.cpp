@@ -1,5 +1,6 @@
 #include "socgen/common/error.hpp"
 #include "socgen/rtl/primitives.hpp"
+#include "socgen/rtl/sim_backend.hpp"
 #include "socgen/rtl/vcd.hpp"
 #include "socgen/rtl/verilog.hpp"
 
@@ -74,7 +75,8 @@ TEST(Verilog, DeterministicAndRejectsInvalid) {
 
 TEST(Vcd, HeaderDeclaresAllPorts) {
     const Netlist n = makeCounter("ctr", 8);
-    NetlistSimulator sim(n);
+    const auto simPtr = makeSimulator(n);
+    Simulator& sim = *simPtr;
     VcdTrace trace(n, sim);
     sim.setInput("en", 1);
     sim.evaluate();
@@ -89,7 +91,8 @@ TEST(Vcd, HeaderDeclaresAllPorts) {
 
 TEST(Vcd, RecordsValueChangesOnly) {
     const Netlist n = makeCounter("ctr", 8);
-    NetlistSimulator sim(n);
+    const auto simPtr = makeSimulator(n);
+    Simulator& sim = *simPtr;
     VcdTrace trace(n, sim);
     sim.setInput("en", 0);
     for (int i = 0; i < 5; ++i) {
@@ -107,7 +110,8 @@ TEST(Vcd, RecordsValueChangesOnly) {
 
 TEST(Vcd, CountingProducesPerCycleChanges) {
     const Netlist n = makeCounter("ctr", 8);
-    NetlistSimulator sim(n);
+    const auto simPtr = makeSimulator(n);
+    Simulator& sim = *simPtr;
     VcdTrace trace(n, sim);
     sim.setInput("en", 1);
     for (int i = 0; i < 4; ++i) {
@@ -129,7 +133,8 @@ TEST(Vcd, ExtraNetsAreTraced) {
     const NetId plusOne = b.binary(CellKind::Add, doubled, b.constant(1, 4), 4);
     b.outputPort("y", plusOne);
     const Netlist& n = b.netlist();
-    NetlistSimulator sim(n);
+    const auto simPtr = makeSimulator(n);
+    Simulator& sim = *simPtr;
     VcdTrace trace(n, sim, {doubled});
     sim.setInput("x", 3);
     sim.evaluate();

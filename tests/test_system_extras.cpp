@@ -93,7 +93,8 @@ TEST(SystemExtras, VcdTraceOfGeneratedAddCore) {
     // Trace the generated ADD accelerator at gate level from ap_start to
     // ap_done and check the waveform contains the handshake.
     const hls::HlsResult r = hls::HlsEngine{}.synthesize(apps::makeAddKernel(), {});
-    rtl::NetlistSimulator sim(r.netlist);
+    const auto simPtr = rtl::makeSimulator(r.netlist);
+    rtl::Simulator& sim = *simPtr;
     rtl::VcdTrace trace(r.netlist, sim);
     sim.setInput("ap_start", 1);
     sim.setInput("A", 19);
