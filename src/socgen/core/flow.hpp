@@ -94,6 +94,18 @@ struct FlowOptions {
     /// they are later simulated.
     rtl::SimBackend simBackend = rtl::SimBackend::Auto;
 
+    /// Worker threads for the compiled backend's partitioned level-band
+    /// evaluation. 0 (Auto) resolves through SOCGEN_SIM_THREADS, then 1.
+    /// Fingerprint-relevant like the backend: partitioned evaluation is
+    /// bit-identical by construction, but the fingerprint records the
+    /// resolved count so any divergence a future change introduced would
+    /// reset the journal instead of silently replaying artifacts.
+    unsigned simThreads = 0;
+
+    /// Stimulus lanes for batched co-simulation sweeps (1..64; 0 = 1).
+    /// Folded into the flow fingerprint for the same reason.
+    unsigned simBatchLanes = 0;
+
     /// Retry/deadline policy applied to every supervised flow stage.
     StagePolicy stagePolicy;
 

@@ -1,0 +1,84 @@
+#include "socgen/rtl/band_pool.hpp"
+
+namespace socgen::rtl {
+
+BandPool::BandPool(unsigned threads) {
+    for (unsigned i = 1; i < threads; ++i) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+BandPool::~BandPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& worker : workers_) {
+        worker.join();
+    }
+}
+
+void BandPool::claimChunks(Job& job) {
+    while (true) {
+        const std::uint32_t chunk = job.next.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= job.chunks) {
+            return;
+        }
+        job.fn(chunk);
+        if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.chunks) {
+            // Last chunk: wake the caller blocked in run(). Lock/unlock
+            // pairs with the caller's wait to avoid a missed notify.
+            { const std::lock_guard<std::mutex> lock(job.doneMutex); }
+            job.doneCv.notify_all();
+        }
+    }
+}
+
+void BandPool::run(std::uint32_t chunkCount,
+                   const std::function<void(std::uint32_t)>& fn) {
+    if (chunkCount == 0) {
+        return;
+    }
+    if (workers_.empty() || chunkCount == 1) {
+        for (std::uint32_t chunk = 0; chunk < chunkCount; ++chunk) {
+            fn(chunk);
+        }
+        return;
+    }
+    auto job = std::make_shared<Job>();
+    job->fn = fn;
+    job->chunks = chunkCount;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        current_ = job;
+        ++generation_;
+    }
+    wake_.notify_all();
+    // The caller claims chunks like any worker: on a single-core host it
+    // typically drains the whole band before a worker even schedules.
+    claimChunks(*job);
+    std::unique_lock<std::mutex> lock(job->doneMutex);
+    job->doneCv.wait(lock, [&] {
+        return job->done.load(std::memory_order_acquire) == job->chunks;
+    });
+}
+
+void BandPool::workerLoop() {
+    std::uint64_t seen = 0;
+    while (true) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+            if (stop_) {
+                return;
+            }
+            seen = generation_;
+            job = current_;
+        }
+        claimChunks(*job);
+    }
+}
+
+} // namespace socgen::rtl

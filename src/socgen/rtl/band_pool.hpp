@@ -1,0 +1,68 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace socgen::rtl {
+
+/// Persistent worker pool for partitioned level-band evaluation.
+///
+/// One pool is owned by a simulator instance and reused for every band
+/// of every cycle, so the thread-spawn cost is paid once at
+/// construction. run() splits a band into `chunkCount` chunks and
+/// invokes `fn(chunk)` for every chunk exactly once; chunks are claimed
+/// dynamically (atomic counter), and the *calling* thread participates
+/// first — on a loaded or single-core host the caller simply drains all
+/// chunks itself and returns without ever sleeping, so fan-out degrades
+/// to inline evaluation instead of a context-switch storm.
+///
+/// Determinism contract: which thread runs a chunk is unspecified, so
+/// callers must only write to chunk-private state (plus disjoint
+/// per-net slots) during run() and merge in chunk-index order after it
+/// returns. run() returns only after every chunk finished.
+class BandPool {
+public:
+    /// Spawns `threads - 1` workers (the caller is the remaining one).
+    /// threads <= 1 means no workers: run() executes inline.
+    explicit BandPool(unsigned threads);
+    ~BandPool();
+
+    BandPool(const BandPool&) = delete;
+    BandPool& operator=(const BandPool&) = delete;
+
+    [[nodiscard]] unsigned threadCount() const { return workers_.size() + 1; }
+
+    /// Invokes fn(chunk) for chunk in [0, chunkCount), each exactly once.
+    void run(std::uint32_t chunkCount, const std::function<void(std::uint32_t)>& fn);
+
+private:
+    /// One band dispatch. Heap-allocated and held by shared_ptr so a
+    /// worker that wakes up late can still safely observe an exhausted
+    /// job after run() has returned.
+    struct Job {
+        std::function<void(std::uint32_t)> fn;
+        std::uint32_t chunks = 0;
+        std::atomic<std::uint32_t> next{0};
+        std::atomic<std::uint32_t> done{0};
+        std::mutex doneMutex;
+        std::condition_variable doneCv;
+    };
+
+    void workerLoop();
+    static void claimChunks(Job& job);
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::shared_ptr<Job> current_;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace socgen::rtl

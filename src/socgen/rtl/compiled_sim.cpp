@@ -3,222 +3,53 @@
 #include "socgen/common/strings.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <cstdlib>
-#include <numeric>
 
 namespace socgen::rtl {
 
-namespace {
+CompiledSim::CompiledSim(const Netlist& netlist) : CompiledSim(netlist, SimConfig{}) {}
 
-std::uint64_t maskForWidth(unsigned width) {
-    return width >= 64 ? ~0ULL : (1ULL << width) - 1ULL;
-}
-
-/// Cell kinds denied via SOCGEN_COMPILED_SIM_DENY (test hook for the
-/// Auto-fallback rule). Comma-separated, case-insensitive kind names.
-bool kindDeniedByEnv(CellKind kind) {
-    const char* env = std::getenv("SOCGEN_COMPILED_SIM_DENY");
-    if (env == nullptr || *env == '\0') {
-        return false;
+CompiledSim::CompiledSim(const Netlist& netlist, const SimConfig& config)
+    : netlist_(netlist), prog_(compileProgram(netlist)),
+      threads_(resolveSimThreads(config.threads)),
+      grain_(std::max(1u, config.parallelGrainOps)) {
+    if (threads_ > 1) {
+        pool_ = std::make_unique<BandPool>(threads_);
+        // Chunk count per band is bounded by 2 chunks per thread.
+        chunkChanged_.resize(static_cast<std::size_t>(threads_) * 2);
+        chunkOps_.assign(chunkChanged_.size(), 0);
     }
-    std::string upper;
-    for (const char* p = env; *p != '\0'; ++p) {
-        upper.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(*p))));
+    vals_.assign(prog_.netCount, 0);
+    state_.assign(prog_.seqOps.size(), 0);
+    mems_.reserve(prog_.memDepths.size());
+    for (const std::size_t depth : prog_.memDepths) {
+        mems_.emplace_back(depth, 0);
     }
-    const std::string name(cellKindName(kind));
-    std::size_t pos = 0;
-    while (pos < upper.size()) {
-        const std::size_t comma = upper.find(',', pos);
-        const std::size_t end = comma == std::string::npos ? upper.size() : comma;
-        std::size_t first = pos;
-        std::size_t last = end;
-        while (first < last && std::isspace(static_cast<unsigned char>(upper[first]))) {
-            ++first;
-        }
-        while (last > first && std::isspace(static_cast<unsigned char>(upper[last - 1]))) {
-            --last;
-        }
-        if (upper.compare(first, last - first, name) == 0) {
-            return true;
-        }
-        if (comma == std::string::npos) {
-            break;
-        }
-        pos = comma + 1;
-    }
-    return false;
-}
-
-} // namespace
-
-CompiledSim::CompiledSim(const Netlist& netlist) : netlist_(netlist) {
-    compile(netlist);
-    vals_.assign(netlist.nets().size(), 0);
-    state_.assign(seqOps_.size(), 0);
-    pending_.assign(ops_.size(), 0);
-    worklist_.assign(levels_.size(), {});
-    seqDirtyFlag_.assign(seqOps_.size(), 0);
-    for (auto& port : netlist.ports()) {
-        portsByName_.emplace(port.name, &port);
-    }
+    pending_.assign(prog_.ops.size(), 0);
+    worklist_.assign(prog_.levels.size(), {});
+    seqDirtyFlag_.assign(prog_.seqOps.size(), 0);
     markAllOpsDirty();
 }
 
-void CompiledSim::compile(const Netlist& netlist) {
-    // Every current kind has a lowering; the deny hook (and future kinds
-    // without one) reports UnsupportedNetlistError so Auto falls back.
-    for (const Cell& c : netlist.cells()) {
-        if (kindDeniedByEnv(c.kind)) {
-            throw UnsupportedNetlistError(
-                format("netlist %s: cell kind %s has no compiled lowering",
-                       netlist.name().c_str(), std::string(cellKindName(c.kind)).c_str()));
-        }
-    }
-
-    // Levelize: longest combinational path from a source (input port,
-    // constant, or sequential output) to each combinational cell.
-    const std::vector<CellId> topo = netlist.topoOrder();
-    std::vector<std::uint32_t> cellLevel(netlist.cells().size(), 0);
-    std::uint32_t maxLevel = 0;
-    for (CellId id : topo) {
-        const Cell& c = netlist.cell(id);
-        std::uint32_t level = 0;
-        for (NetId in : c.inputs) {
-            const CellId driver = netlist.net(in).driver;
-            if (driver != kInvalid && isCombinational(netlist.cell(driver).kind)) {
-                level = std::max(level, cellLevel[driver] + 1);
-            }
-        }
-        cellLevel[id] = level;
-        maxLevel = std::max(maxLevel, level);
-    }
-
-    // Flatten combinational cells into ops sorted by (level, topo pos):
-    // a stable sort of a valid topological order by level is still a
-    // valid evaluation order, and groups each level contiguously.
-    std::vector<CellId> byLevel = topo;
-    std::stable_sort(byLevel.begin(), byLevel.end(), [&](CellId x, CellId y) {
-        return cellLevel[x] < cellLevel[y];
-    });
-    ops_.reserve(byLevel.size());
-    opLevel_.reserve(byLevel.size());
-    std::vector<std::uint32_t> opOfCell(netlist.cells().size(), kInvalid);
-    for (CellId id : byLevel) {
-        const Cell& c = netlist.cell(id);
-        Op op;
-        op.code = c.kind;
-        op.dst = c.outputs[0];
-        op.mask = maskForWidth(c.width);
-        if (!c.inputs.empty()) {
-            op.a = c.inputs[0];
-        }
-        if (c.inputs.size() > 1) {
-            op.b = c.inputs[1];
-        }
-        if (c.inputs.size() > 2) {
-            op.c = c.inputs[2];
-        }
-        if (c.kind == CellKind::Const) {
-            op.imm = static_cast<std::uint64_t>(c.param) & op.mask;
-        }
-        opOfCell[id] = static_cast<std::uint32_t>(ops_.size());
-        ops_.push_back(op);
-        opLevel_.push_back(cellLevel[id]);
-    }
-    levels_.assign(maxLevel + 1, {0, 0});
-    for (std::uint32_t idx = 0; idx < ops_.size(); ++idx) {
-        auto& [first, count] = levels_[opLevel_[idx]];
-        if (count == 0) {
-            first = idx;
-        }
-        ++count;
-    }
-
-    // Consumer CSR: for each net, the combinational ops reading it.
-    std::vector<std::uint32_t> counts(netlist.nets().size(), 0);
-    for (CellId id : byLevel) {
-        for (NetId in : netlist.cell(id).inputs) {
-            ++counts[in];
-        }
-    }
-    consumerFirst_.assign(netlist.nets().size() + 1, 0);
-    for (std::size_t net = 0; net < counts.size(); ++net) {
-        consumerFirst_[net + 1] = consumerFirst_[net] + counts[net];
-    }
-    consumers_.assign(consumerFirst_.back(), 0);
-    std::vector<std::uint32_t> cursor(consumerFirst_.begin(), consumerFirst_.end() - 1);
-    for (CellId id : byLevel) {
-        for (NetId in : netlist.cell(id).inputs) {
-            consumers_[cursor[in]++] = opOfCell[id];
-        }
-    }
-
-    // Sequential update program, in CellId order (matching the
-    // event-driven engine's clock-edge sweep).
-    for (CellId id = 0; id < netlist.cells().size(); ++id) {
-        const Cell& c = netlist.cell(id);
-        if (isCombinational(c.kind)) {
-            continue;
-        }
-        SeqOp op;
-        op.cell = id;
-        op.out = c.outputs[0];
-        op.mask = maskForWidth(c.width);
-        op.param = c.param;
-        switch (c.kind) {
-        case CellKind::Reg:
-            op.kind = c.inputs.size() < 2 ? SeqKind::RegAlways : SeqKind::RegEnable;
-            op.d = c.inputs[0];
-            if (c.inputs.size() > 1) {
-                op.en = c.inputs[1];
-            }
-            break;
-        case CellKind::Bram:
-            op.kind = SeqKind::Bram;
-            op.d = c.inputs[0];   // addr
-            op.en = c.inputs[1];  // wdata
-            op.we = c.inputs[2];
-            op.mem = static_cast<std::uint32_t>(mems_.size());
-            mems_.emplace_back(static_cast<std::size_t>(c.param), 0);
-            break;
-        case CellKind::Fsm:
-            op.kind = SeqKind::Fsm;
-            op.statusFirst = static_cast<std::uint32_t>(fsmStatus_.size());
-            op.statusCount = static_cast<std::uint32_t>(c.inputs.size());
-            for (NetId in : c.inputs) {
-                fsmStatus_.push_back(in);
-            }
-            break;
-        default:
-            throw UnsupportedNetlistError(
-                format("netlist %s: sequential cell kind %s has no compiled lowering",
-                       netlist.name().c_str(), std::string(cellKindName(c.kind)).c_str()));
-        }
-        seqOps_.push_back(op);
-    }
-}
-
 void CompiledSim::markAllOpsDirty() {
-    for (std::uint32_t idx = 0; idx < ops_.size(); ++idx) {
+    for (std::uint32_t idx = 0; idx < prog_.ops.size(); ++idx) {
         pending_[idx] = 1;
-        worklist_[opLevel_[idx]].push_back(idx);
+        worklist_[prog_.opLevel[idx]].push_back(idx);
     }
 }
 
 void CompiledSim::markConsumers(std::uint32_t net) {
-    const std::uint32_t first = consumerFirst_[net];
-    const std::uint32_t last = consumerFirst_[net + 1];
+    const std::uint32_t first = prog_.consumerFirst[net];
+    const std::uint32_t last = prog_.consumerFirst[net + 1];
     for (std::uint32_t i = first; i < last; ++i) {
-        const std::uint32_t op = consumers_[i];
+        const std::uint32_t op = prog_.consumers[i];
         if (pending_[op] == 0) {
             pending_[op] = 1;
-            worklist_[opLevel_[op]].push_back(op);
+            worklist_[prog_.opLevel[op]].push_back(op);
         }
     }
 }
 
-std::uint64_t CompiledSim::evalOp(const Op& op) const {
+std::uint64_t CompiledSim::evalOp(const CompiledOp& op) const {
     const std::uint64_t a = vals_[op.a];
     const std::uint64_t b = vals_[op.b];
     switch (op.code) {
@@ -252,7 +83,7 @@ void CompiledSim::publishSeqOutputs() {
     }
     for (const std::uint32_t idx : seqDirty_) {
         seqDirtyFlag_[idx] = 0;
-        const SeqOp& op = seqOps_[idx];
+        const CompiledSeqOp& op = prog_.seqOps[idx];
         const std::uint64_t v = state_[idx] & op.mask;
         if (vals_[op.out] != v) {
             vals_[op.out] = v;
@@ -260,6 +91,45 @@ void CompiledSim::publishSeqOutputs() {
         }
     }
     seqDirty_.clear();
+}
+
+void CompiledSim::evaluateBandParallel(std::vector<std::uint32_t>& bucket) {
+    // Partition the band into contiguous chunks of the pending worklist.
+    // Ops at one level are mutually independent (an edge raises the
+    // consumer's level), so workers touch disjoint pending flags and net
+    // slots; only the consumer marking — which mutates higher-level
+    // worklists — is deferred past the band fence and replayed serially
+    // in chunk order, which is exactly the serial sweep's enqueue order.
+    const std::size_t size = bucket.size();
+    const std::size_t maxChunks = chunkChanged_.size();
+    const std::size_t chunkSize = std::max<std::size_t>(1, (size + maxChunks - 1) / maxChunks);
+    const auto chunkCount = static_cast<std::uint32_t>((size + chunkSize - 1) / chunkSize);
+    pool_->run(chunkCount, [&](std::uint32_t chunk) {
+        const std::size_t first = chunk * chunkSize;
+        const std::size_t last = std::min(size, first + chunkSize);
+        auto& changed = chunkChanged_[chunk];
+        std::uint64_t evaluated = 0;
+        for (std::size_t i = first; i < last; ++i) {
+            const std::uint32_t idx = bucket[i];
+            pending_[idx] = 0;
+            const CompiledOp& op = prog_.ops[idx];
+            const std::uint64_t v = evalOp(op);
+            ++evaluated;
+            if (vals_[op.dst] != v) {
+                vals_[op.dst] = v;
+                changed.push_back(op.dst);
+            }
+        }
+        chunkOps_[chunk] = evaluated;
+    });
+    for (std::uint32_t chunk = 0; chunk < chunkCount; ++chunk) {
+        opsEvaluated_ += chunkOps_[chunk];
+        chunkOps_[chunk] = 0;
+        for (const std::uint32_t dst : chunkChanged_[chunk]) {
+            markConsumers(dst);
+        }
+        chunkChanged_[chunk].clear();
+    }
 }
 
 void CompiledSim::evaluate() {
@@ -270,15 +140,19 @@ void CompiledSim::evaluate() {
     publishSeqOutputs();
     for (std::size_t level = 0; level < worklist_.size(); ++level) {
         auto& bucket = worklist_[level];
-        for (std::size_t i = 0; i < bucket.size(); ++i) {
-            const std::uint32_t idx = bucket[i];
-            pending_[idx] = 0;
-            const Op& op = ops_[idx];
-            const std::uint64_t v = evalOp(op);
-            ++opsEvaluated_;
-            if (vals_[op.dst] != v) {
-                vals_[op.dst] = v;
-                markConsumers(op.dst);
+        if (pool_ != nullptr && bucket.size() >= grain_) {
+            evaluateBandParallel(bucket);
+        } else {
+            for (std::size_t i = 0; i < bucket.size(); ++i) {
+                const std::uint32_t idx = bucket[i];
+                pending_[idx] = 0;
+                const CompiledOp& op = prog_.ops[idx];
+                const std::uint64_t v = evalOp(op);
+                ++opsEvaluated_;
+                if (vals_[op.dst] != v) {
+                    vals_[op.dst] = v;
+                    markConsumers(op.dst);
+                }
             }
         }
         bucket.clear();
@@ -287,19 +161,19 @@ void CompiledSim::evaluate() {
 
 void CompiledSim::step() {
     evaluate();
-    for (std::uint32_t idx = 0; idx < seqOps_.size(); ++idx) {
-        const SeqOp& op = seqOps_[idx];
+    for (std::uint32_t idx = 0; idx < prog_.seqOps.size(); ++idx) {
+        const CompiledSeqOp& op = prog_.seqOps[idx];
         std::uint64_t next = state_[idx];
         switch (op.kind) {
-        case SeqKind::RegAlways:
+        case CompiledSeqKind::RegAlways:
             next = vals_[op.d] & op.mask;
             break;
-        case SeqKind::RegEnable:
+        case CompiledSeqKind::RegEnable:
             if (vals_[op.en] != 0) {
                 next = vals_[op.d] & op.mask;
             }
             break;
-        case SeqKind::Bram: {
+        case CompiledSeqKind::Bram: {
             const auto addr = static_cast<std::size_t>(vals_[op.d]);
             auto& mem = mems_[op.mem];
             if (addr >= mem.size()) {
@@ -313,10 +187,10 @@ void CompiledSim::step() {
             next = mem[addr];  // synchronous read (read-after-write)
             break;
         }
-        case SeqKind::Fsm: {
+        case CompiledSeqKind::Fsm: {
             bool anyStatus = op.statusCount == 0;
             for (std::uint32_t s = 0; s < op.statusCount && !anyStatus; ++s) {
-                anyStatus = vals_[fsmStatus_[op.statusFirst + s]] != 0;
+                anyStatus = vals_[prog_.fsmStatus[op.statusFirst + s]] != 0;
             }
             if (anyStatus && state_[idx] + 1 < static_cast<std::uint64_t>(op.param)) {
                 next = state_[idx] + 1;
@@ -336,13 +210,13 @@ void CompiledSim::step() {
 }
 
 void CompiledSim::setInput(std::string_view port, std::uint64_t value) {
-    const auto it = portsByName_.find(std::string(port));
-    const Port& p = it != portsByName_.end() ? *it->second : netlist_.port(port);
+    const auto it = prog_.portsByName.find(port);
+    const Port& p = it != prog_.portsByName.end() ? *it->second : netlist_.port(port);
     if (p.dir != PortDir::In) {
         throw SimulationError(format("cannot drive output port '%s'",
                                      std::string(port).c_str()));
     }
-    const std::uint64_t v = value & maskForWidth(p.width);
+    const std::uint64_t v = value & compiledMaskForWidth(p.width);
     if (vals_[p.net] != v) {
         vals_[p.net] = v;
         markConsumers(p.net);
@@ -350,8 +224,8 @@ void CompiledSim::setInput(std::string_view port, std::uint64_t value) {
 }
 
 std::uint64_t CompiledSim::output(std::string_view port) const {
-    const auto it = portsByName_.find(std::string(port));
-    const Port& p = it != portsByName_.end() ? *it->second : netlist_.port(port);
+    const auto it = prog_.portsByName.find(port);
+    const Port& p = it != prog_.portsByName.end() ? *it->second : netlist_.port(port);
     return vals_[p.net];
 }
 
@@ -362,8 +236,8 @@ std::uint64_t CompiledSim::netValue(NetId id) const {
 
 std::vector<std::uint64_t> CompiledSim::memoryContents(CellId id) const {
     require(id < netlist_.cells().size(), "cell id out of range");
-    for (const SeqOp& op : seqOps_) {
-        if (op.cell == id && op.kind == SeqKind::Bram) {
+    for (const CompiledSeqOp& op : prog_.seqOps) {
+        if (op.cell == id && op.kind == CompiledSeqKind::Bram) {
             return mems_[op.mem];
         }
     }
@@ -378,7 +252,7 @@ void CompiledSim::reset() {
     cycles_ = 0;
     // Publish the zeroed state at the next evaluate(), mirroring the
     // event-driven engine (reset leaves net values stale until then).
-    for (std::uint32_t idx = 0; idx < seqOps_.size(); ++idx) {
+    for (std::uint32_t idx = 0; idx < prog_.seqOps.size(); ++idx) {
         if (seqDirtyFlag_[idx] == 0) {
             seqDirtyFlag_[idx] = 1;
             seqDirty_.push_back(idx);

@@ -1,32 +1,23 @@
 #pragma once
 
 #include "socgen/common/error.hpp"
+#include "socgen/rtl/band_pool.hpp"
+#include "socgen/rtl/compiled_program.hpp"
 #include "socgen/rtl/sim_backend.hpp"
 
 #include <cstdint>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace socgen::rtl {
 
-/// Raised by the CompiledSim compiler when the netlist contains a
-/// construct it cannot lower. makeSimulator(SimBackend::Auto) catches
-/// exactly this type and falls back to the event-driven engine.
-class UnsupportedNetlistError : public SimulationError {
-public:
-    explicit UnsupportedNetlistError(const std::string& message)
-        : SimulationError("compiled-sim: " + message) {}
-};
-
 /// Compiled levelized simulation backend.
 ///
-/// Construction levelizes the combinational subgraph once (level =
-/// longest combinational path from a source) and flattens it into a
-/// linear evaluation program: one fixed-layout op per combinational
-/// cell, carrying resolved value-array slots and a precomputed width
-/// mask, sorted by level. Sequential cells (Reg/Bram/Fsm) become a
-/// separate update program applied at the clock edge.
+/// Construction levelizes the combinational subgraph once into a
+/// CompiledProgram (see compiled_program.hpp): one fixed-layout op per
+/// combinational cell sorted by level, plus a sequential update program
+/// applied at the clock edge.
 ///
 /// Execution is two-state (0/1 per bit), word-packed: every net's value
 /// lives in one 64-bit word of a flat array indexed by NetId. Dirty
@@ -36,6 +27,17 @@ public:
 /// nothing per cycle. There is no per-event heap scheduling anywhere:
 /// a whole cycle is one sweep over the level worklists plus one sweep
 /// over the sequential update program.
+///
+/// Partitioned evaluation (SimConfig::threads > 1): a level band whose
+/// pending-op count reaches SimConfig::parallelGrainOps is split into
+/// contiguous chunks evaluated on a persistent BandPool. Ops at one
+/// level never feed each other (an edge raises the consumer's level),
+/// so chunk workers write disjoint net slots; changed outputs are
+/// recorded per chunk and their consumers are enqueued after the
+/// band-wide fence, in chunk-index order — the same order the serial
+/// sweep produces — so worklists, values, and opsEvaluated() are
+/// byte-identical at any thread count (enforced by the diff-sim
+/// thread-parity suite).
 ///
 /// Observable semantics are bit-identical to NetlistSimulator at every
 /// post-evaluate()/post-step() point (enforced by tests/test_rtl_diff_sim);
@@ -53,6 +55,7 @@ public:
     /// Throws UnsupportedNetlistError when a cell kind cannot be lowered
     /// and socgen::Error on structural problems (combinational cycles).
     explicit CompiledSim(const Netlist& netlist);
+    CompiledSim(const Netlist& netlist, const SimConfig& config);
 
     [[nodiscard]] std::string_view backendName() const override { return "compiled"; }
     void setInput(std::string_view port, std::uint64_t value) override;
@@ -66,53 +69,32 @@ public:
 
     // -- program introspection (tests, docs, benchmarks) ----------------------
     /// Number of combinational ops in the evaluation program.
-    [[nodiscard]] std::size_t opCount() const { return ops_.size(); }
+    [[nodiscard]] std::size_t opCount() const { return prog_.ops.size(); }
     /// Number of levels after levelization (longest comb path + 1).
-    [[nodiscard]] std::size_t levelCount() const { return levels_.size(); }
+    [[nodiscard]] std::size_t levelCount() const { return prog_.levels.size(); }
     /// Total op evaluations executed so far — with dirty skipping this is
-    /// typically far below opCount() × evaluate() calls.
+    /// typically far below opCount() × evaluate() calls. Deterministic at
+    /// any thread count.
     [[nodiscard]] std::uint64_t opsEvaluated() const { return opsEvaluated_; }
+    /// Resolved partitioned-evaluation thread count (1 = serial).
+    [[nodiscard]] unsigned threadCount() const { return threads_; }
 
 private:
-    struct Op {
-        CellKind code = CellKind::Const;
-        std::uint32_t dst = 0;          ///< output net slot
-        std::uint32_t a = 0, b = 0, c = 0;  ///< input net slots
-        std::uint64_t mask = 0;         ///< width mask of the driving cell
-        std::uint64_t imm = 0;          ///< pre-masked Const value
-    };
-    enum class SeqKind : std::uint8_t { RegAlways, RegEnable, Bram, Fsm };
-    struct SeqOp {
-        SeqKind kind = SeqKind::RegAlways;
-        std::uint32_t cell = 0;         ///< originating CellId
-        std::uint32_t out = 0;          ///< output net slot
-        std::uint32_t d = 0;            ///< Reg d / Bram addr
-        std::uint32_t en = 0;           ///< Reg en / Bram wdata
-        std::uint32_t we = 0;           ///< Bram we
-        std::uint64_t mask = 0;
-        std::int64_t param = 0;         ///< Fsm state count
-        std::uint32_t mem = 0;          ///< index into mems_ (Bram only)
-        std::uint32_t statusFirst = 0;  ///< Fsm status slots in fsmStatus_
-        std::uint32_t statusCount = 0;
-    };
-
-    void compile(const Netlist& netlist);
     void markAllOpsDirty();
     void markConsumers(std::uint32_t net);
     void publishSeqOutputs();
-    [[nodiscard]] std::uint64_t evalOp(const Op& op) const;
+    void evaluateBandParallel(std::vector<std::uint32_t>& bucket);
+    [[nodiscard]] std::uint64_t evalOp(const CompiledOp& op) const;
 
     const Netlist& netlist_;
+    CompiledProgram prog_;
 
-    // Evaluation program (immutable after compile).
-    std::vector<Op> ops_;                       ///< sorted by level
-    std::vector<std::uint32_t> opLevel_;        ///< level of each op
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> levels_;  ///< [first, count) into ops_
-    std::vector<std::uint32_t> consumers_;      ///< CSR payload: op indices
-    std::vector<std::uint32_t> consumerFirst_;  ///< per net, index into consumers_
-    std::vector<SeqOp> seqOps_;
-    std::vector<std::uint32_t> fsmStatus_;      ///< flattened Fsm status slots
-    std::unordered_map<std::string, const Port*> portsByName_;
+    // Partitioned evaluation.
+    unsigned threads_ = 1;
+    unsigned grain_ = 256;
+    std::unique_ptr<BandPool> pool_;
+    std::vector<std::vector<std::uint32_t>> chunkChanged_;  ///< per chunk: changed dst nets
+    std::vector<std::uint64_t> chunkOps_;                   ///< per chunk: ops evaluated
 
     // Runtime state.
     std::vector<std::uint64_t> vals_;           ///< one word per net

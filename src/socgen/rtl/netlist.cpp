@@ -154,7 +154,12 @@ void Netlist::check() const {
             throw Error(format("netlist %s: input-port net '%s' also driven by cell",
                                name_.c_str(), n.name.c_str()));
         }
-        if (n.width == 0 || n.width > 64) {
+        // Nets wider than 64 bits are structurally valid up to 128 (the
+        // HDL emitters render any range); both simulation engines track
+        // the low 64 bits of such a net and agree on that truncation —
+        // the diff-sim wide-bus corpus pins it. Wider than 128 is a
+        // generator bug, not a representable design.
+        if (n.width == 0 || n.width > 128) {
             throw Error(format("netlist %s: net '%s' has unsupported width %u", name_.c_str(),
                                n.name.c_str(), n.width));
         }

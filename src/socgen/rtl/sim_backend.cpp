@@ -5,6 +5,7 @@
 #include "socgen/rtl/compiled_sim.hpp"
 #include "socgen/rtl/netlist_sim.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace socgen::rtl {
@@ -47,7 +48,37 @@ SimBackend resolveSimBackend(SimBackend requested) {
     return requested == SimBackend::Auto ? SimBackend::Compiled : requested;
 }
 
+unsigned resolveSimThreads(unsigned requested) {
+    if (requested == 0) {
+        if (const char* env = std::getenv("SOCGEN_SIM_THREADS");
+            env != nullptr && *env != '\0') {
+            const int parsed = std::atoi(env);
+            if (parsed > 0) {
+                requested = static_cast<unsigned>(parsed);
+            }
+        }
+    }
+    if (requested == 0) {
+        requested = 1;
+    }
+    return std::min(requested, kMaxSimThreads);
+}
+
+unsigned resolveSimLanes(unsigned requested) {
+    if (requested == 0) {
+        requested = 1;
+    }
+    return std::min(requested, kMaxSimLanes);
+}
+
 std::unique_ptr<Simulator> makeSimulator(const Netlist& netlist, SimBackend backend) {
+    SimConfig config;
+    config.backend = backend;
+    return makeSimulator(netlist, config);
+}
+
+std::unique_ptr<Simulator> makeSimulator(const Netlist& netlist, const SimConfig& config) {
+    SimBackend backend = config.backend;
     if (backend == SimBackend::Auto) {
         backend = simBackendFromEnv(SimBackend::Auto);
     }
@@ -55,14 +86,14 @@ std::unique_ptr<Simulator> makeSimulator(const Netlist& netlist, SimBackend back
     case SimBackend::EventDriven:
         return std::make_unique<NetlistSimulator>(netlist);
     case SimBackend::Compiled:
-        return std::make_unique<CompiledSim>(netlist);
+        return std::make_unique<CompiledSim>(netlist, config);
     case SimBackend::Auto:
         break;
     }
     // Auto: compiled unless the compiler reports an unsupported
     // construct, in which case the event-driven engine covers it.
     try {
-        return std::make_unique<CompiledSim>(netlist);
+        return std::make_unique<CompiledSim>(netlist, config);
     } catch (const UnsupportedNetlistError&) {
         return std::make_unique<NetlistSimulator>(netlist);
     }

@@ -38,6 +38,44 @@ enum class SimBackend { Auto, EventDriven, Compiled };
 /// the backend can never replay a journal written under the other one.
 [[nodiscard]] SimBackend resolveSimBackend(SimBackend requested = SimBackend::Auto);
 
+/// Hard ceiling on worker threads and batch lanes (lanes are packed one
+/// per bit of a 64-bit lane-activity word).
+inline constexpr unsigned kMaxSimThreads = 64;
+inline constexpr unsigned kMaxSimLanes = 64;
+
+/// Resolves the partitioned-evaluation thread count: 0 (Auto) consults
+/// the SOCGEN_SIM_THREADS environment override and falls back to 1
+/// (serial) when unset or unparsable; any request is clamped to
+/// kMaxSimThreads. Like the backend, the resolved value is what flow
+/// fingerprints fold in.
+[[nodiscard]] unsigned resolveSimThreads(unsigned requested = 0);
+
+/// Resolves the batched-stimulus lane count: 0 (Auto) means a single
+/// lane; any request is clamped to kMaxSimLanes. Fingerprint-relevant
+/// for the same reason as the thread count.
+[[nodiscard]] unsigned resolveSimLanes(unsigned requested = 0);
+
+/// Engine configuration accepted by makeSimulator()/makeSimBatch().
+/// Every knob has an Auto (zero) value that degrades gracefully: Auto
+/// backend falls back per the unsupported-construct rule, threads=0
+/// resolves through SOCGEN_SIM_THREADS then serial, batchLanes=0 means
+/// a single lane. The event-driven engine ignores threads entirely —
+/// the knobs widen the compiled backend, they never change semantics
+/// (enforced by the diff-sim thread-parity and lane suites).
+struct SimConfig {
+    SimBackend backend = SimBackend::Auto;
+    /// Worker threads for partitioned level-band evaluation (compiled
+    /// backend only). 0 = SOCGEN_SIM_THREADS env override, then 1.
+    unsigned threads = 0;
+    /// Stimulus lanes for makeSimBatch (1..64). 0 = 1 lane.
+    unsigned batchLanes = 0;
+    /// Minimum pending ops in a level band before it fans out to the
+    /// worker pool; smaller bands evaluate inline on the calling thread
+    /// (a condvar round-trip costs more than a few dozen op evals).
+    /// Tests pin this to 1 to force the parallel path on any band.
+    unsigned parallelGrainOps = 256;
+};
+
 /// Common interface of the two RTL simulation backends. Semantics are
 /// pinned by the event-driven engine and enforced by the differential
 /// suite (tests/test_rtl_diff_sim.cpp): any observable divergence
@@ -82,5 +120,10 @@ public:
 ///    unsupported construct.
 [[nodiscard]] std::unique_ptr<Simulator> makeSimulator(const Netlist& netlist,
                                                        SimBackend backend = SimBackend::Auto);
+
+/// Same selection rule, with the full engine configuration (threads,
+/// band grain). The event-driven fallback ignores the extra knobs.
+[[nodiscard]] std::unique_ptr<Simulator> makeSimulator(const Netlist& netlist,
+                                                       const SimConfig& config);
 
 } // namespace socgen::rtl

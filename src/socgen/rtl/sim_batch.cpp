@@ -1,0 +1,694 @@
+#include "socgen/rtl/sim_batch.hpp"
+
+#include "socgen/common/strings.hpp"
+#include "socgen/rtl/netlist_sim.hpp"
+
+#include <algorithm>
+
+namespace socgen::rtl {
+
+void SimBatch::setInputAll(std::string_view port, std::uint64_t value) {
+    for (unsigned lane = 0; lane < laneCount(); ++lane) {
+        setInput(port, lane, value);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimBatchLane
+// ---------------------------------------------------------------------------
+
+SimBatchLane::SimBatchLane(SimBatch& batch, unsigned lane) : batch_(batch), lane_(lane) {
+    require(lane < batch.laneCount(), "batch lane out of range");
+}
+
+void SimBatchLane::setInput(std::string_view port, std::uint64_t value) {
+    batch_.setInput(port, lane_, value);
+}
+
+void SimBatchLane::evaluate() {
+    throw SimulationError("batch lane view cannot advance one lane; step the SimBatch");
+}
+
+void SimBatchLane::step() {
+    throw SimulationError("batch lane view cannot advance one lane; step the SimBatch");
+}
+
+std::uint64_t SimBatchLane::output(std::string_view port) const {
+    return batch_.output(port, lane_);
+}
+
+std::uint64_t SimBatchLane::netValue(NetId id) const { return batch_.netValue(id, lane_); }
+
+std::vector<std::uint64_t> SimBatchLane::memoryContents(CellId id) const {
+    return batch_.memoryContents(id, lane_);
+}
+
+void SimBatchLane::reset() {
+    throw SimulationError("batch lane view cannot reset one lane; reset the SimBatch");
+}
+
+std::uint64_t SimBatchLane::cycleCount() const { return batch_.cycleCount(); }
+
+// ---------------------------------------------------------------------------
+// BatchCompiledSim
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] std::uint64_t allLanesMask(unsigned lanes) {
+    return lanes >= 64 ? ~0ULL : (1ULL << lanes) - 1ULL;
+}
+
+} // namespace
+
+BatchCompiledSim::BatchCompiledSim(const Netlist& netlist, const SimConfig& config)
+    : netlist_(netlist), prog_(compileProgram(netlist)), lanes_(resolveSimLanes(config.batchLanes)),
+      threads_(resolveSimThreads(config.threads)),
+      grain_(std::max(1u, config.parallelGrainOps)) {
+    if (threads_ > 1) {
+        pool_ = std::make_unique<BandPool>(threads_);
+        chunkChanged_.resize(static_cast<std::size_t>(threads_) * 2);
+        chunkOps_.assign(chunkChanged_.size(), 0);
+    }
+    vals_.assign(prog_.netCount * lanes_, 0);
+    state_.assign(prog_.seqOps.size() * lanes_, 0);
+    mems_.reserve(prog_.memDepths.size());
+    for (const std::size_t depth : prog_.memDepths) {
+        mems_.emplace_back(depth * lanes_, 0);
+    }
+    pending_.assign(prog_.ops.size(), 0);
+    worklist_.assign(prog_.levels.size(), {});
+    seqDirtyFlag_.assign(prog_.seqOps.size(), 0);
+    laneActive_ = allLanesMask(lanes_);
+    faults_.resize(lanes_);
+    markAllOpsDirty();
+}
+
+void BatchCompiledSim::markAllOpsDirty() {
+    for (std::uint32_t idx = 0; idx < prog_.ops.size(); ++idx) {
+        pending_[idx] = 1;
+        worklist_[prog_.opLevel[idx]].push_back(idx);
+    }
+}
+
+void BatchCompiledSim::markConsumers(std::uint32_t net) {
+    const std::uint32_t first = prog_.consumerFirst[net];
+    const std::uint32_t last = prog_.consumerFirst[net + 1];
+    for (std::uint32_t i = first; i < last; ++i) {
+        const std::uint32_t op = prog_.consumers[i];
+        if (pending_[op] == 0) {
+            pending_[op] = 1;
+            worklist_[prog_.opLevel[op]].push_back(op);
+        }
+    }
+}
+
+bool BatchCompiledSim::evalOpLanes(const CompiledOp& op) {
+    // The switch is hoisted outside the lane loop so each case body is a
+    // tight word-op loop over contiguous lane-strided slots — the form
+    // the auto-vectorizer handles. `diff` accumulates XOR of old and new
+    // words across lanes, so change detection costs no branches.
+    std::uint64_t* d = &vals_[static_cast<std::size_t>(op.dst) * lanes_];
+    const std::uint64_t* a = &vals_[static_cast<std::size_t>(op.a) * lanes_];
+    const std::uint64_t* b = &vals_[static_cast<std::size_t>(op.b) * lanes_];
+    const std::uint64_t mask = op.mask;
+    const unsigned lanes = lanes_;
+    std::uint64_t diff = 0;
+    switch (op.code) {
+    case CellKind::Const:
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t v = op.imm;
+            diff |= d[l] ^ v;
+            d[l] = v;
+        }
+        break;
+    case CellKind::Not:
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t v = ~a[l] & mask;
+            diff |= d[l] ^ v;
+            d[l] = v;
+        }
+        break;
+    case CellKind::And:
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t v = (a[l] & b[l]) & mask;
+            diff |= d[l] ^ v;
+            d[l] = v;
+        }
+        break;
+    case CellKind::Or:
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t v = (a[l] | b[l]) & mask;
+            diff |= d[l] ^ v;
+            d[l] = v;
+        }
+        break;
+    case CellKind::Xor:
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t v = (a[l] ^ b[l]) & mask;
+            diff |= d[l] ^ v;
+            d[l] = v;
+        }
+        break;
+    case CellKind::Add:
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t v = (a[l] + b[l]) & mask;
+            diff |= d[l] ^ v;
+            d[l] = v;
+        }
+        break;
+    case CellKind::Sub:
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t v = (a[l] - b[l]) & mask;
+            diff |= d[l] ^ v;
+            d[l] = v;
+        }
+        break;
+    case CellKind::Mul:
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t v = (a[l] * b[l]) & mask;
+            diff |= d[l] ^ v;
+            d[l] = v;
+        }
+        break;
+    case CellKind::Div:
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t v = (b[l] == 0 ? ~0ULL : a[l] / b[l]) & mask;
+            diff |= d[l] ^ v;
+            d[l] = v;
+        }
+        break;
+    case CellKind::Mod:
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t v = (b[l] == 0 ? a[l] : a[l] % b[l]) & mask;
+            diff |= d[l] ^ v;
+            d[l] = v;
+        }
+        break;
+    case CellKind::Shl:
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t v = (b[l] >= 64 ? 0 : a[l] << b[l]) & mask;
+            diff |= d[l] ^ v;
+            d[l] = v;
+        }
+        break;
+    case CellKind::Shr:
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t v = (b[l] >= 64 ? 0 : a[l] >> b[l]) & mask;
+            diff |= d[l] ^ v;
+            d[l] = v;
+        }
+        break;
+    case CellKind::Eq:
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t v = (a[l] == b[l] ? 1ULL : 0ULL) & mask;
+            diff |= d[l] ^ v;
+            d[l] = v;
+        }
+        break;
+    case CellKind::Ne:
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t v = (a[l] != b[l] ? 1ULL : 0ULL) & mask;
+            diff |= d[l] ^ v;
+            d[l] = v;
+        }
+        break;
+    case CellKind::Lt:
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t v = (a[l] < b[l] ? 1ULL : 0ULL) & mask;
+            diff |= d[l] ^ v;
+            d[l] = v;
+        }
+        break;
+    case CellKind::Le:
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t v = (a[l] <= b[l] ? 1ULL : 0ULL) & mask;
+            diff |= d[l] ^ v;
+            d[l] = v;
+        }
+        break;
+    case CellKind::Gt:
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t v = (a[l] > b[l] ? 1ULL : 0ULL) & mask;
+            diff |= d[l] ^ v;
+            d[l] = v;
+        }
+        break;
+    case CellKind::Ge:
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t v = (a[l] >= b[l] ? 1ULL : 0ULL) & mask;
+            diff |= d[l] ^ v;
+            d[l] = v;
+        }
+        break;
+    case CellKind::Mux: {
+        const std::uint64_t* c = &vals_[static_cast<std::size_t>(op.c) * lanes_];
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t v = (a[l] == 0 ? b[l] : c[l]) & mask;
+            diff |= d[l] ^ v;
+            d[l] = v;
+        }
+        break;
+    }
+    default:
+        throw SimulationError("compiled-sim: evalOpLanes on sequential op");
+    }
+    return diff != 0;
+}
+
+void BatchCompiledSim::publishSeqOutputs() {
+    if (seqDirty_.empty()) {
+        return;
+    }
+    for (const std::uint32_t idx : seqDirty_) {
+        seqDirtyFlag_[idx] = 0;
+        const CompiledSeqOp& op = prog_.seqOps[idx];
+        std::uint64_t* out = &vals_[static_cast<std::size_t>(op.out) * lanes_];
+        const std::uint64_t* st = &state_[static_cast<std::size_t>(idx) * lanes_];
+        bool changed = false;
+        for (unsigned l = 0; l < lanes_; ++l) {
+            // Faulted lanes stay frozen at their pre-fault net values,
+            // matching a scalar run halted by the throw.
+            if (((laneActive_ >> l) & 1) == 0) {
+                continue;
+            }
+            const std::uint64_t v = st[l] & op.mask;
+            if (out[l] != v) {
+                out[l] = v;
+                changed = true;
+            }
+        }
+        if (changed) {
+            markConsumers(op.out);
+        }
+    }
+    seqDirty_.clear();
+}
+
+void BatchCompiledSim::evaluateBandParallel(std::vector<std::uint32_t>& bucket) {
+    // Same chunked-band scheme as the scalar engine: same-level ops are
+    // independent, so workers write disjoint lane slots; consumer marking
+    // is deferred past the fence and replayed in chunk order.
+    const std::size_t size = bucket.size();
+    const std::size_t maxChunks = chunkChanged_.size();
+    const std::size_t chunkSize = std::max<std::size_t>(1, (size + maxChunks - 1) / maxChunks);
+    const auto chunkCount = static_cast<std::uint32_t>((size + chunkSize - 1) / chunkSize);
+    pool_->run(chunkCount, [&](std::uint32_t chunk) {
+        const std::size_t first = chunk * chunkSize;
+        const std::size_t last = std::min(size, first + chunkSize);
+        auto& changed = chunkChanged_[chunk];
+        std::uint64_t evaluated = 0;
+        for (std::size_t i = first; i < last; ++i) {
+            const std::uint32_t idx = bucket[i];
+            pending_[idx] = 0;
+            const CompiledOp& op = prog_.ops[idx];
+            ++evaluated;
+            if (evalOpLanes(op)) {
+                changed.push_back(op.dst);
+            }
+        }
+        chunkOps_[chunk] = evaluated;
+    });
+    for (std::uint32_t chunk = 0; chunk < chunkCount; ++chunk) {
+        opsEvaluated_ += chunkOps_[chunk];
+        chunkOps_[chunk] = 0;
+        for (const std::uint32_t dst : chunkChanged_[chunk]) {
+            markConsumers(dst);
+        }
+        chunkChanged_[chunk].clear();
+    }
+}
+
+void BatchCompiledSim::evaluate() {
+    publishSeqOutputs();
+    for (std::size_t level = 0; level < worklist_.size(); ++level) {
+        auto& bucket = worklist_[level];
+        if (pool_ != nullptr && bucket.size() >= grain_) {
+            evaluateBandParallel(bucket);
+        } else {
+            for (std::size_t i = 0; i < bucket.size(); ++i) {
+                const std::uint32_t idx = bucket[i];
+                pending_[idx] = 0;
+                const CompiledOp& op = prog_.ops[idx];
+                ++opsEvaluated_;
+                if (evalOpLanes(op)) {
+                    markConsumers(op.dst);
+                }
+            }
+        }
+        bucket.clear();
+    }
+}
+
+void BatchCompiledSim::step() {
+    evaluate();
+    for (std::uint32_t idx = 0; idx < prog_.seqOps.size(); ++idx) {
+        const CompiledSeqOp& op = prog_.seqOps[idx];
+        std::uint64_t* st = &state_[static_cast<std::size_t>(idx) * lanes_];
+        bool changed = false;
+        switch (op.kind) {
+        case CompiledSeqKind::RegAlways: {
+            const std::uint64_t* d = &vals_[static_cast<std::size_t>(op.d) * lanes_];
+            for (unsigned l = 0; l < lanes_; ++l) {
+                if (((laneActive_ >> l) & 1) == 0) {
+                    continue;
+                }
+                const std::uint64_t next = d[l] & op.mask;
+                if (st[l] != next) {
+                    st[l] = next;
+                    changed = true;
+                }
+            }
+            break;
+        }
+        case CompiledSeqKind::RegEnable: {
+            const std::uint64_t* d = &vals_[static_cast<std::size_t>(op.d) * lanes_];
+            const std::uint64_t* en = &vals_[static_cast<std::size_t>(op.en) * lanes_];
+            for (unsigned l = 0; l < lanes_; ++l) {
+                if (((laneActive_ >> l) & 1) == 0 || en[l] == 0) {
+                    continue;
+                }
+                const std::uint64_t next = d[l] & op.mask;
+                if (st[l] != next) {
+                    st[l] = next;
+                    changed = true;
+                }
+            }
+            break;
+        }
+        case CompiledSeqKind::Bram: {
+            auto& mem = mems_[op.mem];
+            const std::size_t depth = prog_.memDepths[op.mem];
+            const std::uint64_t* ad = &vals_[static_cast<std::size_t>(op.d) * lanes_];
+            const std::uint64_t* wd = &vals_[static_cast<std::size_t>(op.en) * lanes_];
+            const std::uint64_t* we = &vals_[static_cast<std::size_t>(op.we) * lanes_];
+            for (unsigned l = 0; l < lanes_; ++l) {
+                if (((laneActive_ >> l) & 1) == 0) {
+                    continue;
+                }
+                const auto addr = static_cast<std::size_t>(ad[l]);
+                if (addr >= depth) {
+                    // The scalar engines throw here, before touching state
+                    // or memory; the lane records the identical message and
+                    // the pre-increment cycle, then freezes (later seq ops
+                    // in this sweep skip it, exactly like the throw did).
+                    faultLane(l, cycles_,
+                              format("bram '%s' address %zu out of range %zu",
+                                     netlist_.cell(op.cell).name.c_str(), addr, depth));
+                    continue;
+                }
+                if (we[l] != 0) {
+                    mem[addr * lanes_ + l] = wd[l] & op.mask;
+                }
+                const std::uint64_t next = mem[addr * lanes_ + l];  // read-after-write
+                if (st[l] != next) {
+                    st[l] = next;
+                    changed = true;
+                }
+            }
+            break;
+        }
+        case CompiledSeqKind::Fsm: {
+            for (unsigned l = 0; l < lanes_; ++l) {
+                if (((laneActive_ >> l) & 1) == 0) {
+                    continue;
+                }
+                bool anyStatus = op.statusCount == 0;
+                for (std::uint32_t s = 0; s < op.statusCount && !anyStatus; ++s) {
+                    const std::uint32_t net = prog_.fsmStatus[op.statusFirst + s];
+                    anyStatus = vals_[static_cast<std::size_t>(net) * lanes_ + l] != 0;
+                }
+                if (anyStatus && st[l] + 1 < static_cast<std::uint64_t>(op.param)) {
+                    st[l] = st[l] + 1;
+                    changed = true;
+                }
+            }
+            break;
+        }
+        }
+        if (changed && seqDirtyFlag_[idx] == 0) {
+            seqDirtyFlag_[idx] = 1;
+            seqDirty_.push_back(idx);
+        }
+    }
+    ++cycles_;
+}
+
+void BatchCompiledSim::setInput(std::string_view port, unsigned lane, std::uint64_t value) {
+    require(lane < lanes_, "batch lane out of range");
+    if (((laneActive_ >> lane) & 1) == 0) {
+        return;  // faulted lanes are frozen — a scalar run halted here
+    }
+    const auto it = prog_.portsByName.find(port);
+    const Port& p = it != prog_.portsByName.end() ? *it->second : netlist_.port(port);
+    if (p.dir != PortDir::In) {
+        throw SimulationError(format("cannot drive output port '%s'",
+                                     std::string(port).c_str()));
+    }
+    const std::uint64_t v = value & compiledMaskForWidth(p.width);
+    std::uint64_t& slot = vals_[static_cast<std::size_t>(p.net) * lanes_ + lane];
+    if (slot != v) {
+        slot = v;
+        markConsumers(p.net);
+    }
+}
+
+std::uint64_t BatchCompiledSim::output(std::string_view port, unsigned lane) const {
+    require(lane < lanes_, "batch lane out of range");
+    const auto it = prog_.portsByName.find(port);
+    const Port& p = it != prog_.portsByName.end() ? *it->second : netlist_.port(port);
+    return vals_[static_cast<std::size_t>(p.net) * lanes_ + lane];
+}
+
+std::uint64_t BatchCompiledSim::netValue(NetId id, unsigned lane) const {
+    require(id < prog_.netCount, "net id out of range");
+    require(lane < lanes_, "batch lane out of range");
+    return vals_[static_cast<std::size_t>(id) * lanes_ + lane];
+}
+
+std::vector<std::uint64_t> BatchCompiledSim::memoryContents(CellId id, unsigned lane) const {
+    require(id < netlist_.cells().size(), "cell id out of range");
+    require(lane < lanes_, "batch lane out of range");
+    for (const CompiledSeqOp& op : prog_.seqOps) {
+        if (op.cell == id && op.kind == CompiledSeqKind::Bram) {
+            const std::size_t depth = prog_.memDepths[op.mem];
+            const auto& mem = mems_[op.mem];
+            std::vector<std::uint64_t> out(depth, 0);
+            for (std::size_t addr = 0; addr < depth; ++addr) {
+                out[addr] = mem[addr * lanes_ + lane];
+            }
+            return out;
+        }
+    }
+    return {};
+}
+
+bool BatchCompiledSim::laneFaulted(unsigned lane) const {
+    require(lane < lanes_, "batch lane out of range");
+    return faults_[lane].faulted;
+}
+
+std::uint64_t BatchCompiledSim::laneFaultCycle(unsigned lane) const {
+    require(lane < lanes_, "batch lane out of range");
+    return faults_[lane].cycle;
+}
+
+const std::string& BatchCompiledSim::laneFaultMessage(unsigned lane) const {
+    require(lane < lanes_, "batch lane out of range");
+    return faults_[lane].message;
+}
+
+void BatchCompiledSim::faultLane(unsigned lane, std::uint64_t cycle, std::string message) {
+    laneActive_ &= ~(1ULL << lane);
+    LaneFault& fault = faults_[lane];
+    fault.faulted = true;
+    fault.cycle = cycle;
+    // Store the exact what() text a scalar run's SimulationError carries
+    // (including its "sim: " prefix) so both SimBatch implementations
+    // report byte-identical fault messages.
+    fault.message = SimulationError(message).what();
+}
+
+void BatchCompiledSim::reset() {
+    std::fill(state_.begin(), state_.end(), 0);
+    for (auto& mem : mems_) {
+        std::fill(mem.begin(), mem.end(), 0);
+    }
+    cycles_ = 0;
+    laneActive_ = allLanesMask(lanes_);
+    for (LaneFault& fault : faults_) {
+        fault = LaneFault{};
+    }
+    for (std::uint32_t idx = 0; idx < prog_.seqOps.size(); ++idx) {
+        if (seqDirtyFlag_[idx] == 0) {
+            seqDirtyFlag_[idx] = 1;
+            seqDirty_.push_back(idx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar farm fallback
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One independent scalar Simulator per lane, stepped round-robin. The
+/// always-available SimBatch strategy: any netlist the event-driven
+/// engine handles runs here, and lane faults are the lane simulator's
+/// own SimulationError captured instead of propagated.
+class ScalarFarm final : public SimBatch {
+public:
+    ScalarFarm(const Netlist& netlist, unsigned lanes, const SimConfig& laneConfig)
+        : faults_(lanes) {
+        sims_.reserve(lanes);
+        for (unsigned lane = 0; lane < lanes; ++lane) {
+            sims_.push_back(makeSimulator(netlist, laneConfig));
+        }
+    }
+
+    [[nodiscard]] std::string_view backendName() const override { return "scalar-farm"; }
+    [[nodiscard]] unsigned laneCount() const override {
+        return static_cast<unsigned>(sims_.size());
+    }
+
+    void setInput(std::string_view port, unsigned lane, std::uint64_t value) override {
+        checkLane(lane);
+        if (!faults_[lane].faulted) {
+            sims_[lane]->setInput(port, value);
+        }
+    }
+
+    void evaluate() override {
+        for (unsigned lane = 0; lane < sims_.size(); ++lane) {
+            if (!faults_[lane].faulted) {
+                guarded(lane, [&] { sims_[lane]->evaluate(); });
+            }
+        }
+    }
+
+    void step() override {
+        for (unsigned lane = 0; lane < sims_.size(); ++lane) {
+            if (!faults_[lane].faulted) {
+                guarded(lane, [&] { sims_[lane]->step(); });
+            }
+        }
+        ++cycles_;
+    }
+
+    [[nodiscard]] std::uint64_t output(std::string_view port, unsigned lane) const override {
+        checkLane(lane);
+        return sims_[lane]->output(port);
+    }
+
+    [[nodiscard]] std::uint64_t netValue(NetId id, unsigned lane) const override {
+        checkLane(lane);
+        return sims_[lane]->netValue(id);
+    }
+
+    [[nodiscard]] std::vector<std::uint64_t> memoryContents(CellId id,
+                                                            unsigned lane) const override {
+        checkLane(lane);
+        return sims_[lane]->memoryContents(id);
+    }
+
+    [[nodiscard]] bool laneFaulted(unsigned lane) const override {
+        checkLane(lane);
+        return faults_[lane].faulted;
+    }
+
+    [[nodiscard]] std::uint64_t laneFaultCycle(unsigned lane) const override {
+        checkLane(lane);
+        return faults_[lane].cycle;
+    }
+
+    [[nodiscard]] const std::string& laneFaultMessage(unsigned lane) const override {
+        checkLane(lane);
+        return faults_[lane].message;
+    }
+
+    void reset() override {
+        for (auto& sim : sims_) {
+            sim->reset();
+        }
+        for (auto& fault : faults_) {
+            fault = Fault{};
+        }
+        cycles_ = 0;
+    }
+
+    [[nodiscard]] std::uint64_t cycleCount() const override { return cycles_; }
+
+private:
+    struct Fault {
+        bool faulted = false;
+        std::uint64_t cycle = 0;
+        std::string message;
+    };
+
+    void checkLane(unsigned lane) const {
+        require(lane < sims_.size(), "batch lane out of range");
+    }
+
+    template <typename Fn>
+    void guarded(unsigned lane, Fn&& fn) {
+        try {
+            fn();
+        } catch (const SimulationError& error) {
+            // The lane simulator throws before advancing its cycle
+            // counter, so its cycleCount() is the fault cycle.
+            Fault& fault = faults_[lane];
+            fault.faulted = true;
+            fault.cycle = sims_[lane]->cycleCount();
+            fault.message = error.what();
+        }
+    }
+
+    std::vector<std::unique_ptr<Simulator>> sims_;
+    std::vector<Fault> faults_;
+    std::uint64_t cycles_ = 0;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<SimBatch> makeSimBatch(const Netlist& netlist, const SimConfig& config) {
+    SimBackend backend = config.backend;
+    if (backend == SimBackend::Auto) {
+        backend = simBackendFromEnv(SimBackend::Auto);
+    }
+    const unsigned lanes = resolveSimLanes(config.batchLanes);
+    // Farm lanes are independent scalar engines; one worker pool per lane
+    // would oversubscribe the host for nothing, so they run serial.
+    SimConfig laneConfig = config;
+    laneConfig.threads = 1;
+    laneConfig.batchLanes = 0;
+    switch (backend) {
+    case SimBackend::EventDriven:
+        laneConfig.backend = SimBackend::EventDriven;
+        return std::make_unique<ScalarFarm>(netlist, lanes, laneConfig);
+    case SimBackend::Compiled:
+        return std::make_unique<BatchCompiledSim>(netlist, config);
+    case SimBackend::Auto:
+        break;
+    }
+    try {
+        return std::make_unique<BatchCompiledSim>(netlist, config);
+    } catch (const UnsupportedNetlistError&) {
+        laneConfig.backend = SimBackend::EventDriven;
+        return std::make_unique<ScalarFarm>(netlist, lanes, laneConfig);
+    }
+}
+
+std::unique_ptr<SimBatch> makeSimBatch(const Netlist& netlist, unsigned lanes,
+                                       SimBackend backend) {
+    SimConfig config;
+    config.backend = backend;
+    config.batchLanes = lanes;
+    return makeSimBatch(netlist, config);
+}
+
+} // namespace socgen::rtl

@@ -1,0 +1,195 @@
+#pragma once
+
+#include "socgen/common/error.hpp"
+#include "socgen/rtl/band_pool.hpp"
+#include "socgen/rtl/compiled_program.hpp"
+#include "socgen/rtl/sim_backend.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace socgen::rtl {
+
+/// A batch of up to 64 independent stimulus lanes simulated over one
+/// shared netlist. Every lane behaves exactly like its own scalar
+/// Simulator run — same values on every net on every cycle, same final
+/// memory contents, and a lane that would have thrown SimulationError
+/// instead faults on the same cycle with the same message while the
+/// remaining lanes keep running (the whole-batch step cannot throw for
+/// one lane's stimulus). The lane-independence differential suite
+/// (tests/test_rtl_batch_sim.cpp) enforces this contract against 64
+/// scalar CompiledSim runs, net for net, cycle for cycle.
+class SimBatch {
+public:
+    virtual ~SimBatch() = default;
+
+    /// "compiled-batch" or "scalar-farm" — which execution strategy runs.
+    [[nodiscard]] virtual std::string_view backendName() const = 0;
+
+    [[nodiscard]] virtual unsigned laneCount() const = 0;
+
+    /// Drives an input port on one lane for subsequent evaluations.
+    /// No-op on a faulted lane: the lane is frozen exactly where the
+    /// scalar run would have halted.
+    virtual void setInput(std::string_view port, unsigned lane, std::uint64_t value) = 0;
+
+    /// Drives an input port identically on every lane.
+    void setInputAll(std::string_view port, std::uint64_t value);
+
+    /// Settles combinational logic on every lane.
+    virtual void evaluate() = 0;
+
+    /// evaluate() then advance registers/BRAMs/FSMs by one clock edge on
+    /// every non-faulted lane.
+    virtual void step() = 0;
+
+    [[nodiscard]] virtual std::uint64_t output(std::string_view port,
+                                               unsigned lane) const = 0;
+    [[nodiscard]] virtual std::uint64_t netValue(NetId id, unsigned lane) const = 0;
+    [[nodiscard]] virtual std::vector<std::uint64_t> memoryContents(CellId id,
+                                                                    unsigned lane) const = 0;
+
+    /// A faulted lane hit a condition a scalar run reports by throwing
+    /// (e.g. BRAM address out of range). It froze at the fault cycle;
+    /// other lanes are unaffected.
+    [[nodiscard]] virtual bool laneFaulted(unsigned lane) const = 0;
+    /// cycleCount() at the moment the lane faulted (the scalar engines
+    /// throw before incrementing their counter, so the two agree).
+    [[nodiscard]] virtual std::uint64_t laneFaultCycle(unsigned lane) const = 0;
+    /// The SimulationError message the scalar run would have thrown.
+    [[nodiscard]] virtual const std::string& laneFaultMessage(unsigned lane) const = 0;
+
+    /// Resets all sequential state on all lanes (inputs retained);
+    /// faulted lanes rejoin the batch.
+    virtual void reset() = 0;
+
+    [[nodiscard]] virtual std::uint64_t cycleCount() const = 0;
+};
+
+/// Read-only Simulator adapter over one lane of a SimBatch, so
+/// lane-agnostic consumers — VcdTrace above all — can extract per-lane
+/// signal traces from a batched run. setInput() drives the viewed lane;
+/// the advancing calls (evaluate/step/reset) throw SimulationError,
+/// because advancing one lane of a batch is not a meaningful operation:
+/// step the SimBatch itself.
+class SimBatchLane final : public Simulator {
+public:
+    SimBatchLane(SimBatch& batch, unsigned lane);
+
+    [[nodiscard]] std::string_view backendName() const override { return "batch-lane"; }
+    void setInput(std::string_view port, std::uint64_t value) override;
+    void evaluate() override;
+    void step() override;
+    [[nodiscard]] std::uint64_t output(std::string_view port) const override;
+    [[nodiscard]] std::uint64_t netValue(NetId id) const override;
+    [[nodiscard]] std::vector<std::uint64_t> memoryContents(CellId id) const override;
+    void reset() override;
+    [[nodiscard]] std::uint64_t cycleCount() const override;
+    [[nodiscard]] unsigned lane() const { return lane_; }
+
+private:
+    SimBatch& batch_;
+    unsigned lane_;
+};
+
+/// 64-way bit-parallel batched executor over a CompiledProgram: net
+/// values are stored lane-strided (lane-contiguous per net) in the same
+/// word-packed two-state form as the scalar engine, so one sweep over
+/// the op program evaluates every lane — the op fetch, dispatch, dirty
+/// tracking and consumer marking are paid once per op instead of once
+/// per op per stimulus vector, and the per-lane inner loops are plain
+/// word operations over contiguous memory the compiler vectorizes.
+///
+/// Dirty tracking is batch-wide: an op re-evaluates when any lane's
+/// input changed, which cannot diverge from per-lane skipping because
+/// re-evaluating an op with unchanged inputs reproduces its output
+/// (evaluation is pure). Partitioned evaluation (SimConfig::threads)
+/// uses the same chunked level bands as the scalar engine.
+class BatchCompiledSim final : public SimBatch {
+public:
+    /// Compiles `netlist` (kept by reference; must outlive the sim) for
+    /// `config.batchLanes` lanes (0 means 1; at most kMaxSimLanes).
+    /// Throws UnsupportedNetlistError when a cell kind cannot be lowered.
+    BatchCompiledSim(const Netlist& netlist, const SimConfig& config);
+
+    [[nodiscard]] std::string_view backendName() const override { return "compiled-batch"; }
+    [[nodiscard]] unsigned laneCount() const override { return lanes_; }
+    void setInput(std::string_view port, unsigned lane, std::uint64_t value) override;
+    void evaluate() override;
+    void step() override;
+    [[nodiscard]] std::uint64_t output(std::string_view port, unsigned lane) const override;
+    [[nodiscard]] std::uint64_t netValue(NetId id, unsigned lane) const override;
+    [[nodiscard]] std::vector<std::uint64_t> memoryContents(CellId id,
+                                                            unsigned lane) const override;
+    [[nodiscard]] bool laneFaulted(unsigned lane) const override;
+    [[nodiscard]] std::uint64_t laneFaultCycle(unsigned lane) const override;
+    [[nodiscard]] const std::string& laneFaultMessage(unsigned lane) const override;
+    void reset() override;
+    [[nodiscard]] std::uint64_t cycleCount() const override { return cycles_; }
+
+    // -- program introspection (tests, benchmarks) ----------------------------
+    [[nodiscard]] std::size_t opCount() const { return prog_.ops.size(); }
+    [[nodiscard]] std::size_t levelCount() const { return prog_.levels.size(); }
+    /// Batched op evaluations (one per op sweep, covering all lanes).
+    [[nodiscard]] std::uint64_t opsEvaluated() const { return opsEvaluated_; }
+    [[nodiscard]] unsigned threadCount() const { return threads_; }
+
+private:
+    struct LaneFault {
+        bool faulted = false;
+        std::uint64_t cycle = 0;
+        std::string message;
+    };
+
+    void markAllOpsDirty();
+    void markConsumers(std::uint32_t net);
+    void publishSeqOutputs();
+    /// Evaluates one op across all lanes; returns true when any lane's
+    /// output word changed.
+    bool evalOpLanes(const CompiledOp& op);
+    void evaluateBandParallel(std::vector<std::uint32_t>& bucket);
+    void faultLane(unsigned lane, std::uint64_t cycle, std::string message);
+
+    const Netlist& netlist_;
+    CompiledProgram prog_;
+    unsigned lanes_ = 1;
+
+    unsigned threads_ = 1;
+    unsigned grain_ = 256;
+    std::unique_ptr<BandPool> pool_;
+    std::vector<std::vector<std::uint32_t>> chunkChanged_;
+    std::vector<std::uint64_t> chunkOps_;
+
+    // Runtime state, lane-strided: slot(net, lane) = net * lanes_ + lane.
+    std::vector<std::uint64_t> vals_;
+    std::vector<std::uint64_t> state_;          ///< per seq op × lane
+    std::vector<std::vector<std::uint64_t>> mems_;  ///< per mem: depth × lanes
+    std::vector<std::uint8_t> pending_;
+    std::vector<std::vector<std::uint32_t>> worklist_;
+    std::vector<std::uint32_t> seqDirty_;
+    std::vector<std::uint8_t> seqDirtyFlag_;
+    std::uint64_t laneActive_ = 0;              ///< bit l = lane l not faulted
+    std::vector<LaneFault> faults_;
+    std::uint64_t cycles_ = 0;
+    std::uint64_t opsEvaluated_ = 0;
+};
+
+/// Builds a batch simulator for `netlist` with `config.batchLanes`
+/// lanes, following the same selection rule as makeSimulator:
+///  - Compiled: BatchCompiledSim; throws if unsupported.
+///  - EventDriven: a scalar farm of event-driven engines (the always-
+///    available fallback; lanes run sequentially, semantics identical).
+///  - Auto: env override first, then BatchCompiledSim with automatic
+///    fallback to the scalar farm when compilation reports an
+///    unsupported construct.
+[[nodiscard]] std::unique_ptr<SimBatch> makeSimBatch(const Netlist& netlist,
+                                                     const SimConfig& config);
+
+/// Convenience: `lanes` lanes under `backend`, default knobs otherwise.
+[[nodiscard]] std::unique_ptr<SimBatch> makeSimBatch(const Netlist& netlist, unsigned lanes,
+                                                     SimBackend backend = SimBackend::Auto);
+
+} // namespace socgen::rtl

@@ -23,7 +23,9 @@ std::string binaryOf(std::uint64_t value, unsigned width) {
     std::string bits;
     bits.reserve(width);
     for (unsigned b = width; b-- > 0;) {
-        bits.push_back((value >> b) & 1 ? '1' : '0');
+        // Nets wider than the 64-bit storage word carry zeros in the
+        // untracked high bits (shifting by >= 64 would be UB).
+        bits.push_back(b < 64 && ((value >> b) & 1) != 0 ? '1' : '0');
     }
     return bits;
 }

@@ -23,6 +23,12 @@ public:
                      std::string donePort = "ap_done",
                      rtl::SimBackend backend = rtl::SimBackend::Auto);
 
+    /// Full engine configuration (backend, partitioned-evaluation
+    /// threads, band grain); batchLanes is ignored — a component clocks
+    /// one instance of the core.
+    RtlCoreComponent(std::string name, const rtl::Netlist& netlist, std::string donePort,
+                     const rtl::SimConfig& config);
+
     [[nodiscard]] const std::string& name() const override { return name_; }
     bool tick() override;
     [[nodiscard]] bool idle() const override;

@@ -52,6 +52,20 @@ struct NetlistGenOptions {
     unsigned brams = 2;
     unsigned fsms = 1;
     unsigned maxWidth = 64;
+    /// Combinational cells on >64-bit nets (65..128). Both engines track
+    /// the low 64 bits of such a net; the corpus pins that they agree.
+    /// Also adds one wide input port so setInput truncation is covered.
+    unsigned wideBuses = 0;
+    /// Pairs of BRAMs sharing address and write-data nets with
+    /// independent write enables over a tiny depth. Each cell keeps its
+    /// own storage, so the pair exercises same-address read/write
+    /// collisions within each port and divergence through the enables
+    /// on nearly every cycle.
+    unsigned bramPairs = 0;
+    /// Length of an extra serial combinational chain (each cell consumes
+    /// the previous one's output), forcing hundreds of levelization
+    /// levels with one-op bands — the worst case for band dispatch.
+    unsigned chainDepth = 0;
 };
 
 /// Builds a structurally valid random netlist from `seed`. The netlist
@@ -83,6 +97,12 @@ inline rtl::Netlist randomNetlist(std::uint64_t seed, NetlistGenOptions opt = {}
         n.addPort("in" + std::to_string(i), PortDir::In, w, net);
         pool.push_back(net);
     }
+    if (opt.wideBuses > 0) {
+        const unsigned w = static_cast<unsigned>(rng.range(65, 128));
+        const NetId net = n.addNet("inw", w);
+        n.addPort("inw", PortDir::In, w, net);
+        pool.push_back(net);
+    }
 
     // Pre-created output nets of the sequential cells, so combinational
     // logic can consume them (feedback closed through state).
@@ -99,6 +119,14 @@ inline rtl::Netlist randomNetlist(std::uint64_t seed, NetlistGenOptions opt = {}
         bramOuts.push_back(n.addNet("mq" + std::to_string(i), w));
         bramWidths.push_back(w);
         pool.push_back(bramOuts.back());
+    }
+    std::vector<NetId> pairOuts;
+    std::vector<unsigned> pairWidths;
+    for (unsigned i = 0; i < opt.bramPairs * 2; ++i) {
+        const unsigned w = width();
+        pairOuts.push_back(n.addNet("pq" + std::to_string(i), w));
+        pairWidths.push_back(w);
+        pool.push_back(pairOuts.back());
     }
     for (unsigned i = 0; i < opt.fsms; ++i) {
         const unsigned w = static_cast<unsigned>(rng.range(2, 8));
@@ -140,6 +168,37 @@ inline rtl::Netlist randomNetlist(std::uint64_t seed, NetlistGenOptions opt = {}
         pool.push_back(out);
     }
 
+    for (unsigned i = 0; i < opt.wideBuses; ++i) {
+        const unsigned w = static_cast<unsigned>(rng.range(65, 128));
+        const NetId out = fresh(w);
+        if (rng.below(4) == 0) {
+            n.addCell("wconst" + std::to_string(i), CellKind::Const, w, {}, {out},
+                      static_cast<std::int64_t>(rng.next()));
+        } else {
+            static constexpr CellKind kWideKinds[] = {CellKind::Add, CellKind::Sub,
+                                                      CellKind::Mul, CellKind::Xor,
+                                                      CellKind::Or,  CellKind::Shl};
+            const CellKind kind = kWideKinds[rng.below(std::size(kWideKinds))];
+            n.addCell("wide" + std::to_string(i), kind, w, {anyNet(), anyNet()}, {out});
+        }
+        pool.push_back(out);
+    }
+
+    if (opt.chainDepth > 0) {
+        const unsigned w = static_cast<unsigned>(rng.range(16, 48));
+        NetId prev = anyNet();
+        static constexpr CellKind kChainKinds[] = {CellKind::Add, CellKind::Xor,
+                                                   CellKind::Sub, CellKind::Or};
+        for (unsigned i = 0; i < opt.chainDepth; ++i) {
+            const NetId out = fresh(w);
+            n.addCell("chain" + std::to_string(i),
+                      kChainKinds[rng.below(std::size(kChainKinds))], w, {prev, anyNet()},
+                      {out});
+            prev = out;
+            pool.push_back(out);
+        }
+    }
+
     for (unsigned i = 0; i < opt.regs; ++i) {
         std::vector<NetId> ins{anyNet()};
         if (rng.below(2) == 0) {
@@ -159,6 +218,27 @@ inline rtl::Netlist randomNetlist(std::uint64_t seed, NetlistGenOptions opt = {}
         n.addCell("bram" + std::to_string(i), CellKind::Bram, bramWidths[i],
                   {addr, anyNet(), anyNet()}, {bramOuts[i]},
                   static_cast<std::int64_t>(1ULL << addrW));
+    }
+
+    for (unsigned i = 0; i < opt.bramPairs; ++i) {
+        // Two BRAMs on one shared address and write-data net with
+        // independent write enables over a tiny memory: with a depth of
+        // 4-8 words, same-address write+read collisions (the
+        // read-after-write path) happen almost every cycle, and the two
+        // cells diverge only through their enables — any engine bug that
+        // mixes up write gating or RAW ordering shows up as the pair
+        // disagreeing between backends.
+        const unsigned addrW = static_cast<unsigned>(rng.range(2, 3));
+        const NetId addr = fresh(addrW);
+        n.addCell("paddr" + std::to_string(i), CellKind::And, addrW, {anyNet(), anyNet()},
+                  {addr});
+        const NetId wdata = anyNet();
+        for (unsigned port = 0; port < 2; ++port) {
+            const unsigned idx = i * 2 + port;
+            n.addCell("pbram" + std::to_string(idx), CellKind::Bram, pairWidths[idx],
+                      {addr, wdata, anyNet()}, {pairOuts[idx]},
+                      static_cast<std::int64_t>(1ULL << addrW));
+        }
     }
 
     for (unsigned i = 0; i < opt.fsms; ++i) {
@@ -181,6 +261,41 @@ inline rtl::Netlist randomNetlist(std::uint64_t seed, NetlistGenOptions opt = {}
 
     n.check();
     return n;
+}
+
+/// The diff-sim sweep's seed list: 40 seeds shared by the scalar
+/// backend-parity, thread-parity and batch-parity suites so every
+/// engine mode is exercised on the same corpus.
+inline std::vector<std::uint64_t> diffSimSeeds() {
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(40);
+    for (std::uint64_t i = 1; i <= 40; ++i) {
+        seeds.push_back(i * 7919ULL);  // arbitrary but stable spacing
+    }
+    return seeds;
+}
+
+/// Deterministic per-seed shape for the sweep: every seed gets a
+/// different mix of sizes, and the newer constructs (wide buses, BRAM
+/// collision pairs, deep chains) each appear on a fixed subset of seeds
+/// so a corpus regression names the construct in the failing seed.
+inline NetlistGenOptions sweepOptions(std::uint64_t seed) {
+    NetlistGenOptions opt;
+    SplitMix64 rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    opt.combCells = static_cast<unsigned>(rng.range(80, 200));
+    opt.regs = static_cast<unsigned>(rng.range(8, 20));
+    opt.brams = static_cast<unsigned>(rng.range(1, 3));
+    opt.fsms = static_cast<unsigned>(rng.below(3));
+    if (seed % 3 == 0) {
+        opt.wideBuses = static_cast<unsigned>(rng.range(2, 4));
+    }
+    if (seed % 4 == 0) {
+        opt.bramPairs = static_cast<unsigned>(rng.range(1, 2));
+    }
+    if (seed % 5 == 0) {
+        opt.chainDepth = static_cast<unsigned>(rng.range(100, 250));
+    }
+    return opt;
 }
 
 } // namespace socgen::testing

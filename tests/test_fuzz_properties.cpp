@@ -4,8 +4,11 @@
 //  2. random task graphs: renderDsl() followed by parseDsl() is the
 //     identity;
 //  3. random stream pipelines: a generated multi-core system computes the
-//     composition of its stages' software references.
+//     composition of its stages' software references;
+//  4. random netlists: every corpus shape (wide buses, paired BRAM ports,
+//     deep chains) is accepted by the emitters, simulators and tracer.
 
+#include "netlist_gen.hpp"
 #include "socgen/apps/kernels.hpp"
 #include "socgen/common/error.hpp"
 #include "socgen/hls/engine.hpp"
@@ -13,6 +16,11 @@
 #include "socgen/hls/optimize.hpp"
 #include "socgen/hls/unroll.hpp"
 #include "socgen/hls/verify.hpp"
+#include "socgen/rtl/compiled_sim.hpp"
+#include "socgen/rtl/sim_backend.hpp"
+#include "socgen/rtl/vcd.hpp"
+#include "socgen/rtl/verilog.hpp"
+#include "socgen/rtl/vhdl.hpp"
 #include "socgen/socgen.hpp"
 
 #include <gtest/gtest.h>
@@ -160,7 +168,7 @@ RunOutput runFuzz(const hls::Kernel& kernel, std::uint64_t argA, std::uint64_t a
                      io.results[kernel.portId("res")]};
 }
 
-class KernelFuzz : public testing::TestWithParam<std::uint64_t> {};
+class KernelFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(KernelFuzz, OptimizerPreservesSemantics) {
     const hls::Kernel original = randomKernel(GetParam());
@@ -199,7 +207,7 @@ TEST_P(KernelFuzz, FullHlsPipelineAccepts) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KernelFuzz,
-                         testing::Range<std::uint64_t>(1, 21));
+                         ::testing::Range<std::uint64_t>(1, 21));
 
 // ---------------------------------------------------------------------------
 // Task-graph render/parse roundtrip
@@ -241,7 +249,7 @@ core::TaskGraph randomGraph(std::uint64_t seed) {
     return tg;
 }
 
-class GraphFuzz : public testing::TestWithParam<std::uint64_t> {};
+class GraphFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(GraphFuzz, RenderParseRoundTrip) {
     const core::TaskGraph tg = randomGraph(GetParam());
@@ -249,12 +257,12 @@ TEST_P(GraphFuzz, RenderParseRoundTrip) {
     EXPECT_TRUE(parsed.graph == tg) << "seed " << GetParam();
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, GraphFuzz, testing::Range<std::uint64_t>(1, 26));
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphFuzz, ::testing::Range<std::uint64_t>(1, 26));
 
 // ---------------------------------------------------------------------------
 // Random GAUSS/EDGE pipelines end to end
 
-class PipelineFuzz : public testing::TestWithParam<std::uint64_t> {};
+class PipelineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(PipelineFuzz, RandomFilterChainsMatchComposedReferences) {
     Rng rng(GetParam());
@@ -340,7 +348,81 @@ TEST_P(PipelineFuzz, RandomFilterChainsMatchComposedReferences) {
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz, testing::Range<std::uint64_t>(1, 13));
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz, ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
+// 4. Random netlists: the grown fuzz corpus (wide >64-bit buses, paired
+//    BRAM ports with write collisions, deep serial combinational chains)
+//    produces structurally sound netlists that every consumer accepts —
+//    both HDL emitters, both simulation engines, and the VCD tracer.
+// ---------------------------------------------------------------------------
+
+class NetlistShapeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetlistShapeFuzz, CorpusShapesArePresentAndAllConsumersAcceptThem) {
+    const std::uint64_t seed = GetParam();
+    const auto opt = socgen::testing::sweepOptions(seed);
+    const rtl::Netlist netlist = socgen::testing::randomNetlist(seed, opt);
+
+    // The advertised shapes actually appear on their scheduled seeds.
+    if (opt.wideBuses > 0) {
+        bool sawWide = false;
+        for (const auto& net : netlist.nets()) {
+            EXPECT_LE(net.width, 128u) << "seed " << seed;
+            sawWide = sawWide || net.width > 64;
+        }
+        EXPECT_TRUE(sawWide) << "seed " << seed << " scheduled wide buses";
+    }
+    if (opt.bramPairs > 0) {
+        // Each pair is two Bram cells sharing address and write-data nets
+        // (independent enables), so same-address collisions are reachable.
+        unsigned brams = 0;
+        bool sawSharedInputs = false;
+        std::map<rtl::NetId, unsigned> addrUses;
+        for (const auto& cell : netlist.cells()) {
+            if (cell.kind != rtl::CellKind::Bram) {
+                continue;
+            }
+            ++brams;
+            if (++addrUses[cell.inputs.front()] > 1) {
+                sawSharedInputs = true;
+            }
+        }
+        EXPECT_GE(brams, opt.bramPairs * 2 + opt.brams) << "seed " << seed;
+        EXPECT_TRUE(sawSharedInputs) << "seed " << seed << " scheduled BRAM pairs";
+    }
+    if (opt.chainDepth > 0) {
+        // The chain is serial, so levelization depth must grow with it.
+        rtl::CompiledSim sim(netlist);
+        EXPECT_GE(sim.levelCount(), static_cast<std::size_t>(opt.chainDepth))
+            << "seed " << seed;
+    }
+
+    // Both HDL emitters render the netlist, including >64-bit ranges.
+    const std::string vhdl = rtl::VhdlEmitter{}.emit(netlist);
+    const std::string verilog = rtl::VerilogEmitter{}.emit(netlist);
+    EXPECT_NE(vhdl.find("entity"), std::string::npos) << "seed " << seed;
+    EXPECT_NE(verilog.find("module"), std::string::npos) << "seed " << seed;
+
+    // Both engines simulate it, and the VCD tracer renders wide values.
+    auto sim = rtl::makeSimulator(netlist);
+    rtl::VcdTrace trace(netlist, *sim);
+    Rng rng(seed ^ 0x5e115e11u);
+    for (unsigned cycle = 0; cycle < 8; ++cycle) {
+        for (const auto& port : netlist.ports()) {
+            if (port.dir == rtl::PortDir::In) {
+                sim->setInput(port.name, rng.next());
+            }
+        }
+        sim->step();
+        sim->evaluate();
+        trace.sample();
+    }
+    EXPECT_NE(trace.render().find("$enddefinitions"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetlistShapeFuzz,
+                         ::testing::ValuesIn(socgen::testing::diffSimSeeds()));
 
 } // namespace
 } // namespace socgen

@@ -1,0 +1,438 @@
+// Differential test for the 64-way batched simulator: every lane of a
+// BatchCompiledSim (and of the scalar-farm fallback) must be
+// byte-identical — every net, every cycle — to an independent scalar
+// CompiledSim run fed the same per-lane stimulus, including final BRAM
+// contents per lane and throw parity: a lane whose scalar twin throws
+// SimulationError faults on the same cycle with the same message while
+// the other lanes keep running. ctest label: diff-sim.
+
+#include "netlist_gen.hpp"
+#include "socgen/apps/kernels.hpp"
+#include "socgen/apps/otsu_project.hpp"
+#include "socgen/common/error.hpp"
+#include "socgen/hls/engine.hpp"
+#include "socgen/rtl/compiled_sim.hpp"
+#include "socgen/rtl/primitives.hpp"
+#include "socgen/rtl/sim_batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace socgen::rtl {
+namespace {
+
+using Stimulus = std::map<std::string, std::uint64_t>;
+
+/// Random per-cycle stimulus (mirrors the diff-sim suite's shape: ports
+/// change with probability 1/4 so dirty skipping stays exercised).
+std::vector<Stimulus> randomStimulus(const Netlist& netlist, std::uint64_t seed,
+                                     unsigned cycles) {
+    testing::SplitMix64 rng(seed ^ 0xa0761d6478bd642fULL);
+    std::vector<Stimulus> out(cycles);
+    for (unsigned cycle = 0; cycle < cycles; ++cycle) {
+        for (const auto& port : netlist.ports()) {
+            if (port.dir != PortDir::In) {
+                continue;
+            }
+            if (cycle == 0 || rng.below(4) == 0) {
+                out[cycle][port.name] = rng.next();
+            }
+        }
+    }
+    return out;
+}
+
+struct ScalarFault {
+    std::uint64_t cycle = 0;
+    std::string message;
+};
+
+/// Runs `batch` against one independent scalar CompiledSim per lane in
+/// lockstep, asserting after every step that every lane agrees with its
+/// scalar twin on every net, that faults land on the same cycle with
+/// the same message, and at the end that per-lane BRAM contents match.
+void expectBatchMatchesScalars(const Netlist& netlist, SimBatch& batch,
+                               const std::vector<std::vector<Stimulus>>& laneStim) {
+    const unsigned lanes = batch.laneCount();
+    ASSERT_EQ(laneStim.size(), lanes);
+    const std::size_t cycles = laneStim.front().size();
+
+    std::vector<std::unique_ptr<CompiledSim>> scalars;
+    std::vector<std::optional<ScalarFault>> faults(lanes);
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+        scalars.push_back(std::make_unique<CompiledSim>(netlist));
+    }
+
+    for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+        for (unsigned lane = 0; lane < lanes; ++lane) {
+            for (const auto& [port, value] : laneStim[lane][cycle]) {
+                batch.setInput(port, lane, value);
+                if (!faults[lane].has_value()) {
+                    scalars[lane]->setInput(port, value);
+                }
+            }
+        }
+        batch.step();
+        batch.evaluate();
+        for (unsigned lane = 0; lane < lanes; ++lane) {
+            if (faults[lane].has_value()) {
+                continue;  // verified at fault time; the lane stays frozen
+            }
+            bool threw = false;
+            try {
+                scalars[lane]->step();
+                scalars[lane]->evaluate();
+            } catch (const SimulationError& error) {
+                threw = true;
+                faults[lane] = ScalarFault{scalars[lane]->cycleCount(), error.what()};
+            }
+            ASSERT_EQ(batch.laneFaulted(lane), threw)
+                << netlist.name() << ": lane " << lane << " fault parity broke on cycle "
+                << cycle;
+            if (threw) {
+                EXPECT_EQ(batch.laneFaultCycle(lane), faults[lane]->cycle)
+                    << netlist.name() << ": lane " << lane;
+                EXPECT_EQ(batch.laneFaultMessage(lane), faults[lane]->message)
+                    << netlist.name() << ": lane " << lane;
+                continue;
+            }
+            for (NetId id = 0; id < netlist.nets().size(); ++id) {
+                ASSERT_EQ(scalars[lane]->netValue(id), batch.netValue(id, lane))
+                    << netlist.name() << ": lane " << lane << " net '"
+                    << netlist.net(id).name << "' (id " << id << ") diverged on cycle "
+                    << cycle;
+            }
+        }
+    }
+
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+        for (CellId id = 0; id < netlist.cells().size(); ++id) {
+            if (netlist.cell(id).kind == CellKind::Bram) {
+                EXPECT_EQ(scalars[lane]->memoryContents(id), batch.memoryContents(id, lane))
+                    << netlist.name() << ": lane " << lane << " BRAM '"
+                    << netlist.cell(id).name << "' final contents diverged";
+            }
+        }
+    }
+}
+
+/// Per-lane stimulus: each lane gets its own seed stream.
+std::vector<std::vector<Stimulus>> laneStimulus(const Netlist& netlist,
+                                                std::uint64_t seed, unsigned lanes,
+                                                unsigned cycles) {
+    std::vector<std::vector<Stimulus>> out;
+    out.reserve(lanes);
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+        out.push_back(randomStimulus(netlist, seed * 64 + lane, cycles));
+    }
+    return out;
+}
+
+class BatchRandomNetlist : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchRandomNetlist, SixtyFourLanesMatchSixtyFourScalarRuns) {
+    const std::uint64_t seed = GetParam();
+    const Netlist netlist = testing::randomNetlist(seed, testing::sweepOptions(seed));
+    BatchCompiledSim batch(netlist, [] {
+        SimConfig config;
+        config.batchLanes = 64;
+        config.threads = 1;
+        return config;
+    }());
+    ASSERT_EQ(batch.laneCount(), 64u);
+    expectBatchMatchesScalars(netlist, batch, laneStimulus(netlist, seed, 64, 60));
+}
+
+// A subset of the diff-sim sweep seeds, chosen to include each of the
+// newer corpus constructs (wide buses: %3, BRAM pairs: %4, chains: %5).
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchRandomNetlist,
+                         ::testing::Values(7919ULL,           // plain
+                                           15838ULL,          // plain
+                                           23757ULL,          // wide buses
+                                           31676ULL,          // bram pairs
+                                           39595ULL,          // chains
+                                           47514ULL,          // wide buses
+                                           95028ULL,          // wide + pairs
+                                           475140ULL));       // wide + pairs + chains
+
+TEST(BatchRandomNetlist, ThreadedBatchMatchesScalarRuns) {
+    // Threads and lanes compose: the partitioned batch must still match
+    // 64 scalar serial runs bit for bit.
+    const std::uint64_t seed = 424242;
+    testing::NetlistGenOptions opt = testing::sweepOptions(seed);
+    opt.combCells = 400;
+    const Netlist netlist = testing::randomNetlist(seed, opt);
+    SimConfig config;
+    config.batchLanes = 64;
+    config.threads = 4;
+    config.parallelGrainOps = 1;  // force the worker-pool path
+    BatchCompiledSim batch(netlist, config);
+    EXPECT_EQ(batch.threadCount(), 4u);
+    expectBatchMatchesScalars(netlist, batch, laneStimulus(netlist, seed, 64, 40));
+}
+
+TEST(BatchFaults, LanesThrowOnTheSameCycleWithTheSameMessage) {
+    // Depth-4 BRAM with the address driven straight from a port: lanes
+    // whose address is out of range must fault exactly where the scalar
+    // run throws while in-range lanes keep stepping and end up with
+    // per-lane distinct memory contents.
+    NetlistBuilder b("mem");
+    const NetId addr = b.inputPort("addr", 8);
+    const NetId wdata = b.inputPort("wdata", 16);
+    const NetId we = b.inputPort("we", 1);
+    b.outputPort("rdata", b.bram(addr, wdata, we, 16, 4));
+    const Netlist netlist = b.netlist();
+
+    const unsigned lanes = 64;
+    std::vector<std::vector<Stimulus>> stim(lanes);
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+        for (unsigned cycle = 0; cycle < 6; ++cycle) {
+            // Lanes 0..3 stay in range; lane 4+ walks out of range on a
+            // lane-dependent cycle so faults land on different cycles.
+            const std::uint64_t address =
+                (lane < 4 || cycle < lane % 5) ? lane % 4 : lane % 8;
+            stim[lane].push_back(
+                {{"addr", address}, {"wdata", 100 + lane}, {"we", 1}});
+        }
+    }
+    BatchCompiledSim batch(netlist, [] {
+        SimConfig config;
+        config.batchLanes = 64;
+        return config;
+    }());
+    expectBatchMatchesScalars(netlist, batch, stim);
+
+    // Spot-check the surviving lanes really hold lane-distinct payloads.
+    for (unsigned lane = 0; lane < 4; ++lane) {
+        ASSERT_FALSE(batch.laneFaulted(lane));
+        const auto mem = batch.memoryContents(0, lane);
+        ASSERT_EQ(mem.size(), 4u);
+        EXPECT_EQ(mem[lane % 4], 100u + lane);
+    }
+    EXPECT_TRUE(batch.laneFaulted(7));
+    EXPECT_NE(batch.laneFaultMessage(7).find("out of range"), std::string::npos);
+}
+
+TEST(BatchFaults, ResetRevivesFaultedLanes) {
+    NetlistBuilder b("mem");
+    const NetId addr = b.inputPort("addr", 8);
+    const NetId wdata = b.inputPort("wdata", 16);
+    const NetId we = b.inputPort("we", 1);
+    b.outputPort("rdata", b.bram(addr, wdata, we, 16, 4));
+    const Netlist netlist = b.netlist();
+
+    BatchCompiledSim batch(netlist, [] {
+        SimConfig config;
+        config.batchLanes = 2;
+        return config;
+    }());
+    batch.setInput("addr", 0, 1);
+    batch.setInput("addr", 1, 200);  // out of range -> lane 1 faults
+    batch.setInputAll("we", 1);
+    batch.setInputAll("wdata", 7);
+    batch.step();
+    EXPECT_FALSE(batch.laneFaulted(0));
+    ASSERT_TRUE(batch.laneFaulted(1));
+    EXPECT_EQ(batch.laneFaultCycle(1), 0u);
+
+    batch.reset();
+    EXPECT_FALSE(batch.laneFaulted(1));
+    batch.setInput("addr", 1, 2);  // back in range, lane accepts input again
+    batch.step();
+    batch.evaluate();
+    EXPECT_FALSE(batch.laneFaulted(1));
+    EXPECT_EQ(batch.memoryContents(0, 1)[2], 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Otsu case study: every HLS netlist of Arch1..Arch4, 64 lanes each.
+
+std::vector<Stimulus> hlsCoreStimulus(const Netlist& netlist, std::uint64_t seed,
+                                      unsigned cycles) {
+    testing::SplitMix64 rng(seed);
+    std::vector<Stimulus> out(cycles);
+    for (unsigned cycle = 0; cycle < cycles; ++cycle) {
+        for (const auto& port : netlist.ports()) {
+            if (port.dir != PortDir::In) {
+                continue;
+            }
+            const std::string& name = port.name;
+            if (name == "ap_start") {
+                out[cycle][name] = 1;
+            } else if (name.ends_with("_tdata")) {
+                out[cycle][name] = rng.below(256);
+            } else if (name.ends_with("_tvalid") || name.ends_with("_tready")) {
+                out[cycle][name] = rng.below(4) != 0 ? 1 : 0;
+            } else if (cycle == 0) {
+                out[cycle][name] = rng.below(256);
+            }
+        }
+    }
+    return out;
+}
+
+TEST(OtsuBatchDiff, AllArchitecturesMatchScalarRunsAcrossLanes) {
+    const core::Htg htg = apps::makeOtsuHtg();
+    const hls::KernelLibrary kernels = apps::makeOtsuKernelLibrary(4096);
+    core::FlowOptions options = apps::otsuFlowOptions();
+    options.runSynthesis = false;
+    options.generateSoftware = false;
+    const auto cache = std::make_shared<core::HlsCache>();
+    for (int arch = 1; arch <= 4; ++arch) {
+        core::Flow flow(options, kernels, cache);
+        const core::FlowResult result = flow.run(
+            "batchsim_arch" + std::to_string(arch),
+            core::lowerToTaskGraph(htg, apps::otsuArchPartition(arch)));
+        ASSERT_FALSE(result.hlsResults.empty()) << "arch " << arch;
+        for (const auto& [node, hlsResult] : result.hlsResults) {
+            SCOPED_TRACE("arch " + std::to_string(arch) + " core " + node);
+            const Netlist& netlist = hlsResult.netlist;
+            BatchCompiledSim batch(netlist, [] {
+                SimConfig config;
+                config.batchLanes = 64;
+                return config;
+            }());
+            std::vector<std::vector<Stimulus>> stim;
+            for (unsigned lane = 0; lane < 64; ++lane) {
+                stim.push_back(hlsCoreStimulus(
+                    netlist, 0x0b000000u + static_cast<unsigned>(arch) * 64 + lane, 80));
+            }
+            expectBatchMatchesScalars(netlist, batch, stim);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch construction, the scalar-farm fallback, and the lane view.
+
+class EnvGuard {
+public:
+    explicit EnvGuard(const char* name) : name_(name) {
+        if (const char* value = std::getenv(name)) {
+            saved_ = value;
+        }
+        ::unsetenv(name);
+    }
+    ~EnvGuard() {
+        if (saved_.has_value()) {
+            ::setenv(name_, saved_->c_str(), 1);
+        } else {
+            ::unsetenv(name_);
+        }
+    }
+    EnvGuard(const EnvGuard&) = delete;
+    EnvGuard& operator=(const EnvGuard&) = delete;
+
+private:
+    const char* name_;
+    std::optional<std::string> saved_;
+};
+
+TEST(BatchSelect, FactoryFollowsTheBackendRule) {
+    const EnvGuard backendGuard("SOCGEN_SIM_BACKEND");
+    const EnvGuard denyGuard("SOCGEN_COMPILED_SIM_DENY");
+    const Netlist netlist = makeCounter("ctr", 8);
+    EXPECT_EQ(makeSimBatch(netlist, 4)->backendName(), "compiled-batch");
+    EXPECT_EQ(makeSimBatch(netlist, 4, SimBackend::EventDriven)->backendName(),
+              "scalar-farm");
+    // Unsupported constructs degrade Auto to the farm, like makeSimulator.
+    ::setenv("SOCGEN_COMPILED_SIM_DENY", "REG", 1);
+    EXPECT_EQ(makeSimBatch(netlist, 4)->backendName(), "scalar-farm");
+    EXPECT_THROW((void)makeSimBatch(netlist, 4, SimBackend::Compiled),
+                 UnsupportedNetlistError);
+    ::unsetenv("SOCGEN_COMPILED_SIM_DENY");
+    // Lane resolution: 0 means one lane, requests clamp to kMaxSimLanes.
+    EXPECT_EQ(makeSimBatch(netlist, 0)->laneCount(), 1u);
+    EXPECT_EQ(makeSimBatch(netlist, 1000)->laneCount(), kMaxSimLanes);
+    EXPECT_EQ(resolveSimLanes(), 1u);
+    EXPECT_EQ(resolveSimLanes(200), kMaxSimLanes);
+}
+
+TEST(BatchSelect, ScalarFarmMatchesBatchedEngine) {
+    // The farm is the semantic reference for SimBatch just like the
+    // event engine is for Simulator: run both strategies over the same
+    // lanes and compare every net every cycle.
+    const std::uint64_t seed = 7919;
+    const Netlist netlist = testing::randomNetlist(seed, testing::sweepOptions(seed));
+    const unsigned lanes = 8;
+    const auto stim = laneStimulus(netlist, seed, lanes, 50);
+    const auto farm = makeSimBatch(netlist, lanes, SimBackend::EventDriven);
+    const auto batch = makeSimBatch(netlist, lanes, SimBackend::Compiled);
+    ASSERT_EQ(farm->backendName(), "scalar-farm");
+    ASSERT_EQ(batch->backendName(), "compiled-batch");
+    for (std::size_t cycle = 0; cycle < stim.front().size(); ++cycle) {
+        for (unsigned lane = 0; lane < lanes; ++lane) {
+            for (const auto& [port, value] : stim[lane][cycle]) {
+                farm->setInput(port, lane, value);
+                batch->setInput(port, lane, value);
+            }
+        }
+        farm->step();
+        farm->evaluate();
+        batch->step();
+        batch->evaluate();
+        for (unsigned lane = 0; lane < lanes; ++lane) {
+            ASSERT_EQ(farm->laneFaulted(lane), batch->laneFaulted(lane));
+            if (farm->laneFaulted(lane)) {
+                EXPECT_EQ(farm->laneFaultCycle(lane), batch->laneFaultCycle(lane));
+                EXPECT_EQ(farm->laneFaultMessage(lane), batch->laneFaultMessage(lane));
+                continue;
+            }
+            for (NetId id = 0; id < netlist.nets().size(); ++id) {
+                ASSERT_EQ(farm->netValue(id, lane), batch->netValue(id, lane))
+                    << "lane " << lane << " net " << id << " cycle " << cycle;
+            }
+        }
+    }
+}
+
+TEST(BatchLaneView, ForwardsReadsAndRefusesToAdvance) {
+    const Netlist netlist = makeCounter("ctr", 8);
+    const auto batch = makeSimBatch(netlist, 2);
+    batch->setInput("en", 0, 1);
+    batch->setInput("en", 1, 0);
+    for (int i = 0; i < 5; ++i) {
+        batch->step();
+    }
+    batch->evaluate();
+
+    SimBatchLane lane0(*batch, 0);
+    SimBatchLane lane1(*batch, 1);
+    EXPECT_EQ(lane0.backendName(), "batch-lane");
+    EXPECT_EQ(lane0.output("count"), 5u);
+    EXPECT_EQ(lane1.output("count"), 0u);
+    EXPECT_EQ(lane0.cycleCount(), batch->cycleCount());
+    EXPECT_THROW(lane0.step(), SimulationError);
+    EXPECT_THROW(lane0.evaluate(), SimulationError);
+    EXPECT_THROW(lane0.reset(), SimulationError);
+    EXPECT_THROW((SimBatchLane(*batch, 9)), Error);  // lane out of range
+
+    // setInput through the view drives exactly the viewed lane.
+    lane1.setInput("en", 1);
+    batch->step();
+    batch->evaluate();
+    EXPECT_EQ(lane0.output("count"), 6u);
+    EXPECT_EQ(lane1.output("count"), 1u);
+}
+
+TEST(BatchLaneView, SetInputAllDrivesEveryLane) {
+    const Netlist netlist = makeCounter("ctr", 8);
+    const auto batch = makeSimBatch(netlist, 3);
+    batch->setInputAll("en", 1);
+    for (int i = 0; i < 4; ++i) {
+        batch->step();
+    }
+    batch->evaluate();
+    for (unsigned lane = 0; lane < 3; ++lane) {
+        EXPECT_EQ(batch->output("count", lane), 4u);
+    }
+}
+
+} // namespace
+} // namespace socgen::rtl
