@@ -2,6 +2,8 @@
 
 #include "socgen/common/error.hpp"
 
+#include <atomic>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -52,8 +54,15 @@ void writeBinaryFile(const std::string& path, std::string_view content) {
 
 void writeFileAtomic(const std::string& path, std::string_view content) {
     // The temporary must live on the same filesystem as the target for
-    // rename() to be atomic, so it is a sibling, not a /tmp file.
-    const std::string temp = path + ".tmp";
+    // rename() to be atomic, so it is a sibling, not a /tmp file. The
+    // name carries a process-wide counter so two threads writing the
+    // same target concurrently (e.g. two flows storing the same-digest
+    // artifact) each rename their own complete temporary instead of
+    // racing on one; a crash can still leak a temporary, which the
+    // artifact store reclaims on open (see ArtifactStore).
+    static std::atomic<std::uint64_t> tempSerial{0};
+    const std::string temp =
+        path + ".tmp" + std::to_string(tempSerial.fetch_add(1, std::memory_order_relaxed));
     writeFileImpl(temp, content, std::ios::out | std::ios::trunc | std::ios::binary);
     std::error_code ec;
     std::filesystem::rename(temp, path, ec);

@@ -18,7 +18,29 @@ constexpr const char* kMagic = "SOCGENART1";
 
 } // namespace
 
-ArtifactStore::ArtifactStore(std::string rootDir) : root_(std::move(rootDir)) {}
+ArtifactStore::ArtifactStore(std::string rootDir) : root_(std::move(rootDir)) {
+    // Reclaim write-then-rename leftovers: a writer that died between
+    // writing its temporary and renaming it over the object leaves a
+    // `<key>.art.tmp<serial>` sibling that no reader ever consults.
+    // Collecting at open keeps the objects directory bounded across
+    // crash loops; a temporary belonging to a *live* writer of another
+    // store instance could in principle be swept too, in which case that
+    // writer's rename fails with an ArtifactError and the supervisor
+    // retries the store — detected, never silent.
+    const std::filesystem::path dir = std::filesystem::path(root_) / "objects";
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file()) {
+            continue;
+        }
+        if (entry.path().filename().string().find(".tmp") != std::string::npos) {
+            std::error_code removeEc;
+            if (std::filesystem::remove(entry.path(), removeEc)) {
+                ++reclaimedTempFiles_;
+            }
+        }
+    }
+}
 
 std::string ArtifactStore::deriveKey(const hls::Kernel& kernel,
                                      const hls::Directives& directives,
@@ -106,7 +128,13 @@ void ArtifactStore::store(const std::string& key, const hls::HlsResult& result) 
     image += key;
     image += '\n';
     image += payload;
-    writeFileAtomic(objectPath(key), image);
+    try {
+        writeFileAtomic(objectPath(key), image);
+    } catch (const Error& e) {
+        // Store failures are transient to the stage supervisor (retried),
+        // so surface them under the store's own error type.
+        throw ArtifactError(format("storing %s failed: %s", key.c_str(), e.what()));
+    }
 }
 
 bool ArtifactStore::contains(const std::string& key) const {

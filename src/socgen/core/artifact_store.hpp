@@ -25,7 +25,11 @@ namespace socgen::core {
 ///    re-synthesizes and overwrites it) — never silently loaded.
 class ArtifactStore {
 public:
-    /// Opens (and lazily creates) a store rooted at `rootDir`.
+    /// Opens (and lazily creates) a store rooted at `rootDir`. Opening
+    /// garbage-collects orphaned write-then-rename temporaries
+    /// (`*.art.tmp<serial>` files a crashed writer left behind) — they
+    /// are never valid objects, and without collection a crash loop
+    /// would leak them forever.
     explicit ArtifactStore(std::string rootDir);
 
     /// Derives the content key for one (kernel, directives, device, tool)
@@ -62,12 +66,16 @@ public:
     /// Removes the object under `key` if present.
     void removeObject(const std::string& key) const;
 
+    /// Orphaned temporaries reclaimed when this store was opened.
+    [[nodiscard]] std::size_t reclaimedTempFiles() const { return reclaimedTempFiles_; }
+
     [[nodiscard]] const std::string& root() const { return root_; }
 
 private:
     [[nodiscard]] std::string objectPath(const std::string& key) const;
 
     std::string root_;
+    std::size_t reclaimedTempFiles_ = 0;
 };
 
 } // namespace socgen::core

@@ -53,6 +53,16 @@ std::size_t FlowDiagnostics::storeHits() const {
     return count;
 }
 
+std::size_t FlowDiagnostics::inFlightDedupes() const {
+    std::size_t count = 0;
+    for (const auto& n : nodes) {
+        if (n.dedupedInFlight) {
+            ++count;
+        }
+    }
+    return count;
+}
+
 std::string FlowDiagnostics::render(bool withHostTimes) const {
     std::string out = "HLS diagnostics:";
     for (const auto& n : nodes) {

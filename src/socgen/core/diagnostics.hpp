@@ -23,6 +23,8 @@ struct FlowDiagnostics {
         bool storeHit = false;     ///< served from the persistent ArtifactStore
         bool resumedFromJournal = false;  ///< store hit confirmed by a prior
                                           ///< run's journal commit record
+        bool dedupedInFlight = false;  ///< waited on another flow synthesizing
+                                       ///< the same key (SynthGate), then reused
         std::string artifactKey;   ///< content key (empty if key not derived)
     };
 
@@ -56,6 +58,9 @@ struct FlowDiagnostics {
     [[nodiscard]] std::size_t engineRuns() const;
     [[nodiscard]] std::size_t cacheHits() const;
     [[nodiscard]] std::size_t storeHits() const;
+    /// Nodes that reused a result after waiting on another flow's
+    /// in-flight synthesis of the same key.
+    [[nodiscard]] std::size_t inFlightDedupes() const;
 
     /// Renders the per-node lines, the per-stage table and the flow
     /// summary. With `withHostTimes` false (the default) the output is

@@ -1,5 +1,6 @@
 #include "socgen/core/flow.hpp"
 
+#include "socgen/common/env.hpp"
 #include "socgen/common/error.hpp"
 #include "socgen/common/hash.hpp"
 #include "socgen/common/log.hpp"
@@ -49,14 +50,15 @@ Flow::Flow(FlowOptions options, const hls::KernelLibrary& kernels,
            std::shared_ptr<HlsCache> cache)
     : options_(std::move(options)), kernels_(kernels), cache_(std::move(cache)),
       faultHooks_(options_.flowFaults) {
-    if (const char* env = std::getenv("SOCGEN_FLOW_JOBS")) {
-        const int parsed = std::atoi(env);
-        if (parsed > 0) {
-            options_.jobs = static_cast<unsigned>(parsed);
-        }
+    // Malformed values (SOCGEN_FLOW_JOBS=4x, =-1, =0) throw a
+    // line-diagnostic Error instead of being silently ignored.
+    if (const std::optional<unsigned> jobs = envUnsigned("SOCGEN_FLOW_JOBS")) {
+        options_.jobs = *jobs;
     }
-    if (!options_.outputDir.empty()) {
-        store_ = std::make_unique<ArtifactStore>(options_.outputDir + "/.socgen/store");
+    if (options_.sharedStore != nullptr) {
+        store_ = options_.sharedStore;
+    } else if (!options_.outputDir.empty()) {
+        store_ = std::make_shared<ArtifactStore>(options_.outputDir + "/.socgen/store");
     }
     transientRemaining_ = options_.transientHlsFailures;
 }
@@ -157,17 +159,16 @@ Flow::HlsAttemptOut Flow::hlsAttempt(const TgNode& node) {
     out.key =
         ArtifactStore::deriveKey(kernel, directives, options_.device, options_.toolVersion);
 
-    const bool injected = options_.injectHlsFailures.count(node.name) > 0;
-    if (!injected) {
-        // Reuse order: in-memory cache (same process), then the persistent
-        // store (earlier run / crashed run). A store object that fails
-        // validation is reported and rebuilt — never silently loaded.
+    // Reuse order: in-memory cache (same process), then the persistent
+    // store (earlier run / crashed run). A store object that fails
+    // validation is reported and rebuilt — never silently loaded.
+    const auto tryReuse = [this, &node, &out]() -> bool {
         if (cache_ != nullptr) {
             if (std::optional<hls::HlsResult> hit = cache_->find(out.key)) {
                 Logger::global().info("hls: cache hit for " + node.name);
                 out.cacheHit = true;
                 out.result = std::move(*hit);
-                return out;
+                return true;
             }
         }
         if (store_ != nullptr) {
@@ -177,13 +178,39 @@ Flow::HlsAttemptOut Flow::hlsAttempt(const TgNode& node) {
                 out.storeHit = true;
                 out.resumedFromJournal = committedAtOpen_.count("hls:" + node.name) > 0;
                 out.result = std::move(*loaded);
-                return out;
+                return true;
             }
             if (!whyMiss.empty()) {
                 out.rejectedWhy = whyMiss;
                 Logger::global().warn(format("hls: stored artifact of %s rejected (%s); "
                                              "re-synthesizing",
                                              node.name.c_str(), whyMiss.c_str()));
+            }
+        }
+        return false;
+    };
+
+    const bool injected = options_.injectHlsFailures.count(node.name) > 0;
+    if (!injected) {
+        if (tryReuse()) {
+            return out;
+        }
+        if (options_.synthGate != nullptr) {
+            // Become (or wait for) the key's leader. The token rides in
+            // `out` so leadership lasts until the commit has persisted
+            // the result — followers then wake to a cache/store hit.
+            SynthGate::Claim claim = options_.synthGate->claim(out.key);
+            out.gateToken = std::move(claim.token);
+            if (claim.waited) {
+                out.dedupedInFlight = true;
+                if (tryReuse()) {
+                    // Release immediately: we are not going to synthesize,
+                    // so other waiting followers can re-check right away.
+                    out.gateToken.reset();
+                    return out;
+                }
+                // The leader failed (nothing persisted): lead the
+                // synthesis ourselves.
             }
         }
     }
@@ -409,6 +436,7 @@ FlowResult Flow::run(const std::string& projectName, const TaskGraph& graph) {
                     outcome.cacheHit = a.cacheHit;
                     outcome.storeHit = a.storeHit;
                     outcome.resumedFromJournal = a.resumedFromJournal;
+                    outcome.dedupedInFlight = a.dedupedInFlight;
                     outcome.toolSeconds = a.toolSeconds;
                     outcome.attempts =
                         a.fromEngine ? static_cast<unsigned>(meta.attempts) : 0u;
@@ -650,6 +678,7 @@ FlowResult Flow::run(const std::string& projectName, const TaskGraph& graph) {
     config.jobs = std::max(1u, options_.jobs);
     config.stagePolicy = options_.stagePolicy;
     config.journal = journal.has_value() ? &*journal : nullptr;
+    config.scheduler = options_.stageScheduler.get();
     config.digestsAtOpen = digestsAtOpen_;
     StageGraphExecutor executor(config, &bus, &faultHooks_);
 

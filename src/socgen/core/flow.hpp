@@ -8,6 +8,7 @@
 #include "socgen/core/journal.hpp"
 #include "socgen/core/stage_graph.hpp"
 #include "socgen/core/supervisor.hpp"
+#include "socgen/core/synth_gate.hpp"
 #include "socgen/hls/engine.hpp"
 #include "socgen/rtl/sim_backend.hpp"
 #include "socgen/sim/fault.hpp"
@@ -130,6 +131,24 @@ struct FlowOptions {
     /// Extra event-bus subscribers attached for the run, after the
     /// built-in log/table/trace subscribers.
     std::vector<std::shared_ptr<FlowEventSubscriber>> subscribers;
+
+    /// Shared persistent artifact store. When set, the flow uses it
+    /// instead of creating a private store under outputDir — the flow
+    /// service points every tenant at one store so identical HLS work
+    /// is paid for once across the fleet. Content-addressed keys make
+    /// this safe: a hit is valid no matter which tenant produced it.
+    std::shared_ptr<ArtifactStore> sharedStore;
+
+    /// In-flight synthesis dedupe across concurrent flows (see
+    /// SynthGate). Only useful together with a shared store or cache;
+    /// nullptr disables gating (single-flow runs need none).
+    std::shared_ptr<SynthGate> synthGate;
+
+    /// External stage scheduler: when set, the executor submits ready
+    /// stages to it instead of spawning a private worker pool and
+    /// `jobs` is ignored — the service's shared pool owns concurrency
+    /// and cross-tenant fairness.
+    std::shared_ptr<StageScheduler> stageScheduler;
 };
 
 /// Everything one flow run produces — the contents of the generated
@@ -206,7 +225,13 @@ private:
         bool storeHit = false;
         bool resumedFromJournal = false;
         bool fromEngine = false;   ///< synthesized by the engine this attempt
+        bool dedupedInFlight = false;  ///< waited on another flow's synthesis
         std::string rejectedWhy;   ///< non-empty: a stored object failed validation
+        /// SynthGate leadership token, held until this value is
+        /// destroyed after the commit persisted the result — so waiting
+        /// followers wake to a store hit, and an exception on any path
+        /// releases leadership via the token's deleter.
+        std::shared_ptr<void> gateToken;
     };
 
     [[nodiscard]] hls::Directives directivesFor(const TgNode& node) const;
@@ -235,7 +260,7 @@ private:
     const hls::KernelLibrary& kernels_;
     std::shared_ptr<HlsCache> cache_;
     hls::HlsEngine engine_;
-    std::unique_ptr<ArtifactStore> store_;
+    std::shared_ptr<ArtifactStore> store_;
 
     /// Flow-level fault delivery (crash/hang/corrupt), consumed by the
     /// stage-graph executor and stage postCommit hooks.

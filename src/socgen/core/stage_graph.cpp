@@ -166,6 +166,7 @@ struct StageGraphExecutor::RunState {
     std::vector<char> scheduled;
     std::size_t completedCount = 0;
     std::size_t flushedPrefix = 0;            ///< topo ranks journal-flushed
+    std::size_t tasksInFlight = 0;            ///< external-scheduler mode only
     bool aborted = false;
     std::exception_ptr firstError;
     std::size_t firstErrorRank = 0;
@@ -366,6 +367,39 @@ void StageGraphExecutor::flushCommitted(RunState& state) {
     }
 }
 
+void StageGraphExecutor::submitReady(RunState& state) {
+    // Caller holds state.mutex. Ready stages go to the external scheduler
+    // in topological order; the scheduler owns when and where they run.
+    // tasksInFlight is incremented before submit and decremented as the
+    // task's final locked action, so execute()'s wait on it proves no
+    // task can still touch `state` after execute() returns.
+    if (state.aborted) {
+        return;
+    }
+    for (std::size_t rank = 0; rank < state.topo.size(); ++rank) {
+        const std::size_t index = state.topo[rank];
+        if (state.scheduled[index] || state.remainingDeps[index] != 0) {
+            continue;
+        }
+        state.scheduled[index] = 1;
+        ++state.tasksInFlight;
+        config_.scheduler->submit([this, &state, index] {
+            bool skip = false;
+            {
+                const std::lock_guard<std::mutex> lock(state.mutex);
+                skip = state.aborted;
+            }
+            if (!skip) {
+                runStage(state, index, 0);
+            }
+            const std::lock_guard<std::mutex> lock(state.mutex);
+            --state.tasksInFlight;
+            submitReady(state);
+            state.cv.notify_all();
+        });
+    }
+}
+
 std::vector<StageExecution> StageGraphExecutor::execute(const StageGraph& graph) {
     RunState state;
     state.graph = &graph;
@@ -409,7 +443,19 @@ std::vector<StageExecution> StageGraphExecutor::execute(const StageGraph& graph)
     }
 
     const unsigned jobs = config_.jobs < 1 ? 1 : config_.jobs;
-    if (jobs == 1 || n <= 1) {
+    if (config_.scheduler != nullptr && n > 0) {
+        // Shared-pool mode: ready stages are handed to the external
+        // scheduler (one pool, many flows); this thread only tracks
+        // completion. A task that observes `aborted` before running
+        // skips its stage but still decrements tasksInFlight, so the
+        // wait below terminates on both success and failure.
+        std::unique_lock<std::mutex> lock(state.mutex);
+        submitReady(state);
+        state.cv.wait(lock, [&state, n] {
+            return state.tasksInFlight == 0 &&
+                   (state.aborted || state.completedCount == n);
+        });
+    } else if (jobs == 1 || n <= 1) {
         // Serial path: exact topological order, no worker threads — the
         // crash-recovery semantics of the historical sequential flow.
         for (std::size_t rank = 0; rank < state.topo.size(); ++rank) {

@@ -106,10 +106,26 @@ private:
     std::vector<sim::FaultEvent> pending_;
 };
 
+/// Sink for ready-to-run stage tasks, letting many executors — one per
+/// concurrently running flow — share a single worker pool (the
+/// flow-service deployment). submit() must eventually run the task
+/// exactly once on some thread; the submitting executor blocks in
+/// execute() until every task it submitted has finished, so a scheduler
+/// must drain on shutdown, never drop.
+class StageScheduler {
+public:
+    virtual ~StageScheduler() = default;
+    virtual void submit(std::function<void()> task) = 0;
+};
+
 struct ExecutorConfig {
     unsigned jobs = 1;              ///< worker threads over the whole graph
     StagePolicy stagePolicy;        ///< retry/backoff/deadline per stage
     FlowJournal* journal = nullptr; ///< nullable: journaling off
+    /// External scheduler: when set, ready stages are submitted here
+    /// instead of a private worker pool and `jobs` is ignored — the
+    /// scheduler owns concurrency (and fairness across flows).
+    StageScheduler* scheduler = nullptr;
     /// Digests committed by a previous run (journal resume): re-executed
     /// stages are verified against these at commit-flush time.
     std::map<std::string, std::string> digestsAtOpen;
@@ -163,6 +179,9 @@ private:
 
     void runStage(RunState& state, std::size_t index, unsigned worker);
     void flushCommitted(RunState& state);
+    /// Submits every unscheduled ready stage to the external scheduler
+    /// (caller holds state.mutex; external-pool mode only).
+    void submitReady(RunState& state);
 
     ExecutorConfig config_;
     FlowEventBus* bus_;

@@ -19,20 +19,27 @@ std::uint64_t splitmix64(std::uint64_t x) {
 
 } // namespace
 
-void StageSupervisor::sleepBackoff(const std::string& stage, int attempt) {
-    double delayMs = policy_.backoffBaseMs;
+double StageSupervisor::backoffDelayMs(const StagePolicy& policy, const std::string& stage,
+                                       int attempt) {
+    double delayMs = policy.backoffBaseMs;
     for (int i = 1; i < attempt; ++i) {
-        delayMs *= policy_.backoffFactor;
+        delayMs *= policy.backoffFactor;
     }
-    if (policy_.jitterFraction > 0.0) {
+    if (policy.jitterFraction > 0.0) {
         // Deterministic jitter: the same (seed, stage, attempt) always
-        // sleeps the same amount, so retried runs stay reproducible.
-        const std::uint64_t r =
-            splitmix64(policy_.seed ^ fnv1a64(stage) ^ static_cast<std::uint64_t>(attempt));
+        // sleeps the same amount, so retried runs stay reproducible —
+        // while different seeds (one per tenant) or different stages
+        // spread colliding retries apart instead of re-synchronizing.
+        const std::uint64_t r = splitmix64(splitmix64(policy.seed ^ fnv1a64(stage)) ^
+                                           static_cast<std::uint64_t>(attempt));
         const double unit = static_cast<double>(r % 10'000) / 10'000.0;  // [0, 1)
-        delayMs *= 1.0 + policy_.jitterFraction * (2.0 * unit - 1.0);
+        delayMs *= 1.0 + policy.jitterFraction * (2.0 * unit - 1.0);
     }
-    delayMs = std::max(0.0, delayMs);
+    return std::max(0.0, delayMs);
+}
+
+void StageSupervisor::sleepBackoff(const std::string& stage, int attempt) {
+    const double delayMs = backoffDelayMs(policy_, stage, attempt);
     Logger::global().info(format("supervisor: stage %s attempt %d failed; backing off "
                                  "%.2f ms",
                                  stage.c_str(), attempt, delayMs));

@@ -25,7 +25,19 @@ struct StagePolicy {
     double backoffFactor = 2.0;    ///< exponential growth per retry
     double jitterFraction = 0.25;  ///< +/- fraction applied to each backoff
     double deadlineMs = 0.0;       ///< per-attempt deadline; 0 disables
-    std::uint64_t seed = 0x50c9e11;  ///< jitter PRNG seed (deterministic)
+    /// Hard cap on the total wall-clock one supervised stage may spend
+    /// across all attempts and backoffs; once exceeded, the next failure
+    /// propagates even if the attempt budget is not used up. 0 disables.
+    /// This bounds the worst case under pathological retry storms: a
+    /// stage can never block its flow longer than roughly this cap plus
+    /// one attempt's deadline.
+    double maxRetryWallClockMs = 0.0;
+    /// Jitter PRNG seed. Deterministic per (seed, stage, attempt) — and
+    /// deliberately part of the policy so independent tenants of a shared
+    /// service can be given different seeds: with one shared seed, two
+    /// flows retrying the same stage name would back off by identical
+    /// amounts and collide again in lockstep (a thundering herd).
+    std::uint64_t seed = 0x50c9e11;
 };
 
 /// Outcome metadata of one supervised stage execution.
@@ -89,6 +101,7 @@ public:
         StageRun local;
         StageRun& meta = runOut != nullptr ? *runOut : local;
         const int maxAttempts = policy_.maxAttempts < 1 ? 1 : policy_.maxAttempts;
+        const auto start = std::chrono::steady_clock::now();
         for (int attempt = 1;; ++attempt) {
             meta.attempts = attempt;
             try {
@@ -103,12 +116,13 @@ public:
                 }
             } catch (const StageTimeoutError& e) {
                 ++meta.timeouts;
-                if (attempt >= maxAttempts) {
+                if (attempt >= maxAttempts || retryBudgetExhausted(start)) {
                     throw;
                 }
                 meta.transientErrors.push_back(e.what());
             } catch (const std::exception& e) {
-                if (attempt >= maxAttempts || !isTransient(e)) {
+                if (attempt >= maxAttempts || !isTransient(e) ||
+                    retryBudgetExhausted(start)) {
                     throw;
                 }
                 meta.transientErrors.push_back(e.what());
@@ -118,6 +132,14 @@ public:
     }
 
     [[nodiscard]] const StagePolicy& policy() const { return policy_; }
+
+    /// The backoff the supervisor sleeps after `attempt` fails: base ×
+    /// factor^(attempt-1), scaled by a deterministic jitter in
+    /// [1-jitterFraction, 1+jitterFraction) derived from (seed, stage,
+    /// attempt). Exposed so tests can assert determinism and the
+    /// seed/stage decorrelation that breaks retry thundering herds.
+    [[nodiscard]] static double backoffDelayMs(const StagePolicy& policy,
+                                               const std::string& stage, int attempt);
 
 private:
     template <typename T, typename Call>
@@ -169,6 +191,18 @@ private:
     }
 
     void sleepBackoff(const std::string& stage, int attempt);
+
+    /// True once the cumulative wall-clock since `start` exceeds the
+    /// policy's total retry budget (false when the cap is disabled).
+    [[nodiscard]] bool retryBudgetExhausted(
+        std::chrono::steady_clock::time_point start) const {
+        if (policy_.maxRetryWallClockMs <= 0.0) {
+            return false;
+        }
+        const std::chrono::duration<double, std::milli> elapsed =
+            std::chrono::steady_clock::now() - start;
+        return elapsed.count() >= policy_.maxRetryWallClockMs;
+    }
 
     StagePolicy policy_;
     std::mutex strandedMutex_;

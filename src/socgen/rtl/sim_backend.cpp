@@ -1,12 +1,12 @@
 #include "socgen/rtl/sim_backend.hpp"
 
+#include "socgen/common/env.hpp"
 #include "socgen/common/error.hpp"
 #include "socgen/common/strings.hpp"
 #include "socgen/rtl/compiled_sim.hpp"
 #include "socgen/rtl/netlist_sim.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 
 namespace socgen::rtl {
 
@@ -34,11 +34,17 @@ SimBackend simBackendFromString(std::string_view text) {
 }
 
 SimBackend simBackendFromEnv(SimBackend fallback) {
-    const char* env = std::getenv("SOCGEN_SIM_BACKEND");
-    if (env == nullptr || *env == '\0') {
+    const std::optional<std::string> env = envString("SOCGEN_SIM_BACKEND");
+    if (!env.has_value()) {
         return fallback;
     }
-    return simBackendFromString(env);
+    try {
+        return simBackendFromString(*env);
+    } catch (const Error& e) {
+        // Name the variable: "compiledd" in a CI matrix must fail the job
+        // with a pointer to the line to fix, not silently pick a backend.
+        throw Error(format("env SOCGEN_SIM_BACKEND: %s", e.what()));
+    }
 }
 
 SimBackend resolveSimBackend(SimBackend requested) {
@@ -50,16 +56,9 @@ SimBackend resolveSimBackend(SimBackend requested) {
 
 unsigned resolveSimThreads(unsigned requested) {
     if (requested == 0) {
-        if (const char* env = std::getenv("SOCGEN_SIM_THREADS");
-            env != nullptr && *env != '\0') {
-            const int parsed = std::atoi(env);
-            if (parsed > 0) {
-                requested = static_cast<unsigned>(parsed);
-            }
-        }
-    }
-    if (requested == 0) {
-        requested = 1;
+        // Malformed values (SOCGEN_SIM_THREADS=4x, =abc, =0) are rejected
+        // with a diagnostic instead of silently running serial.
+        requested = envUnsigned("SOCGEN_SIM_THREADS").value_or(1);
     }
     return std::min(requested, kMaxSimThreads);
 }

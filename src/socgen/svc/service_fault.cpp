@@ -1,0 +1,84 @@
+#include "socgen/svc/service_fault.hpp"
+
+#include "socgen/common/strings.hpp"
+
+namespace socgen::svc {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+const std::string& pick(const std::vector<std::string>& from, std::uint64_t r,
+                        const std::string& fallback) {
+    if (from.empty()) {
+        return fallback;
+    }
+    return from[static_cast<std::size_t>(r % from.size())];
+}
+
+} // namespace
+
+const char* toString(ServiceFaultKind kind) {
+    switch (kind) {
+    case ServiceFaultKind::None: return "none";
+    case ServiceFaultKind::CrashAtBegin: return "crash-at-begin";
+    case ServiceFaultKind::CrashPreCommit: return "crash-pre-commit";
+    case ServiceFaultKind::ArtifactCorrupt: return "artifact-corrupt";
+    case ServiceFaultKind::StageHang: return "stage-hang";
+    case ServiceFaultKind::QueueStorm: return "queue-storm";
+    }
+    return "?";
+}
+
+const std::vector<ServiceFaultKind>& allServiceFaultKinds() {
+    static const std::vector<ServiceFaultKind> kinds = {
+        ServiceFaultKind::CrashAtBegin,    ServiceFaultKind::CrashPreCommit,
+        ServiceFaultKind::ArtifactCorrupt, ServiceFaultKind::StageHang,
+        ServiceFaultKind::QueueStorm,
+    };
+    return kinds;
+}
+
+std::uint64_t ServiceFaultPlan::mix(const std::string& tenant,
+                                    const std::string& project) const {
+    return splitmix64(seed ^ splitmix64(fnv1a64(tenant) ^ fnv1a64(project)));
+}
+
+sim::FaultPlan ServiceFaultPlan::planFor(const std::string& tenant,
+                                         const std::string& project,
+                                         ServiceFaultKind kind,
+                                         const std::vector<std::string>& stages,
+                                         const std::vector<std::string>& kernels,
+                                         std::uint64_t hangMs) const {
+    static const std::string kDefaultStage = "integrate";
+    const std::uint64_t r = mix(tenant, project);
+    sim::FaultPlan plan(seed);
+    switch (kind) {
+    case ServiceFaultKind::None:
+    case ServiceFaultKind::QueueStorm:
+        // No flow-level events: healthy flow (the storm happens at the
+        // submission boundary, driven by the harness).
+        break;
+    case ServiceFaultKind::CrashAtBegin:
+        plan.crashFlow(pick(stages, r, kDefaultStage), 0);
+        break;
+    case ServiceFaultKind::CrashPreCommit:
+        plan.crashFlow(pick(stages, r, kDefaultStage), 1);
+        break;
+    case ServiceFaultKind::ArtifactCorrupt:
+        if (!kernels.empty()) {
+            plan.corruptArtifact(pick(kernels, r, kDefaultStage));
+        }
+        break;
+    case ServiceFaultKind::StageHang:
+        plan.hangStage(pick(stages, r, kDefaultStage), hangMs);
+        break;
+    }
+    return plan;
+}
+
+} // namespace socgen::svc

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "socgen/sim/fault.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace socgen::svc {
+
+/// The service-level chaos vocabulary: what can go wrong to one
+/// tenant's flow while the service runs a fleet of them. Each kind maps
+/// onto a flow-level sim::FaultPlan (consumed by the flow's
+/// StageFaultHooks), except QueueStorm, which is an *admission* fault —
+/// it is realised by the harness submitting a burst, not by the flow.
+enum class ServiceFaultKind {
+    None,            ///< healthy tenant (the control group)
+    CrashAtBegin,    ///< kill -9 right after a stage's begin record
+    CrashPreCommit,  ///< kill -9 with work done but the commit unwritten
+    ArtifactCorrupt, ///< flip a byte of a stored artifact post-commit
+    StageHang,       ///< one stage blocks until the deadline abandons it
+    QueueStorm,      ///< burst of extra submissions against full queues
+};
+
+[[nodiscard]] const char* toString(ServiceFaultKind kind);
+
+/// All kinds a sweep should iterate (excludes None).
+[[nodiscard]] const std::vector<ServiceFaultKind>& allServiceFaultKinds();
+
+/// Seed-deterministic chaos assignment for one request: the same
+/// (seed, tenant, project, kind) always yields the same victim stage /
+/// kernel and the same plan, so a failing sweep iteration replays
+/// exactly. `stages` and `kernels` name the request's fault surface
+/// (stage names for crash/hang, kernel names for corruption); the plan
+/// picks victims from them by PRNG.
+struct ServiceFaultPlan {
+    std::uint64_t seed = 0;
+
+    [[nodiscard]] sim::FaultPlan
+    planFor(const std::string& tenant, const std::string& project,
+            ServiceFaultKind kind, const std::vector<std::string>& stages,
+            const std::vector<std::string>& kernels,
+            std::uint64_t hangMs = 50) const;
+
+    /// The deterministic per-request PRNG stream head (exposed so the
+    /// harness can derive matching burst sizes for QueueStorm).
+    [[nodiscard]] std::uint64_t mix(const std::string& tenant,
+                                    const std::string& project) const;
+};
+
+} // namespace socgen::svc

@@ -1,0 +1,142 @@
+#include "socgen/svc/stage_pool.hpp"
+
+#include <algorithm>
+
+namespace socgen::svc {
+
+/// The per-tenant StageScheduler view handed to ExecutorConfig: just a
+/// tag around the pool's submit.
+class SharedStagePool::TenantScheduler : public core::StageScheduler {
+public:
+    TenantScheduler(SharedStagePool* pool, std::string tenant)
+        : pool_(pool), tenant_(std::move(tenant)) {}
+
+    void submit(std::function<void()> task) override {
+        pool_->submit(tenant_, std::move(task));
+    }
+
+private:
+    SharedStagePool* pool_;
+    std::string tenant_;
+};
+
+SharedStagePool::SharedStagePool(unsigned workers) {
+    const unsigned count = workers < 1 ? 1 : workers;
+    workers_.reserve(count);
+    for (unsigned i = 0; i < count; ++i) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+SharedStagePool::~SharedStagePool() {
+    // Drain before joining: queued tasks belong to flows still blocked
+    // in execute(), and the StageScheduler contract forbids dropping
+    // them. The service destroys flows before the pool, so in practice
+    // the queues are already empty here; the drain keeps the pool safe
+    // to tear down in any order.
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) {
+        worker.join();
+    }
+}
+
+void SharedStagePool::configureTenant(const std::string& tenant, unsigned weight,
+                                      unsigned maxInFlightStages) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Tenant& t = tenants_[tenant];
+    t.weight = weight < 1 ? 1 : weight;
+    t.maxInFlight = maxInFlightStages < 1 ? 1 : maxInFlightStages;
+    // A newly-registered tenant starts at the current global virtual
+    // time: it competes from "now", it does not get credit for the past.
+    t.virtualTime = std::max(t.virtualTime, globalVirtualTime_);
+}
+
+std::shared_ptr<core::StageScheduler>
+SharedStagePool::schedulerFor(const std::string& tenant) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (tenants_.count(tenant) == 0) {
+            Tenant& t = tenants_[tenant];
+            t.maxInFlight = static_cast<unsigned>(workers_.size());
+            t.virtualTime = globalVirtualTime_;
+        }
+    }
+    return std::make_shared<TenantScheduler>(this, tenant);
+}
+
+void SharedStagePool::submit(const std::string& tenant, std::function<void()> task) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        Tenant& t = tenants_[tenant];
+        if (t.queue.empty() && t.inFlight == 0) {
+            // Waking from idle: jump to the present so the tenant cannot
+            // spend "saved up" virtual time starving everyone else.
+            t.virtualTime = std::max(t.virtualTime, globalVirtualTime_);
+        }
+        t.queue.push_back(std::move(task));
+        ++queuedTotal_;
+        stats_.maxQueueDepth = std::max(stats_.maxQueueDepth, queuedTotal_);
+    }
+    cv_.notify_one();
+}
+
+std::string SharedStagePool::pickTenant() const {
+    std::string best;
+    double bestTime = 0.0;
+    for (const auto& [name, t] : tenants_) {
+        if (t.queue.empty() || t.inFlight >= t.maxInFlight) {
+            continue;
+        }
+        if (best.empty() || t.virtualTime < bestTime) {
+            best = name;
+            bestTime = t.virtualTime;
+        }
+        // Map iteration is ordered, so the first of equal virtual times
+        // (the lexicographically smallest name) wins deterministically.
+    }
+    return best;
+}
+
+void SharedStagePool::workerLoop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        const std::string pick = pickTenant();
+        if (pick.empty()) {
+            if (shutdown_ && queuedTotal_ == 0) {
+                return;
+            }
+            cv_.wait(lock);
+            continue;
+        }
+        Tenant& t = tenants_[pick];
+        std::function<void()> task = std::move(t.queue.front());
+        t.queue.pop_front();
+        --queuedTotal_;
+        ++t.inFlight;
+        // WFQ accounting: every dispatched stage costs 1/weight virtual
+        // time, so under contention dispatch counts are proportional to
+        // weights.
+        t.virtualTime += 1.0 / static_cast<double>(t.weight);
+        globalVirtualTime_ = std::max(globalVirtualTime_, t.virtualTime);
+        ++stats_.tasksExecuted;
+        lock.unlock();
+        task();
+        task = nullptr;  // release captures before re-locking
+        lock.lock();
+        --tenants_[pick].inFlight;
+        // A freed in-flight slot (or a task the epilogue enqueued) may
+        // make another tenant dispatchable.
+        cv_.notify_all();
+    }
+}
+
+SharedStagePool::Stats SharedStagePool::stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace socgen::svc

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 
 namespace socgen::core {
@@ -214,6 +215,25 @@ TEST(Flow, DslFileRoundTrip) {
     const FlowResult second = runDslFile(path, kernels);
     EXPECT_TRUE(first.graph == second.graph);
     std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Environment override hardening
+
+TEST(CoreFlow, MalformedFlowJobsOverrideIsAHardNamedError) {
+    const hls::KernelLibrary kernels = exampleKernels();
+    ASSERT_EQ(::setenv("SOCGEN_FLOW_JOBS", "two", 1), 0);
+    try {
+        const Flow flow(FlowOptions{}, kernels);
+        FAIL() << "malformed SOCGEN_FLOW_JOBS was accepted";
+    } catch (const Error& e) {
+        // The diagnostic names the variable and echoes the bad value, so
+        // the one line to fix in a CI config is obvious.
+        EXPECT_NE(std::string(e.what()).find("SOCGEN_FLOW_JOBS"), std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("two"), std::string::npos) << e.what();
+    }
+    ASSERT_EQ(::unsetenv("SOCGEN_FLOW_JOBS"), 0);
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 
 #include "socgen/apps/kernels.hpp"
 #include "socgen/common/error.hpp"
+#include "socgen/common/textfile.hpp"
 #include "socgen/core/artifact_store.hpp"
 #include "socgen/core/flow.hpp"
 #include "socgen/core/journal.hpp"
@@ -20,7 +21,9 @@
 #include <fstream>
 #include <iterator>
 #include <map>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace socgen::core {
@@ -484,6 +487,71 @@ TEST(FlowRecovery, CodecRejectsTruncationAndTrailingGarbage) {
                  ArtifactError);
     EXPECT_THROW((void)hls::decodeHlsResult(bytes + "x"), ArtifactError);
     EXPECT_THROW((void)hls::decodeHlsResult(""), ArtifactError);
+}
+
+// ---------------------------------------------------------------------------
+// Store hygiene under crashes and concurrent writers
+
+TEST(FlowRecovery, OrphanedTempFilesAreCollectedOnOpen) {
+    const std::string dir = freshDir("tmp_gc");
+    const std::string storeDir = dir + "/store";
+    {
+        const ArtifactStore store(storeDir);
+        const FlowResult result =
+            Flow(FlowOptions{}, exampleKernels()).run("proj", quickstartGraph());
+        store.store("deadbeefdeadbeefdeadbeefdeadbeef", result.hlsResults.at("MUL"));
+        EXPECT_EQ(store.reclaimedTempFiles(), 0u);
+    }
+    // A crashed writer's leftovers: write-then-rename temporaries that
+    // never made it to their final name, in the objects directory.
+    writeTextFile(storeDir + "/objects/0123.art.tmp1", "torn partial object");
+    writeTextFile(storeDir + "/objects/4567.art.tmp42", "another one");
+
+    const ArtifactStore reopened(storeDir);
+    EXPECT_EQ(reopened.reclaimedTempFiles(), 2u);
+    EXPECT_FALSE(fileExists(storeDir + "/objects/0123.art.tmp1"));
+    EXPECT_FALSE(fileExists(storeDir + "/objects/4567.art.tmp42"));
+    // The real object survived the sweep.
+    EXPECT_TRUE(reopened.contains("deadbeefdeadbeefdeadbeefdeadbeef"));
+    EXPECT_EQ(reopened.objectCount(), 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(FlowRecovery, TwoWritersSameDigestLeaveOneValidObject) {
+    // Two flows (two tenants of a shared store) synthesize the same
+    // kernel concurrently and both store under the same content key.
+    // Whoever wins the rename, the object must validate and decode —
+    // never a torn mix of both writers.
+    const std::string dir = freshDir("two_writers");
+    const ArtifactStore store(dir + "/store");
+    const FlowResult result =
+        Flow(FlowOptions{}, exampleKernels()).run("proj", quickstartGraph());
+    const hls::HlsResult& artifact = result.hlsResults.at("GAUSS");
+    const std::string key = "feedfacefeedfacefeedfacefeedface";
+
+    constexpr int kWriters = 8;
+    constexpr int kRoundsPerWriter = 25;
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&store, &artifact, &key] {
+            for (int i = 0; i < kRoundsPerWriter; ++i) {
+                store.store(key, artifact);
+            }
+        });
+    }
+    for (auto& thread : writers) {
+        thread.join();
+    }
+    std::string whyMiss;
+    const std::optional<hls::HlsResult> loaded = store.load(key, &whyMiss);
+    ASSERT_TRUE(loaded.has_value()) << whyMiss;
+    EXPECT_EQ(hls::encodeHlsResult(*loaded), hls::encodeHlsResult(artifact));
+    EXPECT_EQ(store.objectCount(), 1u);
+    // No orphaned temporaries survive the race either.
+    const ArtifactStore reopened(dir + "/store");
+    EXPECT_EQ(reopened.reclaimedTempFiles(), 0u);
+    std::filesystem::remove_all(dir);
 }
 
 } // namespace

@@ -11,6 +11,8 @@
 #include "netlist_gen.hpp"
 #include "socgen/apps/kernels.hpp"
 #include "socgen/common/error.hpp"
+#include "socgen/common/hash.hpp"
+#include "socgen/core/journal.hpp"
 #include "socgen/hls/engine.hpp"
 #include "socgen/hls/interpreter.hpp"
 #include "socgen/hls/optimize.hpp"
@@ -25,7 +27,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <deque>
+#include <filesystem>
 #include <map>
 
 namespace socgen {
@@ -423,6 +427,57 @@ TEST_P(NetlistShapeFuzz, CorpusShapesArePresentAndAllConsumersAcceptThem) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NetlistShapeFuzz,
                          ::testing::ValuesIn(socgen::testing::diffSimSeeds()));
+
+// ---------------------------------------------------------------------------
+// 5. FlowJournal torn-tail compaction, exhaustively: truncate a valid
+//    journal at EVERY byte offset — every crash point a real writer
+//    could leave behind. Opening must always succeed (or raise a
+//    structured socgen::Error, never anything else), recover exactly the
+//    longest prefix of complete records, compact idempotently, and keep
+//    accepting appends.
+
+TEST(JournalTornTailFuzz, EveryTruncationOffsetRecoversTheValidPrefix) {
+    const std::string dir = ::testing::TempDir() + "/socgen_fuzz_journal";
+    std::filesystem::remove_all(dir);
+    const std::string path = dir + "/journal.jsonl";
+    {
+        core::FlowJournal journal = core::FlowJournal::open(path);
+        journal.reset("fingerprint-abc", "fuzz seed journal");
+        for (const char* stage : {"scala", "hls:GAUSS", "hls:EDGE", "integrate",
+                                  "synth", "artifacts"}) {
+            journal.begin(stage);
+            journal.commit(stage, digest128(std::string_view(stage)).hex());
+        }
+        journal.noteEvent("flow", "done");
+    }
+    const std::string full = readTextFile(path);
+    ASSERT_GT(full.size(), 100u);
+
+    for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+        const std::string truncated = full.substr(0, cut);
+        // Complete lines in the truncated image — what recovery must keep.
+        const std::size_t completeLines =
+            static_cast<std::size_t>(std::count(truncated.begin(), truncated.end(), '\n'));
+        writeTextFile(path, truncated);
+        try {
+            core::FlowJournal reopened = core::FlowJournal::open(path);
+            EXPECT_EQ(reopened.records().size(), completeLines) << "cut=" << cut;
+            // Compaction is idempotent: the file now holds exactly the
+            // recovered records, and a second open sees the same thing.
+            EXPECT_EQ(readTextFile(path), reopened.renderText()) << "cut=" << cut;
+            EXPECT_EQ(core::FlowJournal::open(path).records().size(), completeLines);
+            // The journal still accepts appends after recovery.
+            reopened.commit("extra", "deadbeefdeadbeefdeadbeefdeadbeef");
+            EXPECT_TRUE(core::FlowJournal::open(path).isCommitted("extra"))
+                << "cut=" << cut;
+        } catch (const Error& e) {
+            // A structured error is an acceptable outcome for a mangled
+            // file; silent corruption or a non-socgen exception is not.
+            EXPECT_FALSE(std::string(e.what()).empty());
+        }
+    }
+    std::filesystem::remove_all(dir);
+}
 
 } // namespace
 } // namespace socgen

@@ -293,6 +293,15 @@ TEST(BackendSelect, EnvOverridesAuto) {
     EXPECT_EQ(makeSimulator(netlist)->backendName(), "compiled");
     // An explicit backend beats the env override.
     EXPECT_EQ(resolveSimBackend(SimBackend::EventDriven), SimBackend::EventDriven);
+    // A malformed override fails loudly, naming the variable.
+    ::setenv("SOCGEN_SIM_BACKEND", "verilator", 1);
+    try {
+        (void)resolveSimBackend();
+        FAIL() << "accepted SOCGEN_SIM_BACKEND=verilator";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("SOCGEN_SIM_BACKEND"), std::string::npos)
+            << e.what();
+    }
 }
 
 TEST(BackendSelect, AutoFallsBackWhenCompilerDeclinesAConstruct) {
@@ -369,8 +378,23 @@ TEST(ThreadSelect, EnvOverrideAndClamping) {
     ::setenv("SOCGEN_SIM_THREADS", "3", 1);
     EXPECT_EQ(resolveSimThreads(), 3u);           // Auto -> env
     EXPECT_EQ(resolveSimThreads(8), 8u);          // explicit beats env
-    ::setenv("SOCGEN_SIM_THREADS", "garbage", 1);
-    EXPECT_EQ(resolveSimThreads(), 1u);           // unparsable degrades to serial
+    // A malformed override fails loudly, naming the variable — a typo in
+    // a CI matrix must not silently run the sweep serial.
+    for (const char* bad : {"garbage", "4x", "0", "-2", ""}) {
+        ::setenv("SOCGEN_SIM_THREADS", bad, 1);
+        if (*bad == '\0') {
+            EXPECT_EQ(resolveSimThreads(), 1u);  // empty means unset
+            continue;
+        }
+        try {
+            (void)resolveSimThreads();
+            FAIL() << "accepted SOCGEN_SIM_THREADS='" << bad << "'";
+        } catch (const Error& e) {
+            EXPECT_NE(std::string(e.what()).find("SOCGEN_SIM_THREADS"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
     ::setenv("SOCGEN_SIM_THREADS", "2", 1);
     const Netlist netlist = makeCounter("ctr", 8);
     const CompiledSim sim(netlist);               // default config consults the env

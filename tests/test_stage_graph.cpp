@@ -12,8 +12,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <filesystem>
+#include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -302,12 +306,181 @@ TEST(StageGraphExecutorTest, FlowJobsEnvironmentOverrideIsApplied) {
     ASSERT_EQ(::setenv("SOCGEN_FLOW_JOBS", "4", 1), 0);
     const Flow overridden(FlowOptions{}, kernels);
     EXPECT_EQ(overridden.options().jobs, 4u);
-    ASSERT_EQ(::setenv("SOCGEN_FLOW_JOBS", "not-a-number", 1), 0);
-    const Flow ignored(FlowOptions{}, kernels);
-    EXPECT_EQ(ignored.options().jobs, 1u);
+    // A malformed override is a hard, named error — not a silent
+    // fallback to serial that hides the typo.
+    for (const char* bad : {"not-a-number", "4x", "0", "99999999999"}) {
+        ASSERT_EQ(::setenv("SOCGEN_FLOW_JOBS", bad, 1), 0);
+        try {
+            const Flow rejected(FlowOptions{}, kernels);
+            FAIL() << "accepted SOCGEN_FLOW_JOBS='" << bad << "'";
+        } catch (const Error& e) {
+            EXPECT_NE(std::string(e.what()).find("SOCGEN_FLOW_JOBS"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
     ASSERT_EQ(::unsetenv("SOCGEN_FLOW_JOBS"), 0);
     const Flow plain(FlowOptions{}, kernels);
     EXPECT_EQ(plain.options().jobs, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// StageSupervisor: backoff jitter and the retry wall-clock cap
+
+TEST(StageSupervisorPolicy, BackoffJitterIsDeterministicAndDecorrelated) {
+    StagePolicy policy;
+    policy.backoffBaseMs = 8.0;
+    policy.backoffFactor = 2.0;
+    policy.jitterFraction = 0.25;
+
+    // Same (seed, stage, attempt) -> bit-identical delay, every call.
+    EXPECT_DOUBLE_EQ(StageSupervisor::backoffDelayMs(policy, "synth", 1),
+                     StageSupervisor::backoffDelayMs(policy, "synth", 1));
+
+    // Every delay stays inside the jitter envelope around the nominal
+    // exponential schedule base * factor^(attempt-1).
+    double nominal = policy.backoffBaseMs;
+    for (int attempt = 1; attempt <= 5; ++attempt, nominal *= policy.backoffFactor) {
+        const double delay = StageSupervisor::backoffDelayMs(policy, "synth", attempt);
+        EXPECT_GE(delay, nominal * (1.0 - policy.jitterFraction));
+        EXPECT_LE(delay, nominal * (1.0 + policy.jitterFraction));
+    }
+
+    // Decorrelation, the thundering-herd defence: two tenants (different
+    // policy seeds) retrying the same stage, and one tenant retrying two
+    // different stages, must not back off in lockstep.
+    StagePolicy otherSeed = policy;
+    otherSeed.seed = policy.seed + 1;
+    bool seedsDiffer = false;
+    bool stagesDiffer = false;
+    for (int attempt = 1; attempt <= 5; ++attempt) {
+        seedsDiffer |= StageSupervisor::backoffDelayMs(policy, "synth", attempt) !=
+                       StageSupervisor::backoffDelayMs(otherSeed, "synth", attempt);
+        stagesDiffer |= StageSupervisor::backoffDelayMs(policy, "synth", attempt) !=
+                        StageSupervisor::backoffDelayMs(policy, "integrate", attempt);
+    }
+    EXPECT_TRUE(seedsDiffer);
+    EXPECT_TRUE(stagesDiffer);
+
+    // jitterFraction 0 degenerates to the exact exponential schedule.
+    StagePolicy plain = policy;
+    plain.jitterFraction = 0.0;
+    EXPECT_DOUBLE_EQ(StageSupervisor::backoffDelayMs(plain, "synth", 1), 8.0);
+    EXPECT_DOUBLE_EQ(StageSupervisor::backoffDelayMs(plain, "synth", 3), 32.0);
+}
+
+TEST(StageSupervisorPolicy, RetryWallClockCapBoundsTotalRetryTime) {
+    StagePolicy policy;
+    policy.maxAttempts = 1000;  // the attempt budget alone would retry ~forever
+    policy.backoffBaseMs = 25.0;
+    policy.backoffFactor = 1.0;
+    policy.jitterFraction = 0.0;
+    policy.maxRetryWallClockMs = 80.0;
+    StageSupervisor supervisor(policy);
+    StageRun run;
+    int calls = 0;
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW(supervisor.run(
+                     "always-flaky",
+                     [&calls]() -> int {
+                         ++calls;
+                         throw HlsError("transient");
+                     },
+                     &run),
+                 HlsError);
+    const double elapsedMs = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+    EXPECT_GE(calls, 2);            // it did retry...
+    EXPECT_LE(calls, 10);           // ...but nowhere near the attempt budget
+    EXPECT_EQ(run.attempts, calls);
+    // Roughly cap + one attempt + one backoff; far below what 1000
+    // attempts x 25 ms would take. Generous bound for slow CI hosts.
+    EXPECT_LT(elapsedMs, 2'000.0);
+}
+
+// ---------------------------------------------------------------------------
+// External scheduler mode: the executor's tasks run wherever submit()
+// puts them, dependency order still holds, and execute() returns only
+// when every submitted task has drained.
+
+TEST(StageGraphExecutorTest, ExternalSchedulerRunsAllStagesInOrder) {
+    /// Minimal conforming scheduler: one worker thread, FIFO queue.
+    class OneWorker : public StageScheduler {
+    public:
+        OneWorker() : thread_([this] { loop(); }) {}
+        ~OneWorker() override {
+            {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                done_ = true;
+            }
+            cv_.notify_all();
+            thread_.join();
+        }
+        void submit(std::function<void()> task) override {
+            {
+                const std::lock_guard<std::mutex> lock(mutex_);
+                queue_.push_back(std::move(task));
+            }
+            cv_.notify_all();
+        }
+
+    private:
+        void loop() {
+            std::unique_lock<std::mutex> lock(mutex_);
+            while (true) {
+                cv_.wait(lock, [this] { return done_ || !queue_.empty(); });
+                if (queue_.empty()) {
+                    return;
+                }
+                std::function<void()> task = std::move(queue_.front());
+                queue_.pop_front();
+                lock.unlock();
+                task();
+                lock.lock();
+            }
+        }
+        std::mutex mutex_;
+        std::condition_variable cv_;
+        std::deque<std::function<void()>> queue_;
+        bool done_ = false;
+        std::thread thread_;
+    };
+
+    OneWorker scheduler;
+    std::vector<std::string> order;
+    std::mutex orderMutex;
+    StageGraph graph;
+    for (const char* name : {"a", "b", "c"}) {
+        Stage stage = simpleStage(name, name == std::string("a")
+                                            ? std::vector<std::string>{}
+                                            : std::vector<std::string>{"a"});
+        stage.attempt = [&, name](const StageContext&) -> std::any {
+            const std::lock_guard<std::mutex> lock(orderMutex);
+            order.emplace_back(name);
+            return std::any{};
+        };
+        graph.add(std::move(stage));
+    }
+    ExecutorConfig config;
+    config.scheduler = &scheduler;
+    config.jobs = 17;  // ignored: the scheduler owns concurrency
+    StageGraphExecutor executor(config, nullptr, nullptr);
+    const auto executions = executor.execute(graph);
+    EXPECT_EQ(executions.size(), 3u);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], "a");  // the dependency always runs first
+
+    // Errors propagate identically in external mode.
+    StageGraph failing;
+    Stage bad = simpleStage("bad", {});
+    bad.attempt = [](const StageContext&) -> std::any {
+        throw DslError("broken input");
+    };
+    failing.add(std::move(bad));
+    failing.add(simpleStage("never", {"bad"}));
+    StageGraphExecutor failingExecutor(config, nullptr, nullptr);
+    EXPECT_THROW((void)failingExecutor.execute(failing), DslError);
 }
 
 } // namespace
