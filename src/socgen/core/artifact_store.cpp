@@ -1,6 +1,7 @@
 #include "socgen/core/artifact_store.hpp"
 
 #include "socgen/common/error.hpp"
+#include "socgen/common/log.hpp"
 #include "socgen/common/strings.hpp"
 #include "socgen/common/textfile.hpp"
 
@@ -16,18 +17,9 @@ namespace {
 /// renamed to the wrong key.
 constexpr const char* kMagic = "SOCGENART1";
 
-} // namespace
-
-ArtifactStore::ArtifactStore(std::string rootDir) : root_(std::move(rootDir)) {
-    // Reclaim write-then-rename leftovers: a writer that died between
-    // writing its temporary and renaming it over the object leaves a
-    // `<key>.art.tmp<serial>` sibling that no reader ever consults.
-    // Collecting at open keeps the objects directory bounded across
-    // crash loops; a temporary belonging to a *live* writer of another
-    // store instance could in principle be swept too, in which case that
-    // writer's rename fails with an ArtifactError and the supervisor
-    // retries the store — detected, never silent.
-    const std::filesystem::path dir = std::filesystem::path(root_) / "objects";
+/// Reclaims `*.tmp*` write-then-rename leftovers in one directory.
+std::size_t reclaimTempsIn(const std::filesystem::path& dir) {
+    std::size_t reclaimed = 0;
     std::error_code ec;
     for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
         if (!entry.is_regular_file()) {
@@ -36,9 +28,57 @@ ArtifactStore::ArtifactStore(std::string rootDir) : root_(std::move(rootDir)) {
         if (entry.path().filename().string().find(".tmp") != std::string::npos) {
             std::error_code removeEc;
             if (std::filesystem::remove(entry.path(), removeEc)) {
-                ++reclaimedTempFiles_;
+                ++reclaimed;
             }
         }
+    }
+    return reclaimed;
+}
+
+} // namespace
+
+ArtifactStore::ArtifactStore(std::string rootDir) : root_(std::move(rootDir)) {
+    // Reclaim write-then-rename leftovers: a writer that died between
+    // writing its temporary and renaming it over the object leaves a
+    // `<key>.art.tmp<serial>` sibling that no reader ever consults.
+    // Collecting at open keeps the object directories bounded across
+    // crash loops; a temporary belonging to a *live* writer of another
+    // store instance could in principle be swept too, in which case that
+    // writer's rename fails with an ArtifactError and the supervisor
+    // retries the store — detected, never silent.
+    namespace fs = std::filesystem;
+    const fs::path objects = fs::path(root_) / "objects";
+    reclaimedTempFiles_ += reclaimTempsIn(objects);
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(objects, ec)) {
+        if (entry.is_directory()) {
+            reclaimedTempFiles_ += reclaimTempsIn(entry.path());
+        }
+    }
+    // Shard migration: move flat pre-sharding objects (`objects/<key>.art`)
+    // into their digest-prefix directories. Rename is atomic within one
+    // filesystem, so a crash mid-migration leaves each object in exactly
+    // one of the two places and the next open finishes the job.
+    for (const auto& entry : fs::directory_iterator(objects, ec)) {
+        if (!entry.is_regular_file() || entry.path().extension() != ".art") {
+            continue;
+        }
+        const std::string key = entry.path().stem().string();
+        if (key.size() <= kShardPrefixLen) {
+            continue;
+        }
+        const std::string sharded = objectPath(key);
+        std::error_code mkEc;
+        fs::create_directories(fs::path(sharded).parent_path(), mkEc);
+        std::error_code mvEc;
+        fs::rename(entry.path(), sharded, mvEc);
+        if (!mvEc) {
+            ++migratedObjects_;
+        }
+    }
+    if (migratedObjects_ > 0) {
+        Logger::global().info(format("store: migrated %zu flat objects into shards",
+                                     migratedObjects_));
     }
 }
 
@@ -61,60 +101,126 @@ std::string ArtifactStore::deriveKey(const hls::Kernel& kernel,
 }
 
 std::string ArtifactStore::objectPath(const std::string& key) const {
-    return root_ + "/objects/" + key + ".art";
+    // Sharded layout: the key is a uniform digest, so its first hex
+    // characters spread objects evenly across up to 256 directories.
+    return root_ + "/objects/" + key.substr(0, kShardPrefixLen) + "/" + key + ".art";
+}
+
+std::string ArtifactStore::quarantinePath(const std::string& key) const {
+    return root_ + "/quarantine/" + key + ".art";
+}
+
+void ArtifactStore::quarantine(const std::string& key, const std::string& reason,
+                               LoadDiag* diag) const {
+    namespace fs = std::filesystem;
+    const std::string from = objectPath(key);
+    const std::string to = quarantinePath(key);
+    std::error_code mkEc;
+    fs::create_directories(fs::path(to).parent_path(), mkEc);
+    std::error_code mvEc;
+    fs::rename(from, to, mvEc);
+    const bool moved = !mvEc;
+    if (moved) {
+        Logger::global().warn(format("store: quarantined corrupt object %s (%s)",
+                                     key.c_str(), reason.c_str()));
+    } else {
+        // Concurrent loader already moved it; the record below still
+        // captures that this instance saw the corruption.
+        Logger::global().warn(format("store: corrupt object %s (%s); already "
+                                     "quarantined",
+                                     key.c_str(), reason.c_str()));
+    }
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        quarantineLog_.push_back(QuarantineRecord{key, reason, to});
+    }
+    if (diag != nullptr) {
+        diag->quarantined = true;
+        diag->quarantinePath = to;
+    }
 }
 
 std::optional<hls::HlsResult> ArtifactStore::load(const std::string& key,
-                                                  std::string* whyMiss) const {
-    if (whyMiss != nullptr) {
-        whyMiss->clear();
+                                                  LoadDiag* diag) const {
+    if (diag != nullptr) {
+        *diag = LoadDiag{};
     }
     const std::string path = objectPath(key);
     if (!fileExists(path)) {
         return std::nullopt;
     }
-    const auto miss = [&](const std::string& reason) -> std::optional<hls::HlsResult> {
-        if (whyMiss != nullptr) {
-            *whyMiss = reason;
+    // A validation failure quarantines the object and reports a miss, so
+    // the caller re-synthesizes — never silently loads corruption.
+    const auto corrupt = [&](const std::string& reason) -> std::optional<hls::HlsResult> {
+        if (diag != nullptr) {
+            diag->whyMiss = reason;
         }
+        quarantine(key, reason, diag);
         return std::nullopt;
     };
     std::string image;
     try {
         image = readTextFile(path);
     } catch (const Error& e) {
-        return miss(e.what());
+        // Unreadable is not provably corrupt (could be a permissions or
+        // transient IO problem): report the miss but leave the object.
+        if (diag != nullptr) {
+            diag->whyMiss = e.what();
+        }
+        return std::nullopt;
     }
     // Header: magic '\n' digest-hex '\n' key '\n' payload.
     const std::size_t magicEnd = image.find('\n');
     if (magicEnd == std::string::npos || image.substr(0, magicEnd) != kMagic) {
-        return miss("bad magic (not a socgen artifact)");
+        return corrupt("bad magic (not a socgen artifact)");
     }
     const std::size_t digestEnd = image.find('\n', magicEnd + 1);
     if (digestEnd == std::string::npos) {
-        return miss("truncated header (no digest line)");
+        return corrupt("truncated header (no digest line)");
     }
     const std::size_t keyEnd = image.find('\n', digestEnd + 1);
     if (keyEnd == std::string::npos) {
-        return miss("truncated header (no key line)");
+        return corrupt("truncated header (no key line)");
     }
     const std::string storedDigest = image.substr(magicEnd + 1, digestEnd - magicEnd - 1);
     const std::string storedKey = image.substr(digestEnd + 1, keyEnd - digestEnd - 1);
     if (storedKey != key) {
-        return miss(format("object key mismatch: header says %s", storedKey.c_str()));
+        return corrupt(format("object key mismatch: header says %s", storedKey.c_str()));
     }
     const std::string_view payload = std::string_view(image).substr(keyEnd + 1);
     const std::string actualDigest = digest128(payload).hex();
     if (actualDigest != storedDigest) {
-        return miss(format("payload digest mismatch (stored %s, actual %s) — corrupt "
-                           "artifact, rebuilding",
-                           storedDigest.c_str(), actualDigest.c_str()));
+        return corrupt(format("payload digest mismatch (stored %s, actual %s) — corrupt "
+                              "artifact, rebuilding",
+                              storedDigest.c_str(), actualDigest.c_str()));
     }
     try {
         return hls::decodeHlsResult(payload);
     } catch (const Error& e) {
-        return miss(e.what());
+        return corrupt(e.what());
     }
+}
+
+std::optional<hls::HlsResult> ArtifactStore::load(const std::string& key,
+                                                  std::string* whyMiss) const {
+    LoadDiag diag;
+    std::optional<hls::HlsResult> result = load(key, &diag);
+    if (whyMiss != nullptr) {
+        *whyMiss = diag.whyMiss;
+    }
+    return result;
+}
+
+hls::HlsResult ArtifactStore::loadOrThrow(const std::string& key) const {
+    LoadDiag diag;
+    std::optional<hls::HlsResult> result = load(key, &diag);
+    if (result.has_value()) {
+        return std::move(*result);
+    }
+    if (diag.whyMiss.empty()) {
+        throw ArtifactError(format("no object %s", key.c_str()));
+    }
+    throw ArtifactCorruptError(format("%s: %s", key.c_str(), diag.whyMiss.c_str()));
 }
 
 void ArtifactStore::store(const std::string& key, const hls::HlsResult& result) const {
@@ -137,6 +243,41 @@ void ArtifactStore::store(const std::string& key, const hls::HlsResult& result) 
     }
 }
 
+std::uint64_t ArtifactStore::acquireLease(const std::string& key) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return ++leases_[key];
+}
+
+std::uint64_t ArtifactStore::currentLease(const std::string& key) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = leases_.find(key);
+    return it == leases_.end() ? 0 : it->second;
+}
+
+void ArtifactStore::storeFenced(const std::string& key, const hls::HlsResult& result,
+                                std::uint64_t leaseEpoch) const {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = leases_.find(key);
+        const std::uint64_t current = it == leases_.end() ? 0 : it->second;
+        if (leaseEpoch < current) {
+            ++staleCommitsRejected_;
+            Logger::global().warn(format("store: rejected stale commit of %s "
+                                         "(lease epoch %llu < current %llu) — zombie "
+                                         "worker fenced off",
+                                         key.c_str(),
+                                         static_cast<unsigned long long>(leaseEpoch),
+                                         static_cast<unsigned long long>(current)));
+            throw StaleLeaseError(format("commit of %s carries epoch %llu, current "
+                                         "lease is %llu",
+                                         key.c_str(),
+                                         static_cast<unsigned long long>(leaseEpoch),
+                                         static_cast<unsigned long long>(current)));
+        }
+    }
+    store(key, result);
+}
+
 bool ArtifactStore::contains(const std::string& key) const {
     return fileExists(objectPath(key));
 }
@@ -146,16 +287,60 @@ std::size_t ArtifactStore::objectCount() const {
 }
 
 std::vector<std::string> ArtifactStore::keys() const {
+    namespace fs = std::filesystem;
     std::vector<std::string> out;
-    const std::filesystem::path dir = std::filesystem::path(root_) / "objects";
+    const fs::path dir = fs::path(root_) / "objects";
     std::error_code ec;
-    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
         if (entry.is_regular_file() && entry.path().extension() == ".art") {
+            // Flat stragglers (open migrates them, but stay robust).
             out.push_back(entry.path().stem().string());
+            continue;
+        }
+        if (!entry.is_directory()) {
+            continue;
+        }
+        std::error_code shardEc;
+        for (const auto& object : fs::directory_iterator(entry.path(), shardEc)) {
+            if (object.is_regular_file() && object.path().extension() == ".art") {
+                out.push_back(object.path().stem().string());
+            }
         }
     }
     std::sort(out.begin(), out.end());
     return out;
+}
+
+ArtifactStore::ScrubReport ArtifactStore::scrub() const {
+    ScrubReport report;
+    for (const std::string& key : keys()) {
+        ++report.scanned;
+        LoadDiag diag;
+        (void)load(key, &diag);
+        if (diag.quarantined) {
+            report.quarantined.emplace_back(key, diag.whyMiss);
+        }
+    }
+    if (!report.quarantined.empty()) {
+        Logger::global().warn(format("store: scrub quarantined %zu of %zu objects",
+                                     report.quarantined.size(), report.scanned));
+    }
+    return report;
+}
+
+std::size_t ArtifactStore::quarantinedObjects() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return quarantineLog_.size();
+}
+
+std::vector<ArtifactStore::QuarantineRecord> ArtifactStore::quarantineRecords() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return quarantineLog_;
+}
+
+std::size_t ArtifactStore::staleCommitsRejected() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return staleCommitsRejected_;
 }
 
 void ArtifactStore::corruptObject(const std::string& key) const {

@@ -4,6 +4,8 @@
 #include "socgen/soc/device.hpp"
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -17,19 +19,33 @@ namespace socgen::core {
 /// device, and tool version — so a stale hit is impossible by
 /// construction: change any input and the key changes.
 ///
+/// Layout: objects are sharded git-style across digest-prefix
+/// directories (`objects/<first-2-hex>/<key>.art`, up to 256 shards) so
+/// no single directory grows unboundedly under fleet-scale traffic;
+/// opening a store migrates any flat legacy objects into their shards.
+///
 /// Durability contract:
 ///  - writes are atomic (temp file + rename), so a crash mid-store leaves
 ///    either no object or a complete object, never a torn one;
-///  - every object embeds a digest of its payload, verified on load, so a
-///    corrupted object is detected and reported as a miss (the caller
-///    re-synthesizes and overwrites it) — never silently loaded.
+///  - every object embeds a digest of its payload, verified on load; a
+///    corrupted object is *quarantined* (moved to `quarantine/<key>.art`,
+///    recorded as a QuarantineRecord) and reported as a miss, so the
+///    caller transparently re-synthesizes — corruption is never silently
+///    loaded and never silently discarded;
+///  - commits from the out-of-process worker fleet are fenced by lease
+///    epochs: acquireLease() hands out a per-key monotonic epoch at each
+///    dispatch, and storeFenced() rejects (StaleLeaseError) any commit
+///    bearing an epoch older than the key's current lease — a zombie
+///    worker resurrected after its kill cannot clobber the retried
+///    attempt's artifact.
 class ArtifactStore {
 public:
     /// Opens (and lazily creates) a store rooted at `rootDir`. Opening
     /// garbage-collects orphaned write-then-rename temporaries
     /// (`*.art.tmp<serial>` files a crashed writer left behind) — they
     /// are never valid objects, and without collection a crash loop
-    /// would leak them forever.
+    /// would leak them forever — and migrates flat pre-sharding objects
+    /// into their digest-prefix shard directories.
     explicit ArtifactStore(std::string rootDir);
 
     /// Derives the content key for one (kernel, directives, device, tool)
@@ -39,16 +55,48 @@ public:
                                                const soc::FpgaDevice& device,
                                                std::string_view toolVersion);
 
+    /// Validation diagnostics for one load.
+    struct LoadDiag {
+        std::string whyMiss;        ///< "" for a plain miss, else the reason
+        bool quarantined = false;   ///< the object was moved to quarantine/
+        std::string quarantinePath; ///< where it went (forensics)
+    };
+
     /// Loads and validates the object under `key`. Returns nullopt on
     /// miss or on any validation failure (bad magic, digest mismatch,
-    /// undecodable payload); when `whyMiss` is non-null it receives a
-    /// human-readable reason for a validation miss ("" for a plain miss).
+    /// undecodable payload); a validation failure also quarantines the
+    /// object. When `diag` is non-null it receives the reason and the
+    /// quarantine outcome.
+    [[nodiscard]] std::optional<hls::HlsResult> load(const std::string& key,
+                                                     LoadDiag* diag) const;
+
+    /// Back-compat overload: `whyMiss` receives LoadDiag::whyMiss.
     [[nodiscard]] std::optional<hls::HlsResult> load(const std::string& key,
                                                      std::string* whyMiss = nullptr) const;
+
+    /// Like load(), but a named error instead of a silent miss: throws
+    /// ArtifactError when the object is absent and ArtifactCorruptError
+    /// (after quarantining) when it exists but fails validation.
+    [[nodiscard]] hls::HlsResult loadOrThrow(const std::string& key) const;
 
     /// Atomically stores `result` under `key`, overwriting any previous
     /// object (including a corrupt one).
     void store(const std::string& key, const hls::HlsResult& result) const;
+
+    /// Hands out the next lease epoch for `key` (1, 2, 3, ...). Every
+    /// dispatch of an attempt to an out-of-process worker takes a fresh
+    /// lease; a re-dispatch after a kill takes a newer one, fencing off
+    /// the corpse's eventual commit.
+    [[nodiscard]] std::uint64_t acquireLease(const std::string& key) const;
+
+    /// The most recently issued lease epoch for `key` (0 if none).
+    [[nodiscard]] std::uint64_t currentLease(const std::string& key) const;
+
+    /// Fenced store: commits only if `leaseEpoch` is the key's current
+    /// lease; otherwise counts the rejection, logs it, and throws
+    /// StaleLeaseError without touching the object.
+    void storeFenced(const std::string& key, const hls::HlsResult& result,
+                     std::uint64_t leaseEpoch) const;
 
     [[nodiscard]] bool contains(const std::string& key) const;
 
@@ -57,6 +105,27 @@ public:
 
     /// Keys of all objects on disk, sorted.
     [[nodiscard]] std::vector<std::string> keys() const;
+
+    /// Walks every shard and validates every object; corrupt objects are
+    /// quarantined. Self-healing pass run by the flow service at open.
+    struct ScrubReport {
+        std::size_t scanned = 0;
+        /// (key, reason) for every object quarantined by this pass.
+        std::vector<std::pair<std::string, std::string>> quarantined;
+    };
+    [[nodiscard]] ScrubReport scrub() const;
+
+    /// One quarantined object (this store instance's lifetime).
+    struct QuarantineRecord {
+        std::string key;
+        std::string reason;
+        std::string quarantinePath;
+    };
+    [[nodiscard]] std::size_t quarantinedObjects() const;
+    [[nodiscard]] std::vector<QuarantineRecord> quarantineRecords() const;
+
+    /// Fenced commits rejected as stale (this store instance's lifetime).
+    [[nodiscard]] std::size_t staleCommitsRejected() const;
 
     /// Test/fault-injection hook: flips one payload byte of the stored
     /// object so the next load fails digest validation. Throws
@@ -69,13 +138,29 @@ public:
     /// Orphaned temporaries reclaimed when this store was opened.
     [[nodiscard]] std::size_t reclaimedTempFiles() const { return reclaimedTempFiles_; }
 
+    /// Flat legacy objects moved into shard directories at open.
+    [[nodiscard]] std::size_t migratedObjects() const { return migratedObjects_; }
+
     [[nodiscard]] const std::string& root() const { return root_; }
+
+    /// Digest-prefix length of the shard layout (hex characters).
+    static constexpr std::size_t kShardPrefixLen = 2;
 
 private:
     [[nodiscard]] std::string objectPath(const std::string& key) const;
+    [[nodiscard]] std::string quarantinePath(const std::string& key) const;
+    /// Moves a failed-validation object into quarantine/ and records it.
+    void quarantine(const std::string& key, const std::string& reason,
+                    LoadDiag* diag) const;
 
     std::string root_;
     std::size_t reclaimedTempFiles_ = 0;
+    std::size_t migratedObjects_ = 0;
+
+    mutable std::mutex mutex_;
+    mutable std::map<std::string, std::uint64_t> leases_;
+    mutable std::vector<QuarantineRecord> quarantineLog_;
+    mutable std::size_t staleCommitsRejected_ = 0;
 };
 
 } // namespace socgen::core

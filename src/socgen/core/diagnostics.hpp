@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,8 @@ struct FlowDiagnostics {
                                           ///< run's journal commit record
         bool dedupedInFlight = false;  ///< waited on another flow synthesizing
                                        ///< the same key (SynthGate), then reused
+        bool remoteWorker = false;  ///< synthesized by an out-of-process worker
+        std::uint64_t leaseEpoch = 0;  ///< lease epoch of the remote dispatch
         std::string artifactKey;   ///< content key (empty if key not derived)
     };
 

@@ -22,6 +22,8 @@ const char* toString(FlowEventKind kind) {
     case FlowEventKind::StoreHit: return "store-hit";
     case FlowEventKind::ArtifactRejected: return "artifact-rejected";
     case FlowEventKind::DigestMismatch: return "digest-mismatch";
+    case FlowEventKind::ArtifactQuarantined: return "artifact-quarantined";
+    case FlowEventKind::RemoteSynthesis: return "remote-synthesis";
     }
     return "unknown";
 }
@@ -70,10 +72,12 @@ void LogSubscriber::onEvent(const FlowEvent& event) {
     case FlowEventKind::StageFailed:
     case FlowEventKind::DigestMismatch:
     case FlowEventKind::ArtifactRejected:
+    case FlowEventKind::ArtifactQuarantined:
         Logger::global().warn("flow: " + event.render());
         break;
     case FlowEventKind::CacheHit:
     case FlowEventKind::StoreHit:
+    case FlowEventKind::RemoteSynthesis:
         Logger::global().info("flow: " + event.render());
         break;
     default:
@@ -121,6 +125,12 @@ void StageTableSubscriber::onEvent(const FlowEvent& event) {
         break;
     case FlowEventKind::ArtifactRejected:
         ++rejections_;
+        break;
+    case FlowEventKind::ArtifactQuarantined:
+        ++quarantines_;
+        break;
+    case FlowEventKind::RemoteSynthesis:
+        ++remoteSyntheses_;
         break;
     default:
         break;

@@ -29,6 +29,8 @@ enum class FlowEventKind {
     StoreHit,          ///< served from the persistent ArtifactStore
     ArtifactRejected,  ///< a stored object failed validation; detail = why
     DigestMismatch,    ///< recomputed output differs from the journal's commit
+    ArtifactQuarantined, ///< a corrupt object was moved to quarantine/; detail = why
+    RemoteSynthesis,   ///< served by an out-of-process worker; detail = lease epoch
 };
 
 [[nodiscard]] const char* toString(FlowEventKind kind);
@@ -100,12 +102,16 @@ public:
     [[nodiscard]] std::size_t cacheHits() const { return cacheHits_; }
     [[nodiscard]] std::size_t storeHits() const { return storeHits_; }
     [[nodiscard]] std::size_t artifactRejections() const { return rejections_; }
+    [[nodiscard]] std::size_t artifactQuarantines() const { return quarantines_; }
+    [[nodiscard]] std::size_t remoteSyntheses() const { return remoteSyntheses_; }
 
 private:
     std::map<std::string, FlowDiagnostics::StageOutcome> rows_;
     std::size_t cacheHits_ = 0;
     std::size_t storeHits_ = 0;
     std::size_t rejections_ = 0;
+    std::size_t quarantines_ = 0;
+    std::size_t remoteSyntheses_ = 0;
 };
 
 /// Bundled subscriber: records one complete ("ph":"X") span per stage and

@@ -172,19 +172,20 @@ Flow::HlsAttemptOut Flow::hlsAttempt(const TgNode& node) {
             }
         }
         if (store_ != nullptr) {
-            std::string whyMiss;
-            if (std::optional<hls::HlsResult> loaded = store_->load(out.key, &whyMiss)) {
+            ArtifactStore::LoadDiag diag;
+            if (std::optional<hls::HlsResult> loaded = store_->load(out.key, &diag)) {
                 Logger::global().info("hls: artifact store hit for " + node.name);
                 out.storeHit = true;
                 out.resumedFromJournal = committedAtOpen_.count("hls:" + node.name) > 0;
                 out.result = std::move(*loaded);
                 return true;
             }
-            if (!whyMiss.empty()) {
-                out.rejectedWhy = whyMiss;
+            if (!diag.whyMiss.empty()) {
+                out.rejectedWhy = diag.whyMiss;
+                out.quarantined = diag.quarantined;
                 Logger::global().warn(format("hls: stored artifact of %s rejected (%s); "
                                              "re-synthesizing",
-                                             node.name.c_str(), whyMiss.c_str()));
+                                             node.name.c_str(), diag.whyMiss.c_str()));
             }
         }
         return false;
@@ -224,6 +225,28 @@ Flow::HlsAttemptOut Flow::hlsAttempt(const TgNode& node) {
         throw HlsError(
             format("injected transient HLS failure for kernel \"%s\"", node.name.c_str()));
     }
+    if (options_.remoteHls != nullptr) {
+        // Dispatch to the out-of-process worker fleet. A fleet that
+        // cannot serve (no spawnable workers, redispatch budget blown)
+        // degrades gracefully to the in-process engine below; a genuine
+        // synthesis failure (HlsError) propagates exactly like an
+        // in-process one.
+        try {
+            RemoteSynthesis remote =
+                options_.remoteHls->synthesize(kernel, directives, out.key);
+            out.result = std::move(remote.result);
+            out.leaseEpoch = remote.leaseEpoch;
+            out.remoteWorker = true;
+            out.toolSeconds = out.result.toolSeconds;
+            out.fromEngine = true;
+            simulateToolWait(out.toolSeconds);
+            return out;
+        } catch (const WorkerUnavailableError& e) {
+            Logger::global().warn(format("hls: worker fleet unavailable for %s (%s); "
+                                         "falling back to in-process synthesis",
+                                         node.name.c_str(), e.what()));
+        }
+    }
     out.result = engine_.synthesize(kernel, directives);
     out.toolSeconds = out.result.toolSeconds;
     out.fromEngine = true;
@@ -236,7 +259,14 @@ void Flow::hlsPersist(const HlsAttemptOut& out) {
         cache_->store(out.key, out.result);
     }
     if (store_ != nullptr && out.fromEngine) {
-        store_->store(out.key, out.result);
+        if (out.leaseEpoch > 0) {
+            // Remote result: fenced commit. Only the epoch of the live
+            // dispatch may land; a zombie worker's resurrected commit
+            // throws StaleLeaseError instead of clobbering the artifact.
+            store_->storeFenced(out.key, out.result, out.leaseEpoch);
+        } else {
+            store_->store(out.key, out.result);
+        }
     }
 }
 
@@ -437,6 +467,8 @@ FlowResult Flow::run(const std::string& projectName, const TaskGraph& graph) {
                     outcome.storeHit = a.storeHit;
                     outcome.resumedFromJournal = a.resumedFromJournal;
                     outcome.dedupedInFlight = a.dedupedInFlight;
+                    outcome.remoteWorker = a.remoteWorker;
+                    outcome.leaseEpoch = a.leaseEpoch;
                     outcome.toolSeconds = a.toolSeconds;
                     outcome.attempts =
                         a.fromEngine ? static_cast<unsigned>(meta.attempts) : 0u;
@@ -445,6 +477,17 @@ FlowResult Flow::run(const std::string& projectName, const TaskGraph& graph) {
                     if (!a.rejectedWhy.empty()) {
                         event.kind = FlowEventKind::ArtifactRejected;
                         event.detail = a.rejectedWhy;
+                        bus.publish(event);
+                    }
+                    if (a.quarantined) {
+                        event.kind = FlowEventKind::ArtifactQuarantined;
+                        event.detail = a.rejectedWhy;
+                        bus.publish(event);
+                    }
+                    if (a.remoteWorker) {
+                        event.kind = FlowEventKind::RemoteSynthesis;
+                        event.detail = format("lease epoch %llu",
+                                              static_cast<unsigned long long>(a.leaseEpoch));
                         bus.publish(event);
                     }
                     if (a.cacheHit || a.storeHit) {

@@ -6,6 +6,7 @@
 #include "socgen/core/event_bus.hpp"
 #include "socgen/core/htg.hpp"
 #include "socgen/core/journal.hpp"
+#include "socgen/core/remote_hls.hpp"
 #include "socgen/core/stage_graph.hpp"
 #include "socgen/core/supervisor.hpp"
 #include "socgen/core/synth_gate.hpp"
@@ -149,6 +150,13 @@ struct FlowOptions {
     /// `jobs` is ignored — the service's shared pool owns concurrency
     /// and cross-tenant fairness.
     std::shared_ptr<StageScheduler> stageScheduler;
+
+    /// Out-of-process synthesis: when set, HLS attempts dispatch to this
+    /// executor (the service's worker fleet) instead of the in-process
+    /// engine. WorkerUnavailableError from the executor degrades the
+    /// attempt back to in-process synthesis — the fleet accelerates and
+    /// crash-isolates, it never gates correctness.
+    std::shared_ptr<RemoteHlsExecutor> remoteHls;
 };
 
 /// Everything one flow run produces — the contents of the generated
@@ -226,7 +234,13 @@ private:
         bool resumedFromJournal = false;
         bool fromEngine = false;   ///< synthesized by the engine this attempt
         bool dedupedInFlight = false;  ///< waited on another flow's synthesis
+        bool remoteWorker = false; ///< synthesized by an out-of-process worker
+        /// Lease epoch of the remote dispatch that produced the result;
+        /// 0 for in-process synthesis. Non-zero makes the commit use
+        /// ArtifactStore::storeFenced, which rejects zombie commits.
+        std::uint64_t leaseEpoch = 0;
         std::string rejectedWhy;   ///< non-empty: a stored object failed validation
+        bool quarantined = false;  ///< the rejected object was quarantined
         /// SynthGate leadership token, held until this value is
         /// destroyed after the commit persisted the result — so waiting
         /// followers wake to a store hit, and an exception on any path

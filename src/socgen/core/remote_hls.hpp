@@ -1,0 +1,38 @@
+#pragma once
+
+#include "socgen/hls/directives.hpp"
+#include "socgen/hls/engine.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace socgen::core {
+
+/// One remote synthesis outcome: the result plus the lease epoch of the
+/// dispatch that produced it. The epoch travels with the result into the
+/// commit phase, where ArtifactStore::storeFenced() rejects it if a
+/// newer dispatch of the same key has since been issued (zombie-worker
+/// fence).
+struct RemoteSynthesis {
+    hls::HlsResult result;
+    std::uint64_t leaseEpoch = 0;
+};
+
+/// Out-of-process synthesis hook. The flow's HLS attempt dispatches
+/// through this interface when FlowOptions::remoteHls is set (the
+/// service installs its WorkerFleet); implementations throw
+///  - HlsError for a structured synthesis failure (same as in-process),
+///  - WorkerUnavailableError when no worker can serve the dispatch — the
+///    flow catches that one and falls back to in-process synthesis, so a
+///    dead fleet degrades throughput, never correctness.
+/// The interface lives in core so core keeps zero dependency on svc.
+class RemoteHlsExecutor {
+public:
+    virtual ~RemoteHlsExecutor() = default;
+
+    [[nodiscard]] virtual RemoteSynthesis synthesize(const hls::Kernel& kernel,
+                                                     const hls::Directives& directives,
+                                                     const std::string& key) = 0;
+};
+
+} // namespace socgen::core

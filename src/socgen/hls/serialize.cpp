@@ -1,144 +1,16 @@
 #include "socgen/hls/serialize.hpp"
 
+#include "socgen/common/binio.hpp"
 #include "socgen/common/error.hpp"
 #include "socgen/common/strings.hpp"
-
-#include <cstring>
 
 namespace socgen::hls {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Flat little-endian byte stream primitives. The reader bounds-checks every
-// access and throws ArtifactError, so a truncated or bit-flipped payload is
-// always a clean rebuild, never undefined behaviour.
-
-class BinWriter {
-public:
-    void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
-
-    void u32(std::uint32_t v) {
-        for (int i = 0; i < 4; ++i) {
-            out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-        }
-    }
-
-    void u64(std::uint64_t v) {
-        for (int i = 0; i < 8; ++i) {
-            out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-        }
-    }
-
-    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
-
-    void f64(double v) {
-        std::uint64_t bits = 0;
-        std::memcpy(&bits, &v, sizeof bits);
-        u64(bits);
-    }
-
-    void str(std::string_view s) {
-        u64(s.size());
-        out_.append(s);
-    }
-
-    template <typename T, typename Fn>
-    void vec(const std::vector<T>& items, Fn&& putItem) {
-        u64(items.size());
-        for (const T& item : items) {
-            putItem(item);
-        }
-    }
-
-    [[nodiscard]] std::string take() { return std::move(out_); }
-
-private:
-    std::string out_;
-};
-
-class BinReader {
-public:
-    explicit BinReader(std::string_view bytes) : bytes_(bytes) {}
-
-    std::uint8_t u8() { return static_cast<std::uint8_t>(raw(1)[0]); }
-
-    std::uint32_t u32() {
-        const char* p = raw(4);
-        std::uint32_t v = 0;
-        for (int i = 3; i >= 0; --i) {
-            v = (v << 8) | static_cast<unsigned char>(p[i]);
-        }
-        return v;
-    }
-
-    std::uint64_t u64() {
-        const char* p = raw(8);
-        std::uint64_t v = 0;
-        for (int i = 7; i >= 0; --i) {
-            v = (v << 8) | static_cast<unsigned char>(p[i]);
-        }
-        return v;
-    }
-
-    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
-
-    double f64() {
-        const std::uint64_t bits = u64();
-        double v = 0;
-        std::memcpy(&v, &bits, sizeof v);
-        return v;
-    }
-
-    std::string str() {
-        const std::uint64_t n = size();
-        return std::string(raw(n), n);
-    }
-
-    /// Element count with a sanity cap: each element needs >= 1 byte, so a
-    /// count beyond the remaining bytes is certain corruption.
-    std::uint64_t size() {
-        const std::uint64_t n = u64();
-        if (n > bytes_.size() - pos_) {
-            throw ArtifactError(format("implausible element count %llu at offset %zu",
-                                       static_cast<unsigned long long>(n), pos_));
-        }
-        return n;
-    }
-
-    template <typename T, typename Fn>
-    std::vector<T> vec(Fn&& getItem) {
-        const std::uint64_t n = size();
-        std::vector<T> items;
-        items.reserve(n);
-        for (std::uint64_t i = 0; i < n; ++i) {
-            items.push_back(getItem());
-        }
-        return items;
-    }
-
-    void expectEnd() const {
-        if (pos_ != bytes_.size()) {
-            throw ArtifactError(format("%zu trailing bytes after decoded payload",
-                                       bytes_.size() - pos_));
-        }
-    }
-
-private:
-    const char* raw(std::uint64_t n) {
-        if (n > bytes_.size() - pos_) {
-            throw ArtifactError(format("truncated payload: need %llu bytes at offset %zu, "
-                                       "have %zu",
-                                       static_cast<unsigned long long>(n), pos_,
-                                       bytes_.size() - pos_));
-        }
-        const char* p = bytes_.data() + pos_;
-        pos_ += n;
-        return p;
-    }
-
-    std::string_view bytes_;
-    std::size_t pos_ = 0;
-};
+// The byte-stream primitives (BinWriter/BinReader) live in
+// common/binio.hpp, shared with the worker wire protocol. The reader
+// throws CodecError; decodeHlsResult converts that to ArtifactError so
+// store callers keep one error type for "corrupt object".
 
 // ---------------------------------------------------------------------------
 // Per-type encode/decode pairs, innermost first.
@@ -397,7 +269,9 @@ rtl::Netlist getNetlist(BinReader& r) {
             const rtl::NetId net = r.u32();
             n.addPort(std::move(name), dir, width, net);
         }
-    } catch (const ArtifactError&) {
+    } catch (const CodecError&) {
+        // Framing errors keep their own type; the top-level decode
+        // converts them for store callers.
         throw;
     } catch (const Error& e) {
         // addCell/addPort structural checks (out-of-range ids, duplicate
@@ -427,26 +301,190 @@ std::string encodeHlsResult(const HlsResult& result) {
 }
 
 HlsResult decodeHlsResult(std::string_view bytes) {
+    try {
+        BinReader r(bytes);
+        const std::uint32_t version = r.u32();
+        if (version != kHlsResultCodecVersion) {
+            throw ArtifactError(format("codec version mismatch: payload v%u, expected v%u",
+                                       version, kHlsResultCodecVersion));
+        }
+        HlsResult result;
+        result.kernelName = r.str();
+        result.vhdl = r.str();
+        result.verilog = r.str();
+        result.directiveText = r.str();
+        result.reportText = r.str();
+        result.toolSeconds = r.f64();
+        result.resources = getResources(r);
+        result.program = getProgram(r);
+        result.schedule = getSchedule(r);
+        result.binding = getBinding(r);
+        result.netlist = getNetlist(r);
+        r.expectEnd();
+        return result;
+    } catch (const CodecError& e) {
+        throw ArtifactError(e.what());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel / Directives transport codecs (worker wire protocol).
+
+std::string encodeKernel(const Kernel& kernel) {
+    BinWriter w;
+    w.u32(kKernelCodecVersion);
+    w.str(kernel.name());
+    w.vec(kernel.ports(), [&](const KernelPort& p) { putPort(w, p); });
+    w.vec(kernel.vars(), [&](const KernelVar& v) {
+        w.str(v.name);
+        w.u32(v.width);
+    });
+    w.vec(kernel.arrays(), [&](const KernelArray& a) {
+        w.str(a.name);
+        w.u64(a.depth);
+        w.u32(a.width);
+    });
+    w.vec(kernel.exprs(), [&](const Expr& e) {
+        w.u32(static_cast<std::uint32_t>(e.kind));
+        w.i64(e.value);
+        w.u32(static_cast<std::uint32_t>(e.bop));
+        w.u32(static_cast<std::uint32_t>(e.uop));
+        w.u32(e.var);
+        w.u32(e.port);
+        w.u32(e.array);
+        w.u32(e.a);
+        w.u32(e.b);
+        w.u32(e.c);
+    });
+    w.vec(kernel.stmts(), [&](const Stmt& s) {
+        w.u32(static_cast<std::uint32_t>(s.kind));
+        w.u32(s.var);
+        w.u32(s.port);
+        w.u32(s.array);
+        w.u32(s.index);
+        w.u32(s.value);
+        w.vec(s.body, [&](StmtId id) { w.u32(id); });
+        w.vec(s.elseBody, [&](StmtId id) { w.u32(id); });
+    });
+    w.vec(kernel.body(), [&](StmtId id) { w.u32(id); });
+    return w.take();
+}
+
+Kernel decodeKernel(std::string_view bytes) {
     BinReader r(bytes);
     const std::uint32_t version = r.u32();
-    if (version != kHlsResultCodecVersion) {
-        throw ArtifactError(format("codec version mismatch: payload v%u, expected v%u",
-                                   version, kHlsResultCodecVersion));
+    if (version != kKernelCodecVersion) {
+        throw CodecError(format("kernel codec mismatch: payload v%u, expected v%u",
+                                version, kKernelCodecVersion));
     }
-    HlsResult result;
-    result.kernelName = r.str();
-    result.vhdl = r.str();
-    result.verilog = r.str();
-    result.directiveText = r.str();
-    result.reportText = r.str();
-    result.toolSeconds = r.f64();
-    result.resources = getResources(r);
-    result.program = getProgram(r);
-    result.schedule = getSchedule(r);
-    result.binding = getBinding(r);
-    result.netlist = getNetlist(r);
+    Kernel k(r.str());
+    k.ports_ = r.vec<KernelPort>([&] { return getPort(r); });
+    k.vars_ = r.vec<KernelVar>([&] {
+        KernelVar v;
+        v.name = r.str();
+        v.width = r.u32();
+        return v;
+    });
+    k.arrays_ = r.vec<KernelArray>([&] {
+        KernelArray a;
+        a.name = r.str();
+        a.depth = r.u64();
+        a.width = r.u32();
+        return a;
+    });
+    k.exprs_ = r.vec<Expr>([&] {
+        Expr e;
+        e.kind = static_cast<ExprKind>(r.u32());
+        e.value = r.i64();
+        e.bop = static_cast<BinOp>(r.u32());
+        e.uop = static_cast<UnOp>(r.u32());
+        e.var = r.u32();
+        e.port = r.u32();
+        e.array = r.u32();
+        e.a = r.u32();
+        e.b = r.u32();
+        e.c = r.u32();
+        return e;
+    });
+    k.stmts_ = r.vec<Stmt>([&] {
+        Stmt s;
+        s.kind = static_cast<StmtKind>(r.u32());
+        s.var = r.u32();
+        s.port = r.u32();
+        s.array = r.u32();
+        s.index = r.u32();
+        s.value = r.u32();
+        s.body = r.vec<StmtId>([&] { return r.u32(); });
+        s.elseBody = r.vec<StmtId>([&] { return r.u32(); });
+        return s;
+    });
+    k.body_ = r.vec<StmtId>([&] { return r.u32(); });
     r.expectEnd();
-    return result;
+    return k;
+}
+
+std::string encodeDirectives(const Directives& d) {
+    BinWriter w;
+    w.u32(kDirectivesCodecVersion);
+    w.f64(d.clockNs);
+    w.u32(static_cast<std::uint32_t>(d.scheduler));
+    w.u8(d.pipelineLoops ? 1 : 0);
+    w.u8(d.enableOptimizer ? 1 : 0);
+    w.i64(d.maxMulUnits);
+    w.i64(d.maxDivUnits);
+    w.i64(d.memPortsPerArray);
+    w.i64(d.defaultTripCount);
+    w.u64(d.tripCountHints.size());
+    for (const auto& [loop, trip] : d.tripCountHints) {
+        w.str(loop);
+        w.i64(trip);
+    }
+    w.u64(d.unrollFactors.size());
+    for (const auto& [loop, factor] : d.unrollFactors) {
+        w.str(loop);
+        w.i64(factor);
+    }
+    w.u64(d.interfaces.size());
+    for (const auto& [port, protocol] : d.interfaces) {
+        w.str(port);
+        w.u32(static_cast<std::uint32_t>(protocol));
+    }
+    return w.take();
+}
+
+Directives decodeDirectives(std::string_view bytes) {
+    BinReader r(bytes);
+    const std::uint32_t version = r.u32();
+    if (version != kDirectivesCodecVersion) {
+        throw CodecError(format("directives codec mismatch: payload v%u, expected v%u",
+                                version, kDirectivesCodecVersion));
+    }
+    Directives d;
+    d.clockNs = r.f64();
+    d.scheduler = static_cast<SchedulerKind>(r.u32());
+    d.pipelineLoops = r.u8() != 0;
+    d.enableOptimizer = r.u8() != 0;
+    d.maxMulUnits = static_cast<int>(r.i64());
+    d.maxDivUnits = static_cast<int>(r.i64());
+    d.memPortsPerArray = static_cast<int>(r.i64());
+    d.defaultTripCount = r.i64();
+    const std::uint64_t trips = r.size();
+    for (std::uint64_t i = 0; i < trips; ++i) {
+        std::string loop = r.str();
+        d.tripCountHints[std::move(loop)] = r.i64();
+    }
+    const std::uint64_t unrolls = r.size();
+    for (std::uint64_t i = 0; i < unrolls; ++i) {
+        std::string loop = r.str();
+        d.unrollFactors[std::move(loop)] = static_cast<int>(r.i64());
+    }
+    const std::uint64_t ifaces = r.size();
+    for (std::uint64_t i = 0; i < ifaces; ++i) {
+        std::string port = r.str();
+        d.interfaces[std::move(port)] = static_cast<InterfaceProtocol>(r.u32());
+    }
+    r.expectEnd();
+    return d;
 }
 
 Digest128 fingerprintKernel(const Kernel& kernel) {

@@ -2,6 +2,7 @@
 
 #include "socgen/core/flow.hpp"
 #include "socgen/svc/stage_pool.hpp"
+#include "socgen/svc/worker_fleet.hpp"
 
 #include <condition_variable>
 #include <cstddef>
@@ -49,6 +50,24 @@ struct ServiceConfig {
     /// synthesis toggles). outputDir / store / gate / scheduler /
     /// policy / faults are overwritten per request by the service.
     core::FlowOptions flowDefaults;
+
+    /// Out-of-process worker fleet size. 0 (the default) keeps every
+    /// stage in-process; overridable via SOCGEN_SVC_WORKERS (0 disables,
+    /// N spawns N socgen-worker processes). Workers that cannot be
+    /// spawned degrade the service gracefully back to in-process
+    /// execution — never to failure.
+    unsigned workers = 0;
+    /// socgen-worker binary; "" resolves via SOCGEN_WORKER_PATH, then
+    /// the build-time default.
+    std::string workerPath;
+    /// Fleet supervision knobs, forwarded to WorkerFleetConfig (the
+    /// workers/workerPath fields above take precedence).
+    WorkerFleetConfig fleetConfig;
+
+    /// Run an ArtifactStore::scrub() pass at service start: every object
+    /// in every shard is digest-verified, corrupt ones quarantined, so
+    /// the store self-heals before the first tenant hits it.
+    bool scrubOnOpen = true;
 };
 
 enum class RequestState {
@@ -170,6 +189,13 @@ public:
     [[nodiscard]] std::size_t synthDedupeWaits() const;
     [[nodiscard]] const core::ArtifactStore& store() const { return *store_; }
 
+    /// The out-of-process worker fleet (nullptr when workers == 0 or
+    /// SOCGEN_SVC_WORKERS=0).
+    [[nodiscard]] WorkerFleet* fleet() const { return fleet_.get(); }
+
+    /// Objects the startup scrub quarantined (0 when scrubOnOpen off).
+    [[nodiscard]] std::size_t scrubQuarantined() const { return scrubQuarantined_; }
+
 private:
     enum class BreakerState { Closed, Open, HalfOpen };
     struct Breaker {
@@ -200,6 +226,8 @@ private:
     std::shared_ptr<core::HlsCache> cache_;
     std::shared_ptr<core::SynthGate> gate_;
     std::unique_ptr<SharedStagePool> pool_;
+    std::shared_ptr<WorkerFleet> fleet_;
+    std::size_t scrubQuarantined_ = 0;
 
     mutable std::mutex mutex_;
     std::condition_variable cv_;

@@ -1,0 +1,187 @@
+#include "socgen/svc/wire.hpp"
+
+#include "socgen/common/binio.hpp"
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+namespace socgen::svc::wire {
+namespace {
+
+/// Wraps payload decoding so a malformed frame always surfaces as
+/// WireError, whatever the BinReader threw.
+template <typename Fn>
+auto decodePayload(const char* what, Fn&& fn) -> decltype(fn()) {
+    try {
+        return fn();
+    } catch (const WireError&) {
+        throw;
+    } catch (const Error& e) {
+        throw WireError(format("malformed %s frame: %s", what, e.what()));
+    }
+}
+
+} // namespace
+
+const char* toString(FrameType type) {
+    switch (type) {
+    case FrameType::Hello: return "hello";
+    case FrameType::Request: return "request";
+    case FrameType::Result: return "result";
+    case FrameType::Error: return "error";
+    case FrameType::Heartbeat: return "heartbeat";
+    case FrameType::Shutdown: return "shutdown";
+    }
+    return "?";
+}
+
+std::string encodeFrame(FrameType type, std::string_view payload) {
+    if (payload.size() + 1 > kMaxFrameBytes) {
+        throw WireError(format("frame payload of %zu bytes exceeds the %u-byte cap",
+                               payload.size(), kMaxFrameBytes));
+    }
+    const std::uint32_t length = static_cast<std::uint32_t>(payload.size()) + 1;
+    std::string out;
+    out.reserve(5 + payload.size());
+    for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<char>((length >> (8 * i)) & 0xff));
+    }
+    out.push_back(static_cast<char>(type));
+    out.append(payload);
+    return out;
+}
+
+void FrameReader::feed(std::string_view bytes) { buffer_.append(bytes); }
+
+std::optional<Frame> FrameReader::next() {
+    if (buffer_.size() < 4) {
+        return std::nullopt;
+    }
+    std::uint32_t length = 0;
+    for (int i = 3; i >= 0; --i) {
+        length = (length << 8) | static_cast<unsigned char>(buffer_[static_cast<std::size_t>(i)]);
+    }
+    if (length == 0 || length > kMaxFrameBytes) {
+        throw WireError(format("implausible frame length %u — desynced stream", length));
+    }
+    if (buffer_.size() < 4 + static_cast<std::size_t>(length)) {
+        return std::nullopt;
+    }
+    const std::uint8_t rawType = static_cast<std::uint8_t>(buffer_[4]);
+    if (rawType < static_cast<std::uint8_t>(FrameType::Hello) ||
+        rawType > static_cast<std::uint8_t>(FrameType::Shutdown)) {
+        throw WireError(format("unknown frame type %u", rawType));
+    }
+    Frame frame;
+    frame.type = static_cast<FrameType>(rawType);
+    frame.payload = buffer_.substr(5, length - 1);
+    buffer_.erase(0, 4 + static_cast<std::size_t>(length));
+    return frame;
+}
+
+std::string encodeHello(const HelloFrame& hello) {
+    BinWriter w;
+    w.u32(hello.protocolVersion);
+    w.u64(hello.pid);
+    return w.take();
+}
+
+HelloFrame decodeHello(std::string_view payload) {
+    return decodePayload("hello", [&] {
+        BinReader r(payload);
+        HelloFrame hello;
+        hello.protocolVersion = r.u32();
+        hello.pid = r.u64();
+        r.expectEnd();
+        return hello;
+    });
+}
+
+std::string encodeRequest(const RequestFrame& request) {
+    BinWriter w;
+    w.u64(request.requestId);
+    w.u64(request.leaseEpoch);
+    w.str(request.key);
+    w.str(request.kernel);
+    w.str(request.directives);
+    w.u32(request.delayMsBeforeResult);
+    w.u8(request.crashBeforeResult ? 1 : 0);
+    return w.take();
+}
+
+RequestFrame decodeRequest(std::string_view payload) {
+    return decodePayload("request", [&] {
+        BinReader r(payload);
+        RequestFrame request;
+        request.requestId = r.u64();
+        request.leaseEpoch = r.u64();
+        request.key = r.str();
+        request.kernel = r.str();
+        request.directives = r.str();
+        request.delayMsBeforeResult = r.u32();
+        request.crashBeforeResult = r.u8() != 0;
+        r.expectEnd();
+        return request;
+    });
+}
+
+std::string encodeResult(const ResultFrame& result) {
+    BinWriter w;
+    w.u64(result.requestId);
+    w.u64(result.leaseEpoch);
+    w.str(result.result);
+    return w.take();
+}
+
+ResultFrame decodeResult(std::string_view payload) {
+    return decodePayload("result", [&] {
+        BinReader r(payload);
+        ResultFrame result;
+        result.requestId = r.u64();
+        result.leaseEpoch = r.u64();
+        result.result = r.str();
+        r.expectEnd();
+        return result;
+    });
+}
+
+std::string encodeError(const ErrorFrame& error) {
+    BinWriter w;
+    w.u64(error.requestId);
+    w.u64(error.leaseEpoch);
+    w.u8(error.hlsError ? 1 : 0);
+    w.str(error.message);
+    return w.take();
+}
+
+ErrorFrame decodeError(std::string_view payload) {
+    return decodePayload("error", [&] {
+        BinReader r(payload);
+        ErrorFrame error;
+        error.requestId = r.u64();
+        error.leaseEpoch = r.u64();
+        error.hlsError = r.u8() != 0;
+        error.message = r.str();
+        r.expectEnd();
+        return error;
+    });
+}
+
+std::string encodeHeartbeat(const HeartbeatFrame& heartbeat) {
+    BinWriter w;
+    w.u64(heartbeat.requestsServed);
+    w.u64(heartbeat.inFlightRequestId);
+    return w.take();
+}
+
+HeartbeatFrame decodeHeartbeat(std::string_view payload) {
+    return decodePayload("heartbeat", [&] {
+        BinReader r(payload);
+        HeartbeatFrame heartbeat;
+        heartbeat.requestsServed = r.u64();
+        heartbeat.inFlightRequestId = r.u64();
+        r.expectEnd();
+        return heartbeat;
+    });
+}
+
+} // namespace socgen::svc::wire

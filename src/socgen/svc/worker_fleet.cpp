@@ -1,0 +1,514 @@
+#include "socgen/svc/worker_fleet.hpp"
+
+#include "socgen/common/env.hpp"
+#include "socgen/common/error.hpp"
+#include "socgen/common/log.hpp"
+#include "socgen/common/strings.hpp"
+#include "socgen/hls/serialize.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include <csignal>
+#include <sys/types.h>
+#include <signal.h>
+
+namespace socgen::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+} // namespace
+
+std::string WorkerFleet::resolveWorkerPath(const std::string& configured) {
+    if (!configured.empty()) {
+        return configured;
+    }
+    if (auto env = envString("SOCGEN_WORKER_PATH")) {
+        return *env;
+    }
+#ifdef SOCGEN_WORKER_DEFAULT_PATH
+    return SOCGEN_WORKER_DEFAULT_PATH;
+#else
+    return {};
+#endif
+}
+
+WorkerFleet::WorkerFleet(WorkerFleetConfig config, std::shared_ptr<core::ArtifactStore> store)
+    : config_(config), store_(std::move(store)),
+      workerPath_(resolveWorkerPath(config.workerPath)) {
+    if (config_.workers == 0) {
+        config_.workers = 1;
+    }
+    slots_.reserve(config_.workers);
+    for (unsigned i = 0; i < config_.workers; ++i) {
+        slots_.push_back(std::make_unique<Slot>());
+    }
+    if (workerPath_.empty()) {
+        // No worker binary known: the fleet is stillborn and every
+        // dispatch fails fast with WorkerUnavailableError (graceful
+        // degradation to in-process execution).
+        Logger::global().warn("fleet: no worker binary configured "
+                              "(set SOCGEN_WORKER_PATH); running unavailable");
+        for (auto& slot : slots_) {
+            slot->dead = true;
+        }
+        deadSlots_ = slots_.size();
+        return;
+    }
+    for (unsigned i = 0; i < config_.workers; ++i) {
+        slots_[i]->supervisor = std::thread(&WorkerFleet::supervisorLoop, this, i);
+    }
+}
+
+WorkerFleet::~WorkerFleet() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    queueCv_.notify_all();
+    // SIGKILL live workers so supervisors blocked on the pipe unblock via
+    // EOF at once. Workers are stateless, so this loses nothing.
+    for (auto& slot : slots_) {
+        const pid_t pid = slot->pid.load();
+        if (pid > 0) {
+            ::kill(pid, SIGKILL);
+        }
+    }
+    for (auto& slot : slots_) {
+        if (slot->supervisor.joinable()) {
+            slot->supervisor.join();
+        }
+    }
+    failAllQueued("worker fleet destroyed");
+}
+
+bool WorkerFleet::available() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return !shutdown_ && deadSlots_ < slots_.size();
+}
+
+WorkerFleetStats WorkerFleet::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::vector<pid_t> WorkerFleet::workerPids() const {
+    std::vector<pid_t> pids;
+    for (const auto& slot : slots_) {
+        const pid_t pid = slot->pid.load();
+        if (pid > 0) {
+            pids.push_back(pid);
+        }
+    }
+    return pids;
+}
+
+std::optional<pid_t> WorkerFleet::killRandomWorker(std::uint64_t seed) {
+    const std::vector<pid_t> pids = workerPids();
+    if (pids.empty()) {
+        return std::nullopt;
+    }
+    const pid_t victim = pids[static_cast<std::size_t>(seed % pids.size())];
+    ::kill(victim, SIGKILL);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.kills;
+    }
+    Logger::global().info(format("fleet: chaos kill -9 of worker pid %d", victim));
+    return victim;
+}
+
+std::uint64_t WorkerFleet::nextEpoch(const std::string& key) {
+    if (store_ != nullptr) {
+        return store_->acquireLease(key);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ++fallbackEpoch_;
+}
+
+core::RemoteSynthesis WorkerFleet::synthesize(const hls::Kernel& kernel,
+                                              const hls::Directives& directives,
+                                              const std::string& key) {
+    RequestPtr request = std::make_shared<Request>();
+    request->key = key;
+    request->kernelBytes = hls::encodeKernel(kernel);
+    request->directiveBytes = hls::encodeDirectives(directives);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shutdown_) {
+            throw WorkerUnavailableError("fleet is shutting down");
+        }
+        if (deadSlots_ == slots_.size()) {
+            throw WorkerUnavailableError("no spawnable workers");
+        }
+        request->id = nextRequestId_++;
+        queue_.push_back(request);
+    }
+    queueCv_.notify_one();
+
+    std::unique_lock<std::mutex> lock(request->m);
+    request->cv.wait(lock, [&] { return request->done; });
+    if (request->failed) {
+        if (request->hlsFailure) {
+            // The worker forwarded e.what(), which already carries the
+            // "hls: " prefix HlsError would re-add.
+            std::string message = request->error;
+            if (message.rfind("hls: ", 0) == 0) {
+                message.erase(0, 5);
+            }
+            throw HlsError(message);
+        }
+        throw WorkerUnavailableError(request->error);
+    }
+    return core::RemoteSynthesis{request->result, request->resultEpoch};
+}
+
+WorkerFleet::RequestPtr WorkerFleet::popRequest() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queueCv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (shutdown_) {
+        return nullptr;
+    }
+    RequestPtr request = queue_.front();
+    queue_.pop_front();
+    return request;
+}
+
+void WorkerFleet::completeFailure(const RequestPtr& request, bool hlsFailure,
+                                  std::string message) {
+    {
+        std::lock_guard<std::mutex> lock(request->m);
+        request->failed = true;
+        request->hlsFailure = hlsFailure;
+        request->error = std::move(message);
+        request->done = true;
+    }
+    request->cv.notify_all();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requestsFailed;
+}
+
+void WorkerFleet::requeueOrFail(const RequestPtr& request, const std::string& why) {
+    bool budgetLeft = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        budgetLeft = request->dispatches < 1 + config_.maxRedispatch;
+        if (budgetLeft) {
+            ++stats_.redispatches;
+            queue_.push_front(request);
+        }
+    }
+    if (budgetLeft) {
+        Logger::global().warn(format("fleet: re-dispatching %s under a fresh lease (%s)",
+                                     request->key.c_str(), why.c_str()));
+        queueCv_.notify_one();
+    } else {
+        completeFailure(request, false,
+                        format("attempt abandoned by %u workers (last: %s)",
+                               request->dispatches, why.c_str()));
+    }
+}
+
+void WorkerFleet::markSlotDead(unsigned slotIndex) {
+    bool allDead = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!slots_[slotIndex]->dead) {
+            slots_[slotIndex]->dead = true;
+            ++deadSlots_;
+        }
+        allDead = deadSlots_ == slots_.size();
+    }
+    Logger::global().warn(format("fleet: worker slot %u declared unspawnable after %u "
+                                 "consecutive failures",
+                                 slotIndex, config_.maxConsecutiveSpawnFailures));
+    if (allDead) {
+        Logger::global().warn("fleet: every worker slot unspawnable; degrading to "
+                              "in-process execution");
+        failAllQueued("no spawnable workers");
+    }
+}
+
+void WorkerFleet::failAllQueued(const std::string& why) {
+    std::deque<RequestPtr> orphans;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        orphans.swap(queue_);
+    }
+    for (const auto& request : orphans) {
+        completeFailure(request, false, why);
+    }
+}
+
+void WorkerFleet::supervisorLoop(unsigned slotIndex) {
+    Slot& slot = *slots_[slotIndex];
+    std::optional<Subprocess> child;
+    wire::FrameReader reader;
+    unsigned consecutiveSpawnFailures = 0;
+    unsigned backoffMs = config_.respawnBackoffBaseMs;
+    bool everSpawned = false;
+    std::optional<Clock::time_point> deathAt;
+
+    auto shuttingDown = [&] {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return shutdown_;
+    };
+    auto loseChild = [&](const RequestPtr& request, const char* why, bool killedByUs) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.workerDeaths;
+            if (killedByUs) {
+                ++stats_.kills;
+            }
+        }
+        if (killedByUs && child) {
+            child->kill(SIGKILL);
+        }
+        slot.pid.store(-1);
+        child.reset();  // reaps (and SIGKILLs if somehow still alive)
+        reader = wire::FrameReader{};
+        deathAt = Clock::now();
+        Logger::global().warn(format("fleet: worker slot %u lost (%s)", slotIndex, why));
+        if (request) {
+            requeueOrFail(request, why);
+        }
+    };
+
+    while (!shuttingDown()) {
+        // -- Ensure a live, Hello'd worker ----------------------------------
+        if (!child) {
+            if (consecutiveSpawnFailures >= config_.maxConsecutiveSpawnFailures) {
+                markSlotDead(slotIndex);
+                return;
+            }
+            bool spawned = false;
+            try {
+                Subprocess fresh = Subprocess::spawn({workerPath_});
+                wire::FrameReader freshReader;
+                const auto helloDeadline = Clock::now() + std::chrono::seconds(10);
+                while (Clock::now() < helloDeadline && !shuttingDown()) {
+                    auto chunk = fresh.readAvailable(100);
+                    if (!chunk) {
+                        break;  // died before Hello
+                    }
+                    if (chunk->empty()) {
+                        continue;
+                    }
+                    freshReader.feed(*chunk);
+                    if (auto frame = freshReader.next()) {
+                        if (frame->type != wire::FrameType::Hello) {
+                            break;
+                        }
+                        const wire::HelloFrame hello = wire::decodeHello(frame->payload);
+                        if (hello.protocolVersion != wire::kProtocolVersion) {
+                            Logger::global().warn(format(
+                                "fleet: worker speaks protocol v%u, service v%u — rejecting",
+                                hello.protocolVersion, wire::kProtocolVersion));
+                            break;
+                        }
+                        child.emplace(std::move(fresh));
+                        reader = std::move(freshReader);
+                        spawned = true;
+                        break;
+                    }
+                }
+            } catch (const Error& e) {
+                Logger::global().warn(format("fleet: worker spawn failed on slot %u: %s",
+                                             slotIndex, e.what()));
+            }
+            if (!spawned) {
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    ++stats_.spawnFailures;
+                }
+                ++consecutiveSpawnFailures;
+                std::this_thread::sleep_for(std::chrono::milliseconds(backoffMs));
+                backoffMs = std::min(backoffMs * 2, config_.respawnBackoffCapMs);
+                continue;
+            }
+            slot.pid.store(child->pid());
+            consecutiveSpawnFailures = 0;
+            backoffMs = config_.respawnBackoffBaseMs;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.spawns;
+                if (everSpawned) {
+                    ++stats_.respawns;
+                }
+                if (deathAt) {
+                    stats_.totalRecoverMs += msSince(*deathAt);
+                    ++stats_.recoveries;
+                    deathAt.reset();
+                }
+            }
+            Logger::global().info(format("fleet: worker pid %d %s on slot %u",
+                                         child->pid(),
+                                         everSpawned ? "respawned" : "spawned", slotIndex));
+            everSpawned = true;
+        }
+
+        // -- Take one request -----------------------------------------------
+        RequestPtr request = popRequest();
+        if (!request) {
+            break;  // shutdown
+        }
+
+        // -- Dispatch under a fresh lease epoch -----------------------------
+        const std::uint64_t epoch = nextEpoch(request->key);
+        unsigned dispatchOrdinal = 0;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            request->currentEpoch = epoch;
+            dispatchOrdinal = ++request->dispatches;
+        }
+        wire::RequestFrame frame;
+        frame.requestId = request->id;
+        frame.leaseEpoch = epoch;
+        frame.key = request->key;
+        frame.kernel = request->kernelBytes;
+        frame.directives = request->directiveBytes;
+        // Both chaos hooks fire on the first dispatch only, so recovery
+        // always converges: the re-dispatch runs clean.
+        frame.delayMsBeforeResult = dispatchOrdinal == 1 ? config_.requestDelayMsForTest : 0;
+        frame.crashBeforeResult = config_.crashWorkerBeforeResultForTest && dispatchOrdinal == 1;
+        if (!child->writeAll(wire::encodeFrame(wire::FrameType::Request,
+                                               wire::encodeRequest(frame)))) {
+            loseChild(request, "worker died before accepting dispatch", false);
+            continue;
+        }
+
+        // -- Await the outcome ----------------------------------------------
+        auto lastActivity = Clock::now();
+        const auto started = Clock::now();
+        bool settled = false;
+        while (!settled) {
+            if (shuttingDown()) {
+                completeFailure(request, false, "fleet is shutting down");
+                settled = true;
+                break;
+            }
+            auto chunk = child->readAvailable(static_cast<int>(config_.pollIntervalMs));
+            if (!chunk) {
+                loseChild(request, "worker died mid-attempt", false);
+                settled = true;
+                break;
+            }
+            if (!chunk->empty()) {
+                lastActivity = Clock::now();
+                bool poisoned = false;
+                try {
+                    reader.feed(*chunk);
+                    while (auto got = reader.next()) {
+                        if (got->type == wire::FrameType::Heartbeat) {
+                            continue;
+                        }
+                        if (got->type == wire::FrameType::Result) {
+                            const wire::ResultFrame result = wire::decodeResult(got->payload);
+                            bool fresh = false;
+                            {
+                                std::lock_guard<std::mutex> lock(mutex_);
+                                fresh = result.requestId == request->id &&
+                                        result.leaseEpoch == request->currentEpoch;
+                                if (!fresh) {
+                                    ++stats_.staleResultsDropped;
+                                }
+                            }
+                            if (!fresh) {
+                                Logger::global().warn(format(
+                                    "fleet: dropped stale result for request %llu "
+                                    "(lease epoch %llu) — fenced off by re-dispatch",
+                                    static_cast<unsigned long long>(result.requestId),
+                                    static_cast<unsigned long long>(result.leaseEpoch)));
+                                continue;
+                            }
+                            try {
+                                hls::HlsResult decoded = hls::decodeHlsResult(result.result);
+                                {
+                                    std::lock_guard<std::mutex> lock(request->m);
+                                    request->result = std::move(decoded);
+                                    request->resultEpoch = result.leaseEpoch;
+                                    request->done = true;
+                                }
+                                request->cv.notify_all();
+                                std::lock_guard<std::mutex> lock(mutex_);
+                                ++stats_.requestsCompleted;
+                            } catch (const Error& e) {
+                                completeFailure(request, false,
+                                                format("worker returned undecodable result: %s",
+                                                       e.what()));
+                            }
+                            settled = true;
+                            break;
+                        }
+                        if (got->type == wire::FrameType::Error) {
+                            const wire::ErrorFrame error = wire::decodeError(got->payload);
+                            bool fresh = false;
+                            {
+                                std::lock_guard<std::mutex> lock(mutex_);
+                                fresh = error.requestId == request->id &&
+                                        error.leaseEpoch == request->currentEpoch;
+                                if (!fresh) {
+                                    ++stats_.staleResultsDropped;
+                                }
+                            }
+                            if (!fresh) {
+                                continue;
+                            }
+                            completeFailure(request, error.hlsError, error.message);
+                            settled = true;
+                            break;
+                        }
+                        // Hello (or anything else) mid-stream: ignore.
+                    }
+                } catch (const Error& e) {
+                    Logger::global().warn(format("fleet: poisoned stream from slot %u: %s",
+                                                 slotIndex, e.what()));
+                    poisoned = true;
+                }
+                if (poisoned) {
+                    loseChild(request, "poisoned frame stream", true);
+                    settled = true;
+                    break;
+                }
+                if (settled) {
+                    break;
+                }
+            }
+            if (msSince(lastActivity) > static_cast<double>(config_.heartbeatTimeoutMs)) {
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    ++stats_.heartbeatTimeouts;
+                }
+                loseChild(request, "heartbeat timeout", true);
+                settled = true;
+                break;
+            }
+            if (config_.requestDeadlineMs > 0 &&
+                msSince(started) > static_cast<double>(config_.requestDeadlineMs)) {
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    ++stats_.deadlineTimeouts;
+                }
+                if (config_.killOnDeadline) {
+                    loseChild(request, "request deadline exceeded", true);
+                } else {
+                    // Test hook: abandon the attempt but leave the worker
+                    // alive; its late result arrives under the old epoch
+                    // and is fenced off above.
+                    requeueOrFail(request, "request deadline exceeded (worker left alive)");
+                }
+                settled = true;
+                break;
+            }
+        }
+    }
+    slot.pid.store(-1);
+}
+
+} // namespace socgen::svc

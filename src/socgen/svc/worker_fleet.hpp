@@ -1,0 +1,188 @@
+#pragma once
+
+#include "socgen/common/subprocess.hpp"
+#include "socgen/core/artifact_store.hpp"
+#include "socgen/core/remote_hls.hpp"
+#include "socgen/svc/wire.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace socgen::svc {
+
+struct WorkerFleetConfig {
+    /// Number of worker processes to keep alive.
+    unsigned workers = 2;
+
+    /// Path to the socgen-worker binary. Empty -> resolveWorkerPath()
+    /// (SOCGEN_WORKER_PATH env, then the build-time default).
+    std::string workerPath;
+
+    /// A worker that emits nothing (no heartbeat, no result) for this
+    /// long is declared hung and SIGKILLed. Generous default: CI
+    /// containers run everything on one core under sanitizers.
+    unsigned heartbeatTimeoutMs = 3000;
+
+    /// Per-dispatch deadline; 0 disables. When a dispatch exceeds it the
+    /// attempt is re-dispatched (and the worker killed, unless
+    /// killOnDeadline is off).
+    unsigned requestDeadlineMs = 0;
+
+    /// Test hook: leave a deadline-blown worker alive so its *late*
+    /// result arrives after the re-dispatch — exercising the stale-epoch
+    /// fence instead of the kill path.
+    bool killOnDeadline = true;
+
+    /// A request abandoned by this many dead/timed-out workers fails
+    /// (the flow then falls back to in-process synthesis).
+    unsigned maxRedispatch = 3;
+
+    /// Consecutive spawn failures before a slot is declared unspawnable.
+    /// All slots unspawnable -> the fleet reports WorkerUnavailableError
+    /// and the service degrades gracefully to in-process execution.
+    unsigned maxConsecutiveSpawnFailures = 3;
+
+    /// Capped exponential backoff between respawn attempts.
+    unsigned respawnBackoffBaseMs = 10;
+    unsigned respawnBackoffCapMs = 1000;
+
+    /// Poll granularity of the supervisor read loop.
+    unsigned pollIntervalMs = 20;
+
+    /// Test hooks forwarded into every RequestFrame: delay each result
+    /// (models a paused worker) / crash the worker at the stage boundary
+    /// on the *first* dispatch of each request (re-dispatches run clean,
+    /// so recovery is guaranteed to converge).
+    std::uint32_t requestDelayMsForTest = 0;
+    bool crashWorkerBeforeResultForTest = false;
+};
+
+struct WorkerFleetStats {
+    std::size_t spawns = 0;            ///< successful worker spawns (incl. respawns)
+    std::size_t respawns = 0;          ///< spawns replacing a dead worker
+    std::size_t spawnFailures = 0;
+    std::size_t workerDeaths = 0;      ///< EOF/exit observed (kill -9, crash)
+    std::size_t kills = 0;             ///< SIGKILLs the fleet itself issued
+    std::size_t heartbeatTimeouts = 0;
+    std::size_t deadlineTimeouts = 0;
+    std::size_t redispatches = 0;      ///< attempts re-queued after losing their worker
+    std::size_t staleResultsDropped = 0; ///< frames fenced off by requestId/epoch mismatch
+    std::size_t requestsCompleted = 0;
+    std::size_t requestsFailed = 0;
+    double totalRecoverMs = 0.0;       ///< death observed -> replacement Hello
+    std::size_t recoveries = 0;
+
+    [[nodiscard]] double meanRecoverMs() const {
+        return recoveries == 0 ? 0.0 : totalRecoverMs / static_cast<double>(recoveries);
+    }
+};
+
+/// Crash-isolated worker fleet: dispatches stage attempts to a pool of
+/// socgen-worker subprocesses over the wire protocol, supervises them
+/// (heartbeat timeouts, per-request deadlines -> SIGKILL), respawns the
+/// dead with capped exponential backoff, and re-dispatches lost attempts
+/// under a fresh lease epoch so a zombie's late result is fenced off at
+/// two layers: dropped here (epoch mismatch) and rejected by
+/// ArtifactStore::storeFenced if it somehow reached the commit.
+///
+/// Thread-safe: any number of flow threads may call synthesize()
+/// concurrently; one supervisor thread runs per worker slot.
+class WorkerFleet : public core::RemoteHlsExecutor {
+public:
+    /// `store` provides the lease fence; it may be null (epochs then come
+    /// from a fleet-local counter — fine for tests without a store).
+    WorkerFleet(WorkerFleetConfig config, std::shared_ptr<core::ArtifactStore> store);
+    ~WorkerFleet() override;
+
+    WorkerFleet(const WorkerFleet&) = delete;
+    WorkerFleet& operator=(const WorkerFleet&) = delete;
+
+    /// Dispatches one synthesis to the fleet and blocks for the outcome.
+    /// Throws HlsError for a structured synthesis failure and
+    /// WorkerUnavailableError when the fleet cannot serve (no spawnable
+    /// workers, redispatch budget exhausted, or shutting down).
+    [[nodiscard]] core::RemoteSynthesis synthesize(const hls::Kernel& kernel,
+                                                   const hls::Directives& directives,
+                                                   const std::string& key) override;
+
+    /// False once every slot has been declared unspawnable (or after
+    /// shutdown began); synthesize() then fails fast.
+    [[nodiscard]] bool available() const;
+
+    [[nodiscard]] WorkerFleetStats stats() const;
+
+    /// Pids of currently-live workers.
+    [[nodiscard]] std::vector<pid_t> workerPids() const;
+
+    /// Chaos hook: SIGKILL one live worker chosen by `seed`. Returns the
+    /// pid hit, or nullopt if no worker was alive.
+    std::optional<pid_t> killRandomWorker(std::uint64_t seed);
+
+    /// Resolution order: `configured` if non-empty, then the
+    /// SOCGEN_WORKER_PATH environment variable, then the build-time
+    /// default (SOCGEN_WORKER_DEFAULT_PATH). Empty when none is set.
+    [[nodiscard]] static std::string resolveWorkerPath(const std::string& configured);
+
+private:
+    struct Request {
+        std::uint64_t id = 0;
+        std::string key;
+        std::string kernelBytes;
+        std::string directiveBytes;
+        unsigned dispatches = 0;  ///< how many workers have attempted it
+
+        std::mutex m;
+        std::condition_variable cv;
+        bool done = false;
+        bool failed = false;
+        bool hlsFailure = false;
+        std::string error;
+        hls::HlsResult result;
+        std::uint64_t resultEpoch = 0;
+
+        /// Epoch of the live dispatch; frames carrying any other epoch
+        /// are stale and dropped. Guarded by the fleet mutex.
+        std::uint64_t currentEpoch = 0;
+    };
+    using RequestPtr = std::shared_ptr<Request>;
+
+    struct Slot {
+        std::atomic<pid_t> pid{-1};
+        std::thread supervisor;
+        bool dead = false;  ///< declared unspawnable; guarded by mutex_
+    };
+
+    void supervisorLoop(unsigned slotIndex);
+    [[nodiscard]] RequestPtr popRequest();
+    void requeueOrFail(const RequestPtr& request, const std::string& why);
+    void completeFailure(const RequestPtr& request, bool hlsFailure, std::string message);
+    void markSlotDead(unsigned slotIndex);
+    void failAllQueued(const std::string& why);
+    [[nodiscard]] std::uint64_t nextEpoch(const std::string& key);
+
+    WorkerFleetConfig config_;
+    std::shared_ptr<core::ArtifactStore> store_;
+    std::string workerPath_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable queueCv_;
+    std::deque<RequestPtr> queue_;
+    std::vector<std::unique_ptr<Slot>> slots_;
+    std::size_t deadSlots_ = 0;
+    bool shutdown_ = false;
+    std::uint64_t nextRequestId_ = 1;
+    std::uint64_t fallbackEpoch_ = 0;  ///< lease source when store_ is null
+    WorkerFleetStats stats_;
+};
+
+} // namespace socgen::svc

@@ -1,0 +1,155 @@
+/// socgen-worker: the out-of-process stage executor.
+///
+/// Speaks the wire protocol over stdin/stdout (stderr is inherited from
+/// the service for diagnostics): sends Hello once at startup, then loops
+/// decoding Request frames, synthesizing the kernel with the same
+/// deterministic HlsEngine the in-process path uses, and replying with a
+/// Result (or structured Error) frame. A detached heartbeat thread emits
+/// Heartbeat frames so the fleet can distinguish "slow tool" from "hung
+/// process". The worker holds no durable state — the service owns the
+/// artifact store and the lease fence — so SIGKILL at any instant loses
+/// at most one in-flight attempt, which the fleet re-dispatches.
+
+#include "socgen/common/env.hpp"
+#include "socgen/common/error.hpp"
+#include "socgen/hls/engine.hpp"
+#include "socgen/hls/serialize.hpp"
+#include "socgen/svc/wire.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+namespace {
+
+using namespace socgen;
+using namespace socgen::svc;
+
+std::mutex gWriteMutex;
+
+/// Writes one whole frame to stdout. Frames from the request loop and the
+/// heartbeat thread must not interleave mid-frame, hence the mutex; a
+/// write failure means the service is gone, so the worker just exits.
+void writeFrame(wire::FrameType type, const std::string& payload) {
+    const std::string bytes = wire::encodeFrame(type, payload);
+    std::lock_guard<std::mutex> lock(gWriteMutex);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::write(STDOUT_FILENO, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            _exit(3);
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+std::atomic<std::uint64_t> gRequestsServed{0};
+std::atomic<std::uint64_t> gInFlightRequestId{0};
+
+void heartbeatLoop(unsigned intervalMs) {
+    for (;;) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(intervalMs));
+        wire::HeartbeatFrame beat;
+        beat.requestsServed = gRequestsServed.load();
+        beat.inFlightRequestId = gInFlightRequestId.load();
+        writeFrame(wire::FrameType::Heartbeat, wire::encodeHeartbeat(beat));
+    }
+}
+
+void serveRequest(const hls::HlsEngine& engine, const wire::RequestFrame& request) {
+    gInFlightRequestId.store(request.requestId);
+    try {
+        const hls::Kernel kernel = hls::decodeKernel(request.kernel);
+        const hls::Directives directives = hls::decodeDirectives(request.directives);
+        const hls::HlsResult result = engine.synthesize(kernel, directives);
+        if (request.delayMsBeforeResult > 0) {
+            // Test hook: models a worker paused (SIGSTOP / VM stall) between
+            // computing its result and committing it.
+            std::this_thread::sleep_for(std::chrono::milliseconds(request.delayMsBeforeResult));
+        }
+        if (request.crashBeforeResult) {
+            // Test hook: die at the attempt/commit stage boundary.
+            _exit(137);
+        }
+        wire::ResultFrame reply;
+        reply.requestId = request.requestId;
+        reply.leaseEpoch = request.leaseEpoch;
+        reply.result = hls::encodeHlsResult(result);
+        writeFrame(wire::FrameType::Result, wire::encodeResult(reply));
+    } catch (const HlsError& e) {
+        wire::ErrorFrame reply;
+        reply.requestId = request.requestId;
+        reply.leaseEpoch = request.leaseEpoch;
+        reply.hlsError = true;
+        reply.message = e.what();
+        writeFrame(wire::FrameType::Error, wire::encodeError(reply));
+    } catch (const std::exception& e) {
+        wire::ErrorFrame reply;
+        reply.requestId = request.requestId;
+        reply.leaseEpoch = request.leaseEpoch;
+        reply.hlsError = false;
+        reply.message = e.what();
+        writeFrame(wire::FrameType::Error, wire::encodeError(reply));
+    }
+    gInFlightRequestId.store(0);
+    gRequestsServed.fetch_add(1);
+}
+
+} // namespace
+
+int main() {
+    wire::HelloFrame hello;
+    hello.protocolVersion = wire::kProtocolVersion;
+    hello.pid = static_cast<std::uint64_t>(::getpid());
+    writeFrame(wire::FrameType::Hello, wire::encodeHello(hello));
+
+    const unsigned heartbeatMs = envUnsigned("SOCGEN_WORKER_HEARTBEAT_MS").value_or(50u);
+    std::thread(heartbeatLoop, heartbeatMs).detach();
+
+    const hls::HlsEngine engine;
+    wire::FrameReader reader;
+    char buf[64 * 1024];
+    for (;;) {
+        const ssize_t n = ::read(STDIN_FILENO, buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            _exit(2);
+        }
+        if (n == 0) {
+            // Service closed the pipe (crashed or shut down): nothing left
+            // to serve.
+            _exit(0);
+        }
+        try {
+            reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+            while (auto frame = reader.next()) {
+                switch (frame->type) {
+                case wire::FrameType::Request:
+                    serveRequest(engine, wire::decodeRequest(frame->payload));
+                    break;
+                case wire::FrameType::Shutdown:
+                    _exit(0);
+                default:
+                    // Hello/Result/Error/Heartbeat are worker->service only;
+                    // ignore rather than die on a confused peer.
+                    break;
+                }
+            }
+        } catch (const Error&) {
+            // Desynced or malformed stream: the pipe is useless; exit so
+            // the fleet respawns a clean worker.
+            _exit(4);
+        }
+    }
+}

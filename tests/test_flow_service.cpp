@@ -19,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <filesystem>
@@ -540,6 +541,165 @@ TEST(FlowService, ChaosSweepEveryFaultKindEverySeed) {
         }
         std::filesystem::remove_all(root);
     }
+}
+
+// ---------------------------------------------------------------------------
+// The worker-fleet kill storm (the ISSUE's second acceptance gate):
+// flows execute HLS on out-of-process workers while a seeded killer
+// SIGKILLs random workers at random moments — including the guaranteed
+// pre-submission kill of an idle worker. Every flow must complete
+// bit-identically to the in-process reference; a warm restart on the
+// same root must then serve every committed node from the store with
+// zero re-synthesis; and no stale-epoch commit may ever be applied.
+
+TEST(FlowService, WorkerKillStormCompletesBitIdenticalWithZeroResynthesis) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const std::string root = freshDir("storm_s" + std::to_string(seed));
+        {
+            ServiceConfig config = baseConfig(root);
+            config.workers = 2;
+            // Odd seeds additionally crash every first dispatch exactly at
+            // the attempt/commit stage boundary (the worst-case instant).
+            config.fleetConfig.crashWorkerBeforeResultForTest = seed % 2 == 1;
+            FlowService service(config, exampleKernels());
+            ASSERT_NE(service.fleet(), nullptr);
+
+            // Wait for a worker, then kill one while idle: guarantees at
+            // least one death per seed regardless of killer-thread timing.
+            const auto deadline =
+                std::chrono::steady_clock::now() + std::chrono::seconds(30);
+            while (service.fleet()->workerPids().empty() &&
+                   std::chrono::steady_clock::now() < deadline) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            }
+            ASSERT_TRUE(service.fleet()->killRandomWorker(seed).has_value());
+
+            std::atomic<bool> stop{false};
+            std::thread killer([&] {
+                std::uint64_t s = seed;
+                while (!stop.load()) {
+                    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(20 + s % 60));
+                    (void)service.fleet()->killRandomWorker(s);
+                }
+            });
+
+            std::vector<FlowHandle> handles;
+            for (int t = 0; t < 8; ++t) {
+                handles.push_back(
+                    service.submit(makeRequest("t" + std::to_string(t),
+                                               "storm" + std::to_string(t) + "_s" +
+                                                   std::to_string(seed))));
+            }
+            service.drain();
+            stop.store(true);
+            killer.join();
+
+            for (const FlowHandle& handle : handles) {
+                const RequestOutcome outcome = handle.wait();
+                ASSERT_EQ(outcome.state, RequestState::Completed)
+                    << "seed " << seed << ": " << outcome.error;
+                EXPECT_EQ(outcome.bitstreamDigest, referenceDigest(handle.project()))
+                    << "seed " << seed << " " << handle.project();
+            }
+            const WorkerFleetStats fleetStats = service.fleet()->stats();
+            EXPECT_GE(fleetStats.kills, 1u) << "seed " << seed;
+            // No corrupt object may appear, and the store's fence is the
+            // final word on stale commits: whatever was rejected, what
+            // landed on disk produced the reference bitstreams above.
+            EXPECT_EQ(service.store().quarantinedObjects(), 0u);
+        }
+
+        // Warm restart with workers still enabled: every HLS node is
+        // served from the committed store — zero re-synthesis after the
+        // storm, byte-for-byte the same bitstreams.
+        {
+            ServiceConfig config = baseConfig(root);
+            config.workers = 2;
+            FlowService service(config, exampleKernels());
+            EXPECT_EQ(service.scrubQuarantined(), 0u) << "seed " << seed;
+            std::vector<FlowHandle> handles;
+            for (int t = 0; t < 8; ++t) {
+                handles.push_back(
+                    service.submit(makeRequest("t" + std::to_string(t),
+                                               "warm" + std::to_string(t) + "_s" +
+                                                   std::to_string(seed))));
+            }
+            service.drain();
+            for (const FlowHandle& handle : handles) {
+                const RequestOutcome outcome = handle.wait();
+                ASSERT_EQ(outcome.state, RequestState::Completed)
+                    << "seed " << seed << ": " << outcome.error;
+                EXPECT_EQ(outcome.bitstreamDigest, referenceDigest(handle.project()));
+                for (const auto& node : outcome.diagnostics.nodes) {
+                    EXPECT_EQ(node.attempts, 0u)
+                        << "seed " << seed << ": " << node.node
+                        << " re-synthesized after the storm";
+                    EXPECT_TRUE(node.storeHit || node.cacheHit) << node.node;
+                }
+            }
+        }
+        std::filesystem::remove_all(root);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing store, exercised through the service: an object corrupted
+// on disk between service generations is quarantined — by the startup
+// scrub or by the read path — and transparently re-synthesized, with the
+// flow completing bit-identically either way.
+
+TEST(FlowService, CorruptedObjectIsQuarantinedByStartupScrub) {
+    const std::string root = freshDir("scrubheal");
+    {
+        FlowService service(baseConfig(root), exampleKernels());
+        const RequestOutcome outcome =
+            service.submit(makeRequest("t0", "seedrun")).wait();
+        ASSERT_EQ(outcome.state, RequestState::Completed);
+    }
+    std::size_t objects = 0;
+    {
+        const core::ArtifactStore store(root + "/store");
+        objects = store.objectCount();
+        ASSERT_GE(objects, 3u);
+        store.corruptObject(store.keys().front());
+    }
+    FlowService healed(baseConfig(root), exampleKernels());
+    EXPECT_EQ(healed.scrubQuarantined(), 1u);
+    EXPECT_EQ(healed.store().objectCount(), objects - 1);
+    const RequestOutcome outcome = healed.submit(makeRequest("t1", "healrun")).wait();
+    ASSERT_EQ(outcome.state, RequestState::Completed);
+    EXPECT_EQ(outcome.bitstreamDigest, referenceDigest("healrun"));
+    // The quarantined key was re-synthesized and re-committed.
+    EXPECT_EQ(healed.store().objectCount(), objects);
+}
+
+TEST(FlowService, CorruptedObjectIsQuarantinedOnReadPath) {
+    const std::string root = freshDir("readheal");
+    {
+        FlowService service(baseConfig(root), exampleKernels());
+        const RequestOutcome outcome =
+            service.submit(makeRequest("t0", "seedrun")).wait();
+        ASSERT_EQ(outcome.state, RequestState::Completed);
+    }
+    std::size_t objects = 0;
+    {
+        const core::ArtifactStore store(root + "/store");
+        objects = store.objectCount();
+        store.corruptObject(store.keys().front());
+    }
+    ServiceConfig config = baseConfig(root);
+    config.scrubOnOpen = false;  // force the read path to find the corpse
+    FlowService service(config, exampleKernels());
+    EXPECT_EQ(service.scrubQuarantined(), 0u);
+    const RequestOutcome outcome = service.submit(makeRequest("t1", "healrun")).wait();
+    ASSERT_EQ(outcome.state, RequestState::Completed);
+    EXPECT_EQ(outcome.bitstreamDigest, referenceDigest("healrun"));
+    EXPECT_EQ(service.store().quarantinedObjects(), 1u);
+    ASSERT_EQ(service.store().quarantineRecords().size(), 1u);
+    EXPECT_FALSE(service.store().quarantineRecords()[0].reason.empty());
+    EXPECT_EQ(service.store().objectCount(), objects);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,117 @@
+// Unit tests for the Subprocess primitive under the worker fleet
+// (CTest label: worker-fleet): fork/exec with pipe I/O, clean spawn
+// failures, signal forwarding, and zombie-free reaping.
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/subprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <string>
+#include <thread>
+
+#include <sys/wait.h>
+
+namespace socgen {
+namespace {
+
+/// Reads the child's stdout until EOF, concatenating everything.
+std::string readToEof(Subprocess& child) {
+    std::string out;
+    for (;;) {
+        auto chunk = child.readAvailable(2000);
+        if (!chunk) {
+            return out;  // EOF
+        }
+        out += *chunk;
+    }
+}
+
+TEST(Subprocess, CatRoundtripsStdinToStdout) {
+    Subprocess cat = Subprocess::spawn({"/bin/cat"});
+    ASSERT_GT(cat.pid(), 0);
+    ASSERT_TRUE(cat.writeAll("hello fleet\n"));
+    cat.closeStdin();  // EOF -> cat drains and exits
+    EXPECT_EQ(readToEof(cat), "hello fleet\n");
+    const int status = cat.wait();
+    EXPECT_EQ(waitStatusExited(status), std::optional<int>(0));
+    EXPECT_EQ(waitStatusSignal(status), std::nullopt);
+}
+
+TEST(Subprocess, ReportsNonzeroExitCode) {
+    Subprocess sh = Subprocess::spawn({"/bin/sh", "-c", "exit 7"});
+    const int status = sh.wait();
+    EXPECT_EQ(waitStatusExited(status), std::optional<int>(7));
+}
+
+TEST(Subprocess, ReportsDeathBySignal) {
+    Subprocess sleeper = Subprocess::spawn({"/bin/sleep", "30"});
+    ASSERT_TRUE(sleeper.running());
+    sleeper.kill(SIGKILL);
+    const int status = sleeper.wait();
+    EXPECT_EQ(waitStatusExited(status), std::nullopt);
+    EXPECT_EQ(waitStatusSignal(status), std::optional<int>(SIGKILL));
+    EXPECT_FALSE(sleeper.running());
+}
+
+TEST(Subprocess, SpawnOfMissingBinaryThrowsInParent) {
+    // The CLOEXEC errno pipe turns the child's failed exec into a clean
+    // parent-side throw — no half-spawned zombie to reap.
+    EXPECT_THROW((void)Subprocess::spawn({"/no/such/binary/anywhere"}),
+                 SubprocessError);
+}
+
+TEST(Subprocess, ReadTimesOutOnSilentChild) {
+    Subprocess sleeper = Subprocess::spawn({"/bin/sleep", "30"});
+    const auto chunk = sleeper.readAvailable(50);
+    ASSERT_TRUE(chunk.has_value());  // not EOF — the child is alive
+    EXPECT_TRUE(chunk->empty());     // just nothing to read yet
+    sleeper.kill(SIGKILL);
+    (void)sleeper.wait();
+}
+
+TEST(Subprocess, ReadReturnsEofAfterChildKilled) {
+    Subprocess sleeper = Subprocess::spawn({"/bin/sleep", "30"});
+    sleeper.kill(SIGKILL);
+    (void)sleeper.wait();
+    // Pipe write end is gone: EOF, not a hang.
+    EXPECT_EQ(sleeper.readAvailable(2000), std::nullopt);
+}
+
+TEST(Subprocess, WriteToDeadChildReturnsFalse) {
+    Subprocess sh = Subprocess::spawn({"/bin/sh", "-c", "exit 0"});
+    (void)sh.wait();
+    // EPIPE (not SIGPIPE, not a throw): the fleet treats this as "worker
+    // died", a recoverable event.
+    std::string big(1 << 20, 'x');
+    EXPECT_FALSE(sh.writeAll(big));
+}
+
+TEST(Subprocess, DestructorKillsAndReapsRunningChild) {
+    pid_t pid = -1;
+    {
+        Subprocess sleeper = Subprocess::spawn({"/bin/sleep", "30"});
+        pid = sleeper.pid();
+        ASSERT_TRUE(sleeper.running());
+    }
+    // The destructor SIGKILLed and reaped: the pid is no longer ours.
+    // (waitpid on a reaped child of ours returns ECHILD.)
+    int status = 0;
+    EXPECT_EQ(::waitpid(pid, &status, WNOHANG), -1);
+}
+
+TEST(Subprocess, MoveTransfersOwnership) {
+    Subprocess a = Subprocess::spawn({"/bin/cat"});
+    const pid_t pid = a.pid();
+    Subprocess b = std::move(a);
+    EXPECT_EQ(b.pid(), pid);
+    ASSERT_TRUE(b.writeAll("x"));
+    b.closeStdin();
+    EXPECT_EQ(readToEof(b), "x");
+    (void)b.wait();
+}
+
+} // namespace
+} // namespace socgen
