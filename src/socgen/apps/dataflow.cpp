@@ -1,0 +1,177 @@
+#include "socgen/apps/dataflow.hpp"
+
+#include "socgen/apps/otsu.hpp"
+
+namespace socgen::apps {
+
+hls::ProcessNetwork makeOtsuDataflowNetwork(std::int64_t pixelCount,
+                                            std::uint32_t segChannelDepth) {
+    using namespace hls;
+    ProcessNetwork net("otsuDataflow");
+    net.addProcess("grayScale", makeGrayScaleKernel(pixelCount));
+    net.addProcess("computeHistogram", makeHistogramKernel(pixelCount));
+    net.addProcess("halfProbability", makeOtsuKernel(pixelCount));
+    net.addProcess("segment", makeBinarizationKernel(pixelCount));
+
+    net.connect(NetworkChannel{"grayToHist", "grayScale", "imageOutCH",
+                               "computeHistogram", "grayScaleImage", 8, 16, 0});
+    net.connect(NetworkChannel{"histToOtsu", "computeHistogram", "histogram",
+                               "halfProbability", "histogram", 32, 16, 0});
+    net.connect(NetworkChannel{"otsuToSeg", "halfProbability", "probability", "segment",
+                               "otsuThreshold", 32, 2, 0});
+    // The image bypass: every gray pixel waits here until the threshold
+    // arrives, so the channel must hold the whole image (see header).
+    net.connect(NetworkChannel{"grayToSeg", "grayScale", "imageOutSEG", "segment",
+                               "grayScaleImage", 8, segChannelDepth, 0});
+
+    net.exportPort("imageIn", "grayScale", "imageIn");
+    net.exportPort("segmentedGrayImage", "segment", "segmentedGrayImage");
+    return net;
+}
+
+std::map<std::string, hls::Directives> otsuDataflowDirectives() {
+    return {
+        {"grayScale", grayScaleDirectives()},
+        {"computeHistogram", histogramDirectives()},
+        {"halfProbability", otsuDirectives()},
+        {"segment", binarizationDirectives()},
+    };
+}
+
+namespace {
+
+hls::Kernel makeTriadProducer(std::int64_t sampleCount) {
+    using namespace hls;
+    KernelBuilder kb("produce");
+    const PortId out = kb.streamOut("data", 32);
+    const VarId i = kb.var("i", 32);
+    kb.forLoop(i, kb.c(sampleCount));
+    kb.write(out, kb.add(kb.mul(kb.v(i), kb.c(37)), kb.c(11)));
+    kb.endLoop();
+    return kb.build();
+}
+
+hls::Kernel makeTriadFilter(std::int64_t sampleCount) {
+    using namespace hls;
+    KernelBuilder kb("filter");
+    const PortId in = kb.streamIn("din", 32);
+    const PortId out = kb.streamOut("dout", 32);
+    const VarId i = kb.var("i", 32);
+    const VarId cur = kb.var("cur", 32);
+    kb.forLoop(i, kb.c(sampleCount));
+    kb.assign(cur, kb.read(in));
+    kb.write(out, kb.add(kb.v(cur), kb.shr(kb.v(cur), kb.c(3))));
+    kb.endLoop();
+    return kb.build();
+}
+
+hls::Kernel makeTriadConsumer(std::int64_t sampleCount) {
+    using namespace hls;
+    KernelBuilder kb("consume");
+    const PortId in = kb.streamIn("din", 32);
+    const PortId sum = kb.scalarOut("checksum", 32);
+    const VarId i = kb.var("i", 32);
+    const VarId acc = kb.var("acc", 32);
+    kb.assign(acc, kb.c(0));
+    kb.forLoop(i, kb.c(sampleCount));
+    kb.assign(acc, kb.add(kb.v(acc), kb.read(in)));
+    kb.endLoop();
+    kb.setResult(sum, kb.v(acc));
+    return kb.build();
+}
+
+} // namespace
+
+hls::ProcessNetwork makeStreamTriadNetwork(std::int64_t sampleCount) {
+    using namespace hls;
+    ProcessNetwork net("streamTriad");
+    net.addProcess("produce", makeTriadProducer(sampleCount));
+    net.addProcess("filter", makeTriadFilter(sampleCount));
+    net.addProcess("consume", makeTriadConsumer(sampleCount));
+    net.connect(NetworkChannel{"raw", "produce", "data", "filter", "din", 32, 8, 0});
+    net.connect(NetworkChannel{"cooked", "filter", "dout", "consume", "din", 32, 8, 0});
+    net.exportPort("checksum", "consume", "checksum");
+    return net;
+}
+
+std::uint32_t streamTriadChecksumRef(std::int64_t sampleCount) {
+    std::uint32_t acc = 0;
+    for (std::int64_t i = 0; i < sampleCount; ++i) {
+        const std::uint32_t raw =
+            static_cast<std::uint32_t>(i) * 37u + 11u;
+        acc += raw + (raw >> 3);
+    }
+    return acc;
+}
+
+namespace {
+
+/// The three per-sample transforms of the tri-stage pipeline. Stage k
+/// computes y = (x + kAddend[k]) * 3; all arithmetic wraps at 32 bits.
+constexpr std::int64_t kAddend[3] = {1, 5, 9};
+
+} // namespace
+
+hls::Kernel makeStreamStageKernel(std::string name, std::int64_t sampleCount,
+                                  std::int64_t addend) {
+    using namespace hls;
+    KernelBuilder kb(std::move(name));
+    const PortId in = kb.streamIn("din", 32);
+    const PortId out = kb.streamOut("dout", 32);
+    const VarId i = kb.var("i", 32);
+    kb.forLoop(i, kb.c(sampleCount));
+    kb.write(out, kb.mul(kb.add(kb.read(in), kb.c(addend)), kb.c(3)));
+    kb.endLoop();
+    return kb.build();
+}
+
+hls::Kernel makeFusedTriStageKernel(std::int64_t sampleCount) {
+    using namespace hls;
+    KernelBuilder kb("triStage");
+    const PortId in = kb.streamIn("din", 32);
+    const PortId out = kb.streamOut("dout", 32);
+    const ArrayId buf0 = kb.array("buf0", static_cast<std::size_t>(sampleCount), 32);
+    const ArrayId buf1 = kb.array("buf1", static_cast<std::size_t>(sampleCount), 32);
+    const VarId i = kb.var("i", 32);
+    const VarId j = kb.var("j", 32);
+    const VarId k = kb.var("k", 32);
+    kb.forLoop(i, kb.c(sampleCount));
+    kb.arrayStore(buf0, kb.v(i), kb.mul(kb.add(kb.read(in), kb.c(kAddend[0])), kb.c(3)));
+    kb.endLoop();
+    kb.forLoop(j, kb.c(sampleCount));
+    kb.arrayStore(buf1, kb.v(j),
+                  kb.mul(kb.add(kb.load(buf0, kb.v(j)), kb.c(kAddend[1])), kb.c(3)));
+    kb.endLoop();
+    kb.forLoop(k, kb.c(sampleCount));
+    kb.write(out, kb.mul(kb.add(kb.load(buf1, kb.v(k)), kb.c(kAddend[2])), kb.c(3)));
+    kb.endLoop();
+    return kb.build();
+}
+
+hls::ProcessNetwork makeStreamPipelineNetwork(std::int64_t sampleCount) {
+    using namespace hls;
+    ProcessNetwork net("triStagePipe");
+    net.addProcess("stage0", makeStreamStageKernel("stage0", sampleCount, kAddend[0]));
+    net.addProcess("stage1", makeStreamStageKernel("stage1", sampleCount, kAddend[1]));
+    net.addProcess("stage2", makeStreamStageKernel("stage2", sampleCount, kAddend[2]));
+    net.connect(NetworkChannel{"s01", "stage0", "dout", "stage1", "din", 32, 8, 0});
+    net.connect(NetworkChannel{"s12", "stage1", "dout", "stage2", "din", 32, 8, 0});
+    net.exportPort("din", "stage0", "din");
+    net.exportPort("dout", "stage2", "dout");
+    return net;
+}
+
+std::vector<std::uint32_t> triStageRef(const std::vector<std::uint32_t>& input) {
+    std::vector<std::uint32_t> out;
+    out.reserve(input.size());
+    for (const std::uint32_t x : input) {
+        std::uint32_t y = x;
+        for (const std::int64_t a : kAddend) {
+            y = (y + static_cast<std::uint32_t>(a)) * 3u;
+        }
+        out.push_back(y);
+    }
+    return out;
+}
+
+} // namespace socgen::apps

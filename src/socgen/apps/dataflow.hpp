@@ -1,0 +1,79 @@
+#pragma once
+
+#include "socgen/hls/directives.hpp"
+#include "socgen/hls/network.hpp"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace socgen::apps {
+
+/// -- Multi-process example applications ------------------------------------
+///
+/// The paper's Otsu case study runs its four tasks as four DSL nodes; the
+/// process-network model lets one node host all four as a dataflow
+/// pipeline instead — one accelerator whose stages overlap on a stream.
+
+/// The Otsu filter as a 4-process dataflow network inside a single node:
+///
+///   grayScale ──imageOutCH──▶ computeHistogram ──histogram──▶ halfProbability
+///       │                                                          │
+///       └──────────────imageOutSEG (depth = segChannelDepth)───────┼──▶ segment
+///                                                     otsuThreshold┘
+///
+/// External ports: `imageIn` (stream in, 32) and `segmentedGrayImage`
+/// (stream out, 8) — the same signature a fused single-kernel Otsu node
+/// would expose.
+///
+/// `segChannelDepth` sizes the gray→segment bypass channel. `segment`
+/// reads the threshold BEFORE its pixel loop, and the threshold only
+/// exists after every pixel passed through histogram+otsu — so the
+/// bypass must buffer the whole image (depth >= pixelCount) or the
+/// network stalls permanently once the channel fills: the canonical
+/// insufficient-FIFO-depth deadlock, which the cosim watchdog reports
+/// with per-channel forensics.
+[[nodiscard]] hls::ProcessNetwork makeOtsuDataflowNetwork(std::int64_t pixelCount,
+                                                          std::uint32_t segChannelDepth);
+
+/// Per-process directives of the Otsu network, keyed by process name
+/// (feed into HlsEngine::synthesize(network, ...) or, prefixed with
+/// "<node>/", into FlowOptions::kernelDirectives).
+[[nodiscard]] std::map<std::string, hls::Directives> otsuDataflowDirectives();
+
+/// -- Streaming producer/filter/consumer triad ------------------------------
+///
+/// A self-contained network with no stream inputs: `produce` generates
+/// `sampleCount` samples, `filter` transforms them, `consume` folds them
+/// into a checksum exported as the scalar `checksum`.
+[[nodiscard]] hls::ProcessNetwork makeStreamTriadNetwork(std::int64_t sampleCount);
+
+/// Software reference of the triad's checksum (32-bit wrapping).
+[[nodiscard]] std::uint32_t streamTriadChecksumRef(std::int64_t sampleCount);
+
+/// -- Pipelined-vs-sequential benchmark kernels (bench_dataflow) ------------
+
+/// One pipeline stage: `dout[i] = (din[i] + addend) * 3` over
+/// `sampleCount` samples (32-bit stream in/out, named `din`/`dout`).
+[[nodiscard]] hls::Kernel makeStreamStageKernel(std::string name,
+                                                std::int64_t sampleCount,
+                                                std::int64_t addend);
+
+/// The sequential single-kernel equivalent of a 3-stage pipeline: the
+/// same three per-sample transforms, materialised stage by stage through
+/// internal buffers (exactly what running the three kernels back-to-back
+/// on one core does). Ports `din`/`dout`, bit-identical output to the
+/// pipelined network.
+[[nodiscard]] hls::Kernel makeFusedTriStageKernel(std::int64_t sampleCount);
+
+/// The pipelined 3-process network (stage0 → stage1 → stage2) computing
+/// the same function as makeFusedTriStageKernel; external ports
+/// `din`/`dout`.
+[[nodiscard]] hls::ProcessNetwork makeStreamPipelineNetwork(std::int64_t sampleCount);
+
+/// Software reference of the tri-stage transform.
+[[nodiscard]] std::vector<std::uint32_t>
+triStageRef(const std::vector<std::uint32_t>& input);
+
+} // namespace socgen::apps

@@ -30,6 +30,33 @@ public:
     explicit HlsError(const std::string& message) : Error("hls: " + message) {}
 };
 
+/// Raised when a process network provably deadlocks on its FIFO
+/// channels — statically (a channel cycle with no initial tokens, or
+/// initial tokens exceeding a channel's depth) or at simulation time
+/// (every live process blocked on an internal channel, which no external
+/// stimulus can ever unblock). Carries the channels and processes
+/// involved so harnesses can point at the under-provisioned FIFO rather
+/// than a generic "hung" diagnosis. Derives from Error (not HlsError):
+/// a deadlocked network is a design bug, never degradable to software.
+class ChannelDeadlockError : public Error {
+public:
+    ChannelDeadlockError(const std::string& message, std::vector<std::string> channels,
+                         std::vector<std::string> processes)
+        : Error("deadlock: " + message), channels_(std::move(channels)),
+          processes_(std::move(processes)) {}
+
+    /// Channel names on the offending cycle (static check) or blocked on
+    /// (runtime watchdog).
+    [[nodiscard]] const std::vector<std::string>& channels() const { return channels_; }
+
+    /// Processes on the offending cycle / blocked at detection time.
+    [[nodiscard]] const std::vector<std::string>& processes() const { return processes_; }
+
+private:
+    std::vector<std::string> channels_;
+    std::vector<std::string> processes_;
+};
+
 /// Raised by system integration / synthesis (unroutable link, device
 /// over capacity, ...).
 class SynthesisError : public Error {

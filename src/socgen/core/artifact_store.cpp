@@ -87,7 +87,9 @@ std::string ArtifactStore::deriveKey(const hls::Kernel& kernel,
                                      const soc::FpgaDevice& device,
                                      std::string_view toolVersion) {
     HashStream h;
-    h.field(std::string_view("socgen-artifact-key-v1"));
+    // v2: HlsResult payloads carry the Program network tables, so keys
+    // derived before the process-network model must not alias new ones.
+    h.field(std::string_view("socgen-artifact-key-v2"));
     const Digest128 kernelFp = hls::fingerprintKernel(kernel);
     const Digest128 directivesFp = hls::fingerprintDirectives(directives);
     h.field(kernelFp.hi);

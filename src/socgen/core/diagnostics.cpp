@@ -63,6 +63,54 @@ std::size_t FlowDiagnostics::inFlightDedupes() const {
     return count;
 }
 
+std::size_t FlowDiagnostics::processEngineRuns() const {
+    std::size_t count = 0;
+    for (const auto& n : nodes) {
+        if (n.processes.empty()) {
+            count += (!n.degraded && n.attempts > 0) ? 1 : 0;
+            continue;
+        }
+        for (const auto& p : n.processes) {
+            if (!p.degraded && p.attempts > 0) {
+                ++count;
+            }
+        }
+    }
+    return count;
+}
+
+std::size_t FlowDiagnostics::processCacheHits() const {
+    std::size_t count = 0;
+    for (const auto& n : nodes) {
+        if (n.processes.empty()) {
+            count += n.cacheHit ? 1 : 0;
+            continue;
+        }
+        for (const auto& p : n.processes) {
+            if (p.cacheHit) {
+                ++count;
+            }
+        }
+    }
+    return count;
+}
+
+std::size_t FlowDiagnostics::processStoreHits() const {
+    std::size_t count = 0;
+    for (const auto& n : nodes) {
+        if (n.processes.empty()) {
+            count += n.storeHit ? 1 : 0;
+            continue;
+        }
+        for (const auto& p : n.processes) {
+            if (p.storeHit) {
+                ++count;
+            }
+        }
+    }
+    return count;
+}
+
 std::string FlowDiagnostics::render(bool withHostTimes) const {
     std::string out = "HLS diagnostics:";
     for (const auto& n : nodes) {
@@ -76,6 +124,22 @@ std::string FlowDiagnostics::render(bool withHostTimes) const {
                                                : "synthesized";
             out += format("\n  %s: ok (%.1f tool-s, %s, %u attempt(s))", n.node.c_str(),
                           n.toolSeconds, source, n.attempts);
+        }
+        for (const auto& p : n.processes) {
+            if (p.degraded) {
+                out += format("\n    %s/%s: DEGRADED after %u attempt(s) — %s",
+                              n.node.c_str(), p.process.c_str(), p.attempts,
+                              p.error.c_str());
+                continue;
+            }
+            const char* psource = p.cacheHit   ? "cache hit"
+                                  : p.storeHit ? (p.resumedFromJournal
+                                                      ? "store hit (journaled)"
+                                                      : "store hit")
+                                               : "synthesized";
+            out += format("\n    %s/%s: ok (%.1f tool-s, %s, %u attempt(s))",
+                          n.node.c_str(), p.process.c_str(), p.toolSeconds, psource,
+                          p.attempts);
         }
     }
     if (!stages.empty()) {

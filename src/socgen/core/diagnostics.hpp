@@ -14,6 +14,25 @@ namespace socgen::core {
 /// row per executed stage, in deterministic topological order), sourced
 /// from the FlowEventBus rather than scattered counters.
 struct FlowDiagnostics {
+    /// Per-process outcome of a multi-process network node: each process
+    /// is synthesized (and cached) under its own artifact key, so each
+    /// gets its own attempt/hit record. Trivial one-process networks keep
+    /// the legacy shape — the node-level fields carry the story and
+    /// `processes` stays empty.
+    struct ProcessOutcome {
+        std::string process;       ///< process name within the node
+        bool degraded = false;
+        std::string error;
+        double toolSeconds = 0.0;
+        unsigned attempts = 0;
+        bool cacheHit = false;
+        bool storeHit = false;
+        bool resumedFromJournal = false;
+        bool dedupedInFlight = false;
+        bool remoteWorker = false;
+        std::string artifactKey;
+    };
+
     struct NodeOutcome {
         std::string node;
         bool degraded = false;  ///< HLS failed; node needs software fallback
@@ -29,6 +48,10 @@ struct FlowDiagnostics {
         bool remoteWorker = false;  ///< synthesized by an out-of-process worker
         std::uint64_t leaseEpoch = 0;  ///< lease epoch of the remote dispatch
         std::string artifactKey;   ///< content key (empty if key not derived)
+        /// Per-process records for a multi-process network node; empty
+        /// for a trivial (single-kernel) node. Node-level hit flags are
+        /// the conjunction over processes, attempts the sum.
+        std::vector<ProcessOutcome> processes;
     };
 
     /// One row of the per-stage wall-clock table. Every field except
@@ -64,6 +87,13 @@ struct FlowDiagnostics {
     /// Nodes that reused a result after waiting on another flow's
     /// in-flight synthesis of the same key.
     [[nodiscard]] std::size_t inFlightDedupes() const;
+
+    /// Process-granular counters. A trivial node (no per-process records)
+    /// counts as one process so the totals stay comparable whether a node
+    /// is a single kernel or a network.
+    [[nodiscard]] std::size_t processEngineRuns() const;
+    [[nodiscard]] std::size_t processCacheHits() const;
+    [[nodiscard]] std::size_t processStoreHits() const;
 
     /// Renders the per-node lines, the per-stage table and the flow
     /// summary. With `withHostTimes` false (the default) the output is

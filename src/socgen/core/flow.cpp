@@ -77,13 +77,108 @@ hls::Directives Flow::directivesFor(const TgNode& node) const {
     return d;
 }
 
+hls::Directives Flow::directivesForProcess(const TgNode& node,
+                                           const hls::ProcessNetwork& network,
+                                           const std::string& process) const {
+    hls::Directives d = options_.defaultDirectives;
+    const auto scoped = options_.kernelDirectives.find(node.name + "/" + process);
+    if (scoped != options_.kernelDirectives.end()) {
+        d = scoped->second;
+    } else {
+        const auto it = options_.kernelDirectives.find(node.name);
+        if (it != options_.kernelDirectives.end()) {
+            d = it->second;
+        }
+    }
+    // Internal channel endpoints are AXI-Stream by construction — the
+    // dataflow wrapper wires them straight into FIFO primitives.
+    for (const auto& c : network.channels()) {
+        if (c.fromProcess == process) {
+            d.interfaces[c.fromPort] = hls::InterfaceProtocol::AxiStream;
+        }
+        if (c.toProcess == process) {
+            d.interfaces[c.toPort] = hls::InterfaceProtocol::AxiStream;
+        }
+    }
+    // Exported ports inherit the protocol the DSL declared on the
+    // network-level port they surface as.
+    for (const auto& b : network.bindings()) {
+        if (b.process != process) {
+            continue;
+        }
+        for (const auto& port : node.ports) {
+            if (port.name == b.networkPort) {
+                d.interfaces[b.processPort] = port.protocol;
+            }
+        }
+    }
+    return d;
+}
+
+const hls::ProcessNetwork& Flow::nodeNetwork(const TgNode& node) const {
+    if (!kernels_.has(node.name)) {
+        throw DslError(format("no kernel source registered for node \"%s\" (the flow "
+                              "needs a synthesizable description per hardware task)",
+                              node.name.c_str()));
+    }
+    return kernels_.network(node.name);
+}
+
+void Flow::validateNodeInterface(const TgNode& node,
+                                 const hls::ProcessNetwork& network) const {
+    // Structural checks first: dangling ports, scalar channels, token-free
+    // cycles (ChannelDeadlockError) all abort the flow — they indicate a
+    // broken project, not a flaky tool.
+    network.verify();
+    // Interface consistency: every DSL port must exist on the network's
+    // external signature with a compatible kind.
+    const std::vector<hls::KernelPort> external = network.externalPorts();
+    for (const auto& port : node.ports) {
+        const hls::KernelPort* found = nullptr;
+        for (const auto& kp : external) {
+            if (kp.name == port.name) {
+                found = &kp;
+                break;
+            }
+        }
+        if (found == nullptr) {
+            throw DslError(format("node \"%s\": kernel has no port '%s'",
+                                  node.name.c_str(), port.name.c_str()));
+        }
+        const bool stream = hls::isStreamPort(found->kind);
+        const bool wantStream = port.protocol == hls::InterfaceProtocol::AxiStream;
+        if (stream != wantStream) {
+            throw DslError(format("node \"%s\": port '%s' is declared %s in the DSL but "
+                                  "the kernel exposes a %s interface",
+                                  node.name.c_str(), port.name.c_str(),
+                                  wantStream ? "is (AXI-Stream)" : "i (AXI-Lite)",
+                                  std::string(hls::portKindName(found->kind)).c_str()));
+        }
+    }
+}
+
+std::string Flow::networkKeyFor(const TgNode& node,
+                                const hls::ProcessNetwork& network) const {
+    HashStream h;
+    h.field(std::string_view("socgen-network-key-v1"));
+    const Digest128 fp = hls::fingerprintNetwork(network);
+    h.field(fp.hi);
+    h.field(fp.lo);
+    for (const auto& p : network.processes()) {
+        h.field(ArtifactStore::deriveKey(p.kernel,
+                                         directivesForProcess(node, network, p.name),
+                                         options_.device, options_.toolVersion));
+    }
+    return h.digest().hex();
+}
+
 std::string Flow::flowFingerprint(const std::string& projectName,
                                   const TaskGraph& graph) const {
     // Everything that determines the flow's outputs; fault-injection
     // hooks, retry policy and `jobs` are deliberately excluded so a
     // crashed run and its recovery run agree on the fingerprint.
     HashStream h;
-    h.field("socgen-flow-v4");
+    h.field("socgen-flow-v5");
     // The resolved simulation engine configuration is part of the
     // identity of every sim-derived output: a journal written under one
     // backend must never be resumed under the other (Auto resolves to
@@ -130,31 +225,22 @@ bool Flow::consumeTransientFailure(const std::string& kernel) {
 }
 
 Flow::HlsAttemptOut Flow::hlsAttempt(const TgNode& node) {
-    if (!kernels_.has(node.name)) {
-        throw DslError(format("no kernel source registered for node \"%s\" (the flow "
-                              "needs a synthesizable description per hardware task)",
-                              node.name.c_str()));
-    }
-    const hls::Kernel& kernel = kernels_.get(node.name);
-    // Interface consistency: every DSL port must exist on the kernel with
-    // a compatible kind.
-    for (const auto& port : node.ports) {
-        if (!kernel.hasPort(port.name)) {
-            throw DslError(format("node \"%s\": kernel has no port '%s'",
-                                  node.name.c_str(), port.name.c_str()));
-        }
-        const auto kind = kernel.port(kernel.portId(port.name)).kind;
-        const bool stream = hls::isStreamPort(kind);
-        const bool wantStream = port.protocol == hls::InterfaceProtocol::AxiStream;
-        if (stream != wantStream) {
-            throw DslError(format("node \"%s\": port '%s' is declared %s in the DSL but "
-                                  "the kernel exposes a %s interface",
-                                  node.name.c_str(), port.name.c_str(),
-                                  wantStream ? "is (AXI-Stream)" : "i (AXI-Lite)",
-                                  std::string(hls::portKindName(kind)).c_str()));
-        }
-    }
-    const hls::Directives directives = directivesFor(node);
+    const hls::ProcessNetwork& net = nodeNetwork(node);
+    validateNodeInterface(node, net);
+    // Trivial network == the legacy single-kernel path: the node's sole
+    // process IS the node, synthesized and keyed exactly as before the
+    // process-network model existed. Multi-process networks go through
+    // per-process stages instead (see run()).
+    const hls::Kernel& kernel = net.processes().front().kernel;
+    return hlsKernelAttempt(kernel, directivesFor(node), node.name, "hls:" + node.name,
+                            node.name);
+}
+
+Flow::HlsAttemptOut Flow::hlsKernelAttempt(const hls::Kernel& kernel,
+                                           const hls::Directives& directives,
+                                           const std::string& label,
+                                           const std::string& stageName,
+                                           const std::string& nodeName) {
     HlsAttemptOut out;
     out.key =
         ArtifactStore::deriveKey(kernel, directives, options_.device, options_.toolVersion);
@@ -162,10 +248,10 @@ Flow::HlsAttemptOut Flow::hlsAttempt(const TgNode& node) {
     // Reuse order: in-memory cache (same process), then the persistent
     // store (earlier run / crashed run). A store object that fails
     // validation is reported and rebuilt — never silently loaded.
-    const auto tryReuse = [this, &node, &out]() -> bool {
+    const auto tryReuse = [this, &label, &stageName, &out]() -> bool {
         if (cache_ != nullptr) {
             if (std::optional<hls::HlsResult> hit = cache_->find(out.key)) {
-                Logger::global().info("hls: cache hit for " + node.name);
+                Logger::global().info("hls: cache hit for " + label);
                 out.cacheHit = true;
                 out.result = std::move(*hit);
                 return true;
@@ -174,9 +260,9 @@ Flow::HlsAttemptOut Flow::hlsAttempt(const TgNode& node) {
         if (store_ != nullptr) {
             ArtifactStore::LoadDiag diag;
             if (std::optional<hls::HlsResult> loaded = store_->load(out.key, &diag)) {
-                Logger::global().info("hls: artifact store hit for " + node.name);
+                Logger::global().info("hls: artifact store hit for " + label);
                 out.storeHit = true;
-                out.resumedFromJournal = committedAtOpen_.count("hls:" + node.name) > 0;
+                out.resumedFromJournal = committedAtOpen_.count(stageName) > 0;
                 out.result = std::move(*loaded);
                 return true;
             }
@@ -185,13 +271,16 @@ Flow::HlsAttemptOut Flow::hlsAttempt(const TgNode& node) {
                 out.quarantined = diag.quarantined;
                 Logger::global().warn(format("hls: stored artifact of %s rejected (%s); "
                                              "re-synthesizing",
-                                             node.name.c_str(), diag.whyMiss.c_str()));
+                                             label.c_str(), diag.whyMiss.c_str()));
             }
         }
         return false;
     };
 
-    const bool injected = options_.injectHlsFailures.count(node.name) > 0;
+    // Fault hooks match either the exact label ("node/process") or the
+    // node name — injecting by node fails every process of that node.
+    const bool injected = options_.injectHlsFailures.count(label) > 0 ||
+                          options_.injectHlsFailures.count(nodeName) > 0;
     if (!injected) {
         if (tryReuse()) {
             return out;
@@ -218,19 +307,20 @@ Flow::HlsAttemptOut Flow::hlsAttempt(const TgNode& node) {
     if (injected) {
         // Fires on every attempt so the failure is deterministic even when
         // a previous architecture already synthesized this kernel.
-        throw HlsError(
-            format("injected HLS failure for kernel \"%s\"", node.name.c_str()));
+        throw HlsError(format("injected HLS failure for kernel \"%s\"", label.c_str()));
     }
-    if (consumeTransientFailure(node.name)) {
+    if (consumeTransientFailure(label) ||
+        (label != nodeName && consumeTransientFailure(nodeName))) {
         throw HlsError(
-            format("injected transient HLS failure for kernel \"%s\"", node.name.c_str()));
+            format("injected transient HLS failure for kernel \"%s\"", label.c_str()));
     }
     if (options_.remoteHls != nullptr) {
         // Dispatch to the out-of-process worker fleet. A fleet that
         // cannot serve (no spawnable workers, redispatch budget blown)
         // degrades gracefully to the in-process engine below; a genuine
         // synthesis failure (HlsError) propagates exactly like an
-        // in-process one.
+        // in-process one. Processes of a network ship as plain kernels,
+        // so the wire protocol is untouched by the network model.
         try {
             RemoteSynthesis remote =
                 options_.remoteHls->synthesize(kernel, directives, out.key);
@@ -244,7 +334,7 @@ Flow::HlsAttemptOut Flow::hlsAttempt(const TgNode& node) {
         } catch (const WorkerUnavailableError& e) {
             Logger::global().warn(format("hls: worker fleet unavailable for %s (%s); "
                                          "falling back to in-process synthesis",
-                                         node.name.c_str(), e.what()));
+                                         label.c_str(), e.what()));
         }
     }
     out.result = engine_.synthesize(kernel, directives);
@@ -271,11 +361,41 @@ void Flow::hlsPersist(const HlsAttemptOut& out) {
 }
 
 std::pair<hls::HlsResult, double> Flow::synthesizeNode(const TgNode& node) {
+    const hls::ProcessNetwork& net = nodeNetwork(node);
+    if (net.trivial()) {
+        StageSupervisor supervisor(options_.stagePolicy);
+        HlsAttemptOut out =
+            supervisor.run("hls:" + node.name, [this, &node] { return hlsAttempt(node); });
+        hlsPersist(out);
+        return {std::move(out.result), out.toolSeconds};
+    }
+    // Multi-process network: synthesize every process under its own
+    // artifact key, then assemble the dataflow wrapper (cheap, never
+    // cached). Tool time charged is the sum of process charges — 0 for
+    // cache/store hits — plus the assembly cost.
+    validateNodeInterface(node, net);
+    std::vector<hls::HlsResult> parts;
+    parts.reserve(net.processes().size());
+    double charged = 0.0;
     StageSupervisor supervisor(options_.stagePolicy);
-    HlsAttemptOut out =
-        supervisor.run("hls:" + node.name, [this, &node] { return hlsAttempt(node); });
-    hlsPersist(out);
-    return {std::move(out.result), out.toolSeconds};
+    for (const hls::Process& p : net.processes()) {
+        const std::string stageName = "hls:" + node.name + "/" + p.name;
+        HlsAttemptOut out = supervisor.run(stageName, [&, this] {
+            return hlsKernelAttempt(p.kernel, directivesForProcess(node, net, p.name),
+                                    node.name + "/" + p.name, stageName, node.name);
+        });
+        hlsPersist(out);
+        charged += out.toolSeconds;
+        parts.push_back(std::move(out.result));
+    }
+    std::vector<const hls::HlsResult*> ptrs;
+    ptrs.reserve(parts.size());
+    for (const hls::HlsResult& r : parts) {
+        ptrs.push_back(&r);
+    }
+    hls::HlsResult assembled = engine_.assembleNetwork(net, ptrs);
+    charged += assembled.toolSeconds;
+    return {std::move(assembled), charged};
 }
 
 Flow::Integration Flow::integrate(const std::string& projectName, const TaskGraph& graph,
@@ -447,9 +567,221 @@ FlowResult Flow::run(const std::string& projectName, const TaskGraph& graph) {
     // Per-node HLS: one graph stage per node, all depending only on
     // "scala", so they fan out across the worker pool. Cached across
     // architectures and, via the artifact store, across runs and crashes.
+    //
+    // A multi-process network node expands instead into one stage per
+    // process ("hls:<node>/<proc>", independent — they fan out across the
+    // pool and, under a service scheduler, across tenants) plus a cheap
+    // assembly stage named "hls:<node>" so every downstream dependency
+    // (integrate, journaling, diagnostics) is shape-agnostic.
+    std::vector<std::vector<std::optional<hls::HlsResult>>> processResults(nodes.size());
     for (std::size_t i = 0; i < nodes.size(); ++i) {
         const TgNode& node = nodes[i];
         const std::string stageName = "hls:" + node.name;
+        if (kernels_.has(node.name) && !kernels_.network(node.name).trivial()) {
+            const hls::ProcessNetwork& net = kernels_.network(node.name);
+            const std::string networkKey = networkKeyFor(node, net);
+            outcomes[i].node = node.name;
+            outcomes[i].processes.resize(net.processes().size());
+            processResults[i].resize(net.processes().size());
+            std::vector<std::string> assembleDeps = {"scala"};
+            for (std::size_t j = 0; j < net.processes().size(); ++j) {
+                const std::string procName = net.processes()[j].name;
+                const std::string procStage = stageName + "/" + procName;
+                outcomes[i].processes[j].process = procName;
+                assembleDeps.push_back(procStage);
+                stages.add(Stage{
+                    .name = procStage,
+                    .deps = {"scala"},
+                    .attempt =
+                        [this, &node, &net, procName, procStage](
+                            const StageContext&) -> std::any {
+                            validateNodeInterface(node, net);
+                            const hls::Process& p = net.process(procName);
+                            return hlsKernelAttempt(
+                                p.kernel, directivesForProcess(node, net, procName),
+                                node.name + "/" + procName, procStage, node.name);
+                        },
+                    .commit =
+                        [this, &node, i, j, &outcomes, &processResults, &resultMutex,
+                         &bus, procStage](std::any&& value, const StageRun& meta) {
+                            HlsAttemptOut a =
+                                std::any_cast<HlsAttemptOut>(std::move(value));
+                            FlowDiagnostics::ProcessOutcome& po =
+                                outcomes[i].processes[j];
+                            po.artifactKey = a.key;
+                            po.cacheHit = a.cacheHit;
+                            po.storeHit = a.storeHit;
+                            po.resumedFromJournal = a.resumedFromJournal;
+                            po.dedupedInFlight = a.dedupedInFlight;
+                            po.remoteWorker = a.remoteWorker;
+                            po.toolSeconds = a.toolSeconds;
+                            po.attempts =
+                                a.fromEngine ? static_cast<unsigned>(meta.attempts) : 0u;
+                            FlowEvent event;
+                            event.stage = procStage;
+                            if (!a.rejectedWhy.empty()) {
+                                event.kind = FlowEventKind::ArtifactRejected;
+                                event.detail = a.rejectedWhy;
+                                bus.publish(event);
+                            }
+                            if (a.quarantined) {
+                                event.kind = FlowEventKind::ArtifactQuarantined;
+                                event.detail = a.rejectedWhy;
+                                bus.publish(event);
+                            }
+                            if (a.remoteWorker) {
+                                event.kind = FlowEventKind::RemoteSynthesis;
+                                event.detail =
+                                    format("lease epoch %llu",
+                                           static_cast<unsigned long long>(a.leaseEpoch));
+                                bus.publish(event);
+                            }
+                            if (a.cacheHit || a.storeHit) {
+                                event.kind = a.cacheHit ? FlowEventKind::CacheHit
+                                                        : FlowEventKind::StoreHit;
+                                event.detail = a.resumedFromJournal ? "journaled" : "";
+                                bus.publish(event);
+                            }
+                            hlsPersist(a);
+                            {
+                                const std::lock_guard<std::mutex> lock(resultMutex);
+                                processResults[i][j] = std::move(a.result);
+                            }
+                            StageOutput out;
+                            out.digest = a.key;
+                            out.toolSeconds = a.toolSeconds;
+                            out.timelineLabel = "HLS " + node.name + "/" + po.process;
+                            return out;
+                        },
+                    .absorbFailure =
+                        [this, &node, i, j, &outcomes, procName](
+                            const std::exception& e, const StageRun& meta) -> std::string {
+                            const bool engineKind =
+                                dynamic_cast<const HlsError*>(&e) != nullptr ||
+                                dynamic_cast<const StageTimeoutError*>(&e) != nullptr;
+                            if (!engineKind ||
+                                options_.hlsFailurePolicy != HlsFailurePolicy::Degrade) {
+                                return "";
+                            }
+                            Logger::global().info(
+                                format("hls: process %s/%s degraded: %s",
+                                       node.name.c_str(), procName.c_str(), e.what()));
+                            FlowDiagnostics::ProcessOutcome& po =
+                                outcomes[i].processes[j];
+                            po.degraded = true;
+                            po.error = e.what();
+                            po.attempts = static_cast<unsigned>(meta.attempts);
+                            return "degraded: " + po.error;
+                        },
+                    .trackResume = false,
+                });
+            }
+            stages.add(Stage{
+                .name = stageName,
+                .deps = std::move(assembleDeps),
+                .attempt =
+                    [this, &node, &net, i, &outcomes, &processResults](
+                        const StageContext&) -> std::any {
+                        // Every process stage finished (committed or
+                        // absorbed) before this attempt — the deps are a
+                        // happens-before edge, like integrate's.
+                        std::vector<const hls::HlsResult*> parts;
+                        parts.reserve(processResults[i].size());
+                        for (std::size_t j = 0; j < processResults[i].size(); ++j) {
+                            if (outcomes[i].processes[j].degraded ||
+                                !processResults[i][j].has_value()) {
+                                throw HlsError(format(
+                                    "network \"%s\": process \"%s\" has no synthesized "
+                                    "core; the node degrades as a whole",
+                                    node.name.c_str(),
+                                    outcomes[i].processes[j].process.c_str()));
+                            }
+                            parts.push_back(&*processResults[i][j]);
+                        }
+                        return engine_.assembleNetwork(net, parts);
+                    },
+                .commit =
+                    [this, &node, i, &outcomes, &result, &resultMutex, networkKey](
+                        std::any&& value, const StageRun&) {
+                        hls::HlsResult assembled =
+                            std::any_cast<hls::HlsResult>(std::move(value));
+                        FlowDiagnostics::NodeOutcome& outcome = outcomes[i];
+                        outcome.node = node.name;
+                        outcome.artifactKey = networkKey;
+                        bool allCache = !outcome.processes.empty();
+                        bool anyStore = false;
+                        bool allJournal = true;
+                        for (const auto& po : outcome.processes) {
+                            allCache = allCache && po.cacheHit;
+                            anyStore = anyStore || po.storeHit;
+                            allJournal = allJournal &&
+                                         (po.resumedFromJournal || po.cacheHit);
+                            outcome.remoteWorker = outcome.remoteWorker || po.remoteWorker;
+                            outcome.dedupedInFlight =
+                                outcome.dedupedInFlight || po.dedupedInFlight;
+                            outcome.toolSeconds += po.toolSeconds;
+                            outcome.attempts += po.attempts;
+                        }
+                        // Node-level reuse flags are the conjunction over
+                        // processes: the node was "a cache hit" only if no
+                        // process touched the engine.
+                        outcome.cacheHit = allCache;
+                        outcome.storeHit = !allCache && outcome.attempts == 0 && anyStore;
+                        outcome.resumedFromJournal = outcome.storeHit && allJournal;
+                        const double assemblySeconds = assembled.toolSeconds;
+                        outcome.toolSeconds += assemblySeconds;
+                        {
+                            const std::lock_guard<std::mutex> lock(resultMutex);
+                            result.programs.emplace(node.name, assembled.program);
+                            result.hlsResults.emplace(node.name, std::move(assembled));
+                        }
+                        StageOutput out;
+                        out.digest = networkKey;
+                        out.toolSeconds = assemblySeconds;
+                        out.timelineLabel = "HLS " + node.name;
+                        return out;
+                    },
+                .absorbFailure =
+                    [this, &node, i, &outcomes](const std::exception& e,
+                                                const StageRun& meta) -> std::string {
+                        const bool engineKind =
+                            dynamic_cast<const HlsError*>(&e) != nullptr ||
+                            dynamic_cast<const StageTimeoutError*>(&e) != nullptr;
+                        if (!engineKind ||
+                            options_.hlsFailurePolicy != HlsFailurePolicy::Degrade) {
+                            return "";
+                        }
+                        Logger::global().info(
+                            format("hls: node %s degraded to software: %s",
+                                   node.name.c_str(), e.what()));
+                        FlowDiagnostics::NodeOutcome& outcome = outcomes[i];
+                        outcome.node = node.name;
+                        outcome.degraded = true;
+                        outcome.error = e.what();
+                        outcome.attempts += static_cast<unsigned>(meta.attempts);
+                        return "degraded: " + outcome.error;
+                    },
+                .postCommit =
+                    [this, &node, i, &outcomes] {
+                        if (faultHooks_.consumeCorrupt(node.name)) {
+                            // The network key names no store object;
+                            // corrupt the first process artifact present.
+                            for (const auto& po : outcomes[i].processes) {
+                                if (store_ != nullptr && !po.artifactKey.empty() &&
+                                    store_->contains(po.artifactKey)) {
+                                    Logger::global().info(
+                                        "fault: corrupting stored artifact of " +
+                                        node.name + "/" + po.process);
+                                    store_->corruptObject(po.artifactKey);
+                                    break;
+                                }
+                            }
+                        }
+                    },
+                .trackResume = false,
+            });
+            continue;
+        }
         stages.add(Stage{
             .name = stageName,
             .deps = {"scala"},

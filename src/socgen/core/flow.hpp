@@ -249,11 +249,41 @@ private:
     };
 
     [[nodiscard]] hls::Directives directivesFor(const TgNode& node) const;
+    /// Directives for one process of a network node. Lookup order:
+    /// kernelDirectives["node/process"] (per-process override), then
+    /// kernelDirectives["node"], then the flow default. Channel-connected
+    /// ports are forced AXI-Stream; exported ports inherit the protocol
+    /// the DSL declared on their network port.
+    [[nodiscard]] hls::Directives directivesForProcess(const TgNode& node,
+                                                       const hls::ProcessNetwork& network,
+                                                       const std::string& process) const;
+    /// The node's process network (a single kernel registers as a trivial
+    /// one-process network); throws DslError when nothing is registered.
+    [[nodiscard]] const hls::ProcessNetwork& nodeNetwork(const TgNode& node) const;
+    /// Structural network verification plus DSL-port/interface-kind
+    /// consistency against the network's external signature.
+    void validateNodeInterface(const TgNode& node,
+                               const hls::ProcessNetwork& network) const;
+    /// Content key of a whole network node: the network fingerprint plus
+    /// every per-process artifact key. Not a store key — assembly is
+    /// recomputed each run — but the digest the node stage journals.
+    [[nodiscard]] std::string networkKeyFor(const TgNode& node,
+                                            const hls::ProcessNetwork& network) const;
     [[nodiscard]] std::string flowFingerprint(const std::string& projectName,
                                               const TaskGraph& graph) const;
     /// The supervised HLS attempt body: validate, consult cache/store,
     /// synthesize on miss. Never writes shared state.
     [[nodiscard]] HlsAttemptOut hlsAttempt(const TgNode& node);
+    /// Kernel-granular attempt body shared by single-kernel nodes and the
+    /// per-process stages of a network node. `label` names the work in
+    /// logs and fault hooks ("node" or "node/process"); `stageName` is
+    /// the journal stage consulted for resume attribution; `nodeName`
+    /// lets node-scoped fault injections hit every process of the node.
+    [[nodiscard]] HlsAttemptOut hlsKernelAttempt(const hls::Kernel& kernel,
+                                                 const hls::Directives& directives,
+                                                 const std::string& label,
+                                                 const std::string& stageName,
+                                                 const std::string& nodeName);
     /// The HLS commit half: persists an engine result to the cache and
     /// the store (winning attempt only).
     void hlsPersist(const HlsAttemptOut& out);

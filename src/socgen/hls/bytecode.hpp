@@ -52,7 +52,34 @@ struct ArraySpec {
     unsigned width = 32;
 };
 
-/// Compiled program plus the metadata the VM needs.
+/// FIFO channel of a compiled process network: indices into the parent
+/// Program's `processPrograms` plus port ids into each child's `ports`.
+struct ProgramChannel {
+    std::string name;
+    std::uint32_t fromProcess = 0;
+    PortId fromPort = kNoId;  ///< StreamOut of processPrograms[fromProcess]
+    std::uint32_t toProcess = 0;
+    PortId toPort = kNoId;    ///< StreamIn of processPrograms[toProcess]
+    unsigned width = 32;
+    std::uint32_t depth = 2;
+    std::uint32_t initialTokens = 0;
+};
+
+/// Maps one external port of a network Program (an index into its
+/// `ports`) onto the process port that actually services it.
+struct ProgramBinding {
+    PortId networkPort = kNoId;
+    std::uint32_t process = 0;
+    PortId processPort = kNoId;
+};
+
+/// Compiled program plus the metadata the VM needs. A network node
+/// compiles to a Program whose own instruction stream is empty and whose
+/// `processPrograms` carry one compiled Program per process; the VM runs
+/// them concurrently, routing `channels` through bounded FIFOs and
+/// `bindings` out to the host I/O. `ports` always holds the externally
+/// visible signature either way, so the SoC wrapper and driver
+/// generators consume network and single-kernel programs identically.
 struct Program {
     std::string kernelName;
     std::vector<Instr> instrs;
@@ -60,6 +87,14 @@ struct Program {
     std::vector<unsigned> varWidth;           ///< per kernel variable (slot i)
     std::vector<ArraySpec> arrays;
     std::vector<KernelPort> ports;            ///< copy of the kernel signature
+
+    // Process-network payload (empty for single-kernel programs).
+    std::vector<std::string> processNames;    ///< parallel to processPrograms
+    std::vector<Program> processPrograms;
+    std::vector<ProgramChannel> channels;
+    std::vector<ProgramBinding> bindings;
+
+    [[nodiscard]] bool isNetwork() const { return !processPrograms.empty(); }
 
     [[nodiscard]] std::string disassemble() const;
 };

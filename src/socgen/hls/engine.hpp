@@ -4,11 +4,14 @@
 #include "socgen/hls/bytecode.hpp"
 #include "socgen/hls/directives.hpp"
 #include "socgen/hls/ir.hpp"
+#include "socgen/hls/network.hpp"
 #include "socgen/hls/resources.hpp"
 #include "socgen/hls/schedule.hpp"
 #include "socgen/rtl/netlist.hpp"
 
+#include <map>
 #include <string>
+#include <vector>
 
 namespace socgen::hls {
 
@@ -41,6 +44,27 @@ public:
 
     [[nodiscard]] HlsResult synthesize(const Kernel& kernel,
                                        const Directives& directives) const;
+
+    /// Assembles a network-level HlsResult from already synthesized
+    /// per-process results (`processResults` parallel to
+    /// `network.processes()`): a dataflow wrapper netlist instantiating
+    /// every process netlist plus one rtl::makeFifo per channel with the
+    /// handshake glue between them, emitted HDL for the wrapper, a fused
+    /// network Program for system simulation, and summed resources. The
+    /// assembly is cheap and deterministic — per-process synthesis is
+    /// where the tool time goes, which is why the flow caches processes
+    /// individually and re-assembles on every run. For a trivial network
+    /// this returns the sole process result unchanged (the legacy path).
+    [[nodiscard]] HlsResult assembleNetwork(
+        const ProcessNetwork& network,
+        const std::vector<const HlsResult*>& processResults) const;
+
+    /// Convenience: synthesizes every process (directives looked up by
+    /// process name, falling back to `defaults`) and assembles.
+    [[nodiscard]] HlsResult synthesize(
+        const ProcessNetwork& network,
+        const std::map<std::string, Directives>& processDirectives = {},
+        const Directives& defaults = {}) const;
 
 private:
     CostModel cost_;

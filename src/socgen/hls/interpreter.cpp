@@ -18,15 +18,160 @@ std::uint64_t maskTo(unsigned width, std::uint64_t value) {
 
 } // namespace
 
+/// Per-process KernelIo adapter: routes each port of one child program
+/// either to an internal channel FIFO or out to the network's host IO,
+/// and remembers which channel (if any) the last failed stream access
+/// blocked on — the signal the deadlock detector aggregates.
+class KernelVm::ProcessIo : public KernelIo {
+public:
+    struct Route {
+        enum class Kind { Unbound, External, ChannelIn, ChannelOut };
+        Kind kind = Kind::Unbound;
+        PortId external = kNoId;      ///< network-level port (Kind::External)
+        std::uint32_t channel = 0;    ///< channel index (Kind::Channel*)
+    };
+
+    ProcessIo(KernelVm& parent, std::uint32_t processIndex)
+        : parent_(parent), processIndex_(processIndex) {
+        const Program& child = parent.program_.processPrograms[processIndex];
+        routes_.resize(child.ports.size());
+        for (std::uint32_t c = 0; c < parent.program_.channels.size(); ++c) {
+            const ProgramChannel& ch = parent.program_.channels[c];
+            if (ch.fromProcess == processIndex_) {
+                route(ch.fromPort).kind = Route::Kind::ChannelOut;
+                route(ch.fromPort).channel = c;
+            }
+            if (ch.toProcess == processIndex_) {
+                route(ch.toPort).kind = Route::Kind::ChannelIn;
+                route(ch.toPort).channel = c;
+            }
+        }
+        for (const ProgramBinding& b : parent.program_.bindings) {
+            if (b.process == processIndex_) {
+                route(b.processPort).kind = Route::Kind::External;
+                route(b.processPort).external = b.networkPort;
+            }
+        }
+    }
+
+    std::uint64_t argValue(PortId port) override {
+        return parent_.io_.argValue(externalPort(port));
+    }
+
+    void setResult(PortId port, std::uint64_t value) override {
+        parent_.io_.setResult(externalPort(port), value);
+    }
+
+    bool streamRead(PortId port, std::uint64_t& value) override {
+        const Route& r = route(port);
+        if (r.kind == Route::Kind::ChannelIn) {
+            ChannelState& ch = parent_.channelState_[r.channel];
+            if (ch.fifo.empty()) {
+                blockedChannel_ = static_cast<int>(r.channel);
+                return false;
+            }
+            value = ch.fifo.front();
+            ch.fifo.pop_front();
+            ++ch.pops;
+            return true;
+        }
+        if (!parent_.io_.streamRead(externalPort(port), value)) {
+            blockedExternal_ = route(port).external;
+            return false;
+        }
+        return true;
+    }
+
+    bool streamWrite(PortId port, std::uint64_t value) override {
+        const Route& r = route(port);
+        if (r.kind == Route::Kind::ChannelOut) {
+            const ProgramChannel& spec = parent_.program_.channels[r.channel];
+            ChannelState& ch = parent_.channelState_[r.channel];
+            if (ch.fifo.size() >= spec.depth) {
+                blockedChannel_ = static_cast<int>(r.channel);
+                return false;
+            }
+            ch.fifo.push_back(maskTo(spec.width, value));
+            ++ch.pushes;
+            return true;
+        }
+        if (!parent_.io_.streamWrite(externalPort(port), value)) {
+            blockedExternal_ = route(port).external;
+            return false;
+        }
+        return true;
+    }
+
+    void clearBlocked() {
+        blockedChannel_ = -1;
+        blockedExternal_ = kNoId;
+    }
+    [[nodiscard]] bool blockedOnChannel() const { return blockedChannel_ >= 0; }
+    [[nodiscard]] int blockedChannel() const { return blockedChannel_; }
+    [[nodiscard]] PortId blockedExternal() const { return blockedExternal_; }
+
+private:
+    Route& route(PortId port) {
+        require(port < routes_.size(), "network process port out of range");
+        return routes_[port];
+    }
+
+    PortId externalPort(PortId port) {
+        const Route& r = route(port);
+        if (r.kind != Route::Kind::External) {
+            throw SimulationError(format(
+                "network %s: process port %u of process %u is not externally bound",
+                parent_.program_.kernelName.c_str(), port, processIndex_));
+        }
+        return r.external;
+    }
+
+    KernelVm& parent_;
+    std::uint32_t processIndex_;
+    std::vector<Route> routes_;
+    int blockedChannel_ = -1;          ///< channel of the last failed access
+    PortId blockedExternal_ = kNoId;   ///< external port of the last failed access
+};
+
 KernelVm::KernelVm(const Program& program, KernelIo& io)
     : program_(program), io_(io), regs_(program.registerCount, 0) {
     arrays_.reserve(program.arrays.size());
     for (const auto& spec : program.arrays) {
         arrays_.emplace_back(spec.depth, 0);
     }
+    if (program_.isNetwork()) {
+        require(program_.processNames.size() == program_.processPrograms.size(),
+                "network program: process name/program tables disagree");
+        for (const ProgramChannel& ch : program_.channels) {
+            require(ch.fromProcess < program_.processPrograms.size() &&
+                        ch.toProcess < program_.processPrograms.size(),
+                    "network program: channel process index out of range");
+            require(ch.depth >= 1, "network program: channel depth must be >= 1");
+        }
+        for (const ProgramBinding& b : program_.bindings) {
+            require(b.process < program_.processPrograms.size(),
+                    "network program: binding process index out of range");
+            require(b.networkPort < program_.ports.size(),
+                    "network program: binding network port out of range");
+        }
+        channelState_.resize(program_.channels.size());
+        processIo_.reserve(program_.processPrograms.size());
+        processes_.reserve(program_.processPrograms.size());
+        for (std::uint32_t i = 0; i < program_.processPrograms.size(); ++i) {
+            processIo_.push_back(std::make_unique<ProcessIo>(*this, i));
+            processes_.push_back(
+                std::make_unique<KernelVm>(program_.processPrograms[i], *processIo_[i]));
+        }
+    }
 }
 
+KernelVm::~KernelVm() = default;
+
 void KernelVm::start() {
+    if (isNetwork()) {
+        startNetwork();
+        return;
+    }
     std::fill(regs_.begin(), regs_.end(), 0);
     // Arrays keep their contents across invocations (BRAM is persistent),
     // matching hardware behaviour.
@@ -34,6 +179,27 @@ void KernelVm::start() {
     waitCycles_ = 0;
     running_ = true;
     started_ = true;
+}
+
+void KernelVm::startNetwork() {
+    for (std::uint32_t c = 0; c < channelState_.size(); ++c) {
+        ChannelState& ch = channelState_[c];
+        ch.fifo.clear();
+        // Initial tokens are zero-valued, matching the reset state of the
+        // RTL FIFO's register slots.
+        ch.fifo.assign(program_.channels[c].initialTokens, 0);
+    }
+    for (auto& vm : processes_) {
+        vm->start();
+    }
+    running_ = true;
+    started_ = true;
+}
+
+const KernelVm& KernelVm::process(std::size_t index) const {
+    require(isNetwork(), "process(): not a network program");
+    require(index < processes_.size(), "process index out of range");
+    return *processes_[index];
 }
 
 const std::vector<std::uint64_t>& KernelVm::array(ArrayId id) const {
@@ -75,6 +241,9 @@ std::uint64_t KernelVm::maskVar(std::uint32_t reg, std::uint64_t value) const {
 bool KernelVm::tick() {
     if (!running_) {
         return false;
+    }
+    if (isNetwork()) {
+        return tickNetwork();
     }
     ++cycles_;
     if (waitCycles_ > 0) {
@@ -178,6 +347,116 @@ bool KernelVm::tick() {
                                  "consuming a cycle (missing Cost?)",
                                  program_.kernelName.c_str(),
                                  static_cast<unsigned long long>(kMaxInstrPerCycle)));
+}
+
+bool KernelVm::tickNetwork() {
+    ++cycles_;
+    bool progressed = false;
+    for (std::size_t i = 0; i < processes_.size(); ++i) {
+        KernelVm& vm = *processes_[i];
+        if (!vm.running()) {
+            continue;
+        }
+        processIo_[i]->clearBlocked();
+        if (vm.tick()) {
+            progressed = true;
+        }
+    }
+    std::uint64_t executedTotal = 0;
+    bool anyRunning = false;
+    for (const auto& vm : processes_) {
+        executedTotal += vm->instructionsExecuted();
+        anyRunning = anyRunning || vm->running();
+    }
+    executed_ = executedTotal;
+    if (!anyRunning) {
+        running_ = false;
+        return true;
+    }
+    if (progressed) {
+        return true;
+    }
+    ++stalls_;
+    // Every live process spent the cycle stalled. If each of them is
+    // blocked on an *internal* channel, the network can never move again:
+    // internal FIFOs only change when a process moves, and external
+    // stimulus only reaches externally blocked processes. Fail now with
+    // forensics instead of hanging until a host watchdog fires.
+    bool allInternal = true;
+    for (std::size_t i = 0; i < processes_.size(); ++i) {
+        if (processes_[i]->running() && !processIo_[i]->blockedOnChannel()) {
+            allInternal = false;
+            break;
+        }
+    }
+    if (allInternal) {
+        std::vector<std::string> channels;
+        std::vector<std::string> blockedProcesses;
+        for (std::size_t i = 0; i < processes_.size(); ++i) {
+            if (!processes_[i]->running()) {
+                continue;
+            }
+            blockedProcesses.push_back(program_.processNames[i]);
+            const int ch = processIo_[i]->blockedChannel();
+            const std::string& name =
+                program_.channels[static_cast<std::size_t>(ch)].name;
+            if (std::find(channels.begin(), channels.end(), name) == channels.end()) {
+                channels.push_back(name);
+            }
+        }
+        throw ChannelDeadlockError(
+            format("network %s: every live process is blocked on an internal channel "
+                   "at cycle %llu — no external stimulus can unblock it\n%s",
+                   program_.kernelName.c_str(),
+                   static_cast<unsigned long long>(cycles_),
+                   networkStallReport().c_str()),
+            channels, blockedProcesses);
+    }
+    return false;
+}
+
+std::string KernelVm::networkStallReport() const {
+    require(isNetwork(), "networkStallReport(): not a network program");
+    std::string report = format("network %s stall state:", program_.kernelName.c_str());
+    for (std::size_t c = 0; c < channelState_.size(); ++c) {
+        const ProgramChannel& spec = program_.channels[c];
+        const ChannelState& ch = channelState_[c];
+        report += format("\n  channel %-16s %zu/%u full, %llu pushed, %llu popped (%s.%s "
+                         "-> %s.%s)",
+                         spec.name.c_str(), ch.fifo.size(), spec.depth,
+                         static_cast<unsigned long long>(ch.pushes),
+                         static_cast<unsigned long long>(ch.pops),
+                         program_.processNames[spec.fromProcess].c_str(),
+                         program_.processPrograms[spec.fromProcess]
+                             .ports[spec.fromPort]
+                             .name.c_str(),
+                         program_.processNames[spec.toProcess].c_str(),
+                         program_.processPrograms[spec.toProcess]
+                             .ports[spec.toPort]
+                             .name.c_str());
+    }
+    for (std::size_t i = 0; i < processes_.size(); ++i) {
+        const KernelVm& vm = *processes_[i];
+        std::string state;
+        if (vm.finished()) {
+            state = "finished";
+        } else if (!vm.running()) {
+            state = "idle";
+        } else if (processIo_[i]->blockedOnChannel()) {
+            const auto ch = static_cast<std::size_t>(processIo_[i]->blockedChannel());
+            state = "blocked on channel '" + program_.channels[ch].name + "'";
+        } else if (processIo_[i]->blockedExternal() != kNoId) {
+            state = "blocked on external port '" +
+                    program_.ports[processIo_[i]->blockedExternal()].name + "'";
+        } else {
+            state = "running";
+        }
+        report += format("\n  process %-16s %s (%llu cycles, %llu stalled)",
+                         program_.processNames[i].c_str(), state.c_str(),
+                         static_cast<unsigned long long>(vm.cycles()),
+                         static_cast<unsigned long long>(vm.stallCycles()));
+    }
+    return report;
 }
 
 } // namespace socgen::hls

@@ -3,6 +3,9 @@
 #include "socgen/hls/bytecode.hpp"
 
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
 #include <vector>
 
 namespace socgen::hls {
@@ -32,9 +35,20 @@ public:
 /// One tick() is one clock cycle of the accelerator: zero-latency
 /// instructions execute back-to-back until a Cost instruction charges
 /// schedule-derived cycles or a stream access has to stall.
+///
+/// A network Program (Program::isNetwork()) runs in network mode: one
+/// child VM per process, all ticked every cycle, with internal channel
+/// ports routed through bounded in-memory FIFOs and externally bound
+/// ports forwarded to the host KernelIo — so the SoC accelerator wrapper
+/// hosts a whole dataflow network exactly like a single kernel. A cycle
+/// in which every live process is blocked on an *internal* channel is a
+/// provable deadlock (no external stimulus can ever unblock it); the VM
+/// throws ChannelDeadlockError with per-channel forensics immediately
+/// instead of spinning until a watchdog guesses.
 class KernelVm {
 public:
     KernelVm(const Program& program, KernelIo& io);
+    ~KernelVm();
 
     /// Restarts execution from the beginning (ap_start).
     void start();
@@ -54,9 +68,31 @@ public:
     /// Direct array access for tests / result extraction.
     [[nodiscard]] const std::vector<std::uint64_t>& array(ArrayId id) const;
 
+    // -- network mode --------------------------------------------------------
+    [[nodiscard]] bool isNetwork() const { return program_.isNetwork(); }
+    [[nodiscard]] std::size_t processCount() const { return processes_.size(); }
+    /// Child VM of one process (network mode only; throws otherwise).
+    [[nodiscard]] const KernelVm& process(std::size_t index) const;
+
+    /// Channel/process forensics: per-channel occupancy, depth and
+    /// traffic counters plus per-process state and the port each stalled
+    /// process is blocked on. Embedded in ChannelDeadlockError messages
+    /// and queryable by cosim watchdogs for stall reports.
+    [[nodiscard]] std::string networkStallReport() const;
+
 private:
+    class ProcessIo;
+
+    struct ChannelState {
+        std::deque<std::uint64_t> fifo;
+        std::uint64_t pushes = 0;
+        std::uint64_t pops = 0;
+    };
+
     [[nodiscard]] static std::uint64_t applyBin(BinOp op, std::uint64_t a, std::uint64_t b);
     [[nodiscard]] std::uint64_t maskVar(std::uint32_t reg, std::uint64_t value) const;
+    void startNetwork();
+    bool tickNetwork();
 
     const Program& program_;
     KernelIo& io_;
@@ -69,6 +105,11 @@ private:
     std::uint64_t cycles_ = 0;
     std::uint64_t stalls_ = 0;
     std::uint64_t executed_ = 0;
+
+    // Network mode (empty for plain kernels).
+    std::vector<ChannelState> channelState_;
+    std::vector<std::unique_ptr<ProcessIo>> processIo_;
+    std::vector<std::unique_ptr<KernelVm>> processes_;
 };
 
 } // namespace socgen::hls

@@ -298,28 +298,4 @@ Kernel KernelBuilder::build() {
     return std::move(kernel_);
 }
 
-// ---------------------------------------------------------------------------
-// KernelLibrary
-
-void KernelLibrary::add(Kernel kernel) {
-    if (has(kernel.name())) {
-        throw HlsError("duplicate kernel: " + kernel.name());
-    }
-    kernels_.push_back(std::move(kernel));
-}
-
-bool KernelLibrary::has(std::string_view name) const {
-    return std::any_of(kernels_.begin(), kernels_.end(),
-                       [&](const Kernel& k) { return k.name() == name; });
-}
-
-const Kernel& KernelLibrary::get(std::string_view name) const {
-    for (const auto& k : kernels_) {
-        if (k.name() == name) {
-            return k;
-        }
-    }
-    throw HlsError("no kernel named '" + std::string(name) + "' in library");
-}
-
 } // namespace socgen::hls

@@ -233,17 +233,4 @@ private:
     bool built_ = false;
 };
 
-/// A named collection of kernels — the "synthesizable C/C++ files" the
-/// user supplies next to the DSL description (paper Section IV-A).
-class KernelLibrary {
-public:
-    void add(Kernel kernel);
-    [[nodiscard]] bool has(std::string_view name) const;
-    [[nodiscard]] const Kernel& get(std::string_view name) const;
-    [[nodiscard]] std::size_t size() const { return kernels_.size(); }
-
-private:
-    std::vector<Kernel> kernels_;
-};
-
 } // namespace socgen::hls

@@ -1,0 +1,305 @@
+#include "socgen/hls/network.hpp"
+
+#include "socgen/common/error.hpp"
+#include "socgen/common/strings.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace socgen::hls {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& network, const std::string& what) {
+    throw HlsError("network '" + network + "': " + what);
+}
+
+} // namespace
+
+ProcessNetwork ProcessNetwork::fromKernel(Kernel kernel) {
+    ProcessNetwork net(kernel.name());
+    const std::string processName = kernel.name();
+    const std::vector<KernelPort> ports = kernel.ports();
+    net.addProcess(processName, std::move(kernel));
+    for (const KernelPort& port : ports) {
+        net.exportPort(port.name, processName, port.name);
+    }
+    return net;
+}
+
+void ProcessNetwork::addProcess(std::string name, Kernel kernel) {
+    if (hasProcess(name)) {
+        fail(name_, "duplicate process '" + name + "'");
+    }
+    processes_.push_back(Process{std::move(name), std::move(kernel)});
+}
+
+void ProcessNetwork::connect(NetworkChannel channel) {
+    channels_.push_back(std::move(channel));
+}
+
+void ProcessNetwork::exportPort(std::string networkPort, std::string process,
+                                std::string processPort) {
+    bindings_.push_back(
+        NetworkBinding{std::move(networkPort), std::move(process), std::move(processPort)});
+}
+
+bool ProcessNetwork::hasProcess(std::string_view name) const {
+    return std::any_of(processes_.begin(), processes_.end(),
+                       [&](const Process& p) { return p.name == name; });
+}
+
+std::size_t ProcessNetwork::processIndex(std::string_view name) const {
+    for (std::size_t i = 0; i < processes_.size(); ++i) {
+        if (processes_[i].name == name) {
+            return i;
+        }
+    }
+    fail(name_, "unknown process '" + std::string(name) + "'");
+}
+
+const Process& ProcessNetwork::process(std::string_view name) const {
+    return processes_[processIndex(name)];
+}
+
+std::vector<KernelPort> ProcessNetwork::externalPorts() const {
+    std::vector<KernelPort> ports;
+    ports.reserve(bindings_.size());
+    for (const NetworkBinding& b : bindings_) {
+        const Process& p = process(b.process);
+        if (!p.kernel.hasPort(b.processPort)) {
+            fail(name_, "export '" + b.networkPort + "': process '" + b.process +
+                            "' has no port '" + b.processPort + "'");
+        }
+        KernelPort port = p.kernel.port(p.kernel.portId(b.processPort));
+        port.name = b.networkPort;
+        ports.push_back(std::move(port));
+    }
+    return ports;
+}
+
+void ProcessNetwork::verify() const {
+    if (name_.empty()) {
+        throw HlsError("network has an empty name");
+    }
+    if (processes_.empty()) {
+        fail(name_, "has no processes");
+    }
+
+    // Process names are unique by construction (addProcess checks), but a
+    // decoded network may have bypassed that — re-check.
+    {
+        std::set<std::string> seen;
+        for (const Process& p : processes_) {
+            if (p.name.empty()) {
+                fail(name_, "has a process with an empty name");
+            }
+            if (!seen.insert(p.name).second) {
+                fail(name_, "duplicate process '" + p.name + "'");
+            }
+        }
+    }
+
+    // Per-(process, port) usage counts: every stream port must be used
+    // exactly once (one channel endpoint or one export); every scalar
+    // port must be exported exactly once.
+    std::map<std::pair<std::string, std::string>, int> uses;
+
+    std::set<std::string> channelNames;
+    for (const NetworkChannel& c : channels_) {
+        if (c.name.empty()) {
+            fail(name_, "has a channel with an empty name");
+        }
+        if (!channelNames.insert(c.name).second) {
+            fail(name_, "duplicate channel '" + c.name + "'");
+        }
+        if (c.depth < 1) {
+            fail(name_, "channel '" + c.name + "' has zero depth");
+        }
+        const Process& from = process(c.fromProcess);
+        const Process& to = process(c.toProcess);
+        if (!from.kernel.hasPort(c.fromPort)) {
+            fail(name_, "channel '" + c.name + "': process '" + c.fromProcess +
+                            "' has no port '" + c.fromPort + "'");
+        }
+        if (!to.kernel.hasPort(c.toPort)) {
+            fail(name_, "channel '" + c.name + "': process '" + c.toProcess +
+                            "' has no port '" + c.toPort + "'");
+        }
+        const KernelPort& src = from.kernel.port(from.kernel.portId(c.fromPort));
+        const KernelPort& dst = to.kernel.port(to.kernel.portId(c.toPort));
+        if (src.kind != PortKind::StreamOut) {
+            fail(name_, "channel '" + c.name + "': source port '" + c.fromProcess + "." +
+                            c.fromPort + "' is not a stream output");
+        }
+        if (dst.kind != PortKind::StreamIn) {
+            fail(name_, "channel '" + c.name + "': sink port '" + c.toProcess + "." +
+                            c.toPort + "' is not a stream input");
+        }
+        if (src.width != c.width || dst.width != c.width) {
+            fail(name_, "channel '" + c.name + "': width " + std::to_string(c.width) +
+                            " does not match ports (" + std::to_string(src.width) + " -> " +
+                            std::to_string(dst.width) + ")");
+        }
+        ++uses[{c.fromProcess, c.fromPort}];
+        ++uses[{c.toProcess, c.toPort}];
+        if (c.initialTokens > c.depth) {
+            throw ChannelDeadlockError(
+                "network '" + name_ + "': channel '" + c.name + "' holds " +
+                    std::to_string(c.initialTokens) + " initial token(s) but is only " +
+                    std::to_string(c.depth) + " deep — insufficient channel depth",
+                {c.name}, {c.fromProcess, c.toProcess});
+        }
+    }
+
+    std::set<std::string> externalNames;
+    for (const NetworkBinding& b : bindings_) {
+        if (b.networkPort.empty()) {
+            fail(name_, "has an export with an empty network-port name");
+        }
+        if (!externalNames.insert(b.networkPort).second) {
+            fail(name_, "duplicate external port '" + b.networkPort + "'");
+        }
+        const Process& p = process(b.process);
+        if (!p.kernel.hasPort(b.processPort)) {
+            fail(name_, "export '" + b.networkPort + "': process '" + b.process +
+                            "' has no port '" + b.processPort + "'");
+        }
+        ++uses[{b.process, b.processPort}];
+    }
+
+    for (const Process& p : processes_) {
+        for (const KernelPort& port : p.kernel.ports()) {
+            const int count = uses[{p.name, port.name}];
+            if (count == 0) {
+                fail(name_, "port '" + p.name + "." + port.name +
+                                "' is dangling (not on a channel and not exported)");
+            }
+            if (count > 1) {
+                fail(name_, "port '" + p.name + "." + port.name +
+                                "' is used " + std::to_string(count) +
+                                " times (channels and exports must each claim a port "
+                                "exactly once)");
+            }
+            if (!isStreamPort(port.kind) && count == 1) {
+                // Scalar ports cannot sit on channels; the exactly-once
+                // use must be an export.
+                const bool exported = std::any_of(
+                    bindings_.begin(), bindings_.end(), [&](const NetworkBinding& b) {
+                        return b.process == p.name && b.processPort == port.name;
+                    });
+                if (!exported) {
+                    fail(name_, "scalar port '" + p.name + "." + port.name +
+                                    "' cannot be a channel endpoint");
+                }
+            }
+        }
+    }
+
+    // Static deadlock check: in the process graph restricted to channels
+    // with no initial tokens, any cycle is a provable deadlock — every
+    // process on it waits for a token that can only be produced after
+    // its own output is consumed. A channel with >= 1 initial token
+    // breaks the wait cycle, so those edges are excluded.
+    std::map<std::string, std::vector<const NetworkChannel*>> tokenFreeOut;
+    for (const NetworkChannel& c : channels_) {
+        if (c.initialTokens == 0) {
+            tokenFreeOut[c.fromProcess].push_back(&c);
+        }
+    }
+    // Iterative DFS with an explicit edge path so the offending cycle
+    // can be reported channel by channel.
+    std::map<std::string, int> color;  // 0 = white, 1 = on stack, 2 = done
+    for (const Process& root : processes_) {
+        if (color[root.name] != 0) {
+            continue;
+        }
+        struct Frame {
+            std::string node;
+            std::size_t next = 0;
+            const NetworkChannel* via = nullptr;  // edge that entered `node`
+        };
+        std::vector<Frame> stack;
+        stack.push_back(Frame{root.name});
+        color[root.name] = 1;
+        while (!stack.empty()) {
+            Frame& frame = stack.back();
+            auto& out = tokenFreeOut[frame.node];
+            if (frame.next < out.size()) {
+                const NetworkChannel* edge = out[frame.next++];
+                const std::string& target = edge->toProcess;
+                if (color[target] == 1) {
+                    // Back edge: unwind the stack to recover the cycle.
+                    std::vector<std::string> cycleChannels{edge->name};
+                    std::vector<std::string> cycleProcesses{target};
+                    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+                        if (it->node == target) {
+                            break;
+                        }
+                        cycleProcesses.push_back(it->node);
+                        if (it->via != nullptr) {
+                            cycleChannels.push_back(it->via->name);
+                        }
+                    }
+                    std::reverse(cycleChannels.begin(), cycleChannels.end());
+                    std::reverse(cycleProcesses.begin(), cycleProcesses.end());
+                    throw ChannelDeadlockError(
+                        "network '" + name_ + "': channel cycle {" +
+                            join(cycleChannels, ", ") +
+                            "} has no initial tokens — every process on it waits "
+                            "forever (add initialTokens to one channel or break the "
+                            "cycle)",
+                        cycleChannels, cycleProcesses);
+                }
+                if (color[target] == 0) {
+                    color[target] = 1;
+                    stack.push_back(Frame{target, 0, edge});
+                }
+            } else {
+                color[frame.node] = 2;
+                stack.pop_back();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// KernelLibrary
+
+void KernelLibrary::add(Kernel kernel) {
+    add(ProcessNetwork::fromKernel(std::move(kernel)));
+}
+
+void KernelLibrary::add(ProcessNetwork network) {
+    if (has(network.name())) {
+        throw HlsError("duplicate kernel: " + network.name());
+    }
+    networks_.push_back(std::move(network));
+}
+
+bool KernelLibrary::has(std::string_view name) const {
+    return std::any_of(networks_.begin(), networks_.end(),
+                       [&](const ProcessNetwork& n) { return n.name() == name; });
+}
+
+const Kernel& KernelLibrary::get(std::string_view name) const {
+    const ProcessNetwork& net = network(name);
+    if (!net.trivial()) {
+        throw HlsError("'" + std::string(name) +
+                       "' is a process network, not a single kernel; use network()");
+    }
+    return net.processes().front().kernel;
+}
+
+const ProcessNetwork& KernelLibrary::network(std::string_view name) const {
+    for (const auto& n : networks_) {
+        if (n.name() == name) {
+            return n;
+        }
+    }
+    throw HlsError("no kernel named '" + std::string(name) + "' in library");
+}
+
+} // namespace socgen::hls

@@ -1,0 +1,128 @@
+#pragma once
+
+#include "socgen/hls/ir.hpp"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace socgen::hls {
+
+/// One named process of a network: an ordinary hls::Kernel instantiated
+/// under a process name (the same kernel may be instantiated more than
+/// once under different names).
+struct Process {
+    std::string name;
+    Kernel kernel;
+};
+
+/// A typed bounded-depth FIFO channel between two processes. `fromPort`
+/// must be a StreamOut of `fromProcess`, `toPort` a StreamIn of
+/// `toProcess`, and both must agree with `width`. `initialTokens`
+/// pre-loads the FIFO with that many zero-valued tokens at start (the
+/// classic KPN device that makes feedback cycles well-defined); a
+/// channel cycle with no initial tokens anywhere is a static deadlock.
+struct NetworkChannel {
+    std::string name;
+    std::string fromProcess;
+    std::string fromPort;
+    std::string toProcess;
+    std::string toPort;
+    unsigned width = 32;
+    std::uint32_t depth = 2;
+    std::uint32_t initialTokens = 0;
+};
+
+/// Exposes one process port at the network boundary under `networkPort`.
+/// Every process port not connected to a channel must be exported
+/// exactly once; the exported ports form the network's signature (what
+/// the DSL node, the SoC wrapper, and the software drivers see).
+struct NetworkBinding {
+    std::string networkPort;
+    std::string process;
+    std::string processPort;
+};
+
+/// A process network: the node model. Named processes (each an
+/// hls::Kernel) connected by typed FIFO channels, with the unconnected
+/// ports exported as the network signature. A single-kernel node is the
+/// trivial one-process network (`fromKernel`), so every legacy app flows
+/// through this model unchanged.
+class ProcessNetwork {
+public:
+    explicit ProcessNetwork(std::string name) : name_(std::move(name)) {}
+
+    /// Wraps one kernel as the trivial network: one process named after
+    /// the kernel, no channels, every port exported under its own name.
+    [[nodiscard]] static ProcessNetwork fromKernel(Kernel kernel);
+
+    void addProcess(std::string name, Kernel kernel);
+    void connect(NetworkChannel channel);
+    void exportPort(std::string networkPort, std::string process, std::string processPort);
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] const std::vector<Process>& processes() const { return processes_; }
+    [[nodiscard]] const std::vector<NetworkChannel>& channels() const { return channels_; }
+    [[nodiscard]] const std::vector<NetworkBinding>& bindings() const { return bindings_; }
+
+    /// True for the one-process, zero-channel wrap of a single kernel —
+    /// the legacy node shape, which keeps the legacy flow path.
+    [[nodiscard]] bool trivial() const {
+        return processes_.size() == 1 && channels_.empty();
+    }
+
+    [[nodiscard]] bool hasProcess(std::string_view name) const;
+    /// Index into processes(); throws HlsError if absent.
+    [[nodiscard]] std::size_t processIndex(std::string_view name) const;
+    [[nodiscard]] const Process& process(std::string_view name) const;
+
+    /// The network signature: one KernelPort per binding, in binding
+    /// order, named by the binding's networkPort with the kind/width of
+    /// the underlying process port. Throws HlsError on unknown
+    /// process/port references.
+    [[nodiscard]] std::vector<KernelPort> externalPorts() const;
+
+    /// Structural validation: unique names, channel endpoints exist with
+    /// the right kinds and widths, every process port used exactly once
+    /// (channel endpoint or export — dangling and multiply-driven ports
+    /// are errors), scalar ports exported, channel depths sane. Then the
+    /// static deadlock check: a channel cycle carrying no initial token
+    /// anywhere, or initialTokens > depth on any channel, throws
+    /// ChannelDeadlockError naming the channels and processes involved.
+    void verify() const;
+
+private:
+    std::string name_;
+    std::vector<Process> processes_;
+    std::vector<NetworkChannel> channels_;
+    std::vector<NetworkBinding> bindings_;
+};
+
+/// A named collection of nodes — the "synthesizable C/C++ files" the
+/// user supplies next to the DSL description (paper Section IV-A).
+/// Every entry is a ProcessNetwork; adding a plain Kernel wraps it as
+/// the trivial one-process network, so single-kernel apps and dataflow
+/// networks live in the same namespace and flow through the same paths.
+class KernelLibrary {
+public:
+    /// Adds `kernel` as the trivial network named after it.
+    void add(Kernel kernel);
+    void add(ProcessNetwork network);
+
+    [[nodiscard]] bool has(std::string_view name) const;
+
+    /// Legacy single-kernel accessor: the sole process of a trivial
+    /// network. Throws HlsError for unknown names and for multi-process
+    /// networks (use network() there).
+    [[nodiscard]] const Kernel& get(std::string_view name) const;
+
+    [[nodiscard]] const ProcessNetwork& network(std::string_view name) const;
+
+    [[nodiscard]] std::size_t size() const { return networks_.size(); }
+
+private:
+    std::vector<ProcessNetwork> networks_;
+};
+
+} // namespace socgen::hls

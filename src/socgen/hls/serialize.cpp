@@ -85,6 +85,26 @@ void putProgram(BinWriter& w, const Program& p) {
         w.u32(a.width);
     });
     w.vec(p.ports, [&](const KernelPort& kp) { putPort(w, kp); });
+    // Process-network payload (all four tables empty for plain kernels;
+    // the recursion is one level deep in practice — child programs of a
+    // network are plain kernels).
+    w.vec(p.processNames, [&](const std::string& n) { w.str(n); });
+    w.vec(p.processPrograms, [&](const Program& child) { putProgram(w, child); });
+    w.vec(p.channels, [&](const ProgramChannel& c) {
+        w.str(c.name);
+        w.u32(c.fromProcess);
+        w.u32(c.fromPort);
+        w.u32(c.toProcess);
+        w.u32(c.toPort);
+        w.u32(c.width);
+        w.u32(c.depth);
+        w.u32(c.initialTokens);
+    });
+    w.vec(p.bindings, [&](const ProgramBinding& b) {
+        w.u32(b.networkPort);
+        w.u32(b.process);
+        w.u32(b.processPort);
+    });
 }
 
 Program getProgram(BinReader& r) {
@@ -100,6 +120,30 @@ Program getProgram(BinReader& r) {
         return a;
     });
     p.ports = r.vec<KernelPort>([&] { return getPort(r); });
+    p.processNames = r.vec<std::string>([&] { return r.str(); });
+    p.processPrograms = r.vec<Program>([&] { return getProgram(r); });
+    p.channels = r.vec<ProgramChannel>([&] {
+        ProgramChannel c;
+        c.name = r.str();
+        c.fromProcess = r.u32();
+        c.fromPort = r.u32();
+        c.toProcess = r.u32();
+        c.toPort = r.u32();
+        c.width = r.u32();
+        c.depth = r.u32();
+        c.initialTokens = r.u32();
+        return c;
+    });
+    p.bindings = r.vec<ProgramBinding>([&] {
+        ProgramBinding b;
+        b.networkPort = r.u32();
+        b.process = r.u32();
+        b.processPort = r.u32();
+        return b;
+    });
+    if (p.processNames.size() != p.processPrograms.size()) {
+        throw CodecError("program: process name/program tables disagree");
+    }
     return p;
 }
 
@@ -572,6 +616,105 @@ Digest128 fingerprintDirectives(const Directives& d) {
     for (const auto& [port, protocol] : d.interfaces) {
         h.field(port);
         h.field(static_cast<std::uint64_t>(protocol));
+    }
+    return h.digest();
+}
+
+std::string encodeProcessNetwork(const ProcessNetwork& network) {
+    BinWriter w;
+    w.u32(kNetworkCodecVersion);
+    w.str(network.name());
+    w.vec(network.processes(), [&](const Process& p) {
+        w.str(p.name);
+        w.str(encodeKernel(p.kernel));
+    });
+    w.vec(network.channels(), [&](const NetworkChannel& c) {
+        w.str(c.name);
+        w.str(c.fromProcess);
+        w.str(c.fromPort);
+        w.str(c.toProcess);
+        w.str(c.toPort);
+        w.u32(c.width);
+        w.u32(c.depth);
+        w.u32(c.initialTokens);
+    });
+    w.vec(network.bindings(), [&](const NetworkBinding& b) {
+        w.str(b.networkPort);
+        w.str(b.process);
+        w.str(b.processPort);
+    });
+    return w.take();
+}
+
+ProcessNetwork decodeProcessNetwork(std::string_view bytes) {
+    BinReader r(bytes);
+    const std::uint32_t version = r.u32();
+    if (version != kNetworkCodecVersion) {
+        throw CodecError(format("network codec mismatch: payload v%u, expected v%u",
+                                version, kNetworkCodecVersion));
+    }
+    ProcessNetwork net(r.str());
+    const std::uint64_t processes = r.size();
+    for (std::uint64_t i = 0; i < processes; ++i) {
+        std::string name = r.str();
+        Kernel kernel = decodeKernel(r.str());
+        net.addProcess(std::move(name), std::move(kernel));
+    }
+    const std::uint64_t channels = r.size();
+    for (std::uint64_t i = 0; i < channels; ++i) {
+        NetworkChannel c;
+        c.name = r.str();
+        c.fromProcess = r.str();
+        c.fromPort = r.str();
+        c.toProcess = r.str();
+        c.toPort = r.str();
+        c.width = r.u32();
+        c.depth = r.u32();
+        c.initialTokens = r.u32();
+        net.connect(std::move(c));
+    }
+    const std::uint64_t bindings = r.size();
+    for (std::uint64_t i = 0; i < bindings; ++i) {
+        std::string networkPort = r.str();
+        std::string process = r.str();
+        std::string processPort = r.str();
+        net.exportPort(std::move(networkPort), std::move(process), std::move(processPort));
+    }
+    r.expectEnd();
+    // A payload that frames correctly can still describe a broken network
+    // (dangling ports, scalar channels, token-free cycles); decode refuses
+    // to hand such a thing to the caller.
+    net.verify();
+    return net;
+}
+
+Digest128 fingerprintNetwork(const ProcessNetwork& network) {
+    HashStream h;
+    h.field(std::string_view("socgen-network-v1"));
+    h.field(network.name());
+    h.field(static_cast<std::uint64_t>(network.processes().size()));
+    for (const Process& p : network.processes()) {
+        h.field(p.name);
+        const Digest128 k = fingerprintKernel(p.kernel);
+        h.field(k.hi);
+        h.field(k.lo);
+    }
+    h.field(static_cast<std::uint64_t>(network.channels().size()));
+    for (const NetworkChannel& c : network.channels()) {
+        h.field(c.name);
+        h.field(c.fromProcess);
+        h.field(c.fromPort);
+        h.field(c.toProcess);
+        h.field(c.toPort);
+        h.field(static_cast<std::uint64_t>(c.width));
+        h.field(static_cast<std::uint64_t>(c.depth));
+        h.field(static_cast<std::uint64_t>(c.initialTokens));
+    }
+    h.field(static_cast<std::uint64_t>(network.bindings().size()));
+    for (const NetworkBinding& b : network.bindings()) {
+        h.field(b.networkPort);
+        h.field(b.process);
+        h.field(b.processPort);
     }
     return h.digest();
 }

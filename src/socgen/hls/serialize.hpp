@@ -20,7 +20,9 @@ namespace socgen::hls {
 /// structure mismatch and the caller re-synthesizes.
 
 /// Current encoding version; bumped whenever the layout changes.
-inline constexpr std::uint32_t kHlsResultCodecVersion = 1;
+/// v2: Program carries the process-network payload (child programs,
+/// channels, external-port bindings).
+inline constexpr std::uint32_t kHlsResultCodecVersion = 2;
 
 [[nodiscard]] std::string encodeHlsResult(const HlsResult& result);
 
@@ -47,6 +49,25 @@ inline constexpr std::uint32_t kDirectivesCodecVersion = 1;
 
 /// Decodes an encoded Directives; throws socgen::CodecError.
 [[nodiscard]] Directives decodeDirectives(std::string_view bytes);
+
+/// ProcessNetwork transport codec: processes (nested kernel ASTs),
+/// channels and exports of one network node. Decoding validates the
+/// reconstructed network structurally (ProcessNetwork::verify), so a
+/// malformed or torn payload always surfaces as a named error —
+/// CodecError for framing damage, HlsError / ChannelDeadlockError for
+/// structures that frame correctly but describe an invalid network.
+inline constexpr std::uint32_t kNetworkCodecVersion = 1;
+
+[[nodiscard]] std::string encodeProcessNetwork(const ProcessNetwork& network);
+[[nodiscard]] ProcessNetwork decodeProcessNetwork(std::string_view bytes);
+
+/// Content fingerprint of a whole network: the network name, topology
+/// (channels with their depths/tokens, exports) and every process's
+/// kernel fingerprint. Any change to any process or to the wiring
+/// changes the digest; a change to ONE process changes that process's
+/// own fingerprintKernel too, which is what per-process artifact keys
+/// hash — so editing one process re-synthesizes exactly that process.
+[[nodiscard]] Digest128 fingerprintNetwork(const ProcessNetwork& network);
 
 /// Content fingerprint of a kernel: covers the signature, locals, and the
 /// whole statement/expression body, so any semantic change to the kernel

@@ -1,0 +1,98 @@
+#include "socgen/rtl/compose.hpp"
+
+#include "socgen/common/error.hpp"
+
+#include <vector>
+
+namespace socgen::rtl {
+
+std::map<std::string, NetId> flattenInto(Netlist& dst, const Netlist& src,
+                                         std::string_view prefix,
+                                         const std::map<std::string, NetId>& portBind) {
+    const std::string pfx(prefix);
+
+    // Port-net remaps requested by the caller, validated against the
+    // instance's signature up front.
+    std::map<NetId, NetId> remap;  // src net -> dst net
+    struct Alias {
+        NetId canonical;  ///< dst net the shared src net resolves to
+        NetId extra;      ///< additional dst net that must carry the value
+        unsigned width;
+        std::string port;
+    };
+    std::vector<Alias> aliases;
+    for (const auto& [portName, dstNet] : portBind) {
+        if (!src.hasPort(portName)) {
+            throw Error("flatten: instance '" + src.name() + "' has no port '" + portName +
+                        "'");
+        }
+        const Port& port = src.port(portName);
+        if (dst.net(dstNet).width != port.width) {
+            throw Error("flatten: port '" + portName + "' of '" + src.name() + "' is " +
+                        std::to_string(port.width) + " bit(s) but the bound net '" +
+                        dst.net(dstNet).name + "' is " +
+                        std::to_string(dst.net(dstNet).width));
+        }
+        const auto [it, fresh] = remap.emplace(port.net, dstNet);
+        if (!fresh && it->second != dstNet) {
+            if (port.dir == PortDir::Out) {
+                // Two output ports exposing the same internal net (e.g. a
+                // kernel writing two streams from one FSM state shares the
+                // tvalid select net between both ports): keep the first
+                // mapping canonical and fan the extra binding out through
+                // a buffer so both parent nets carry the value.
+                aliases.push_back(Alias{it->second, dstNet, port.width, portName});
+                continue;
+            }
+            throw Error("flatten: port '" + portName + "' of '" + src.name() +
+                        "' shares a net with another bound port mapped elsewhere");
+        }
+    }
+
+    // Copy nets (bound ones resolve to the parent net, everything else is
+    // a fresh prefixed net).
+    std::vector<NetId> netMap(src.nets().size(), kInvalid);
+    for (NetId id = 0; id < src.nets().size(); ++id) {
+        const auto bound = remap.find(id);
+        if (bound != remap.end()) {
+            netMap[id] = bound->second;
+        } else {
+            netMap[id] = dst.addNet(pfx + src.net(id).name, src.net(id).width);
+        }
+    }
+
+    // Copy cells with remapped pins; addCell re-derives net drivers in
+    // dst, which is what wires a bound output port to the parent net.
+    for (const Cell& cell : src.cells()) {
+        std::vector<NetId> inputs;
+        inputs.reserve(cell.inputs.size());
+        for (const NetId in : cell.inputs) {
+            inputs.push_back(netMap[in]);
+        }
+        std::vector<NetId> outputs;
+        outputs.reserve(cell.outputs.size());
+        for (const NetId out : cell.outputs) {
+            outputs.push_back(netMap[out]);
+        }
+        dst.addCell(pfx + cell.name, cell.kind, cell.width, std::move(inputs),
+                    std::move(outputs), cell.param);
+    }
+
+    // Fan shared output ports out to their extra parent nets (x | x = x).
+    for (const Alias& alias : aliases) {
+        dst.addCell(pfx + "alias_" + alias.port, CellKind::Or, alias.width,
+                    {alias.canonical, alias.canonical}, {alias.extra});
+    }
+
+    std::map<std::string, NetId> portNets;
+    for (const Port& port : src.ports()) {
+        portNets[port.name] = netMap[port.net];
+    }
+    // Aliased ports resolve to their own bound net, not the canonical one.
+    for (const Alias& alias : aliases) {
+        portNets[alias.port] = alias.extra;
+    }
+    return portNets;
+}
+
+} // namespace socgen::rtl

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "socgen/rtl/netlist.hpp"
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace socgen::rtl {
+
+/// Structural composition: flattens `src` into `dst` as one instance.
+///
+/// Every net and cell of `src` is copied into `dst` under
+/// `<prefix><name>`, except nets backing ports listed in `portBind`,
+/// which are remapped onto the given existing `dst` nets instead — that
+/// is how an instance's ports are wired to nets of the parent module.
+/// A bound output port's driver cell then drives the parent net (the
+/// parent net must be driverless); a bound input port simply reads it.
+/// Ports of `src` are NOT re-exported: the caller decides which fresh
+/// nets become parent-level ports.
+///
+/// Returns the mapping from `src` port name to the `dst` net now backing
+/// it (bound or freshly created), so callers can chain instances
+/// together. Throws socgen::Error when `portBind` names a port `src`
+/// does not have, or widths disagree.
+[[nodiscard]] std::map<std::string, NetId> flattenInto(
+    Netlist& dst, const Netlist& src, std::string_view prefix,
+    const std::map<std::string, NetId>& portBind = {});
+
+} // namespace socgen::rtl

@@ -1,5 +1,6 @@
 #include "socgen/rtl/primitives.hpp"
 
+#include "socgen/common/error.hpp"
 #include "socgen/common/strings.hpp"
 
 namespace socgen::rtl {
@@ -115,6 +116,97 @@ Netlist makeMac(std::string name, unsigned width) {
     n.addCell("acc_add", CellKind::Add, width, {acc, prod}, {next});
     n.addCell("acc_reg", CellKind::Reg, width, {next, en}, {acc});
     n.addPort("acc", PortDir::Out, width, acc);
+    return std::move(b.netlist());
+}
+
+Netlist makeFifo(std::string name, unsigned width, std::uint32_t depth,
+                 std::uint32_t initialTokens) {
+    require(depth >= 1, "fifo depth must be >= 1");
+    require(initialTokens <= depth, "fifo initial tokens exceed depth");
+    // Pointer/occupancy arithmetic in 16 bits (depths are FIFO-sized, not
+    // memory-sized; deep buffers belong in BRAM-backed channels).
+    require(depth <= 0xFFFF, "fifo depth exceeds 16-bit bookkeeping");
+    constexpr unsigned kPtrW = 16;
+
+    NetlistBuilder b(std::move(name));
+    Netlist& n = b.netlist();
+
+    const NetId inData = b.inputPort("in_tdata", width);
+    const NetId inValid = b.inputPort("in_tvalid", 1);
+    const NetId outReady = b.inputPort("out_tready", 1);
+
+    // State registers (feedback, so the nets are created by hand like
+    // makeCounter's): occupancy count, write pointer, read pointer.
+    const NetId countQ = n.addNet("count_q", kPtrW);
+    const NetId wptrQ = n.addNet("wptr_q", kPtrW);
+    const NetId rptrQ = n.addNet("rptr_q", kPtrW);
+
+    // Registers reset to zero, so non-zero initial occupancy is modelled
+    // by a one-shot "primed" flag: until the first clock edge the count
+    // and write pointer read as their initial-token values, afterwards as
+    // the registered state (which the first edge computes *from* the
+    // initial values, making the hand-off seamless).
+    NetId effCount = countQ;
+    NetId effWptr = wptrQ;
+    if (initialTokens > 0) {
+        const NetId primedQ = n.addNet("primed_q", 1);
+        const NetId one1 = b.constant(1, 1);
+        n.addCell("primed_reg", CellKind::Reg, 1, {one1}, {primedQ});
+        const NetId initCount = b.constant(static_cast<std::int64_t>(initialTokens), kPtrW);
+        const NetId initWptr =
+            b.constant(static_cast<std::int64_t>(initialTokens % depth), kPtrW);
+        effCount = b.mux(primedQ, initCount, countQ, kPtrW);
+        effWptr = b.mux(primedQ, initWptr, wptrQ, kPtrW);
+    }
+
+    const NetId depthC = b.constant(static_cast<std::int64_t>(depth), kPtrW);
+    const NetId zeroC = b.constant(0, kPtrW);
+
+    const NetId inReady = b.binary(CellKind::Lt, effCount, depthC, 1);
+    const NetId outValid = b.binary(CellKind::Ne, effCount, zeroC, 1);
+    const NetId push = b.binary(CellKind::And, inValid, inReady, 1);
+    const NetId pop = b.binary(CellKind::And, outReady, outValid, 1);
+
+    // count' = count + push - pop (no over/underflow: push implies
+    // count < depth, pop implies count > 0).
+    const NetId countPlus = b.binary(CellKind::Add, effCount, push, kPtrW);
+    const NetId countNext = b.binary(CellKind::Sub, countPlus, pop, kPtrW);
+    n.addCell("count_reg", CellKind::Reg, kPtrW, {countNext}, {countQ});
+
+    const NetId wptrPlus = b.binary(CellKind::Add, effWptr, push, kPtrW);
+    const NetId wptrNext = b.binary(CellKind::Mod, wptrPlus, depthC, kPtrW);
+    n.addCell("wptr_reg", CellKind::Reg, kPtrW, {wptrNext}, {wptrQ});
+
+    const NetId rptrPlus = b.binary(CellKind::Add, rptrQ, pop, kPtrW);
+    const NetId rptrNext = b.binary(CellKind::Mod, rptrPlus, depthC, kPtrW);
+    n.addCell("rptr_reg", CellKind::Reg, kPtrW, {rptrNext}, {rptrQ});
+
+    // One register slot per entry: written when the write pointer selects
+    // it during a push; the read face muxes the slot the read pointer
+    // selects. Slots reset to zero, which is exactly the value the
+    // initial tokens must carry.
+    std::vector<NetId> slots;
+    slots.reserve(depth);
+    for (std::uint32_t s = 0; s < depth; ++s) {
+        const NetId slotC = b.constant(static_cast<std::int64_t>(s), kPtrW);
+        const NetId wSel = b.binary(CellKind::Eq, effWptr, slotC, 1);
+        const NetId we = b.binary(CellKind::And, push, wSel, 1);
+        const NetId slotQ =
+            n.addNet(format("slot%u_q", static_cast<unsigned>(s)), width);
+        n.addCell(format("slot%u_reg", static_cast<unsigned>(s)), CellKind::Reg, width,
+                  {inData, we}, {slotQ});
+        slots.push_back(slotQ);
+    }
+    NetId outData = slots[0];
+    for (std::uint32_t s = 1; s < depth; ++s) {
+        const NetId slotC = b.constant(static_cast<std::int64_t>(s), kPtrW);
+        const NetId rSel = b.binary(CellKind::Eq, rptrQ, slotC, 1);
+        outData = b.mux(rSel, outData, slots[s], width);
+    }
+
+    b.outputPort("in_tready", inReady);
+    b.outputPort("out_tdata", outData);
+    b.outputPort("out_tvalid", outValid);
     return std::move(b.netlist());
 }
 

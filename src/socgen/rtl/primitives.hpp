@@ -55,4 +55,14 @@ Netlist makeAdder(std::string name, unsigned width);
 /// Registered multiply-accumulate: acc <= acc + a*b when en.
 Netlist makeMac(std::string name, unsigned width);
 
+/// Synchronous FIFO with AXI-Stream handshakes on both faces — the
+/// channel primitive instantiated between the processes of a dataflow
+/// network. Ports: in_tdata/in_tvalid/in_tready (write face),
+/// out_tdata/out_tvalid/out_tready (read face). Register-slot storage
+/// (one Reg per entry plus a read mux) so a push and a pop can land in
+/// the same cycle; `initialTokens` entries read as zero-valued tokens
+/// already queued at reset (must be <= depth). Depth must be >= 1.
+Netlist makeFifo(std::string name, unsigned width, std::uint32_t depth,
+                 std::uint32_t initialTokens = 0);
+
 } // namespace socgen::rtl

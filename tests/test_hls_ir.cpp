@@ -1,5 +1,6 @@
 #include "socgen/common/error.hpp"
 #include "socgen/hls/ir.hpp"
+#include "socgen/hls/network.hpp"
 #include "socgen/hls/verify.hpp"
 
 #include <gtest/gtest.h>

@@ -4,6 +4,7 @@
 // with `test_rtl_golden --update-golden` (or SOCGEN_UPDATE_GOLDEN=1) and
 // review the diff like any other code change.
 
+#include "socgen/apps/dataflow.hpp"
 #include "socgen/apps/kernels.hpp"
 #include "socgen/common/textfile.hpp"
 #include "socgen/hls/engine.hpp"
@@ -63,6 +64,19 @@ TEST(Golden, Mac32) { expectGolden("mac32", makeMac("mac", 32)); }
 TEST(Golden, HlsAddKernel) {
     const hls::HlsResult r = hls::HlsEngine{}.synthesize(apps::makeAddKernel(), {});
     expectGolden("hls_add", r.netlist);
+}
+
+// The dataflow-channel FIFO primitive, with initial tokens so the
+// primed-register path is part of the snapshot.
+TEST(Golden, DataflowFifo) { expectGolden("fifo8x4", makeFifo("fifo", 8, 4, 1)); }
+
+// The assembled process-wrapper glue: three flattened stage cores, two
+// channel FIFOs, the ap_start broadcast and the ap_done AND-tree. Any
+// change to the wrapper assembly or FIFO port naming shows up here.
+TEST(Golden, DataflowWrapper) {
+    const hls::HlsResult r =
+        hls::HlsEngine{}.synthesize(apps::makeStreamPipelineNetwork(8));
+    expectGolden("dataflow_tri", r.netlist);
 }
 
 // Per-lane VCD extraction from a batched run: a 4-lane MAC batch with a
