@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace socgen {
+
+/// Persistent, content-addressed store of raw byte payloads: the generic
+/// machinery shared by core::ArtifactStore (HLS results) and the
+/// rtl::CodegenSim shared-object cache. The typed stores own their keys
+/// and payload codecs; this layer owns everything about bytes-on-disk.
+///
+/// Layout and durability contract (identical to the historical
+/// ArtifactStore, which now delegates here):
+///  - objects are sharded git-style across digest-prefix directories
+///    (`objects/<first-2-hex>/<key>.art`, up to 256 shards); opening a
+///    store migrates flat legacy objects into their shards and reclaims
+///    orphaned write-then-rename temporaries;
+///  - writes are atomic (temp file + rename), so a crash mid-store
+///    leaves either no object or a complete object, never a torn one;
+///  - every object embeds a digest of its payload, verified on load; a
+///    corrupted object is *quarantined* (moved to `quarantine/<key>.art`,
+///    recorded as a QuarantineRecord) and reported as a miss, so the
+///    caller transparently regenerates — corruption is never silently
+///    loaded and never silently discarded.
+///
+/// The magic line is per-store ("SOCGENART1" for HLS artifacts,
+/// "SOCGENSO1" for compiled simulator objects) so an object renamed into
+/// the wrong store fails validation instead of decoding garbage.
+class BlobStore {
+public:
+    /// Opens (and lazily creates) a store rooted at `rootDir`, reclaiming
+    /// temporaries and migrating flat legacy objects into their shards.
+    BlobStore(std::string rootDir, std::string magic);
+
+    /// Validation diagnostics for one load.
+    struct LoadDiag {
+        std::string whyMiss;        ///< "" for a plain miss, else the reason
+        bool quarantined = false;   ///< the object was moved to quarantine/
+        std::string quarantinePath; ///< where it went (forensics)
+    };
+
+    /// Loads and validates the payload under `key`. Returns nullopt on
+    /// miss or on any validation failure (bad magic, key mismatch,
+    /// digest mismatch); a validation failure also quarantines the
+    /// object. When `diag` is non-null it receives the reason and the
+    /// quarantine outcome.
+    [[nodiscard]] std::optional<std::string> load(const std::string& key,
+                                                  LoadDiag* diag = nullptr) const;
+
+    /// Atomically stores `payload` under `key`, overwriting any previous
+    /// object (including a corrupt one). Throws socgen::Error on IO
+    /// failure.
+    void store(const std::string& key, std::string_view payload) const;
+
+    /// Moves the object under `key` into quarantine and records it. For
+    /// caller-level validation failures (the payload loaded byte-exact
+    /// but does not decode), so the typed stores share one quarantine
+    /// pipeline with the digest check.
+    void quarantineObject(const std::string& key, const std::string& reason,
+                          LoadDiag* diag = nullptr) const;
+
+    [[nodiscard]] bool contains(const std::string& key) const;
+
+    /// Number of objects currently on disk.
+    [[nodiscard]] std::size_t objectCount() const;
+
+    /// Keys of all objects on disk, sorted.
+    [[nodiscard]] std::vector<std::string> keys() const;
+
+    /// Walks every shard and validates every object; corrupt objects are
+    /// quarantined. Self-healing pass for embedders to run at startup.
+    struct ScrubReport {
+        std::size_t scanned = 0;
+        /// (key, reason) for every object quarantined by this pass.
+        std::vector<std::pair<std::string, std::string>> quarantined;
+    };
+    [[nodiscard]] ScrubReport scrub() const;
+
+    /// One quarantined object (this store instance's lifetime).
+    struct QuarantineRecord {
+        std::string key;
+        std::string reason;
+        std::string quarantinePath;
+    };
+    [[nodiscard]] std::size_t quarantinedObjects() const;
+    [[nodiscard]] std::vector<QuarantineRecord> quarantineRecords() const;
+
+    /// Test/fault-injection hook: flips one payload byte of the stored
+    /// object so the next load fails digest validation. Throws
+    /// socgen::Error if the object does not exist.
+    void corruptObject(const std::string& key) const;
+
+    /// Removes the object under `key` if present.
+    void removeObject(const std::string& key) const;
+
+    /// Orphaned temporaries reclaimed when this store was opened.
+    [[nodiscard]] std::size_t reclaimedTempFiles() const { return reclaimedTempFiles_; }
+
+    /// Flat legacy objects moved into shard directories at open.
+    [[nodiscard]] std::size_t migratedObjects() const { return migratedObjects_; }
+
+    [[nodiscard]] const std::string& root() const { return root_; }
+
+    /// Digest-prefix length of the shard layout (hex characters).
+    static constexpr std::size_t kShardPrefixLen = 2;
+
+private:
+    [[nodiscard]] std::string objectPath(const std::string& key) const;
+    [[nodiscard]] std::string quarantinePath(const std::string& key) const;
+
+    std::string root_;
+    std::string magic_;
+    std::size_t reclaimedTempFiles_ = 0;
+    std::size_t migratedObjects_ = 0;
+
+    mutable std::mutex mutex_;
+    mutable std::vector<QuarantineRecord> quarantineLog_;
+};
+
+} // namespace socgen

@@ -33,6 +33,11 @@ void ignoreSigpipeOnce() {
 } // namespace
 
 Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
+    return spawn(argv, SpawnOptions{});
+}
+
+Subprocess Subprocess::spawn(const std::vector<std::string>& argv,
+                             const SpawnOptions& options) {
     if (argv.empty()) {
         throw SubprocessError("empty argv");
     }
@@ -72,6 +77,9 @@ Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
         // Child. Only async-signal-safe calls between fork and exec.
         ::dup2(inPipe[0], STDIN_FILENO);
         ::dup2(outPipe[1], STDOUT_FILENO);
+        if (options.mergeStderrIntoStdout) {
+            ::dup2(outPipe[1], STDERR_FILENO);
+        }
         ::close(inPipe[0]);
         ::close(inPipe[1]);
         ::close(outPipe[0]);

@@ -24,10 +24,20 @@ namespace socgen {
 ///    spawn); a write to a dead child returns false instead.
 class Subprocess {
 public:
+    struct SpawnOptions {
+        /// Route the child's stderr into its stdout pipe instead of
+        /// inheriting the parent's. For tool invocations (compilers,
+        /// probes) whose diagnostics the caller wants to capture and
+        /// attach to a thrown error rather than spill to the terminal.
+        bool mergeStderrIntoStdout = false;
+    };
+
     /// Forks and execs `argv` (argv[0] is the executable path). The
     /// child's stdin/stdout are pipes owned by this object; its stderr
-    /// is inherited.
+    /// is inherited (or merged into stdout, see SpawnOptions).
     [[nodiscard]] static Subprocess spawn(const std::vector<std::string>& argv);
+    [[nodiscard]] static Subprocess spawn(const std::vector<std::string>& argv,
+                                          const SpawnOptions& options);
 
     Subprocess(Subprocess&& other) noexcept;
     Subprocess& operator=(Subprocess&& other) noexcept;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "socgen/common/blob_store.hpp"
 #include "socgen/hls/serialize.hpp"
 #include "socgen/soc/device.hpp"
 
@@ -19,10 +20,11 @@ namespace socgen::core {
 /// device, and tool version — so a stale hit is impossible by
 /// construction: change any input and the key changes.
 ///
-/// Layout: objects are sharded git-style across digest-prefix
-/// directories (`objects/<first-2-hex>/<key>.art`, up to 256 shards) so
-/// no single directory grows unboundedly under fleet-scale traffic;
-/// opening a store migrates any flat legacy objects into their shards.
+/// The bytes-on-disk machinery (sharded layout, atomic writes, digest
+/// verification, quarantine, temp reclamation, flat-object migration)
+/// lives in the generic socgen::BlobStore; this class layers the
+/// HlsResult codec, key derivation, and worker-fleet lease fencing on
+/// top of it. The on-disk format is unchanged from before the split.
 ///
 /// Durability contract:
 ///  - writes are atomic (temp file + rename), so a crash mid-store leaves
@@ -56,11 +58,7 @@ public:
                                                std::string_view toolVersion);
 
     /// Validation diagnostics for one load.
-    struct LoadDiag {
-        std::string whyMiss;        ///< "" for a plain miss, else the reason
-        bool quarantined = false;   ///< the object was moved to quarantine/
-        std::string quarantinePath; ///< where it went (forensics)
-    };
+    using LoadDiag = BlobStore::LoadDiag;
 
     /// Loads and validates the object under `key`. Returns nullopt on
     /// miss or on any validation failure (bad magic, digest mismatch,
@@ -108,19 +106,11 @@ public:
 
     /// Walks every shard and validates every object; corrupt objects are
     /// quarantined. Self-healing pass run by the flow service at open.
-    struct ScrubReport {
-        std::size_t scanned = 0;
-        /// (key, reason) for every object quarantined by this pass.
-        std::vector<std::pair<std::string, std::string>> quarantined;
-    };
+    using ScrubReport = BlobStore::ScrubReport;
     [[nodiscard]] ScrubReport scrub() const;
 
     /// One quarantined object (this store instance's lifetime).
-    struct QuarantineRecord {
-        std::string key;
-        std::string reason;
-        std::string quarantinePath;
-    };
+    using QuarantineRecord = BlobStore::QuarantineRecord;
     [[nodiscard]] std::size_t quarantinedObjects() const;
     [[nodiscard]] std::vector<QuarantineRecord> quarantineRecords() const;
 
@@ -136,30 +126,23 @@ public:
     void removeObject(const std::string& key) const;
 
     /// Orphaned temporaries reclaimed when this store was opened.
-    [[nodiscard]] std::size_t reclaimedTempFiles() const { return reclaimedTempFiles_; }
+    [[nodiscard]] std::size_t reclaimedTempFiles() const {
+        return blobs_.reclaimedTempFiles();
+    }
 
     /// Flat legacy objects moved into shard directories at open.
-    [[nodiscard]] std::size_t migratedObjects() const { return migratedObjects_; }
+    [[nodiscard]] std::size_t migratedObjects() const { return blobs_.migratedObjects(); }
 
-    [[nodiscard]] const std::string& root() const { return root_; }
+    [[nodiscard]] const std::string& root() const { return blobs_.root(); }
 
     /// Digest-prefix length of the shard layout (hex characters).
-    static constexpr std::size_t kShardPrefixLen = 2;
+    static constexpr std::size_t kShardPrefixLen = BlobStore::kShardPrefixLen;
 
 private:
-    [[nodiscard]] std::string objectPath(const std::string& key) const;
-    [[nodiscard]] std::string quarantinePath(const std::string& key) const;
-    /// Moves a failed-validation object into quarantine/ and records it.
-    void quarantine(const std::string& key, const std::string& reason,
-                    LoadDiag* diag) const;
-
-    std::string root_;
-    std::size_t reclaimedTempFiles_ = 0;
-    std::size_t migratedObjects_ = 0;
+    BlobStore blobs_;
 
     mutable std::mutex mutex_;
     mutable std::map<std::string, std::uint64_t> leases_;
-    mutable std::vector<QuarantineRecord> quarantineLog_;
     mutable std::size_t staleCommitsRejected_ = 0;
 };
 

@@ -2,19 +2,63 @@
 
 #include "socgen/common/env.hpp"
 #include "socgen/common/error.hpp"
+#include "socgen/common/log.hpp"
 #include "socgen/common/strings.hpp"
+#include "socgen/rtl/codegen_emit.hpp"
+#include "socgen/rtl/codegen_sim.hpp"
 #include "socgen/rtl/compiled_sim.hpp"
 #include "socgen/rtl/netlist_sim.hpp"
 
 #include <algorithm>
+#include <mutex>
+#include <utility>
 
 namespace socgen::rtl {
+namespace {
+
+std::mutex g_hookMutex;
+SimBackendFallbackHook g_fallbackHook;
+
+/// Fires the installed hook (or the default log line) for one hop of
+/// the degradation chain.
+void reportFallback(const Netlist& netlist, SimBackend requested, SimBackend chosen,
+                    const std::string& reason) {
+    SimBackendFallback event;
+    event.netlist = netlist.name();
+    event.requested = requested;
+    event.chosen = chosen;
+    event.reason = reason;
+    SimBackendFallbackHook hook;
+    {
+        const std::lock_guard<std::mutex> lock(g_hookMutex);
+        hook = g_fallbackHook;
+    }
+    if (hook) {
+        hook(event);
+        return;
+    }
+    Logger::global().warn(format("sim: netlist '%s': %s backend unavailable, using "
+                                 "%s (%s)",
+                                 event.netlist.c_str(),
+                                 std::string(simBackendName(requested)).c_str(),
+                                 std::string(simBackendName(chosen)).c_str(),
+                                 reason.c_str()));
+}
+
+} // namespace
+
+SimBackendFallbackHook setSimBackendFallbackHook(SimBackendFallbackHook hook) {
+    const std::lock_guard<std::mutex> lock(g_hookMutex);
+    std::swap(g_fallbackHook, hook);
+    return hook;
+}
 
 std::string_view simBackendName(SimBackend backend) {
     switch (backend) {
     case SimBackend::Auto: return "auto";
     case SimBackend::EventDriven: return "event";
     case SimBackend::Compiled: return "compiled";
+    case SimBackend::Codegen: return "codegen";
     }
     return "?";
 }
@@ -29,7 +73,10 @@ SimBackend simBackendFromString(std::string_view text) {
     if (text == "compiled") {
         return SimBackend::Compiled;
     }
-    throw Error(format("unknown sim backend '%s' (expected auto|event|compiled)",
+    if (text == "codegen") {
+        return SimBackend::Codegen;
+    }
+    throw Error(format("unknown sim backend '%s' (expected auto|event|compiled|codegen)",
                        std::string(text).c_str()));
 }
 
@@ -86,6 +133,29 @@ std::unique_ptr<Simulator> makeSimulator(const Netlist& netlist, const SimConfig
         return std::make_unique<NetlistSimulator>(netlist);
     case SimBackend::Compiled:
         return std::make_unique<CompiledSim>(netlist, config);
+    case SimBackend::Codegen:
+        // Graceful chain Codegen → Compiled → EventDriven: a construct
+        // neither compiled path lowers jumps straight to the interpreter;
+        // a codegen-only failure (no host compiler, compile or load
+        // error) falls back to the compiled interpreter. Every hop fires
+        // the structured fallback hook — degradation is observable, but
+        // the caller always gets a working, bit-identical simulator.
+        try {
+            return std::make_unique<CodegenSim>(netlist, config);
+        } catch (const UnsupportedNetlistError& e) {
+            reportFallback(netlist, SimBackend::Codegen, SimBackend::EventDriven,
+                           e.what());
+            return std::make_unique<NetlistSimulator>(netlist);
+        } catch (const CodegenError& e) {
+            reportFallback(netlist, SimBackend::Codegen, SimBackend::Compiled, e.what());
+        }
+        try {
+            return std::make_unique<CompiledSim>(netlist, config);
+        } catch (const UnsupportedNetlistError& e) {
+            reportFallback(netlist, SimBackend::Compiled, SimBackend::EventDriven,
+                           e.what());
+            return std::make_unique<NetlistSimulator>(netlist);
+        }
     case SimBackend::Auto:
         break;
     }

@@ -3,7 +3,9 @@
 #include "socgen/rtl/netlist.hpp"
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -16,14 +18,21 @@ namespace socgen::rtl {
 ///  - Compiled: the levelized backend (CompiledSim). The netlist is
 ///    compiled once into a linear evaluation program over a flat value
 ///    array; quiescent subgraphs are skipped via dirty tracking.
+///  - Codegen: the generated-C++ backend (CodegenSim). The levelized
+///    program is emitted as a C++ translation unit, compiled by the
+///    host toolchain, and dlopened; requires a usable compiler and
+///    degrades Codegen → Compiled → EventDriven via makeSimulator
+///    (see DESIGN.md §15).
 ///  - Auto: Compiled when the netlist is supported, EventDriven
-///    otherwise (the fallback rule; see DESIGN.md §10).
-enum class SimBackend { Auto, EventDriven, Compiled };
+///    otherwise (the fallback rule; see DESIGN.md §10). Codegen is
+///    opt-in (SOCGEN_SIM_BACKEND=codegen or an explicit request) so a
+///    plain flow never pays a host-compiler invocation unasked.
+enum class SimBackend { Auto, EventDriven, Compiled, Codegen };
 
 [[nodiscard]] std::string_view simBackendName(SimBackend backend);
 
-/// Parses "auto" / "event" / "compiled" (also accepts "event-driven");
-/// throws socgen::Error on anything else.
+/// Parses "auto" / "event" / "compiled" / "codegen" (also accepts
+/// "event-driven"); throws socgen::Error on anything else.
 [[nodiscard]] SimBackend simBackendFromString(std::string_view text);
 
 /// Resolves the SOCGEN_SIM_BACKEND environment override: returns the
@@ -76,7 +85,26 @@ struct SimConfig {
     unsigned parallelGrainOps = 256;
 };
 
-/// Common interface of the two RTL simulation backends. Semantics are
+/// One hop of the graceful backend degradation chain, reported through
+/// the process-wide fallback hook: makeSimulator was asked for
+/// `requested` but built `chosen` instead, for `reason` (no host
+/// compiler, unsupported construct, ...). Structured so services can
+/// count and surface degradations instead of grepping warning logs.
+struct SimBackendFallback {
+    std::string netlist;    ///< Netlist::name()
+    SimBackend requested = SimBackend::Auto;
+    SimBackend chosen = SimBackend::Auto;
+    std::string reason;
+};
+
+using SimBackendFallbackHook = std::function<void(const SimBackendFallback&)>;
+
+/// Installs the fallback observer and returns the previous one (install
+/// nullptr to restore the default, which logs a warning). Process-wide;
+/// tests swap it in and out around a case.
+SimBackendFallbackHook setSimBackendFallbackHook(SimBackendFallbackHook hook);
+
+/// Common interface of the RTL simulation backends. Semantics are
 /// pinned by the event-driven engine and enforced by the differential
 /// suite (tests/test_rtl_diff_sim.cpp): any observable divergence
 /// between backends is a bug.
@@ -84,7 +112,7 @@ class Simulator {
 public:
     virtual ~Simulator() = default;
 
-    /// "event" or "compiled" — which engine actually runs.
+    /// "event", "compiled", or "codegen" — which engine actually runs.
     [[nodiscard]] virtual std::string_view backendName() const = 0;
 
     /// Drives an input port for subsequent evaluations.
@@ -115,6 +143,10 @@ public:
 /// Builds a simulator for `netlist`:
 ///  - Compiled: compiles; throws socgen::Error if unsupported.
 ///  - EventDriven: the interpreter, always available.
+///  - Codegen: the generated-C++ backend, degrading gracefully through
+///    the chain Codegen → Compiled → EventDriven; each hop fires the
+///    fallback hook with a structured reason. Use CodegenSim directly
+///    for strict (throwing) construction.
 ///  - Auto: env override first (SOCGEN_SIM_BACKEND), then Compiled with
 ///    automatic fallback to EventDriven when compilation reports an
 ///    unsupported construct.

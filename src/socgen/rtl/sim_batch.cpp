@@ -672,6 +672,14 @@ std::unique_ptr<SimBatch> makeSimBatch(const Netlist& netlist, const SimConfig& 
         return std::make_unique<ScalarFarm>(netlist, lanes, laneConfig);
     case SimBackend::Compiled:
         return std::make_unique<BatchCompiledSim>(netlist, config);
+    case SimBackend::Codegen:
+        // A farm of generated-code lanes: the module is compiled once
+        // (shared via the in-process registry), each lane is its own
+        // State instance. Per-lane construction goes through
+        // makeSimulator, so the Codegen → Compiled → EventDriven chain
+        // applies to batches too.
+        laneConfig.backend = SimBackend::Codegen;
+        return std::make_unique<ScalarFarm>(netlist, lanes, laneConfig);
     case SimBackend::Auto:
         break;
     }

@@ -1,0 +1,69 @@
+// Generated simulator for netlist 'ctr'. Do not edit.
+// emitter: socgen-codegen-v1
+// netlist-digest: bad5e4304a15bf1985dd417144e58431
+
+namespace {
+
+struct State {
+    unsigned long long v[4];
+    unsigned long long s[1];
+    unsigned long long mem[1];
+};
+
+inline void band_0(State& st) {
+    st.v[1] = 1ULL;
+}
+
+inline void band_1(State& st) {
+    st.v[3] = (st.v[2] + st.v[1]) & 0xffULL;
+}
+
+void evalAll(State& st) {
+    st.v[2] = st.s[0] & 0xffULL;
+    band_0(st);
+    band_1(st);
+}
+
+long long stepOnce(State& st, unsigned long long* faultAddr) {
+    evalAll(st);
+    if (st.v[0] != 0ULL) { st.s[0] = st.v[3] & 0xffULL; }
+    (void)faultAddr;
+    return -1;
+}
+
+void resetState(State& st) {
+    for (unsigned long long i = 0; i < 1ULL; ++i) { st.s[i] = 0ULL; }
+    for (unsigned long long i = 0; i < 0ULL; ++i) { st.mem[i] = 0ULL; }
+}
+
+} // namespace
+
+extern "C" {
+
+int socgen_cg_abi(void) { return 1; }
+
+const char* socgen_cg_digest(void) { return "bad5e4304a15bf1985dd417144e58431"; }
+
+unsigned long long socgen_cg_net_count(void) { return 4ULL; }
+
+void* socgen_cg_create(void) { return new State(); }
+
+void socgen_cg_destroy(void* p) { delete static_cast<State*>(p); }
+
+unsigned long long* socgen_cg_vals(void* p) { return static_cast<State*>(p)->v; }
+
+unsigned long long* socgen_cg_mem(void* p, unsigned long long idx) {
+    (void)p;
+    (void)idx;
+    return nullptr;
+}
+
+void socgen_cg_eval(void* p) { evalAll(*static_cast<State*>(p)); }
+
+long long socgen_cg_step(void* p, unsigned long long* faultAddr) {
+    return stepOnce(*static_cast<State*>(p), faultAddr);
+}
+
+void socgen_cg_reset(void* p) { resetState(*static_cast<State*>(p)); }
+
+} // extern "C"

@@ -1,10 +1,12 @@
-// Differential test between the two RTL simulation backends: the
-// event-driven reference engine (NetlistSimulator) and the compiled
-// levelized engine (CompiledSim) must produce cycle-identical signal
-// traces — every net, every cycle — and identical final memory state on
-// every design we can throw at them: seeded random netlists covering
-// the full cell vocabulary, and the HLS netlists of all four Otsu case
-// study architectures. ctest label: diff-sim.
+// Differential test between the RTL simulation backends: the
+// event-driven reference engine (NetlistSimulator), the compiled
+// levelized engine (CompiledSim), and — when a host compiler is
+// available — the generated-C++ engine (CodegenSim) must produce
+// cycle-identical signal traces — every net, every cycle — and
+// identical final memory state on every design we can throw at them:
+// seeded random netlists covering the full cell vocabulary, and the
+// HLS netlists of all four Otsu case study architectures.
+// ctest label: diff-sim.
 
 #include "netlist_gen.hpp"
 #include "socgen/apps/kernels.hpp"
@@ -12,6 +14,8 @@
 #include "socgen/common/error.hpp"
 #include "socgen/common/textfile.hpp"
 #include "socgen/hls/engine.hpp"
+#include "socgen/rtl/codegen_emit.hpp"
+#include "socgen/rtl/codegen_sim.hpp"
 #include "socgen/rtl/compiled_sim.hpp"
 #include "socgen/rtl/netlist_sim.hpp"
 #include "socgen/rtl/primitives.hpp"
@@ -35,59 +39,87 @@ namespace {
 /// Per-cycle stimulus: port name -> value to drive before the step.
 using Stimulus = std::map<std::string, std::uint64_t>;
 
-/// Steps both backends in lockstep for `cycles` cycles, asserting after
-/// every step that all net values agree, and at the end that every BRAM
-/// holds identical contents and both engines counted the same cycles.
-/// A SimulationError (e.g. BRAM address overflow from random stimulus)
-/// must be raised by both backends on the same cycle to count as
+/// True once per process: is the generated-C++ backend usable here? The
+/// no-compiler CI leg (SOCGEN_CXX=/nonexistent) runs the same suite as
+/// a two-way comparison; everywhere else the suite is three-way.
+bool codegenUsable() {
+    static const bool usable = codegenToolchainAvailable();
+    return usable;
+}
+
+/// Strict CodegenSim construction for the differential suite: the
+/// toolchain probe above is the only sanctioned reason to skip, so any
+/// emit/compile/load failure on a supported netlist is a test failure,
+/// not a silent two-way downgrade.
+std::unique_ptr<Simulator> makeCodegenStrict(const Netlist& netlist) {
+    return std::make_unique<CodegenSim>(netlist);
+}
+
+/// Steps every backend in lockstep for `cycles` cycles, asserting after
+/// every step that all net values agree pairwise against the
+/// event-driven reference, and at the end that every BRAM holds
+/// identical contents and all engines counted the same cycles. A
+/// SimulationError (e.g. BRAM address overflow from random stimulus)
+/// must be raised by every backend on the same cycle to count as
 /// agreement.
 void expectLockstep(const Netlist& netlist,
                     const std::vector<Stimulus>& stimulus) {
-    NetlistSimulator event(netlist);
-    CompiledSim compiled(netlist);
+    std::vector<std::unique_ptr<Simulator>> sims;
+    sims.push_back(std::make_unique<NetlistSimulator>(netlist));
+    sims.push_back(std::make_unique<CompiledSim>(netlist));
+    if (codegenUsable()) {
+        sims.push_back(makeCodegenStrict(netlist));
+    }
+    Simulator& reference = *sims.front();
 
     const auto compareNets = [&](std::size_t cycle, const char* when) {
-        for (NetId id = 0; id < netlist.nets().size(); ++id) {
-            ASSERT_EQ(event.netValue(id), compiled.netValue(id))
-                << netlist.name() << ": net '" << netlist.net(id).name << "' (id " << id
-                << ") diverged " << when << " cycle " << cycle;
+        for (std::size_t s = 1; s < sims.size(); ++s) {
+            for (NetId id = 0; id < netlist.nets().size(); ++id) {
+                ASSERT_EQ(reference.netValue(id), sims[s]->netValue(id))
+                    << netlist.name() << ": net '" << netlist.net(id).name << "' (id "
+                    << id << ") diverged on backend " << sims[s]->backendName() << " "
+                    << when << " cycle " << cycle;
+            }
         }
     };
 
     for (std::size_t cycle = 0; cycle < stimulus.size(); ++cycle) {
-        for (const auto& [port, value] : stimulus[cycle]) {
-            event.setInput(port, value);
-            compiled.setInput(port, value);
+        std::vector<bool> threw(sims.size(), false);
+        for (std::size_t s = 0; s < sims.size(); ++s) {
+            for (const auto& [port, value] : stimulus[cycle]) {
+                sims[s]->setInput(port, value);
+            }
+            try {
+                sims[s]->step();
+            } catch (const SimulationError&) {
+                threw[s] = true;
+            }
         }
-        bool eventThrew = false;
-        bool compiledThrew = false;
-        try {
-            event.step();
-        } catch (const SimulationError&) {
-            eventThrew = true;
+        for (std::size_t s = 1; s < sims.size(); ++s) {
+            ASSERT_EQ(threw[0], threw[s])
+                << netlist.name() << ": backends " << reference.backendName() << " and "
+                << sims[s]->backendName() << " disagreed about throwing on cycle "
+                << cycle;
         }
-        try {
-            compiled.step();
-        } catch (const SimulationError&) {
-            compiledThrew = true;
-        }
-        ASSERT_EQ(eventThrew, compiledThrew)
-            << netlist.name() << ": only one backend threw on cycle " << cycle;
-        if (eventThrew) {
+        if (threw[0]) {
             return;  // parity on the error path is all we require
         }
         compareNets(cycle, "after step on");
     }
-    event.evaluate();
-    compiled.evaluate();
+    for (auto& sim : sims) {
+        sim->evaluate();
+    }
     compareNets(stimulus.size(), "after final evaluate at");
 
-    EXPECT_EQ(event.cycleCount(), compiled.cycleCount());
-    for (CellId id = 0; id < netlist.cells().size(); ++id) {
-        if (netlist.cell(id).kind == CellKind::Bram) {
-            EXPECT_EQ(event.memoryContents(id), compiled.memoryContents(id))
-                << netlist.name() << ": BRAM '" << netlist.cell(id).name
-                << "' final contents diverged";
+    for (std::size_t s = 1; s < sims.size(); ++s) {
+        EXPECT_EQ(reference.cycleCount(), sims[s]->cycleCount())
+            << netlist.name() << ": cycle count diverged on " << sims[s]->backendName();
+        for (CellId id = 0; id < netlist.cells().size(); ++id) {
+            if (netlist.cell(id).kind == CellKind::Bram) {
+                EXPECT_EQ(reference.memoryContents(id), sims[s]->memoryContents(id))
+                    << netlist.name() << ": BRAM '" << netlist.cell(id).name
+                    << "' final contents diverged on " << sims[s]->backendName();
+            }
         }
     }
 }
@@ -212,10 +244,14 @@ TEST(OtsuArchDiff, AllArchitecturesAgreeOnBothBackends) {
 
 TEST(TraceDiff, CounterVcdIsByteIdenticalAcrossBackends) {
     const Netlist netlist = makeCounter("ctr", 8);
-    std::string rendered[2];
-    int slot = 0;
-    for (const SimBackend backend : {SimBackend::EventDriven, SimBackend::Compiled}) {
-        const auto sim = makeSimulator(netlist, backend);
+    std::vector<SimBackend> backends = {SimBackend::EventDriven, SimBackend::Compiled};
+    if (codegenUsable()) {
+        backends.push_back(SimBackend::Codegen);
+    }
+    std::vector<std::string> rendered;
+    for (const SimBackend backend : backends) {
+        const auto sim = backend == SimBackend::Codegen ? makeCodegenStrict(netlist)
+                                                        : makeSimulator(netlist, backend);
         VcdTrace trace(netlist, *sim);
         sim->setInput("en", 1);
         for (int cycle = 0; cycle < 24; ++cycle) {
@@ -229,9 +265,12 @@ TEST(TraceDiff, CounterVcdIsByteIdenticalAcrossBackends) {
             sim->evaluate();
             trace.sample();
         }
-        rendered[slot++] = trace.render();
+        rendered.push_back(trace.render());
     }
-    EXPECT_EQ(rendered[0], rendered[1]);
+    for (std::size_t i = 1; i < rendered.size(); ++i) {
+        EXPECT_EQ(rendered[0], rendered[i])
+            << "VCD bytes diverged on " << simBackendName(backends[i]);
+    }
     if (const char* dir = std::getenv("SOCGEN_DUMP_TRACE_DIR")) {
         writeTextFile(std::string(dir) + "/diff_sim_counter.vcd", rendered[1]);
     }
@@ -269,8 +308,10 @@ private:
 TEST(BackendSelect, NamesAndParsing) {
     EXPECT_EQ(simBackendName(SimBackend::EventDriven), "event");
     EXPECT_EQ(simBackendName(SimBackend::Compiled), "compiled");
+    EXPECT_EQ(simBackendName(SimBackend::Codegen), "codegen");
     EXPECT_EQ(simBackendFromString("event-driven"), SimBackend::EventDriven);
     EXPECT_EQ(simBackendFromString("compiled"), SimBackend::Compiled);
+    EXPECT_EQ(simBackendFromString("codegen"), SimBackend::Codegen);
     EXPECT_EQ(simBackendFromString("auto"), SimBackend::Auto);
     EXPECT_THROW((void)simBackendFromString("verilator"), Error);
 }
@@ -279,6 +320,19 @@ TEST(BackendSelect, ExplicitBackendsReportThemselves) {
     const Netlist netlist = makeCounter("ctr", 8);
     EXPECT_EQ(makeSimulator(netlist, SimBackend::EventDriven)->backendName(), "event");
     EXPECT_EQ(makeSimulator(netlist, SimBackend::Compiled)->backendName(), "compiled");
+    if (codegenUsable()) {
+        EXPECT_EQ(makeSimulator(netlist, SimBackend::Codegen)->backendName(), "codegen");
+    }
+}
+
+TEST(BackendSelect, CodegenResolvesThroughEnvAndFingerprint) {
+    // SOCGEN_SIM_BACKEND=codegen must flow through resolveSimBackend —
+    // the function flow fingerprints fold in — whether or not a host
+    // compiler exists; only construction degrades, never the request.
+    const EnvGuard guard("SOCGEN_SIM_BACKEND");
+    ::setenv("SOCGEN_SIM_BACKEND", "codegen", 1);
+    EXPECT_EQ(resolveSimBackend(), SimBackend::Codegen);
+    EXPECT_EQ(resolveSimBackend(SimBackend::Compiled), SimBackend::Compiled);
 }
 
 TEST(BackendSelect, EnvOverridesAuto) {
@@ -326,10 +380,13 @@ TEST(EngineHosting, RtlCoreRunsIdenticallyUnderBothBackends) {
     // RtlCoreComponent must reach ap_done on the same engine cycle with
     // the same result whichever RTL backend clocks the netlist.
     const hls::HlsResult r = hls::HlsEngine{}.synthesize(apps::makeAddKernel(), {});
-    std::uint64_t cycles[2] = {0, 0};
-    std::uint64_t sum[2] = {0, 0};
-    int slot = 0;
-    for (const SimBackend backend : {SimBackend::EventDriven, SimBackend::Compiled}) {
+    std::vector<SimBackend> backends = {SimBackend::EventDriven, SimBackend::Compiled};
+    if (codegenUsable()) {
+        backends.push_back(SimBackend::Codegen);
+    }
+    std::vector<std::uint64_t> cycles;
+    std::vector<std::uint64_t> sum;
+    for (const SimBackend backend : backends) {
         soc::RtlCoreComponent core("add_core", r.netlist, "ap_done", backend);
         EXPECT_EQ(core.sim().backendName(), simBackendName(backend));
         core.sim().setInput("ap_start", 1);
@@ -337,15 +394,16 @@ TEST(EngineHosting, RtlCoreRunsIdenticallyUnderBothBackends) {
         core.sim().setInput("B", 23);
         sim::Engine engine;
         engine.add(core);
-        cycles[slot] = engine.runUntilIdle(1000);
-        sum[slot] = core.sim().output("return");
+        cycles.push_back(engine.runUntilIdle(1000));
+        sum.push_back(core.sim().output("return"));
         EXPECT_TRUE(core.idle());
         EXPECT_NE(core.debugState().find(simBackendName(backend)), std::string::npos);
-        ++slot;
     }
     EXPECT_EQ(sum[0], 42u);
-    EXPECT_EQ(sum[0], sum[1]);
-    EXPECT_EQ(cycles[0], cycles[1]);
+    for (std::size_t i = 1; i < backends.size(); ++i) {
+        EXPECT_EQ(sum[0], sum[i]) << simBackendName(backends[i]);
+        EXPECT_EQ(cycles[0], cycles[i]) << simBackendName(backends[i]);
+    }
 }
 
 TEST(CompiledIntrospection, DirtySkippingGoesQuiescent) {

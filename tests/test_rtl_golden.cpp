@@ -8,6 +8,8 @@
 #include "socgen/apps/kernels.hpp"
 #include "socgen/common/textfile.hpp"
 #include "socgen/hls/engine.hpp"
+#include "socgen/rtl/codegen_emit.hpp"
+#include "socgen/rtl/compiled_program.hpp"
 #include "socgen/rtl/primitives.hpp"
 #include "socgen/rtl/sim_batch.hpp"
 #include "socgen/rtl/vcd.hpp"
@@ -56,6 +58,17 @@ void expectGolden(const std::string& stem, const Netlist& netlist) {
 }
 
 TEST(Golden, Counter8) { expectGolden("ctr8", makeCounter("ctr", 8)); }
+
+// The generated-C++ simulator source for the same counter. Pins the
+// emitter's exact output — the evalOp-mirroring expressions, the
+// deferred-publication step order, the extern "C" ABI — so any emitter
+// change is a reviewed diff, not a silent semantic drift. No host
+// compiler is needed: this snapshots the source, not the object.
+TEST(Golden, CodegenCounter8) {
+    const Netlist netlist = makeCounter("ctr", 8);
+    const CodegenUnit unit = emitCodegenUnit(netlist, compileProgram(netlist));
+    expectMatchesGolden("codegen_ctr8", ".cpp", unit.source);
+}
 
 TEST(Golden, Adder16) { expectGolden("add16", makeAdder("add", 16)); }
 
